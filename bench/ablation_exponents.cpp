@@ -1,0 +1,97 @@
+// Ablation — repetition exponents vs. classic SEQUITUR.
+//
+// The paper's grammar follows Cyclitur in attaching consecutive-repeat
+// exponents to every occurrence (§II-A), citing Sequitur's "drawbacks
+// for detecting some control flow from execution traces" (§IV). This
+// bench quantifies the choice on the recorded event streams of the real
+// application skeletons: grammar size (rules, body symbols) and
+// reduction throughput, exponent grammar vs. the classic baseline.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/sequitur_classic.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::harness;
+
+struct Comparison {
+  std::size_t exp_rules = 0, exp_nodes = 0;
+  std::size_t classic_rules = 0, classic_nodes = 0;
+  double exp_mevents_s = 0.0, classic_mevents_s = 0.0;
+};
+
+Comparison compare(const std::vector<TerminalId>& events) {
+  using clock = std::chrono::steady_clock;
+  Comparison out;
+  {
+    const auto start = clock::now();
+    Grammar grammar;
+    for (TerminalId t : events) grammar.append(t);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    out.exp_rules = grammar.rule_count();
+    for (const Rule* rule : grammar.rules()) out.exp_nodes += rule->length;
+    out.exp_mevents_s =
+        static_cast<double>(events.size()) / seconds / 1e6;
+  }
+  {
+    const auto start = clock::now();
+    baseline::ClassicSequitur sequitur;
+    for (TerminalId t : events) sequitur.append(t);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    out.classic_rules = sequitur.rule_count();
+    out.classic_nodes = sequitur.node_count();
+    out.classic_mevents_s =
+        static_cast<double>(events.size()) / seconds / 1e6;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: repetition exponents",
+         "exponent grammar vs classic SEQUITUR on recorded app streams");
+
+  const double scale = workload_scale();
+  support::Table table({"Application", "events", "rules (exp)",
+                        "rules (classic)", "nodes (exp)", "nodes (classic)",
+                        "Mev/s (exp)", "Mev/s (classic)"});
+
+  for (const apps::App* app : apps::all_apps()) {
+    RunConfig record;
+    record.mode = Mode::kRecord;
+    record.app.set = apps::WorkingSet::kLarge;
+    record.app.scale = scale;
+    record.record_timestamps = false;
+    const RunResult recorded = run_app(*app, record);
+
+    // Rank 0's stream, replayed through both reducers.
+    const std::vector<TerminalId> events =
+        recorded.trace.threads[0].grammar.unfold();
+    if (events.empty()) continue;
+    const Comparison result = compare(events);
+
+    table.add_row(
+        {app->name(), support::strf("%zu", events.size()),
+         support::strf("%zu", result.exp_rules),
+         support::strf("%zu", result.classic_rules),
+         support::strf("%zu", result.exp_nodes),
+         support::strf("%zu", result.classic_nodes),
+         support::strf("%.2f", result.exp_mevents_s),
+         support::strf("%.2f", result.classic_mevents_s)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: on loop-heavy streams (BT, SP, Lulesh, miniFE) the\n"
+      "exponent grammar is an order of magnitude smaller — a T-iteration\n"
+      "loop is one A^T occurrence instead of a log(T) doubling chain —\n"
+      "which is what makes the paper's progress sequences and timing\n"
+      "contexts tractable. On irregular streams the two are comparable.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/app.hpp"
+#include "harness/probes.hpp"
+#include "harness/runner.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+namespace pythia::bench {
+
+/// Scale for workload iteration counts: reduced defaults unless
+/// PYTHIA_FULL is set; PYTHIA_BENCH_SCALE multiplies on top.
+inline double workload_scale() {
+  const double base = support::full_fidelity() ? 5.0 : 1.0;
+  return base * support::bench_scale();
+}
+
+inline void banner(const char* experiment, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("(PYTHIA reproduction; simulated cluster, see DESIGN.md. Shapes,\n");
+  std::printf(" not absolute values, are the comparison target.)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace pythia::bench

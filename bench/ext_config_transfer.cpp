@@ -1,0 +1,128 @@
+// Extension — cross-configuration prediction.
+//
+// The paper's conclusion: "Further investigations are needed to make
+// Pythia able to predict accurately when the application runs with
+// different configuration (number of threads, number of processes)."
+//
+// This bench implements and evaluates one such investigation: encoding
+// point-to-point peers as *relative offsets* instead of absolute ranks.
+// A ring-stencil program is recorded with 8 processes and predicted at
+// 8, 12, and 16 processes. With absolute payloads the trace is useless
+// on ranks that never existed in the reference; with relative payloads
+// every rank sees the same stream and accuracy transfers.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::harness;
+
+// A neighbour-exchange stencil over a ring: the canonical pattern whose
+// event stream is rank-count independent under relative encoding.
+class RingStencil final : public apps::App {
+ public:
+  std::string name() const override { return "RingStencil"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    const int left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+    const int right = (mpi.rank() + 1) % mpi.size();
+    const std::vector<double> halo(48, 1.0);
+    const int iterations = apps::scaled(120, config.scale);
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      std::vector<mpisim::Request> requests;
+      requests.push_back(mpi.irecv(left, 0));
+      requests.push_back(mpi.irecv(right, 1));
+      requests.push_back(mpi.isend_doubles(right, 0, halo));
+      requests.push_back(mpi.isend_doubles(left, 1, halo));
+      mpi.waitall(requests);
+      mpi.compute(40'000);
+      if (iteration % 20 == 19) mpi.allreduce(1.0, mpisim::ReduceOp::kMax);
+    }
+    mpi.barrier();
+  }
+};
+
+double accuracy_at(const RingStencil& app, const Trace& reference, int ranks,
+                   mpisim::PeerEncoding encoding, double scale) {
+  std::map<std::size_t, AccuracyProbe::Tally> tallies;
+  std::mutex mutex;
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.ranks = ranks;
+  config.app.scale = scale;
+  config.reference = &reference;
+  config.wrap_reference_threads = true;
+  config.peer_encoding = encoding;
+  config.observer_factory = [&](int, Oracle& oracle) {
+    struct Collector : AccuracyProbe {
+      Collector(Oracle& o, std::map<std::size_t, AccuracyProbe::Tally>* out,
+                std::mutex* m)
+          : AccuracyProbe(o, {1, 4, 16}), out_(out), mutex_(m) {}
+      ~Collector() override {
+        std::lock_guard lock(*mutex_);
+        merge_into(*out_);
+      }
+      std::map<std::size_t, AccuracyProbe::Tally>* out_;
+      std::mutex* mutex_;
+    };
+    return std::make_unique<Collector>(oracle, &tallies, &mutex);
+  };
+  run_app(app, config);
+
+  double total_correct = 0, total_scored = 0;
+  for (const auto& [distance, tally] : tallies) {
+    total_correct += static_cast<double>(tally.correct);
+    total_scored += static_cast<double>(tally.correct + tally.incorrect +
+                                        tally.unanswered);
+  }
+  return total_scored > 0 ? total_correct / total_scored : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  banner("Extension: configuration transfer",
+         "trace recorded at 8 ranks, predictions at 8/12/16 ranks");
+
+  const double scale = workload_scale();
+  RingStencil app;
+
+  support::Table table(
+      {"encoding", "ranks=8 (same)", "ranks=12", "ranks=16"});
+  for (const auto encoding : {mpisim::PeerEncoding::kAbsolute,
+                              mpisim::PeerEncoding::kRelative}) {
+    RunConfig record;
+    record.mode = Mode::kRecord;
+    record.ranks = 8;
+    record.app.scale = scale;
+    record.peer_encoding = encoding;
+    const RunResult recorded = run_app(app, record);
+
+    std::vector<std::string> row = {
+        encoding == mpisim::PeerEncoding::kAbsolute ? "absolute (paper)"
+                                                    : "relative (extension)"};
+    for (int ranks : {8, 12, 16}) {
+      row.push_back(support::strf(
+          "%5.1f%%",
+          accuracy_at(app, recorded.trace, ranks, encoding, scale) * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nShape check: both encodings are near-perfect at the recorded rank\n"
+      "count; at 12/16 ranks the absolute trace collapses (peers that\n"
+      "never existed in the reference), while the relative encoding keeps\n"
+      "its accuracy — the paper's future-work direction, demonstrated.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension — PYTHIA-guided I/O prefetching.
+//
+// The paper's fig. 9 discussion sizes prediction cost against exactly
+// this use: "the cost of prediction for a distance of 64 ... would allow
+// a runtime system to conduct coarse-grain optimization such as
+// prefetching data"; its related work (Omnisc'IO) applies grammar-based
+// prediction to I/O specifically. This bench closes the loop: an
+// out-of-core stencil sweeps a file too large for its cache; the
+// prefetcher asks the oracle which blocks come next and overlaps the
+// device round trip with the per-block computation.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "iosim/block_store.hpp"
+#include "iosim/prefetcher.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::iosim;
+
+// Out-of-core workload: repeated sweeps over `blocks` with a short
+// shuffle phase every sweep (two interleaved access runs), like a
+// blocked matrix transpose.
+void workload(PrefetchingReader& reader, int blocks, int sweeps,
+              double compute_ns) {
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (int block = 0; block < blocks; ++block) {
+      reader.read(static_cast<std::uint64_t>(block));
+      reader.compute(compute_ns);
+    }
+    // Shuffle phase: stride-2 pass.
+    for (int block = 0; block < blocks; block += 2) {
+      reader.read(static_cast<std::uint64_t>(block));
+      reader.compute(compute_ns * 0.5);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Extension: I/O prefetch",
+         "out-of-core sweep; oracle-prefetched vs demand paging");
+
+  const double scale = workload_scale();
+  const int blocks = 64;
+  const int sweeps = static_cast<int>(12 * scale);
+  const double compute_ns = 120'000;
+
+  BlockStore::Config store_config;
+  store_config.cache_blocks = 16;  // 4x smaller than the working set
+  store_config.miss_ns = 400'000;
+  store_config.hit_ns = 2'000;
+
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+
+  // Reference execution (also the vanilla measurement: recording does
+  // not change I/O behaviour).
+  std::uint64_t vanilla_ns = 0;
+  BlockStore::Stats vanilla_stats;
+  {
+    BlockStore store(store_config);
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::record(true);
+    PrefetchingReader reader(store, clock, oracle, shared);
+    workload(reader, blocks, sweeps, compute_ns);
+    trace.threads.push_back(oracle.finish());
+    vanilla_ns = clock.now_ns();
+    vanilla_stats = store.stats();
+  }
+
+  support::Table table({"setup", "time (virtual s)", "miss", "late",
+                        "hit", "prefetches"});
+  table.add_row(
+      {"vanilla (demand paging)",
+       support::strf("%.4f", static_cast<double>(vanilla_ns) * 1e-9),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(vanilla_stats.misses)),
+       support::strf("%llu", static_cast<unsigned long long>(
+                                 vanilla_stats.late_prefetches)),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(vanilla_stats.hits)),
+       "0"});
+
+  for (const std::size_t lookahead : {1u, 4u, 8u}) {
+    BlockStore store(store_config);
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::predict(trace.threads[0]);
+    PrefetchingReader::Config reader_config;
+    reader_config.lookahead = lookahead;
+    PrefetchingReader reader(store, clock, oracle, shared, reader_config);
+    workload(reader, blocks, sweeps, compute_ns);
+    const auto& stats = store.stats();
+    table.add_row(
+        {support::strf("PYTHIA prefetch, lookahead %zu", lookahead),
+         support::strf("%.4f", static_cast<double>(clock.now_ns()) * 1e-9),
+         support::strf("%llu", static_cast<unsigned long long>(stats.misses)),
+         support::strf("%llu", static_cast<unsigned long long>(
+                                   stats.late_prefetches)),
+         support::strf("%llu", static_cast<unsigned long long>(stats.hits)),
+         support::strf("%llu", static_cast<unsigned long long>(
+                                   reader.prefetches_issued()))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: demand paging pays the full device latency on every\n"
+      "block (the cache is 4x smaller than the sweep). With the oracle, a\n"
+      "deeper lookahead hides more of the 400 us round trip behind the\n"
+      "120 us per-block compute; lookahead 4+ turns almost every miss\n"
+      "into a (late-)prefetch hit.\n");
+  return 0;
+}

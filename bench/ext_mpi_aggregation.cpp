@@ -1,0 +1,127 @@
+// Extension — prediction-guided MPI send aggregation.
+//
+// The paper motivates its MPI integration with "the optimization could
+// consist in aggregating multiple successive MPI send messages" (§III-B)
+// but implements no optimization. This bench closes that loop: a bursty
+// producer sends several small fragments per step to its neighbour; with
+// PYTHIA, the runtime buffers fragments while the oracle predicts more
+// isends to the same destination and ships them as one wire transaction.
+#include <cstdio>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+#include "mpisim/aggregator.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::mpisim;
+
+constexpr int kFragments = 8;
+
+void bursty_program(SendAggregator& mpi, int rank, int size, int steps) {
+  const int right = (rank + 1) % size;
+  const int left = (rank + size - 1) % size;
+  const std::vector<double> fragment(32, 1.0);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Request> recvs;
+    for (int f = 0; f < kFragments; ++f) {
+      recvs.push_back(mpi.irecv(left, f));
+    }
+    for (int f = 0; f < kFragments; ++f) {
+      mpi.isend(right, f, Communicator::as_bytes(fragment));
+    }
+    mpi.waitall(recvs);
+    mpi.compute(8'000);
+    if (step % 25 == 24) mpi.allreduce(1.0, ReduceOp::kSum);
+  }
+  mpi.barrier();
+}
+
+struct Outcome {
+  double seconds = 0.0;
+  SendAggregator::Stats stats;
+};
+
+Outcome run(int ranks, int steps, const Trace* reference,
+            SharedRegistry& shared, std::vector<ThreadTrace>* record_out) {
+  Outcome outcome;
+  std::mutex mutex;
+  Cluster cluster(ranks);
+  const Cluster::Result result = cluster.run([&](Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    Oracle oracle = reference != nullptr
+                        ? Oracle::predict(reference->threads[rank])
+                        : (record_out != nullptr ? Oracle::record(true)
+                                                 : Oracle::off());
+    InstrumentedComm mpi(comm, oracle, shared);
+    SendAggregator aggregator(mpi);
+    bursty_program(aggregator, comm.rank(), comm.size(), steps);
+    aggregator.flush();
+
+    std::lock_guard lock(mutex);
+    const auto& stats = aggregator.stats();
+    outcome.stats.sends += stats.sends;
+    outcome.stats.batched += stats.batched;
+    outcome.stats.batches += stats.batches;
+    outcome.stats.flushes += stats.flushes;
+    outcome.stats.latency_saved += stats.latency_saved;
+    if (record_out != nullptr) {
+      (*record_out)[rank] = oracle.finish();
+    }
+  });
+  outcome.seconds = static_cast<double>(result.makespan_virtual_ns) * 1e-9;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  banner("Extension: send aggregation",
+         "bursty neighbour exchange, 8 ranks, 8 fragments per step");
+
+  const int steps = static_cast<int>(200 * workload_scale());
+  constexpr int kRanks = 8;
+
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+
+  // Vanilla: no trace, oracle off — the aggregator flushes every send.
+  const Outcome vanilla = run(kRanks, steps, nullptr, shared, nullptr);
+
+  // Reference execution with recording.
+  std::vector<ThreadTrace> threads(kRanks);
+  run(kRanks, steps, nullptr, shared, &threads);
+  for (ThreadTrace& thread : threads) {
+    trace.threads.push_back(std::move(thread));
+  }
+
+  // Predict run: the aggregator batches while the oracle foresees sends.
+  const Outcome predicted = run(kRanks, steps, &trace, shared, nullptr);
+
+  support::Table table({"setup", "time (virtual s)", "wire transactions",
+                        "msgs aggregated", "latencies saved"});
+  table.add_row({"vanilla (flush every send)",
+                 support::strf("%.4f", vanilla.seconds),
+                 support::strf("%llu",
+                               static_cast<unsigned long long>(
+                                   vanilla.stats.flushes)),
+                 "0", "0"});
+  table.add_row(
+      {"PYTHIA-guided aggregation", support::strf("%.4f", predicted.seconds),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(predicted.stats.flushes)),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(predicted.stats.batched)),
+       support::strf("%llu", static_cast<unsigned long long>(
+                                 predicted.stats.latency_saved))});
+  table.print();
+
+  std::printf(
+      "\nimprovement: %.1f%% — each 8-fragment burst pays one injection\n"
+      "overhead and one latency instead of eight; mispredictions only cost\n"
+      "an early flush, never correctness.\n",
+      (1.0 - predicted.seconds / vanilla.seconds) * 100.0);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Extension — prediction-guided persistent communication.
+//
+// §III-B's second motivating optimization: "setting up persistent
+// communication if a communication pattern repeats". The optimizer sets
+// up a persistent channel only when the oracle's reference execution
+// shows the isend recurring often enough to amortize the setup; one-shot
+// sends are left alone (a heuristic that blindly converts everything
+// pays setup costs it never recovers).
+#include <cstdio>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+#include "mpisim/persistent.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::mpisim;
+
+// A halo exchange that repeats every step (worth a channel) plus a
+// different one-shot control message per step (not worth one).
+void program(PersistentSendOptimizer& opt, InstrumentedComm& mpi,
+             int steps) {
+  const int right = (mpi.rank() + 1) % mpi.size();
+  const int left = (mpi.rank() + mpi.size() - 1) % mpi.size();
+  const std::vector<double> halo(64, 1.0);
+  const std::vector<double> control(4, 0.0);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Request> recvs;
+    for (int f = 0; f < 4; ++f) recvs.push_back(mpi.irecv(left, f));
+    for (int f = 0; f < 4; ++f) {
+      opt.isend(right, f, Communicator::as_bytes(halo));  // repeats
+    }
+    mpi.waitall(recvs);
+    if (step % 40 == 39) {
+      // Occasional one-shot to a varying peer: no channel.
+      const int peer = (mpi.rank() + 2 + step / 40) % mpi.size();
+      if (peer != mpi.rank()) {
+        Request once = mpi.irecv(kAnySource, 7);
+        opt.isend((mpi.rank() + 2 + step / 40) % mpi.size(), 7,
+                  Communicator::as_bytes(control));
+        mpi.wait(once);
+      }
+    }
+    mpi.compute(5'000);
+  }
+  mpi.barrier();
+}
+
+struct Outcome {
+  double seconds = 0.0;
+  PersistentSendOptimizer::Stats stats;
+};
+
+Outcome run(int ranks, int steps, const Trace* reference,
+            SharedRegistry& shared, std::vector<ThreadTrace>* record_out) {
+  Outcome outcome;
+  std::mutex mutex;
+  Cluster cluster(ranks);
+  const Cluster::Result result = cluster.run([&](Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    Oracle oracle = reference != nullptr
+                        ? Oracle::predict(reference->threads[rank])
+                        : (record_out != nullptr ? Oracle::record(true)
+                                                 : Oracle::off());
+    InstrumentedComm mpi(comm, oracle, shared);
+    PersistentSendOptimizer optimizer(mpi);
+    program(optimizer, mpi, steps);
+    std::lock_guard lock(mutex);
+    outcome.stats.sends += optimizer.stats().sends;
+    outcome.stats.channels += optimizer.stats().channels;
+    outcome.stats.persistent_sends += optimizer.stats().persistent_sends;
+    if (record_out != nullptr) {
+      (*record_out)[rank] = oracle.finish();
+    }
+  });
+  outcome.seconds = static_cast<double>(result.makespan_virtual_ns) * 1e-9;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  banner("Extension: persistent communication",
+         "repeating halo sends converted to persistent channels");
+
+  const int steps = static_cast<int>(400 * workload_scale());
+  constexpr int kRanks = 8;
+
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+
+  const Outcome vanilla = run(kRanks, steps, nullptr, shared, nullptr);
+
+  std::vector<ThreadTrace> threads(kRanks);
+  run(kRanks, steps, nullptr, shared, &threads);
+  for (ThreadTrace& thread : threads) {
+    trace.threads.push_back(std::move(thread));
+  }
+
+  const Outcome predicted = run(kRanks, steps, &trace, shared, nullptr);
+
+  support::Table table({"setup", "time (virtual s)", "channels set up",
+                        "persistent sends", "plain sends"});
+  table.add_row(
+      {"vanilla", support::strf("%.4f", vanilla.seconds), "0", "0",
+       support::strf("%llu",
+                     static_cast<unsigned long long>(vanilla.stats.sends))});
+  table.add_row(
+      {"PYTHIA-guided persistent",
+       support::strf("%.4f", predicted.seconds),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(
+                         predicted.stats.channels)),
+       support::strf("%llu", static_cast<unsigned long long>(
+                                 predicted.stats.persistent_sends)),
+       support::strf("%llu",
+                     static_cast<unsigned long long>(
+                         predicted.stats.sends -
+                         predicted.stats.persistent_sends))});
+  table.print();
+  const double injection_saved_us =
+      (280.0 * static_cast<double>(predicted.stats.persistent_sends) -
+       3000.0 * static_cast<double>(predicted.stats.channels)) /
+      1000.0;
+  std::printf(
+      "\nimprovement: %.1f%% end-to-end; %.0f us of sender injection\n"
+      "overhead removed. The repeating halo sends get channels (their\n"
+      "reference occurrence counts clear the threshold); the one-shot\n"
+      "control messages stay plain, so no setup cost is wasted. The\n"
+      "end-to-end gain is modest because the wire latency — which\n"
+      "persistent requests cannot remove — dominates the exchange; the\n"
+      "win is the freed sender CPU, exactly as with real MPI_Send_init.\n",
+      (1.0 - predicted.seconds / vanilla.seconds) * 100.0,
+      injection_saved_us);
+  return 0;
+}

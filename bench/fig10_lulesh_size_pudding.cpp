@@ -1,0 +1,36 @@
+// Figure 10 — Lulesh execution time vs. problem size (Pudding, 24
+// threads). Paper: PYTHIA-predict wins clearly at small sizes (38 % at
+// s=30) and the gap narrows as the big kernels dominate.
+#include <cstdio>
+
+#include "bench/lulesh_bench.hpp"
+
+int main() {
+  using namespace pythia;
+  using namespace pythia::bench;
+
+  banner("Figure 10",
+         "Lulesh time vs. problem size (Pudding, 24 threads, virtual s)");
+
+  const double scale = workload_scale();
+  support::Table table({"size", "Vanilla (s)", "PYTHIA-record (s)",
+                        "PYTHIA-predict (s)", "improvement", "mean team"});
+  for (int size : {10, 15, 20, 25, 30, 35, 40, 45, 50}) {
+    const LuleshPoint point =
+        lulesh_point(size, ompsim::MachineModel::pudding(), 24, scale);
+    table.add_row(
+        {support::strf("%d", size), support::strf("%.3f", point.vanilla_s),
+         support::strf("%.3f", point.record_s),
+         support::strf("%.3f", point.predict_s),
+         support::strf("%.1f%%",
+                       (1.0 - point.predict_s / point.vanilla_s) * 100.0),
+         support::strf("%.1f", point.mean_team)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: predict beats vanilla at every size; the relative\n"
+      "improvement is largest for small problems (paper: 38%% at s=30)\n"
+      "and shrinks as the compute-bound kernels dominate. Record matches\n"
+      "vanilla (recording does not change scheduling decisions).\n");
+  return 0;
+}

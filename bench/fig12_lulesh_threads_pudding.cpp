@@ -1,0 +1,37 @@
+// Figure 12 — Lulesh (s=30) execution time vs. maximum thread count
+// (Pudding). Vanilla and record always use the maximum; predict adapts
+// per region within the maximum. Paper: identical up to ~8 threads,
+// up to 38.8 % improvement at high counts.
+#include <cstdio>
+
+#include "bench/lulesh_bench.hpp"
+
+int main() {
+  using namespace pythia;
+  using namespace pythia::bench;
+
+  banner("Figure 12",
+         "Lulesh (s=30) time vs. max threads (Pudding, virtual s)");
+
+  const double scale = workload_scale();
+  support::Table table({"max threads", "Vanilla (s)", "PYTHIA-record (s)",
+                        "PYTHIA-predict (s)", "improvement", "mean team"});
+  for (int threads : {1, 2, 4, 8, 12, 16, 20, 24}) {
+    const LuleshPoint point =
+        lulesh_point(30, ompsim::MachineModel::pudding(), threads, scale);
+    table.add_row(
+        {support::strf("%d", threads),
+         support::strf("%.3f", point.vanilla_s),
+         support::strf("%.3f", point.record_s),
+         support::strf("%.3f", point.predict_s),
+         support::strf("%.1f%%",
+                       (1.0 - point.predict_s / point.vanilla_s) * 100.0),
+         support::strf("%.1f", point.mean_team)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: all three coincide at low thread counts; beyond ~8\n"
+      "threads vanilla pays fork/join on every small region while predict\n"
+      "keeps improving (paper: up to 38.8%% at 24 threads).\n");
+  return 0;
+}

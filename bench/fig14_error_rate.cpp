@@ -1,0 +1,53 @@
+// Figure 14 — resilience to unexpected events.
+//
+// Lulesh (s=30, Pudding): the OpenMP runtime randomly submits unknown
+// events with a given error rate (paper §III-E). As the rate grows, the
+// oracle keeps losing synchronization, predictions at region entry fail,
+// and the runtime falls back to max threads on small regions — the
+// advantage over vanilla erodes.
+#include <cstdio>
+
+#include "bench/lulesh_bench.hpp"
+
+int main() {
+  using namespace pythia;
+  using namespace pythia::bench;
+
+  banner("Figure 14",
+         "Lulesh (s=30, Pudding) time vs. injected error rate (virtual s)");
+
+  const double scale = workload_scale();
+  const LuleshPoint baseline =
+      lulesh_point(30, ompsim::MachineModel::pudding(), 24, scale);
+
+  support::Table table({"error rate", "Vanilla (s)", "PYTHIA-record (s)",
+                        "PYTHIA-predict (s)", "improvement", "mean team"});
+  for (double rate : {0.0, 0.001, 0.01, 0.05, 0.1, 0.2, 0.35, 0.5}) {
+    // Average the stochastic injection over three seeds.
+    double predict_sum = 0.0;
+    double team_sum = 0.0;
+    constexpr int kSeeds = 3;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const LuleshPoint point =
+          lulesh_point(30, ompsim::MachineModel::pudding(), 24, scale, rate,
+                       42 + static_cast<std::uint64_t>(seed));
+      predict_sum += point.predict_s;
+      team_sum += point.mean_team;
+    }
+    const double predict_s = predict_sum / kSeeds;
+    table.add_row(
+        {support::strf("%.3f", rate),
+         support::strf("%.3f", baseline.vanilla_s),
+         support::strf("%.3f", baseline.record_s),
+         support::strf("%.3f", predict_s),
+         support::strf("%.1f%%",
+                       (1.0 - predict_s / baseline.vanilla_s) * 100.0),
+         support::strf("%.1f", team_sum / kSeeds)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: at low error rates predict retains most of its\n"
+      "advantage; as the rate climbs the improvement decays towards the\n"
+      "vanilla baseline (paper fig. 14).\n");
+  return 0;
+}

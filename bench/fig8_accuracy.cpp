@@ -1,0 +1,107 @@
+// Figure 8 — accuracy of PYTHIA-PREDICT predictions.
+//
+// For every application: record a reference trace with the Small working
+// set, then run the application with the Small, Medium and Large sets,
+// asking at every blocking MPI call which event will occur in x events,
+// for x in {1, 2, 4, ..., 128}. Reported: the fraction of scored
+// predictions that were correct (the paper's correct-vs-incorrect count).
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::harness;
+
+const std::vector<std::size_t> kDistances = {1, 2, 4, 8, 16, 32, 64, 128};
+
+std::map<std::size_t, AccuracyProbe::Tally> measure(
+    const apps::App& app, const Trace& reference, apps::WorkingSet set,
+    double scale) {
+  std::map<std::size_t, AccuracyProbe::Tally> tallies;
+  std::mutex mutex;
+
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.app.set = set;
+  config.app.scale = scale;
+  // A fresh execution, not a replay: apps whose communication depends on
+  // program state (Quicksilver particles, AMG coarsening) naturally vary
+  // between runs — the variation the paper's fig. 8 measures.
+  config.app.seed = 1337;
+  config.reference = &reference;
+  config.observer_factory = [&](int, Oracle& oracle) {
+    struct Collector : AccuracyProbe {
+      Collector(Oracle& o, std::map<std::size_t, AccuracyProbe::Tally>* out,
+                std::mutex* m)
+          : AccuracyProbe(o, kDistances), out_(out), mutex_(m) {}
+      ~Collector() override {
+        std::lock_guard lock(*mutex_);
+        merge_into(*out_);
+      }
+      std::map<std::size_t, AccuracyProbe::Tally>* out_;
+      std::mutex* mutex_;
+    };
+    return std::make_unique<Collector>(oracle, &tallies, &mutex);
+  };
+  run_app(app, config);
+  return tallies;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 8",
+         "prediction accuracy vs. distance (trace: Small; runs: S/M/L)");
+
+  const double scale = workload_scale();
+
+  std::vector<std::string> header = {"Application", "run set"};
+  for (std::size_t d : kDistances) header.push_back("x=" + std::to_string(d));
+  support::Table table(header);
+
+  for (const apps::App* app : apps::all_apps()) {
+    // Reference execution: Small working set (paper §III-C2).
+    RunConfig record;
+    record.mode = Mode::kRecord;
+    record.app.set = apps::WorkingSet::kSmall;
+    record.app.scale = scale;
+    const RunResult recorded = run_app(*app, record);
+
+    for (const apps::WorkingSet set :
+         {apps::WorkingSet::kSmall, apps::WorkingSet::kMedium,
+          apps::WorkingSet::kLarge}) {
+      const auto tallies = measure(*app, recorded.trace, set, scale);
+      std::vector<std::string> row = {app->name(),
+                                      apps::to_string(set)};
+      for (std::size_t d : kDistances) {
+        auto it = tallies.find(d);
+        const bool scored =
+            it != tallies.end() &&
+            it->second.correct + it->second.incorrect > 0;
+        if (!scored) {
+          // Nothing verifiable at this distance (the prediction target
+          // lies past the end of the run for every request).
+          row.push_back("-");
+        } else {
+          row.push_back(
+              support::strf("%5.1f%%", it->second.answered_accuracy() * 100));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check: short-distance accuracy is high everywhere; regular\n"
+      "apps (BT, EP, FT, SP, miniFE) stay >90%% out to x=128 even on\n"
+      "larger working sets; irregular apps (Quicksilver, AMG) degrade\n"
+      "with distance; size-dependent loop counts (LU, MG, CG) mispredict\n"
+      "near loop boundaries on medium/large runs.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9 — cost of PYTHIA-PREDICT predictions.
+//
+// For each application (Large working set): the average real time of one
+// prediction at every blocking MPI call, as a function of the prediction
+// distance. The paper reports sub-2µs costs at short distance and a
+// linear growth with distance; irregular applications (many candidate
+// progress sequences, big grammar graphs) cost more.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace pythia;
+using namespace pythia::bench;
+using namespace pythia::harness;
+
+const std::vector<std::size_t> kDistances = {1, 2, 4, 8, 16, 32, 64};
+
+}  // namespace
+
+int main() {
+  banner("Figure 9",
+         "real cost (µs) of one prediction vs. distance (Large sets)");
+
+  const double scale = workload_scale();
+
+  std::vector<std::string> header = {"Application"};
+  for (std::size_t d : kDistances) header.push_back("x=" + std::to_string(d));
+  support::Table table(header);
+
+  for (const apps::App* app : apps::all_apps()) {
+    RunConfig record;
+    record.mode = Mode::kRecord;
+    record.app.set = apps::WorkingSet::kLarge;
+    record.app.scale = scale;
+    const RunResult recorded = run_app(*app, record);
+
+    std::map<std::size_t, support::RunningStat> costs;
+    std::mutex mutex;
+    RunConfig predict;
+    predict.mode = Mode::kPredict;
+    predict.app.set = apps::WorkingSet::kLarge;
+    predict.app.scale = scale;
+    predict.reference = &recorded.trace;
+    predict.observer_factory = [&](int, Oracle& oracle) {
+      struct Collector : CostProbe {
+        Collector(Oracle& o, std::map<std::size_t, support::RunningStat>* out,
+                  std::mutex* m)
+            : CostProbe(o, kDistances), out_(out), mutex_(m) {}
+        ~Collector() override {
+          std::lock_guard lock(*mutex_);
+          merge_into(*out_);
+        }
+        std::map<std::size_t, support::RunningStat>* out_;
+        std::mutex* mutex_;
+      };
+      return std::make_unique<Collector>(oracle, &costs, &mutex);
+    };
+    run_app(*app, predict);
+
+    std::vector<std::string> row = {app->name()};
+    for (std::size_t d : kDistances) {
+      auto it = costs.find(d);
+      row.push_back(it != costs.end() && it->second.count() > 0
+                        ? support::strf("%7.2f", it->second.mean() / 1000.0)
+                        : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "\nShape check: cost grows roughly linearly with the distance;\n"
+      "irregular applications (Quicksilver, AMG) sit well above the\n"
+      "regular ones; short-distance predictions stay in the microsecond\n"
+      "range, suitable for fine-grain runtime decisions.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared driver for the Lulesh experiments (figures 10–14).
+//
+// These reproduce the paper's single-node OpenMP study: Lulesh runs on
+// one simulated machine (Pudding: 24 cores, Pixel: 16 cores) under three
+// OpenMP runtime setups:
+//   Vanilla        — GNU OpenMP default: always the maximum thread count;
+//   PYTHIA-record  — same decisions, with event recording attached (in
+//                    virtual time identical to vanilla by construction;
+//                    the recording cost is real CPU, shown in Table I);
+//   PYTHIA-predict — the adaptive policy picks the team per region from
+//                    the predicted duration.
+#pragma once
+
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "bench/bench_util.hpp"
+
+namespace pythia::bench {
+
+/// Lulesh at an explicit -s problem size (the figure sweeps go outside
+/// the Small/Medium/Large presets).
+class LuleshAtSize final : public apps::App {
+ public:
+  explicit LuleshAtSize(int size) : size_(size) {}
+  std::string name() const override {
+    return "Lulesh-s" + std::to_string(size_);
+  }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 1; }
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig& config) const override {
+    apps::run_lulesh_problem(env, size_, config.scale);
+  }
+
+ private:
+  int size_;
+};
+
+struct LuleshPoint {
+  double vanilla_s = 0.0;
+  double record_s = 0.0;
+  double predict_s = 0.0;
+  double mean_team = 0.0;
+};
+
+/// One measurement: record a reference at (machine, max_threads), then
+/// run vanilla and adaptive-predict. All times are virtual seconds.
+inline LuleshPoint lulesh_point(int size, const ompsim::MachineModel& machine,
+                                int max_threads, double scale,
+                                double error_rate = 0.0,
+                                std::uint64_t seed = 42) {
+  LuleshAtSize app(size);
+
+  harness::RunConfig base;
+  base.ranks = 1;
+  base.app.scale = scale;
+  base.app.seed = seed;
+  base.machine = machine;
+  base.omp_max_threads = max_threads;
+
+  harness::RunConfig record = base;
+  record.mode = harness::Mode::kRecord;
+  const harness::RunResult recorded = harness::run_app(app, record);
+
+  harness::RunConfig vanilla = base;
+  vanilla.mode = harness::Mode::kVanilla;
+  const harness::RunResult vanilla_result = harness::run_app(app, vanilla);
+
+  harness::RunConfig predict = base;
+  predict.mode = harness::Mode::kPredict;
+  predict.reference = &recorded.trace;
+  predict.omp_adaptive = true;
+  predict.omp_error_rate = error_rate;
+  const harness::RunResult predict_result = harness::run_app(app, predict);
+
+  LuleshPoint point;
+  point.vanilla_s = vanilla_result.makespan_seconds();
+  point.record_s = recorded.makespan_seconds();
+  point.predict_s = predict_result.makespan_seconds();
+  point.mean_team = predict_result.omp_stats.mean_team();
+  return point;
+}
+
+}  // namespace pythia::bench

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the PYTHIA core (google-benchmark): grammar
+// reduction throughput, prediction latency vs. distance, trace
+// serialization. These quantify the per-event costs behind Table I and
+// figure 9.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pythia;
+
+std::vector<TerminalId> loop_trace(std::size_t events) {
+  // BT-like: a 7-event loop body repeated.
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  while (out.size() < events) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 4u, 5u, 5u}) {
+      if (out.size() >= events) break;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<TerminalId> irregular_trace(std::size_t events,
+                                        std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    out.push_back(static_cast<TerminalId>(rng.below(24)));
+  }
+  return out;
+}
+
+void BM_GrammarAppend_Regular(benchmark::State& state) {
+  const auto trace = loop_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Grammar grammar;
+    for (TerminalId t : trace) grammar.append(t);
+    benchmark::DoNotOptimize(grammar.rule_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_GrammarAppend_Regular)->Arg(1000)->Arg(100000);
+
+void BM_GrammarAppend_Irregular(benchmark::State& state) {
+  const auto trace =
+      irregular_trace(static_cast<std::size_t>(state.range(0)), 99);
+  for (auto _ : state) {
+    Grammar grammar;
+    for (TerminalId t : trace) grammar.append(t);
+    benchmark::DoNotOptimize(grammar.rule_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_GrammarAppend_Irregular)->Arg(1000)->Arg(100000);
+
+void BM_PredictAtDistance(benchmark::State& state) {
+  Grammar grammar;
+  for (TerminalId t : loop_trace(50000)) grammar.append(t);
+  grammar.finalize();
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  predictor.observe(2);
+  const auto distance = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict(distance));
+  }
+}
+BENCHMARK(BM_PredictAtDistance)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ObserveTracked(benchmark::State& state) {
+  Grammar grammar;
+  const auto trace = loop_trace(50000);
+  for (TerminalId t : trace) grammar.append(t);
+  grammar.finalize();
+  Predictor predictor(grammar);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    predictor.observe(trace[index % trace.size()]);
+    ++index;
+  }
+}
+BENCHMARK(BM_ObserveTracked);
+
+void BM_TraceSaveLoad(benchmark::State& state) {
+  Trace trace;
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (TerminalId t : loop_trace(20000)) recorder.record(t, now += 120);
+  trace.threads.push_back(std::move(recorder).finish());
+  const std::string path = "/tmp/pythia_micro_bench.pythia";
+  for (auto _ : state) {
+    trace.save(path);
+    Trace loaded = Trace::load(path);
+    benchmark::DoNotOptimize(loaded.threads.size());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceSaveLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Adaptive OpenMP thread selection — the paper's §III-D use case, end to
+// end on a small synthetic application.
+//
+// A program alternates a heavy simulation kernel with several tiny
+// bookkeeping loops, all expressed as parallel regions. Run once under
+// PYTHIA-RECORD (max threads), then again under PYTHIA-PREDICT: the
+// runtime asks the oracle for each region's expected duration and sizes
+// the team accordingly (1 / 4 / 8 / ... threads).
+#include <cstdio>
+
+#include "core/oracle.hpp"
+#include "core/shared_registry.hpp"
+#include "ompsim/runtime.hpp"
+
+namespace {
+
+using namespace pythia;
+
+void application(ompsim::OmpRuntime& omp, int steps) {
+  for (int step = 0; step < steps; ++step) {
+    omp.parallel(/*region=*/1, /*serial work=*/8e6, 0.99);  // 8 ms kernel
+    // Bookkeeping pass: ten microsecond-scale fixup loops, the pattern
+    // that hurts a max-threads policy (cf. Lulesh's 12 tiny regions).
+    for (int fixup = 0; fixup < 10; ++fixup) {
+      omp.parallel(10 + fixup, 3'000.0 + 1'500.0 * fixup, 0.9);
+    }
+    omp.parallel(2, 2.5e6, 0.98);  // 2.5 ms second kernel
+    omp.critical(9, 1'500);        // tiny serialized section
+  }
+}
+
+struct RunOutcome {
+  double seconds;
+  double mean_team;
+  ThreadTrace trace;
+};
+
+RunOutcome run(ompsim::OmpRuntime::Config config, const ThreadTrace* reference,
+               int steps) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = reference != nullptr ? Oracle::predict(*reference)
+                                       : Oracle::record(true);
+  ompsim::OmpRuntime omp(config, clock, oracle, shared);
+  application(omp, steps);
+  RunOutcome outcome;
+  outcome.seconds = static_cast<double>(clock.now_ns()) * 1e-9;
+  outcome.mean_team = omp.stats().mean_team();
+  if (reference == nullptr) outcome.trace = oracle.finish();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pythia;
+
+  ompsim::OmpRuntime::Config config;
+  config.machine = ompsim::MachineModel::pudding();  // 24 cores
+  config.max_threads = 24;
+
+  constexpr int kSteps = 200;
+
+  // Reference execution: vanilla decisions (always 24 threads), recording.
+  RunOutcome recorded = run(config, nullptr, kSteps);
+  std::printf("reference (24 threads everywhere): %.3f virtual s\n",
+              recorded.seconds);
+
+  // Second execution: adaptive.
+  ompsim::OmpRuntime::Config adaptive = config;
+  adaptive.adaptive = true;
+  const RunOutcome predicted = run(adaptive, &recorded.trace, kSteps);
+  std::printf("adaptive (PYTHIA-guided teams):    %.3f virtual s\n",
+              predicted.seconds);
+  std::printf("mean team size: %.1f threads\n", predicted.mean_team);
+  std::printf("improvement: %.1f%%\n",
+              (1.0 - predicted.seconds / recorded.seconds) * 100.0);
+
+  std::printf(
+      "\nThe big kernels still get all 24 threads; the microsecond fixup\n"
+      "loops run on small teams, skipping most of the fork/join cost —\n"
+      "the optimization behind the paper's 38%% Lulesh speedup.\n");
+  return 0;
+}

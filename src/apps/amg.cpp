@@ -1,0 +1,153 @@
+// AMG — parallel algebraic multigrid solver (MPI+OpenMP).
+//
+// Two phases: an irregular *setup* (coarsening: the communication
+// partners and message counts depend on the matrix, modelled with a
+// shared-seed RNG so all ranks agree on who talks to whom), then a
+// regular *solve* of V-cycles. The irregular setup is why AMG's grammar
+// is large (Table I: 150 rules) and its predictions harder (fig. 8).
+#include <algorithm>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/topology.hpp"
+
+namespace pythia::apps {
+namespace {
+
+struct AmgParams {
+  int n;        // per-dimension points per rank (-n 100/150/200)
+  int levels;   // multigrid hierarchy depth
+  int cycles;   // solve V-cycles
+};
+
+AmgParams amg_params(WorkingSet set, double scale) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return {100, 8, scaled(10, scale)};
+    case WorkingSet::kMedium:
+      return {150, 9, scaled(10, scale)};
+    case WorkingSet::kLarge:
+      return {200, 10, scaled(10, scale)};
+  }
+  return {100, 8, 10};
+}
+
+constexpr double kWorkPerPointNs = 20.0;
+
+class AmgApp final : public App {
+ public:
+  std::string name() const override { return "AMG"; }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    auto& omp = *env.omp;
+    const AmgParams params = amg_params(config.set, config.scale);
+    const double fine_points = static_cast<double>(params.n) * params.n *
+                               params.n / 100.0;  // scaled-down law
+
+    auto level_points = [&](int level) {
+      double points = fine_points;
+      for (int l = 0; l < level; ++l) points /= 4.0;  // ~coarsening factor
+      return std::max(points, 512.0);
+    };
+
+    const std::vector<double> packet(48, 1.0);
+
+    // The irregular exchange: a shared-seed RNG gives every rank the same
+    // view of which (src, dst) pairs communicate at this level, so sends
+    // and receives match without a handshake — like hypre's assumed
+    // partition setup traffic.
+    auto irregular_exchange = [&](support::Rng& shared, int messages) {
+      for (int m = 0; m < messages; ++m) {
+        const int src = static_cast<int>(shared.below(mpi.size()));
+        const int dst =
+            (src + 1 + static_cast<int>(shared.below(mpi.size() - 1))) %
+            mpi.size();
+        if (mpi.rank() == src) {
+          mpi.send_doubles(dst, 700 + m, packet);
+        } else if (mpi.rank() == dst) {
+          mpi.recv(src, 700 + m);
+        }
+      }
+    };
+
+    mpisim::Payload blob(64);
+    mpi.bcast(blob, 0);
+    mpi.barrier();
+
+    // --- setup phase: coarsen level by level (irregular) ---------------
+    for (int level = 0; level < params.levels; ++level) {
+      support::Rng shared(config.seed * 1000003u +
+                          static_cast<std::uint64_t>(level));
+      if (mpi.size() > 1) {
+        // Enough traffic that every rank participates several times with
+        // level-dependent partners (hypre's setup is communication-heavy).
+        const int messages =
+            mpi.size() * (4 + static_cast<int>(shared.below(4 + level % 3)));
+        irregular_exchange(shared, messages);
+      }
+      // Interpolation operator construction (threaded), finished by a
+      // single-thread galerkin product setup.
+      omp.parallel(100 + level, level_points(level) * kWorkPerPointNs * 3,
+                   0.9);
+      omp.single(400 + level, 2'000.0);
+      mpi.allreduce(1.0, mpisim::ReduceOp::kSum);  // coarse-grid size
+    }
+
+    // --- solve phase: V-cycles ------------------------------------------
+    // The per-level communication partners come out of the coarsening and
+    // differ level to level (same shared-RNG trick: all ranks agree).
+    // They are fixed across cycles, so the solve is *predictable* but its
+    // grammar carries one distinct pattern per level.
+    std::vector<std::vector<std::pair<int, int>>> level_pairs(
+        static_cast<std::size_t>(params.levels));
+    for (int level = 0; level < params.levels; ++level) {
+      support::Rng shared(config.seed * 424243u +
+                          static_cast<std::uint64_t>(level));
+      const int pair_count =
+          mpi.size() > 1
+              ? mpi.size() / 2 + static_cast<int>(shared.below(mpi.size()))
+              : 0;
+      for (int i = 0; i < pair_count; ++i) {
+        const int src = static_cast<int>(shared.below(mpi.size()));
+        const int dst =
+            (src + 1 + static_cast<int>(shared.below(mpi.size() - 1))) %
+            mpi.size();
+        level_pairs[static_cast<std::size_t>(level)].emplace_back(src, dst);
+      }
+    }
+
+    for (int cycle = 0; cycle < params.cycles; ++cycle) {
+      for (int level = 0; level < params.levels; ++level) {  // down
+        for (const auto& [src, dst] :
+             level_pairs[static_cast<std::size_t>(level)]) {
+          if (mpi.rank() == src) {
+            mpi.send_doubles(dst, 800 + level, packet);
+          } else if (mpi.rank() == dst) {
+            mpi.recv(src, 800 + level);
+          }
+        }
+        omp.parallel(200 + level, level_points(level) * kWorkPerPointNs,
+                     0.92);  // smoother
+      }
+      for (int level = params.levels - 1; level >= 0; --level) {  // up
+        omp.parallel(300 + level, level_points(level) * kWorkPerPointNs,
+                     0.92);
+      }
+      mpi.allreduce(1.0, mpisim::ReduceOp::kSum);  // residual norm
+    }
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* amg_app() {
+  static AmgApp app;
+  return &app;
+}
+
+}  // namespace pythia::apps

@@ -1,0 +1,83 @@
+// Application skeleton framework.
+//
+// The paper evaluates PYTHIA on 13 MPI / MPI+OpenMP applications
+// (§III-A2). This reproduction implements each as a *communication and
+// region skeleton*: the exact sequence of MPI calls (with peer/op
+// payloads), OpenMP parallel regions (with realistic work laws), problem-
+// size scaling, and — where the paper highlights it — the irregularity
+// sources (Quicksilver's particle migration, AMG's coarsening). PYTHIA
+// consumes event streams, not numerics, so the skeletons reproduce the
+// properties Table I and figures 7–9 measure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpisim/instrumented_comm.hpp"
+#include "ompsim/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace pythia::apps {
+
+/// The paper's three problem sizes per application (§III-A2).
+enum class WorkingSet { kSmall, kMedium, kLarge };
+
+inline const char* to_string(WorkingSet set) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return "small";
+    case WorkingSet::kMedium:
+      return "medium";
+    case WorkingSet::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+struct AppConfig {
+  WorkingSet set = WorkingSet::kSmall;
+  /// Scales iteration counts so the full suite runs in minutes on one
+  /// host core (PYTHIA_BENCH_SCALE; 1.0 keeps the reduced defaults,
+  /// PYTHIA_FULL raises them to paper fidelity).
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// Everything one rank needs: the instrumented MPI runtime, the (hybrid
+/// apps only) OpenMP runtime sharing the rank's clock, and a
+/// deterministic per-rank RNG.
+struct RankEnv {
+  mpisim::InstrumentedComm& mpi;
+  ompsim::OmpRuntime* omp = nullptr;
+  support::Rng rng;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+  virtual std::string name() const = 0;
+  /// True for the MPI+OpenMP applications (AMG, Lulesh, Kripke, miniFE,
+  /// Quicksilver).
+  virtual bool hybrid() const = 0;
+  /// Default rank count in scaled-down benches (the paper used 64 for
+  /// NPB and 8 for the hybrid apps on Paravance).
+  virtual int default_ranks() const = 0;
+  virtual void run_rank(RankEnv& env, const AppConfig& config) const = 0;
+};
+
+/// All 13 applications in the paper's Table I order:
+/// BT CG EP FT IS LU MG SP AMG Lulesh Kripke miniFE Quicksilver.
+const std::vector<const App*>& all_apps();
+
+/// Lookup by case-sensitive name ("BT", "Lulesh", ...); nullptr if absent.
+const App* find_app(std::string_view name);
+
+/// max(1, round(count * scale)) — iteration scaling helper.
+inline int scaled(int count, double scale) {
+  const int result = static_cast<int>(static_cast<double>(count) * scale);
+  return result < 1 ? 1 : result;
+}
+
+}  // namespace pythia::apps

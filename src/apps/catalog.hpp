@@ -1,0 +1,31 @@
+// Factory functions for the 13 evaluated applications (one per module).
+#pragma once
+
+namespace pythia::apps {
+
+class App;
+
+// NAS Parallel Benchmarks 3.3.1 (MPI).
+const App* bt_app();
+const App* cg_app();
+const App* ep_app();
+const App* ft_app();
+const App* is_app();
+const App* lu_app();
+const App* mg_app();
+const App* sp_app();
+
+// MPI+OpenMP proxy applications.
+const App* amg_app();
+const App* lulesh_app();
+const App* kripke_app();
+const App* minife_app();
+const App* quicksilver_app();
+
+struct RankEnv;
+
+/// Runs Lulesh at an explicit problem size (-s N); used by the figure
+/// benches that sweep sizes outside the Small/Medium/Large presets.
+void run_lulesh_problem(RankEnv& env, int size, double scale);
+
+}  // namespace pythia::apps

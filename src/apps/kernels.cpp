@@ -1,0 +1,191 @@
+#include "apps/kernels.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pythia::apps::kernels {
+
+EpResult ep_gaussian_pairs(support::Rng& rng, std::uint64_t pairs) {
+  EpResult result;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const double x = 2.0 * rng.uniform() - 1.0;
+    const double y = 2.0 * rng.uniform() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0 || t == 0.0) continue;
+    const double factor = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * factor;
+    const double gy = y * factor;
+    result.sum_x += gx;
+    result.sum_y += gy;
+    const double magnitude = std::max(std::fabs(gx), std::fabs(gy));
+    const auto annulus =
+        static_cast<std::size_t>(std::min(9.0, std::floor(magnitude)));
+    ++result.counts[annulus];
+    ++result.accepted;
+  }
+  return result;
+}
+
+std::uint64_t bucket_sort(std::vector<std::uint32_t>& keys,
+                          std::uint32_t key_range) {
+  PYTHIA_ASSERT(key_range >= 1);
+  std::vector<std::uint32_t> histogram(key_range, 0);
+  for (const std::uint32_t key : keys) {
+    PYTHIA_ASSERT(key < key_range);
+    ++histogram[key];
+  }
+  std::size_t position = 0;
+  for (std::uint32_t key = 0; key < key_range; ++key) {
+    for (std::uint32_t i = 0; i < histogram[key]; ++i) {
+      keys[position++] = key;
+    }
+  }
+  // Positional checksum (order-sensitive).
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    checksum += (i + 1) * static_cast<std::uint64_t>(keys[i] + 1);
+  }
+  return checksum;
+}
+
+void cg_matvec(const std::vector<double>& p, std::vector<double>& y) {
+  const std::size_t n = p.size();
+  PYTHIA_ASSERT(y.size() == n && n >= 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t prev = i == 0 ? n - 1 : i - 1;
+    const std::size_t next = i == n - 1 ? 0 : i + 1;
+    y[i] = 4.0 * p[i] - p[prev] - p[next];
+  }
+}
+
+CgState::CgState(std::size_t n) : x(n, 0.0), r(n), p(n) {
+  PYTHIA_ASSERT(n >= 3);
+  // Non-constant right-hand side (a constant vector is an eigenvector of
+  // the periodic operator and converges in one step): b_i = 1 + (i%5)/4.
+  rho = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = 1.0 + 0.25 * static_cast<double>(i % 5);
+    p[i] = r[i];
+    rho += r[i] * r[i];
+  }
+}
+
+double cg_step(CgState& state) {
+  const std::size_t n = state.x.size();
+  if (state.rho < 1e-300) return 0.0;  // converged to machine zero
+  std::vector<double> q(n);
+  cg_matvec(state.p, q);
+  double pq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) pq += state.p[i] * q[i];
+  PYTHIA_ASSERT(pq > 0.0);  // SPD matrix
+  const double alpha = state.rho / pq;
+  double rho_next = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    state.x[i] += alpha * state.p[i];
+    state.r[i] -= alpha * q[i];
+    rho_next += state.r[i] * state.r[i];
+  }
+  const double beta = rho_next / state.rho;
+  for (std::size_t i = 0; i < n; ++i) {
+    state.p[i] = state.r[i] + beta * state.p[i];
+  }
+  state.rho = rho_next;
+  return std::sqrt(rho_next);
+}
+
+double mg_relax(std::vector<double>& grid, std::size_t n, int sweeps) {
+  PYTHIA_ASSERT(grid.size() == n * n * n && n >= 3);
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k) -> double& {
+    return grid[(i * n + j) * n + k];
+  };
+  constexpr double kRhs = 1.0;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (int color = 0; color < 2; ++color) {
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          for (std::size_t k = 1; k + 1 < n; ++k) {
+            if (static_cast<int>((i + j + k) & 1u) != color) continue;
+            at(i, j, k) = (at(i - 1, j, k) + at(i + 1, j, k) +
+                           at(i, j - 1, k) + at(i, j + 1, k) +
+                           at(i, j, k - 1) + at(i, j, k + 1) + kRhs) /
+                          6.0;
+          }
+        }
+      }
+    }
+  }
+  double residual = 0.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      for (std::size_t k = 1; k + 1 < n; ++k) {
+        const double local =
+            6.0 * at(i, j, k) - at(i - 1, j, k) - at(i + 1, j, k) -
+            at(i, j - 1, k) - at(i, j + 1, k) - at(i, j, k - 1) -
+            at(i, j, k + 1) - kRhs;
+        residual += local * local;
+      }
+    }
+  }
+  return std::sqrt(residual);
+}
+
+double hydro_energy_update(std::vector<double>& energy,
+                           std::vector<double>& pressure, double dt) {
+  PYTHIA_ASSERT(energy.size() == pressure.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    // EOS-ish: pressure follows energy; energy decays by pdV work.
+    pressure[i] = 0.4 * energy[i];
+    energy[i] = std::max(0.0, energy[i] - dt * pressure[i]);
+    total += energy[i];
+  }
+  return total;
+}
+
+double fft_radix2(std::vector<double>& interleaved) {
+  const std::size_t n = interleaved.size() / 2;
+  PYTHIA_ASSERT(n >= 2 && (n & (n - 1)) == 0);
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(interleaved[2 * i], interleaved[2 * j]);
+      std::swap(interleaved[2 * i + 1], interleaved[2 * j + 1]);
+    }
+  }
+  // Butterflies.
+  for (std::size_t length = 2; length <= n; length <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(length);
+    const double w_re = std::cos(angle);
+    const double w_im = std::sin(angle);
+    for (std::size_t block = 0; block < n; block += length) {
+      double cur_re = 1.0, cur_im = 0.0;
+      for (std::size_t k = 0; k < length / 2; ++k) {
+        const std::size_t even = 2 * (block + k);
+        const std::size_t odd = 2 * (block + k + length / 2);
+        const double odd_re =
+            interleaved[odd] * cur_re - interleaved[odd + 1] * cur_im;
+        const double odd_im =
+            interleaved[odd] * cur_im + interleaved[odd + 1] * cur_re;
+        interleaved[odd] = interleaved[even] - odd_re;
+        interleaved[odd + 1] = interleaved[even + 1] - odd_im;
+        interleaved[even] += odd_re;
+        interleaved[even + 1] += odd_im;
+        const double next_re = cur_re * w_re - cur_im * w_im;
+        cur_im = cur_re * w_im + cur_im * w_re;
+        cur_re = next_re;
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    checksum += std::sqrt(interleaved[2 * i] * interleaved[2 * i] +
+                          interleaved[2 * i + 1] * interleaved[2 * i + 1]);
+  }
+  return checksum;
+}
+
+}  // namespace pythia::apps::kernels

@@ -1,0 +1,63 @@
+// Real numeric mini-kernels for the application skeletons.
+//
+// The skeletons model full-size computation in virtual time, but each
+// also executes a bounded *real* instance of its numeric core so that
+// (a) Table I's recording overhead competes against genuine work with
+// real memory traffic, and (b) every application is self-validating:
+// the kernels produce checksums the test suite verifies against
+// reference values (in the spirit of the NPB verification stage).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pythia::apps::kernels {
+
+/// NPB EP core: Marsaglia polar method over `pairs` uniform pairs.
+/// Returns the accepted-sample sums and the 10 annulus counters.
+struct EpResult {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  std::uint64_t counts[10] = {};
+  std::uint64_t accepted = 0;
+};
+EpResult ep_gaussian_pairs(support::Rng& rng, std::uint64_t pairs);
+
+/// NPB IS core: counting/bucket sort of 32-bit keys with a bounded key
+/// range. Sorts in place; returns a positional checksum.
+std::uint64_t bucket_sort(std::vector<std::uint32_t>& keys,
+                          std::uint32_t key_range);
+
+/// NPB CG core: one conjugate-gradient step on a deterministic sparse
+/// SPD matrix (tridiagonal + wrap, diagonally dominant). Returns the
+/// updated residual norm; `x`, `r`, `p` are the usual CG vectors.
+struct CgState {
+  std::vector<double> x, r, p;
+  double rho = 0.0;
+
+  explicit CgState(std::size_t n);
+};
+double cg_step(CgState& state);
+
+/// Sparse matvec used by cg_step (exposed for testing): y = A p with
+/// A = tridiag(-1, 4, -1) plus periodic wrap couplings.
+void cg_matvec(const std::vector<double>& p, std::vector<double>& y);
+
+/// NPB MG core: one red-black Gauss-Seidel relaxation sweep of the 3-D
+/// Poisson problem on an n^3 grid (unit right-hand side, zero boundary).
+/// Returns the residual L2 norm after the sweep.
+double mg_relax(std::vector<double>& grid, std::size_t n, int sweeps);
+
+/// Lulesh-like element kernel: a Sedov-style energy update over `zones`
+/// elements. Returns the total energy (monotonically decaying).
+double hydro_energy_update(std::vector<double>& energy,
+                           std::vector<double>& pressure, double dt);
+
+/// FT core: an in-place radix-2 complex FFT of size n (power of two),
+/// interleaved re/im. Returns the spectrum checksum (sum of magnitudes).
+double fft_radix2(std::vector<double>& interleaved);
+
+}  // namespace pythia::apps::kernels

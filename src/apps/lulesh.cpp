@@ -1,0 +1,184 @@
+// LULESH — Sedov blast hydrodynamics proxy (MPI+OpenMP).
+//
+// The paper's flagship use case (§III-D): "the OpenMP version of Lulesh
+// ... contains 30 parallel regions of different sizes". Every time step
+// runs the 30 regions — a few large O(s^3) kernels, surface-sized O(s^2)
+// kernels, and many tiny fix-up loops — interleaved with the three halo
+// exchanges and the dt reduction. The tiny regions are what the adaptive
+// thread policy wins on (figs. 10–14).
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/kernels.hpp"
+#include "apps/topology.hpp"
+
+namespace pythia::apps {
+namespace {
+
+// Work law of one parallel region:
+//   work_ns(s) = s3_weight * kZoneWorkNs * s^3
+//              + s2_weight * kSurfWorkNs * s^2
+//              + fixed_ns
+struct RegionSpec {
+  double s3_weight;
+  double s2_weight;
+  double fixed_ns;
+  double parallel_fraction;
+};
+
+constexpr double kZoneWorkNs = 28.0;
+constexpr double kSurfWorkNs = 130.0;
+
+// The 30 regions of a Lulesh time step (region id = index + 1).
+constexpr std::array<RegionSpec, 30> kRegions = {{
+    // 3 large volume kernels (CalcForceForNodes, CalcKinematics, ...)
+    {0.18, 0.0, 0.0, 0.99},
+    {0.18, 0.0, 0.0, 0.99},
+    {0.18, 0.0, 0.0, 0.99},
+    // 5 medium volume kernels (position/velocity integration, q, ...)
+    {0.05, 0.0, 0.0, 0.98},
+    {0.05, 0.0, 0.0, 0.98},
+    {0.05, 0.0, 0.0, 0.98},
+    {0.05, 0.0, 0.0, 0.98},
+    {0.05, 0.0, 0.0, 0.98},
+    // 10 surface kernels (boundary conditions, ghost packing, ...)
+    {0.0, 1.4, 0.0, 0.95},
+    {0.0, 1.1, 0.0, 0.95},
+    {0.0, 1.0, 0.0, 0.95},
+    {0.0, 0.9, 0.0, 0.95},
+    {0.0, 0.8, 0.0, 0.95},
+    {0.0, 0.7, 0.0, 0.95},
+    {0.0, 0.6, 0.0, 0.95},
+    {0.0, 0.5, 0.0, 0.95},
+    {0.0, 0.4, 0.0, 0.95},
+    {0.0, 0.3, 0.0, 0.95},
+    // 12 tiny fix-up loops (EOS clamps, courant checks, ...)
+    {0.0, 0.0, 18'000.0, 0.90},
+    {0.0, 0.0, 15'000.0, 0.90},
+    {0.0, 0.0, 9'000.0, 0.90},
+    {0.0, 0.0, 8'000.0, 0.90},
+    {0.0, 0.0, 7'000.0, 0.90},
+    {0.0, 0.0, 6'000.0, 0.90},
+    {0.0, 0.0, 5'000.0, 0.90},
+    {0.0, 0.0, 4'500.0, 0.90},
+    {0.0, 0.0, 4'000.0, 0.90},
+    {0.0, 0.0, 3'500.0, 0.90},
+    {0.0, 0.0, 3'000.0, 0.90},
+    {0.0, 0.0, 2'500.0, 0.90},
+}};
+
+int lulesh_size(WorkingSet set) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return 10;  // -s 10
+    case WorkingSet::kMedium:
+      return 30;  // -s 30
+    case WorkingSet::kLarge:
+      return 50;  // -s 50
+  }
+  return 10;
+}
+
+class LuleshApp final : public App {
+ public:
+  std::string name() const override { return "Lulesh"; }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    run_problem(env, lulesh_size(config.set), config.scale);
+  }
+
+  /// Exposed for the figure benches, which sweep the problem size
+  /// directly (paper figs. 10/11 use -s in {10..50}).
+  static void run_problem(RankEnv& env, int size, double scale) {
+    auto& mpi = env.mpi;
+    PYTHIA_ASSERT_MSG(env.omp != nullptr, "Lulesh needs an OpenMP runtime");
+    auto& omp = *env.omp;
+    const Grid3D grid(mpi.rank(), mpi.size());
+    const int timesteps = scaled(23 * size, scale * 0.1);
+    const double s3 = static_cast<double>(size) * size * size;
+    const double s2 = static_cast<double>(size) * size;
+
+    const std::size_t halo_doubles =
+        static_cast<std::size_t>(std::min(256.0, 3.0 * s2 / 8.0 + 8));
+    const std::vector<double> halo(halo_doubles, 1.0);
+
+    auto exchange = [&](int phase_tag) {
+      std::vector<mpisim::Request> requests;
+      for (int dim = 0; dim < 3; ++dim) {
+        for (int dir : {-1, +1}) {
+          const int peer = grid.neighbor(dim, dir, /*periodic=*/false);
+          if (peer < 0) continue;
+          requests.push_back(mpi.irecv(peer, phase_tag + dim));
+        }
+      }
+      for (int dim = 0; dim < 3; ++dim) {
+        for (int dir : {-1, +1}) {
+          const int peer = grid.neighbor(dim, dir, /*periodic=*/false);
+          if (peer < 0) continue;
+          requests.push_back(mpi.isend_doubles(peer, phase_tag + dim, halo));
+        }
+      }
+      if (!requests.empty()) mpi.waitall(requests);
+    };
+
+    auto region_work = [&](const RegionSpec& spec) {
+      return spec.s3_weight * kZoneWorkNs * s3 +
+             spec.s2_weight * kSurfWorkNs * s2 + spec.fixed_ns;
+    };
+
+    mpisim::Payload init_blob(96);
+    mpi.bcast(init_blob, 0);
+    mpi.barrier();
+
+    // Bounded real hydro state: the element phase updates it each step.
+    std::vector<double> element_energy(256, 10.0);
+    std::vector<double> element_pressure(256, 0.0);
+
+    for (int step = 0; step < timesteps; ++step) {
+      // Force phase: the big kernels, then the force halo exchange.
+      for (int r = 0; r < 8; ++r) {
+        omp.parallel(r + 1, region_work(kRegions[static_cast<std::size_t>(r)]),
+                     kRegions[static_cast<std::size_t>(r)].parallel_fraction);
+      }
+      if (mpi.size() > 1) exchange(600);
+
+      // Position/velocity phase: surface kernels + position halo.
+      for (int r = 8; r < 18; ++r) {
+        omp.parallel(r + 1, region_work(kRegions[static_cast<std::size_t>(r)]),
+                     kRegions[static_cast<std::size_t>(r)].parallel_fraction);
+      }
+      if (mpi.size() > 1) exchange(610);
+
+      // Element phase: the tiny fix-up loops, then the dt reduction.
+      for (int r = 18; r < 30; ++r) {
+        omp.parallel(r + 1, region_work(kRegions[static_cast<std::size_t>(r)]),
+                     kRegions[static_cast<std::size_t>(r)].parallel_fraction);
+      }
+      kernels::hydro_energy_update(element_energy, element_pressure,
+                                   1.0e-3);
+      mpi.allreduce(1.0e-7, mpisim::ReduceOp::kMin);  // dt courant
+    }
+
+    mpi.reduce(1.0, mpisim::ReduceOp::kMax, 0);  // final origin energy
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* lulesh_app() {
+  static LuleshApp app;
+  return &app;
+}
+
+/// Figure benches need direct access to the size sweep.
+void run_lulesh_problem(RankEnv& env, int size, double scale) {
+  LuleshApp::run_problem(env, size, scale);
+}
+
+}  // namespace pythia::apps

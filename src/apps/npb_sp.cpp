@@ -1,0 +1,107 @@
+// NPB SP — scalar pentadiagonal ADI solver (MPI).
+//
+// Structurally BT's sibling with twice the time steps (400) and a
+// multi-stage pipelined sweep per dimension (Table I: 357k events,
+// 9 rules).
+#include <algorithm>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/topology.hpp"
+
+namespace pythia::apps {
+namespace {
+
+struct SpParams {
+  int grid;       // class A=64, B=102, C=162
+  int timesteps;  // 400 for all classes; reduced for benches
+};
+
+SpParams sp_params(WorkingSet set, double scale) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return {64, scaled(60, scale)};
+    case WorkingSet::kMedium:
+      return {102, scaled(60, scale)};
+    case WorkingSet::kLarge:
+      return {162, scaled(60, scale)};
+  }
+  return {64, 60};
+}
+
+constexpr double kWorkPerCellNs = 9.0;
+
+class SpApp final : public App {
+ public:
+  std::string name() const override { return "SP"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    const SpParams params = sp_params(config.set, config.scale);
+    const Grid3D grid(mpi.rank(), mpi.size());
+    const double cells =
+        static_cast<double>(params.grid) * params.grid * params.grid /
+        static_cast<double>(mpi.size());
+    const std::size_t face_doubles = static_cast<std::size_t>(std::min(
+        384.0, static_cast<double>(params.grid) * params.grid / 96.0));
+    const std::vector<double> face(face_doubles, 1.0);
+
+    auto copy_faces = [&] {
+      std::vector<mpisim::Request> requests;
+      for (int dim = 0; dim < 3; ++dim) {
+        const int plus = grid.neighbor(dim, +1, true);
+        const int minus = grid.neighbor(dim, -1, true);
+        if (plus == mpi.rank()) continue;
+        requests.push_back(mpi.irecv(minus, 500 + dim));
+        requests.push_back(mpi.irecv(plus, 530 + dim));
+        requests.push_back(mpi.isend_doubles(plus, 500 + dim, face));
+        requests.push_back(mpi.isend_doubles(minus, 530 + dim, face));
+      }
+      if (!requests.empty()) mpi.waitall(requests);
+    };
+
+    for (int i = 0; i < 4; ++i) {
+      mpisim::Payload blob(48);
+      mpi.bcast(blob, 0);
+    }
+    mpi.barrier();
+
+    for (int step = 0; step < params.timesteps; ++step) {
+      copy_faces();
+      mpi.compute(cells * kWorkPerCellNs * 0.35);  // rhs
+      for (int dim = 0; dim < 3; ++dim) {
+        // Two-stage pipelined Thomas solve along `dim`.
+        const int next = grid.neighbor(dim, +1, true);
+        const int prev = grid.neighbor(dim, -1, true);
+        mpi.compute(cells * kWorkPerCellNs * 0.15);
+        if (next != mpi.rank()) {
+          // Forward elimination pipeline.
+          mpisim::Request recv = mpi.irecv(prev, 540 + dim);
+          mpi.send_doubles(next, 540 + dim, face);
+          mpi.wait(recv);
+          // Back substitution pipeline (reverse direction).
+          mpisim::Request back = mpi.irecv(next, 550 + dim);
+          mpi.send_doubles(prev, 550 + dim, face);
+          mpi.wait(back);
+        }
+      }
+      mpi.compute(cells * kWorkPerCellNs * 0.1);  // add
+    }
+
+    mpi.allreduce(1.0, mpisim::ReduceOp::kSum);
+    mpi.reduce(1.0, mpisim::ReduceOp::kMax, 0);
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* sp_app() {
+  static SpApp app;
+  return &app;
+}
+
+}  // namespace pythia::apps

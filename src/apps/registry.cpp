@@ -1,0 +1,24 @@
+#include <string_view>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+
+namespace pythia::apps {
+
+const std::vector<const App*>& all_apps() {
+  static const std::vector<const App*> apps = {
+      bt_app(),     cg_app(),     ep_app(),     ft_app(),     is_app(),
+      lu_app(),     mg_app(),     sp_app(),     amg_app(),    lulesh_app(),
+      kripke_app(), minife_app(), quicksilver_app(),
+  };
+  return apps;
+}
+
+const App* find_app(std::string_view name) {
+  for (const App* app : all_apps()) {
+    if (app->name() == name) return app;
+  }
+  return nullptr;
+}
+
+}  // namespace pythia::apps

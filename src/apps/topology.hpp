@@ -1,0 +1,68 @@
+// Cartesian rank topology helpers for the application skeletons.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pythia::apps {
+
+/// Decomposes `ranks` into a near-cubic 3-D processor grid (largest
+/// factors first), like MPI_Dims_create.
+struct Grid3D {
+  std::array<int, 3> dims{1, 1, 1};
+  std::array<int, 3> coords{0, 0, 0};
+  int rank = 0;
+  int ranks = 1;
+
+  Grid3D(int rank_in, int ranks_in) : rank(rank_in), ranks(ranks_in) {
+    PYTHIA_ASSERT(rank_in >= 0 && rank_in < ranks_in);
+    int remaining = ranks_in;
+    for (int d = 0; d < 3; ++d) {
+      const int target = static_cast<int>(std::round(
+          std::pow(static_cast<double>(remaining), 1.0 / (3 - d))));
+      int best = 1;
+      for (int f = 1; f <= remaining; ++f) {
+        if (remaining % f == 0 &&
+            std::abs(f - target) < std::abs(best - target)) {
+          best = f;
+        }
+      }
+      dims[static_cast<std::size_t>(d)] = best;
+      remaining /= best;
+    }
+    // Row-major coordinates.
+    int r = rank_in;
+    coords[2] = r % dims[2];
+    r /= dims[2];
+    coords[1] = r % dims[1];
+    coords[0] = r / dims[1];
+  }
+
+  int rank_of(int x, int y, int z) const {
+    return (x * dims[1] + y) * dims[2] + z;
+  }
+
+  /// Neighbour along dimension `dim` in direction `dir` (+1/-1); -1 when
+  /// at the boundary (non-periodic).
+  int neighbor(int dim, int dir, bool periodic = false) const {
+    std::array<int, 3> c = coords;
+    c[static_cast<std::size_t>(dim)] += dir;
+    const int extent = dims[static_cast<std::size_t>(dim)];
+    if (c[static_cast<std::size_t>(dim)] < 0 ||
+        c[static_cast<std::size_t>(dim)] >= extent) {
+      if (!periodic) return -1;
+      c[static_cast<std::size_t>(dim)] =
+          (c[static_cast<std::size_t>(dim)] + extent) % extent;
+    }
+    return rank_of(c[0], c[1], c[2]);
+  }
+};
+
+/// 1-D ring neighbour.
+inline int ring_neighbor(int rank, int ranks, int dir) {
+  return (rank + dir + ranks) % ranks;
+}
+
+}  // namespace pythia::apps

@@ -1,0 +1,109 @@
+// Event model: what runtime systems submit to PYTHIA.
+//
+// Following §II-A of the paper, an event is "an integer that identifies the
+// key point and optionally additional information such as a timestamp, or
+// the destination of an MPI message". We intern (kind, aux) pairs into
+// dense terminal ids so the grammar distinguishes e.g. MPI_Send(dst=1)
+// from MPI_Send(dst=2) — the payloads are part of the pattern the oracle
+// must predict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/symbol.hpp"
+#include "support/assert.hpp"
+
+namespace pythia {
+
+/// Identifier of an event *kind* (a key point: function, region, ...).
+using KindId = std::uint32_t;
+
+/// Auxiliary payload attached to an event kind (peer rank, op, root, ...).
+/// kNoAux means "no payload".
+using EventAux = std::int32_t;
+inline constexpr EventAux kNoAux = -1;
+
+/// Interns event kinds and (kind, aux) pairs into dense terminal ids.
+///
+/// The registry is shared between the recording and predicting runs of an
+/// application (it is serialized into the trace file) so that terminal ids
+/// are stable across executions.
+class EventRegistry {
+ public:
+  /// Interns a key-point name; idempotent.
+  KindId intern_kind(std::string_view name) {
+    auto it = kind_by_name_.find(std::string(name));
+    if (it != kind_by_name_.end()) return it->second;
+    const KindId id = static_cast<KindId>(kind_names_.size());
+    kind_names_.emplace_back(name);
+    kind_by_name_.emplace(std::string(name), id);
+    return id;
+  }
+
+  /// Interns an event (kind + optional payload) into a terminal id.
+  TerminalId intern_event(KindId kind, EventAux aux = kNoAux) {
+    PYTHIA_ASSERT(kind < kind_names_.size());
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(kind) << 32u) |
+        static_cast<std::uint32_t>(aux);
+    auto it = event_by_key_.find(key);
+    if (it != event_by_key_.end()) return it->second;
+    const auto id = static_cast<TerminalId>(events_.size());
+    events_.push_back({kind, aux});
+    event_by_key_.emplace(key, id);
+    return id;
+  }
+
+  /// Convenience: intern kind by name and event in one call.
+  TerminalId intern(std::string_view name, EventAux aux = kNoAux) {
+    return intern_event(intern_kind(name), aux);
+  }
+
+  std::size_t kind_count() const { return kind_names_.size(); }
+  std::size_t event_count() const { return events_.size(); }
+
+  const std::string& kind_name(KindId kind) const {
+    PYTHIA_ASSERT(kind < kind_names_.size());
+    return kind_names_[kind];
+  }
+
+  KindId kind_of(TerminalId id) const {
+    PYTHIA_ASSERT(id < events_.size());
+    return events_[id].kind;
+  }
+
+  EventAux aux_of(TerminalId id) const {
+    PYTHIA_ASSERT(id < events_.size());
+    return events_[id].aux;
+  }
+
+  /// Human-readable form, e.g. "MPI_Send(3)" or "GOMP_parallel".
+  std::string describe(TerminalId id) const {
+    const auto& record = events_[id];
+    std::string out = kind_name(record.kind);
+    if (record.aux != kNoAux) {
+      out += "(" + std::to_string(record.aux) + ")";
+    }
+    return out;
+  }
+
+ private:
+  struct EventRecord {
+    KindId kind;
+    EventAux aux;
+  };
+
+  std::vector<std::string> kind_names_;
+  std::unordered_map<std::string, KindId> kind_by_name_;
+  std::vector<EventRecord> events_;
+  std::unordered_map<std::uint64_t, TerminalId> event_by_key_;
+
+  friend class TraceWriter;  // serializes the tables directly
+  friend class TraceReader;
+};
+
+}  // namespace pythia

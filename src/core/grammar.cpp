@@ -1,0 +1,762 @@
+#include "core/grammar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/event.hpp"
+#include "support/assert.hpp"
+
+namespace pythia {
+
+namespace {
+constexpr int kMaxAppendDepth = 10000;
+constexpr int kMaxCascadeDepth = 1000;
+}  // namespace
+
+Grammar::Grammar() {
+  root_ = allocate_rule();  // rule id 0
+}
+
+Grammar::~Grammar() = default;
+Grammar::Grammar(Grammar&&) noexcept = default;
+Grammar& Grammar::operator=(Grammar&&) noexcept = default;
+
+// ---------------------------------------------------------------------------
+// Allocation
+
+Node* Grammar::allocate_node(Symbol sym, std::uint64_t exp) {
+  Node* node;
+  if (!free_nodes_.empty()) {
+    node = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    node_pool_.emplace_back();
+    node = &node_pool_.back();
+  }
+  node->sym = sym;
+  node->exp = exp;
+  node->prev = node->next = nullptr;
+  node->owner = nullptr;
+  node->alive = true;
+  node->stable_id = 0xffffffffu;
+  return node;
+}
+
+void Grammar::release_node(Node* node) {
+  PYTHIA_ASSERT(node->alive);
+  node->alive = false;
+  // Recycling is deferred to the end of the current append so that pointers
+  // held in in-flight cascade frames never observe a reused node.
+  pending_free_.push_back(node);
+}
+
+void Grammar::flush_pending_free() {
+  free_nodes_.insert(free_nodes_.end(), pending_free_.begin(),
+                     pending_free_.end());
+  pending_free_.clear();
+}
+
+Rule* Grammar::allocate_rule() {
+  rule_pool_.emplace_back();
+  Rule* rule = &rule_pool_.back();
+  rule->id = static_cast<std::uint32_t>(rules_.size());
+  rules_.push_back(rule);
+  ++live_rule_count_;
+  return rule;
+}
+
+void Grammar::register_user(Node* node) {
+  if (!node->sym.is_rule()) return;
+  Rule* rule = rules_[node->sym.rule_id()];
+  rule->users.push_back(node);
+}
+
+void Grammar::deregister_user(Node* node) {
+  if (!node->sym.is_rule()) return;
+  Rule* rule = rules_[node->sym.rule_id()];
+  auto it = std::find(rule->users.begin(), rule->users.end(), node);
+  PYTHIA_ASSERT_MSG(it != rule->users.end(), "user bookkeeping out of sync");
+  rule->users.erase(it);
+  mark_rule_dirty(rule);
+}
+
+// ---------------------------------------------------------------------------
+// Linked-list plumbing
+
+void Grammar::link_after(Rule* rule, Node* position, Node* node) {
+  node->owner = rule;
+  if (position == nullptr) {  // insert at head
+    node->prev = nullptr;
+    node->next = rule->head;
+    if (rule->head != nullptr) rule->head->prev = node;
+    rule->head = node;
+    if (rule->tail == nullptr) rule->tail = node;
+  } else {
+    node->prev = position;
+    node->next = position->next;
+    if (position->next != nullptr) position->next->prev = node;
+    position->next = node;
+    if (rule->tail == position) rule->tail = node;
+  }
+  ++rule->length;
+  register_user(node);
+}
+
+void Grammar::unlink(Node* node) {
+  Rule* rule = node->owner;
+  if (node->prev != nullptr) node->prev->next = node->next;
+  if (node->next != nullptr) node->next->prev = node->prev;
+  if (rule->head == node) rule->head = node->next;
+  if (rule->tail == node) rule->tail = node->prev;
+  --rule->length;
+  deregister_user(node);
+  node->prev = node->next = nullptr;
+  node->owner = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Digram index
+
+void Grammar::index_pair(Node* left) {
+  PYTHIA_ASSERT(left->next != nullptr);
+  PYTHIA_ASSERT(left->sym != left->next->sym);
+  digrams_[digram_key(left->sym, left->next->sym)] = left;
+}
+
+void Grammar::unindex_pair(Node* left) {
+  if (left == nullptr || !left->alive || left->next == nullptr) return;
+  auto it = digrams_.find(digram_key(left->sym, left->next->sym));
+  if (it != digrams_.end() && it->second == left) digrams_.erase(it);
+}
+
+Node* Grammar::find_pair(Symbol a, Symbol b) const {
+  auto it = digrams_.find(digram_key(a, b));
+  return it != digrams_.end() ? it->second : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Reduction (paper §II-A, fig. 3)
+
+void Grammar::append(TerminalId event) {
+  PYTHIA_ASSERT_MSG(!finalized_, "append() after finalize()");
+  ++appended_;
+  ops_since_append_ = 0;
+  append_symbol(root_, Symbol::terminal(event), 0);
+  process_dirty_rules();
+  flush_pending_free();
+}
+
+void Grammar::append_symbol(Rule* rule, Symbol sym, int depth) {
+  PYTHIA_ASSERT_MSG(depth < kMaxAppendDepth, "append cascade too deep");
+  Node* tail = rule->tail;
+
+  // Case 1: same symbol as the current tail — bump the exponent.
+  if (tail != nullptr && tail->sym == sym) {
+    ++tail->exp;
+    return;
+  }
+
+  // Case 2: couple (tail, sym) not seen anywhere — plain append.
+  Node* existing = tail != nullptr ? find_pair(tail->sym, sym) : nullptr;
+  if (existing == nullptr) {
+    Node* node = allocate_node(sym, 1);
+    link_after(rule, tail, node);
+    if (tail != nullptr) index_pair(tail);
+    return;
+  }
+
+  // Case 3: the couple already exists in the grammar — factor it out.
+  Node* left = existing;
+  Node* right = left->next;
+  PYTHIA_ASSERT(right != nullptr && right->sym == sym);
+  const std::uint64_t m = std::min(left->exp, tail->exp);
+
+  Rule* target;
+  const bool reuse = left->owner != root_ && left->owner->length == 2 &&
+                     left->owner->head == left && left->owner->tail == right &&
+                     left->exp == m && right->exp == 1;
+  // Consume m units of the tail first: removing the last node of the root
+  // creates no new adjacency, so this cannot cascade and cannot invalidate
+  // `left`/`right` (the existing site never overlaps the append point).
+  tail->exp -= m;
+  if (tail->exp == 0) {
+    unindex_pair(tail->prev);
+    unlink(tail);
+    release_node(tail);
+  } else {
+    note_exp_decrease(tail);
+  }
+
+  if (reuse) {
+    target = left->owner;
+  } else {
+    target = allocate_rule();
+    Node* a = allocate_node(left->sym, m);
+    link_after(target, nullptr, a);
+    Node* b = allocate_node(sym, 1);
+    link_after(target, a, b);
+    // The couple now lives canonically inside the new rule's body.
+    digrams_[digram_key(left->sym, sym)] = a;
+    raw_substitute(left, right, target, m);
+  }
+
+  append_symbol(rule, Symbol::rule(target->id), depth + 1);
+}
+
+void Grammar::raw_substitute(Node* left, Node* right, Rule* target,
+                             std::uint64_t consumed_left) {
+  PYTHIA_ASSERT_MSG(++ops_since_append_ < 100000,
+                    "runaway cascade in grammar reduction");
+  Rule* owner = left->owner;
+  PYTHIA_ASSERT(left->next == right);
+  PYTHIA_ASSERT(left->exp >= consumed_left && right->exp >= 1);
+
+  // The (left, right) couple disappears from this site.
+  unindex_pair(left);
+
+  Node* marker = allocate_node(Symbol::rule(target->id), 1);
+  link_after(owner, left, marker);
+
+  left->exp -= consumed_left;
+  right->exp -= 1;
+
+  Node* before = left;
+  if (left->exp == 0) {
+    unindex_pair(left->prev);
+    before = left->prev;
+    unlink(left);
+    release_node(left);
+  } else {
+    note_exp_decrease(left);
+  }
+
+  if (right->exp == 0) {
+    unindex_pair(right);
+    unlink(right);
+    release_node(right);
+  } else {
+    note_exp_decrease(right);
+  }
+
+  // Re-validate the adjacencies around the marker.
+  ensure_adjacency(before, 0);
+  if (marker->alive) ensure_adjacency(marker, 0);
+}
+
+void Grammar::ensure_adjacency(Node* left, int depth) {
+  PYTHIA_ASSERT_MSG(depth < kMaxCascadeDepth, "cascade too deep");
+  while (left != nullptr && left->alive && left->next != nullptr) {
+    Node* right = left->next;
+    if (left->sym == right->sym) {
+      // Invariant 3: merge adjacent equal symbols into the exponent.
+      unindex_pair(right);
+      left->exp += right->exp;
+      unlink(right);
+      release_node(right);
+      continue;  // re-check against the new right neighbour
+    }
+    Node* existing = find_pair(left->sym, right->sym);
+    if (existing == nullptr) {
+      index_pair(left);
+      return;
+    }
+    if (existing == left) return;  // this site is the canonical one
+    resolve_duplicate(left, existing, depth + 1);
+    return;
+  }
+}
+
+// Two disjoint sites carry the same couple; factor a rule out of both
+// (invariant 2). `site` is the freshly created adjacency, `canon` the
+// indexed one.
+void Grammar::resolve_duplicate(Node* site, Node* canon, int depth) {
+  Node* site_r = site->next;
+  Node* canon_r = canon->next;
+  PYTHIA_ASSERT(site_r != nullptr && canon_r != nullptr);
+  PYTHIA_ASSERT(site != canon);
+
+  const std::uint64_t m = std::min(site->exp, canon->exp);
+  const std::uint64_t key = digram_key(site->sym, site_r->sym);
+
+  auto exact_body = [&](Node* l, Node* r) {
+    Rule* o = l->owner;
+    return o != root_ && o->length == 2 && o->head == l && o->tail == r &&
+           l->exp == m && r->exp == 1;
+  };
+
+  if (exact_body(canon, canon_r)) {
+    // The canonical site *is* a rule body: reuse it (paper fig. 3e).
+    raw_substitute(site, site_r, canon->owner, m);
+    return;
+  }
+  if (exact_body(site, site_r)) {
+    digrams_[key] = site;
+    raw_substitute(canon, canon_r, site->owner, m);
+    return;
+  }
+
+  Rule* target = allocate_rule();
+  Node* a = allocate_node(site->sym, m);
+  link_after(target, nullptr, a);
+  Node* b = allocate_node(site_r->sym, 1);
+  link_after(target, a, b);
+  digrams_[key] = a;
+
+  raw_substitute(site, site_r, target, m);
+  // Cascades from the first substitution may have restructured the other
+  // site; only substitute if the couple is still intact there.
+  if (canon->alive && canon_r->alive && canon->next == canon_r) {
+    raw_substitute(canon, canon_r, target, m);
+  }
+  (void)depth;
+}
+
+// ---------------------------------------------------------------------------
+// Rule utility (invariant 1)
+
+void Grammar::note_exp_decrease(Node* node) {
+  if (node->sym.is_rule()) mark_rule_dirty(rules_[node->sym.rule_id()]);
+}
+
+void Grammar::mark_rule_dirty(Rule* rule) {
+  if (rule == root_ || !rule->alive) return;
+  dirty_rules_.push_back(rule);
+}
+
+void Grammar::process_dirty_rules() {
+  while (!dirty_rules_.empty()) {
+    Rule* rule = dirty_rules_.back();
+    dirty_rules_.pop_back();
+    if (!rule->alive || rule == root_) continue;
+    std::uint64_t uses = 0;
+    for (const Node* user : rule->users) {
+      uses += user->exp;
+      if (uses >= 2) break;
+    }
+    if (uses >= 2) continue;
+    if (rule->users.empty()) {
+      destroy_rule(rule);
+    } else {
+      inline_rule(rule);
+    }
+  }
+}
+
+void Grammar::inline_rule(Rule* rule) {
+  PYTHIA_ASSERT(rule->users.size() == 1);
+  Node* user = rule->users.front();
+  PYTHIA_ASSERT(user->exp == 1);
+  Rule* owner = user->owner;
+  PYTHIA_ASSERT_MSG(owner != rule, "self-referential rule");
+
+  Node* before = user->prev;
+  Node* after = user->next;
+  unindex_pair(before);
+  unindex_pair(user);
+
+  Node* first = rule->head;
+  Node* last = rule->tail;
+  PYTHIA_ASSERT(first != nullptr && last != nullptr);
+  for (Node* n = first; n != nullptr; n = n->next) n->owner = owner;
+
+  // Splice the body in place of the user node. Interior digram index
+  // entries keep pointing at the same (moved) nodes and stay valid.
+  first->prev = before;
+  last->next = after;
+  if (before != nullptr) {
+    before->next = first;
+  } else {
+    owner->head = first;
+  }
+  if (after != nullptr) {
+    after->prev = last;
+  } else {
+    owner->tail = last;
+  }
+  owner->length += rule->length - 1;
+
+  // Retire the rule. The user node is destroyed manually: it is already
+  // spliced out of the list.
+  rule->head = rule->tail = nullptr;
+  rule->length = 0;
+  rule->users.clear();
+  rule->alive = false;
+  --live_rule_count_;
+  user->prev = user->next = nullptr;
+  user->owner = nullptr;
+  release_node(user);
+
+  // Boundary adjacencies may merge or duplicate. Interior adjacencies of
+  // the spliced body are untouched and their index entries stay valid.
+  ensure_adjacency(before, 0);
+  if (last->alive) ensure_adjacency(last, 0);
+}
+
+void Grammar::destroy_rule(Rule* rule) {
+  PYTHIA_ASSERT(rule->users.empty());
+  Node* node = rule->head;
+  while (node != nullptr) {
+    Node* next = node->next;
+    unindex_pair(node);
+    // deregister_user marks referenced rules dirty — they may lose utility.
+    deregister_user(node);
+    node->prev = node->next = nullptr;
+    node->owner = nullptr;
+    release_node(node);
+    node = next;
+  }
+  rule->head = rule->tail = nullptr;
+  rule->length = 0;
+  rule->alive = false;
+  --live_rule_count_;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+std::vector<TerminalId> Grammar::unfold() const {
+  std::vector<TerminalId> out;
+  out.reserve(appended_);
+  // Explicit stack of (node, remaining repetitions of node).
+  struct Frame {
+    const Node* node;
+    std::uint64_t remaining;
+  };
+  std::vector<Frame> stack;
+  if (root_->head != nullptr) stack.push_back({root_->head, root_->head->exp});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.node == nullptr) {
+      stack.pop_back();
+      continue;
+    }
+    if (frame.remaining == 0) {
+      frame.node = frame.node->next;
+      frame.remaining = frame.node != nullptr ? frame.node->exp : 0;
+      continue;
+    }
+    --frame.remaining;
+    if (frame.node->sym.is_terminal()) {
+      out.push_back(frame.node->sym.terminal_id());
+    } else {
+      const Rule* rule = rules_[frame.node->sym.rule_id()];
+      PYTHIA_ASSERT(rule->alive && rule->head != nullptr);
+      stack.push_back({rule->head, rule->head->exp});
+    }
+  }
+  return out;
+}
+
+std::vector<const Rule*> Grammar::rules() const {
+  std::vector<const Rule*> out;
+  out.reserve(live_rule_count_);
+  for (const Rule* rule : rules_) {
+    if (rule->alive) out.push_back(rule);
+  }
+  return out;
+}
+
+const Rule* Grammar::rule_by_id(std::uint32_t id) const {
+  if (id >= rules_.size() || !rules_[id]->alive) return nullptr;
+  return rules_[id];
+}
+
+Rule* Grammar::rule_by_id(std::uint32_t id) {
+  if (id >= rules_.size() || !rules_[id]->alive) return nullptr;
+  return rules_[id];
+}
+
+std::uint64_t Grammar::count_occurrences(Rule* rule,
+                                         std::vector<std::uint64_t>& memo,
+                                         std::vector<int>& state) const {
+  const std::uint32_t id = rule->id;
+  if (state[id] == 2) return memo[id];
+  PYTHIA_ASSERT_MSG(state[id] != 1, "cycle in rule-user graph");
+  state[id] = 1;
+  std::uint64_t total = 0;
+  if (rule == root_) {
+    total = 1;
+  } else {
+    for (const Node* user : rule->users) {
+      total += user->exp * count_occurrences(user->owner, memo, state);
+    }
+  }
+  memo[id] = total;
+  state[id] = 2;
+  return total;
+}
+
+void Grammar::finalize() {
+  PYTHIA_ASSERT_MSG(!finalized_, "finalize() called twice");
+  finalized_ = true;
+  occurrence_index_.clear();
+  stable_nodes_.clear();
+
+  std::vector<std::uint64_t> memo(rules_.size(), 0);
+  std::vector<int> state(rules_.size(), 0);
+  for (Rule* rule : rules_) {
+    if (!rule->alive) continue;
+    rule->occurrences = count_occurrences(rule, memo, state);
+  }
+
+  for (Rule* rule : rules_) {
+    if (!rule->alive) continue;
+    for (Node* node = rule->head; node != nullptr; node = node->next) {
+      node->stable_id = static_cast<std::uint32_t>(stable_nodes_.size());
+      stable_nodes_.push_back(node);
+      if (node->sym.is_terminal()) {
+        occurrence_index_[node->sym.terminal_id()].push_back(node);
+      }
+    }
+  }
+}
+
+const std::vector<Node*>& Grammar::occurrences_of(TerminalId event) const {
+  PYTHIA_ASSERT_MSG(finalized_, "occurrences_of() before finalize()");
+  static const std::vector<Node*> kEmpty;
+  auto it = occurrence_index_.find(event);
+  return it != occurrence_index_.end() ? it->second : kEmpty;
+}
+
+Node* Grammar::node_by_stable_id(std::uint32_t id) const {
+  PYTHIA_ASSERT(finalized_ && id < stable_nodes_.size());
+  return stable_nodes_[id];
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+void Grammar::check_invariants() const {
+  std::unordered_map<std::uint64_t, const Node*> seen_pairs;
+  std::unordered_map<const Rule*, std::vector<const Node*>> actual_users;
+  std::size_t live_count = 0;
+
+  for (const Rule* rule : rules_) {
+    if (!rule->alive) continue;
+    ++live_count;
+    PYTHIA_ASSERT_MSG(rule->head != nullptr || rule == root_,
+                      "live rule with empty body");
+    PYTHIA_ASSERT_MSG(rule == root_ || rule->length >= 2,
+                      "non-root rule with short body");
+    std::size_t length = 0;
+    const Node* prev = nullptr;
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      ++length;
+      PYTHIA_ASSERT(node->alive);
+      PYTHIA_ASSERT(node->owner == rule);
+      PYTHIA_ASSERT(node->prev == prev);
+      PYTHIA_ASSERT_MSG(node->exp >= 1, "zero exponent");
+      if (node->sym.is_rule()) {
+        const Rule* referenced = rules_[node->sym.rule_id()];
+        PYTHIA_ASSERT_MSG(referenced->alive, "reference to dead rule");
+        PYTHIA_ASSERT_MSG(referenced != root_, "reference to root");
+        actual_users[referenced].push_back(node);
+      }
+      if (prev != nullptr) {
+        PYTHIA_ASSERT_MSG(prev->sym != node->sym,
+                          "adjacent equal symbols (invariant 3)");
+        const std::uint64_t key = digram_key(prev->sym, node->sym);
+        PYTHIA_ASSERT_MSG(seen_pairs.emplace(key, prev).second,
+                          "duplicate couple (invariant 2)");
+        auto it = digrams_.find(key);
+        PYTHIA_ASSERT_MSG(it != digrams_.end() && it->second == prev,
+                          "couple missing from digram index");
+      }
+      prev = node;
+    }
+    PYTHIA_ASSERT(rule->tail == prev);
+    PYTHIA_ASSERT(rule->length == length);
+  }
+  PYTHIA_ASSERT(live_count == live_rule_count_);
+  PYTHIA_ASSERT_MSG(digrams_.size() == seen_pairs.size(),
+                    "stale digram index entries");
+
+  for (const Rule* rule : rules_) {
+    if (!rule->alive || rule == root_) continue;
+    auto& actual = actual_users[rule];
+    PYTHIA_ASSERT_MSG(actual.size() == rule->users.size(),
+                      "user list out of sync");
+    std::uint64_t uses = 0;
+    for (const Node* user : rule->users) {
+      PYTHIA_ASSERT(std::find(actual.begin(), actual.end(), user) !=
+                    actual.end());
+      uses += user->exp;
+    }
+    PYTHIA_ASSERT_MSG(uses >= 2, "under-used rule (invariant 1)");
+  }
+
+  // Master length check: the grammar must represent exactly the appended
+  // sequence length.
+  std::vector<std::uint64_t> lengths(rules_.size(), 0);
+  std::vector<int> state(rules_.size(), 0);  // 0 unvisited, 1 visiting, 2 done
+  auto expanded_length = [&](auto&& self, const Rule* rule) -> std::uint64_t {
+    if (state[rule->id] == 2) return lengths[rule->id];
+    PYTHIA_ASSERT_MSG(state[rule->id] != 1, "cyclic rule reference");
+    state[rule->id] = 1;
+    std::uint64_t total = 0;
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      const std::uint64_t unit =
+          node->sym.is_terminal()
+              ? 1
+              : self(self, rules_[node->sym.rule_id()]);
+      total += unit * node->exp;
+    }
+    lengths[rule->id] = total;
+    state[rule->id] = 2;
+    return total;
+  };
+  PYTHIA_ASSERT_MSG(expanded_length(expanded_length, root_) == appended_,
+                    "grammar length drifted from appended sequence");
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing (paper notation)
+
+std::string Grammar::to_text(const EventRegistry* registry) const {
+  auto symbol_name = [&](Symbol sym) -> std::string {
+    if (sym.is_rule()) {
+      if (sym.rule_id() == 0) return "R";
+      // A, B, C, ... then Rule<N>
+      const std::uint32_t index = sym.rule_id() - 1;
+      if (index < 26) return std::string(1, static_cast<char>('A' + index));
+      return "Rule" + std::to_string(sym.rule_id());
+    }
+    if (registry != nullptr) return registry->describe(sym.terminal_id());
+    // a, b, c ... then t<N>
+    const TerminalId id = sym.terminal_id();
+    if (id < 26) return std::string(1, static_cast<char>('a' + id));
+    return "t" + std::to_string(id);
+  };
+
+  std::string out;
+  for (const Rule* rule : rules_) {
+    if (!rule->alive) continue;
+    out += symbol_name(Symbol::rule(rule->id)) + " -> ";
+    bool first = true;
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      if (!first) out += " ";
+      first = false;
+      out += symbol_name(node->sym);
+      if (node->exp > 1) out += "^" + std::to_string(node->exp);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Grammar::to_dot(const EventRegistry* registry) const {
+  auto label = [&](Symbol sym) -> std::string {
+    if (sym.is_rule()) {
+      return sym.rule_id() == 0 ? "R" : "A" + std::to_string(sym.rule_id());
+    }
+    if (registry != nullptr) return registry->describe(sym.terminal_id());
+    return "t" + std::to_string(sym.terminal_id());
+  };
+  auto escape = [](const std::string& text) {
+    std::string out;
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+
+  std::string out = "digraph grammar {\n  node [shape=box];\n";
+  for (const Rule* rule : rules_) {
+    if (!rule->alive) continue;
+    std::string body;
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      if (!body.empty()) body += " ";
+      body += label(node->sym);
+      if (node->exp > 1) body += "^" + std::to_string(node->exp);
+    }
+    out += "  r" + std::to_string(rule->id) + " [label=\"" +
+           escape(label(Symbol::rule(rule->id)) + " -> " + body) + "\"];\n";
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      if (node->sym.is_rule()) {
+        out += "  r" + std::to_string(rule->id) + " -> r" +
+               std::to_string(node->sym.rule_id()) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Direct construction (deserialization / tests)
+
+Grammar Grammar::from_bodies(
+    const std::vector<std::vector<BodyEntry>>& bodies) {
+  // This is the deserialization path: the input may come from an
+  // untrusted/corrupted file, so violations throw instead of aborting.
+  auto reject = [](const char* what) {
+    throw std::runtime_error(std::string("pythia: invalid grammar: ") +
+                             what);
+  };
+  if (bodies.empty()) reject("no root rule");
+  Grammar grammar;
+  // Rule 0 already exists (root); create the rest.
+  for (std::size_t i = 1; i < bodies.size(); ++i) grammar.allocate_rule();
+
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    Rule* rule = grammar.rules_[i];
+    if (i != 0 && bodies[i].size() < 2) reject("short non-root body");
+    Node* tail = nullptr;
+    for (const BodyEntry& entry : bodies[i]) {
+      if (entry.exp < 1) reject("zero exponent");
+      if (entry.sym.is_rule()) {
+        if (entry.sym.rule_id() >= bodies.size()) {
+          reject("reference to unknown rule");
+        }
+        if (entry.sym.rule_id() == 0) reject("reference to root");
+      }
+      if (tail != nullptr && tail->sym == entry.sym) {
+        reject("adjacent equal symbols (invariant 3)");
+      }
+      Node* node = grammar.allocate_node(entry.sym, entry.exp);
+      grammar.link_after(rule, tail, node);
+      if (tail != nullptr) {
+        const std::uint64_t key = digram_key(tail->sym, node->sym);
+        if (grammar.digrams_.find(key) != grammar.digrams_.end()) {
+          reject("duplicate couple (invariant 2)");
+        }
+        grammar.digrams_[key] = tail;
+      }
+      tail = node;
+    }
+  }
+
+  // Invariant 1: every non-root rule used at least twice (summing
+  // exponents over its usage sites).
+  for (std::size_t i = 1; i < bodies.size(); ++i) {
+    std::uint64_t uses = 0;
+    for (const Node* user : grammar.rules_[i]->users) uses += user->exp;
+    if (uses < 2) reject("under-used rule (invariant 1)");
+  }
+
+  // Compute the represented sequence length.
+  std::vector<std::uint64_t> lengths(grammar.rules_.size(), 0);
+  std::vector<int> state(grammar.rules_.size(), 0);
+  auto expanded_length = [&](auto&& self, const Rule* rule) -> std::uint64_t {
+    if (state[rule->id] == 2) return lengths[rule->id];
+    if (state[rule->id] == 1) reject("cyclic rule reference");
+    state[rule->id] = 1;
+    std::uint64_t total = 0;
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      const std::uint64_t unit =
+          node->sym.is_terminal()
+              ? 1
+              : self(self, grammar.rules_[node->sym.rule_id()]);
+      total += unit * node->exp;
+    }
+    lengths[rule->id] = total;
+    state[rule->id] = 2;
+    return total;
+  };
+  grammar.appended_ = expanded_length(expanded_length, grammar.root_);
+  return grammar;
+}
+
+}  // namespace pythia

@@ -1,0 +1,184 @@
+// On-the-fly grammar reduction of event streams (paper §II-A).
+//
+// The grammar is a Sequitur derivative with *repetition exponents* (the
+// paper follows Cyclitur): every occurrence of a symbol in a rule body
+// carries a count of consecutive repetitions, so a loop of 200 iterations
+// reduces to a single `A^200` occurrence. Three invariants are maintained
+// after every append (paper §II-A):
+//
+//   1. every non-terminal is used at least twice — where a single
+//      occurrence with exponent >= 2 counts as two uses (cf. fig. 3h,
+//      `R -> ...B^2`);
+//   2. every couple of adjacent symbols appears at most once in the whole
+//      grammar (digram uniqueness). When the same couple appears with
+//      different left exponents, a rule is carved out for the *minimum*
+//      exponent (cf. fig. 3b, where `C -> b^3 c` is split out of `...b^5 c`);
+//   3. no symbol appears twice side by side — adjacent equal symbols merge
+//      into exponents.
+//
+// The structure is navigable both downwards (rule body lists) and upwards
+// (per-rule user lists), which is what the predictor's progress sequences
+// (paper fig. 4/5) require.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/symbol.hpp"
+
+namespace pythia {
+
+class EventRegistry;
+
+/// One occurrence of a symbol inside a rule body.
+struct Node {
+  Symbol sym;
+  std::uint64_t exp = 1;  ///< consecutive repetitions, >= 1
+  Node* prev = nullptr;
+  Node* next = nullptr;
+  struct Rule* owner = nullptr;
+  bool alive = true;
+  /// Stable index assigned by Grammar::finalize() for serialization and
+  /// timing keys; kInvalidNodeId until then.
+  std::uint32_t stable_id = 0xffffffffu;
+};
+
+/// A production. `id` 0 is always the root.
+struct Rule {
+  std::uint32_t id = 0;
+  Node* head = nullptr;
+  Node* tail = nullptr;
+  std::size_t length = 0;       ///< number of occurrence nodes in the body
+  std::vector<Node*> users;     ///< occurrence nodes referencing this rule
+  bool alive = true;
+  /// Number of times this rule's body unfolds in the full trace; computed
+  /// by finalize() (occ(root) == 1).
+  std::uint64_t occurrences = 0;
+};
+
+/// The grammar. Use `append()` to feed events (PYTHIA-RECORD), then
+/// `finalize()` once before using it for prediction or serialization.
+class Grammar {
+ public:
+  Grammar();
+  ~Grammar();
+
+  Grammar(const Grammar&) = delete;
+  Grammar& operator=(const Grammar&) = delete;
+  Grammar(Grammar&&) noexcept;
+  Grammar& operator=(Grammar&&) noexcept;
+
+  /// Appends one event to the represented sequence, maintaining the three
+  /// invariants. Amortized O(1).
+  void append(TerminalId event);
+
+  const Rule* root() const { return root_; }
+  Rule* root() { return root_; }
+
+  /// Number of live rules, including the root (the paper's "# rules"
+  /// counts the whole grammar).
+  std::size_t rule_count() const { return live_rule_count_; }
+
+  /// Total number of terminals in the represented sequence.
+  std::uint64_t sequence_length() const { return appended_; }
+
+  /// Reconstructs the full event sequence (testing / replay).
+  std::vector<TerminalId> unfold() const;
+
+  /// Aborts with a diagnostic if any of the three invariants is violated
+  /// or the internal index is inconsistent. Used heavily by tests.
+  void check_invariants() const;
+
+  /// Pretty-prints in the paper's notation, e.g. "R -> a b^2 C".
+  std::string to_text(const EventRegistry* registry = nullptr) const;
+
+  /// Graphviz dot rendering of the rule graph (rules as boxes listing
+  /// their bodies, edges for rule references) — for inspecting extracted
+  /// program structure, like the paper's fig. 1.
+  std::string to_dot(const EventRegistry* registry = nullptr) const;
+
+  /// Freezes the grammar for prediction: assigns stable node ids, builds
+  /// the terminal-occurrence index and per-rule trace-occurrence counts.
+  /// Must be called after the last append; append() afterwards is an error.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Occurrence nodes of a terminal (valid after finalize()).
+  const std::vector<Node*>& occurrences_of(TerminalId event) const;
+
+  /// All live rules (valid any time; order: creation order, root first).
+  std::vector<const Rule*> rules() const;
+
+  /// Node with a given stable id (valid after finalize()).
+  Node* node_by_stable_id(std::uint32_t id) const;
+  std::size_t node_count() const { return stable_nodes_.size(); }
+
+  /// Rule lookup by id; nullptr when dead/out of range.
+  const Rule* rule_by_id(std::uint32_t id) const;
+  Rule* rule_by_id(std::uint32_t id);
+
+  // --- Construction interface for deserialization and tests -------------
+  // Builds a grammar directly from rule bodies. `bodies[i]` is the body of
+  // rule i (rule 0 = root) as (symbol, exponent) pairs. Validates shape and
+  // rebuilds the digram index; does not re-run reduction.
+  struct BodyEntry {
+    Symbol sym;
+    std::uint64_t exp;
+  };
+  static Grammar from_bodies(const std::vector<std::vector<BodyEntry>>& bodies);
+
+ private:
+  struct DigramIndex;
+
+  Node* allocate_node(Symbol sym, std::uint64_t exp);
+  void release_node(Node* node);
+  void flush_pending_free();
+
+  Rule* allocate_rule();
+  void register_user(Node* node);
+  void deregister_user(Node* node);
+
+  void link_after(Rule* rule, Node* position, Node* node);
+  void unlink(Node* node);
+
+  void index_pair(Node* left);
+  void unindex_pair(Node* left);
+  Node* find_pair(Symbol a, Symbol b) const;
+
+  void append_symbol(Rule* rule, Symbol sym, int depth);
+  void raw_substitute(Node* left, Node* right, Rule* target,
+                      std::uint64_t consumed_left);
+  void ensure_adjacency(Node* left, int depth);
+  void resolve_duplicate(Node* site, Node* canon, int depth);
+  void mark_rule_dirty(Rule* rule);
+  void process_dirty_rules();
+  void inline_rule(Rule* rule);
+  void destroy_rule(Rule* rule);
+  void note_exp_decrease(Node* node);
+
+  std::uint64_t count_occurrences(Rule* rule,
+                                  std::vector<std::uint64_t>& memo,
+                                  std::vector<int>& state) const;
+
+  std::deque<Node> node_pool_;
+  std::vector<Node*> free_nodes_;
+  std::vector<Node*> pending_free_;
+  std::deque<Rule> rule_pool_;
+  std::vector<Rule*> rules_;  // by id; dead rules stay as tombstones
+  Rule* root_ = nullptr;
+  std::size_t live_rule_count_ = 0;
+  std::unordered_map<std::uint64_t, Node*> digrams_;
+  std::vector<Rule*> dirty_rules_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t ops_since_append_ = 0;
+  bool finalized_ = false;
+
+  // finalize() products
+  std::unordered_map<TerminalId, std::vector<Node*>> occurrence_index_;
+  std::vector<Node*> stable_nodes_;
+};
+
+}  // namespace pythia

@@ -1,0 +1,252 @@
+#include "core/lazy_predictor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace pythia {
+
+// ---------------------------------------------------------------------------
+// PartialPath
+
+std::vector<PathElement> PartialPath::descend(const Grammar& grammar,
+                                              const Node* node,
+                                              std::uint64_t rep) {
+  // Terminal-first chain covering `node` at repetition `rep`, descending
+  // into rule bodies down to the first terminal.
+  std::vector<PathElement> downward;
+  const Node* cursor = node;
+  std::uint64_t cursor_rep = rep;
+  while (true) {
+    downward.push_back({cursor, cursor_rep});
+    if (cursor->sym.is_terminal()) break;
+    const Rule* rule = grammar.rule_by_id(cursor->sym.rule_id());
+    PYTHIA_ASSERT(rule != nullptr && rule->head != nullptr);
+    cursor = rule->head;
+    cursor_rep = 0;
+  }
+  return {downward.rbegin(), downward.rend()};
+}
+
+void PartialPath::extend_past(const Grammar& grammar, const Node* completed,
+                              std::vector<PartialPath>& out,
+                              std::size_t limit) {
+  // We have just finished (one repetition of) `completed`'s symbol and
+  // exhausted its repetitions as far as the chain knows. Possible
+  // continuations within the same body: the next node. Otherwise the
+  // rule that owns `completed` is itself complete — branch over its
+  // usage sites (the lazy extension).
+  if (completed->next != nullptr) {
+    if (out.size() >= limit) return;
+    out.emplace_back(descend(grammar, completed->next, 0));
+    return;
+  }
+  const Rule* owner = completed->owner;
+  if (owner->id == 0) return;  // past the end of the root: trace over
+  for (const Node* user : owner->users) {
+    if (out.size() >= limit) return;
+    if (user->exp > 1) {
+      // Another iteration of the rule at this usage site. The concrete
+      // repetition index is unknown; 1 is the representative "mid-run"
+      // value (it keeps further iterations possible when exp > 2).
+      std::vector<PathElement> chain = descend(grammar, owner->head, 0);
+      chain.push_back({user, 1});
+      out.emplace_back(std::move(chain));
+    }
+    // Or the usage site itself is finished: continue past it.
+    extend_past(grammar, user, out, limit);
+  }
+}
+
+void PartialPath::successors(const Grammar& grammar,
+                             std::vector<PartialPath>& out,
+                             std::size_t limit) const {
+  PYTHIA_ASSERT(!chain_.empty());
+  // Deterministic part: find the shallowest known level with a successor
+  // (exactly ProgressPath::advance on the suffix).
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    const PathElement& element = chain_[level];
+    if (element.rep + 1 < element.node->exp) {
+      std::vector<PathElement> chain = descend(
+          grammar, element.node, element.rep + 1);
+      chain.insert(chain.end(), chain_.begin() +
+                                    static_cast<std::ptrdiff_t>(level) + 1,
+                   chain_.end());
+      if (out.size() < limit) out.emplace_back(std::move(chain));
+      return;
+    }
+    if (element.node->next != nullptr) {
+      std::vector<PathElement> chain =
+          descend(grammar, element.node->next, 0);
+      chain.insert(chain.end(), chain_.begin() +
+                                    static_cast<std::ptrdiff_t>(level) + 1,
+                   chain_.end());
+      if (out.size() < limit) out.emplace_back(std::move(chain));
+      return;
+    }
+  }
+  // Knowledge exhausted: branch over the contexts of the top element.
+  extend_past(grammar, chain_.back().node, out, limit);
+}
+
+void PartialPath::anchors(const Grammar& grammar, TerminalId event,
+                          std::size_t limit,
+                          std::vector<PartialPath>& out) {
+  PYTHIA_ASSERT_MSG(grammar.finalized(), "anchors require finalize()");
+  for (const Node* node : grammar.occurrences_of(event)) {
+    if (out.size() >= limit) return;
+    out.emplace_back(std::vector<PathElement>{{node, 0}});
+    if (node->exp > 1 && out.size() < limit) {
+      out.emplace_back(
+          std::vector<PathElement>{{node, node->exp - 1}});
+    }
+  }
+}
+
+std::uint64_t PartialPath::hash() const {
+  std::uint64_t h = 0xa5a5a5a55a5a5a5aULL;
+  for (const PathElement& element : chain_) {
+    h = support::hash_combine(
+        h, reinterpret_cast<std::uintptr_t>(element.node));
+    h = support::hash_combine(h, element.rep);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// LazyPredictor
+
+LazyPredictor::LazyPredictor(const Grammar& grammar)
+    : LazyPredictor(grammar, Options{}) {}
+
+LazyPredictor::LazyPredictor(const Grammar& grammar, Options options)
+    : grammar_(grammar), options_(options) {
+  PYTHIA_ASSERT_MSG(grammar.finalized(),
+                    "LazyPredictor requires a finalized grammar");
+}
+
+void LazyPredictor::dedupe_and_cap(std::vector<PartialPath>& paths) const {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<PartialPath> unique;
+  unique.reserve(paths.size());
+  for (PartialPath& path : paths) {
+    if (seen.insert(path.hash()).second) unique.push_back(std::move(path));
+  }
+  if (unique.size() > options_.max_candidates) {
+    std::stable_sort(unique.begin(), unique.end(),
+                     [](const PartialPath& a, const PartialPath& b) {
+                       return a.weight() > b.weight();
+                     });
+    unique.resize(options_.max_candidates);
+  }
+  paths = std::move(unique);
+}
+
+void LazyPredictor::anchor(TerminalId event) {
+  candidates_.clear();
+  std::vector<PartialPath> paths;
+  PartialPath::anchors(grammar_, event, options_.max_anchor_paths, paths);
+  dedupe_and_cap(paths);
+  candidates_ = std::move(paths);
+}
+
+void LazyPredictor::observe(TerminalId event) {
+  ++stats_.observed;
+  if (!candidates_.empty()) {
+    std::vector<PartialPath> next;
+    std::vector<PartialPath> scratch;
+    for (const PartialPath& candidate : candidates_) {
+      scratch.clear();
+      candidate.successors(grammar_, scratch, options_.max_anchor_paths);
+      for (PartialPath& successor : scratch) {
+        if (successor.terminal() == event) {
+          next.push_back(std::move(successor));
+        }
+      }
+    }
+    if (!next.empty()) {
+      ++stats_.advanced;
+      dedupe_and_cap(next);
+      candidates_ = std::move(next);
+      return;
+    }
+  }
+  anchor(event);
+  if (candidates_.empty()) {
+    ++stats_.unknown;
+  } else {
+    ++stats_.reanchored;
+  }
+}
+
+std::vector<Prediction> LazyPredictor::predict_distribution(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  std::vector<Prediction> out;
+  if (candidates_.empty()) return out;
+
+  // Breadth-limited simulation: each step expands every frontier path to
+  // its successors (weights carried along, split equally on branches).
+  struct Weighted {
+    PartialPath path;
+    double weight;
+  };
+  std::vector<Weighted> frontier;
+  frontier.reserve(candidates_.size());
+  for (const PartialPath& candidate : candidates_) {
+    frontier.push_back({candidate, static_cast<double>(candidate.weight())});
+  }
+
+  std::vector<PartialPath> scratch;
+  for (std::size_t step = 0; step < distance; ++step) {
+    std::vector<Weighted> next;
+    for (const Weighted& entry : frontier) {
+      scratch.clear();
+      entry.path.successors(grammar_, scratch, options_.max_anchor_paths);
+      if (scratch.empty()) continue;  // end of trace on this branch
+      const double share =
+          entry.weight / static_cast<double>(scratch.size());
+      for (PartialPath& successor : scratch) {
+        next.push_back({std::move(successor), share});
+      }
+    }
+    if (next.size() > options_.max_candidates) {
+      std::stable_sort(next.begin(), next.end(),
+                       [](const Weighted& a, const Weighted& b) {
+                         return a.weight > b.weight;
+                       });
+      next.resize(options_.max_candidates);
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return out;
+  }
+
+  std::unordered_map<TerminalId, double> votes;
+  double total = 0.0;
+  for (const Weighted& entry : frontier) {
+    votes[entry.path.terminal()] += entry.weight;
+    total += entry.weight;
+  }
+  if (total <= 0.0) return out;
+  out.reserve(votes.size());
+  for (const auto& [event, weight] : votes) {
+    out.push_back({event, weight / total});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Prediction& a, const Prediction& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+std::optional<Prediction> LazyPredictor::predict(
+    std::size_t distance) const {
+  std::vector<Prediction> distribution = predict_distribution(distance);
+  if (distribution.empty()) return std::nullopt;
+  return distribution.front();
+}
+
+}  // namespace pythia

@@ -1,0 +1,111 @@
+// Lazy partial progress sequences — the literal §II-B2 mechanism.
+//
+// The paper: "PYTHIA-PREDICT stores the progress sequences containing
+// only the terminal corresponding to the last event. From then on, at
+// each new event, PYTHIA-PREDICT tries to extend the progress sequence
+// by adding a non-terminal whenever it recognizes the associated
+// sequence."
+//
+// Where the main Predictor eagerly materializes every root-anchored path
+// of an event when (re-)anchoring, this tracker keeps *suffixes*: a
+// chain from the terminal up to some node whose enclosing context is
+// still unknown. Walking past the top of the chain branches over the
+// rule's usage sites — the lazy extension. The two trackers answer the
+// same queries; bench/ablation_tracking compares them on real streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"  // Prediction
+
+namespace pythia {
+
+/// A suffix of a progress sequence: elements terminal-first; the last
+/// element's enclosing rule is where knowledge ends.
+class PartialPath {
+ public:
+  PartialPath() = default;
+  explicit PartialPath(std::vector<PathElement> chain)
+      : chain_(std::move(chain)) {}
+
+  bool empty() const { return chain_.empty(); }
+  std::size_t depth() const { return chain_.size(); }
+  TerminalId terminal() const {
+    return chain_.front().node->sym.terminal_id();
+  }
+  const PathElement& top() const { return chain_.back(); }
+
+  /// How many positions of the reference trace this suffix stands for:
+  /// one per unfolding of the rule that owns the top element.
+  std::uint64_t weight() const {
+    return chain_.back().node->owner->occurrences;
+  }
+
+  /// Appends every possible next position to `out`. Deterministic while
+  /// a successor exists inside the known chain; branches over the top
+  /// rule's usage sites once the chain is exhausted (the lazy
+  /// extension). Produces nothing at the end of the trace.
+  void successors(const Grammar& grammar, std::vector<PartialPath>& out,
+                  std::size_t limit) const;
+
+  /// Starting partials for an occurrence node of an observed event: the
+  /// chain holds only the terminal (both repetition phases when the
+  /// occurrence has an exponent).
+  static void anchors(const Grammar& grammar, TerminalId event,
+                      std::size_t limit, std::vector<PartialPath>& out);
+
+  std::uint64_t hash() const;
+  friend bool operator==(const PartialPath& a, const PartialPath& b) {
+    return a.chain_ == b.chain_;
+  }
+
+ private:
+  static void extend_past(const Grammar& grammar, const Node* completed,
+                          std::vector<PartialPath>& out, std::size_t limit);
+  static std::vector<PathElement> descend(const Grammar& grammar,
+                                          const Node* node,
+                                          std::uint64_t rep);
+
+  std::vector<PathElement> chain_;
+};
+
+/// Drop-in alternative to Predictor using lazy partial tracking.
+class LazyPredictor {
+ public:
+  struct Options {
+    std::size_t max_candidates = 32;
+    std::size_t max_anchor_paths = 256;
+  };
+
+  explicit LazyPredictor(const Grammar& grammar);
+  LazyPredictor(const Grammar& grammar, Options options);
+
+  void observe(TerminalId event);
+  std::optional<Prediction> predict(std::size_t distance) const;
+  std::vector<Prediction> predict_distribution(std::size_t distance) const;
+
+  bool synchronized() const { return !candidates_.empty(); }
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  struct Stats {
+    std::uint64_t observed = 0;
+    std::uint64_t advanced = 0;
+    std::uint64_t reanchored = 0;
+    std::uint64_t unknown = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void anchor(TerminalId event);
+  void dedupe_and_cap(std::vector<PartialPath>& paths) const;
+
+  const Grammar& grammar_;
+  Options options_;
+  std::vector<PartialPath> candidates_;
+  Stats stats_;
+};
+
+}  // namespace pythia

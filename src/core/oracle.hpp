@@ -1,0 +1,108 @@
+// High-level per-thread session facade used by runtime-system shims.
+//
+// A runtime system holds one Oracle per thread/rank and drives it in one
+// of three modes (mirroring the paper's evaluation setups):
+//   off     — vanilla run, events are dropped (baseline);
+//   record  — PYTHIA-RECORD: events reduce into a grammar;
+//   predict — PYTHIA-PREDICT: events track the loaded reference trace and
+//             the runtime may ask for event/duration predictions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "support/assert.hpp"
+
+namespace pythia {
+
+class Oracle {
+ public:
+  enum class Mode { kOff, kRecord, kPredict };
+
+  /// Baseline: all calls are cheap no-ops.
+  static Oracle off() { return Oracle(Mode::kOff); }
+
+  /// Reference execution; `timestamps` enables duration modelling.
+  static Oracle record(bool timestamps) {
+    Oracle oracle(Mode::kRecord);
+    oracle.recorder_ = std::make_unique<Recorder>(
+        Recorder::Options{.record_timestamps = timestamps});
+    return oracle;
+  }
+
+  /// Subsequent execution; `trace` must outlive the oracle.
+  static Oracle predict(const ThreadTrace& trace,
+                        Predictor::Options options = {}) {
+    Oracle oracle(Mode::kPredict);
+    oracle.predictor_ = std::make_unique<Predictor>(
+        trace.grammar, trace.timing.empty() ? nullptr : &trace.timing,
+        options);
+    return oracle;
+  }
+
+  Mode mode() const { return mode_; }
+  bool recording() const { return mode_ == Mode::kRecord; }
+  bool predicting() const { return mode_ == Mode::kPredict; }
+
+  /// Telemetry hook invoked after every submitted event (any mode). The
+  /// experiment harness uses it to score predictions against the events
+  /// that actually happened.
+  void set_event_hook(std::function<void(TerminalId, std::uint64_t)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
+  /// Submits an event (both record and predict modes consume events; the
+  /// predict side uses them to follow the application's progress).
+  void event(TerminalId id, std::uint64_t now_ns = 0) {
+    if (event_hook_) event_hook_(id, now_ns);
+    switch (mode_) {
+      case Mode::kOff:
+        break;
+      case Mode::kRecord:
+        recorder_->record(id, now_ns);
+        break;
+      case Mode::kPredict:
+        predictor_->observe(id);
+        break;
+    }
+  }
+
+  /// Event expected `distance` events from now (predict mode only).
+  std::optional<Prediction> predict_event(std::size_t distance) const {
+    if (mode_ != Mode::kPredict) return std::nullopt;
+    return predictor_->predict(distance);
+  }
+
+  /// Expected delay until the event `distance` steps ahead.
+  std::optional<double> predict_time_ns(std::size_t distance) const {
+    if (mode_ != Mode::kPredict) return std::nullopt;
+    return predictor_->predict_time_ns(distance);
+  }
+
+  /// Ends a recording session and yields the thread trace.
+  ThreadTrace finish() {
+    PYTHIA_ASSERT_MSG(mode_ == Mode::kRecord, "finish() outside record mode");
+    ThreadTrace trace = std::move(*recorder_).finish();
+    recorder_.reset();
+    mode_ = Mode::kOff;
+    return trace;
+  }
+
+  Recorder* recorder() { return recorder_.get(); }
+  Predictor* predictor() { return predictor_.get(); }
+  const Predictor* predictor() const { return predictor_.get(); }
+
+ private:
+  explicit Oracle(Mode mode) : mode_(mode) {}
+
+  Mode mode_;
+  std::unique_ptr<Recorder> recorder_;
+  std::unique_ptr<Predictor> predictor_;
+  std::function<void(TerminalId, std::uint64_t)> event_hook_;
+};
+
+}  // namespace pythia

@@ -1,0 +1,176 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace pythia {
+
+Predictor::Predictor(const Grammar& grammar, const TimingModel* timing)
+    : Predictor(grammar, timing, Options{}) {}
+
+Predictor::Predictor(const Grammar& grammar, const TimingModel* timing,
+                     Options options)
+    : grammar_(grammar), timing_(timing), options_(options) {
+  PYTHIA_ASSERT_MSG(grammar.finalized(),
+                    "Predictor requires a finalized grammar");
+}
+
+void Predictor::dedupe_and_cap(std::vector<ProgressPath>& paths) const {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<ProgressPath> unique;
+  unique.reserve(paths.size());
+  for (ProgressPath& path : paths) {
+    if (seen.insert(path.hash()).second) unique.push_back(std::move(path));
+  }
+  if (unique.size() > options_.max_candidates) {
+    // Keep the most frequently executed positions (occurrence weights).
+    std::stable_sort(unique.begin(), unique.end(),
+                     [](const ProgressPath& a, const ProgressPath& b) {
+                       return a.weight() > b.weight();
+                     });
+    unique.resize(options_.max_candidates);
+  }
+  paths = std::move(unique);
+}
+
+void Predictor::anchor(TerminalId event) {
+  candidates_.clear();
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar_, event,
+                                      options_.max_anchor_paths, paths);
+  dedupe_and_cap(paths);
+  candidates_ = std::move(paths);
+}
+
+void Predictor::observe(TerminalId event) {
+  ++stats_.observed;
+  if (!candidates_.empty()) {
+    std::vector<ProgressPath> advanced;
+    advanced.reserve(candidates_.size());
+    for (ProgressPath& path : candidates_) {
+      ProgressPath next = path;  // advance works on a copy; misses drop out
+      if (next.advance(grammar_) && next.terminal() == event) {
+        advanced.push_back(std::move(next));
+      }
+    }
+    if (!advanced.empty()) {
+      ++stats_.advanced;
+      dedupe_and_cap(advanced);
+      candidates_ = std::move(advanced);
+      return;
+    }
+  }
+  // Unexpected (or first) event: re-anchor on all its occurrences.
+  anchor(event);
+  if (candidates_.empty()) {
+    ++stats_.unknown;
+  } else {
+    ++stats_.reanchored;
+  }
+}
+
+std::vector<Prediction> Predictor::predict_distribution(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  std::vector<Prediction> out;
+  if (candidates_.empty()) return out;
+
+  // Simulate the future of every candidate (paper §II-C: "predicting
+  // future events boils down to simulating the future execution from a
+  // copy of the current progress sequences").
+  std::unordered_map<TerminalId, double> votes;
+  double total = 0.0;
+  for (const ProgressPath& candidate : candidates_) {
+    ProgressPath future = candidate;
+    const double weight = static_cast<double>(candidate.weight());
+    bool alive = true;
+    for (std::size_t step = 0; step < distance; ++step) {
+      if (!future.advance(grammar_)) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    votes[future.terminal()] += weight;
+    total += weight;
+  }
+  if (total <= 0.0) return out;
+
+  out.reserve(votes.size());
+  for (const auto& [event, weight] : votes) {
+    out.push_back({event, weight / total});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Prediction& a, const Prediction& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+std::optional<Prediction> Predictor::predict(std::size_t distance) const {
+  std::vector<Prediction> distribution = predict_distribution(distance);
+  if (distribution.empty()) return std::nullopt;
+  return distribution.front();
+}
+
+std::vector<TerminalId> Predictor::predict_sequence(std::size_t count) const {
+  std::vector<TerminalId> out;
+  if (candidates_.empty()) return out;
+  const ProgressPath* best = &candidates_.front();
+  for (const ProgressPath& candidate : candidates_) {
+    if (candidate.weight() > best->weight()) best = &candidate;
+  }
+  ProgressPath future = *best;
+  out.reserve(count);
+  for (std::size_t step = 0; step < count; ++step) {
+    if (!future.advance(grammar_)) break;
+    out.push_back(future.terminal());
+  }
+  return out;
+}
+
+std::uint64_t Predictor::reference_occurrences(TerminalId event) const {
+  std::uint64_t total = 0;
+  for (const Node* node : grammar_.occurrences_of(event)) {
+    total += node->exp * node->owner->occurrences;
+  }
+  return total;
+}
+
+std::optional<double> Predictor::predict_time_ns(std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  if (timing_ == nullptr || candidates_.empty()) return std::nullopt;
+
+  // Weighted average over candidates of the summed per-step expected
+  // durations along each candidate's own future.
+  double weighted_sum = 0.0;
+  double total_weight = 0.0;
+  for (const ProgressPath& candidate : candidates_) {
+    ProgressPath future = candidate;
+    const double weight = static_cast<double>(candidate.weight());
+    double elapsed = 0.0;
+    bool alive = true;
+    for (std::size_t step = 0; step < distance; ++step) {
+      if (!future.advance(grammar_)) {
+        alive = false;
+        break;
+      }
+      const std::optional<double> step_ns = timing_->expect_ns(future);
+      if (!step_ns.has_value()) {
+        alive = false;
+        break;
+      }
+      elapsed += *step_ns;
+    }
+    if (!alive) continue;
+    weighted_sum += weight * elapsed;
+    total_weight += weight;
+  }
+  if (total_weight <= 0.0) return std::nullopt;
+  return weighted_sum / total_weight;
+}
+
+}  // namespace pythia

@@ -1,0 +1,91 @@
+// PYTHIA-PREDICT: tracks the current execution against the reference
+// grammar and predicts future events and their timing (paper §II-B/§II-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/progress.hpp"
+#include "core/timing.hpp"
+
+namespace pythia {
+
+/// A predicted event with its estimated probability (share of the
+/// occurrence-weighted candidate votes, §II-C).
+struct Prediction {
+  TerminalId event = 0;
+  double probability = 0.0;
+};
+
+class Predictor {
+ public:
+  struct Options {
+    /// Cap on simultaneously tracked progress sequences. Keeps the cost
+    /// of observe()/predict() bounded on irregular applications.
+    std::size_t max_candidates = 32;
+    /// Cap on paths enumerated when (re-)anchoring on an event.
+    std::size_t max_anchor_paths = 256;
+  };
+
+  explicit Predictor(const Grammar& grammar,
+                     const TimingModel* timing = nullptr);
+  Predictor(const Grammar& grammar, const TimingModel* timing,
+            Options options);
+
+  /// Submits the event that just happened; updates the tracked progress
+  /// sequences (advance on match, re-anchor on mismatch, §II-B2).
+  void observe(TerminalId event);
+
+  /// Predicts the event that will occur `distance` events from now
+  /// (distance 1 = the next event). Returns nullopt when the oracle has
+  /// no candidate (event never seen in the reference execution).
+  std::optional<Prediction> predict(std::size_t distance) const;
+
+  /// Full vote distribution at `distance`, most probable first.
+  std::vector<Prediction> predict_distribution(std::size_t distance) const;
+
+  /// The most probable sequence of the next `count` events: follows the
+  /// highest-weight candidate's future in one walk — O(count) instead of
+  /// the O(count^2) of calling predict(1..count). May return fewer than
+  /// `count` events when the reference trace ends first. Used by
+  /// lookahead consumers (send aggregation, prefetching).
+  std::vector<TerminalId> predict_sequence(std::size_t count) const;
+
+  /// Number of times `event` occurs in the whole reference execution
+  /// (§II-C occurrence counting — the basis of the probabilities).
+  std::uint64_t reference_occurrences(TerminalId event) const;
+
+  /// Expected time (ns) from the last observed event until the event
+  /// `distance` steps ahead. Requires a timing model.
+  std::optional<double> predict_time_ns(std::size_t distance) const;
+
+  /// True when at least one progress sequence is being tracked.
+  bool synchronized() const { return !candidates_.empty(); }
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  // Telemetry for the evaluation (fig. 8): how often observe() extended a
+  // tracked sequence vs. had to re-anchor or went dark.
+  struct Stats {
+    std::uint64_t observed = 0;
+    std::uint64_t advanced = 0;
+    std::uint64_t reanchored = 0;
+    std::uint64_t unknown = 0;  ///< event absent from the reference trace
+  };
+  const Stats& stats() const { return stats_; }
+
+  const Grammar& grammar() const { return grammar_; }
+
+ private:
+  void anchor(TerminalId event);
+  void dedupe_and_cap(std::vector<ProgressPath>& paths) const;
+
+  const Grammar& grammar_;
+  const TimingModel* timing_;
+  Options options_;
+  std::vector<ProgressPath> candidates_;
+  Stats stats_;
+};
+
+}  // namespace pythia

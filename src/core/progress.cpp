@@ -1,0 +1,124 @@
+#include "core/progress.hpp"
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace pythia {
+
+ProgressPath ProgressPath::begin(const Grammar& grammar) {
+  std::vector<PathElement> elements;
+  const Rule* rule = grammar.root();
+  if (rule->head == nullptr) return ProgressPath{};
+  // Descend along rule heads to the first terminal, building the path
+  // root-last.
+  std::vector<PathElement> downward;
+  const Node* node = rule->head;
+  while (true) {
+    downward.push_back({node, 0});
+    if (node->sym.is_terminal()) break;
+    const Rule* inner = grammar.rule_by_id(node->sym.rule_id());
+    PYTHIA_ASSERT(inner != nullptr && inner->head != nullptr);
+    node = inner->head;
+  }
+  elements.assign(downward.rbegin(), downward.rend());
+  return ProgressPath{std::move(elements)};
+}
+
+bool ProgressPath::advance(const Grammar& grammar) {
+  PYTHIA_ASSERT(!elements_.empty());
+  // Find the shallowest level that has a successor: either one more
+  // repetition of the same node, or the next node in the body. Levels
+  // below it are dropped (fig. 5b/5c).
+  std::size_t level = 0;
+  for (; level < elements_.size(); ++level) {
+    PathElement& element = elements_[level];
+    if (element.rep + 1 < element.node->exp) {
+      ++element.rep;
+      break;
+    }
+    if (element.node->next != nullptr) {
+      element = {element.node->next, 0};
+      break;
+    }
+  }
+  if (level == elements_.size()) {
+    // Past the end of the root body: the reference trace is exhausted.
+    elements_.clear();
+    return false;
+  }
+  elements_.erase(elements_.begin(),
+                  elements_.begin() + static_cast<std::ptrdiff_t>(level));
+
+  // Descend to the first terminal of the new front element (fig. 5d).
+  while (elements_.front().node->sym.is_rule()) {
+    const Rule* rule =
+        grammar.rule_by_id(elements_.front().node->sym.rule_id());
+    PYTHIA_ASSERT(rule != nullptr && rule->head != nullptr);
+    elements_.insert(elements_.begin(), {rule->head, 0});
+  }
+  return true;
+}
+
+std::uint64_t ProgressPath::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const PathElement& element : elements_) {
+    h = support::hash_combine(
+        h, reinterpret_cast<std::uintptr_t>(element.node));
+    h = support::hash_combine(h, element.rep);
+  }
+  return h;
+}
+
+std::uint64_t ProgressPath::suffix_key(std::size_t levels) const {
+  PYTHIA_ASSERT(levels >= 1 && levels <= elements_.size());
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::size_t i = 0; i < levels; ++i) {
+    h = support::hash_combine(h, elements_[i].node->stable_id);
+  }
+  return h;
+}
+
+namespace {
+
+// Recursively extends `chain` (terminal-first, currently ending inside
+// `owner`) upwards through every usage site until the root is reached.
+void extend_upward(const Grammar& grammar, const Rule* owner,
+                   std::vector<PathElement>& chain, std::size_t limit,
+                   std::vector<ProgressPath>& out) {
+  if (out.size() >= limit) return;
+  if (owner == grammar.root()) {
+    out.emplace_back(chain);
+    return;
+  }
+  for (const Node* user : owner->users) {
+    if (out.size() >= limit) return;
+    chain.push_back({user, 0});
+    extend_upward(grammar, user->owner, chain, limit, out);
+    chain.pop_back();
+  }
+}
+
+}  // namespace
+
+void ProgressPath::enumerate_occurrences(const Grammar& grammar,
+                                         TerminalId event, std::size_t limit,
+                                         std::vector<ProgressPath>& out) {
+  PYTHIA_ASSERT_MSG(grammar.finalized(),
+                    "enumerate_occurrences requires finalize()");
+  for (const Node* node : grammar.occurrences_of(event)) {
+    std::vector<PathElement> chain;
+    chain.push_back({node, 0});
+    extend_upward(grammar, node->owner, chain, limit, out);
+    if (node->exp > 1) {
+      // End-of-run phase: the next event differs from the mid-run one.
+      chain.back().rep = node->exp - 1;
+      // chain currently holds only the terminal element again.
+      chain.resize(1);
+      chain[0] = {node, node->exp - 1};
+      extend_upward(grammar, node->owner, chain, limit, out);
+    }
+    if (out.size() >= limit) return;
+  }
+}
+
+}  // namespace pythia

@@ -1,0 +1,88 @@
+// Progress sequences (paper §II-B, figures 4–6).
+//
+// A progress sequence denotes one occurrence of an event in the reference
+// execution: the path from the terminal occurrence node up to the grammar
+// root. Because occurrences carry repetition exponents, each path element
+// also records *which* repetition of the node the position refers to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/symbol.hpp"
+
+namespace pythia {
+
+/// One level of a progress sequence: an occurrence node plus the current
+/// repetition index in [0, node->exp).
+struct PathElement {
+  const Node* node;
+  std::uint64_t rep;
+
+  friend bool operator==(const PathElement& a, const PathElement& b) {
+    return a.node == b.node && a.rep == b.rep;
+  }
+};
+
+/// A position in the unfolded reference trace, stored terminal-first:
+/// element 0 is the terminal occurrence, the last element lives in the
+/// root body (cf. fig. 4, where the fourth `a` of "abcabdababc" is the
+/// progress sequence "aAB").
+class ProgressPath {
+ public:
+  ProgressPath() = default;
+  explicit ProgressPath(std::vector<PathElement> elements)
+      : elements_(std::move(elements)) {}
+
+  /// Anchored position of the very first event of the trace.
+  static ProgressPath begin(const Grammar& grammar);
+
+  bool empty() const { return elements_.empty(); }
+  std::size_t depth() const { return elements_.size(); }
+  const PathElement& element(std::size_t level) const {
+    return elements_[level];
+  }
+
+  const Node* terminal_node() const { return elements_.front().node; }
+  TerminalId terminal() const {
+    return elements_.front().node->sym.terminal_id();
+  }
+
+  /// Depth-first successor (fig. 5). Returns false when the position was
+  /// the last event of the reference trace (the path becomes empty).
+  bool advance(const Grammar& grammar);
+
+  /// Prior weight of this position: how often the enclosing occurrence
+  /// executes in the reference trace (paper §II-C occurrence counting).
+  /// Requires a finalized grammar.
+  std::uint64_t weight() const {
+    const Node* node = terminal_node();
+    return node->owner->occurrences * node->exp;
+  }
+
+  std::uint64_t hash() const;
+
+  friend bool operator==(const ProgressPath& a, const ProgressPath& b) {
+    return a.elements_ == b.elements_;
+  }
+
+  /// Enumerates progress sequences for every occurrence of `event` in the
+  /// grammar (used for initial anchoring and for re-anchoring after an
+  /// unexpected event, §II-B2). Ancestor repetition indices are set to 0;
+  /// for terminals with exponent > 1 both the first and the last phase are
+  /// produced, so "mid-run" and "end-of-run" futures are represented.
+  /// Stops after `limit` paths.
+  static void enumerate_occurrences(const Grammar& grammar, TerminalId event,
+                                    std::size_t limit,
+                                    std::vector<ProgressPath>& out);
+
+  /// Key of the first `levels` elements by stable node id (repetition
+  /// indices excluded): the timing model's context key (fig. 6).
+  std::uint64_t suffix_key(std::size_t levels) const;
+
+ private:
+  std::vector<PathElement> elements_;
+};
+
+}  // namespace pythia

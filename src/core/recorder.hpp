@@ -1,0 +1,68 @@
+// PYTHIA-RECORD: per-thread event recording (paper §II-A).
+//
+// One Recorder per thread of the instrumented application. Events reduce
+// into the grammar on the fly; when timestamp recording is enabled the
+// raw (event, time) log is kept so that finish() can replay it against
+// the final grammar and build the context-sensitive timing model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/timing.hpp"
+
+namespace pythia {
+
+/// The recorded behaviour of one thread: the reference-execution grammar
+/// plus (optionally) its timing model. This is what the trace file stores
+/// per thread and what the predictor consumes.
+struct ThreadTrace {
+  Grammar grammar;
+  TimingModel timing;
+};
+
+class Recorder {
+ public:
+  struct Options {
+    /// Record per-event timestamps for duration prediction (§II-C). Costs
+    /// 12 bytes per event in memory until finish().
+    bool record_timestamps = false;
+  };
+
+  Recorder() : options_{} {}
+  explicit Recorder(Options options) : options_(options) {}
+
+  /// Submits one event; `now_ns` is only stored when timestamp recording
+  /// is on (pass the runtime's clock — wall or virtual).
+  void record(TerminalId event, std::uint64_t now_ns = 0) {
+    grammar_.append(event);
+    if (options_.record_timestamps) {
+      events_.push_back(event);
+      times_ns_.push_back(now_ns);
+    }
+  }
+
+  std::uint64_t event_count() const { return grammar_.sequence_length(); }
+  const Grammar& grammar() const { return grammar_; }
+
+  /// Ends the reference execution: finalizes the grammar and, when
+  /// timestamps were recorded, replays them to build the timing model.
+  /// The recorder is consumed.
+  ThreadTrace finish() && {
+    grammar_.finalize();
+    TimingModel timing;
+    if (options_.record_timestamps && !events_.empty()) {
+      timing = TimingModel::replay(grammar_, events_, times_ns_);
+    }
+    return ThreadTrace{std::move(grammar_), std::move(timing)};
+  }
+
+ private:
+  Options options_;
+  Grammar grammar_;
+  std::vector<TerminalId> events_;
+  std::vector<std::uint64_t> times_ns_;
+};
+
+}  // namespace pythia

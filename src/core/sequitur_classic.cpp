@@ -1,0 +1,340 @@
+#include "core/sequitur_classic.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace pythia::baseline {
+
+namespace {
+constexpr int kMaxDepth = 2000;
+}
+
+ClassicSequitur::ClassicSequitur() { root_ = allocate_rule(); }
+
+ClassicSequitur::~ClassicSequitur() {
+  for (SeqNode* node : pool_) delete node;
+  for (SeqRule* rule : rules_) delete rule;
+}
+
+SeqNode* ClassicSequitur::allocate(Symbol sym) {
+  SeqNode* node;
+  if (!free_list_.empty()) {
+    node = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    node = new SeqNode();
+    pool_.push_back(node);
+  }
+  node->sym = sym;
+  node->prev = node->next = nullptr;
+  node->owner = nullptr;
+  node->alive = true;
+  return node;
+}
+
+void ClassicSequitur::release(SeqNode* node) {
+  PYTHIA_ASSERT(node->alive);
+  node->alive = false;
+  pending_free_.push_back(node);
+}
+
+SeqRule* ClassicSequitur::allocate_rule() {
+  auto* rule = new SeqRule();
+  rule->id = static_cast<std::uint32_t>(rules_.size());
+  rules_.push_back(rule);
+  ++live_rule_count_;
+  return rule;
+}
+
+void ClassicSequitur::link_after(SeqRule* rule, SeqNode* position,
+                                 SeqNode* node) {
+  node->owner = rule;
+  if (position == nullptr) {
+    node->prev = nullptr;
+    node->next = rule->head;
+    if (rule->head != nullptr) rule->head->prev = node;
+    rule->head = node;
+    if (rule->tail == nullptr) rule->tail = node;
+  } else {
+    node->prev = position;
+    node->next = position->next;
+    if (position->next != nullptr) position->next->prev = node;
+    position->next = node;
+    if (rule->tail == position) rule->tail = node;
+  }
+  ++rule->length;
+  register_user(node);
+}
+
+void ClassicSequitur::unlink(SeqNode* node) {
+  SeqRule* rule = node->owner;
+  if (node->prev != nullptr) node->prev->next = node->next;
+  if (node->next != nullptr) node->next->prev = node->prev;
+  if (rule->head == node) rule->head = node->next;
+  if (rule->tail == node) rule->tail = node->prev;
+  --rule->length;
+  deregister_user(node);
+  node->prev = node->next = nullptr;
+  node->owner = nullptr;
+}
+
+void ClassicSequitur::register_user(SeqNode* node) {
+  if (!node->sym.is_rule()) return;
+  rules_[node->sym.rule_id()]->users.push_back(node);
+}
+
+void ClassicSequitur::deregister_user(SeqNode* node) {
+  if (!node->sym.is_rule()) return;
+  SeqRule* rule = rules_[node->sym.rule_id()];
+  auto it = std::find(rule->users.begin(), rule->users.end(), node);
+  PYTHIA_ASSERT(it != rule->users.end());
+  rule->users.erase(it);
+  if (rule->alive && rule != root_) dirty_rules_.push_back(rule);
+}
+
+void ClassicSequitur::index_pair(SeqNode* left) {
+  PYTHIA_ASSERT(left->next != nullptr);
+  digrams_[digram_key(left->sym, left->next->sym)] = left;
+}
+
+void ClassicSequitur::unindex_pair(SeqNode* left) {
+  if (left == nullptr || !left->alive || left->next == nullptr) return;
+  auto it = digrams_.find(digram_key(left->sym, left->next->sym));
+  if (it != digrams_.end() && it->second == left) digrams_.erase(it);
+}
+
+SeqNode* ClassicSequitur::find_pair(Symbol a, Symbol b) const {
+  auto it = digrams_.find(digram_key(a, b));
+  return it != digrams_.end() ? it->second : nullptr;
+}
+
+void ClassicSequitur::append(TerminalId event) {
+  ++appended_;
+  SeqNode* node = allocate(Symbol::terminal(event));
+  SeqNode* tail = root_->tail;
+  link_after(root_, tail, node);
+  if (tail != nullptr) enforce_digram(tail, 0);
+  process_dirty_rules();
+  free_list_.insert(free_list_.end(), pending_free_.begin(),
+                    pending_free_.end());
+  pending_free_.clear();
+}
+
+void ClassicSequitur::process_dirty_rules() {
+  while (!dirty_rules_.empty()) {
+    SeqRule* rule = dirty_rules_.back();
+    dirty_rules_.pop_back();
+    if (!rule->alive || rule == root_) continue;
+    if (rule->users.size() == 1) {
+      inline_rule(rule);
+    } else if (rule->users.empty()) {
+      // Transient: both occurrences sat inside dying structure.
+      SeqNode* node = rule->head;
+      while (node != nullptr) {
+        SeqNode* next = node->next;
+        unindex_pair(node);
+        deregister_user(node);
+        node->prev = node->next = nullptr;
+        node->owner = nullptr;
+        release(node);
+        node = next;
+      }
+      rule->head = rule->tail = nullptr;
+      rule->length = 0;
+      rule->alive = false;
+      --live_rule_count_;
+    }
+  }
+}
+
+void ClassicSequitur::enforce_digram(SeqNode* left, int depth) {
+  PYTHIA_ASSERT_MSG(depth < kMaxDepth, "cascade too deep");
+  if (left == nullptr || !left->alive || left->next == nullptr) return;
+  SeqNode* right = left->next;
+
+  SeqNode* existing = find_pair(left->sym, right->sym);
+  if (existing == nullptr) {
+    index_pair(left);
+    return;
+  }
+  if (existing == left) return;
+  // Overlap guard (the classic "aaa" case): if the indexed occurrence
+  // shares a node with this one, leave things alone.
+  if (existing->next == left || right->next == existing) return;
+
+  SeqRule* target;
+  SeqRule* existing_owner = existing->owner;
+  const bool reuse = existing_owner != root_ &&
+                     existing_owner->length == 2 &&
+                     existing_owner->head == existing;
+  if (reuse) {
+    target = existing_owner;
+    substitute(left, target);
+  } else {
+    target = allocate_rule();
+    SeqNode* a = allocate(existing->sym);
+    link_after(target, nullptr, a);
+    SeqNode* b = allocate(existing->next->sym);
+    link_after(target, a, b);
+    digrams_[digram_key(a->sym, b->sym)] = a;
+    substitute(existing, target);
+    if (left->alive && left->next != nullptr &&
+        left->next->sym == target->head->next->sym &&
+        left->sym == target->head->sym) {
+      substitute(left, target);
+    }
+  }
+}
+
+void ClassicSequitur::substitute(SeqNode* left, SeqRule* rule) {
+  PYTHIA_ASSERT(left->alive && left->next != nullptr);
+  SeqRule* owner = left->owner;
+  SeqNode* right = left->next;
+  SeqNode* before = left->prev;
+
+  unindex_pair(before);  // (before, left)
+  unindex_pair(left);    // (left, right)
+  unindex_pair(right);   // (right, right->next)
+
+  SeqNode* marker = allocate(Symbol::rule(rule->id));
+  unlink(left);
+  release(left);
+  unlink(right);
+  release(right);
+  link_after(owner, before, marker);
+
+  if (before != nullptr && before->alive) enforce_digram(before, 1);
+  if (marker->alive && marker->next != nullptr) enforce_digram(marker, 1);
+}
+
+void ClassicSequitur::inline_rule(SeqRule* rule) {
+  PYTHIA_ASSERT(rule->users.size() == 1);
+  SeqNode* user = rule->users.front();
+  SeqRule* owner = user->owner;
+  SeqNode* before = user->prev;
+  SeqNode* after = user->next;
+
+  unindex_pair(before);
+  unindex_pair(user);
+
+  SeqNode* first = rule->head;
+  SeqNode* last = rule->tail;
+  for (SeqNode* node = first; node != nullptr; node = node->next) {
+    node->owner = owner;
+  }
+  first->prev = before;
+  last->next = after;
+  if (before != nullptr) {
+    before->next = first;
+  } else {
+    owner->head = first;
+  }
+  if (after != nullptr) {
+    after->prev = last;
+  } else {
+    owner->tail = last;
+  }
+  owner->length += rule->length - 1;
+
+  rule->head = rule->tail = nullptr;
+  rule->length = 0;
+  rule->users.clear();
+  rule->alive = false;
+  --live_rule_count_;
+  user->prev = user->next = nullptr;
+  user->owner = nullptr;
+  release(user);
+
+  if (before != nullptr && before->alive) enforce_digram(before, 1);
+  if (last->alive && last->next != nullptr) enforce_digram(last, 1);
+}
+
+std::size_t ClassicSequitur::node_count() const {
+  std::size_t total = 0;
+  for (const SeqRule* rule : rules_) {
+    if (rule->alive) total += rule->length;
+  }
+  return total;
+}
+
+std::vector<TerminalId> ClassicSequitur::unfold() const {
+  std::vector<TerminalId> out;
+  out.reserve(appended_);
+  std::vector<const SeqNode*> stack;
+  if (root_->head != nullptr) stack.push_back(root_->head);
+  while (!stack.empty()) {
+    const SeqNode* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr) continue;
+    if (node->next != nullptr) stack.push_back(node->next);
+    if (node->sym.is_terminal()) {
+      out.push_back(node->sym.terminal_id());
+    } else {
+      const SeqRule* rule = rules_[node->sym.rule_id()];
+      PYTHIA_ASSERT(rule->alive);
+      stack.push_back(rule->head);
+    }
+  }
+  return out;
+}
+
+void ClassicSequitur::check_invariants() const {
+  std::unordered_map<std::uint64_t, const SeqNode*> seen;
+  std::size_t live = 0;
+  for (const SeqRule* rule : rules_) {
+    if (!rule->alive) continue;
+    ++live;
+    const SeqNode* prev = nullptr;
+    std::size_t length = 0;
+    for (const SeqNode* node = rule->head; node != nullptr;
+         node = node->next) {
+      ++length;
+      PYTHIA_ASSERT(node->alive && node->owner == rule);
+      PYTHIA_ASSERT(node->prev == prev);
+      if (prev != nullptr && prev->sym != node->sym) {
+        // Digram uniqueness — for *distinct*-symbol pairs. Same-symbol
+        // pairs are exempt: the canonical overlap guard (the "aaa" case)
+        // skips them, and when the indexed instance is later consumed by
+        // a substitution the survivor is left unindexed, so runs of one
+        // symbol can legitimately carry several un-merged (x,x) pairs.
+        // This approximation on runs is precisely the weakness the
+        // paper's repetition exponents remove (§IV, Cyclitur).
+        const std::uint64_t key = digram_key(prev->sym, node->sym);
+        PYTHIA_ASSERT_MSG(seen.emplace(key, prev).second,
+                          "duplicate digram");
+      }
+      prev = node;
+    }
+    PYTHIA_ASSERT(rule->length == length);
+    if (rule != root_) {
+      PYTHIA_ASSERT_MSG(rule->users.size() >= 2, "under-used rule");
+      PYTHIA_ASSERT_MSG(rule->length >= 2, "short rule");
+    }
+  }
+  PYTHIA_ASSERT(live == live_rule_count_);
+}
+
+std::string ClassicSequitur::to_text() const {
+  std::string out;
+  for (const SeqRule* rule : rules_) {
+    if (!rule->alive) continue;
+    out += rule->id == 0 ? "R" : "Rule" + std::to_string(rule->id);
+    out += " ->";
+    for (const SeqNode* node = rule->head; node != nullptr;
+         node = node->next) {
+      out += " ";
+      if (node->sym.is_terminal()) {
+        const TerminalId id = node->sym.terminal_id();
+        out += id < 26 ? std::string(1, static_cast<char>('a' + id))
+                       : "t" + std::to_string(id);
+      } else {
+        out += "Rule" + std::to_string(node->sym.rule_id());
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pythia::baseline

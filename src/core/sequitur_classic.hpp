@@ -1,0 +1,97 @@
+// Baseline: classic SEQUITUR (Nevill-Manning & Witten, 1997) — the
+// algorithm PYTHIA's grammar derives from, *without* repetition
+// exponents.
+//
+// The paper's §IV notes that plain Sequitur "suffers from drawbacks for
+// detecting some control flow from execution traces" and follows
+// Cyclitur in adding consecutive-repetition counts. This baseline exists
+// to quantify that choice (bench/ablation_exponents): a loop executed
+// 2^k times costs classic Sequitur a chain of ~k rules and revisits the
+// whole hierarchy on every iteration, whereas the exponent grammar keeps
+// one `A^n` occurrence.
+//
+// Implementation: the textbook algorithm — digram uniqueness and rule
+// utility over doubly-linked symbol lists, with the standard guard
+// against overlapping digrams (aaa).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/symbol.hpp"
+
+namespace pythia::baseline {
+
+struct SeqNode {
+  Symbol sym;
+  SeqNode* prev = nullptr;
+  SeqNode* next = nullptr;
+  struct SeqRule* owner = nullptr;
+  bool alive = true;
+};
+
+struct SeqRule {
+  std::uint32_t id = 0;
+  SeqNode* head = nullptr;
+  SeqNode* tail = nullptr;
+  std::size_t length = 0;
+  std::vector<SeqNode*> users;
+  bool alive = true;
+};
+
+class ClassicSequitur {
+ public:
+  ClassicSequitur();
+  ~ClassicSequitur();
+  ClassicSequitur(const ClassicSequitur&) = delete;
+  ClassicSequitur& operator=(const ClassicSequitur&) = delete;
+
+  void append(TerminalId event);
+
+  std::size_t rule_count() const { return live_rule_count_; }
+  /// Total number of body symbols across all rules (grammar size).
+  std::size_t node_count() const;
+  std::uint64_t sequence_length() const { return appended_; }
+
+  std::vector<TerminalId> unfold() const;
+  void check_invariants() const;
+  std::string to_text() const;
+
+ private:
+  SeqNode* allocate(Symbol sym);
+  void release(SeqNode* node);
+  SeqRule* allocate_rule();
+
+  void link_after(SeqRule* rule, SeqNode* position, SeqNode* node);
+  void unlink(SeqNode* node);
+  void register_user(SeqNode* node);
+  void deregister_user(SeqNode* node);
+
+  void index_pair(SeqNode* left);
+  void unindex_pair(SeqNode* left);
+  SeqNode* find_pair(Symbol a, Symbol b) const;
+
+  /// Checks the digram starting at `left`; resolves duplicates.
+  void enforce_digram(SeqNode* left, int depth);
+  void substitute(SeqNode* left, SeqRule* rule);
+  /// Utility enforcement is deferred to the end of each append (as in
+  /// the canonical implementation, which expands under-used rules only
+  /// after both digram substitutions) — immediate inlining could splice
+  /// into a digram site mid-resolution.
+  void process_dirty_rules();
+  void inline_rule(SeqRule* rule);
+
+  std::vector<SeqNode*> pool_;
+  std::vector<SeqNode*> free_list_;
+  std::vector<SeqNode*> pending_free_;
+  std::vector<SeqRule*> rules_;
+  SeqRule* root_ = nullptr;
+  std::size_t live_rule_count_ = 0;
+  std::unordered_map<std::uint64_t, SeqNode*> digrams_;
+  std::vector<SeqRule*> dirty_rules_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace pythia::baseline

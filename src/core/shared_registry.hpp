@@ -1,0 +1,70 @@
+// Thread-safe interning facade over EventRegistry.
+//
+// One registry is shared by every rank/thread of an instrumented job; the
+// runtime shims intern through this facade and keep a per-shim cache so
+// the lock is only taken the first time a (kind, aux) pair is seen.
+#pragma once
+
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/event.hpp"
+
+namespace pythia {
+
+class SharedRegistry {
+ public:
+  explicit SharedRegistry(EventRegistry& registry) : registry_(registry) {}
+
+  KindId kind(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    return registry_.intern_kind(name);
+  }
+
+  TerminalId event(KindId kind, EventAux aux = kNoAux) {
+    std::lock_guard lock(mutex_);
+    return registry_.intern_event(kind, aux);
+  }
+
+  /// Locked lookups for consumers that decode predicted events while
+  /// other threads may still be interning.
+  KindId kind_of(TerminalId event) {
+    std::lock_guard lock(mutex_);
+    return registry_.kind_of(event);
+  }
+  EventAux aux_of(TerminalId event) {
+    std::lock_guard lock(mutex_);
+    return registry_.aux_of(event);
+  }
+
+  /// The underlying registry. Only safe to touch single-threaded (before
+  /// or after a parallel run).
+  EventRegistry& registry() { return registry_; }
+
+ private:
+  std::mutex mutex_;
+  EventRegistry& registry_;
+};
+
+/// Per-caller cache in front of a SharedRegistry.
+class CachedInterner {
+ public:
+  explicit CachedInterner(SharedRegistry& shared) : shared_(shared) {}
+
+  TerminalId event(KindId kind, EventAux aux = kNoAux) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 32u) |
+                              static_cast<std::uint32_t>(aux);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const TerminalId id = shared_.event(kind, aux);
+    cache_.emplace(key, id);
+    return id;
+  }
+
+ private:
+  SharedRegistry& shared_;
+  std::unordered_map<std::uint64_t, TerminalId> cache_;
+};
+
+}  // namespace pythia

@@ -1,0 +1,54 @@
+// Grammar symbols: terminals (events) and non-terminals (rules).
+//
+// A symbol is a tagged 32-bit id. Terminals carry the event id assigned by
+// the EventRegistry; non-terminals carry the rule id assigned by the
+// Grammar. The encoding keeps digram keys to a single 64-bit word.
+#pragma once
+
+#include <cstdint>
+
+namespace pythia {
+
+/// Identifier of a terminal symbol (an interned event).
+using TerminalId = std::uint32_t;
+
+class Symbol {
+ public:
+  constexpr Symbol() : raw_(0) {}
+
+  static constexpr Symbol terminal(TerminalId id) {
+    return Symbol((id << 1u) | 0u);
+  }
+  static constexpr Symbol rule(std::uint32_t rule_id) {
+    return Symbol((rule_id << 1u) | 1u);
+  }
+
+  constexpr bool is_terminal() const { return (raw_ & 1u) == 0u; }
+  constexpr bool is_rule() const { return (raw_ & 1u) == 1u; }
+
+  constexpr TerminalId terminal_id() const { return raw_ >> 1u; }
+  constexpr std::uint32_t rule_id() const { return raw_ >> 1u; }
+
+  /// Raw encoding; unique across terminals and rules (used in digram keys).
+  constexpr std::uint32_t raw() const { return raw_; }
+  static constexpr Symbol from_raw(std::uint32_t raw) { return Symbol(raw); }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.raw_ != b.raw_;
+  }
+
+ private:
+  explicit constexpr Symbol(std::uint32_t raw) : raw_(raw) {}
+  std::uint32_t raw_;
+};
+
+/// Key of an adjacent symbol pair in the digram index.
+constexpr std::uint64_t digram_key(Symbol a, Symbol b) {
+  return (static_cast<std::uint64_t>(a.raw()) << 32u) |
+         static_cast<std::uint64_t>(b.raw());
+}
+
+}  // namespace pythia

@@ -1,0 +1,56 @@
+#include "core/timing.hpp"
+
+#include "support/assert.hpp"
+
+namespace pythia {
+
+void TimingModel::add_sample(const ProgressPath& path, double elapsed_ns) {
+  const std::size_t depth = std::min(path.depth(), kMaxContextDepth);
+  for (std::size_t levels = 1; levels <= depth; ++levels) {
+    DurationStat& stat = by_context_[path.suffix_key(levels)];
+    stat.sum_ns += elapsed_ns;
+    ++stat.count;
+  }
+  global_.sum_ns += elapsed_ns;
+  ++global_.count;
+}
+
+std::optional<double> TimingModel::expect_ns(const ProgressPath& path) const {
+  const std::size_t depth = std::min(path.depth(), kMaxContextDepth);
+  for (std::size_t levels = depth; levels >= 1; --levels) {
+    auto it = by_context_.find(path.suffix_key(levels));
+    if (it != by_context_.end()) return it->second.mean();
+  }
+  if (global_.count > 0) return global_.mean();
+  return std::nullopt;
+}
+
+TimingModel TimingModel::replay(const Grammar& grammar,
+                                const std::vector<TerminalId>& events,
+                                const std::vector<std::uint64_t>& times_ns) {
+  PYTHIA_ASSERT(events.size() == times_ns.size());
+  PYTHIA_ASSERT_MSG(grammar.finalized(), "replay requires finalize()");
+  TimingModel model;
+  if (events.empty()) return model;
+
+  ProgressPath path = ProgressPath::begin(grammar);
+  std::uint64_t previous_ns = times_ns.front();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    PYTHIA_ASSERT_MSG(!path.empty(), "trace shorter than event log");
+    PYTHIA_ASSERT_MSG(path.terminal() == events[i],
+                      "event log diverges from grammar");
+    if (i > 0) {
+      // The first event has no predecessor; it contributes no duration.
+      model.add_sample(path,
+                       static_cast<double>(times_ns[i] - previous_ns));
+    }
+    previous_ns = times_ns[i];
+    if (i + 1 < events.size()) {
+      const bool more = path.advance(grammar);
+      PYTHIA_ASSERT(more);
+    }
+  }
+  return model;
+}
+
+}  // namespace pythia

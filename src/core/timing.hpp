@@ -1,0 +1,71 @@
+// Context-sensitive duration statistics (paper §II-C, fig. 6).
+//
+// At the end of the reference execution, PYTHIA-RECORD replays the event
+// sequence against the final grammar, tracking the canonical progress
+// sequence; for each event it accumulates the elapsed time from the
+// previous event under every suffix of the progress sequence. Deeper
+// suffixes carry more context: the duration of "b after a when a c comes
+// next" (progress sequence BAb) is kept separately from the plain "b
+// after a" (Ab).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/progress.hpp"
+
+namespace pythia {
+
+class TimingModel {
+ public:
+  /// Maximum suffix depth recorded per event (paper examples use 2–3
+  /// levels; deeper context rarely pays for its memory).
+  static constexpr std::size_t kMaxContextDepth = 4;
+
+  struct DurationStat {
+    double sum_ns = 0.0;
+    std::uint64_t count = 0;
+
+    double mean() const {
+      return count > 0 ? sum_ns / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  /// Accumulates `elapsed_ns` (time from the previous event to this one)
+  /// for every suffix of `path` up to kMaxContextDepth.
+  void add_sample(const ProgressPath& path, double elapsed_ns);
+
+  /// Expected time from the previous event to the position `path`, using
+  /// the deepest suffix with recorded data; falls back to the global mean.
+  std::optional<double> expect_ns(const ProgressPath& path) const;
+
+  bool empty() const { return by_context_.empty(); }
+  std::size_t context_count() const { return by_context_.size(); }
+  double global_mean_ns() const { return global_.mean(); }
+
+  /// Builds the model by replaying a recorded event sequence with its
+  /// timestamps against a finalized grammar. `events` and `times_ns` must
+  /// be the exact reference sequence (times_ns[i] is the timestamp of
+  /// events[i]).
+  static TimingModel replay(const Grammar& grammar,
+                            const std::vector<TerminalId>& events,
+                            const std::vector<std::uint64_t>& times_ns);
+
+  // Serialization access (trace_io).
+  const std::unordered_map<std::uint64_t, DurationStat>& contexts() const {
+    return by_context_;
+  }
+  void load_context(std::uint64_t key, DurationStat stat) {
+    by_context_[key] = stat;
+    global_.sum_ns += stat.sum_ns;
+    global_.count += stat.count;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, DurationStat> by_context_;
+  DurationStat global_;
+};
+
+}  // namespace pythia

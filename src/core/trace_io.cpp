@@ -1,0 +1,244 @@
+#include "core/trace_io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace pythia {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'Y', 'T', 'H', 'I', 'A', '0', '1'};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb"), &std::fclose) {
+    if (file_ == nullptr) {
+      throw std::runtime_error("pythia: cannot open trace file for writing: " +
+                               path);
+    }
+  }
+
+  void bytes(const void* data, std::size_t size) {
+    if (std::fwrite(data, 1, size, file_.get()) != size) {
+      throw std::runtime_error("pythia: short write to trace file");
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i32(std::int32_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+ private:
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb"), &std::fclose) {
+    if (file_ == nullptr) {
+      throw std::runtime_error("pythia: cannot open trace file for reading: " +
+                               path);
+    }
+  }
+
+  void bytes(void* data, std::size_t size) {
+    if (std::fread(data, 1, size, file_.get()) != size) {
+      throw std::runtime_error("pythia: truncated trace file");
+    }
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (size > (1u << 20)) {
+      throw std::runtime_error("pythia: corrupt trace file (string size)");
+    }
+    std::string s(size, '\0');
+    bytes(s.data(), size);
+    return s;
+  }
+
+ private:
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+};
+
+void write_grammar(Writer& writer, const Grammar& grammar) {
+  // Remap live rules to dense ids (root stays 0). The relative order of
+  // live rules is preserved so that finalize()'s stable node ids are
+  // reproduced exactly on load.
+  std::vector<const Rule*> live = grammar.rules();
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  remap.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    remap[live[i]->id] = static_cast<std::uint32_t>(i);
+  }
+  PYTHIA_ASSERT(!live.empty() && live.front()->id == 0);
+
+  writer.u32(static_cast<std::uint32_t>(live.size()));
+  for (const Rule* rule : live) {
+    writer.u32(static_cast<std::uint32_t>(rule->length));
+    for (const Node* node = rule->head; node != nullptr; node = node->next) {
+      Symbol sym = node->sym;
+      if (sym.is_rule()) sym = Symbol::rule(remap.at(sym.rule_id()));
+      writer.u32(sym.raw());
+      writer.u64(node->exp);
+    }
+  }
+}
+
+Grammar read_grammar(Reader& reader) {
+  const std::uint32_t rule_count = reader.u32();
+  if (rule_count == 0 || rule_count > (1u << 24)) {
+    throw std::runtime_error("pythia: corrupt trace file (rule count)");
+  }
+  std::vector<std::vector<Grammar::BodyEntry>> bodies(rule_count);
+  for (std::uint32_t r = 0; r < rule_count; ++r) {
+    const std::uint32_t length = reader.u32();
+    if (length > (1u << 26)) {
+      throw std::runtime_error("pythia: corrupt trace file (body length)");
+    }
+    bodies[r].reserve(length);
+    for (std::uint32_t i = 0; i < length; ++i) {
+      const Symbol sym = Symbol::from_raw(reader.u32());
+      const std::uint64_t exp = reader.u64();
+      if (exp == 0 || (sym.is_rule() && sym.rule_id() >= rule_count)) {
+        throw std::runtime_error("pythia: corrupt trace file (body entry)");
+      }
+      bodies[r].push_back({sym, exp});
+    }
+  }
+  return Grammar::from_bodies(bodies);
+}
+
+void write_timing(Writer& writer, const TimingModel& timing) {
+  writer.u8(timing.empty() ? 0 : 1);
+  if (timing.empty()) return;
+  writer.u32(static_cast<std::uint32_t>(timing.contexts().size()));
+  for (const auto& [key, stat] : timing.contexts()) {
+    writer.u64(key);
+    writer.f64(stat.sum_ns);
+    writer.u64(stat.count);
+  }
+}
+
+TimingModel read_timing(Reader& reader) {
+  TimingModel timing;
+  if (reader.u8() == 0) return timing;
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t key = reader.u64();
+    TimingModel::DurationStat stat;
+    stat.sum_ns = reader.f64();
+    stat.count = reader.u64();
+    timing.load_context(key, stat);
+  }
+  return timing;
+}
+
+}  // namespace
+
+void Trace::save(const std::string& path) const {
+  Writer writer(path);
+  writer.bytes(kMagic, sizeof kMagic);
+
+  // Registry.
+  writer.u32(static_cast<std::uint32_t>(registry.kind_count()));
+  for (std::uint32_t k = 0; k < registry.kind_count(); ++k) {
+    writer.str(registry.kind_name(k));
+  }
+  writer.u32(static_cast<std::uint32_t>(registry.event_count()));
+  for (std::uint32_t e = 0; e < registry.event_count(); ++e) {
+    writer.u32(registry.kind_of(e));
+    writer.i32(registry.aux_of(e));
+  }
+
+  // Threads.
+  writer.u32(static_cast<std::uint32_t>(threads.size()));
+  for (const ThreadTrace& thread : threads) {
+    write_grammar(writer, thread.grammar);
+    write_timing(writer, thread.timing);
+  }
+}
+
+Trace Trace::load(const std::string& path) {
+  Reader reader(path);
+  char magic[8];
+  reader.bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw std::runtime_error("pythia: not a PYTHIA trace file: " + path);
+  }
+
+  Trace trace;
+  const std::uint32_t kinds = reader.u32();
+  for (std::uint32_t k = 0; k < kinds; ++k) {
+    const std::string name = reader.str();
+    const KindId id = trace.registry.intern_kind(name);
+    if (id != k) {
+      throw std::runtime_error("pythia: corrupt trace file (kind table)");
+    }
+  }
+  const std::uint32_t events = reader.u32();
+  for (std::uint32_t e = 0; e < events; ++e) {
+    const KindId kind = reader.u32();
+    const EventAux aux = reader.i32();
+    if (kind >= kinds) {
+      throw std::runtime_error("pythia: corrupt trace file (event table)");
+    }
+    const TerminalId id = trace.registry.intern_event(kind, aux);
+    if (id != e) {
+      throw std::runtime_error("pythia: corrupt trace file (event table)");
+    }
+  }
+
+  const std::uint32_t thread_count = reader.u32();
+  if (thread_count > (1u << 20)) {
+    throw std::runtime_error("pythia: corrupt trace file (thread count)");
+  }
+  trace.threads.reserve(thread_count);
+  for (std::uint32_t t = 0; t < thread_count; ++t) {
+    Grammar grammar = read_grammar(reader);
+    grammar.finalize();
+    TimingModel timing = read_timing(reader);
+    trace.threads.push_back(ThreadTrace{std::move(grammar),
+                                        std::move(timing)});
+  }
+  return trace;
+}
+
+}  // namespace pythia

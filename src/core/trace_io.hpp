@@ -1,0 +1,35 @@
+// Trace file format: what PYTHIA-RECORD saves at the end of the reference
+// execution and what PYTHIA-PREDICT reloads (paper §II).
+//
+// Layout (little-endian, versioned):
+//   magic "PYTHIA01"
+//   event registry (kind names, (kind, aux) event table)
+//   one section per recorded thread:
+//     grammar rules (live rules remapped to dense ids, root first)
+//     timing contexts (suffix-key -> duration stats)
+//
+// Timing context keys hash grammar *stable node ids*; finalize() assigns
+// them deterministically from the rule/body order, which the serializer
+// preserves, so keys computed by the reader match the writer's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/recorder.hpp"
+
+namespace pythia {
+
+/// A complete application trace: shared event registry plus one
+/// ThreadTrace per recorded thread (the paper keeps one grammar per
+/// thread, §III-C1).
+struct Trace {
+  EventRegistry registry;
+  std::vector<ThreadTrace> threads;
+
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+};
+
+}  // namespace pythia

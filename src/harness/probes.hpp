@@ -1,0 +1,141 @@
+// Measurement probes attached to the instrumented runtimes.
+//
+// AccuracyProbe (fig. 8): at every blocking MPI call, ask PYTHIA which
+// event will occur in x events, for several x; score each prediction when
+// the event at that index actually happens.
+//
+// CostProbe (fig. 9): at every blocking MPI call, time (real nanoseconds)
+// how long a prediction at distance x takes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "mpisim/instrumented_comm.hpp"
+#include "support/stats.hpp"
+
+namespace pythia::harness {
+
+class AccuracyProbe : public mpisim::CommObserver {
+ public:
+  struct Tally {
+    std::uint64_t asked = 0;
+    std::uint64_t correct = 0;
+    std::uint64_t incorrect = 0;
+    std::uint64_t unanswered = 0;  ///< oracle had no candidate
+
+    /// The paper's success rate; an unanswered request counts against
+    /// the oracle (it could not help the runtime).
+    double accuracy() const {
+      return asked > 0
+                 ? static_cast<double>(correct) / static_cast<double>(asked)
+                 : 0.0;
+    }
+
+    /// Success rate among predictions the oracle actually made (the
+    /// paper's correct-vs-incorrect count, fig. 8). Predictions whose
+    /// target index lies past the end of the run stay unscored.
+    double answered_accuracy() const {
+      const std::uint64_t scored = correct + incorrect;
+      return scored > 0
+                 ? static_cast<double>(correct) / static_cast<double>(scored)
+                 : 0.0;
+    }
+  };
+
+  AccuracyProbe(Oracle& oracle, std::vector<std::size_t> distances)
+      : oracle_(oracle), distances_(std::move(distances)) {
+    oracle_.set_event_hook([this](TerminalId event, std::uint64_t) {
+      note_event(event);
+    });
+  }
+
+  void on_sync_point(std::uint64_t) override {
+    for (const std::size_t distance : distances_) {
+      Tally& tally = tallies_[distance];
+      ++tally.asked;
+      const auto prediction = oracle_.predict_event(distance);
+      if (!prediction.has_value()) {
+        ++tally.unanswered;
+        continue;
+      }
+      pending_.emplace(event_index_ + distance,
+                       Pending{distance, prediction->event});
+    }
+  }
+
+  const std::map<std::size_t, Tally>& tallies() const { return tallies_; }
+
+  /// Merges another probe's results (per-rank aggregation).
+  void merge_into(std::map<std::size_t, Tally>& out) const {
+    for (const auto& [distance, tally] : tallies_) {
+      Tally& target = out[distance];
+      target.asked += tally.asked;
+      target.correct += tally.correct;
+      target.incorrect += tally.incorrect;
+      target.unanswered += tally.unanswered;
+    }
+  }
+
+ private:
+  void note_event(TerminalId event) {
+    ++event_index_;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first <= event_index_) {
+      Tally& tally = tallies_[it->second.distance];
+      if (it->first == event_index_ && it->second.predicted == event) {
+        ++tally.correct;
+      } else {
+        ++tally.incorrect;
+      }
+      it = pending_.erase(it);
+    }
+  }
+
+  struct Pending {
+    std::size_t distance;
+    TerminalId predicted;
+  };
+
+  Oracle& oracle_;
+  std::vector<std::size_t> distances_;
+  std::uint64_t event_index_ = 0;
+  std::multimap<std::uint64_t, Pending> pending_;
+  std::map<std::size_t, Tally> tallies_;
+};
+
+class CostProbe : public mpisim::CommObserver {
+ public:
+  CostProbe(Oracle& oracle, std::vector<std::size_t> distances)
+      : oracle_(oracle), distances_(std::move(distances)) {}
+
+  void on_sync_point(std::uint64_t) override {
+    using clock = std::chrono::steady_clock;
+    for (const std::size_t distance : distances_) {
+      const auto start = clock::now();
+      (void)oracle_.predict_event(distance);
+      const auto stop = clock::now();
+      costs_[distance].add(
+          std::chrono::duration<double, std::nano>(stop - start).count());
+    }
+  }
+
+  const std::map<std::size_t, support::RunningStat>& costs() const {
+    return costs_;
+  }
+
+  void merge_into(std::map<std::size_t, support::RunningStat>& out) const {
+    for (const auto& [distance, stat] : costs_) out[distance].merge(stat);
+  }
+
+ private:
+  Oracle& oracle_;
+  std::vector<std::size_t> distances_;
+  std::map<std::size_t, support::RunningStat> costs_;
+};
+
+}  // namespace pythia::harness

@@ -1,0 +1,140 @@
+#include "harness/runner.hpp"
+
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace pythia::harness {
+
+RunResult run_app(const apps::App& app, const RunConfig& config) {
+  const int ranks = config.ranks > 0 ? config.ranks : app.default_ranks();
+  PYTHIA_ASSERT_MSG(
+      config.mode != Mode::kPredict ||
+          (config.reference != nullptr &&
+           !config.reference->threads.empty() &&
+           (config.wrap_reference_threads ||
+            config.reference->threads.size() ==
+                static_cast<std::size_t>(ranks))),
+      "predict mode needs a reference trace with one section per rank");
+
+  RunResult result;
+  // Registry: fresh for vanilla/record, copied from the reference for
+  // predict (same (kind, aux) -> same terminal id as the recording run).
+  if (config.mode == Mode::kPredict) {
+    result.trace.registry = config.reference->registry;
+  }
+  SharedRegistry shared(result.trace.registry);
+
+  mpisim::Cluster::Options cluster_options;
+  cluster_options.real_work_fraction = config.real_work_fraction;
+  mpisim::Cluster cluster(ranks, cluster_options);
+
+  std::vector<ThreadTrace> recorded(static_cast<std::size_t>(ranks));
+  std::mutex aggregate_mutex;
+
+  const mpisim::Cluster::Result cluster_result =
+      cluster.run([&](mpisim::Communicator& comm) {
+        const auto rank = static_cast<std::size_t>(comm.rank());
+
+        Oracle oracle = [&] {
+          switch (config.mode) {
+            case Mode::kVanilla:
+              return Oracle::off();
+            case Mode::kRecord:
+              return Oracle::record(config.record_timestamps);
+            case Mode::kPredict: {
+              const std::size_t section =
+                  config.wrap_reference_threads
+                      ? rank % config.reference->threads.size()
+                      : rank;
+              return Oracle::predict(config.reference->threads[section]);
+            }
+          }
+          return Oracle::off();
+        }();
+
+        std::unique_ptr<mpisim::CommObserver> observer;
+        if (config.observer_factory) {
+          observer = config.observer_factory(comm.rank(), oracle);
+        }
+
+        mpisim::InstrumentedComm mpi(comm, oracle, shared, observer.get(),
+                                     config.peer_encoding);
+
+        std::unique_ptr<ompsim::OmpRuntime> omp;
+        if (app.hybrid()) {
+          ompsim::OmpRuntime::Config omp_config;
+          omp_config.machine = config.machine;
+          omp_config.max_threads = config.omp_max_threads;
+          omp_config.park_spurious = config.omp_park;
+          omp_config.adaptive =
+              config.mode == Mode::kPredict && config.omp_adaptive;
+          omp_config.real_work_fraction = config.real_work_fraction;
+          omp_config.error_rate =
+              config.mode == Mode::kPredict ? config.omp_error_rate : 0.0;
+          omp_config.error_seed =
+              config.app.seed * 7919u + static_cast<std::uint64_t>(rank);
+          omp = std::make_unique<ompsim::OmpRuntime>(omp_config, comm.clock(),
+                                                     oracle, shared);
+        }
+
+        apps::RankEnv env{
+            .mpi = mpi,
+            .omp = omp.get(),
+            .rng = support::Rng(config.app.seed * 1000000007ULL +
+                                static_cast<std::uint64_t>(rank)),
+        };
+        app.run_rank(env, config.app);
+
+        // Aggregate per-rank outputs.
+        std::lock_guard lock(aggregate_mutex);
+        result.total_events += mpi.events_submitted();
+        if (omp != nullptr) {
+          const auto& s = omp->stats();
+          result.total_events += s.regions * 2;  // begin/end events
+          result.omp_stats.regions += s.regions;
+          result.omp_stats.threads_used_total += s.threads_used_total;
+          result.omp_stats.adaptive_decisions += s.adaptive_decisions;
+          result.omp_stats.fallback_decisions += s.fallback_decisions;
+          result.omp_stats.pool_cost_ns += s.pool_cost_ns;
+          result.omp_stats.region_time_ns += s.region_time_ns;
+        }
+        if (config.mode == Mode::kRecord) {
+          recorded[rank] = oracle.finish();
+        } else if (config.mode == Mode::kPredict) {
+          const Predictor::Stats& s = oracle.predictor()->stats();
+          result.predictor_stats.observed += s.observed;
+          result.predictor_stats.advanced += s.advanced;
+          result.predictor_stats.reanchored += s.reanchored;
+          result.predictor_stats.unknown += s.unknown;
+        }
+      });
+
+  result.makespan_virtual_ns = cluster_result.makespan_virtual_ns;
+  result.wall_seconds = cluster_result.wall_seconds;
+
+  if (config.mode == Mode::kRecord) {
+    std::size_t total_rules = 0;
+    for (ThreadTrace& thread : recorded) {
+      const std::size_t rules = thread.grammar.rule_count();
+      total_rules += rules;
+      result.max_rules = std::max(result.max_rules, rules);
+      result.trace.threads.push_back(std::move(thread));
+    }
+    result.mean_rules =
+        static_cast<double>(total_rules) / static_cast<double>(ranks);
+  }
+  return result;
+}
+
+Trace record_reference(const apps::App& app, apps::AppConfig app_config,
+                       int ranks) {
+  RunConfig config;
+  config.mode = Mode::kRecord;
+  config.app = app_config;
+  config.ranks = ranks;
+  RunResult result = run_app(app, config);
+  return std::move(result.trace);
+}
+
+}  // namespace pythia::harness

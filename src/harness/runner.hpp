@@ -1,0 +1,94 @@
+// Experiment runner: executes one application under one oracle mode on
+// the simulated cluster and collects everything the paper's evaluation
+// reports (wall time, virtual time, event counts, grammar sizes,
+// predictor statistics, OpenMP team statistics).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/trace_io.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/instrumented_comm.hpp"
+#include "ompsim/runtime.hpp"
+
+namespace pythia::harness {
+
+enum class Mode { kVanilla, kRecord, kPredict };
+
+inline const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kVanilla:
+      return "vanilla";
+    case Mode::kRecord:
+      return "pythia-record";
+    case Mode::kPredict:
+      return "pythia-predict";
+  }
+  return "?";
+}
+
+struct RunConfig {
+  Mode mode = Mode::kVanilla;
+  apps::AppConfig app;
+  int ranks = 0;  ///< 0 = App::default_ranks()
+
+  /// Fraction of virtual compute burned as real CPU (Table I overhead
+  /// runs measure real wall-clock; everything else can leave this 0).
+  double real_work_fraction = 0.0;
+  bool record_timestamps = true;
+
+  /// Reference trace; required in predict mode. Must have one thread
+  /// section per rank unless wrap_reference_threads is set.
+  const Trace* reference = nullptr;
+
+  /// Cross-configuration prediction (extension of the paper's future
+  /// work): rank r uses reference section r mod |sections|, so a trace
+  /// recorded with P processes can guide a run with P' processes.
+  bool wrap_reference_threads = false;
+
+  /// Peer-rank payload encoding in MPI events. kRelative makes traces
+  /// transferable across process counts (see bench/ext_config_transfer).
+  mpisim::PeerEncoding peer_encoding = mpisim::PeerEncoding::kAbsolute;
+
+  // OpenMP runtime setup (hybrid apps).
+  ompsim::MachineModel machine = ompsim::MachineModel::paravance();
+  int omp_max_threads = 8;
+  bool omp_adaptive = false;  ///< adaptive teams (predict mode)
+  bool omp_park = true;       ///< the paper's pool modification
+  double omp_error_rate = 0.0;  ///< fig. 14 fault injection
+
+  /// Per-rank observer factory (accuracy / cost probes). The observer is
+  /// also given the rank's oracle so it can hook the event stream.
+  std::function<std::unique_ptr<mpisim::CommObserver>(int, Oracle&)>
+      observer_factory;
+};
+
+struct RunResult {
+  /// Recorded trace (record mode only; empty otherwise).
+  Trace trace;
+  std::uint64_t makespan_virtual_ns = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t total_events = 0;
+  double mean_rules = 0.0;        ///< record mode: average grammar size
+  std::size_t max_rules = 0;
+  Predictor::Stats predictor_stats;  ///< predict mode: summed over ranks
+  ompsim::OmpRuntime::Stats omp_stats;  ///< hybrid apps: summed over ranks
+
+  double makespan_seconds() const {
+    return static_cast<double>(makespan_virtual_ns) * 1e-9;
+  }
+};
+
+/// Runs `app` once under `config`. In predict mode the registry is copied
+/// from the reference trace so terminal ids stay consistent.
+RunResult run_app(const apps::App& app, const RunConfig& config);
+
+/// Convenience: record a reference trace of `app` (timestamps on).
+Trace record_reference(const apps::App& app, apps::AppConfig app_config,
+                       int ranks = 0);
+
+}  // namespace pythia::harness

@@ -1,0 +1,123 @@
+// Simulated block storage with a small cache and asynchronous prefetch.
+//
+// Third runtime-system integration for the oracle (after MPI and
+// OpenMP): the paper's fig. 9 discussion sizes prediction cost against
+// "coarse-grain optimization such as prefetching data", and its related
+// work (Omnisc'IO) applies grammar prediction to I/O. This substrate
+// lets bench/ext_io_prefetch demonstrate that loop: an I/O-bound
+// application announces reads as events; a prefetcher asks PYTHIA which
+// blocks the application will touch next and issues asynchronous
+// prefetches that overlap the device latency with computation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/clock.hpp"
+#include "support/assert.hpp"
+
+namespace pythia::iosim {
+
+class BlockStore {
+ public:
+  struct Config {
+    double hit_ns = 2'000.0;        ///< cache hit service time
+    double miss_ns = 400'000.0;     ///< full device round trip
+    double issue_ns = 1'500.0;      ///< CPU cost to launch a prefetch
+    std::size_t cache_blocks = 64;  ///< LRU capacity
+  };
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;            ///< block resident and ready
+    std::uint64_t late_prefetches = 0; ///< in flight: partial win
+    std::uint64_t misses = 0;          ///< full device latency paid
+    std::uint64_t prefetches = 0;
+    std::uint64_t redundant_prefetches = 0;  ///< already resident/in-flight
+  };
+
+  explicit BlockStore(Config config) : config_(config) {
+    PYTHIA_ASSERT(config.cache_blocks >= 1);
+  }
+  BlockStore() : BlockStore(Config{}) {}
+
+  /// Synchronous read: advances `clock` by the service time — hit cost,
+  /// remaining in-flight time, or a full miss.
+  void read(sim::VirtualClock& clock, std::uint64_t block) {
+    ++stats_.reads;
+    auto it = cache_.find(block);
+    if (it != cache_.end()) {
+      touch(it);
+      if (it->second.ready_ns <= clock.now_ns()) {
+        ++stats_.hits;
+        clock.advance(config_.hit_ns);
+      } else {
+        // Prefetch still in flight: wait out the remainder.
+        ++stats_.late_prefetches;
+        clock.merge(it->second.ready_ns);
+        clock.advance(config_.hit_ns);
+      }
+      return;
+    }
+    ++stats_.misses;
+    clock.advance(config_.miss_ns);
+    insert(clock, block, clock.now_ns());
+  }
+
+  /// Asynchronous prefetch: cheap to issue; the block becomes ready one
+  /// device round trip later. A prefetch of a resident block refreshes
+  /// its LRU position (the prefetcher has declared the block will be
+  /// needed — without the touch, tight caches evict upcoming blocks
+  /// right after fetching them).
+  void prefetch(sim::VirtualClock& clock, std::uint64_t block) {
+    ++stats_.prefetches;
+    auto it = cache_.find(block);
+    if (it != cache_.end()) {
+      ++stats_.redundant_prefetches;
+      touch(it);
+      return;
+    }
+    clock.advance(config_.issue_ns);
+    insert(clock, block, clock.now_ns() +
+                             static_cast<std::uint64_t>(config_.miss_ns));
+  }
+
+  bool resident(std::uint64_t block) const {
+    return cache_.find(block) != cache_.end();
+  }
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t ready_ns;
+    std::list<std::uint64_t>::iterator lru_position;
+  };
+
+  using CacheMap = std::unordered_map<std::uint64_t, Entry>;
+
+  void touch(CacheMap::iterator it) {
+    lru_.erase(it->second.lru_position);
+    lru_.push_front(it->first);
+    it->second.lru_position = lru_.begin();
+  }
+
+  void insert(sim::VirtualClock&, std::uint64_t block,
+              std::uint64_t ready_ns) {
+    if (cache_.size() >= config_.cache_blocks) {
+      const std::uint64_t victim = lru_.back();
+      lru_.pop_back();
+      cache_.erase(victim);
+    }
+    lru_.push_front(block);
+    cache_.emplace(block, Entry{ready_ns, lru_.begin()});
+  }
+
+  Config config_;
+  CacheMap cache_;
+  std::list<std::uint64_t> lru_;
+  Stats stats_;
+};
+
+}  // namespace pythia::iosim

@@ -1,0 +1,85 @@
+// PYTHIA-guided prefetcher over a BlockStore.
+//
+// The I/O runtime submits a `block_read(block)` event before every read.
+// In predict mode, the prefetcher looks `lookahead` events into the
+// future; every predicted read whose block is not yet resident is
+// prefetched, so the device round trip overlaps the computation between
+// reads.
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.hpp"
+#include "core/oracle.hpp"
+#include "core/shared_registry.hpp"
+#include "iosim/block_store.hpp"
+
+namespace pythia::iosim {
+
+class PrefetchingReader {
+ public:
+  struct Config {
+    /// How far ahead to ask the oracle. Needs to cover at least
+    /// miss_ns / inter-read-gap events for full latency hiding.
+    std::size_t lookahead = 4;
+    /// Minimum probability before acting on a prediction.
+    double confidence = 0.5;
+  };
+
+  PrefetchingReader(BlockStore& store, sim::VirtualClock& clock,
+                    Oracle& oracle, SharedRegistry& registry, Config config)
+      : store_(store),
+        clock_(clock),
+        oracle_(oracle),
+        shared_(registry),
+        interner_(registry),
+        read_kind_(registry.kind("block_read")),
+        config_(config) {}
+
+  PrefetchingReader(BlockStore& store, sim::VirtualClock& clock,
+                    Oracle& oracle, SharedRegistry& registry)
+      : PrefetchingReader(store, clock, oracle, registry, Config{}) {}
+
+  /// Announce + perform one block read; then use the oracle to prefetch
+  /// the reads it foresees.
+  void read(std::uint64_t block) {
+    oracle_.event(interner_.event(read_kind_, static_cast<EventAux>(block)),
+                  clock_.now_ns());
+    store_.read(clock_, block);
+
+    if (!oracle_.predicting()) return;
+    for (std::size_t distance = 1; distance <= config_.lookahead;
+         ++distance) {
+      const auto prediction = oracle_.predict_event(distance);
+      if (!prediction.has_value() ||
+          prediction->probability < config_.confidence) {
+        continue;
+      }
+      if (shared_.kind_of(prediction->event) != read_kind_) continue;
+      const auto predicted_block =
+          static_cast<std::uint64_t>(shared_.aux_of(prediction->event));
+      // Resident blocks get their LRU position refreshed by the store;
+      // absent ones start their device round trip now.
+      store_.prefetch(clock_, predicted_block);
+      ++prefetches_issued_;
+    }
+  }
+
+  /// Application compute between reads (advances virtual time, giving
+  /// in-flight prefetches room to land).
+  void compute(double virtual_ns) { clock_.advance(virtual_ns); }
+
+  std::uint64_t prefetches_issued() const { return prefetches_issued_; }
+
+ private:
+  BlockStore& store_;
+  sim::VirtualClock& clock_;
+  Oracle& oracle_;
+  SharedRegistry& shared_;
+  CachedInterner interner_;
+  KindId read_kind_;
+  Config config_;
+  std::uint64_t prefetches_issued_ = 0;
+};
+
+}  // namespace pythia::iosim

@@ -1,0 +1,109 @@
+// Prediction-guided send aggregation.
+//
+// The paper (§III-B) motivates exactly this optimization: "the
+// optimization could consist in aggregating multiple successive MPI send
+// messages [Aumage et al.]". The paper itself stops at recording and
+// predicting; this layer closes the loop as an extension.
+//
+// On every isend, the layer submits the event and asks PYTHIA for the
+// next event. If the oracle says another isend to the *same destination*
+// comes next, the payload is buffered; when the prediction chain breaks
+// (different event, different destination, or no prediction), the buffer
+// is flushed as one wire transaction (Communicator::send_batch), paying
+// the per-message latency and injection overhead once.
+//
+// Correctness does not depend on the oracle: a misprediction only means
+// a buffer of size 1 is flushed immediately — the receiver always sees
+// every message, in order, with matching tags.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mpisim/instrumented_comm.hpp"
+
+namespace pythia::mpisim {
+
+class SendAggregator {
+ public:
+  struct Stats {
+    std::uint64_t sends = 0;           ///< isends issued by the app
+    std::uint64_t batched = 0;         ///< sends that rode a batch
+    std::uint64_t batches = 0;         ///< wire transactions with >1 part
+    std::uint64_t flushes = 0;         ///< total wire transactions
+    std::uint64_t latency_saved = 0;   ///< messages that skipped latency
+  };
+
+  explicit SendAggregator(InstrumentedComm& mpi) : mpi_(mpi) {}
+
+  ~SendAggregator() { flush(); }
+
+  /// Drop-in replacement for InstrumentedComm::isend.
+  Request isend(int dst, int tag, std::span<const std::byte> bytes) {
+    ++stats_.sends;
+    mpi_.emit_isend_event(dst);
+
+    if (!pending_.empty() && pending_dst_ != dst) flush();
+    pending_dst_ = dst;
+    pending_.emplace_back(tag, Payload(bytes.begin(), bytes.end()));
+
+    // Keep buffering only if PYTHIA says another isend to the same
+    // destination is coming.
+    const auto next = mpi_.oracle().predict_event(1);
+    const bool chain_continues =
+        next.has_value() && next->event == mpi_.isend_terminal(dst) &&
+        next->probability > 0.5;
+    if (!chain_continues) flush();
+
+    // Buffered sends complete immediately (eager semantics).
+    return Request::completed_send(dst, tag);
+  }
+
+  /// Flushes any buffered payloads as one batch.
+  void flush() {
+    if (pending_.empty()) return;
+    ++stats_.flushes;
+    if (pending_.size() > 1) {
+      ++stats_.batches;
+      stats_.batched += pending_.size();
+      stats_.latency_saved += pending_.size() - 1;
+    }
+    mpi_.raw().send_batch(pending_dst_, pending_);
+    pending_.clear();
+  }
+
+  // Pass-throughs that flush first (ordering safety: nothing may overtake
+  // buffered sends).
+  Request irecv(int src, int tag) {
+    return mpi_.irecv(src, tag);  // receives cannot overtake our sends
+  }
+  void wait(Request& request) {
+    flush();
+    mpi_.wait(request);
+  }
+  void waitall(std::span<Request> requests) {
+    flush();
+    mpi_.waitall(requests);
+  }
+  void barrier() {
+    flush();
+    mpi_.barrier();
+  }
+  double allreduce(double value, ReduceOp op) {
+    flush();
+    return mpi_.allreduce(value, op);
+  }
+  void compute(double virtual_ns) { mpi_.compute(virtual_ns); }
+
+  InstrumentedComm& underlying() { return mpi_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  InstrumentedComm& mpi_;
+  std::vector<std::pair<int, Payload>> pending_;
+  int pending_dst_ = -1;
+  Stats stats_;
+};
+
+}  // namespace pythia::mpisim

@@ -1,0 +1,86 @@
+// Runs a simulated MPI job: one host thread per rank, a shared Network,
+// and per-rank virtual clocks. The returned result carries each rank's
+// final virtual time (the job's simulated makespan is their max) plus the
+// real wall-clock of the whole run (used by the Table I overhead bench).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "mpisim/communicator.hpp"
+#include "mpisim/network.hpp"
+#include "support/assert.hpp"
+
+namespace pythia::mpisim {
+
+class Cluster {
+ public:
+  struct Options {
+    NetworkModel model;
+    /// Fraction of virtual compute burned as real CPU (Table I realism).
+    double real_work_fraction = 0.0;
+  };
+
+  struct Result {
+    std::vector<std::uint64_t> rank_virtual_ns;
+    std::uint64_t makespan_virtual_ns = 0;
+    double wall_seconds = 0.0;
+  };
+
+  Cluster(int ranks, Options options) : ranks_(ranks), options_(options) {
+    PYTHIA_ASSERT(ranks >= 1);
+  }
+  explicit Cluster(int ranks) : Cluster(ranks, Options{}) {}
+
+  int size() const { return ranks_; }
+
+  /// Runs `rank_main` once per rank, each on its own thread. Exceptions
+  /// thrown by rank bodies are re-thrown (first one wins) after join.
+  Result run(const std::function<void(Communicator&)>& rank_main) {
+    Network network(ranks_);
+    Result result;
+    result.rank_virtual_ns.assign(static_cast<std::size_t>(ranks_), 0);
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(ranks_));
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < ranks_; ++r) {
+      threads.emplace_back([&, r] {
+        Communicator comm(network, r, options_.model,
+                          options_.real_work_fraction);
+        try {
+          rank_main(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+        result.rank_virtual_ns[static_cast<std::size_t>(r)] = comm.now_ns();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const auto stop = std::chrono::steady_clock::now();
+    result.wall_seconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    for (std::uint64_t t : result.rank_virtual_ns) {
+      result.makespan_virtual_ns = std::max(result.makespan_virtual_ns, t);
+    }
+    PYTHIA_ASSERT_MSG(network.pending() == 0,
+                      "unconsumed messages at end of run");
+    return result;
+  }
+
+ private:
+  int ranks_;
+  Options options_;
+};
+
+}  // namespace pythia::mpisim

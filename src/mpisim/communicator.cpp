@@ -1,0 +1,237 @@
+#include "mpisim/communicator.hpp"
+
+#include <algorithm>
+
+namespace pythia::mpisim {
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+void Communicator::send(int destination, int tag,
+                        std::span<const std::byte> bytes) {
+  PYTHIA_ASSERT(destination >= 0 && destination < size());
+  clock_.advance(model_.send_overhead_ns);
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.data.assign(bytes.begin(), bytes.end());
+  message.sent_at_ns = clock_.now_ns();
+  network_.deliver(destination, std::move(message));
+}
+
+Message Communicator::receive_and_merge(int source, int tag) {
+  Message message = network_.receive(rank_, source, tag);
+  const double wire_ns =
+      message.batch_continuation
+          ? model_.transfer_ns(message.data.size()) - model_.latency_ns
+          : model_.transfer_ns(message.data.size());
+  if (!message.batch_continuation) {
+    clock_.advance(model_.recv_overhead_ns);
+  }
+  clock_.merge(message.sent_at_ns + static_cast<std::uint64_t>(wire_ns));
+  return message;
+}
+
+void Communicator::send_persistent(int destination, int tag,
+                                   std::span<const std::byte> bytes) {
+  PYTHIA_ASSERT(destination >= 0 && destination < size());
+  clock_.advance(model_.persistent_send_overhead_ns);
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.data.assign(bytes.begin(), bytes.end());
+  message.sent_at_ns = clock_.now_ns();
+  network_.deliver(destination, std::move(message));
+}
+
+void Communicator::send_batch(
+    int destination, std::span<const std::pair<int, Payload>> parts) {
+  PYTHIA_ASSERT(destination >= 0 && destination < size());
+  clock_.advance(model_.send_overhead_ns);  // one injection for the batch
+  double accumulated_bytes = 0.0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    Message message;
+    message.source = rank_;
+    message.tag = parts[i].first;
+    message.data = parts[i].second;
+    // Later parts arrive behind the earlier ones on the wire.
+    message.sent_at_ns =
+        clock_.now_ns() +
+        static_cast<std::uint64_t>(accumulated_bytes * 8.0 /
+                                   model_.bandwidth_gbps);
+    message.batch_continuation = i > 0;
+    accumulated_bytes += static_cast<double>(parts[i].second.size());
+    network_.deliver(destination, std::move(message));
+  }
+}
+
+Payload Communicator::recv(int source, int tag) {
+  return receive_and_merge(source, tag).data;
+}
+
+Request Communicator::isend(int destination, int tag,
+                            std::span<const std::byte> bytes) {
+  // Eager/buffered: the message is injected immediately; MPI_Wait on a
+  // send completes without blocking.
+  send(destination, tag, bytes);
+  Request request;
+  request.kind_ = Request::Kind::kSend;
+  request.peer_ = destination;
+  request.tag_ = tag;
+  request.done_ = true;
+  return request;
+}
+
+Request Communicator::irecv(int source, int tag) {
+  Request request;
+  request.kind_ = Request::Kind::kRecv;
+  request.peer_ = source;
+  request.tag_ = tag;
+  request.done_ = false;
+  return request;
+}
+
+void Communicator::wait(Request& request) {
+  PYTHIA_ASSERT_MSG(request.active(), "wait on inactive request");
+  if (request.done_) return;
+  request.data_ = recv(request.peer_, request.tag_);
+  request.done_ = true;
+}
+
+void Communicator::waitall(std::span<Request> requests) {
+  for (Request& request : requests) {
+    if (request.active()) wait(request);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (flat trees through rank 0; virtual time propagates through
+// the message timestamps, so every participant leaves at >= the max of the
+// participants' arrival times plus the transfer costs).
+
+void Communicator::barrier() {
+  const int tag = next_collective_tag();
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      receive_and_merge(kAnySource, tag);
+    }
+    for (int r = 1; r < size(); ++r) {
+      send(r, tag, {});
+    }
+  } else {
+    send(0, tag, {});
+    receive_and_merge(0, tag);
+  }
+}
+
+void Communicator::bcast(Payload& data, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, tag, data);
+    }
+  } else {
+    data = receive_and_merge(root, tag).data;
+  }
+}
+
+void Communicator::combine(std::vector<double>& acc,
+                           std::span<const double> in, ReduceOp op) {
+  PYTHIA_ASSERT(acc.size() == in.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum:
+        acc[i] += in[i];
+        break;
+      case ReduceOp::kMin:
+        acc[i] = std::min(acc[i], in[i]);
+        break;
+      case ReduceOp::kMax:
+        acc[i] = std::max(acc[i], in[i]);
+        break;
+      case ReduceOp::kProd:
+        acc[i] *= in[i];
+        break;
+    }
+  }
+}
+
+std::vector<double> Communicator::reduce(std::span<const double> values,
+                                         ReduceOp op, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    std::vector<double> acc(values.begin(), values.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const std::vector<double> contribution =
+          to_doubles(receive_and_merge(r, tag).data);
+      combine(acc, contribution, op);
+    }
+    return acc;
+  }
+  send(root, tag, as_bytes(values));
+  return {};
+}
+
+std::vector<double> Communicator::allreduce(std::span<const double> values,
+                                            ReduceOp op) {
+  std::vector<double> result = reduce(values, op, 0);
+  Payload bytes;
+  if (rank_ == 0) {
+    bytes.resize(result.size() * sizeof(double));
+    std::memcpy(bytes.data(), result.data(), bytes.size());
+  }
+  bcast(bytes, 0);
+  if (rank_ != 0) result = to_doubles(bytes);
+  return result;
+}
+
+std::vector<Payload> Communicator::gather(std::span<const std::byte> bytes,
+                                          int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    std::vector<Payload> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)].assign(bytes.begin(), bytes.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = receive_and_merge(r, tag).data;
+    }
+    return out;
+  }
+  send(root, tag, bytes);
+  return {};
+}
+
+Payload Communicator::scatter(const std::vector<Payload>& chunks, int root) {
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    PYTHIA_ASSERT(static_cast<int>(chunks.size()) == size());
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, tag, chunks[static_cast<std::size_t>(r)]);
+    }
+    return chunks[static_cast<std::size_t>(root)];
+  }
+  return receive_and_merge(root, tag).data;
+}
+
+std::vector<Payload> Communicator::alltoall(const std::vector<Payload>& send_chunks) {
+  PYTHIA_ASSERT(static_cast<int>(send_chunks.size()) == size());
+  const int tag = next_collective_tag();
+  std::vector<Payload> out(static_cast<std::size_t>(size()));
+  // Inject everything first (eager sends), then collect in rank order —
+  // deterministic and deadlock-free.
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) {
+      out[static_cast<std::size_t>(r)] = send_chunks[static_cast<std::size_t>(r)];
+    } else {
+      send(r, tag, send_chunks[static_cast<std::size_t>(r)]);
+    }
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    out[static_cast<std::size_t>(r)] = receive_and_merge(r, tag).data;
+  }
+  return out;
+}
+
+}  // namespace pythia::mpisim

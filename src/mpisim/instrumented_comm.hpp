@@ -1,0 +1,221 @@
+// Event-interposition layer over the simulated MPI runtime — the
+// counterpart of the paper's LD_PRELOAD shim (§III-B, "MPI runtime
+// system").
+//
+// Every MPI-like call submits one event to the per-rank Oracle: the
+// function kind plus an auxiliary payload (peer rank for point-to-point,
+// root for collectives, reduction op for reductions). Blocking calls
+// (Wait/Waitall and collective entry) additionally notify an observer —
+// this is where a real runtime would use the synchronization time to ask
+// PYTHIA for predictions and perform an optimization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/event.hpp"
+#include "core/oracle.hpp"
+#include "core/shared_registry.hpp"
+#include "mpisim/communicator.hpp"
+
+namespace pythia::mpisim {
+
+using pythia::SharedRegistry;
+
+/// Interned kind ids for the intercepted MPI functions.
+struct MpiEventKinds {
+  KindId send, recv, isend, irecv, wait, waitall;
+  KindId barrier, bcast, reduce, allreduce, gather, scatter, alltoall;
+
+  static MpiEventKinds intern(SharedRegistry& registry) {
+    MpiEventKinds kinds;
+    kinds.send = registry.kind("MPI_Send");
+    kinds.recv = registry.kind("MPI_Recv");
+    kinds.isend = registry.kind("MPI_Isend");
+    kinds.irecv = registry.kind("MPI_Irecv");
+    kinds.wait = registry.kind("MPI_Wait");
+    kinds.waitall = registry.kind("MPI_Waitall");
+    kinds.barrier = registry.kind("MPI_Barrier");
+    kinds.bcast = registry.kind("MPI_Bcast");
+    kinds.reduce = registry.kind("MPI_Reduce");
+    kinds.allreduce = registry.kind("MPI_Allreduce");
+    kinds.gather = registry.kind("MPI_Gather");
+    kinds.scatter = registry.kind("MPI_Scatter");
+    kinds.alltoall = registry.kind("MPI_Alltoall");
+    return kinds;
+  }
+};
+
+/// Hooks for the experiment harness. on_event fires after each submitted
+/// event; on_sync_point fires when entering a blocking call — the moment
+/// the paper's runtime asks for predictions.
+class CommObserver {
+ public:
+  virtual ~CommObserver() = default;
+  virtual void on_event(TerminalId event, std::uint64_t now_ns) {
+    (void)event;
+    (void)now_ns;
+  }
+  virtual void on_sync_point(std::uint64_t now_ns) { (void)now_ns; }
+};
+
+/// How point-to-point peer ranks are encoded into event payloads.
+///
+/// kAbsolute is the paper's scheme: the event for MPI_Send(dst=3) carries
+/// the literal rank 3. Traces are then tied to one process count — the
+/// limitation the paper's conclusion calls out.
+///
+/// kRelative is this reproduction's extension of that future work: the
+/// payload is the modular offset (peer − my_rank mod size). Ring and
+/// butterfly patterns then produce identical event streams at any rank
+/// count, so a trace recorded with P processes can guide a run with P'
+/// (see bench/ext_config_transfer).
+enum class PeerEncoding { kAbsolute, kRelative };
+
+class InstrumentedComm {
+ public:
+  InstrumentedComm(Communicator& comm, Oracle& oracle,
+                   SharedRegistry& registry, CommObserver* observer = nullptr,
+                   PeerEncoding encoding = PeerEncoding::kAbsolute)
+      : comm_(comm),
+        oracle_(oracle),
+        interner_(registry),
+        kinds_(MpiEventKinds::intern(registry)),
+        observer_(observer),
+        encoding_(encoding) {}
+
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  Communicator& raw() { return comm_; }
+  Oracle& oracle() { return oracle_; }
+  std::uint64_t now_ns() const { return comm_.now_ns(); }
+
+  void compute(double virtual_ns) { comm_.compute(virtual_ns); }
+
+  // --- instrumented MPI-like calls ---------------------------------------
+  void send(int dst, int tag, std::span<const std::byte> bytes) {
+    emit(kinds_.send, peer_aux(dst));
+    comm_.send(dst, tag, bytes);
+  }
+  Payload recv(int src, int tag) {
+    emit(kinds_.recv, peer_aux(src));
+    return comm_.recv(src, tag);
+  }
+  Request isend(int dst, int tag, std::span<const std::byte> bytes) {
+    emit(kinds_.isend, peer_aux(dst));
+    return comm_.isend(dst, tag, bytes);
+  }
+  Request irecv(int src, int tag) {
+    emit(kinds_.irecv, peer_aux(src));
+    return comm_.irecv(src, tag);
+  }
+  void wait(Request& request) {
+    emit(kinds_.wait);
+    sync_point();
+    comm_.wait(request);
+  }
+  void waitall(std::span<Request> requests) {
+    emit(kinds_.waitall);
+    sync_point();
+    comm_.waitall(requests);
+  }
+  void barrier() {
+    emit(kinds_.barrier);
+    sync_point();
+    comm_.barrier();
+  }
+  void bcast(Payload& data, int root) {
+    emit(kinds_.bcast, root);
+    sync_point();
+    comm_.bcast(data, root);
+  }
+  double allreduce(double value, ReduceOp op) {
+    emit(kinds_.allreduce, static_cast<EventAux>(op));
+    sync_point();
+    return comm_.allreduce(value, op);
+  }
+  std::vector<double> allreduce(std::span<const double> values, ReduceOp op) {
+    emit(kinds_.allreduce, static_cast<EventAux>(op));
+    sync_point();
+    return comm_.allreduce(values, op);
+  }
+  double reduce(double value, ReduceOp op, int root) {
+    emit(kinds_.reduce,
+         static_cast<EventAux>(root * 8 + static_cast<int>(op)));
+    sync_point();
+    return comm_.reduce(value, op, root);
+  }
+  std::vector<Payload> gather(std::span<const std::byte> bytes, int root) {
+    emit(kinds_.gather, root);
+    sync_point();
+    return comm_.gather(bytes, root);
+  }
+  Payload scatter(const std::vector<Payload>& chunks, int root) {
+    emit(kinds_.scatter, root);
+    sync_point();
+    return comm_.scatter(chunks, root);
+  }
+  std::vector<Payload> alltoall(const std::vector<Payload>& send_chunks) {
+    emit(kinds_.alltoall);
+    sync_point();
+    return comm_.alltoall(send_chunks);
+  }
+
+  // Typed conveniences mirroring Communicator's.
+  void send_doubles(int dst, int tag, std::span<const double> values) {
+    send(dst, tag, Communicator::as_bytes(values));
+  }
+  std::vector<double> recv_doubles(int src, int tag) {
+    return Communicator::to_doubles(recv(src, tag));
+  }
+  Request isend_doubles(int dst, int tag, std::span<const double> values) {
+    return isend(dst, tag, Communicator::as_bytes(values));
+  }
+
+  std::uint64_t events_submitted() const { return events_submitted_; }
+
+  // --- aggregation-layer support (mpisim/aggregator.hpp) ------------------
+  /// Terminal id of MPI_Isend towards `dst` under the current encoding;
+  /// the aggregator compares it against the oracle's next-event
+  /// prediction.
+  TerminalId isend_terminal(int dst) {
+    return interner_.event(kinds_.isend, peer_aux(dst));
+  }
+  /// Submits the MPI_Isend event without performing the send — the
+  /// aggregating layer injects the data itself (possibly batched).
+  void emit_isend_event(int dst) { emit(kinds_.isend, peer_aux(dst)); }
+
+ private:
+  void emit(KindId kind, EventAux aux = kNoAux) {
+    const TerminalId id = interner_.event(kind, aux);
+    oracle_.event(id, comm_.now_ns());
+    ++events_submitted_;
+    if (observer_ != nullptr) observer_->on_event(id, comm_.now_ns());
+  }
+
+  void sync_point() {
+    if (observer_ != nullptr) observer_->on_sync_point(comm_.now_ns());
+  }
+
+  EventAux peer_aux(int peer) const {
+    if (encoding_ == PeerEncoding::kAbsolute || peer < 0) return peer;
+    // Signed shortest ring offset: the left neighbour is -1 at any rank
+    // count (plain modular offset would encode it as size-1, which is
+    // exactly the configuration dependence we are removing).
+    const int size = comm_.size();
+    int offset = (peer - comm_.rank()) % size;
+    if (offset > size / 2) offset -= size;
+    if (offset < -(size - 1) / 2) offset += size;
+    return offset;
+  }
+
+  Communicator& comm_;
+  Oracle& oracle_;
+  CachedInterner interner_;
+  MpiEventKinds kinds_;
+  CommObserver* observer_;
+  PeerEncoding encoding_;
+  std::uint64_t events_submitted_ = 0;
+};
+
+}  // namespace pythia::mpisim

@@ -1,0 +1,36 @@
+// Network cost model for the simulated cluster.
+//
+// LogGP-flavoured: per-message send/receive overheads on the CPU, plus a
+// latency + bandwidth term for the wire. Defaults approximate the paper's
+// Paravance cluster (10 Gbps Ethernet, kernel TCP stack).
+#pragma once
+
+#include <cstddef>
+
+namespace pythia::mpisim {
+
+struct NetworkModel {
+  double send_overhead_ns = 400.0;  ///< o_s: CPU cost to inject a message
+  double recv_overhead_ns = 400.0;  ///< o_r: CPU cost to retire a message
+  double latency_ns = 15'000.0;     ///< L: one-way wire+stack latency
+  double bandwidth_gbps = 10.0;     ///< G: link bandwidth
+  /// Persistent channels (MPI_Send_init/MPI_Start): one-time setup, then
+  /// each MPI_Start skips argument validation and matching setup.
+  double persistent_setup_ns = 3'000.0;
+  double persistent_send_overhead_ns = 120.0;
+
+  double transfer_ns(std::size_t bytes) const {
+    const double byte_ns = 8.0 / bandwidth_gbps;  // ns per byte at G Gbps
+    return latency_ns + static_cast<double>(bytes) * byte_ns;
+  }
+
+  /// A model with negligible costs (for logic-only tests).
+  static NetworkModel zero() {
+    return NetworkModel{.send_overhead_ns = 0.0,
+                        .recv_overhead_ns = 0.0,
+                        .latency_ns = 0.0,
+                        .bandwidth_gbps = 1e9};
+  }
+};
+
+}  // namespace pythia::mpisim

@@ -1,0 +1,105 @@
+// In-process message transport between simulated ranks.
+//
+// One mailbox per destination rank; messages carry the sender's virtual
+// send-completion time so receivers can merge clocks deterministically.
+// Matching follows MPI semantics: (source, tag) with wildcard support,
+// FIFO per (source, tag) pair.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace pythia::mpisim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+using Payload = std::vector<std::byte>;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  Payload data;
+  std::uint64_t sent_at_ns = 0;
+  /// Continuation of an aggregated batch: rides the same wire transaction
+  /// as its predecessor, paying bandwidth but not latency/overhead (see
+  /// Communicator::send_batch and mpisim/aggregator.hpp).
+  bool batch_continuation = false;
+};
+
+class Network {
+ public:
+  explicit Network(int ranks) : mailboxes_(static_cast<std::size_t>(ranks)) {}
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  void deliver(int destination, Message message) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(destination)];
+    {
+      std::lock_guard lock(box.mutex);
+      box.queue.push_back(std::move(message));
+    }
+    box.ready.notify_all();
+  }
+
+  /// Blocks until a message matching (source, tag) is available and
+  /// removes it. source/tag may be kAnySource/kAnyTag.
+  Message receive(int destination, int source, int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(destination)];
+    std::unique_lock lock(box.mutex);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message message = std::move(*it);
+          box.queue.erase(it);
+          return message;
+        }
+      }
+      box.ready.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe (used by tests and by opportunistic polling).
+  bool try_receive(int destination, int source, int tag, Message& out) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(destination)];
+    std::lock_guard lock(box.mutex);
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        out = std::move(*it);
+        box.queue.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Count of undelivered messages (leak detection in tests).
+  std::size_t pending() const {
+    std::size_t total = 0;
+    for (const Mailbox& box : mailboxes_) {
+      std::lock_guard lock(box.mutex);
+      total += box.queue.size();
+    }
+    return total;
+  }
+
+ private:
+  static bool matches(const Message& message, int source, int tag) {
+    return (source == kAnySource || message.source == source) &&
+           (tag == kAnyTag || message.tag == tag);
+  }
+
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Message> queue;
+  };
+
+  std::vector<Mailbox> mailboxes_;
+};
+
+}  // namespace pythia::mpisim

@@ -1,0 +1,84 @@
+// Prediction-guided persistent communication.
+//
+// The second optimization the paper's MPI integration motivates
+// (§III-B): "setting up persistent communication if a communication
+// pattern repeats". A persistent channel (MPI_Send_init + MPI_Start)
+// costs a one-time setup but each subsequent send skips most of the
+// injection overhead. Setting one up for a message that never repeats
+// *loses* time — exactly the decision an oracle can settle: when the
+// reference execution shows an isend recurring often, the channel pays
+// for itself.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mpisim/instrumented_comm.hpp"
+
+namespace pythia::mpisim {
+
+class PersistentSendOptimizer {
+ public:
+  struct Options {
+    /// Minimum occurrences of the send in the reference execution before
+    /// a channel is worth its setup cost.
+    std::uint64_t min_occurrences = 8;
+  };
+
+  explicit PersistentSendOptimizer(InstrumentedComm& mpi)
+      : PersistentSendOptimizer(mpi, Options{}) {}
+  PersistentSendOptimizer(InstrumentedComm& mpi, Options options)
+      : mpi_(mpi), options_(options) {}
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t channels = 0;          ///< persistent setups performed
+    std::uint64_t persistent_sends = 0;  ///< sends through a channel
+  };
+
+  /// Drop-in replacement for InstrumentedComm::isend.
+  Request isend(int dst, int tag, std::span<const std::byte> bytes) {
+    ++stats_.sends;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+         << 32u) |
+        static_cast<std::uint32_t>(tag);
+    auto it = channels_.find(key);
+    if (it != channels_.end()) {
+      mpi_.emit_isend_event(dst);
+      mpi_.raw().send_persistent(dst, tag, bytes);
+      ++stats_.persistent_sends;
+      return Request::completed_send(dst, tag);
+    }
+
+    // Oracle decision: does this send repeat often enough in the
+    // reference execution to amortize a channel?
+    if (mpi_.oracle().predicting()) {
+      const TerminalId terminal = mpi_.isend_terminal(dst);
+      const Predictor* predictor = mpi_.oracle().predictor();
+      if (predictor != nullptr &&
+          predictor->reference_occurrences(terminal) >=
+              options_.min_occurrences) {
+        mpi_.raw().setup_persistent();
+        channels_.emplace(key, true);
+        ++stats_.channels;
+        mpi_.emit_isend_event(dst);
+        mpi_.raw().send_persistent(dst, tag, bytes);
+        ++stats_.persistent_sends;
+        return Request::completed_send(dst, tag);
+      }
+    }
+    return mpi_.isend(dst, tag, bytes);
+  }
+
+  const Stats& stats() const { return stats_; }
+  InstrumentedComm& underlying() { return mpi_; }
+
+ private:
+  InstrumentedComm& mpi_;
+  Options options_;
+  std::unordered_map<std::uint64_t, bool> channels_;
+  Stats stats_;
+};
+
+}  // namespace pythia::mpisim

@@ -1,0 +1,81 @@
+// Adaptive thread-count policy (paper §III-D1).
+//
+// "Based on the estimated duration D_est, GNU OpenMP decides how many
+// threads should be used, e.g. 1 thread if D_est < t1, 4 threads if
+// D_est < t4, 8 threads if D_est < t8, and so on."
+//
+// The duration PYTHIA predicts is the region's duration in the reference
+// execution, i.e. with the maximum number of threads. The threshold
+// ladder is derived from the machine model: t_k is the predicted-duration
+// break-even point below which k threads are at least as good as the next
+// larger candidate team.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ompsim/machine.hpp"
+#include "support/assert.hpp"
+
+namespace pythia::ompsim {
+
+class AdaptivePolicy {
+ public:
+  struct Threshold {
+    double max_predicted_ns;  ///< use `threads` when D_est is below this
+    int threads;
+  };
+
+  /// Builds the ladder for `machine` with teams {1, 2, 4, 8, ...,
+  /// max_threads}.
+  static AdaptivePolicy from_model(const MachineModel& machine,
+                                   int max_threads) {
+    PYTHIA_ASSERT(max_threads >= 1);
+    std::vector<int> candidates;
+    for (int t = 1; t < max_threads; t *= 2) candidates.push_back(t);
+    candidates.push_back(max_threads);
+
+    AdaptivePolicy policy;
+    policy.max_threads_ = max_threads;
+    for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
+      const int k = candidates[i];
+      const int next = candidates[i + 1];
+      // Break-even serial work w*: cost(w, k) == cost(w, next).
+      const int ek = std::min(k, machine.cores);
+      const int en = std::min(next, machine.cores);
+      double work = 0.0;
+      if (en > ek) {
+        const double inv_gap = 1.0 / ek - 1.0 / en;
+        work = (machine.overhead_ns(next) - machine.overhead_ns(k)) / inv_gap;
+        work = std::max(work, 0.0);
+      }
+      // Express the break-even as a *predicted duration* (duration under
+      // max_threads, which is what the reference run recorded).
+      const double as_predicted =
+          machine.region_cost_ns(work * machine.core_speed, max_threads, 1.0);
+      policy.ladder_.push_back({as_predicted, k});
+    }
+    return policy;
+  }
+
+  /// Chooses the team size. Without a prediction the runtime falls back
+  /// to its default heuristic: the maximum number of threads.
+  int choose_threads(std::optional<double> predicted_ns) const {
+    if (!predicted_ns.has_value()) return max_threads_;
+    for (const Threshold& threshold : ladder_) {
+      if (*predicted_ns < threshold.max_predicted_ns) {
+        return threshold.threads;
+      }
+    }
+    return max_threads_;
+  }
+
+  const std::vector<Threshold>& ladder() const { return ladder_; }
+  int max_threads() const { return max_threads_; }
+
+ private:
+  std::vector<Threshold> ladder_;
+  int max_threads_ = 1;
+};
+
+}  // namespace pythia::ompsim

@@ -1,0 +1,224 @@
+// GOMP-like parallel-region runtime (paper §III-B "OpenMP runtime
+// system" and §III-D1).
+//
+// The runtime intercepts parallel-region entry/exit the way the paper's
+// modified GNU OpenMP does:
+//  * submits a GOMP_parallel begin/end event pair to PYTHIA, with the
+//    region identifier (the paper uses the outlined function pointer) as
+//    the event payload;
+//  * in predict mode, asks PYTHIA for the region's expected duration at
+//    region entry and lets the adaptive policy pick the team size;
+//  * manages the worker pool through ThreadPoolModel (parked or vanilla).
+//
+// Region bodies execute for real (sequentially, per simulated thread) so
+// application state and recording overhead are genuine; the region's
+// *duration* is virtual, from MachineModel::region_cost_ns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/event.hpp"
+#include "core/oracle.hpp"
+#include "core/shared_registry.hpp"
+#include "ompsim/adaptive.hpp"
+#include "ompsim/machine.hpp"
+#include "ompsim/thread_pool.hpp"
+#include "sim/clock.hpp"
+#include "sim/spin.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace pythia::ompsim {
+
+/// Interned kind ids for the intercepted GOMP entry points.
+struct OmpEventKinds {
+  KindId parallel_begin, parallel_end;
+  KindId critical_begin, critical_end, barrier, single;
+  KindId loop_start, loop_end;
+
+  static OmpEventKinds intern(SharedRegistry& registry) {
+    OmpEventKinds kinds;
+    kinds.parallel_begin = registry.kind("GOMP_parallel_start");
+    kinds.parallel_end = registry.kind("GOMP_parallel_end");
+    kinds.critical_begin = registry.kind("GOMP_critical_start");
+    kinds.critical_end = registry.kind("GOMP_critical_end");
+    kinds.barrier = registry.kind("GOMP_barrier");
+    kinds.single = registry.kind("GOMP_single_start");
+    kinds.loop_start = registry.kind("GOMP_loop_static_start");
+    kinds.loop_end = registry.kind("GOMP_loop_end");
+    return kinds;
+  }
+};
+
+/// A parallel region body: body(thread_id, team_size). Bodies must
+/// partition work by thread_id exactly like an OpenMP worksharing loop
+/// with omp_get_num_threads() (the paper's Lulesh fix, §III-D2).
+using RegionBody = std::function<void(int, int)>;
+
+class OmpRuntime {
+ public:
+  struct Config {
+    MachineModel machine;
+    int max_threads = 1;
+    /// Park spurious threads instead of destroying them (the paper's
+    /// pool modification). Vanilla GNU OpenMP behaviour when false.
+    bool park_spurious = true;
+    /// Use the adaptive policy (predict mode); otherwise always run
+    /// max_threads like vanilla GNU OpenMP.
+    bool adaptive = false;
+    /// Fraction of virtual region time burned as real CPU (Table I).
+    double real_work_fraction = 0.0;
+    /// Fig. 14 fault injection: probability of submitting a spurious
+    /// unknown event before each real one ("we modify GNU OpenMP to
+    /// randomly submit unexpected events with a given error rate").
+    double error_rate = 0.0;
+    std::uint64_t error_seed = 0x5eed;
+  };
+
+  struct Stats {
+    std::uint64_t regions = 0;
+    std::uint64_t threads_used_total = 0;
+    std::uint64_t adaptive_decisions = 0;   ///< regions with a prediction
+    std::uint64_t fallback_decisions = 0;   ///< no prediction -> max
+    double pool_cost_ns = 0.0;
+    double region_time_ns = 0.0;
+
+    double mean_team() const {
+      return regions > 0 ? static_cast<double>(threads_used_total) /
+                               static_cast<double>(regions)
+                         : 0.0;
+    }
+  };
+
+  /// `oracle` is the per-thread PYTHIA session (off / record / predict);
+  /// `clock` is the owning rank's virtual clock (shared with MPI).
+  OmpRuntime(const Config& config, sim::VirtualClock& clock, Oracle& oracle,
+             SharedRegistry& registry)
+      : config_(config),
+        clock_(clock),
+        oracle_(oracle),
+        interner_(registry),
+        kinds_(OmpEventKinds::intern(registry)),
+        pool_(config.machine, config.park_spurious),
+        policy_(AdaptivePolicy::from_model(config.machine,
+                                           config.max_threads)),
+        error_rng_(config.error_seed) {
+    PYTHIA_ASSERT(config.max_threads >= 1);
+    if (config.error_rate > 0.0) {
+      unexpected_kind_ = registry.kind("UNEXPECTED_EVENT");
+    }
+  }
+
+  /// Executes one parallel region. `region_id` plays the role of the
+  /// outlined-function pointer; `serial_work_ns` is the region's total
+  /// single-threaded work; `parallel_fraction` its parallelizable share.
+  void parallel(int region_id, double serial_work_ns,
+                double parallel_fraction, const RegionBody& body = {}) {
+    emit(kinds_.parallel_begin, region_id);
+
+    int team = config_.max_threads;
+    if (config_.adaptive) {
+      // Predicted delay from the begin event to the next event — which,
+      // in the reference trace, is this region's end event.
+      const std::optional<double> predicted = oracle_.predict_time_ns(1);
+      team = policy_.choose_threads(predicted);
+      if (predicted.has_value()) {
+        ++stats_.adaptive_decisions;
+      } else {
+        ++stats_.fallback_decisions;
+      }
+    }
+
+    const double pool_ns = pool_.adjust_to(team);
+    clock_.advance(pool_ns);
+    stats_.pool_cost_ns += pool_ns;
+
+    if (body) {
+      for (int tid = 0; tid < team; ++tid) body(tid, team);
+    }
+    const double region_ns = config_.machine.region_cost_ns(
+        serial_work_ns, team, parallel_fraction);
+    clock_.advance(region_ns);
+    if (config_.real_work_fraction > 0.0) {
+      sim::Spinner::spin_ns(region_ns * config_.real_work_fraction);
+    }
+    stats_.region_time_ns += region_ns + pool_ns;
+    ++stats_.regions;
+    stats_.threads_used_total += static_cast<std::uint64_t>(team);
+    last_team_ = team;
+
+    emit(kinds_.parallel_end, region_id);
+  }
+
+  /// A critical section (event pair + serialized cost).
+  void critical(int section_id, double work_ns) {
+    emit(kinds_.critical_begin, section_id);
+    clock_.advance(work_ns / config_.machine.core_speed);
+    emit(kinds_.critical_end, section_id);
+  }
+
+  /// An explicit barrier inside a region.
+  void barrier() {
+    emit(kinds_.barrier);
+    clock_.advance(config_.machine.overhead_ns(last_team_));
+  }
+
+  /// A `single` construct: one thread works, the team waits at the
+  /// implicit barrier.
+  void single(int section_id, double work_ns) {
+    emit(kinds_.single, section_id);
+    clock_.advance(work_ns / config_.machine.core_speed +
+                   config_.machine.overhead_ns(last_team_));
+  }
+
+  /// A worksharing loop inside the current region (GOMP_loop_*_start):
+  /// like a nested parallel-for without re-forking the team.
+  void for_loop(int loop_id, double serial_work_ns,
+                double parallel_fraction) {
+    emit(kinds_.loop_start, loop_id);
+    const double cost = config_.machine.region_cost_ns(
+        serial_work_ns, last_team_, parallel_fraction);
+    clock_.advance(cost - config_.machine.overhead_ns(last_team_) +
+                   config_.machine.barrier_log_ns);
+    emit(kinds_.loop_end, loop_id);
+  }
+
+  int last_team() const { return last_team_; }
+  const Stats& stats() const { return stats_; }
+  const AdaptivePolicy& policy() const { return policy_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void emit(KindId kind, EventAux aux = kNoAux) {
+    oracle_.event(interner_.event(kind, aux), clock_.now_ns());
+    if (config_.error_rate > 0.0 && error_rng_.chance(config_.error_rate)) {
+      // A fresh aux each time makes the event unknown to the reference
+      // grammar, so the oracle loses synchronization (§III-E). Injected
+      // *after* the real event: a spurious event landing right after a
+      // region entry leaves the runtime without a prediction for that
+      // region — the paper's "bad decisions such as using the maximum
+      // number of threads for a small parallel region".
+      oracle_.event(
+          interner_.event(unexpected_kind_,
+                          static_cast<EventAux>(++unexpected_counter_)),
+          clock_.now_ns());
+    }
+  }
+
+  Config config_;
+  sim::VirtualClock& clock_;
+  Oracle& oracle_;
+  CachedInterner interner_;
+  OmpEventKinds kinds_;
+  ThreadPoolModel pool_;
+  AdaptivePolicy policy_;
+  Stats stats_;
+  int last_team_ = 1;
+  support::Rng error_rng_;
+  KindId unexpected_kind_ = 0;
+  std::uint64_t unexpected_counter_ = 0;
+};
+
+}  // namespace pythia::ompsim

@@ -1,0 +1,58 @@
+// Thread-pool management cost model.
+//
+// GNU OpenMP destroys spurious threads when the requested team shrinks;
+// the paper modified it to *park* them instead (§III-D1, "we have made
+// the spurious threads wait until they are needed again"). Both
+// behaviours are modelled so the adaptive strategy can be evaluated with
+// and without the modification (parking is what makes per-region team
+// resizing affordable).
+#pragma once
+
+#include <algorithm>
+
+#include "ompsim/machine.hpp"
+#include "support/assert.hpp"
+
+namespace pythia::ompsim {
+
+class ThreadPoolModel {
+ public:
+  ThreadPoolModel(const MachineModel& machine, bool park_spurious)
+      : machine_(machine), park_spurious_(park_spurious) {}
+
+  /// Cost (ns) of establishing a team of `threads`, updating pool state.
+  double adjust_to(int threads) {
+    PYTHIA_ASSERT(threads >= 1);
+    double cost = 0.0;
+    if (threads > alive_) {
+      // Wake parked threads first, then create the rest.
+      const int want = threads - alive_;
+      const int unparked = std::min(want, parked_);
+      const int spawned = want - unparked;
+      cost += machine_.unpark_thread_ns * static_cast<double>(unparked);
+      cost += machine_.spawn_thread_ns * static_cast<double>(spawned);
+      parked_ -= unparked;
+      alive_ = threads;
+    } else if (threads < alive_) {
+      const int spurious = alive_ - threads;
+      if (park_spurious_) {
+        parked_ += spurious;  // free: they block on a futex
+      } else {
+        cost += machine_.destroy_thread_ns * static_cast<double>(spurious);
+      }
+      alive_ = threads;
+    }
+    return cost;
+  }
+
+  int alive() const { return alive_; }
+  int parked() const { return parked_; }
+
+ private:
+  MachineModel machine_;
+  bool park_spurious_;
+  int alive_ = 1;   ///< threads currently in the team (master included)
+  int parked_ = 0;  ///< idle threads waiting for reuse (modified pool)
+};
+
+}  // namespace pythia::ompsim

@@ -1,0 +1,32 @@
+// Virtual (logical) time.
+//
+// Every simulated rank/thread owns a VirtualClock. Computation advances it
+// explicitly; messages piggyback the sender's clock and receivers take the
+// max (Lamport-style), so the simulated timeline is deterministic and
+// independent of host scheduling — essential on a 1-core host standing in
+// for a 16/24-core testbed (see DESIGN.md substitutions).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pythia::sim {
+
+class VirtualClock {
+ public:
+  std::uint64_t now_ns() const { return now_ns_; }
+
+  void advance(double ns) {
+    if (ns > 0) now_ns_ += static_cast<std::uint64_t>(ns);
+  }
+
+  /// Lamport merge: never moves backwards.
+  void merge(std::uint64_t other_ns) { now_ns_ = std::max(now_ns_, other_ns); }
+
+  void reset() { now_ns_ = 0; }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace pythia::sim

@@ -1,0 +1,55 @@
+// Calibrated real busy-work.
+//
+// Table I measures the *real* overhead of PYTHIA-RECORD relative to real
+// application work. The application skeletons therefore burn genuine CPU
+// between events; the Spinner converts a nanosecond budget into a
+// calibrated arithmetic loop (no sleeping — sleeps would hide the
+// recording cost in scheduler noise).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pythia::sim {
+
+class Spinner {
+ public:
+  /// Burns approximately `ns` nanoseconds of CPU.
+  static void spin_ns(double ns) {
+    if (ns <= 0) return;
+    const double per_iteration = ns_per_iteration();
+    auto iterations = static_cast<std::uint64_t>(ns / per_iteration) + 1;
+    burn(iterations);
+  }
+
+ private:
+  static std::uint64_t burn(std::uint64_t iterations) {
+    // Simple integer recurrence the optimizer cannot elide (result used).
+    volatile std::uint64_t sink = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t x = sink;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    sink = x;
+    return sink;
+  }
+
+  static double ns_per_iteration() {
+    static const double calibrated = [] {
+      using clock = std::chrono::steady_clock;
+      constexpr std::uint64_t kProbe = 2'000'000;
+      const auto start = clock::now();
+      burn(kProbe);
+      const auto stop = clock::now();
+      const double elapsed =
+          std::chrono::duration<double, std::nano>(stop - start).count();
+      const double per = elapsed / static_cast<double>(kProbe);
+      return per > 0.05 ? per : 0.05;
+    }();
+    return calibrated;
+  }
+};
+
+}  // namespace pythia::sim

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macros.
+//
+// The grammar code maintains delicate invariants; we keep these checks in
+// release builds because they are cheap relative to the work they guard and
+// turn silent corruption into an immediate, located failure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pythia::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pythia: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pythia::support
+
+#define PYTHIA_ASSERT(expr)                                                 \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::pythia::support::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+  } while (false)
+
+#define PYTHIA_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::pythia::support::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (false)

@@ -1,0 +1,46 @@
+// Environment-variable knobs shared by benches and tests.
+//
+//   PYTHIA_BENCH_SCALE  — float, scales iteration counts (default 1.0; the
+//                         benches already use reduced "paper-shape" sizes).
+//   PYTHIA_FULL         — when set to 1, use paper-fidelity problem sizes.
+//   PYTHIA_BENCH_REPS   — repetitions per measured configuration.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pythia::support {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return end != value ? parsed : fallback;
+}
+
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::string(value) != "0" &&
+         std::string(value) != "";
+}
+
+/// Global scale factor applied to workload iteration counts in benches.
+inline double bench_scale() { return env_double("PYTHIA_BENCH_SCALE", 1.0); }
+
+/// Paper-fidelity mode (much slower; sizes close to the paper's).
+inline bool full_fidelity() { return env_flag("PYTHIA_FULL"); }
+
+inline int bench_reps(int fallback) {
+  return static_cast<int>(env_long("PYTHIA_BENCH_REPS", fallback));
+}
+
+}  // namespace pythia::support

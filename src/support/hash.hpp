@@ -1,0 +1,30 @@
+// Hash helpers shared across the library (digram index, timing tables).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pythia::support {
+
+/// 64-bit mix (Stafford variant 13) — used to finalize combined hashes.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hash a contiguous run of 64-bit words (e.g. a progress-path suffix key).
+inline std::uint64_t hash_words(const std::uint64_t* words, std::size_t n,
+                                std::uint64_t seed = 0x2545f4914f6cdd1dULL) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) h = hash_combine(h, words[i]);
+  return h;
+}
+
+}  // namespace pythia::support

@@ -1,0 +1,99 @@
+// Streaming statistics accumulators used by the timing model and the
+// benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pythia::support {
+
+/// Welford-style running mean/variance with min/max, O(1) space.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    const double new_mean =
+        mean_ + delta * static_cast<double>(other.count_) / total;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ = new_mean;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects samples for percentile queries (benchmark reporting only).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    std::sort(samples_.begin(), samples_.end());
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double min() {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace pythia::support

@@ -1,0 +1,77 @@
+// Minimal ASCII table formatter for benchmark output.
+//
+// Benches print paper-style tables (Table I, figure series) to stdout; this
+// keeps column alignment without dragging in a formatting dependency.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pythia::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string to_string() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+      out += "|";
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        out += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+      }
+      out += "\n";
+    };
+    auto rule = [&] {
+      out += "|";
+      for (std::size_t w : width) out += std::string(w + 2, '-') + "|";
+      out += "\n";
+    };
+    emit(header_);
+    rule();
+    for (const auto& row : rows_) emit(row);
+    return out;
+  }
+
+  void print() const { std::fputs(to_string().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (for table cells).
+inline std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace pythia::support

@@ -1,0 +1,203 @@
+// Per-application structural tests: each skeleton must show the
+// communication/region structure the paper describes for it (fig. 7,
+// Table I's qualitative columns, §III-C1's discussion of irregularity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia::harness {
+namespace {
+
+using apps::AppConfig;
+using apps::WorkingSet;
+
+AppConfig config_for(WorkingSet set, std::uint64_t seed = 42) {
+  AppConfig config;
+  config.set = set;
+  config.scale = 0.25;
+  config.seed = seed;
+  return config;
+}
+
+RunResult record(const std::string& name, WorkingSet set,
+                 std::uint64_t seed = 42) {
+  const apps::App* app = apps::find_app(name);
+  EXPECT_NE(app, nullptr);
+  RunConfig config;
+  config.mode = Mode::kRecord;
+  config.app = config_for(set, seed);
+  return run_app(*app, config);
+}
+
+std::vector<std::string> described_stream(const RunResult& result,
+                                          std::size_t rank) {
+  std::vector<std::string> out;
+  for (TerminalId t : result.trace.threads[rank].grammar.unfold()) {
+    out.push_back(result.trace.registry.describe(t));
+  }
+  return out;
+}
+
+std::size_t count_prefix(const std::vector<std::string>& events,
+                         const std::string& prefix) {
+  std::size_t total = 0;
+  for (const std::string& event : events) {
+    if (event.rfind(prefix, 0) == 0) ++total;
+  }
+  return total;
+}
+
+TEST(BtStructure, MatchesFigureSeven) {
+  const RunResult result = record("BT", WorkingSet::kSmall);
+  const auto events = described_stream(result, 0);
+  // Fig. 7: six broadcasts up front, barrier, the time-step loop, two
+  // allreduces, a reduce and a barrier at the end.
+  ASSERT_GE(events.size(), 12u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].rfind("MPI_Bcast", 0), 0u);
+  }
+  EXPECT_EQ(count_prefix(events, "MPI_Barrier"), 2u);
+  EXPECT_EQ(count_prefix(events, "MPI_Allreduce"), 2u);
+  EXPECT_EQ(count_prefix(events, "MPI_Reduce"), 1u);
+  // The grammar itself stays tiny (paper: 3 rules).
+  EXPECT_LE(result.trace.threads[0].grammar.rule_count(), 4u);
+}
+
+TEST(EpStructure, SixEventsPerRank) {
+  // Table I: EP has 384 events over 64 ranks = 6 per rank, 1 rule.
+  const RunResult result = record("EP", WorkingSet::kLarge);
+  for (std::size_t rank = 0; rank < result.trace.threads.size(); ++rank) {
+    EXPECT_EQ(result.trace.threads[rank].grammar.sequence_length(), 6u);
+    EXPECT_EQ(result.trace.threads[rank].grammar.rule_count(), 1u);
+  }
+}
+
+TEST(LuStructure, WavefrontSweepsDominate) {
+  const RunResult result = record("LU", WorkingSet::kSmall);
+  const auto events = described_stream(result, 0);
+  // Blocking sends/recvs from the pipelined sweeps dominate the stream.
+  const std::size_t p2p = count_prefix(events, "MPI_Send") +
+                          count_prefix(events, "MPI_Recv");
+  EXPECT_GT(p2p, events.size() / 2);
+}
+
+TEST(LuStructure, EventCountGrowsWithWorkingSet) {
+  // LU's plane count scales with the grid: larger sets, more messages.
+  const std::uint64_t small =
+      record("LU", WorkingSet::kSmall).total_events;
+  const std::uint64_t large =
+      record("LU", WorkingSet::kLarge).total_events;
+  EXPECT_GT(large, small);
+}
+
+TEST(QuicksilverStructure, SeedChangesTheStream) {
+  // §III-C1: "its MPI communication pattern depends on the particles'
+  // position" — different seeds must give different event streams.
+  const RunResult a = record("Quicksilver", WorkingSet::kSmall, 1);
+  const RunResult b = record("Quicksilver", WorkingSet::kSmall, 2);
+  bool any_difference = false;
+  for (std::size_t rank = 0; rank < a.trace.threads.size(); ++rank) {
+    if (described_stream(a, rank) != described_stream(b, rank)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BtStructure, SeedDoesNotChangeTheStream) {
+  // Regular applications are seed-independent.
+  const RunResult a = record("BT", WorkingSet::kSmall, 1);
+  const RunResult b = record("BT", WorkingSet::kSmall, 2);
+  for (std::size_t rank = 0; rank < a.trace.threads.size(); ++rank) {
+    EXPECT_EQ(described_stream(a, rank), described_stream(b, rank));
+  }
+}
+
+TEST(AmgStructure, SetupIsIrregularSolveIsNot) {
+  // Two AMG runs with different seeds differ (setup traffic is
+  // matrix-dependent), but a fixed seed is fully reproducible.
+  const RunResult a = record("AMG", WorkingSet::kSmall, 5);
+  const RunResult b = record("AMG", WorkingSet::kSmall, 6);
+  const RunResult c = record("AMG", WorkingSet::kSmall, 5);
+  bool differs = false;
+  for (std::size_t rank = 0; rank < a.trace.threads.size(); ++rank) {
+    if (described_stream(a, rank) != described_stream(b, rank)) {
+      differs = true;
+    }
+    EXPECT_EQ(described_stream(a, rank), described_stream(c, rank));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LuleshStructure, ThirtyRegionsPerTimeStep) {
+  const RunResult result = record("Lulesh", WorkingSet::kSmall);
+  const auto events = described_stream(result, 0);
+  const std::size_t begins = count_prefix(events, "GOMP_parallel_start");
+  const std::size_t ends = count_prefix(events, "GOMP_parallel_end");
+  EXPECT_EQ(begins, ends);
+  ASSERT_GT(begins, 0u);
+  EXPECT_EQ(begins % 30, 0u);  // 30 regions per time step (§III-D2)
+  // All thirty distinct region ids appear.
+  std::set<std::string> distinct;
+  for (const std::string& event : events) {
+    if (event.rfind("GOMP_parallel_start", 0) == 0) distinct.insert(event);
+  }
+  EXPECT_EQ(distinct.size(), 30u);
+}
+
+TEST(KripkeStructure, EightOctantSweeps) {
+  const RunResult result = record("Kripke", WorkingSet::kSmall);
+  const auto events = described_stream(result, 0);
+  std::set<std::string> sweep_regions;
+  for (int octant = 0; octant < 8; ++octant) {
+    const std::string name =
+        "GOMP_parallel_start(" + std::to_string(10 + octant) + ")";
+    if (std::find(events.begin(), events.end(), name) != events.end()) {
+      sweep_regions.insert(name);  // region ids 10..17: the octants
+    }
+  }
+  EXPECT_EQ(sweep_regions.size(), 8u);
+}
+
+TEST(FtStructure, TransposeEveryIteration) {
+  const RunResult result = record("FT", WorkingSet::kSmall);
+  const auto events = described_stream(result, 0);
+  const std::size_t alltoalls = count_prefix(events, "MPI_Alltoall");
+  const std::size_t checksums = count_prefix(events, "MPI_Allreduce");
+  EXPECT_GE(alltoalls, 2u);
+  EXPECT_EQ(checksums + 1, alltoalls);  // setup transpose has no checksum
+}
+
+TEST(HybridApps, MixMpiAndOmpEventsInOneStream) {
+  // The per-rank oracle sees both runtimes' events (paper §III-B uses
+  // both shims together for the hybrid applications).
+  for (const char* name : {"AMG", "Lulesh", "Kripke", "miniFE",
+                           "Quicksilver"}) {
+    const RunResult result = record(name, WorkingSet::kSmall);
+    const auto events = described_stream(result, 0);
+    EXPECT_GT(count_prefix(events, "GOMP_"), 0u) << name;
+    EXPECT_GT(count_prefix(events, "MPI_"), 0u) << name;
+  }
+}
+
+TEST(WorkingSets, VirtualTimeGrowsWithProblemSize) {
+  for (const char* name : {"BT", "FT", "Lulesh", "miniFE"}) {
+    const apps::App* app = apps::find_app(name);
+    RunConfig config;
+    config.mode = Mode::kVanilla;
+    config.app = config_for(WorkingSet::kSmall);
+    const std::uint64_t small = run_app(*app, config).makespan_virtual_ns;
+    config.app = config_for(WorkingSet::kLarge);
+    const std::uint64_t large = run_app(*app, config).makespan_virtual_ns;
+    EXPECT_GT(large, small) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pythia::harness

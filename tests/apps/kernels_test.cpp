@@ -1,0 +1,167 @@
+// Numeric-kernel tests: correctness and reference checksums (the NPB
+// verification stage, scaled down).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "apps/kernels.hpp"
+
+namespace pythia::apps::kernels {
+namespace {
+
+TEST(EpKernel, AcceptanceRateNearPiOverFour) {
+  support::Rng rng(271828);
+  const EpResult result = ep_gaussian_pairs(rng, 200'000);
+  const double acceptance =
+      static_cast<double>(result.accepted) / 200'000.0;
+  EXPECT_NEAR(acceptance, M_PI / 4.0, 0.01);
+}
+
+TEST(EpKernel, GaussianMomentsAreSane) {
+  support::Rng rng(314159);
+  const EpResult result = ep_gaussian_pairs(rng, 300'000);
+  // Mean of a standard Gaussian: ~0.
+  EXPECT_NEAR(result.sum_x / static_cast<double>(result.accepted), 0.0,
+              0.01);
+  EXPECT_NEAR(result.sum_y / static_cast<double>(result.accepted), 0.0,
+              0.01);
+  // Annulus counts decay sharply (|N(0,1)| beyond 3 is rare).
+  EXPECT_GT(result.counts[0], result.counts[2]);
+  EXPECT_GT(result.counts[1], result.counts[3]);
+  EXPECT_EQ(result.counts[9], 0u);
+}
+
+TEST(EpKernel, DeterministicForSeed) {
+  support::Rng a(7), b(7);
+  const EpResult first = ep_gaussian_pairs(a, 50'000);
+  const EpResult second = ep_gaussian_pairs(b, 50'000);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_DOUBLE_EQ(first.sum_x, second.sum_x);
+}
+
+TEST(IsKernel, SortsAndChecksums) {
+  support::Rng rng(99);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 4096; ++i) {
+    keys.push_back(static_cast<std::uint32_t>(rng.below(512)));
+  }
+  std::vector<std::uint32_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const std::uint64_t checksum_a = bucket_sort(keys, 512);
+  EXPECT_EQ(keys, expected);
+  // Checksum is stable for the same multiset.
+  std::vector<std::uint32_t> again = expected;
+  EXPECT_EQ(bucket_sort(again, 512), checksum_a);
+}
+
+TEST(CgKernel, MatvecMatchesDenseReference) {
+  std::vector<double> p = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y(5);
+  cg_matvec(p, y);
+  // A = 4I - shift(-1) - shift(+1), periodic.
+  EXPECT_DOUBLE_EQ(y[0], 4 * 1.0 - 5.0 - 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 4 * 3.0 - 2.0 - 4.0);
+  EXPECT_DOUBLE_EQ(y[4], 4 * 5.0 - 4.0 - 1.0);
+}
+
+TEST(CgKernel, ResidualDecreasesUntilConvergence) {
+  CgState state(64);
+  double previous = std::sqrt(state.rho);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const double residual = cg_step(state);
+    EXPECT_LT(residual, previous);
+    previous = residual;
+    if (previous < 1e-12) break;  // the ones-RHS is an eigenvector: 1 step
+  }
+  EXPECT_LT(previous, 1e-6);
+}
+
+TEST(CgKernel, SolvesTheSystem) {
+  CgState state(30);  // multiple of 5: the pattern is periodic-compatible
+  for (int i = 0; i < 40; ++i) cg_step(state);
+  // Verify A x ~= b with b_i = 1 + (i%5)/4 (the constructor's RHS).
+  std::vector<double> ax(30);
+  cg_matvec(state.x, ax);
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(ax[i], 1.0 + 0.25 * static_cast<double>(i % 5), 1e-8);
+  }
+}
+
+TEST(MgKernel, RelaxationReducesResidual) {
+  const std::size_t n = 12;
+  std::vector<double> grid(n * n * n, 0.0);
+  const double after_one = mg_relax(grid, n, 1);
+  const double after_more = mg_relax(grid, n, 5);
+  EXPECT_LT(after_more, after_one);
+  EXPECT_GT(after_one, 0.0);
+}
+
+TEST(MgKernel, BoundaryStaysZero) {
+  const std::size_t n = 8;
+  std::vector<double> grid(n * n * n, 0.0);
+  mg_relax(grid, n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(grid[(i * n + j) * n + 0], 0.0);
+      EXPECT_DOUBLE_EQ(grid[(0 * n + i) * n + j], 0.0);
+    }
+  }
+}
+
+TEST(HydroKernel, EnergyDecaysToZero) {
+  std::vector<double> energy(100, 10.0);
+  std::vector<double> pressure(100, 0.0);
+  double previous = 1e300;
+  for (int step = 0; step < 50; ++step) {
+    const double total = hydro_energy_update(energy, pressure, 0.1);
+    EXPECT_LT(total, previous);
+    previous = total;
+  }
+  EXPECT_LT(previous, 200.0);
+  for (double e : energy) EXPECT_GE(e, 0.0);
+}
+
+TEST(FftKernel, DeltaHasFlatSpectrum) {
+  // FFT of a delta: every bin has magnitude 1.
+  std::vector<double> signal(2 * 16, 0.0);
+  signal[0] = 1.0;
+  const double checksum = fft_radix2(signal);
+  EXPECT_NEAR(checksum, 16.0, 1e-9);
+}
+
+TEST(FftKernel, ConstantConcentratesInDc) {
+  std::vector<double> signal(2 * 32, 0.0);
+  for (int i = 0; i < 32; ++i) signal[2 * i] = 1.0;
+  fft_radix2(signal);
+  EXPECT_NEAR(signal[0], 32.0, 1e-9);  // DC bin
+  for (int bin = 1; bin < 32; ++bin) {
+    EXPECT_NEAR(signal[2 * bin], 0.0, 1e-9);
+    EXPECT_NEAR(signal[2 * bin + 1], 0.0, 1e-9);
+  }
+}
+
+TEST(FftKernel, ParsevalHolds) {
+  support::Rng rng(5);
+  const std::size_t n = 64;
+  std::vector<double> signal(2 * n);
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    signal[i] = rng.uniform() - 0.5;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    time_energy += signal[2 * i] * signal[2 * i] +
+                   signal[2 * i + 1] * signal[2 * i + 1];
+  }
+  fft_radix2(signal);
+  double freq_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    freq_energy += signal[2 * i] * signal[2 * i] +
+                   signal[2 * i + 1] * signal[2 * i + 1];
+  }
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-6);
+}
+
+}  // namespace
+}  // namespace pythia::apps::kernels

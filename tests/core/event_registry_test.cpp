@@ -1,0 +1,122 @@
+// EventRegistry unit tests: interning stability, payload handling,
+// description formatting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/shared_registry.hpp"
+
+namespace pythia {
+namespace {
+
+TEST(EventRegistry, KindInterningIsIdempotent) {
+  EventRegistry registry;
+  const KindId a = registry.intern_kind("MPI_Send");
+  const KindId b = registry.intern_kind("MPI_Recv");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.intern_kind("MPI_Send"), a);
+  EXPECT_EQ(registry.intern_kind("MPI_Recv"), b);
+  EXPECT_EQ(registry.kind_count(), 2u);
+}
+
+TEST(EventRegistry, EventsDistinguishPayloads) {
+  EventRegistry registry;
+  const KindId send = registry.intern_kind("MPI_Send");
+  const TerminalId to1 = registry.intern_event(send, 1);
+  const TerminalId to2 = registry.intern_event(send, 2);
+  const TerminalId plain = registry.intern_event(send);
+  EXPECT_NE(to1, to2);
+  EXPECT_NE(to1, plain);
+  EXPECT_EQ(registry.intern_event(send, 1), to1);
+  EXPECT_EQ(registry.event_count(), 3u);
+}
+
+TEST(EventRegistry, RoundTripAccessors) {
+  EventRegistry registry;
+  const TerminalId id = registry.intern("GOMP_parallel_start", 42);
+  EXPECT_EQ(registry.kind_name(registry.kind_of(id)),
+            "GOMP_parallel_start");
+  EXPECT_EQ(registry.aux_of(id), 42);
+  const TerminalId bare = registry.intern("GOMP_barrier");
+  EXPECT_EQ(registry.aux_of(bare), kNoAux);
+}
+
+TEST(EventRegistry, DescribeFormatsPayloads) {
+  EventRegistry registry;
+  EXPECT_EQ(registry.describe(registry.intern("MPI_Send", 3)), "MPI_Send(3)");
+  EXPECT_EQ(registry.describe(registry.intern("MPI_Barrier")), "MPI_Barrier");
+  EXPECT_EQ(registry.describe(registry.intern("offset", -2)), "offset(-2)");
+}
+
+TEST(EventRegistry, NegativeAuxValuesAreDistinct) {
+  // The relative peer encoding produces signed offsets; -1 and +1 must
+  // intern to different terminals and survive round trips.
+  EventRegistry registry;
+  const KindId send = registry.intern_kind("MPI_Send");
+  const TerminalId minus = registry.intern_event(send, -1);
+  const TerminalId plus = registry.intern_event(send, +1);
+  EXPECT_NE(minus, plus);
+  EXPECT_EQ(registry.aux_of(minus), -1);
+  EXPECT_EQ(registry.aux_of(plus), 1);
+  EXPECT_EQ(registry.intern_event(send, -1), minus);
+}
+
+TEST(EventRegistry, ManyKindsAndEvents) {
+  EventRegistry registry;
+  std::vector<TerminalId> ids;
+  for (int kind = 0; kind < 50; ++kind) {
+    const KindId k = registry.intern_kind("kind_" + std::to_string(kind));
+    for (int aux = 0; aux < 20; ++aux) {
+      ids.push_back(registry.intern_event(k, aux));
+    }
+  }
+  EXPECT_EQ(registry.kind_count(), 50u);
+  EXPECT_EQ(registry.event_count(), 1000u);
+  // Dense, unique ids.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<TerminalId>(i));
+  }
+}
+
+TEST(SharedRegistry, CachedInternerAvoidsRepeatLookups) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  CachedInterner interner(shared);
+  const KindId kind = shared.kind("MPI_Send");
+  const TerminalId first = interner.event(kind, 7);
+  EXPECT_EQ(interner.event(kind, 7), first);
+  EXPECT_EQ(registry.event_count(), 1u);
+  EXPECT_NE(interner.event(kind, 8), first);
+  EXPECT_EQ(registry.event_count(), 2u);
+}
+
+TEST(SharedRegistry, ConcurrentInterningIsConsistent) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  const KindId kind = shared.kind("evt");
+  constexpr int kThreads = 8;
+  constexpr int kAuxRange = 64;
+  std::vector<std::vector<TerminalId>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int aux = 0; aux < kAuxRange; ++aux) {
+          seen[static_cast<std::size_t>(t)].push_back(
+              shared.event(kind, aux));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  // Every thread must have received the same id for the same payload.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(registry.event_count(), static_cast<std::size_t>(kAuxRange));
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,188 @@
+// Unit tests for the grammar reduction core: small hand-checked sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  out.reserve(letters.size());
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  return grammar;
+}
+
+void expect_roundtrip(const std::string& letters) {
+  Grammar grammar = reduce(letters);
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.unfold(), ids(letters)) << "sequence: " << letters
+                                            << "\n" << grammar.to_text();
+}
+
+TEST(GrammarBasic, EmptyGrammar) {
+  Grammar grammar;
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.sequence_length(), 0u);
+  EXPECT_TRUE(grammar.unfold().empty());
+  EXPECT_EQ(grammar.rule_count(), 1u);  // just the root
+}
+
+TEST(GrammarBasic, SingleEvent) {
+  Grammar grammar = reduce("a");
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.sequence_length(), 1u);
+  EXPECT_EQ(grammar.unfold(), ids("a"));
+  EXPECT_EQ(grammar.rule_count(), 1u);
+}
+
+TEST(GrammarBasic, RunsMergeIntoExponents) {
+  Grammar grammar = reduce("aaaaa");
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.rule_count(), 1u);
+  EXPECT_EQ(grammar.root()->length, 1u);
+  EXPECT_EQ(grammar.root()->head->exp, 5u);
+  EXPECT_EQ(grammar.unfold(), ids("aaaaa"));
+}
+
+TEST(GrammarBasic, DistinctSymbolsStayFlat) {
+  Grammar grammar = reduce("abcdef");
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.rule_count(), 1u);
+  EXPECT_EQ(grammar.root()->length, 6u);
+  EXPECT_EQ(grammar.unfold(), ids("abcdef"));
+}
+
+TEST(GrammarBasic, RepeatedPairCreatesRule) {
+  // abab -> R: A^2, A -> a b
+  Grammar grammar = reduce("abab");
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.unfold(), ids("abab"));
+  EXPECT_EQ(grammar.rule_count(), 2u);
+  EXPECT_EQ(grammar.root()->length, 1u);
+  EXPECT_EQ(grammar.root()->head->exp, 2u);
+}
+
+TEST(GrammarBasic, LoopReducesToExponent) {
+  // 50 repetitions of "ab" (paper fig. 2): loop of one hundred iterations
+  // alternating two events reduces to A^50 with A -> a b.
+  std::string seq;
+  for (int i = 0; i < 50; ++i) seq += "ab";
+  Grammar grammar = reduce(seq);
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.unfold(), ids(seq));
+  EXPECT_EQ(grammar.rule_count(), 2u);
+  ASSERT_EQ(grammar.root()->length, 1u);
+  EXPECT_EQ(grammar.root()->head->exp, 50u);
+  const Rule* inner =
+      grammar.rule_by_id(grammar.root()->head->sym.rule_id());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->length, 2u);
+}
+
+TEST(GrammarBasic, PaperFigure1Trace) {
+  // "abbcbcab" (paper fig. 1) — the exact rule split depends on the
+  // algorithm's history; the contract is: invariants hold and the trace
+  // unfolds exactly.
+  expect_roundtrip("abbcbcab");
+}
+
+TEST(GrammarBasic, HandCheckedSmallSequences) {
+  expect_roundtrip("aa");
+  expect_roundtrip("ab");
+  expect_roundtrip("aba");
+  expect_roundtrip("abab");
+  expect_roundtrip("ababab");
+  expect_roundtrip("aabb");
+  expect_roundtrip("aabbaabb");
+  expect_roundtrip("abcabc");
+  expect_roundtrip("abcabd");
+  expect_roundtrip("xyxyx");
+  expect_roundtrip("aaabaaab");
+  expect_roundtrip("abbbabbb");
+  expect_roundtrip("abcbcbc");
+}
+
+TEST(GrammarBasic, NestedRepetition) {
+  // ((ab)^3 c)^4 — nested loops become nested rules.
+  std::string seq;
+  for (int outer = 0; outer < 4; ++outer) {
+    for (int inner = 0; inner < 3; ++inner) seq += "ab";
+    seq += "c";
+  }
+  Grammar grammar = reduce(seq);
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.unfold(), ids(seq));
+  // The structure should be strongly compressed: far fewer nodes than
+  // events.
+  EXPECT_LE(grammar.rule_count(), 4u);
+}
+
+TEST(GrammarBasic, LongLoopIsCompact) {
+  // A 10'000-iteration loop body of 6 events must stay tiny (the paper's
+  // BT grammar has 3 rules for 2.3M events).
+  std::string body = "abcdef";
+  Grammar grammar;
+  for (int i = 0; i < 10000; ++i) {
+    for (char c : body) grammar.append(static_cast<TerminalId>(c - 'a'));
+  }
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.sequence_length(), 60000u);
+  EXPECT_LE(grammar.rule_count(), 6u);
+  std::size_t nodes = 0;
+  for (const Rule* rule : grammar.rules()) nodes += rule->length;
+  EXPECT_LE(nodes, 24u);
+}
+
+TEST(GrammarBasic, AppendAfterFinalizeAborts) {
+  Grammar grammar = reduce("abab");
+  grammar.finalize();
+  EXPECT_TRUE(grammar.finalized());
+  EXPECT_DEATH(grammar.append(0), "finalize");
+}
+
+TEST(GrammarBasic, FinalizeComputesOccurrences) {
+  std::string seq;
+  for (int i = 0; i < 7; ++i) seq += "ab";
+  Grammar grammar = reduce(seq);
+  grammar.finalize();
+  EXPECT_EQ(grammar.root()->occurrences, 1u);
+  const Rule* inner =
+      grammar.rule_by_id(grammar.root()->head->sym.rule_id());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->occurrences, 7u);
+  // Terminal occurrence index: 'a' appears in one spot of the grammar.
+  EXPECT_EQ(grammar.occurrences_of(0).size(), 1u);
+  EXPECT_EQ(grammar.occurrences_of(99).size(), 0u);
+}
+
+TEST(GrammarBasic, FromBodiesRoundTrip) {
+  // R -> A b A ; A -> a b   represents "ab b ab".
+  std::vector<std::vector<Grammar::BodyEntry>> bodies = {
+      {{Symbol::rule(1), 1}, {Symbol::terminal(1), 1}, {Symbol::rule(1), 1}},
+      {{Symbol::terminal(0), 1}, {Symbol::terminal(1), 1}},
+  };
+  Grammar grammar = Grammar::from_bodies(bodies);
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.unfold(), ids("abbab"));
+  EXPECT_EQ(grammar.sequence_length(), 5u);
+}
+
+TEST(GrammarBasic, MoveConstructionKeepsStructure) {
+  Grammar grammar = reduce("abcabcabc");
+  Grammar moved = std::move(grammar);
+  moved.check_invariants();
+  EXPECT_EQ(moved.unfold(), ids("abcabcabc"));
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,186 @@
+// Property tests for the grammar: for any event sequence,
+//   unfold(reduce(seq)) == seq   and all three invariants hold
+// after every single append. Sequences are drawn from generators that
+// stress the reduction: small alphabets, heavy repetition, nested loops,
+// runs, and structured program-like traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+using support::Rng;
+
+struct GeneratorCase {
+  std::string name;
+  int alphabet;
+  int length;
+  int style;  // 0 uniform, 1 runs, 2 loops, 3 nested loops, 4 markov
+};
+
+std::vector<TerminalId> generate(const GeneratorCase& spec,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TerminalId> out;
+  out.reserve(static_cast<std::size_t>(spec.length));
+  switch (spec.style) {
+    case 0:  // uniform random
+      while (out.size() < static_cast<std::size_t>(spec.length))
+        out.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+      break;
+    case 1:  // random runs: symbol repeated 1..8 times
+      while (out.size() < static_cast<std::size_t>(spec.length)) {
+        const auto sym = static_cast<TerminalId>(rng.below(spec.alphabet));
+        const auto run = 1 + rng.below(8);
+        for (std::uint64_t i = 0;
+             i < run && out.size() < static_cast<std::size_t>(spec.length);
+             ++i)
+          out.push_back(sym);
+      }
+      break;
+    case 2: {  // flat loops: random body repeated many times
+      while (out.size() < static_cast<std::size_t>(spec.length)) {
+        const auto body_len = 1 + rng.below(5);
+        std::vector<TerminalId> body;
+        for (std::uint64_t i = 0; i < body_len; ++i)
+          body.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+        const auto reps = 1 + rng.below(10);
+        for (std::uint64_t r = 0;
+             r < reps && out.size() < static_cast<std::size_t>(spec.length);
+             ++r)
+          for (TerminalId t : body) out.push_back(t);
+      }
+      break;
+    }
+    case 3: {  // nested loops, program-like
+      const auto inner_len = 1 + rng.below(3);
+      std::vector<TerminalId> inner;
+      for (std::uint64_t i = 0; i < inner_len; ++i)
+        inner.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+      while (out.size() < static_cast<std::size_t>(spec.length)) {
+        const auto inner_reps = 1 + rng.below(6);
+        for (std::uint64_t r = 0; r < inner_reps; ++r)
+          for (TerminalId t : inner) out.push_back(t);
+        out.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+      }
+      out.resize(static_cast<std::size_t>(spec.length));
+      break;
+    }
+    case 4: {  // sticky markov chain: repeats previous symbol often
+      TerminalId prev = 0;
+      while (out.size() < static_cast<std::size_t>(spec.length)) {
+        if (!out.empty() && rng.chance(0.6)) {
+          out.push_back(prev);
+        } else {
+          prev = static_cast<TerminalId>(rng.below(spec.alphabet));
+          out.push_back(prev);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+class GrammarProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GrammarProperty, RoundTripAndInvariants) {
+  const auto [alphabet, length, style, seed] = GetParam();
+  GeneratorCase spec{"param", alphabet, length, style};
+  const std::vector<TerminalId> seq =
+      generate(spec, static_cast<std::uint64_t>(seed) * 7919u + 13u);
+
+  Grammar grammar;
+  // Check invariants continuously on short sequences; on longer ones,
+  // checking every step would be quadratic, so check periodically.
+  const std::size_t check_every = seq.size() <= 64 ? 1 : seq.size() / 16;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    grammar.append(seq[i]);
+    if (i % check_every == 0) grammar.check_invariants();
+  }
+  grammar.check_invariants();
+  ASSERT_EQ(grammar.sequence_length(), seq.size());
+  EXPECT_EQ(grammar.unfold(), seq) << grammar.to_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAlphabetShort, GrammarProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),       // alphabet
+                       ::testing::Values(8, 24, 60),     // length
+                       ::testing::Values(0, 1, 2, 3, 4),  // style
+                       ::testing::Range(0, 6)));          // seeds
+
+INSTANTIATE_TEST_SUITE_P(
+    WiderAlphabetLonger, GrammarProperty,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(200, 1000),
+                       ::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Range(0, 3)));
+
+TEST(GrammarStress, ExhaustiveBinarySequences) {
+  // Every binary sequence of length <= 12 must round-trip with invariants
+  // intact after every single append.
+  for (int length = 1; length <= 12; ++length) {
+    for (std::uint32_t bits = 0; bits < (1u << length); ++bits) {
+      Grammar grammar;
+      std::vector<TerminalId> seq;
+      for (int i = 0; i < length; ++i) {
+        const TerminalId t = (bits >> i) & 1u;
+        seq.push_back(t);
+        grammar.append(t);
+        grammar.check_invariants();
+      }
+      ASSERT_EQ(grammar.unfold(), seq)
+          << "bits=" << bits << " len=" << length << "\n"
+          << grammar.to_text();
+    }
+  }
+}
+
+TEST(GrammarStress, ExhaustiveTernarySequencesLength8) {
+  std::vector<TerminalId> seq(8);
+  for (std::uint32_t code = 0; code < 6561; ++code) {  // 3^8
+    std::uint32_t c = code;
+    Grammar grammar;
+    for (int i = 0; i < 8; ++i) {
+      seq[static_cast<std::size_t>(i)] = c % 3;
+      c /= 3;
+      grammar.append(seq[static_cast<std::size_t>(i)]);
+    }
+    grammar.check_invariants();
+    ASSERT_EQ(grammar.unfold(), seq) << "code=" << code;
+  }
+}
+
+TEST(GrammarStress, LargeStructuredTrace) {
+  // A BT-like trace: init, 200 iterations of (exchange pattern), finale —
+  // at scale. 200'000+ events must reduce to a handful of rules quickly.
+  Grammar grammar;
+  auto emit = [&](TerminalId t) { grammar.append(t); };
+  for (int i = 0; i < 6; ++i) emit(10);  // Bcast x6
+  emit(11);                              // Barrier
+  for (int iter = 0; iter < 20000; ++iter) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 4u}) emit(t);  // halo exchange
+    emit(5u);
+    emit(5u);  // Wait^2
+  }
+  emit(12);  // Allreduce
+  emit(12);
+  emit(13);  // Reduce
+  emit(11);  // Barrier
+  grammar.check_invariants();
+  EXPECT_EQ(grammar.sequence_length(), 6u + 1u + 20000u * 7u + 4u);
+  EXPECT_LE(grammar.rule_count(), 8u);
+}
+
+}  // namespace
+}  // namespace pythia

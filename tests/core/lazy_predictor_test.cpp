@@ -1,0 +1,167 @@
+// Tests for the lazy partial-progress-sequence tracker (§II-B2's literal
+// mechanism) and its agreement with the eager Predictor.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/lazy_predictor.hpp"
+#include "core/predictor.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  grammar.finalize();
+  return grammar;
+}
+
+TEST(LazyPredictor, TracksADeterministicLoop) {
+  std::string trace;
+  for (int i = 0; i < 40; ++i) trace += "abc";
+  Grammar grammar = reduce(trace);
+  LazyPredictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    if (i < 3 || i + 4 > seq.size()) continue;
+    const auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value());
+    ++total;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(LazyPredictor, InitialAnchorsHoldOnlyTheTerminal) {
+  // The paper: initial partial sequences contain "only the terminal" —
+  // anchoring on a common event must NOT enumerate root chains.
+  std::string trace;
+  for (int i = 0; i < 30; ++i) trace += "ab";
+  Grammar grammar = reduce(trace);
+  LazyPredictor predictor(grammar);
+  predictor.observe(0);
+  // 'a' has one occurrence node in the grammar (inside the loop rule);
+  // the lazy tracker holds exactly its phases, not one path per
+  // iteration.
+  EXPECT_LE(predictor.candidate_count(), 2u);
+}
+
+TEST(LazyPredictor, ExtendsAcrossRuleBoundaries) {
+  // Fig. 5's situation: after the last terminal of a rule instance, the
+  // tracker must continue into the successor context.
+  Grammar grammar = reduce("abcabdababc");
+  LazyPredictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids("abcabdababc");
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    const auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value()) << i;
+    ++total;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  EXPECT_GE(correct, total * 2 / 3);
+}
+
+TEST(LazyPredictor, UnknownEventGoesDarkAndRecovers) {
+  std::string trace;
+  for (int i = 0; i < 20; ++i) trace += "ab";
+  Grammar grammar = reduce(trace);
+  LazyPredictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(25);
+  EXPECT_FALSE(predictor.synchronized());
+  EXPECT_EQ(predictor.stats().unknown, 1u);
+  predictor.observe(0);
+  EXPECT_TRUE(predictor.synchronized());
+  const auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, 1u);
+}
+
+class TrackerAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrackerAgreement, EagerAndLazyAgreeOnNextEvent) {
+  // On structured traces tracked from the start, the two strategies must
+  // give the same distance-1 answer nearly always.
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<TerminalId> seq;
+  // Loop-structured random trace.
+  const int body_length = 2 + static_cast<int>(rng.below(4));
+  std::vector<TerminalId> body;
+  for (int i = 0; i < body_length; ++i) {
+    body.push_back(static_cast<TerminalId>(rng.below(5)));
+  }
+  for (int outer = 0; outer < 30; ++outer) {
+    for (TerminalId t : body) seq.push_back(t);
+    seq.push_back(static_cast<TerminalId>(rng.below(5)));
+  }
+  Grammar grammar;
+  for (TerminalId t : seq) grammar.append(t);
+  grammar.finalize();
+
+  Predictor eager(grammar);
+  LazyPredictor lazy(grammar);
+  std::size_t agreements = 0, comparisons = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    eager.observe(seq[i]);
+    lazy.observe(seq[i]);
+    const auto from_eager = eager.predict(1);
+    const auto from_lazy = lazy.predict(1);
+    if (i < 5) continue;
+    if (from_eager.has_value() && from_lazy.has_value()) {
+      ++comparisons;
+      if (from_eager->event == from_lazy->event) ++agreements;
+    }
+  }
+  ASSERT_GT(comparisons, 50u);
+  EXPECT_GE(static_cast<double>(agreements),
+            0.9 * static_cast<double>(comparisons));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerAgreement, ::testing::Range(0, 8));
+
+TEST(LazyPredictor, CandidateCapHolds) {
+  support::Rng rng(3);
+  Grammar grammar;
+  for (int i = 0; i < 2000; ++i) {
+    grammar.append(static_cast<TerminalId>(rng.below(3)));
+  }
+  grammar.finalize();
+  LazyPredictor::Options options;
+  options.max_candidates = 8;
+  LazyPredictor predictor(grammar, options);
+  support::Rng replay(4);
+  for (int i = 0; i < 100; ++i) {
+    predictor.observe(static_cast<TerminalId>(replay.below(3)));
+    ASSERT_LE(predictor.candidate_count(), 8u);
+  }
+}
+
+TEST(LazyPredictor, DistributionSumsToOne) {
+  Grammar grammar = reduce("abcabdababc");
+  LazyPredictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  const auto distribution = predictor.predict_distribution(2);
+  double total = 0.0;
+  for (const Prediction& p : distribution) total += p.probability;
+  if (!distribution.empty()) {
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,107 @@
+// Oracle facade tests: mode semantics, event hook, lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/trace_io.hpp"
+
+namespace pythia {
+namespace {
+
+TEST(Oracle, ModesReportCorrectly) {
+  Oracle off = Oracle::off();
+  EXPECT_EQ(off.mode(), Oracle::Mode::kOff);
+  EXPECT_FALSE(off.recording());
+  EXPECT_FALSE(off.predicting());
+
+  Oracle record = Oracle::record(false);
+  EXPECT_EQ(record.mode(), Oracle::Mode::kRecord);
+  EXPECT_TRUE(record.recording());
+  EXPECT_NE(record.recorder(), nullptr);
+  EXPECT_EQ(record.predictor(), nullptr);
+}
+
+TEST(Oracle, FinishTransitionsToOff) {
+  Oracle oracle = Oracle::record(false);
+  oracle.event(0);
+  oracle.event(1);
+  ThreadTrace trace = oracle.finish();
+  EXPECT_EQ(oracle.mode(), Oracle::Mode::kOff);
+  EXPECT_EQ(trace.grammar.sequence_length(), 2u);
+  // Events after finish are silently dropped (off mode).
+  oracle.event(2);
+}
+
+TEST(Oracle, FinishOutsideRecordAborts) {
+  Oracle oracle = Oracle::off();
+  EXPECT_DEATH(oracle.finish(), "record");
+}
+
+TEST(Oracle, PredictModeExposesPredictor) {
+  Oracle record = Oracle::record(true);
+  std::uint64_t now = 0;
+  for (int i = 0; i < 20; ++i) {
+    record.event(i % 2, now += 100);
+  }
+  ThreadTrace trace = record.finish();
+
+  Oracle oracle = Oracle::predict(trace);
+  EXPECT_TRUE(oracle.predicting());
+  ASSERT_NE(oracle.predictor(), nullptr);
+  oracle.event(0);
+  auto next = oracle.predict_event(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->event, 1u);
+}
+
+TEST(Oracle, EventHookFiresInEveryMode) {
+  std::vector<TerminalId> hooked;
+  auto hook = [&](TerminalId event, std::uint64_t) {
+    hooked.push_back(event);
+  };
+
+  Oracle off = Oracle::off();
+  off.set_event_hook(hook);
+  off.event(5);
+  EXPECT_EQ(hooked, std::vector<TerminalId>{5});
+
+  hooked.clear();
+  Oracle record = Oracle::record(false);
+  record.set_event_hook(hook);
+  record.event(1);
+  record.event(2);
+  EXPECT_EQ(hooked, (std::vector<TerminalId>{1, 2}));
+  EXPECT_EQ(record.recorder()->event_count(), 2u);
+}
+
+TEST(Oracle, PredictQueriesRequirePredictMode) {
+  Oracle record = Oracle::record(false);
+  record.event(0);
+  EXPECT_FALSE(record.predict_event(1).has_value());
+  EXPECT_FALSE(record.predict_time_ns(1).has_value());
+}
+
+TEST(Oracle, TimestamplessRecordingHasNoTimingModel) {
+  Oracle record = Oracle::record(/*timestamps=*/false);
+  for (int i = 0; i < 10; ++i) record.event(i % 2, 1000u * i);
+  ThreadTrace trace = record.finish();
+  EXPECT_TRUE(trace.timing.empty());
+
+  Oracle oracle = Oracle::predict(trace);
+  oracle.event(0);
+  EXPECT_TRUE(oracle.predict_event(1).has_value());     // events: yes
+  EXPECT_FALSE(oracle.predict_time_ns(1).has_value());  // durations: no
+}
+
+TEST(Oracle, MoveSemantics) {
+  Oracle record = Oracle::record(false);
+  record.event(3);
+  Oracle moved = std::move(record);
+  moved.event(4);
+  ThreadTrace trace = moved.finish();
+  EXPECT_EQ(trace.grammar.sequence_length(), 2u);
+}
+
+}  // namespace
+}  // namespace pythia

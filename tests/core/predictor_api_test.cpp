@@ -1,0 +1,120 @@
+// Tests for the lookahead-oriented predictor APIs: predict_sequence,
+// reference_occurrences, and the grammar's dot export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  grammar.finalize();
+  return grammar;
+}
+
+TEST(PredictSequence, FollowsTheTrace) {
+  std::string trace;
+  for (int i = 0; i < 40; ++i) trace += "abcd";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  const std::vector<TerminalId> next = predictor.predict_sequence(6);
+  EXPECT_EQ(next, ids("cdabcd"));
+}
+
+TEST(PredictSequence, AgreesWithPerDistancePredictions) {
+  std::string trace;
+  for (int i = 0; i < 25; ++i) trace += "xyz";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(static_cast<TerminalId>('x' - 'a'));
+  predictor.observe(static_cast<TerminalId>('y' - 'a'));
+  const std::vector<TerminalId> sequence = predictor.predict_sequence(9);
+  ASSERT_EQ(sequence.size(), 9u);
+  for (std::size_t distance = 1; distance <= 9; ++distance) {
+    const auto single = predictor.predict(distance);
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(single->event, sequence[distance - 1])
+        << "distance " << distance;
+  }
+}
+
+TEST(PredictSequence, TruncatesAtTraceEnd) {
+  Grammar grammar = reduce("abcde");
+  Predictor predictor(grammar);
+  predictor.observe(2);  // c
+  const std::vector<TerminalId> tail = predictor.predict_sequence(10);
+  EXPECT_EQ(tail, ids("de"));
+}
+
+TEST(PredictSequence, EmptyWhenDark) {
+  Grammar grammar = reduce("abab");
+  Predictor predictor(grammar);
+  predictor.observe(25);  // unknown event
+  EXPECT_TRUE(predictor.predict_sequence(4).empty());
+}
+
+TEST(ReferenceOccurrences, CountsThroughExponentsAndRules) {
+  // (ab)^20 c: a and b occur 20 times, c once.
+  std::string trace;
+  for (int i = 0; i < 20; ++i) trace += "ab";
+  trace += "c";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  EXPECT_EQ(predictor.reference_occurrences(0), 20u);
+  EXPECT_EQ(predictor.reference_occurrences(1), 20u);
+  EXPECT_EQ(predictor.reference_occurrences(2), 1u);
+  EXPECT_EQ(predictor.reference_occurrences(25), 0u);
+}
+
+TEST(ReferenceOccurrences, NestedRules) {
+  // ((ab)^3 c)^4: a occurs 12 times, c 4 times.
+  std::string trace;
+  for (int outer = 0; outer < 4; ++outer) {
+    for (int inner = 0; inner < 3; ++inner) trace += "ab";
+    trace += "c";
+  }
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  EXPECT_EQ(predictor.reference_occurrences(0), 12u);
+  EXPECT_EQ(predictor.reference_occurrences(2), 4u);
+}
+
+TEST(DotExport, ContainsRulesAndEdges) {
+  std::string trace;
+  for (int i = 0; i < 10; ++i) trace += "ab";
+  Grammar grammar = reduce(trace);
+  const std::string dot = grammar.to_dot();
+  EXPECT_NE(dot.find("digraph grammar"), std::string::npos);
+  EXPECT_NE(dot.find("r0"), std::string::npos);   // root node
+  EXPECT_NE(dot.find("->"), std::string::npos);   // at least one edge
+  EXPECT_NE(dot.find("^10"), std::string::npos);  // the loop exponent
+}
+
+TEST(DotExport, EscapesRegistryNames) {
+  Grammar grammar;
+  EventRegistry registry;
+  const TerminalId evil = registry.intern("say_\"hi\"");
+  grammar.append(evil);
+  grammar.append(evil);
+  grammar.finalize();
+  const std::string dot = grammar.to_dot(&registry);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,211 @@
+// Scenario tests for the predictor: repetition phases, branch
+// probabilities, candidate management, and cross-trace behaviours beyond
+// the basic cases in predictor_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  grammar.finalize();
+  return grammar;
+}
+
+TEST(PredictorScenario, RunPhaseDisambiguation) {
+  // Reference: a^5 b, repeated. Anchoring mid-run on 'a' is ambiguous
+  // (could be any of the five repetitions); the end-of-run candidate
+  // lets the oracle predict 'b' once the run ends.
+  std::string trace;
+  for (int i = 0; i < 12; ++i) trace += "aaaaab";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+
+  // Observe exactly a full run of a's from the start of a block: after
+  // the 5th 'a', the next event must be 'b'.
+  predictor.observe(1);  // b — anchors at end of a block
+  for (int i = 0; i < 5; ++i) predictor.observe(0);
+  auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, 1u);  // b
+}
+
+TEST(PredictorScenario, LongRunMidPhaseTolerance) {
+  // With a run of 100 identical events, candidates must survive being
+  // anchored mid-run: observing several a's keeps the oracle synchronized
+  // and predicting 'a'.
+  std::string trace;
+  for (int i = 0; i < 5; ++i) {
+    trace += std::string(100, 'a');
+    trace += "b";
+  }
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  for (int i = 0; i < 30; ++i) {
+    predictor.observe(0);
+    ASSERT_TRUE(predictor.synchronized());
+    auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_EQ(prediction->event, 0u);  // deep inside the run: more a's
+  }
+}
+
+TEST(PredictorScenario, BranchProbabilitiesAtDepth) {
+  // After "xy", the reference continues with "p" 3 times out of 4 and
+  // "q" once. predict(1) from a fresh anchor on y must weight p : q = 3.
+  std::string trace;
+  for (int i = 0; i < 3; ++i) trace += "xyp";
+  trace += "xyq";
+  for (int i = 0; i < 3; ++i) trace += "xyp";
+  trace += "xyq";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(static_cast<TerminalId>('x' - 'a'));
+  predictor.observe(static_cast<TerminalId>('y' - 'a'));
+  auto distribution = predictor.predict_distribution(1);
+  ASSERT_GE(distribution.size(), 2u);
+  EXPECT_EQ(distribution[0].event, static_cast<TerminalId>('p' - 'a'));
+  EXPECT_GT(distribution[0].probability, 0.6);
+  EXPECT_LT(distribution[0].probability, 0.95);
+  EXPECT_EQ(distribution[1].event, static_cast<TerminalId>('q' - 'a'));
+}
+
+TEST(PredictorScenario, DistancePastLoopBoundary) {
+  // 20 iterations of "abc" then a distinct finale "xyz": predictions
+  // across the boundary from inside the loop are only correct once the
+  // oracle knows which iteration it is in.
+  std::string trace;
+  for (int i = 0; i < 20; ++i) trace += "abc";
+  trace += "xyz";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  // Track from the very beginning: full knowledge.
+  for (std::size_t i = 0; i < 10; ++i) predictor.observe(seq[i]);
+  // At index 9 (inside iteration 4), the event 51 steps ahead is 'x'.
+  const std::size_t target = 9 + 51;
+  ASSERT_LT(target, seq.size());
+  auto prediction = predictor.predict(51);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, seq[target]);
+}
+
+TEST(PredictorScenario, ZeroWeightNeverDivides) {
+  // A grammar whose candidates all run off the end must yield an empty
+  // distribution, not a NaN.
+  Grammar grammar = reduce("abc");
+  Predictor predictor(grammar);
+  predictor.observe(2);  // 'c' — the final event
+  EXPECT_TRUE(predictor.synchronized());
+  EXPECT_TRUE(predictor.predict_distribution(1).empty());
+  EXPECT_FALSE(predictor.predict(5).has_value());
+}
+
+TEST(PredictorScenario, InterleavedReanchoring) {
+  // Alternating known/unknown events: the oracle must flip between
+  // synchronized and dark without corrupting its statistics.
+  std::string trace;
+  for (int i = 0; i < 10; ++i) trace += "ab";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  for (int round = 0; round < 5; ++round) {
+    predictor.observe(0);
+    EXPECT_TRUE(predictor.synchronized());
+    predictor.observe(25);  // unknown
+    EXPECT_FALSE(predictor.synchronized());
+  }
+  const auto& stats = predictor.stats();
+  EXPECT_EQ(stats.observed, 10u);
+  EXPECT_EQ(stats.unknown, 5u);
+  EXPECT_EQ(stats.reanchored + stats.advanced, 5u);
+}
+
+TEST(PredictorScenario, TracksThroughNestedStructure) {
+  // ((ab)^3 c)^8: positions deep inside nested rules advance correctly.
+  std::string trace;
+  for (int outer = 0; outer < 8; ++outer) {
+    for (int inner = 0; inner < 3; ++inner) trace += "ab";
+    trace += "c";
+  }
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    if (i < 7) continue;  // one outer iteration to synchronize
+    auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value());
+    ++total;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(PredictorScenario, RandomTraceExactReplayHighAccuracy) {
+  // Even for an unstructured (random) reference, an exact replay tracked
+  // from the first event is fully determined: predictions at distance 1
+  // name the true next event once the candidate set narrows to the true
+  // position. Accuracy must be very high (ambiguity can linger briefly).
+  support::Rng rng(123);
+  std::vector<TerminalId> seq;
+  for (int i = 0; i < 500; ++i) {
+    seq.push_back(static_cast<TerminalId>(rng.below(5)));
+  }
+  Grammar grammar;
+  for (TerminalId t : seq) grammar.append(t);
+  grammar.finalize();
+  Predictor predictor(grammar);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    auto prediction = predictor.predict(1);
+    if (i < 20) continue;
+    ++total;
+    if (prediction.has_value() && prediction->event == seq[i + 1]) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+class PredictorCapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PredictorCapSweep, CapIsAlwaysRespected) {
+  const std::size_t cap = GetParam();
+  support::Rng rng(cap);
+  Grammar grammar;
+  for (int i = 0; i < 3000; ++i) {
+    grammar.append(static_cast<TerminalId>(rng.below(3)));
+  }
+  grammar.finalize();
+  Predictor::Options options;
+  options.max_candidates = cap;
+  Predictor predictor(grammar, nullptr, options);
+  support::Rng replay(cap + 1);
+  for (int i = 0; i < 200; ++i) {
+    predictor.observe(static_cast<TerminalId>(replay.below(3)));
+    ASSERT_LE(predictor.candidate_count(), cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, PredictorCapSweep,
+                         ::testing::Values(1, 2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace pythia

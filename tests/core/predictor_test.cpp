@@ -1,0 +1,237 @@
+// Predictor tests: tracking, distance-x prediction, probabilities,
+// tolerance to unexpected events (paper §II-B/§II-C).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  grammar.finalize();
+  return grammar;
+}
+
+TEST(Predictor, PerfectReplayPredictsEveryNextEvent) {
+  // Feed the exact reference sequence; after each event, predict(1) must
+  // name the true next event.
+  const std::string trace = "abcabdababc";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value()) << "at index " << i;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  // "abcabdababc" is ambiguous at some points (after 'ab' the next event
+  // was c, d, or a in the reference); the majority vote must still be
+  // right most of the time.
+  EXPECT_GE(correct, (seq.size() - 1) * 2 / 3);
+}
+
+TEST(Predictor, DeterministicLoopIsFullyPredictable) {
+  std::string trace;
+  for (int i = 0; i < 50; ++i) trace += "abc";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  // Skip the first few events (anchoring), then demand perfection away
+  // from the end of the loop.
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    auto prediction = predictor.predict(1);
+    if (i < 3 || i + 4 > seq.size()) continue;  // warm-up / loop end
+    ASSERT_TRUE(prediction.has_value());
+    ++total;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(Predictor, MidRandomStartSynchronizes) {
+  // Paper §II-B1: tracking can start anywhere, not only at the beginning.
+  std::string trace;
+  for (int i = 0; i < 30; ++i) trace += "abcd";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  // Start observing at an arbitrary offset.
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 17; i + 1 < seq.size() - 8; ++i) {
+    predictor.observe(seq[i]);
+    if (i < 19) continue;  // two events to disambiguate
+    auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value());
+    ++total;
+    if (prediction->event == seq[i + 1]) ++correct;
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(Predictor, DistanceXPredictions) {
+  std::string trace;
+  for (int i = 0; i < 100; ++i) trace += "abcd";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  for (std::size_t i = 0; i < 20; ++i) predictor.observe(seq[i]);
+  // Position after observing seq[19] (a 'd'); event at distance x is
+  // seq[19 + x].
+  for (std::size_t distance : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto prediction = predictor.predict(distance);
+    ASSERT_TRUE(prediction.has_value()) << "distance " << distance;
+    EXPECT_EQ(prediction->event, seq[19 + distance])
+        << "distance " << distance;
+    EXPECT_GT(prediction->probability, 0.5);
+  }
+}
+
+TEST(Predictor, UnknownEventGoesDarkThenRecovers) {
+  std::string trace;
+  for (int i = 0; i < 20; ++i) trace += "ab";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(0);  // a
+  predictor.observe(1);  // b
+  EXPECT_TRUE(predictor.synchronized());
+  predictor.observe(25);  // 'z': never seen in the reference execution
+  EXPECT_FALSE(predictor.synchronized());
+  EXPECT_FALSE(predictor.predict(1).has_value());
+  EXPECT_EQ(predictor.stats().unknown, 1u);
+  // A known event re-anchors the oracle (§II-B2).
+  predictor.observe(0);
+  EXPECT_TRUE(predictor.synchronized());
+  auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, 1u);  // b follows a
+}
+
+TEST(Predictor, SkippedEventsReanchor) {
+  // Reference: (abcd)^30. Current run skips "bc" once: ... a b c d a D ...
+  std::string trace;
+  for (int i = 0; i < 30; ++i) trace += "abcd";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  const std::vector<TerminalId> seq = ids(trace);
+  for (std::size_t i = 0; i < 9; ++i) predictor.observe(seq[i]);  // ...a
+  predictor.observe(3);  // 'd' — skipped b and c
+  EXPECT_TRUE(predictor.synchronized());  // re-anchored on d occurrences
+  auto prediction = predictor.predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, 0u);  // after d comes a
+  EXPECT_GE(predictor.stats().reanchored, 1u);
+}
+
+TEST(Predictor, ProbabilitiesReflectBranchFrequencies) {
+  // Reference: "ab" 9 times followed by "ac" — after an 'a', 'b' happened
+  // 9/10 times. A fresh anchor on 'a' must weight b ≈ 0.9.
+  std::string trace;
+  for (int i = 0; i < 9; ++i) trace += "ab";
+  trace += "ac";
+  Grammar grammar = reduce(trace);
+  Predictor predictor(grammar);
+  predictor.observe(0);  // a — ambiguous anchor
+  auto distribution = predictor.predict_distribution(1);
+  ASSERT_GE(distribution.size(), 1u);
+  EXPECT_EQ(distribution.front().event, 1u);  // b most likely
+  EXPECT_GT(distribution.front().probability, 0.6);
+  if (distribution.size() >= 2) {
+    EXPECT_EQ(distribution[1].event, 2u);  // c
+    EXPECT_LT(distribution[1].probability, 0.4);
+  }
+}
+
+TEST(Predictor, DistributionSumsToOne) {
+  Grammar grammar = reduce("abcabdababc");
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  auto distribution = predictor.predict_distribution(2);
+  double total = 0.0;
+  for (const Prediction& p : distribution) total += p.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Predictor, PredictBeyondTraceEndReturnsNothing) {
+  Grammar grammar = reduce("abc");
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  predictor.observe(2);  // at the last event
+  EXPECT_FALSE(predictor.predict(1).has_value());
+}
+
+TEST(Predictor, CandidateCapIsRespected) {
+  // A trace where 'a' occurs in many distinct contexts.
+  support::Rng rng(7);
+  Grammar grammar;
+  for (int i = 0; i < 2000; ++i) {
+    grammar.append(static_cast<TerminalId>(rng.below(3)));
+  }
+  grammar.finalize();
+  Predictor::Options options;
+  options.max_candidates = 8;
+  Predictor predictor(grammar, nullptr, options);
+  for (TerminalId t : {0u, 1u, 0u, 2u, 0u}) {
+    predictor.observe(t);
+    EXPECT_LE(predictor.candidate_count(), 8u);
+  }
+}
+
+TEST(Predictor, CrossWorkingSetLoopCountChange) {
+  // Record with 10 iterations, run with 25 (the paper's Small->Large
+  // scenario, §III-C2): predictions stay correct inside the loop and only
+  // break at the boundary (LU/MG-style misprediction).
+  std::string reference;
+  for (int i = 0; i < 10; ++i) reference += "abc";
+  reference += "xy";  // finale
+  Grammar grammar = reduce(reference);
+  Predictor predictor(grammar);
+
+  std::string current;
+  for (int i = 0; i < 25; ++i) current += "abc";
+  current += "xy";
+  const std::vector<TerminalId> seq = ids(current);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    predictor.observe(seq[i]);
+    auto prediction = predictor.predict(1);
+    if (i < 3) continue;
+    ++total;
+    if (prediction.has_value() && prediction->event == seq[i + 1]) ++correct;
+  }
+  // Mispredictions are allowed near the loop exit but must be rare.
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.85)
+      << correct << "/" << total;
+}
+
+TEST(Predictor, StatsAccounting) {
+  Grammar grammar = reduce("ababab");
+  Predictor predictor(grammar);
+  predictor.observe(0);
+  predictor.observe(1);
+  predictor.observe(0);
+  EXPECT_EQ(predictor.stats().observed, 3u);
+  EXPECT_GE(predictor.stats().advanced, 1u);
+}
+
+}  // namespace
+}  // namespace pythia

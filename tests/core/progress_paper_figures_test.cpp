@@ -1,0 +1,165 @@
+// Exact reproductions of the paper's progress-sequence figures (4–6) on
+// the published grammar of the trace "abcabdababc":
+//   R -> B A d A B,   A -> a b,   B -> A c
+// (A = "ab", B = "abc"; the trace is B·A·d·A·B = abc ab d ab abc.)
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/progress.hpp"
+#include "core/timing.hpp"
+
+namespace pythia {
+namespace {
+
+constexpr TerminalId kA = 0, kB = 1, kC = 2, kD = 3;
+
+Grammar paper_grammar() {
+  // Rule ids: 0 = R, 1 = A, 2 = B.
+  std::vector<std::vector<Grammar::BodyEntry>> bodies = {
+      {{Symbol::rule(2), 1},
+       {Symbol::rule(1), 1},
+       {Symbol::terminal(kD), 1},
+       {Symbol::rule(1), 1},
+       {Symbol::rule(2), 1}},
+      {{Symbol::terminal(kA), 1}, {Symbol::terminal(kB), 1}},
+      {{Symbol::rule(1), 1}, {Symbol::terminal(kC), 1}},
+  };
+  Grammar grammar = Grammar::from_bodies(bodies);
+  grammar.finalize();
+  return grammar;
+}
+
+std::string letters(const std::vector<TerminalId>& ids) {
+  std::string out;
+  for (TerminalId t : ids) out += static_cast<char>('a' + t);
+  return out;
+}
+
+TEST(PaperFigure4, GrammarRepresentsTheTrace) {
+  Grammar grammar = paper_grammar();
+  grammar.check_invariants();
+  EXPECT_EQ(letters(grammar.unfold()), "abcabdababc");
+}
+
+TEST(PaperFigure4, FourPathsForTerminalA) {
+  // 'a' has ONE occurrence node (A's head) but four occurrences in the
+  // trace, each denoted by a distinct progress sequence (fig. 4 shows
+  // the fourth, "aAB" — a in A in the final B of R).
+  Grammar grammar = paper_grammar();
+  ASSERT_EQ(grammar.occurrences_of(kA).size(), 1u);
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, kA, 64, paths);
+  EXPECT_EQ(paths.size(), 4u);
+  // Depths: two occurrences via R directly (depth 2: a, A-in-R), two via
+  // B (depth 3: a, A-in-B, B-in-R).
+  std::multiset<std::size_t> depths;
+  for (const ProgressPath& path : paths) depths.insert(path.depth());
+  EXPECT_EQ(depths.count(2), 2u);
+  EXPECT_EQ(depths.count(3), 2u);
+}
+
+TEST(PaperFigure5, AdvanceFromThirdBToFourthA) {
+  // Fig. 5: the progress sequence "bA" points at the third b of
+  // "abcabda_b_abc" (the A at R's fourth slot). Advancing must yield
+  // "aAB": the fourth a, inside A, inside the final B of R.
+  Grammar grammar = paper_grammar();
+  const Rule* root = grammar.root();
+  // R's nodes: [B, A, d, A, B].
+  std::vector<const Node*> body;
+  for (const Node* node = root->head; node != nullptr; node = node->next) {
+    body.push_back(node);
+  }
+  ASSERT_EQ(body.size(), 5u);
+  const Rule* rule_a = grammar.rule_by_id(body[1]->sym.rule_id());
+  ASSERT_NE(rule_a, nullptr);
+  const Node* b_in_a = rule_a->head->next;  // A -> a b
+  ASSERT_EQ(b_in_a->sym, Symbol::terminal(kB));
+
+  ProgressPath path(std::vector<PathElement>{{b_in_a, 0}, {body[3], 0}});
+  ASSERT_EQ(path.terminal(), kB);
+  ASSERT_TRUE(path.advance(grammar));
+
+  // Now at the fourth 'a': depth 3, terminal a, topmost element = R's
+  // final B node (fig. 5d's "aAB").
+  EXPECT_EQ(path.terminal(), kA);
+  ASSERT_EQ(path.depth(), 3u);
+  EXPECT_EQ(path.element(2).node, body[4]);
+  // And its unfold position checks out: walking on enumerates "bc".
+  ProgressPath walk = path;
+  ASSERT_TRUE(walk.advance(grammar));
+  EXPECT_EQ(walk.terminal(), kB);
+  ASSERT_TRUE(walk.advance(grammar));
+  EXPECT_EQ(walk.terminal(), kC);
+  EXPECT_FALSE(walk.advance(grammar));  // end of trace
+}
+
+TEST(PaperFigure6, ContextSuffixesSeparateTheTwoBContexts) {
+  // Fig. 6: the progress sequence "BAb" denotes the b's that follow an a
+  // *and are followed by a c* — the two occurrences inside B. The timing
+  // model keys contexts by progress-path suffixes: the context-free
+  // suffix ("Ab", our depth-1 key) is shared by all four b's, while the
+  // depth-2 key (b within A-used-inside-B) is shared by exactly the two
+  // B-context occurrences and absent from the others.
+  Grammar grammar = paper_grammar();
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, kB, 64, paths);
+  ASSERT_EQ(paths.size(), 4u);  // four b's in the trace
+
+  std::set<std::uint64_t> depth1_keys;
+  std::multiset<std::uint64_t> depth2_keys;
+  for (const ProgressPath& path : paths) {
+    depth1_keys.insert(path.suffix_key(1));
+    depth2_keys.insert(path.suffix_key(2));
+  }
+  // Depth 1 ("Ab"): one shared context for all four occurrences.
+  EXPECT_EQ(depth1_keys.size(), 1u);
+  // Depth 2: the two B-context b's share one key ("BAb"); the two
+  // R-context b's have distinct keys (different usage sites of A in R).
+  std::set<std::uint64_t> distinct_depth2(depth2_keys.begin(),
+                                          depth2_keys.end());
+  EXPECT_EQ(distinct_depth2.size(), 3u);
+  bool found_shared_pair = false;
+  for (const std::uint64_t key : distinct_depth2) {
+    if (depth2_keys.count(key) == 2) found_shared_pair = true;
+  }
+  EXPECT_TRUE(found_shared_pair);
+}
+
+TEST(PaperFigure6, SharedContextAveragesOnlyItsOccurrences) {
+  // Feed the trace with distinctive gaps: b after a takes 10 ns inside B
+  // (followed by c) but 100 ns in the plain-A contexts. The "BAb"-level
+  // lookup must return ~10, not the pooled average.
+  Grammar grammar = paper_grammar();
+  // Trace: a b c a b d a b a b c   (indices of b: 1, 4, 7, 9).
+  const std::vector<TerminalId> events = grammar.unfold();
+  std::vector<std::uint64_t> times(events.size());
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::uint64_t gap = 1000;
+    if (events[i] == kB) {
+      const bool followed_by_c =
+          i + 1 < events.size() && events[i + 1] == kC;
+      gap = followed_by_c ? 10 : 100;
+    }
+    now += gap;
+    times[i] = now;
+  }
+  const TimingModel model = TimingModel::replay(grammar, events, times);
+
+  // Walk to the final b (index 9, inside the last B) and query.
+  ProgressPath path = ProgressPath::begin(grammar);
+  for (std::size_t i = 0; i + 2 < events.size(); ++i) {
+    ASSERT_TRUE(path.advance(grammar));
+  }
+  ASSERT_EQ(path.terminal(), kB);
+  const auto expected = model.expect_ns(path);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_NEAR(*expected, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,154 @@
+// Tests for progress sequences: begin/advance must walk the unfolded
+// trace exactly, on hand-built grammars (paper figures 4 and 5) and on
+// randomly reduced ones.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/progress.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+Grammar reduce(const std::string& letters) {
+  Grammar grammar;
+  for (TerminalId t : ids(letters)) grammar.append(t);
+  grammar.finalize();
+  return grammar;
+}
+
+// Walking begin()+advance() must enumerate exactly unfold().
+void expect_walk_matches_unfold(const Grammar& grammar) {
+  const std::vector<TerminalId> expected = grammar.unfold();
+  ProgressPath path = ProgressPath::begin(grammar);
+  std::vector<TerminalId> walked;
+  if (!path.empty()) {
+    walked.push_back(path.terminal());
+    while (path.advance(grammar)) walked.push_back(path.terminal());
+  }
+  EXPECT_EQ(walked, expected);
+}
+
+TEST(ProgressPath, WalksPaperFigure4Trace) {
+  // Fig. 4/5 use the trace "abcabdababc".
+  Grammar grammar = reduce("abcabdababc");
+  expect_walk_matches_unfold(grammar);
+}
+
+TEST(ProgressPath, WalksSimpleTraces) {
+  for (const char* trace :
+       {"a", "ab", "aaaa", "abab", "abcabc", "aabbaabb", "abbcbcab",
+        "abcabdababc", "xyxyxyxyzzz"}) {
+    Grammar grammar = reduce(trace);
+    expect_walk_matches_unfold(grammar);
+  }
+}
+
+TEST(ProgressPath, WalksDeepLoopNest) {
+  std::string seq;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 5; ++j) seq += "ab";
+    seq += "c";
+  }
+  Grammar grammar = reduce(seq);
+  expect_walk_matches_unfold(grammar);
+}
+
+TEST(ProgressPath, WalksRandomTraces) {
+  support::Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    Grammar grammar;
+    const int length = 5 + static_cast<int>(rng.below(200));
+    const int alphabet = 2 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < length; ++i) {
+      grammar.append(static_cast<TerminalId>(rng.below(alphabet)));
+    }
+    grammar.finalize();
+    expect_walk_matches_unfold(grammar);
+  }
+}
+
+TEST(ProgressPath, BeginOnEmptyGrammarIsEmpty) {
+  Grammar grammar;
+  grammar.finalize();
+  EXPECT_TRUE(ProgressPath::begin(grammar).empty());
+}
+
+TEST(ProgressPath, AdvanceReturnsFalseAtEnd) {
+  Grammar grammar = reduce("ab");
+  ProgressPath path = ProgressPath::begin(grammar);
+  EXPECT_EQ(path.terminal(), 0u);
+  EXPECT_TRUE(path.advance(grammar));
+  EXPECT_EQ(path.terminal(), 1u);
+  EXPECT_FALSE(path.advance(grammar));
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(ProgressPath, EnumerateFindsEveryOccurrence) {
+  // "abcabdababc": 'a' occurs 4 times in the trace; the enumeration must
+  // produce paths whose futures cover all occurrence contexts.
+  Grammar grammar = reduce("abcabdababc");
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, 0 /*a*/, 64, paths);
+  EXPECT_GE(paths.size(), 1u);
+  for (const ProgressPath& path : paths) {
+    EXPECT_EQ(path.terminal(), 0u);
+  }
+}
+
+TEST(ProgressPath, EnumerateUnknownEventGivesNothing) {
+  Grammar grammar = reduce("abab");
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, 25 /*z*/, 64, paths);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(ProgressPath, EnumerateRespectsLimit) {
+  std::string seq;
+  for (int i = 0; i < 40; ++i) seq += "ab";
+  Grammar grammar = reduce(seq);
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, 0, 3, paths);
+  EXPECT_LE(paths.size(), 4u);  // limit is approximate per occurrence batch
+}
+
+TEST(ProgressPath, WeightReflectsOccurrenceCount) {
+  // In (ab)^20, the 'a' terminal occurrence executes 20 times.
+  std::string seq;
+  for (int i = 0; i < 20; ++i) seq += "ab";
+  Grammar grammar = reduce(seq);
+  std::vector<ProgressPath> paths;
+  ProgressPath::enumerate_occurrences(grammar, 0, 64, paths);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().weight(), 20u);
+}
+
+TEST(ProgressPath, SuffixKeysDifferByContextDepth) {
+  Grammar grammar = reduce("abcabdababc");
+  ProgressPath path = ProgressPath::begin(grammar);
+  ASSERT_GE(path.depth(), 1u);
+  if (path.depth() >= 2) {
+    EXPECT_NE(path.suffix_key(1), path.suffix_key(2));
+  }
+}
+
+TEST(ProgressPath, HashDistinguishesRepetitionPhases) {
+  Grammar grammar = reduce("aaaa");
+  ProgressPath first = ProgressPath::begin(grammar);
+  ProgressPath second = first;
+  ASSERT_TRUE(second.advance(grammar));
+  EXPECT_NE(first.hash(), second.hash());
+  EXPECT_FALSE(first == second);
+}
+
+}  // namespace
+}  // namespace pythia

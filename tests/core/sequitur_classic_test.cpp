@@ -1,0 +1,148 @@
+// Tests for the classic-Sequitur baseline, plus head-to-head properties
+// against the exponent grammar (the paper's reason for extending it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/sequitur_classic.hpp"
+#include "support/rng.hpp"
+
+namespace pythia::baseline {
+namespace {
+
+std::vector<TerminalId> ids(const std::string& letters) {
+  std::vector<TerminalId> out;
+  for (char c : letters) out.push_back(static_cast<TerminalId>(c - 'a'));
+  return out;
+}
+
+void expect_roundtrip(const std::string& letters) {
+  ClassicSequitur sequitur;
+  for (TerminalId t : ids(letters)) sequitur.append(t);
+  sequitur.check_invariants();
+  EXPECT_EQ(sequitur.unfold(), ids(letters))
+      << letters << "\n" << sequitur.to_text();
+}
+
+TEST(ClassicSequitur, HandCheckedSequences) {
+  expect_roundtrip("a");
+  expect_roundtrip("ab");
+  expect_roundtrip("aaa");
+  expect_roundtrip("aaaa");
+  expect_roundtrip("abab");
+  expect_roundtrip("ababab");
+  expect_roundtrip("abcabc");
+  expect_roundtrip("abbcbcab");     // paper fig. 1 trace
+  expect_roundtrip("abcabdababc");  // paper fig. 4 trace
+  expect_roundtrip("aabbaabb");
+  expect_roundtrip("abcbcbc");
+}
+
+TEST(ClassicSequitur, TextbookExample) {
+  // The canonical N&W example: "abcabdabcabd" compresses to nested rules.
+  ClassicSequitur sequitur;
+  for (TerminalId t : ids("abcabdabcabd")) sequitur.append(t);
+  sequitur.check_invariants();
+  EXPECT_EQ(sequitur.unfold(), ids("abcabdabcabd"));
+  EXPECT_GE(sequitur.rule_count(), 3u);  // root + ab + (abc abd group)
+}
+
+TEST(ClassicSequitur, ExhaustiveBinaryLength10) {
+  for (int length = 1; length <= 10; ++length) {
+    for (std::uint32_t bits = 0; bits < (1u << length); ++bits) {
+      ClassicSequitur sequitur;
+      std::vector<TerminalId> sequence;
+      for (int i = 0; i < length; ++i) {
+        const TerminalId t = (bits >> i) & 1u;
+        sequence.push_back(t);
+        sequitur.append(t);
+      }
+      sequitur.check_invariants();
+      ASSERT_EQ(sequitur.unfold(), sequence)
+          << "bits=" << bits << " len=" << length << "\n"
+          << sequitur.to_text();
+    }
+  }
+}
+
+TEST(ClassicSequitur, RandomRoundTrips) {
+  support::Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    const int alphabet = 2 + static_cast<int>(rng.below(5));
+    const int length = 10 + static_cast<int>(rng.below(400));
+    ClassicSequitur sequitur;
+    std::vector<TerminalId> sequence;
+    for (int i = 0; i < length; ++i) {
+      const auto t = static_cast<TerminalId>(rng.below(alphabet));
+      sequence.push_back(t);
+      sequitur.append(t);
+    }
+    sequitur.check_invariants();
+    ASSERT_EQ(sequitur.unfold(), sequence);
+  }
+}
+
+// --- the ablation the exponent grammar exists for --------------------------
+
+TEST(ExponentAblation, LoopsCostClassicSequiturLogRules) {
+  // 1024 iterations of a 4-event body.
+  std::vector<TerminalId> trace;
+  for (int i = 0; i < 1024; ++i) {
+    for (TerminalId t : {0u, 1u, 2u, 3u}) trace.push_back(t);
+  }
+
+  ClassicSequitur classic;
+  for (TerminalId t : trace) classic.append(t);
+  classic.check_invariants();
+
+  Grammar exponents;
+  for (TerminalId t : trace) exponents.append(t);
+  exponents.check_invariants();
+
+  EXPECT_EQ(classic.unfold(), trace);
+  EXPECT_EQ(exponents.unfold(), trace);
+
+  // The exponent grammar keeps the loop as one occurrence (A^1024 plus
+  // the body rule); classic Sequitur builds a log-depth doubling chain.
+  EXPECT_LE(exponents.rule_count(), 3u);
+  EXPECT_GE(classic.rule_count(), 8u);
+  std::size_t exponent_nodes = 0;
+  for (const Rule* rule : exponents.rules()) exponent_nodes += rule->length;
+  EXPECT_LT(exponent_nodes, classic.node_count());
+}
+
+TEST(ExponentAblation, RunsOfOneSymbol) {
+  // a^5000: one node with exponent vs a doubling chain.
+  ClassicSequitur classic;
+  Grammar exponents;
+  for (int i = 0; i < 5000; ++i) {
+    classic.append(7);
+    exponents.append(7);
+  }
+  classic.check_invariants();
+  exponents.check_invariants();
+  EXPECT_EQ(exponents.rule_count(), 1u);
+  EXPECT_EQ(exponents.root()->length, 1u);
+  EXPECT_GT(classic.rule_count(), 4u);
+}
+
+TEST(ExponentAblation, BothRepresentIrregularTracesCorrectly) {
+  support::Rng rng(2024);
+  std::vector<TerminalId> trace;
+  for (int i = 0; i < 2000; ++i) {
+    trace.push_back(static_cast<TerminalId>(rng.below(6)));
+  }
+  ClassicSequitur classic;
+  Grammar exponents;
+  for (TerminalId t : trace) {
+    classic.append(t);
+    exponents.append(t);
+  }
+  EXPECT_EQ(classic.unfold(), trace);
+  EXPECT_EQ(exponents.unfold(), trace);
+}
+
+}  // namespace
+}  // namespace pythia::baseline

@@ -1,0 +1,170 @@
+// Serialization fuzzing: random recorded traces must survive a
+// save/load round trip bit-exactly in behaviour — identical unfolded
+// sequences, identical grammar invariants, and identical predictions
+// (events *and* durations) before and after the reload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(int index) {
+  return testing::TempDir() + "/fuzz_" + std::to_string(index) + ".pythia";
+}
+
+struct FuzzCase {
+  int alphabet;
+  int length;
+  int style;  // 0 random, 1 loops, 2 runs
+};
+
+std::vector<TerminalId> make_sequence(const FuzzCase& spec,
+                                      std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  while (out.size() < static_cast<std::size_t>(spec.length)) {
+    switch (spec.style) {
+      case 0:
+        out.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+        break;
+      case 1: {
+        std::vector<TerminalId> body;
+        const auto body_length = 1 + rng.below(4);
+        for (std::uint64_t i = 0; i < body_length; ++i) {
+          body.push_back(static_cast<TerminalId>(rng.below(spec.alphabet)));
+        }
+        const auto reps = 1 + rng.below(12);
+        for (std::uint64_t r = 0;
+             r < reps && out.size() < static_cast<std::size_t>(spec.length);
+             ++r) {
+          for (TerminalId t : body) out.push_back(t);
+        }
+        break;
+      }
+      default: {
+        const auto sym = static_cast<TerminalId>(rng.below(spec.alphabet));
+        const auto run = 1 + rng.below(9);
+        for (std::uint64_t i = 0;
+             i < run && out.size() < static_cast<std::size_t>(spec.length);
+             ++i) {
+          out.push_back(sym);
+        }
+        break;
+      }
+    }
+  }
+  out.resize(static_cast<std::size_t>(spec.length));
+  return out;
+}
+
+class SerializationFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SerializationFuzz, RoundTripPreservesBehaviour) {
+  const auto [alphabet, length, style, seed] = GetParam();
+  const std::vector<TerminalId> sequence = make_sequence(
+      {alphabet, length, style}, static_cast<std::uint64_t>(seed) * 31 + 7);
+
+  // Record with timestamps (pseudo-random gaps).
+  support::Rng gap_rng(static_cast<std::uint64_t>(seed) + 99);
+  Trace trace;
+  for (int i = 0; i < alphabet; ++i) {
+    trace.registry.intern("evt_" + std::to_string(i));
+  }
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (TerminalId t : sequence) {
+    now += 50 + gap_rng.below(2000);
+    recorder.record(t, now);
+  }
+  trace.threads.push_back(std::move(recorder).finish());
+
+  const std::string path = temp_path(seed * 100 + style * 10 + alphabet);
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  const ThreadTrace& original = trace.threads[0];
+  const ThreadTrace& reloaded = loaded.threads[0];
+
+  reloaded.grammar.check_invariants();
+  EXPECT_EQ(reloaded.grammar.unfold(), sequence);
+  EXPECT_EQ(reloaded.grammar.rule_count(), original.grammar.rule_count());
+  EXPECT_EQ(reloaded.timing.context_count(),
+            original.timing.context_count());
+
+  // Drive two predictors in lockstep through a prefix of the sequence and
+  // demand identical answers.
+  Predictor before(original.grammar, &original.timing);
+  Predictor after(reloaded.grammar, &reloaded.timing);
+  const std::size_t prefix = sequence.size() / 2;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    before.observe(sequence[i]);
+    after.observe(sequence[i]);
+  }
+  EXPECT_EQ(before.candidate_count(), after.candidate_count());
+  for (const std::size_t distance : {1u, 3u, 9u}) {
+    const auto p_before = before.predict(distance);
+    const auto p_after = after.predict(distance);
+    ASSERT_EQ(p_before.has_value(), p_after.has_value())
+        << "distance " << distance;
+    if (p_before.has_value()) {
+      EXPECT_EQ(p_before->event, p_after->event);
+      EXPECT_NEAR(p_before->probability, p_after->probability, 1e-12);
+    }
+    const auto t_before = before.predict_time_ns(distance);
+    const auto t_after = after.predict_time_ns(distance);
+    ASSERT_EQ(t_before.has_value(), t_after.has_value());
+    if (t_before.has_value()) {
+      EXPECT_NEAR(*t_before, *t_after, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializationFuzz,
+    ::testing::Combine(::testing::Values(2, 4, 9),     // alphabet
+                       ::testing::Values(40, 400),     // length
+                       ::testing::Values(0, 1, 2),     // style
+                       ::testing::Range(0, 4)));       // seeds
+
+TEST(SerializationFuzz, ManyThreadsRoundTrip) {
+  Trace trace;
+  trace.registry.intern("e0");
+  trace.registry.intern("e1");
+  trace.registry.intern("e2");
+  support::Rng rng(5);
+  std::vector<std::vector<TerminalId>> sequences;
+  for (int thread = 0; thread < 16; ++thread) {
+    Recorder recorder;
+    std::vector<TerminalId> sequence;
+    const auto length = 10 + rng.below(300);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      const auto t = static_cast<TerminalId>(rng.below(3));
+      sequence.push_back(t);
+      recorder.record(t);
+    }
+    sequences.push_back(std::move(sequence));
+    trace.threads.push_back(std::move(recorder).finish());
+  }
+  const std::string path = temp_path(99999);
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.threads.size(), 16u);
+  for (std::size_t thread = 0; thread < 16; ++thread) {
+    EXPECT_EQ(loaded.threads[thread].grammar.unfold(), sequences[thread]);
+  }
+}
+
+}  // namespace
+}  // namespace pythia

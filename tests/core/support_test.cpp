@@ -1,0 +1,196 @@
+// Support-library tests: RNG determinism and distribution sanity,
+// streaming statistics, table formatting, env knobs, hashing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "support/env.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pythia::support {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversTheRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 5000.0, 0.25, 0.03);
+}
+
+TEST(RunningStat, MeanMinMax) {
+  RunningStat stat;
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 5u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, VarianceMatchesDefinition) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream) {
+  RunningStat left, right, combined;
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform() * 10;
+    left.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.uniform() * 3 - 5;
+    right.add(x);
+    combined.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat empty, filled;
+  filled.add(2.0);
+  filled.add(4.0);
+  RunningStat a = filled;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStat b = empty;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  EXPECT_NEAR(samples.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(samples.percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(samples.percentile(100), 100.0, 0.01);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 100.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer_name", "23456"});
+  const std::string out = table.to_string();
+  // Every line has the same length (aligned).
+  std::size_t first_line_length = out.find('\n');
+  std::size_t position = 0;
+  while (position < out.size()) {
+    const std::size_t next = out.find('\n', position);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - position, first_line_length);
+    position = next + 1;
+  }
+}
+
+TEST(Table, StrfFormats) {
+  EXPECT_EQ(strf("%d", 42), "42");
+  EXPECT_EQ(strf("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strf("%s", "plain"), "plain");
+}
+
+TEST(EnvKnobs, ParseAndFallback) {
+  ::setenv("PYTHIA_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("PYTHIA_TEST_KNOB", 1.0), 2.5);
+  ::unsetenv("PYTHIA_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(env_double("PYTHIA_TEST_KNOB", 1.0), 1.0);
+
+  ::setenv("PYTHIA_TEST_KNOB", "17", 1);
+  EXPECT_EQ(env_long("PYTHIA_TEST_KNOB", 3), 17);
+  ::setenv("PYTHIA_TEST_KNOB", "garbage", 1);
+  EXPECT_EQ(env_long("PYTHIA_TEST_KNOB", 3), 3);
+  ::unsetenv("PYTHIA_TEST_KNOB");
+
+  EXPECT_FALSE(env_flag("PYTHIA_TEST_KNOB"));
+  ::setenv("PYTHIA_TEST_KNOB", "1", 1);
+  EXPECT_TRUE(env_flag("PYTHIA_TEST_KNOB"));
+  ::setenv("PYTHIA_TEST_KNOB", "0", 1);
+  EXPECT_FALSE(env_flag("PYTHIA_TEST_KNOB"));
+  ::unsetenv("PYTHIA_TEST_KNOB");
+}
+
+TEST(Hashing, CombineIsOrderSensitive) {
+  const std::uint64_t ab = hash_combine(hash_combine(0, 1), 2);
+  const std::uint64_t ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hashing, WordsHashDependsOnAllWords) {
+  const std::uint64_t words_a[] = {1, 2, 3};
+  const std::uint64_t words_b[] = {1, 2, 4};
+  EXPECT_NE(hash_words(words_a, 3), hash_words(words_b, 3));
+  EXPECT_EQ(hash_words(words_a, 3), hash_words(words_a, 3));
+}
+
+}  // namespace
+}  // namespace pythia::support

@@ -1,0 +1,121 @@
+// Trace-loader robustness: random corruption of valid trace files must
+// produce clean errors (std::runtime_error or a rejected load), never
+// crashes, hangs, or silent acceptance of structurally invalid data.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<unsigned char> make_valid_file(const std::string& path) {
+  Trace trace;
+  trace.registry.intern("MPI_Send", 1);
+  trace.registry.intern("MPI_Recv", 0);
+  trace.registry.intern("MPI_Barrier");
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (int i = 0; i < 200; ++i) {
+    recorder.record(static_cast<TerminalId>(i % 3), now += 100);
+  }
+  trace.threads.push_back(std::move(recorder).finish());
+  trace.save(path);
+
+  std::ifstream input(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(input),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<unsigned char>& bytes) {
+  std::ofstream output(path, std::ios::binary | std::ios::trunc);
+  output.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(TraceFuzz, SingleByteCorruptionNeverCrashes) {
+  const std::string path = temp_path("fuzz_corrupt.pythia");
+  const std::vector<unsigned char> valid = make_valid_file(path);
+  support::Rng rng(404);
+
+  int clean_errors = 0;
+  int accepted = 0;
+  constexpr int kTrials = 300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<unsigned char> mutated = valid;
+    // Flip 1-4 random bytes.
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t offset = rng.below(mutated.size());
+      mutated[offset] ^= static_cast<unsigned char>(1 + rng.below(255));
+    }
+    write_bytes(path, mutated);
+    try {
+      Trace loaded = Trace::load(path);
+      // Acceptable: the mutation hit a don't-care byte (e.g. timing
+      // float) — but the structure must still be sound.
+      for (const ThreadTrace& thread : loaded.threads) {
+        thread.grammar.check_invariants();
+      }
+      ++accepted;
+    } catch (const std::runtime_error&) {
+      ++clean_errors;
+    }
+  }
+  EXPECT_EQ(clean_errors + accepted, kTrials);
+  EXPECT_GT(clean_errors, 0);  // corruption is usually detected
+  std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, TruncationAtEveryOffsetIsClean) {
+  const std::string path = temp_path("fuzz_truncate.pythia");
+  const std::vector<unsigned char> valid = make_valid_file(path);
+  // Step through truncation points (every 7 bytes to keep the test
+  // fast; includes offset 0).
+  for (std::size_t cut = 0; cut < valid.size(); cut += 7) {
+    std::vector<unsigned char> truncated(valid.begin(),
+                                         valid.begin() +
+                                             static_cast<std::ptrdiff_t>(cut));
+    write_bytes(path, truncated);
+    EXPECT_THROW(Trace::load(path), std::runtime_error) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, RandomGarbageIsRejected) {
+  const std::string path = temp_path("fuzz_garbage.pythia");
+  support::Rng rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<unsigned char> garbage(16 + rng.below(4096));
+    for (unsigned char& byte : garbage) {
+      byte = static_cast<unsigned char>(rng.below(256));
+    }
+    write_bytes(path, garbage);
+    EXPECT_THROW(Trace::load(path), std::runtime_error);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, ValidFileStillLoadsAfterRewrites) {
+  const std::string path = temp_path("fuzz_valid.pythia");
+  const std::vector<unsigned char> valid = make_valid_file(path);
+  write_bytes(path, valid);
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  EXPECT_EQ(loaded.threads[0].grammar.sequence_length(), 200u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pythia

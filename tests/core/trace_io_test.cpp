@@ -1,0 +1,192 @@
+// Trace file round-trip tests: registry, grammars, timing tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIo, RegistryRoundTrip) {
+  Trace trace;
+  const KindId send = trace.registry.intern_kind("MPI_Send");
+  const KindId wait = trace.registry.intern_kind("MPI_Wait");
+  const TerminalId send3 = trace.registry.intern_event(send, 3);
+  const TerminalId send5 = trace.registry.intern_event(send, 5);
+  const TerminalId wait_plain = trace.registry.intern_event(wait);
+  trace.threads.emplace_back();  // empty thread
+  trace.threads[0].grammar.finalize();
+
+  const std::string path = temp_path("registry.pythia");
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+
+  EXPECT_EQ(loaded.registry.kind_count(), 2u);
+  EXPECT_EQ(loaded.registry.event_count(), 3u);
+  EXPECT_EQ(loaded.registry.describe(send3), "MPI_Send(3)");
+  EXPECT_EQ(loaded.registry.describe(send5), "MPI_Send(5)");
+  EXPECT_EQ(loaded.registry.describe(wait_plain), "MPI_Wait");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, GrammarRoundTripPreservesSequence) {
+  Trace trace;
+  Recorder recorder;
+  support::Rng rng(11);
+  std::vector<TerminalId> seq;
+  for (int i = 0; i < 500; ++i) {
+    TerminalId t = static_cast<TerminalId>(rng.below(4));
+    seq.push_back(t);
+    recorder.record(t);
+  }
+  trace.threads.push_back(std::move(recorder).finish());
+
+  const std::string path = temp_path("grammar.pythia");
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  loaded.threads[0].grammar.check_invariants();
+  EXPECT_TRUE(loaded.threads[0].grammar.finalized());
+  EXPECT_EQ(loaded.threads[0].grammar.unfold(), seq);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TimingSurvivesRoundTrip) {
+  Trace trace;
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (int i = 0; i < 40; ++i) {
+    now += 250;
+    recorder.record(i % 2, now);
+  }
+  trace.threads.push_back(std::move(recorder).finish());
+
+  const std::string path = temp_path("timing.pythia");
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  const ThreadTrace& thread = loaded.threads[0];
+  EXPECT_FALSE(thread.timing.empty());
+
+  // Predictions through the reloaded trace must match the original model:
+  // every gap was 250 ns.
+  Predictor predictor(thread.grammar, &thread.timing);
+  predictor.observe(0);
+  predictor.observe(1);
+  auto eta = predictor.predict_time_ns(1);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_NEAR(*eta, 250.0, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MultipleThreads) {
+  Trace trace;
+  for (int thread = 0; thread < 4; ++thread) {
+    Recorder recorder;
+    for (int i = 0; i < 100; ++i) {
+      recorder.record(static_cast<TerminalId>((i + thread) % 3));
+    }
+    trace.threads.push_back(std::move(recorder).finish());
+  }
+  const std::string path = temp_path("threads.pythia");
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.threads.size(), 4u);
+  for (int thread = 0; thread < 4; ++thread) {
+    std::vector<TerminalId> expected;
+    for (int i = 0; i < 100; ++i) {
+      expected.push_back(static_cast<TerminalId>((i + thread) % 3));
+    }
+    EXPECT_EQ(loaded.threads[static_cast<std::size_t>(thread)].grammar
+                  .unfold(),
+              expected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/path/x.pythia"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, CorruptMagicThrows) {
+  const std::string path = temp_path("corrupt.pythia");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTATRACE", f);
+  std::fclose(f);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileThrows) {
+  // Save a valid trace, then truncate it.
+  Trace trace;
+  Recorder recorder;
+  for (int i = 0; i < 50; ++i) recorder.record(i % 2);
+  trace.threads.push_back(std::move(recorder).finish());
+  const std::string path = temp_path("truncated.pythia");
+  trace.save(path);
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 16);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(OracleFacade, RecordPredictCycle) {
+  // End-to-end through the facade: record a run, save, load, predict.
+  Trace trace;
+  const TerminalId a = trace.registry.intern("phase_a");
+  const TerminalId b = trace.registry.intern("phase_b");
+  {
+    Oracle oracle = Oracle::record(/*timestamps=*/true);
+    std::uint64_t now = 0;
+    for (int i = 0; i < 25; ++i) {
+      oracle.event(a, now += 100);
+      oracle.event(b, now += 900);
+    }
+    trace.threads.push_back(oracle.finish());
+  }
+  const std::string path = temp_path("oracle.pythia");
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+
+  Oracle oracle = Oracle::predict(loaded.threads[0]);
+  oracle.event(a);
+  oracle.event(b);
+  auto next = oracle.predict_event(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->event, a);
+  auto eta = oracle.predict_time_ns(1);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_NEAR(*eta, 100.0, 5.0);  // a follows b after 100 ns
+  std::remove(path.c_str());
+}
+
+TEST(OracleFacade, OffModeIsInert) {
+  Oracle oracle = Oracle::off();
+  oracle.event(0);
+  oracle.event(1);
+  EXPECT_FALSE(oracle.predict_event(1).has_value());
+  EXPECT_FALSE(oracle.predict_time_ns(1).has_value());
+}
+
+}  // namespace
+}  // namespace pythia

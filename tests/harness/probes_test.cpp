@@ -1,0 +1,179 @@
+// Harness probe tests: prediction accuracy scoring and cost measurement.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/app.hpp"
+#include "harness/probes.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia::harness {
+namespace {
+
+using apps::AppConfig;
+using apps::WorkingSet;
+
+AppConfig small_config() {
+  AppConfig config;
+  config.set = WorkingSet::kSmall;
+  config.scale = 0.25;
+  return config;
+}
+
+TEST(AccuracyProbe, PerfectOnRegularAppSameWorkingSet) {
+  const apps::App* bt = apps::find_app("BT");
+  ASSERT_NE(bt, nullptr);
+
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  record_config.app = small_config();
+  const RunResult recorded = run_app(*bt, record_config);
+
+  std::map<std::size_t, AccuracyProbe::Tally> tallies;
+  std::mutex mutex;
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.app = small_config();
+  predict_config.reference = &recorded.trace;
+  predict_config.observer_factory = [&](int, Oracle& oracle) {
+    struct Collector : AccuracyProbe {
+      Collector(Oracle& o, std::map<std::size_t, AccuracyProbe::Tally>* out,
+                std::mutex* m)
+          : AccuracyProbe(o, {1, 4, 16, 64}), out_(out), mutex_(m) {}
+      ~Collector() override {
+        std::lock_guard lock(*mutex_);
+        merge_into(*out_);
+      }
+      std::map<std::size_t, AccuracyProbe::Tally>* out_;
+      std::mutex* mutex_;
+    };
+    return std::make_unique<Collector>(oracle, &tallies, &mutex);
+  };
+  run_app(*bt, predict_config);
+
+  for (const auto& [distance, tally] : tallies) {
+    EXPECT_GT(tally.asked, 50u) << "distance " << distance;
+    // BT is fully regular; among scored predictions the oracle should be
+    // near-perfect at every distance (fig. 8, BT stays at ~100%). At
+    // large distances some predictions aim past the end of this short
+    // test run and go unscored, so the overall rate is only checked at
+    // short range.
+    EXPECT_GE(tally.answered_accuracy(), 0.95) << "distance " << distance;
+    if (distance <= 16) {
+      EXPECT_GE(tally.accuracy(), 0.9) << "distance " << distance;
+    }
+  }
+}
+
+TEST(AccuracyProbe, ScoresMispredictionsAgainstOracle) {
+  // Record app A, predict on a *different* event stream: accuracy
+  // must be visibly below the same-stream case.
+  const apps::App* cg = apps::find_app("CG");
+  const apps::App* bt = apps::find_app("BT");
+  ASSERT_NE(cg, nullptr);
+
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  record_config.app = small_config();
+  const RunResult recorded = run_app(*bt, record_config);
+
+  std::map<std::size_t, AccuracyProbe::Tally> tallies;
+  std::mutex mutex;
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.app = small_config();
+  predict_config.reference = &recorded.trace;
+  predict_config.observer_factory = [&](int, Oracle& oracle) {
+    struct Collector : AccuracyProbe {
+      Collector(Oracle& o, std::map<std::size_t, AccuracyProbe::Tally>* out,
+                std::mutex* m)
+          : AccuracyProbe(o, {4}), out_(out), mutex_(m) {}
+      ~Collector() override {
+        std::lock_guard lock(*mutex_);
+        merge_into(*out_);
+      }
+      std::map<std::size_t, AccuracyProbe::Tally>* out_;
+      std::mutex* mutex_;
+    };
+    return std::make_unique<Collector>(oracle, &tallies, &mutex);
+  };
+  run_app(*cg, predict_config);  // CG events against BT's trace
+
+  ASSERT_EQ(tallies.size(), 1u);
+  const auto& tally = tallies[4];
+  EXPECT_GT(tally.asked, 10u);
+  EXPECT_LT(tally.accuracy(), 0.9);
+}
+
+TEST(CostProbe, PredictionCostGrowsWithDistance) {
+  const apps::App* bt = apps::find_app("BT");
+  ASSERT_NE(bt, nullptr);
+
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  record_config.app = small_config();
+  const RunResult recorded = run_app(*bt, record_config);
+
+  std::map<std::size_t, support::RunningStat> costs;
+  std::mutex mutex;
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.app = small_config();
+  predict_config.reference = &recorded.trace;
+  predict_config.observer_factory = [&](int, Oracle& oracle) {
+    struct Collector : CostProbe {
+      Collector(Oracle& o, std::map<std::size_t, support::RunningStat>* out,
+                std::mutex* m)
+          : CostProbe(o, {1, 64}), out_(out), mutex_(m) {}
+      ~Collector() override {
+        std::lock_guard lock(*mutex_);
+        merge_into(*out_);
+      }
+      std::map<std::size_t, support::RunningStat>* out_;
+      std::mutex* mutex_;
+    };
+    return std::make_unique<Collector>(oracle, &costs, &mutex);
+  };
+  run_app(*bt, predict_config);
+
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_GT(costs[1].count(), 50u);
+  // Predicting 64 ahead must cost more than predicting 1 ahead (fig. 9:
+  // cost grows linearly with distance).
+  EXPECT_GT(costs[64].mean(), costs[1].mean());
+}
+
+TEST(FaultInjection, ErrorRateDegradesTracking) {
+  const apps::App* lulesh = apps::find_app("Lulesh");
+  ASSERT_NE(lulesh, nullptr);
+
+  RunConfig base;
+  base.app = small_config();
+  base.ranks = 1;
+  base.machine = ompsim::MachineModel::pudding();
+  base.omp_max_threads = 24;
+
+  RunConfig record_config = base;
+  record_config.mode = Mode::kRecord;
+  const RunResult recorded = run_app(*lulesh, record_config);
+
+  auto run_with_error = [&](double rate) {
+    RunConfig config = base;
+    config.mode = Mode::kPredict;
+    config.reference = &recorded.trace;
+    config.omp_adaptive = true;
+    config.omp_error_rate = rate;
+    return run_app(*lulesh, config);
+  };
+
+  const RunResult clean = run_with_error(0.0);
+  const RunResult faulty = run_with_error(0.4);
+  EXPECT_EQ(clean.predictor_stats.unknown, 0u);
+  EXPECT_GT(faulty.predictor_stats.unknown, 0u);
+  // Bad predictions push the runtime back to max threads for small
+  // regions — execution time grows with the error rate (fig. 14).
+  EXPECT_GT(faulty.makespan_virtual_ns, clean.makespan_virtual_ns);
+}
+
+}  // namespace
+}  // namespace pythia::harness

@@ -1,0 +1,156 @@
+// Harness runner tests: configuration handling, statistics aggregation,
+// registry propagation.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia::harness {
+namespace {
+
+using apps::AppConfig;
+using apps::WorkingSet;
+
+// A minimal deterministic app for harness-level tests.
+class TinyApp final : public apps::App {
+ public:
+  std::string name() const override { return "Tiny"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 3; }
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig&) const override {
+    auto& mpi = env.mpi;
+    for (int i = 0; i < 5; ++i) {
+      mpi.barrier();
+      mpi.compute(1000.0);
+    }
+    mpi.allreduce(1.0, mpisim::ReduceOp::kSum);
+  }
+};
+
+class TinyHybrid final : public apps::App {
+ public:
+  std::string name() const override { return "TinyHybrid"; }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 2; }
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig&) const override {
+    for (int i = 0; i < 4; ++i) {
+      env.omp->parallel(1, 50'000.0, 0.9);
+      env.mpi.barrier();
+    }
+  }
+};
+
+TEST(Runner, DefaultRanksComeFromApp) {
+  TinyApp app;
+  RunConfig config;
+  config.mode = Mode::kRecord;
+  const RunResult result = run_app(app, config);
+  EXPECT_EQ(result.trace.threads.size(), 3u);
+}
+
+TEST(Runner, ExplicitRanksOverride) {
+  TinyApp app;
+  RunConfig config;
+  config.mode = Mode::kRecord;
+  config.ranks = 5;
+  const RunResult result = run_app(app, config);
+  EXPECT_EQ(result.trace.threads.size(), 5u);
+}
+
+TEST(Runner, EventTotalsSumAcrossRanks) {
+  TinyApp app;
+  RunConfig config;
+  config.mode = Mode::kVanilla;
+  const RunResult result = run_app(app, config);
+  // 5 barriers + 1 allreduce per rank, 3 ranks.
+  EXPECT_EQ(result.total_events, 18u);
+}
+
+TEST(Runner, PredictWithoutReferenceAborts) {
+  TinyApp app;
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  EXPECT_DEATH(run_app(app, config), "reference");
+}
+
+TEST(Runner, PredictWithWrongSectionCountAborts) {
+  TinyApp app;
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  record_config.ranks = 2;
+  const RunResult recorded = run_app(app, record_config);
+
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.ranks = 5;
+  predict_config.reference = &recorded.trace;
+  EXPECT_DEATH(run_app(app, predict_config), "section");
+}
+
+TEST(Runner, WrapReferenceAllowsRankMismatch) {
+  TinyApp app;
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  record_config.ranks = 2;
+  const RunResult recorded = run_app(app, record_config);
+
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.ranks = 5;
+  predict_config.reference = &recorded.trace;
+  predict_config.wrap_reference_threads = true;
+  const RunResult predicted = run_app(app, predict_config);
+  EXPECT_GT(predicted.predictor_stats.observed, 0u);
+}
+
+TEST(Runner, PredictCopiesReferenceRegistry) {
+  TinyApp app;
+  RunConfig record_config;
+  record_config.mode = Mode::kRecord;
+  const RunResult recorded = run_app(app, record_config);
+  const std::size_t recorded_events = recorded.trace.registry.event_count();
+  ASSERT_GT(recorded_events, 0u);
+
+  RunConfig predict_config;
+  predict_config.mode = Mode::kPredict;
+  predict_config.reference = &recorded.trace;
+  const RunResult predicted = run_app(app, predict_config);
+  // Same program, same registry contents: no new events were interned.
+  EXPECT_EQ(predicted.trace.registry.event_count(), recorded_events);
+}
+
+TEST(Runner, OmpStatsAggregateOverRanks) {
+  TinyHybrid app;
+  RunConfig config;
+  config.mode = Mode::kVanilla;
+  config.omp_max_threads = 4;
+  const RunResult result = run_app(app, config);
+  EXPECT_EQ(result.omp_stats.regions, 8u);  // 4 regions x 2 ranks
+  EXPECT_EQ(result.omp_stats.threads_used_total, 32u);  // all at 4 threads
+  // OpenMP begin/end events are part of the totals.
+  EXPECT_EQ(result.total_events, 8u /*barriers*/ + 16u /*region events*/);
+}
+
+TEST(Runner, MakespanIsMaxOverRanks) {
+  TinyApp app;
+  RunConfig config;
+  config.mode = Mode::kVanilla;
+  const RunResult result = run_app(app, config);
+  EXPECT_GT(result.makespan_virtual_ns, 5000u);  // at least the compute
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Runner, RecordReferenceHelper) {
+  TinyApp app;
+  const Trace trace = record_reference(app, AppConfig{});
+  EXPECT_EQ(trace.threads.size(), 3u);
+  for (const ThreadTrace& thread : trace.threads) {
+    EXPECT_TRUE(thread.grammar.finalized());
+    EXPECT_FALSE(thread.timing.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pythia::harness

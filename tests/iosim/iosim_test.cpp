@@ -1,0 +1,192 @@
+// Block store and PYTHIA-guided prefetcher tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/trace_io.hpp"
+#include "iosim/block_store.hpp"
+#include "iosim/prefetcher.hpp"
+
+namespace pythia::iosim {
+namespace {
+
+BlockStore::Config small_store() {
+  BlockStore::Config config;
+  config.hit_ns = 1'000;
+  config.miss_ns = 100'000;
+  config.issue_ns = 500;
+  config.cache_blocks = 4;
+  return config;
+}
+
+TEST(BlockStore, ColdReadIsAMiss) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  store.read(clock, 7);
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(clock.now_ns(), 100'000u);
+}
+
+TEST(BlockStore, RepeatReadIsAHit) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  store.read(clock, 7);
+  const std::uint64_t after_miss = clock.now_ns();
+  store.read(clock, 7);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(clock.now_ns(), after_miss + 1'000u);
+}
+
+TEST(BlockStore, LruEvictsOldest) {
+  BlockStore store(small_store());  // capacity 4
+  sim::VirtualClock clock;
+  for (std::uint64_t block = 0; block < 5; ++block) {
+    store.read(clock, block);
+  }
+  EXPECT_FALSE(store.resident(0));  // evicted
+  EXPECT_TRUE(store.resident(4));
+  store.read(clock, 0);
+  EXPECT_EQ(store.stats().misses, 6u);
+}
+
+TEST(BlockStore, TouchRefreshesLruOrder) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    store.read(clock, block);
+  }
+  store.read(clock, 0);  // block 0 becomes most recent
+  store.read(clock, 9);  // evicts block 1, not 0
+  EXPECT_TRUE(store.resident(0));
+  EXPECT_FALSE(store.resident(1));
+}
+
+TEST(BlockStore, PrefetchHidesLatencyWhenEarly) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  store.prefetch(clock, 3);
+  EXPECT_EQ(clock.now_ns(), 500u);  // issue cost only
+  clock.advance(200'000);           // enough compute for it to land
+  store.read(clock, 3);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 0u);
+  EXPECT_EQ(clock.now_ns(), 200'500u + 1'000u);
+}
+
+TEST(BlockStore, LatePrefetchIsAPartialWin) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  store.prefetch(clock, 3);  // ready at 500 + 100'000
+  clock.advance(50'000);     // only half the latency has elapsed
+  store.read(clock, 3);
+  EXPECT_EQ(store.stats().late_prefetches, 1u);
+  // Waited until ready (100'500) + hit cost — cheaper than a full miss
+  // from t=50'500 (150'500).
+  EXPECT_EQ(clock.now_ns(), 101'500u);
+}
+
+TEST(BlockStore, RedundantPrefetchIsFreeAndCounted) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  store.read(clock, 1);
+  const std::uint64_t before = clock.now_ns();
+  store.prefetch(clock, 1);
+  EXPECT_EQ(store.stats().redundant_prefetches, 1u);
+  EXPECT_EQ(clock.now_ns(), before);  // no issue cost
+}
+
+// --- the full prediction loop ----------------------------------------------
+
+// Sweeps `blocks` in a fixed order with compute between reads.
+void sweep_workload(PrefetchingReader& reader, int blocks, int sweeps,
+                    double compute_ns) {
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (int block = 0; block < blocks; ++block) {
+      reader.read(static_cast<std::uint64_t>(block));
+      reader.compute(compute_ns);
+    }
+  }
+}
+
+TEST(Prefetcher, OracleGuidedSweepBeatsColdCache) {
+  // 16 blocks, capacity 4: every sweep misses everything without
+  // prefetch. With the oracle foreseeing the next reads and enough
+  // compute to hide the latency, reads become (late-)prefetch hits.
+  BlockStore::Config config = small_store();
+  config.cache_blocks = 4;
+
+  constexpr int kBlocks = 16;
+  constexpr int kSweeps = 6;
+  constexpr double kComputeNs = 60'000;
+
+  // Reference execution.
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+  std::uint64_t vanilla_ns = 0;
+  {
+    BlockStore store(config);
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::record(true);
+    PrefetchingReader reader(store, clock, oracle, shared);
+    sweep_workload(reader, kBlocks, kSweeps, kComputeNs);
+    trace.threads.push_back(oracle.finish());
+    vanilla_ns = clock.now_ns();
+    EXPECT_EQ(store.stats().misses, kBlocks * kSweeps);  // all cold
+  }
+
+  // Prediction run with lookahead 3: three prefetches in flight cover
+  // 3 x 60µs of compute against the 100µs device latency.
+  {
+    BlockStore store(config);
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::predict(trace.threads[0]);
+    PrefetchingReader::Config reader_config;
+    reader_config.lookahead = 3;
+    PrefetchingReader reader(store, clock, oracle, shared, reader_config);
+    sweep_workload(reader, kBlocks, kSweeps, kComputeNs);
+
+    const auto& stats = store.stats();
+    EXPECT_LT(clock.now_ns(), vanilla_ns);
+    EXPECT_GT(stats.hits + stats.late_prefetches, stats.misses);
+    EXPECT_GT(reader.prefetches_issued(), 0u);
+  }
+}
+
+TEST(Prefetcher, RecordModeNeverPrefetches) {
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+  Oracle oracle = Oracle::record(false);
+  PrefetchingReader reader(store, clock, oracle, shared);
+  reader.read(0);
+  reader.read(1);
+  EXPECT_EQ(reader.prefetches_issued(), 0u);
+  EXPECT_EQ(store.stats().prefetches, 0u);
+}
+
+TEST(Prefetcher, UnknownFutureDoesNothingHarmful) {
+  // The predict run touches blocks the reference never saw: the oracle
+  // goes dark; reads still work as plain misses.
+  Trace trace;
+  SharedRegistry shared(trace.registry);
+  {
+    BlockStore store(small_store());
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::record(true);
+    PrefetchingReader reader(store, clock, oracle, shared);
+    for (int i = 0; i < 10; ++i) reader.read(static_cast<std::uint64_t>(i % 2));
+    trace.threads.push_back(oracle.finish());
+  }
+  BlockStore store(small_store());
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::predict(trace.threads[0]);
+  PrefetchingReader reader(store, clock, oracle, shared);
+  reader.read(100);
+  reader.read(101);
+  EXPECT_EQ(store.stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace pythia::iosim

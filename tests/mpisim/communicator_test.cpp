@@ -1,0 +1,286 @@
+// Simulated MPI runtime tests: point-to-point, requests, collectives,
+// virtual-time propagation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpisim/cluster.hpp"
+#include "mpisim/communicator.hpp"
+
+namespace pythia::mpisim {
+namespace {
+
+Cluster::Options zero_cost() {
+  Cluster::Options options;
+  options.model = NetworkModel::zero();
+  return options;
+}
+
+TEST(Network, FifoPerSourceAndTagMatching) {
+  Network network(2);
+  Message m;
+  m.source = 0;
+  m.tag = 7;
+  m.data = {std::byte{1}};
+  network.deliver(1, m);
+  m.tag = 9;
+  m.data = {std::byte{2}};
+  network.deliver(1, m);
+
+  // Tag-selective receive takes the second message first.
+  Message got = network.receive(1, 0, 9);
+  EXPECT_EQ(got.data[0], std::byte{2});
+  got = network.receive(1, kAnySource, kAnyTag);
+  EXPECT_EQ(got.data[0], std::byte{1});
+  EXPECT_EQ(network.pending(), 0u);
+}
+
+TEST(Cluster, PingPong) {
+  Cluster cluster(2, zero_cost());
+  std::vector<double> received(2, 0.0);
+  cluster.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double value = 42.5;
+      comm.send_doubles(1, 0, std::span<const double>(&value, 1));
+      received[0] = comm.recv_doubles(1, 1)[0];
+    } else {
+      const double got = comm.recv_doubles(0, 0)[0];
+      const double reply = got * 2;
+      comm.send_doubles(0, 1, std::span<const double>(&reply, 1));
+      received[1] = got;
+    }
+  });
+  EXPECT_DOUBLE_EQ(received[1], 42.5);
+  EXPECT_DOUBLE_EQ(received[0], 85.0);
+}
+
+TEST(Cluster, IsendIrecvWaitall) {
+  constexpr int kRanks = 4;
+  Cluster cluster(kRanks, zero_cost());
+  std::vector<double> sums(kRanks, 0.0);
+  cluster.run([&](Communicator& comm) {
+    const int rank = comm.rank();
+    const int left = (rank + kRanks - 1) % kRanks;
+    const int right = (rank + 1) % kRanks;
+    const double mine = static_cast<double>(rank + 1);
+
+    std::vector<Request> requests;
+    requests.push_back(comm.irecv(left, 3));
+    requests.push_back(comm.irecv(right, 3));
+    requests.push_back(
+        comm.isend(left, 3, Communicator::as_bytes({&mine, 1})));
+    requests.push_back(
+        comm.isend(right, 3, Communicator::as_bytes({&mine, 1})));
+    comm.waitall(requests);
+
+    double sum = 0.0;
+    for (Request& request : requests) {
+      if (request.is_receive()) {
+        sum += Communicator::to_doubles(request.data())[0];
+      }
+    }
+    sums[static_cast<std::size_t>(rank)] = sum;
+  });
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const int left = (rank + kRanks - 1) % kRanks;
+    const int right = (rank + 1) % kRanks;
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(rank)],
+                     static_cast<double>(left + 1 + right + 1));
+  }
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, AllreduceSum) {
+  const int ranks = GetParam();
+  Cluster cluster(ranks, zero_cost());
+  std::vector<double> results(static_cast<std::size_t>(ranks));
+  cluster.run([&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce(static_cast<double>(comm.rank() + 1), ReduceOp::kSum);
+  });
+  const double expected = ranks * (ranks + 1) / 2.0;
+  for (double r : results) EXPECT_DOUBLE_EQ(r, expected);
+}
+
+TEST_P(CollectiveTest, AllreduceMinMax) {
+  const int ranks = GetParam();
+  Cluster cluster(ranks, zero_cost());
+  std::vector<double> mins(static_cast<std::size_t>(ranks));
+  std::vector<double> maxs(static_cast<std::size_t>(ranks));
+  cluster.run([&](Communicator& comm) {
+    const double mine = static_cast<double>(comm.rank());
+    mins[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce(mine, ReduceOp::kMin);
+    maxs[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce(mine, ReduceOp::kMax);
+  });
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_DOUBLE_EQ(mins[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_DOUBLE_EQ(maxs[static_cast<std::size_t>(r)],
+                     static_cast<double>(ranks - 1));
+  }
+}
+
+TEST_P(CollectiveTest, ReduceAtNonzeroRoot) {
+  const int ranks = GetParam();
+  if (ranks < 2) GTEST_SKIP();
+  Cluster cluster(ranks, zero_cost());
+  std::vector<double> at_root(static_cast<std::size_t>(ranks), -1.0);
+  cluster.run([&](Communicator& comm) {
+    const double result =
+        comm.reduce(1.0, ReduceOp::kSum, /*root=*/1);
+    at_root[static_cast<std::size_t>(comm.rank())] = result;
+  });
+  EXPECT_DOUBLE_EQ(at_root[1], static_cast<double>(ranks));
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int ranks = GetParam();
+  Cluster cluster(ranks, zero_cost());
+  cluster.run([&](Communicator& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      Payload data;
+      if (comm.rank() == root) {
+        data = {std::byte{static_cast<unsigned char>(root + 1)}};
+      }
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 1u);
+      EXPECT_EQ(data[0], std::byte{static_cast<unsigned char>(root + 1)});
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallPermutesChunks) {
+  const int ranks = GetParam();
+  Cluster cluster(ranks, zero_cost());
+  cluster.run([&](Communicator& comm) {
+    std::vector<Payload> send(static_cast<std::size_t>(ranks));
+    for (int dst = 0; dst < ranks; ++dst) {
+      send[static_cast<std::size_t>(dst)] = {
+          std::byte{static_cast<unsigned char>(comm.rank() * 16 + dst)}};
+    }
+    const std::vector<Payload> got = comm.alltoall(send);
+    for (int src = 0; src < ranks; ++src) {
+      ASSERT_EQ(got[static_cast<std::size_t>(src)].size(), 1u);
+      EXPECT_EQ(got[static_cast<std::size_t>(src)][0],
+                std::byte{static_cast<unsigned char>(src * 16 + comm.rank())});
+    }
+  });
+}
+
+TEST_P(CollectiveTest, GatherAndScatter) {
+  const int ranks = GetParam();
+  Cluster cluster(ranks, zero_cost());
+  cluster.run([&](Communicator& comm) {
+    const double mine = static_cast<double>(comm.rank() * 10);
+    const std::vector<Payload> gathered =
+        comm.gather(Communicator::as_bytes({&mine, 1}), 0);
+    std::vector<Payload> chunks;
+    if (comm.rank() == 0) {
+      EXPECT_EQ(static_cast<int>(gathered.size()), ranks);
+      for (int r = 0; r < ranks; ++r) {
+        EXPECT_DOUBLE_EQ(
+            Communicator::to_doubles(gathered[static_cast<std::size_t>(r)])[0],
+            static_cast<double>(r * 10));
+      }
+      chunks = gathered;  // scatter them back
+    }
+    const Payload mine_back = comm.scatter(chunks, 0);
+    EXPECT_DOUBLE_EQ(Communicator::to_doubles(mine_back)[0],
+                     static_cast<double>(comm.rank() * 10));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(VirtualTime, ComputeAdvancesClock) {
+  Cluster cluster(1, zero_cost());
+  const Cluster::Result result = cluster.run([](Communicator& comm) {
+    comm.compute(1000.0);
+    comm.compute(500.0);
+  });
+  EXPECT_EQ(result.rank_virtual_ns[0], 1500u);
+  EXPECT_EQ(result.makespan_virtual_ns, 1500u);
+}
+
+TEST(VirtualTime, ReceiverWaitsForSender) {
+  // Rank 0 computes 1 ms then sends; rank 1 receives immediately. The
+  // receiver's clock must end past the sender's send time plus latency.
+  Cluster::Options options;
+  options.model.latency_ns = 10'000;
+  options.model.send_overhead_ns = 100;
+  options.model.recv_overhead_ns = 100;
+  Cluster cluster(2, options);
+  const Cluster::Result result = cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(1'000'000.0);
+      comm.send_empty(1, 0);
+    } else {
+      comm.recv(0, 0);
+    }
+  });
+  EXPECT_GE(result.rank_virtual_ns[1], 1'010'000u);
+  EXPECT_LT(result.rank_virtual_ns[1], 1'100'000u);
+}
+
+TEST(VirtualTime, BarrierSynchronizesToSlowest) {
+  Cluster cluster(4, zero_cost());
+  const Cluster::Result result = cluster.run([](Communicator& comm) {
+    comm.compute(1000.0 * (comm.rank() + 1));  // slowest = 4000 ns
+    comm.barrier();
+  });
+  for (std::uint64_t t : result.rank_virtual_ns) {
+    EXPECT_GE(t, 4000u);
+  }
+}
+
+TEST(VirtualTime, MessageSizeCostsBandwidth) {
+  Cluster::Options options;
+  options.model.latency_ns = 0;
+  options.model.send_overhead_ns = 0;
+  options.model.recv_overhead_ns = 0;
+  options.model.bandwidth_gbps = 8.0;  // 1 ns per byte
+  Cluster cluster(2, options);
+  const Cluster::Result result = cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(1000, 1.0);  // 8000 bytes -> 8000 ns
+      comm.send_doubles(1, 0, big);
+    } else {
+      comm.recv(0, 0);
+    }
+  });
+  EXPECT_GE(result.rank_virtual_ns[1], 8000u);
+  EXPECT_LT(result.rank_virtual_ns[1], 9000u);
+}
+
+TEST(VirtualTime, DeterministicAcrossRuns) {
+  // Same program, two runs: identical virtual times despite host
+  // scheduling differences.
+  auto program = [](Communicator& comm) {
+    for (int i = 0; i < 20; ++i) {
+      comm.compute(100.0 * (comm.rank() + 1));
+      comm.allreduce(1.0, ReduceOp::kSum);
+    }
+  };
+  Cluster::Options options;  // default (non-zero) model
+  Cluster a(4, options);
+  Cluster b(4, options);
+  const auto ra = a.run(program);
+  const auto rb = b.run(program);
+  EXPECT_EQ(ra.rank_virtual_ns, rb.rank_virtual_ns);
+}
+
+TEST(Cluster, ExceptionPropagates) {
+  Cluster cluster(2, zero_cost());
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    comm.barrier();
+    if (comm.rank() == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pythia::mpisim

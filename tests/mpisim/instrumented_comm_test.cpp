@@ -1,0 +1,172 @@
+// Tests for the MPI interposition shim: event streams, payloads,
+// record→predict round trips through the simulated runtime.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trace_io.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/instrumented_comm.hpp"
+
+namespace pythia::mpisim {
+namespace {
+
+Cluster::Options zero_cost() {
+  Cluster::Options options;
+  options.model = NetworkModel::zero();
+  return options;
+}
+
+TEST(InstrumentedComm, EventsCarryPeerPayload) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  Cluster cluster(2, zero_cost());
+  std::vector<ThreadTrace> traces(2);
+
+  cluster.run([&](Communicator& comm) {
+    Oracle oracle = Oracle::record(false);
+    InstrumentedComm mpi(comm, oracle, shared);
+    if (comm.rank() == 0) {
+      mpi.send_doubles(1, 0, {});
+      mpi.barrier();
+    } else {
+      mpi.recv(0, 0);
+      mpi.barrier();
+    }
+    traces[static_cast<std::size_t>(comm.rank())] = oracle.finish();
+  });
+
+  // Rank 0 recorded MPI_Send(1) then MPI_Barrier; rank 1 MPI_Recv(0) then
+  // MPI_Barrier.
+  const auto seq0 = traces[0].grammar.unfold();
+  ASSERT_EQ(seq0.size(), 2u);
+  EXPECT_EQ(registry.describe(seq0[0]), "MPI_Send(1)");
+  EXPECT_EQ(registry.describe(seq0[1]), "MPI_Barrier");
+  const auto seq1 = traces[1].grammar.unfold();
+  ASSERT_EQ(seq1.size(), 2u);
+  EXPECT_EQ(registry.describe(seq1[0]), "MPI_Recv(0)");
+  EXPECT_EQ(registry.describe(seq1[1]), "MPI_Barrier");
+}
+
+TEST(InstrumentedComm, SyncPointsFireAtBlockingCalls) {
+  struct Counter : CommObserver {
+    int events = 0;
+    int syncs = 0;
+    void on_event(TerminalId, std::uint64_t) override { ++events; }
+    void on_sync_point(std::uint64_t) override { ++syncs; }
+  };
+
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  Cluster cluster(2, zero_cost());
+  std::vector<Counter> counters(2);
+
+  cluster.run([&](Communicator& comm) {
+    Oracle oracle = Oracle::off();
+    InstrumentedComm mpi(comm, oracle, shared,
+                         &counters[static_cast<std::size_t>(comm.rank())]);
+    if (comm.rank() == 0) {
+      Request r = mpi.irecv(1, 5);  // event, no sync
+      mpi.wait(r);                  // event + sync
+      mpi.barrier();                // event + sync
+    } else {
+      mpi.send_doubles(0, 5, {});   // event, no sync
+      mpi.barrier();                // event + sync
+    }
+  });
+
+  EXPECT_EQ(counters[0].events, 3);
+  EXPECT_EQ(counters[0].syncs, 2);
+  EXPECT_EQ(counters[1].events, 2);
+  EXPECT_EQ(counters[1].syncs, 1);
+}
+
+TEST(InstrumentedComm, RecordThenPredictNextMpiCall) {
+  // A repetitive exchange is recorded; on the second "execution" the
+  // predictor must name the next MPI call at every step.
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+
+  auto program = [](InstrumentedComm& mpi) {
+    for (int iteration = 0; iteration < 30; ++iteration) {
+      if (mpi.rank() == 0) {
+        mpi.send_doubles(1, 0, {});
+        mpi.recv(1, 1);
+      } else {
+        mpi.recv(0, 0);
+        mpi.send_doubles(0, 1, {});
+      }
+      mpi.allreduce(1.0, ReduceOp::kSum);
+    }
+  };
+
+  std::vector<ThreadTrace> traces(2);
+  {
+    Cluster cluster(2, zero_cost());
+    cluster.run([&](Communicator& comm) {
+      Oracle oracle = Oracle::record(true);
+      InstrumentedComm mpi(comm, oracle, shared);
+      program(mpi);
+      traces[static_cast<std::size_t>(comm.rank())] = oracle.finish();
+    });
+  }
+
+  // Predict run: after warm-up, predictions at distance 1 must be right.
+  struct Checker : CommObserver {
+    Oracle* oracle = nullptr;
+    std::vector<TerminalId> pending;  // prediction made at the last event
+    int correct = 0;
+    int total = 0;
+    std::optional<TerminalId> last_prediction;
+
+    void on_event(TerminalId event, std::uint64_t) override {
+      if (last_prediction.has_value()) {
+        ++total;
+        if (*last_prediction == event) ++correct;
+        last_prediction.reset();
+      }
+      auto p = oracle->predict_event(1);
+      if (p.has_value()) last_prediction = p->event;
+    }
+  };
+
+  std::vector<Checker> checkers(2);
+  {
+    Cluster cluster(2, zero_cost());
+    cluster.run([&](Communicator& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      Oracle oracle = Oracle::predict(traces[rank]);
+      checkers[rank].oracle = &oracle;
+      InstrumentedComm mpi(comm, oracle, shared, &checkers[rank]);
+      program(mpi);
+      checkers[rank].oracle = nullptr;
+    });
+  }
+
+  for (const Checker& checker : checkers) {
+    EXPECT_GT(checker.total, 50);
+    EXPECT_GE(static_cast<double>(checker.correct),
+              0.95 * static_cast<double>(checker.total))
+        << checker.correct << "/" << checker.total;
+  }
+}
+
+TEST(InstrumentedComm, EventCountMatchesSubmissions) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  Cluster cluster(2, zero_cost());
+  std::vector<std::uint64_t> counts(2);
+  cluster.run([&](Communicator& comm) {
+    Oracle oracle = Oracle::record(false);
+    InstrumentedComm mpi(comm, oracle, shared);
+    for (int i = 0; i < 10; ++i) mpi.barrier();
+    counts[static_cast<std::size_t>(comm.rank())] =
+        oracle.recorder()->event_count();
+    EXPECT_EQ(mpi.events_submitted(), 10u);
+  });
+  EXPECT_EQ(counts[0], 10u);
+  EXPECT_EQ(counts[1], 10u);
+}
+
+}  // namespace
+}  // namespace pythia::mpisim

@@ -1,0 +1,109 @@
+// Network-layer tests: matching semantics, ordering, batch
+// continuations, and cost-model arithmetic.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mpisim/model.hpp"
+#include "mpisim/network.hpp"
+
+namespace pythia::mpisim {
+namespace {
+
+Message make(int source, int tag, unsigned char byte,
+             std::uint64_t sent_at = 0) {
+  Message message;
+  message.source = source;
+  message.tag = tag;
+  message.data = {std::byte{byte}};
+  message.sent_at_ns = sent_at;
+  return message;
+}
+
+TEST(NetworkMatching, WildcardSource) {
+  Network network(2);
+  network.deliver(0, make(1, 7, 1));
+  const Message got = network.receive(0, kAnySource, 7);
+  EXPECT_EQ(got.source, 1);
+  EXPECT_EQ(got.data[0], std::byte{1});
+}
+
+TEST(NetworkMatching, WildcardTag) {
+  Network network(2);
+  network.deliver(0, make(1, 42, 9));
+  const Message got = network.receive(0, 1, kAnyTag);
+  EXPECT_EQ(got.tag, 42);
+}
+
+TEST(NetworkMatching, FifoWithinSourceTagPair) {
+  Network network(2);
+  for (unsigned char i = 0; i < 5; ++i) {
+    network.deliver(0, make(1, 3, i));
+  }
+  for (unsigned char i = 0; i < 5; ++i) {
+    EXPECT_EQ(network.receive(0, 1, 3).data[0], std::byte{i});
+  }
+}
+
+TEST(NetworkMatching, SelectiveReceiveSkipsNonMatching) {
+  Network network(3);
+  network.deliver(0, make(1, 1, 10));
+  network.deliver(0, make(2, 2, 20));
+  network.deliver(0, make(1, 2, 30));
+  // Ask specifically for source 2 / tag 2 although older messages exist.
+  EXPECT_EQ(network.receive(0, 2, 2).data[0], std::byte{20});
+  EXPECT_EQ(network.pending(), 2u);
+  EXPECT_EQ(network.receive(0, 1, 2).data[0], std::byte{30});
+  EXPECT_EQ(network.receive(0, 1, 1).data[0], std::byte{10});
+}
+
+TEST(NetworkMatching, TryReceiveDoesNotBlock) {
+  Network network(1);
+  Message out;
+  EXPECT_FALSE(network.try_receive(0, kAnySource, kAnyTag, out));
+  network.deliver(0, make(0, 0, 5));
+  EXPECT_TRUE(network.try_receive(0, kAnySource, kAnyTag, out));
+  EXPECT_EQ(out.data[0], std::byte{5});
+  EXPECT_FALSE(network.try_receive(0, kAnySource, kAnyTag, out));
+}
+
+TEST(NetworkMatching, BlockingReceiveWakesOnDelivery) {
+  Network network(1);
+  Message got;
+  std::thread receiver([&] { got = network.receive(0, 9, 9); });
+  // Deliver a non-matching then a matching message.
+  network.deliver(0, make(8, 9, 1));
+  network.deliver(0, make(9, 9, 2));
+  receiver.join();
+  EXPECT_EQ(got.data[0], std::byte{2});
+  EXPECT_EQ(network.pending(), 1u);  // the non-matching one remains
+  (void)network.receive(0, 8, 9);
+}
+
+TEST(NetworkModelMath, TransferIncludesLatencyAndBandwidth) {
+  NetworkModel model;
+  model.latency_ns = 1000.0;
+  model.bandwidth_gbps = 8.0;  // 1 ns per byte
+  EXPECT_DOUBLE_EQ(model.transfer_ns(0), 1000.0);
+  EXPECT_DOUBLE_EQ(model.transfer_ns(500), 1500.0);
+}
+
+TEST(NetworkModelMath, ZeroModelIsFree) {
+  const NetworkModel model = NetworkModel::zero();
+  EXPECT_DOUBLE_EQ(model.send_overhead_ns, 0.0);
+  EXPECT_LT(model.transfer_ns(1 << 20), 1.0);
+}
+
+TEST(BatchContinuation, FlagTravelsWithMessage) {
+  Network network(2);
+  Message head = make(0, 1, 1, 100);
+  Message cont = make(0, 2, 2, 100);
+  cont.batch_continuation = true;
+  network.deliver(1, head);
+  network.deliver(1, cont);
+  EXPECT_FALSE(network.receive(1, 0, 1).batch_continuation);
+  EXPECT_TRUE(network.receive(1, 0, 2).batch_continuation);
+}
+
+}  // namespace
+}  // namespace pythia::mpisim

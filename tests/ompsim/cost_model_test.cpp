@@ -1,0 +1,142 @@
+// Parameterized sweeps over the OpenMP machine cost model and the
+// adaptive-policy ladder: the properties that make figs. 10–14 shaped
+// the way they are.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ompsim/adaptive.hpp"
+#include "ompsim/machine.hpp"
+#include "ompsim/thread_pool.hpp"
+
+namespace pythia::ompsim {
+namespace {
+
+MachineModel machine_for(int index) {
+  switch (index) {
+    case 0:
+      return MachineModel::pudding();
+    case 1:
+      return MachineModel::pixel();
+    default:
+      return MachineModel::paravance();
+  }
+}
+
+class CostModelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CostModelSweep, OverheadGrowsMonotonicallyWithThreads) {
+  const auto [machine_index, threads] = GetParam();
+  const MachineModel machine = machine_for(machine_index);
+  if (threads < 2) GTEST_SKIP();
+  EXPECT_GE(machine.overhead_ns(threads), machine.overhead_ns(threads - 1));
+}
+
+TEST_P(CostModelSweep, CostIsAtLeastAmdahlBound) {
+  const auto [machine_index, threads] = GetParam();
+  const MachineModel machine = machine_for(machine_index);
+  const double work = 1e6;
+  const double cost = machine.region_cost_ns(work, threads, 1.0);
+  const int effective = std::min(threads, machine.cores);
+  EXPECT_GE(cost, work / machine.core_speed / effective);
+}
+
+TEST_P(CostModelSweep, SerialFractionIsNeverParallelized) {
+  const auto [machine_index, threads] = GetParam();
+  const MachineModel machine = machine_for(machine_index);
+  const double work = 2e6;
+  const double fully = machine.region_cost_ns(work, threads, 1.0);
+  const double half = machine.region_cost_ns(work, threads, 0.5);
+  if (threads > 1) {
+    EXPECT_GE(half, fully);  // serial part dominates with fewer threads
+  }
+  // The serial part is a hard floor.
+  EXPECT_GE(half, work * 0.5 / machine.core_speed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndThreads, CostModelSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 4, 8, 12, 16, 24, 32)));
+
+class PolicySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicySweep, LadderCoversEveryTeamPowerOfTwo) {
+  const int max_threads = GetParam();
+  const AdaptivePolicy policy =
+      AdaptivePolicy::from_model(MachineModel::pudding(), max_threads);
+  // choose_threads must return values in [1, max_threads] and reach both
+  // ends of the range.
+  EXPECT_EQ(policy.choose_threads(0.0), 1);
+  EXPECT_EQ(policy.choose_threads(1e12), max_threads);
+  for (double predicted = 1e3; predicted < 1e9; predicted *= 3) {
+    const int team = policy.choose_threads(predicted);
+    EXPECT_GE(team, 1);
+    EXPECT_LE(team, max_threads);
+  }
+}
+
+TEST_P(PolicySweep, MonotonicInPrediction) {
+  const int max_threads = GetParam();
+  const AdaptivePolicy policy =
+      AdaptivePolicy::from_model(MachineModel::pixel(), max_threads);
+  int previous = 1;
+  for (double predicted = 100.0; predicted < 1e10; predicted *= 1.5) {
+    const int team = policy.choose_threads(predicted);
+    EXPECT_GE(team, previous) << "prediction " << predicted;
+    previous = team;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxThreads, PolicySweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 24, 48));
+
+TEST(ThreadPoolSequences, OscillationCostsParkedVsVanilla) {
+  const MachineModel machine = MachineModel::pudding();
+  // A Lulesh-like oscillation: 24 -> 1 -> 24 -> 1 ... 50 times.
+  auto total_cost = [&](bool park) {
+    ThreadPoolModel pool(machine, park);
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      total += pool.adjust_to(24);
+      total += pool.adjust_to(1);
+    }
+    return total;
+  };
+  const double parked = total_cost(true);
+  const double vanilla = total_cost(false);
+  // Parked: one spawn burst, then cheap unparks. Vanilla: destroy +
+  // respawn every cycle — orders of magnitude more.
+  EXPECT_LT(parked, vanilla / 10.0);
+}
+
+TEST(ThreadPoolSequences, GrowShrinkGrowAccounting) {
+  const MachineModel machine = MachineModel::pixel();
+  ThreadPoolModel pool(machine, /*park=*/true);
+  pool.adjust_to(8);
+  EXPECT_EQ(pool.alive(), 8);
+  EXPECT_EQ(pool.parked(), 0);
+  pool.adjust_to(3);
+  EXPECT_EQ(pool.alive(), 3);
+  EXPECT_EQ(pool.parked(), 5);
+  pool.adjust_to(6);  // reuses 3 parked... all from parked set
+  EXPECT_EQ(pool.alive(), 6);
+  EXPECT_EQ(pool.parked(), 2);
+  // Growing beyond everything ever created mixes unpark + spawn.
+  const double cost = pool.adjust_to(12);
+  EXPECT_EQ(pool.alive(), 12);
+  EXPECT_EQ(pool.parked(), 0);
+  EXPECT_DOUBLE_EQ(cost, 2 * machine.unpark_thread_ns +
+                             4 * machine.spawn_thread_ns);
+}
+
+TEST(ThreadPoolSequences, SameSizeIsFree) {
+  ThreadPoolModel pool(MachineModel::pudding(), true);
+  pool.adjust_to(16);
+  EXPECT_DOUBLE_EQ(pool.adjust_to(16), 0.0);
+  EXPECT_DOUBLE_EQ(pool.adjust_to(16), 0.0);
+}
+
+}  // namespace
+}  // namespace pythia::ompsim

@@ -1,0 +1,233 @@
+// Simulated OpenMP runtime tests: cost model, thread pool, adaptive
+// policy, and the record→predict adaptation loop (paper §III-D1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trace_io.hpp"
+#include "ompsim/adaptive.hpp"
+#include "ompsim/machine.hpp"
+#include "ompsim/runtime.hpp"
+#include "ompsim/thread_pool.hpp"
+
+namespace pythia::ompsim {
+namespace {
+
+TEST(MachineModel, MoreThreadsHelpBigRegions) {
+  const MachineModel machine = MachineModel::pudding();
+  const double work = 5e6;  // 5 ms of serial work
+  EXPECT_LT(machine.region_cost_ns(work, 24, 0.95),
+            machine.region_cost_ns(work, 1, 0.95));
+  EXPECT_LT(machine.region_cost_ns(work, 24, 0.95),
+            machine.region_cost_ns(work, 4, 0.95));
+}
+
+TEST(MachineModel, SmallRegionsLoseAtHighThreadCounts) {
+  const MachineModel machine = MachineModel::pudding();
+  const double work = 10'000;  // 10 µs region
+  EXPECT_LT(machine.region_cost_ns(work, 1, 1.0),
+            machine.region_cost_ns(work, 24, 1.0));
+}
+
+TEST(MachineModel, NoSpeedupBeyondCoreCount) {
+  const MachineModel machine = MachineModel::pixel();  // 16 cores
+  const double work = 1e7;
+  const double at16 = machine.region_cost_ns(work, 16, 1.0);
+  const double at24 = machine.region_cost_ns(work, 24, 1.0);
+  EXPECT_GT(at24, at16);  // only overhead grows
+}
+
+TEST(MachineModel, PixelFasterPerCore) {
+  const MachineModel pudding = MachineModel::pudding();
+  const MachineModel pixel = MachineModel::pixel();
+  EXPECT_LT(pixel.region_cost_ns(1e6, 1, 1.0),
+            pudding.region_cost_ns(1e6, 1, 1.0));
+}
+
+TEST(ThreadPool, ParkedPoolPaysSpawnOnlyOnce) {
+  const MachineModel machine = MachineModel::pudding();
+  ThreadPoolModel pool(machine, /*park_spurious=*/true);
+  const double first = pool.adjust_to(24);
+  EXPECT_DOUBLE_EQ(first, machine.spawn_thread_ns * 23);
+  EXPECT_DOUBLE_EQ(pool.adjust_to(1), 0.0);  // parking is free
+  EXPECT_EQ(pool.parked(), 23);
+  const double regrow = pool.adjust_to(24);
+  EXPECT_DOUBLE_EQ(regrow, machine.unpark_thread_ns * 23);  // cheap reuse
+}
+
+TEST(ThreadPool, VanillaPoolRespawnsAfterShrink) {
+  const MachineModel machine = MachineModel::pudding();
+  ThreadPoolModel pool(machine, /*park_spurious=*/false);
+  pool.adjust_to(24);
+  const double shrink = pool.adjust_to(1);
+  EXPECT_DOUBLE_EQ(shrink, machine.destroy_thread_ns * 23);
+  const double regrow = pool.adjust_to(24);
+  EXPECT_DOUBLE_EQ(regrow, machine.spawn_thread_ns * 23);  // expensive
+}
+
+TEST(AdaptivePolicy, LadderIsMonotonic) {
+  const AdaptivePolicy policy =
+      AdaptivePolicy::from_model(MachineModel::pudding(), 24);
+  ASSERT_FALSE(policy.ladder().empty());
+  double previous = 0.0;
+  int previous_threads = 0;
+  for (const auto& threshold : policy.ladder()) {
+    EXPECT_GE(threshold.max_predicted_ns, previous);
+    EXPECT_GT(threshold.threads, previous_threads);
+    previous = threshold.max_predicted_ns;
+    previous_threads = threshold.threads;
+  }
+}
+
+TEST(AdaptivePolicy, SmallPredictionFewThreadsLargeMax) {
+  const AdaptivePolicy policy =
+      AdaptivePolicy::from_model(MachineModel::pudding(), 24);
+  EXPECT_EQ(policy.choose_threads(std::nullopt), 24);  // heuristic fallback
+  EXPECT_EQ(policy.choose_threads(5'000.0), 1);        // tiny region
+  EXPECT_EQ(policy.choose_threads(1e9), 24);           // huge region
+  // A prediction between the 8-thread and 16-thread break-evens. The
+  // ladder is compressed near overhead(24) because the reference duration
+  // always includes the max-thread fork/join cost.
+  const MachineModel machine = MachineModel::pudding();
+  const double mid_prediction =
+      machine.region_cost_ns(150'000.0, 24, 1.0);  // 150 µs of work
+  const int mid = policy.choose_threads(mid_prediction);
+  EXPECT_GT(mid, 1);
+  EXPECT_LT(mid, 24);
+}
+
+TEST(AdaptivePolicy, ChoicesApproximateModelOptimum) {
+  const MachineModel machine = MachineModel::pudding();
+  const AdaptivePolicy policy = AdaptivePolicy::from_model(machine, 24);
+  for (double work : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const double predicted = machine.region_cost_ns(work, 24, 1.0);
+    const int chosen = policy.choose_threads(predicted);
+    // Exhaustive optimum over the candidate set.
+    double best_cost = 1e300;
+    for (int t : {1, 2, 4, 8, 16, 24}) {
+      best_cost = std::min(best_cost, machine.region_cost_ns(work, t, 1.0));
+    }
+    const double chosen_cost = machine.region_cost_ns(work, chosen, 1.0);
+    EXPECT_LE(chosen_cost, best_cost * 1.3)
+        << "work=" << work << " chose " << chosen;
+  }
+}
+
+// --- end-to-end: record a region pattern, then adapt -----------------------
+
+struct LikeLulesh {
+  // Alternating large and small regions, like Lulesh's 30 regions of
+  // different sizes.
+  static void run(OmpRuntime& omp, int timesteps) {
+    for (int step = 0; step < timesteps; ++step) {
+      omp.parallel(/*region_id=*/1, /*work=*/4e6, 0.98);   // big kernel
+      omp.parallel(/*region_id=*/2, /*work=*/15'000, 0.9); // tiny fixup
+      omp.parallel(/*region_id=*/3, /*work=*/2e6, 0.98);   // big kernel
+      omp.parallel(/*region_id=*/4, /*work=*/8'000, 0.9);  // tiny fixup
+    }
+  }
+};
+
+TEST(OmpRuntime, RecordCapturesRegionPattern) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::record(true);
+  OmpRuntime::Config config;
+  config.machine = MachineModel::pudding();
+  config.max_threads = 24;
+  OmpRuntime omp(config, clock, oracle, shared);
+  LikeLulesh::run(omp, 50);
+  ThreadTrace trace = oracle.finish();
+  // 50 steps x 4 regions x 2 events.
+  EXPECT_EQ(trace.grammar.sequence_length(), 400u);
+  EXPECT_LE(trace.grammar.rule_count(), 8u);  // strongly repetitive
+  EXPECT_FALSE(trace.timing.empty());
+}
+
+TEST(OmpRuntime, AdaptiveModeShrinksSmallRegions) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+
+  OmpRuntime::Config config;
+  config.machine = MachineModel::pudding();
+  config.max_threads = 24;
+
+  // Reference execution (record, max threads).
+  ThreadTrace trace;
+  std::uint64_t record_time = 0;
+  {
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::record(true);
+    OmpRuntime omp(config, clock, oracle, shared);
+    LikeLulesh::run(omp, 50);
+    trace = oracle.finish();
+    record_time = clock.now_ns();
+  }
+
+  // Prediction execution (adaptive).
+  std::uint64_t predict_time = 0;
+  OmpRuntime::Stats stats;
+  {
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::predict(trace);
+    OmpRuntime::Config adaptive_config = config;
+    adaptive_config.adaptive = true;
+    OmpRuntime omp(adaptive_config, clock, oracle, shared);
+    LikeLulesh::run(omp, 50);
+    predict_time = clock.now_ns();
+    stats = omp.stats();
+  }
+
+  // The adaptive run must beat the fixed-max run (the tiny regions run
+  // with few threads) and must have made real decisions.
+  EXPECT_LT(predict_time, record_time);
+  EXPECT_GT(stats.adaptive_decisions, 150u);
+  EXPECT_LT(stats.mean_team(), 24.0);
+  EXPECT_GT(stats.mean_team(), 1.0);
+}
+
+TEST(OmpRuntime, BodyRunsOncePerSimulatedThread) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::off();
+  OmpRuntime::Config config;
+  config.machine = MachineModel::pixel();
+  config.max_threads = 8;
+  OmpRuntime omp(config, clock, oracle, shared);
+
+  std::vector<double> data(64, 0.0);
+  omp.parallel(7, 1000.0, 1.0, [&](int tid, int team) {
+    // Static partition, like an OpenMP for loop.
+    const std::size_t chunk = data.size() / static_cast<std::size_t>(team);
+    const std::size_t begin = static_cast<std::size_t>(tid) * chunk;
+    const std::size_t end =
+        tid == team - 1 ? data.size() : begin + chunk;
+    for (std::size_t i = begin; i < end; ++i) data[i] = 1.0;
+  });
+  for (double v : data) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_EQ(omp.last_team(), 8);
+}
+
+TEST(OmpRuntime, CriticalAndBarrierEmitEvents) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::record(false);
+  OmpRuntime::Config config;
+  config.machine = MachineModel::pixel();
+  config.max_threads = 4;
+  OmpRuntime omp(config, clock, oracle, shared);
+  omp.parallel(1, 1000.0, 1.0);
+  omp.critical(9, 500.0);
+  omp.barrier();
+  ThreadTrace trace = oracle.finish();
+  const auto seq = trace.grammar.unfold();
+  ASSERT_EQ(seq.size(), 5u);  // begin, end, crit begin, crit end, barrier
+  EXPECT_EQ(registry.describe(seq[2]), "GOMP_critical_start(9)");
+  EXPECT_EQ(registry.describe(seq[4]), "GOMP_barrier");
+}
+
+}  // namespace
+}  // namespace pythia::ompsim

@@ -1,0 +1,92 @@
+// Tests for the worksharing entry points (single, loop) added to the
+// GOMP-like runtime.
+#include <gtest/gtest.h>
+
+#include "core/trace_io.hpp"
+#include "ompsim/runtime.hpp"
+
+namespace pythia::ompsim {
+namespace {
+
+OmpRuntime::Config config_for(int threads) {
+  OmpRuntime::Config config;
+  config.machine = MachineModel::pixel();
+  config.max_threads = threads;
+  return config;
+}
+
+TEST(Worksharing, SingleEmitsEventAndCharges) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::record(false);
+  OmpRuntime omp(config_for(8), clock, oracle, shared);
+  omp.parallel(1, 10'000.0, 0.9);
+  const std::uint64_t before = clock.now_ns();
+  omp.single(5, 2'000.0);
+  EXPECT_GT(clock.now_ns(), before + 1'000u);
+  const ThreadTrace trace = oracle.finish();
+  const auto events = trace.grammar.unfold();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(registry.describe(events[2]), "GOMP_single_start(5)");
+}
+
+TEST(Worksharing, LoopSharesAcrossTheCurrentTeam) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  // The same loop is cheaper under a bigger team.
+  auto loop_cost = [&](int threads) {
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::off();
+    OmpRuntime omp(config_for(threads), clock, oracle, shared);
+    omp.parallel(1, 1'000.0, 0.5);  // establish the team
+    const std::uint64_t before = clock.now_ns();
+    omp.for_loop(7, 4e6, 0.98);
+    return clock.now_ns() - before;
+  };
+  EXPECT_LT(loop_cost(16), loop_cost(2));
+}
+
+TEST(Worksharing, LoopEmitsPairedEvents) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::record(false);
+  OmpRuntime omp(config_for(4), clock, oracle, shared);
+  omp.parallel(1, 1'000.0, 0.9);
+  omp.for_loop(3, 50'000.0, 0.95);
+  omp.for_loop(3, 50'000.0, 0.95);
+  const ThreadTrace trace = oracle.finish();
+  const auto events = trace.grammar.unfold();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(registry.describe(events[2]), "GOMP_loop_static_start(3)");
+  EXPECT_EQ(registry.describe(events[3]), "GOMP_loop_end(3)");
+}
+
+TEST(Worksharing, PredictableLikeAnyOtherEvent) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  ThreadTrace trace;
+  {
+    sim::VirtualClock clock;
+    Oracle oracle = Oracle::record(true);
+    OmpRuntime omp(config_for(8), clock, oracle, shared);
+    for (int i = 0; i < 25; ++i) {
+      omp.parallel(1, 100'000.0, 0.95);
+      omp.for_loop(2, 30'000.0, 0.9);
+      omp.single(3, 1'000.0);
+    }
+    trace = oracle.finish();
+  }
+  sim::VirtualClock clock;
+  Oracle oracle = Oracle::predict(trace);
+  OmpRuntime omp(config_for(8), clock, oracle, shared);
+  omp.parallel(1, 100'000.0, 0.95);
+  omp.for_loop(2, 30'000.0, 0.9);
+  const auto next = oracle.predict_event(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(registry.describe(next->event), "GOMP_single_start(3)");
+}
+
+}  // namespace
+}  // namespace pythia::ompsim

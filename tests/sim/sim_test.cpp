@@ -1,0 +1,90 @@
+// Virtual clock and calibrated-spinner tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sim/clock.hpp"
+#include "sim/spin.hpp"
+
+namespace pythia::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.advance(100.0);
+  clock.advance(250.5);
+  EXPECT_EQ(clock.now_ns(), 350u);
+}
+
+TEST(VirtualClock, NegativeAndZeroAdvanceIgnored) {
+  VirtualClock clock;
+  clock.advance(100.0);
+  clock.advance(0.0);
+  clock.advance(-50.0);
+  EXPECT_EQ(clock.now_ns(), 100u);
+}
+
+TEST(VirtualClock, MergeNeverMovesBackwards) {
+  VirtualClock clock;
+  clock.advance(1000.0);
+  clock.merge(500);  // older timestamp: no effect
+  EXPECT_EQ(clock.now_ns(), 1000u);
+  clock.merge(2500);  // newer: jump forward
+  EXPECT_EQ(clock.now_ns(), 2500u);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+  VirtualClock clock;
+  clock.advance(42.0);
+  clock.reset();
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(Spinner, BurnsApproximatelyRequestedTime) {
+  using clock = std::chrono::steady_clock;
+  // Warm the calibration.
+  Spinner::spin_ns(1000.0);
+
+  const auto start = clock::now();
+  Spinner::spin_ns(20'000'000.0);  // 20 ms
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - start)
+          .count();
+  // Generous bounds: the host is noisy, but 20 ms of spinning should be
+  // within a factor of a few.
+  EXPECT_GT(elapsed_ms, 5.0);
+  EXPECT_LT(elapsed_ms, 200.0);
+}
+
+TEST(Spinner, ZeroAndNegativeAreFree) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  Spinner::spin_ns(0.0);
+  Spinner::spin_ns(-100.0);
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_us, 1000.0);
+}
+
+TEST(Spinner, LongerRequestsBurnLonger) {
+  using clock = std::chrono::steady_clock;
+  Spinner::spin_ns(1000.0);  // warm calibration
+
+  auto measure = [](double ns) {
+    const auto start = clock::now();
+    Spinner::spin_ns(ns);
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+  const double short_run = measure(2'000'000.0);
+  const double long_run = measure(40'000'000.0);
+  EXPECT_GT(long_run, short_run * 2);
+}
+
+}  // namespace
+}  // namespace pythia::sim
