@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/oracle.hpp"
@@ -107,13 +108,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Trace reference, other;
-  try {
-    reference = Trace::load(argv[1]);
-    other = Trace::load(argv[2]);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+  Result<Trace> reference_result = Trace::try_load(argv[1]);
+  if (!reference_result.ok()) {
+    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
+                 reference_result.status().to_string().c_str());
     return 1;
+  }
+  Result<Trace> other_result = Trace::try_load(argv[2]);
+  if (!other_result.ok()) {
+    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[2],
+                 other_result.status().to_string().c_str());
+    return 1;
+  }
+  const Trace reference = reference_result.take();
+  const Trace other = other_result.take();
+  for (const auto& [trace, name] :
+       {std::pair<const Trace*, const char*>{&reference, argv[1]},
+        std::pair<const Trace*, const char*>{&other, argv[2]}}) {
+    if (!trace->fully_intact()) {
+      std::printf("note: %s has %zu salvaged thread section(s); those "
+                  "threads are skipped\n",
+                  name, trace->salvaged_threads());
+    }
   }
 
   const std::size_t threads =
@@ -135,6 +151,10 @@ int main(int argc, char** argv) {
   }
   for (std::size_t thread = begin; thread < end; ++thread) {
     std::printf("thread %zu:\n", thread);
+    if (!reference.thread_ok(thread) || !other.thread_ok(thread)) {
+      std::printf("  (skipped: section salvaged during load)\n");
+      continue;
+    }
     print_report(diff_thread(reference.threads[thread],
                              other.threads[thread]),
                  reference, other.threads[thread]);

@@ -20,6 +20,12 @@ void print_thread(const Trace& trace, std::size_t index) {
   const ThreadTrace& thread = trace.threads[index];
   const Grammar& grammar = thread.grammar;
 
+  if (!trace.thread_ok(index)) {
+    std::printf("--- thread %zu --- (salvaged: %s)\n\n", index,
+                trace.section_status[index].to_string().c_str());
+    return;
+  }
+
   std::size_t nodes = 0;
   for (const Rule* rule : grammar.rules()) nodes += rule->length;
 
@@ -71,17 +77,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Trace trace;
-  try {
-    trace = Trace::load(argv[1]);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
+  Result<Trace> result = Trace::try_load(argv[1]);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
+                 result.status().to_string().c_str());
     return 1;
   }
+  const Trace trace = result.take();
 
   std::printf("%s: %zu thread(s)\n", argv[1], trace.threads.size());
   std::printf("registry: %zu kinds, %zu events\n\n",
               trace.registry.kind_count(), trace.registry.event_count());
+  if (!trace.fully_intact()) {
+    std::printf("WARNING: %zu of %zu thread section(s) failed validation "
+                "and were salvaged as empty placeholders:\n",
+                trace.salvaged_threads(), trace.threads.size());
+    for (std::size_t i = 0; i < trace.section_status.size(); ++i) {
+      if (!trace.section_status[i].ok()) {
+        std::printf("  thread %zu: %s\n", i,
+                    trace.section_status[i].to_string().c_str());
+      }
+    }
+    std::printf("\n");
+  }
 
   if (argc >= 3) {
     const std::size_t index =

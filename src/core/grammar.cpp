@@ -470,21 +470,41 @@ Rule* Grammar::rule_by_id(std::uint32_t id) {
 std::uint64_t Grammar::count_occurrences(Rule* rule,
                                          std::vector<std::uint64_t>& memo,
                                          std::vector<int>& state) const {
-  const std::uint32_t id = rule->id;
-  if (state[id] == 2) return memo[id];
-  PYTHIA_ASSERT_MSG(state[id] != 1, "cycle in rule-user graph");
-  state[id] = 1;
-  std::uint64_t total = 0;
-  if (rule == root_) {
-    total = 1;
-  } else {
-    for (const Node* user : rule->users) {
-      total += user->exp * count_occurrences(user->owner, memo, state);
+  // Iterative walk up the rule-user graph (occ(root) == 1; every other
+  // rule occurs as often as the sum over its usage sites). Grammar depth
+  // comes from the input, so no recursion. Cycles are a bug here:
+  // from_bodies() rejects cyclic files before they ever reach finalize().
+  if (state[rule->id] == 2) return memo[rule->id];
+  PYTHIA_ASSERT_MSG(state[rule->id] != 1, "cycle in rule-user graph");
+  struct Frame {
+    Rule* rule;
+    std::size_t user_index;
+    std::uint64_t total;
+  };
+  std::vector<Frame> stack;
+  state[rule->id] = 1;
+  stack.push_back({rule, 0, rule == root_ ? 1ull : 0ull});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.rule == root_ ||
+        frame.user_index == frame.rule->users.size()) {
+      memo[frame.rule->id] = frame.total;
+      state[frame.rule->id] = 2;
+      stack.pop_back();
+      continue;
     }
+    Rule* owner = frame.rule->users[frame.user_index]->owner;
+    if (state[owner->id] == 0) {
+      state[owner->id] = 1;
+      stack.push_back({owner, 0, owner == root_ ? 1ull : 0ull});
+      continue;
+    }
+    PYTHIA_ASSERT_MSG(state[owner->id] == 2, "cycle in rule-user graph");
+    frame.total +=
+        frame.rule->users[frame.user_index]->exp * memo[owner->id];
+    ++frame.user_index;
   }
-  memo[id] = total;
-  state[id] = 2;
-  return total;
+  return memo[rule->id];
 }
 
 void Grammar::finalize() {
@@ -736,26 +756,54 @@ Grammar Grammar::from_bodies(
     if (uses < 2) reject("under-used rule (invariant 1)");
   }
 
-  // Compute the represented sequence length.
+  // Compute the expanded length of *every* rule, rejecting rule-reference
+  // cycles anywhere in the grammar. Checking only the rules reachable from
+  // the root is not enough: a mutually-referential pair can satisfy the
+  // use-count invariant while being unreachable, and would then hang or
+  // abort occurrence counting in finalize(). The walk is iterative — a
+  // corrupt file must not choose our recursion depth — and overflow in the
+  // length arithmetic is corruption, not UB.
   std::vector<std::uint64_t> lengths(grammar.rules_.size(), 0);
-  std::vector<int> state(grammar.rules_.size(), 0);
-  auto expanded_length = [&](auto&& self, const Rule* rule) -> std::uint64_t {
-    if (state[rule->id] == 2) return lengths[rule->id];
-    if (state[rule->id] == 1) reject("cyclic rule reference");
-    state[rule->id] = 1;
-    std::uint64_t total = 0;
-    for (const Node* node = rule->head; node != nullptr; node = node->next) {
-      const std::uint64_t unit =
-          node->sym.is_terminal()
-              ? 1
-              : self(self, grammar.rules_[node->sym.rule_id()]);
-      total += unit * node->exp;
-    }
-    lengths[rule->id] = total;
-    state[rule->id] = 2;
-    return total;
+  std::vector<int> state(grammar.rules_.size(), 0);  // 0 new, 1 open, 2 done
+  struct Frame {
+    const Rule* rule;
+    const Node* node;
+    std::uint64_t total;
   };
-  grammar.appended_ = expanded_length(expanded_length, grammar.root_);
+  std::vector<Frame> stack;
+  for (std::size_t start = 0; start < grammar.rules_.size(); ++start) {
+    if (state[start] == 2) continue;
+    state[start] = 1;
+    stack.push_back({grammar.rules_[start], grammar.rules_[start]->head, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.node == nullptr) {
+        lengths[frame.rule->id] = frame.total;
+        state[frame.rule->id] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const Node* node = frame.node;
+      std::uint64_t unit = 1;
+      if (node->sym.is_rule()) {
+        const std::uint32_t ref = node->sym.rule_id();
+        if (state[ref] == 1) reject("cyclic rule reference");
+        if (state[ref] == 0) {
+          state[ref] = 1;
+          stack.push_back({grammar.rules_[ref], grammar.rules_[ref]->head, 0});
+          continue;  // resume this frame once the referenced rule is done
+        }
+        unit = lengths[ref];
+      }
+      std::uint64_t contribution = 0;
+      if (__builtin_mul_overflow(unit, node->exp, &contribution) ||
+          __builtin_add_overflow(frame.total, contribution, &frame.total)) {
+        reject("sequence length overflow");
+      }
+      frame.node = node->next;
+    }
+  }
+  grammar.appended_ = lengths[0];
   return grammar;
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/predictor.hpp"
 #include "core/recorder.hpp"
@@ -55,20 +56,28 @@ class Oracle {
     event_hook_ = std::move(hook);
   }
 
+  /// Perturbation hook (fault injection, harness::EventFaultInjector):
+  /// rewrites each submitted event into the zero or more events the oracle
+  /// actually observes — modelling a lossy/noisy instrumentation channel
+  /// (dropped, duplicated, reordered or corrupted probes). The telemetry
+  /// hook still sees the unperturbed stream: faults change what the oracle
+  /// believes, not what the application did.
+  using EventFilter = std::function<void(TerminalId, std::vector<TerminalId>&)>;
+  void set_event_filter(EventFilter filter) {
+    event_filter_ = std::move(filter);
+  }
+
   /// Submits an event (both record and predict modes consume events; the
   /// predict side uses them to follow the application's progress).
   void event(TerminalId id, std::uint64_t now_ns = 0) {
     if (event_hook_) event_hook_(id, now_ns);
-    switch (mode_) {
-      case Mode::kOff:
-        break;
-      case Mode::kRecord:
-        recorder_->record(id, now_ns);
-        break;
-      case Mode::kPredict:
-        predictor_->observe(id);
-        break;
+    if (!event_filter_) {
+      deliver(id, now_ns);
+      return;
     }
+    filter_scratch_.clear();
+    event_filter_(id, filter_scratch_);
+    for (TerminalId delivered : filter_scratch_) deliver(delivered, now_ns);
   }
 
   /// Event expected `distance` events from now (predict mode only).
@@ -83,9 +92,32 @@ class Oracle {
     return predictor_->predict_time_ns(distance);
   }
 
-  /// Ends a recording session and yields the thread trace.
+  /// Circuit-breaker state of the underlying predictor (§II-B2 graceful
+  /// degradation). Off/record sessions report kHealthy: they never serve
+  /// predictions, so there is nothing to distrust.
+  Health health() const {
+    return mode_ == Mode::kPredict ? predictor_->health() : Health::kHealthy;
+  }
+  /// Fraction of recent events that matched the reference trace (1.0 when
+  /// not predicting).
+  double confidence() const {
+    return mode_ == Mode::kPredict ? predictor_->confidence() : 1.0;
+  }
+  /// True when predictions are currently not trustworthy — the one check
+  /// consumers make before acting on the oracle instead of their vanilla
+  /// policy. Recovering counts as degraded: trust returns only with
+  /// kHealthy.
+  bool degraded() const { return health() != Health::kHealthy; }
+
+  /// Ends a recording session and yields the thread trace. Calling it in
+  /// any other mode is tolerated (no-throw boundary): it returns an empty
+  /// finalized trace that records nothing and predicts nothing.
   ThreadTrace finish() {
-    PYTHIA_ASSERT_MSG(mode_ == Mode::kRecord, "finish() outside record mode");
+    if (mode_ != Mode::kRecord) {
+      ThreadTrace empty;
+      empty.grammar.finalize();
+      return empty;
+    }
     ThreadTrace trace = std::move(*recorder_).finish();
     recorder_.reset();
     mode_ = Mode::kOff;
@@ -99,10 +131,25 @@ class Oracle {
  private:
   explicit Oracle(Mode mode) : mode_(mode) {}
 
+  void deliver(TerminalId id, std::uint64_t now_ns) {
+    switch (mode_) {
+      case Mode::kOff:
+        break;
+      case Mode::kRecord:
+        recorder_->record(id, now_ns);
+        break;
+      case Mode::kPredict:
+        predictor_->observe(id);
+        break;
+    }
+  }
+
   Mode mode_;
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<Predictor> predictor_;
   std::function<void(TerminalId, std::uint64_t)> event_hook_;
+  EventFilter event_filter_;
+  std::vector<TerminalId> filter_scratch_;
 };
 
 }  // namespace pythia

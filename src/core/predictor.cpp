@@ -37,6 +37,7 @@ void Predictor::dedupe_and_cap(std::vector<ProgressPath>& paths) const {
 }
 
 void Predictor::anchor(TerminalId event) {
+  ++stats_.anchors;
   candidates_.clear();
   std::vector<ProgressPath> paths;
   ProgressPath::enumerate_occurrences(grammar_, event,
@@ -45,8 +46,64 @@ void Predictor::anchor(TerminalId event) {
   candidates_ = std::move(paths);
 }
 
+void Predictor::record_outcome(bool advanced) {
+  const std::size_t cap = options_.breaker.window;
+  if (cap == 0) return;
+  if (window_.size() != cap) window_.assign(cap, 0);
+  if (window_count_ < cap) {
+    ++window_count_;
+  } else if (window_[window_next_] != 0) {
+    --window_advanced_;
+  }
+  window_[window_next_] = advanced ? 1 : 0;
+  if (advanced) ++window_advanced_;
+  window_next_ = (window_next_ + 1) % cap;
+}
+
+void Predictor::enter_degraded() {
+  health_ = Health::kDegraded;
+  miss_streak_ = 0;
+  advance_streak_ = 0;
+  backoff_ = std::max<std::uint32_t>(1, options_.breaker.backoff_initial);
+  probe_countdown_ = backoff_;
+  // A position that stopped matching the execution is worse than none:
+  // predictions from it would be confidently wrong.
+  candidates_.clear();
+}
+
 void Predictor::observe(TerminalId event) {
   ++stats_.observed;
+  const Options::Breaker& breaker = options_.breaker;
+
+  if (breaker.enabled && health_ == Health::kDegraded) {
+    // Rationed probing: most events cost one counter decrement; every
+    // backoff_-th event pays for one re-anchor attempt.
+    if (probe_countdown_ > 1) {
+      --probe_countdown_;
+      ++stats_.anchors_suppressed;
+      if (grammar_.occurrences_of(event).empty()) {
+        ++stats_.unknown;
+      } else {
+        ++stats_.reanchored;
+      }
+      record_outcome(false);
+      return;
+    }
+    anchor(event);
+    record_outcome(false);
+    if (candidates_.empty()) {
+      ++stats_.unknown;
+      backoff_ = std::min(backoff_ * 2, std::max<std::uint32_t>(
+                                            1, breaker.backoff_max));
+      probe_countdown_ = backoff_;
+    } else {
+      ++stats_.reanchored;
+      health_ = Health::kRecovering;
+      advance_streak_ = 0;
+    }
+    return;
+  }
+
   if (!candidates_.empty()) {
     std::vector<ProgressPath> advanced;
     advanced.reserve(candidates_.size());
@@ -60,6 +117,14 @@ void Predictor::observe(TerminalId event) {
       ++stats_.advanced;
       dedupe_and_cap(advanced);
       candidates_ = std::move(advanced);
+      record_outcome(true);
+      if (breaker.enabled) {
+        miss_streak_ = 0;
+        if (health_ == Health::kRecovering &&
+            ++advance_streak_ >= breaker.recover_streak) {
+          health_ = Health::kHealthy;
+        }
+      }
       return;
     }
   }
@@ -70,13 +135,27 @@ void Predictor::observe(TerminalId event) {
   } else {
     ++stats_.reanchored;
   }
+  record_outcome(false);
+  if (!breaker.enabled) return;
+  advance_streak_ = 0;
+  if (health_ == Health::kRecovering) {
+    // The probe's catch didn't hold — back to rationed probing.
+    enter_degraded();
+    return;
+  }
+  ++miss_streak_;
+  const bool streak_tripped = breaker.miss_streak_limit > 0 &&
+                              miss_streak_ >= breaker.miss_streak_limit;
+  const bool confidence_tripped = window_count_ >= breaker.min_samples &&
+                                  confidence() < breaker.degrade_below;
+  if (streak_tripped || confidence_tripped) enter_degraded();
 }
 
 std::vector<Prediction> Predictor::predict_distribution(
     std::size_t distance) const {
   PYTHIA_ASSERT(distance >= 1);
   std::vector<Prediction> out;
-  if (candidates_.empty()) return out;
+  if (predictions_suppressed() || candidates_.empty()) return out;
 
   // Simulate the future of every candidate (paper §II-C: "predicting
   // future events boils down to simulating the future execution from a
@@ -118,7 +197,7 @@ std::optional<Prediction> Predictor::predict(std::size_t distance) const {
 
 std::vector<TerminalId> Predictor::predict_sequence(std::size_t count) const {
   std::vector<TerminalId> out;
-  if (candidates_.empty()) return out;
+  if (predictions_suppressed() || candidates_.empty()) return out;
   const ProgressPath* best = &candidates_.front();
   for (const ProgressPath& candidate : candidates_) {
     if (candidate.weight() > best->weight()) best = &candidate;
@@ -142,7 +221,9 @@ std::uint64_t Predictor::reference_occurrences(TerminalId event) const {
 
 std::optional<double> Predictor::predict_time_ns(std::size_t distance) const {
   PYTHIA_ASSERT(distance >= 1);
-  if (timing_ == nullptr || candidates_.empty()) return std::nullopt;
+  if (timing_ == nullptr || predictions_suppressed() || candidates_.empty()) {
+    return std::nullopt;
+  }
 
   // Weighted average over candidates of the summed per-step expected
   // durations along each candidate's own future.

@@ -19,6 +19,33 @@ struct Prediction {
   double probability = 0.0;
 };
 
+/// Tracking health reported by the divergence circuit breaker (§II-B2:
+/// the oracle must stay cheap and harmless when the execution diverges
+/// from the reference).
+///
+///   kHealthy    — the tracked progress sequences follow the execution;
+///                 predictions are served.
+///   kDegraded   — the execution diverged persistently: predictions are
+///                 suppressed and re-anchoring is rationed (exponential
+///                 backoff), so a desynchronized oracle costs almost
+///                 nothing. Consumers revert to their vanilla policy.
+///   kRecovering — a probe re-anchor caught the stream again; the breaker
+///                 waits for a streak of clean advances before trusting
+///                 predictions once more.
+enum class Health { kHealthy, kDegraded, kRecovering };
+
+inline const char* to_string(Health health) {
+  switch (health) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
 class Predictor {
  public:
   struct Options {
@@ -27,6 +54,41 @@ class Predictor {
     std::size_t max_candidates = 32;
     /// Cap on paths enumerated when (re-)anchoring on an event.
     std::size_t max_anchor_paths = 256;
+
+    /// Divergence circuit breaker. Disabled by default so that analysis
+    /// uses of the raw Predictor (trace diffing, accuracy studies) see
+    /// every re-anchor; Oracle::predict() enables it, because runtime
+    /// systems must never pay unbounded re-anchor cost on a stream that
+    /// stopped matching the reference (fig. 14).
+    struct Breaker {
+      bool enabled = false;
+      /// Rolling window of observe() outcomes behind confidence().
+      std::size_t window = 64;
+      /// Minimum outcomes in the window before low confidence alone can
+      /// trip the breaker (prevents tripping during warm-up).
+      std::size_t min_samples = 16;
+      /// Confidence below this trips healthy -> degraded.
+      double degrade_below = 0.35;
+      /// Consecutive misses (re-anchors or unknowns) that trip the
+      /// breaker regardless of the window.
+      std::uint32_t miss_streak_limit = 8;
+      /// Events between re-anchor probes while degraded; doubles after
+      /// every failed probe up to backoff_max (exponential backoff).
+      std::uint32_t backoff_initial = 4;
+      std::uint32_t backoff_max = 256;
+      /// Consecutive advances while recovering before predictions are
+      /// trusted again (recovering -> healthy).
+      std::uint32_t recover_streak = 8;
+    };
+    Breaker breaker;
+
+    /// The configuration runtime-system shims get via Oracle::predict():
+    /// identical tracking, circuit breaker armed.
+    static Options runtime_defaults() {
+      Options options;
+      options.breaker.enabled = true;
+      return options;
+    }
   };
 
   explicit Predictor(const Grammar& grammar,
@@ -35,12 +97,14 @@ class Predictor {
             Options options);
 
   /// Submits the event that just happened; updates the tracked progress
-  /// sequences (advance on match, re-anchor on mismatch, §II-B2).
+  /// sequences (advance on match, re-anchor on mismatch, §II-B2) and the
+  /// breaker state machine.
   void observe(TerminalId event);
 
   /// Predicts the event that will occur `distance` events from now
   /// (distance 1 = the next event). Returns nullopt when the oracle has
-  /// no candidate (event never seen in the reference execution).
+  /// no candidate (event never seen in the reference execution) or the
+  /// breaker currently suppresses predictions (health != kHealthy).
   std::optional<Prediction> predict(std::size_t distance) const;
 
   /// Full vote distribution at `distance`, most probable first.
@@ -65,6 +129,17 @@ class Predictor {
   bool synchronized() const { return !candidates_.empty(); }
   std::size_t candidate_count() const { return candidates_.size(); }
 
+  /// Breaker state (always kHealthy when the breaker is disabled).
+  Health health() const { return health_; }
+  /// Fraction of recent observe() calls that advanced a tracked sequence
+  /// (1.0 before any outcome is recorded).
+  double confidence() const {
+    return window_count_ == 0
+               ? 1.0
+               : static_cast<double>(window_advanced_) /
+                     static_cast<double>(window_count_);
+  }
+
   // Telemetry for the evaluation (fig. 8): how often observe() extended a
   // tracked sequence vs. had to re-anchor or went dark.
   struct Stats {
@@ -72,20 +147,43 @@ class Predictor {
     std::uint64_t advanced = 0;
     std::uint64_t reanchored = 0;
     std::uint64_t unknown = 0;  ///< event absent from the reference trace
+    /// Re-anchor enumerations actually performed (each costs up to
+    /// max_anchor_paths path walks)...
+    std::uint64_t anchors = 0;
+    /// ...and the ones the degraded breaker skipped (each would have been
+    /// an enumeration; this is the saved work).
+    std::uint64_t anchors_suppressed = 0;
   };
   const Stats& stats() const { return stats_; }
 
   const Grammar& grammar() const { return grammar_; }
+  const Options& options() const { return options_; }
 
  private:
   void anchor(TerminalId event);
   void dedupe_and_cap(std::vector<ProgressPath>& paths) const;
+  bool predictions_suppressed() const {
+    return options_.breaker.enabled && health_ != Health::kHealthy;
+  }
+  void record_outcome(bool advanced);
+  void enter_degraded();
 
   const Grammar& grammar_;
   const TimingModel* timing_;
   Options options_;
   std::vector<ProgressPath> candidates_;
   Stats stats_;
+
+  // Breaker state.
+  Health health_ = Health::kHealthy;
+  std::vector<std::uint8_t> window_;     ///< ring buffer of outcomes
+  std::size_t window_next_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t window_advanced_ = 0;
+  std::uint32_t miss_streak_ = 0;
+  std::uint32_t advance_streak_ = 0;
+  std::uint32_t backoff_ = 0;            ///< current probe spacing
+  std::uint32_t probe_countdown_ = 0;    ///< events until the next probe
 };
 
 }  // namespace pythia

@@ -6,29 +6,37 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "support/assert.hpp"
+#include "support/crc32.hpp"
 
 namespace pythia {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'Y', 'T', 'H', 'I', 'A', '0', '1'};
+constexpr char kMagicV1[8] = {'P', 'Y', 'T', 'H', 'I', 'A', '0', '1'};
+constexpr char kMagicV2[8] = {'P', 'Y', 'T', 'H', 'I', 'A', '0', '2'};
 
-class Writer {
+// Section kinds of the PYTHIA02 framing.
+constexpr std::uint32_t kSectionRegistry = 1;
+constexpr std::uint32_t kSectionThread = 2;
+constexpr std::size_t kSectionHeaderBytes = 16;  // kind, size, crc, hdr crc
+
+// Parse failures inside a section; converted to Status at the boundary
+// (Grammar::from_bodies throws std::runtime_error for the same reason, so
+// the catch handles both).
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("pythia: corrupt trace file (" + what + ")");
+}
+
+/// Serializes into a growable in-memory buffer; sections are framed and
+/// checksummed only once their full payload is known.
+class BufWriter {
  public:
-  explicit Writer(const std::string& path)
-      : file_(std::fopen(path.c_str(), "wb"), &std::fclose) {
-    if (file_ == nullptr) {
-      throw std::runtime_error("pythia: cannot open trace file for writing: " +
-                               path);
-    }
-  }
-
   void bytes(const void* data, std::size_t size) {
-    if (std::fwrite(data, 1, size, file_.get()) != size) {
-      throw std::runtime_error("pythia: short write to trace file");
-    }
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
   }
   void u8(std::uint8_t v) { bytes(&v, sizeof v); }
   void u32(std::uint32_t v) { bytes(&v, sizeof v); }
@@ -40,24 +48,26 @@ class Writer {
     bytes(s.data(), s.size());
   }
 
+  const std::vector<unsigned char>& buffer() const { return buf_; }
+
  private:
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  std::vector<unsigned char> buf_;
 };
 
-class Reader {
+/// Bounds-checked reads over an in-memory payload. Overruns are
+/// corruption, not UB: every read validates against the remaining size.
+class BufReader {
  public:
-  explicit Reader(const std::string& path)
-      : file_(std::fopen(path.c_str(), "rb"), &std::fclose) {
-    if (file_ == nullptr) {
-      throw std::runtime_error("pythia: cannot open trace file for reading: " +
-                               path);
-    }
-  }
+  BufReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
 
-  void bytes(void* data, std::size_t size) {
-    if (std::fread(data, 1, size, file_.get()) != size) {
-      throw std::runtime_error("pythia: truncated trace file");
-    }
+  std::size_t remaining() const { return size_ - offset_; }
+  bool at_end() const { return offset_ == size_; }
+
+  void bytes(void* out, std::size_t size) {
+    if (size > remaining()) fail("truncated data");
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
   }
   std::uint8_t u8() {
     std::uint8_t v;
@@ -86,19 +96,21 @@ class Reader {
   }
   std::string str() {
     const std::uint32_t size = u32();
-    if (size > (1u << 20)) {
-      throw std::runtime_error("pythia: corrupt trace file (string size)");
-    }
+    if (size > (1u << 20) || size > remaining()) fail("string size");
     std::string s(size, '\0');
     bytes(s.data(), size);
     return s;
   }
 
  private:
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
 };
 
-void write_grammar(Writer& writer, const Grammar& grammar) {
+// --- grammar / timing payload encoding (identical in v1 and v2) ----------
+
+void write_grammar(BufWriter& writer, const Grammar& grammar) {
   // Remap live rules to dense ids (root stays 0). The relative order of
   // live rules is preserved so that finalize()'s stable node ids are
   // reproduced exactly on load.
@@ -122,31 +134,34 @@ void write_grammar(Writer& writer, const Grammar& grammar) {
   }
 }
 
-Grammar read_grammar(Reader& reader) {
+Grammar read_grammar(BufReader& reader) {
   const std::uint32_t rule_count = reader.u32();
-  if (rule_count == 0 || rule_count > (1u << 24)) {
-    throw std::runtime_error("pythia: corrupt trace file (rule count)");
-  }
+  if (rule_count == 0 || rule_count > (1u << 24)) fail("rule count");
   std::vector<std::vector<Grammar::BodyEntry>> bodies(rule_count);
   for (std::uint32_t r = 0; r < rule_count; ++r) {
     const std::uint32_t length = reader.u32();
-    if (length > (1u << 26)) {
-      throw std::runtime_error("pythia: corrupt trace file (body length)");
+    // Each body entry needs 12 bytes in the stream, so a count that the
+    // remaining data cannot possibly hold fails here instead of looping.
+    if (length > (1u << 26) || length > reader.remaining() / 12) {
+      fail("body length");
     }
     bodies[r].reserve(length);
     for (std::uint32_t i = 0; i < length; ++i) {
       const Symbol sym = Symbol::from_raw(reader.u32());
       const std::uint64_t exp = reader.u64();
       if (exp == 0 || (sym.is_rule() && sym.rule_id() >= rule_count)) {
-        throw std::runtime_error("pythia: corrupt trace file (body entry)");
+        fail("body entry");
       }
       bodies[r].push_back({sym, exp});
     }
   }
+  // from_bodies revalidates the invariants and rejects rule-reference
+  // cycles (anywhere, not only under the root), so a structurally corrupt
+  // grammar can never reach finalize()'s occurrence counting.
   return Grammar::from_bodies(bodies);
 }
 
-void write_timing(Writer& writer, const TimingModel& timing) {
+void write_timing(BufWriter& writer, const TimingModel& timing) {
   writer.u8(timing.empty() ? 0 : 1);
   if (timing.empty()) return;
   writer.u32(static_cast<std::uint32_t>(timing.contexts().size()));
@@ -157,10 +172,13 @@ void write_timing(Writer& writer, const TimingModel& timing) {
   }
 }
 
-TimingModel read_timing(Reader& reader) {
+TimingModel read_timing(BufReader& reader) {
   TimingModel timing;
   if (reader.u8() == 0) return timing;
   const std::uint32_t count = reader.u32();
+  // Each context is 24 bytes on the wire; a count the remaining data
+  // cannot hold is corruption and fails fast instead of walking to EOF.
+  if (count > reader.remaining() / 24) fail("timing context count");
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint64_t key = reader.u64();
     TimingModel::DurationStat stat;
@@ -171,74 +189,272 @@ TimingModel read_timing(Reader& reader) {
   return timing;
 }
 
+void read_registry_tables(BufReader& reader, EventRegistry& registry) {
+  const std::uint32_t kinds = reader.u32();
+  if (kinds > (1u << 20)) fail("kind count");
+  for (std::uint32_t k = 0; k < kinds; ++k) {
+    const std::string name = reader.str();
+    if (registry.intern_kind(name) != k) fail("kind table");
+  }
+  const std::uint32_t events = reader.u32();
+  if (events > (1u << 24)) fail("event count");
+  for (std::uint32_t e = 0; e < events; ++e) {
+    const KindId kind = reader.u32();
+    const EventAux aux = reader.i32();
+    if (kind >= kinds) fail("event table");
+    if (registry.intern_event(kind, aux) != e) fail("event table");
+  }
+}
+
+ThreadTrace read_thread_payload(BufReader& reader) {
+  Grammar grammar = read_grammar(reader);
+  grammar.finalize();
+  TimingModel timing = read_timing(reader);
+  return ThreadTrace{std::move(grammar), std::move(timing)};
+}
+
+ThreadTrace placeholder_thread() {
+  ThreadTrace placeholder;
+  placeholder.grammar.finalize();  // empty, inert: predicts nothing
+  return placeholder;
+}
+
+// --- file I/O -------------------------------------------------------------
+
+Status read_file(const std::string& path, std::vector<unsigned char>& out) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::io_error("cannot open trace file for reading: " + path);
+  }
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return Status::io_error("cannot seek trace file: " + path);
+  }
+  const long size = std::ftell(file.get());
+  if (size < 0) return Status::io_error("cannot size trace file: " + path);
+  std::rewind(file.get());
+  out.resize(static_cast<std::size_t>(size));
+  if (!out.empty() &&
+      std::fread(out.data(), 1, out.size(), file.get()) != out.size()) {
+    return Status::io_error("short read from trace file: " + path);
+  }
+  return Status();
+}
+
+Status write_file(const std::string& path,
+                  const std::vector<unsigned char>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::io_error("cannot open trace file for writing: " + path);
+  }
+  const bool wrote =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    return Status::io_error("short write to trace file: " + path);
+  }
+  return Status();
+}
+
+// --- PYTHIA02 section framing --------------------------------------------
+
+void append_section(BufWriter& out, std::uint32_t kind,
+                    const std::vector<unsigned char>& payload) {
+  BufWriter header;
+  header.u32(kind);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(support::crc32(payload.data(), payload.size()));
+  const auto& head = header.buffer();
+  out.bytes(head.data(), head.size());
+  out.u32(support::crc32(head.data(), head.size()));
+  out.bytes(payload.data(), payload.size());
+}
+
+struct SectionHeader {
+  std::uint32_t kind = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+  bool header_ok = false;
+};
+
+/// Reads one 16-byte section header; header_ok is false when its own
+/// checksum fails, in which case payload_size cannot be trusted and the
+/// scan must stop.
+SectionHeader read_section_header(BufReader& reader) {
+  unsigned char raw[12];
+  reader.bytes(raw, sizeof raw);
+  const std::uint32_t stored_crc = reader.u32();
+  SectionHeader header;
+  header.header_ok = support::crc32(raw, sizeof raw) == stored_crc;
+  std::memcpy(&header.kind, raw, 4);
+  std::memcpy(&header.payload_size, raw + 4, 4);
+  std::memcpy(&header.payload_crc, raw + 8, 4);
+  return header;
+}
+
+Result<Trace> load_v2(const unsigned char* data, std::size_t size,
+                      const TraceLoadOptions& options) {
+  BufReader reader(data, size);
+
+  // Registry section: without it terminal ids mean nothing, so any damage
+  // here fails the whole load.
+  Trace trace;
+  std::uint32_t thread_count = 0;
+  try {
+    if (reader.remaining() < kSectionHeaderBytes) fail("missing registry");
+    const SectionHeader header = read_section_header(reader);
+    if (!header.header_ok) fail("registry section header checksum");
+    if (header.kind != kSectionRegistry) fail("registry section kind");
+    if (header.payload_size > reader.remaining()) {
+      fail("registry section size");
+    }
+    std::vector<unsigned char> payload(header.payload_size);
+    reader.bytes(payload.data(), payload.size());
+    if (support::crc32(payload.data(), payload.size()) !=
+        header.payload_crc) {
+      fail("registry section checksum");
+    }
+    BufReader body(payload.data(), payload.size());
+    read_registry_tables(body, trace.registry);
+    thread_count = body.u32();
+    if (thread_count > (1u << 20)) fail("thread count");
+    if (!body.at_end()) fail("registry section trailing bytes");
+  } catch (const std::exception& error) {
+    return Status::corrupt(error.what());
+  }
+
+  // Thread sections: a damaged one degrades to a placeholder (salvage) or
+  // fails the load (strict). Once a section *header* is unreadable the
+  // rest of the file cannot be framed, so all remaining sections are lost.
+  trace.threads.reserve(thread_count);
+  trace.section_status.reserve(thread_count);
+  bool framing_lost = false;
+  for (std::uint32_t t = 0; t < thread_count; ++t) {
+    Status status;
+    ThreadTrace thread;
+    if (framing_lost || reader.remaining() < kSectionHeaderBytes) {
+      status = Status::corrupt("thread section " + std::to_string(t) +
+                               " missing (file truncated or framing lost)");
+    } else {
+      const SectionHeader header = read_section_header(reader);
+      if (!header.header_ok || header.kind != kSectionThread ||
+          header.payload_size > reader.remaining()) {
+        framing_lost = true;
+        status = Status::corrupt("thread section " + std::to_string(t) +
+                                 " header corrupt");
+      } else {
+        std::vector<unsigned char> payload(header.payload_size);
+        reader.bytes(payload.data(), payload.size());
+        if (support::crc32(payload.data(), payload.size()) !=
+            header.payload_crc) {
+          status = Status::corrupt("thread section " + std::to_string(t) +
+                                   " checksum mismatch");
+        } else {
+          try {
+            BufReader body(payload.data(), payload.size());
+            thread = read_thread_payload(body);
+            if (!body.at_end()) fail("thread section trailing bytes");
+          } catch (const std::exception& error) {
+            status = Status::corrupt(error.what());
+          }
+        }
+      }
+    }
+    if (!status.ok()) {
+      if (!options.salvage_sections) return status;
+      thread = placeholder_thread();
+    }
+    trace.threads.push_back(std::move(thread));
+    trace.section_status.push_back(std::move(status));
+  }
+  return trace;
+}
+
+Result<Trace> load_v1(const unsigned char* data, std::size_t size) {
+  // Legacy format: no framing, no checksums — nothing to salvage with, so
+  // the first structural problem fails the load.
+  BufReader reader(data, size);
+  try {
+    Trace trace;
+    read_registry_tables(reader, trace.registry);
+    const std::uint32_t thread_count = reader.u32();
+    if (thread_count > (1u << 20)) fail("thread count");
+    trace.threads.reserve(thread_count);
+    trace.section_status.assign(thread_count, Status());
+    for (std::uint32_t t = 0; t < thread_count; ++t) {
+      trace.threads.push_back(read_thread_payload(reader));
+    }
+    return trace;
+  } catch (const std::exception& error) {
+    return Status::corrupt(error.what());
+  }
+}
+
 }  // namespace
 
-void Trace::save(const std::string& path) const {
-  Writer writer(path);
-  writer.bytes(kMagic, sizeof kMagic);
-
-  // Registry.
-  writer.u32(static_cast<std::uint32_t>(registry.kind_count()));
+Status Trace::try_save(const std::string& path) const {
+  BufWriter registry_payload;
+  registry_payload.u32(static_cast<std::uint32_t>(registry.kind_count()));
   for (std::uint32_t k = 0; k < registry.kind_count(); ++k) {
-    writer.str(registry.kind_name(k));
+    registry_payload.str(registry.kind_name(k));
   }
-  writer.u32(static_cast<std::uint32_t>(registry.event_count()));
+  registry_payload.u32(static_cast<std::uint32_t>(registry.event_count()));
   for (std::uint32_t e = 0; e < registry.event_count(); ++e) {
-    writer.u32(registry.kind_of(e));
-    writer.i32(registry.aux_of(e));
+    registry_payload.u32(registry.kind_of(e));
+    registry_payload.i32(registry.aux_of(e));
   }
+  registry_payload.u32(static_cast<std::uint32_t>(threads.size()));
 
-  // Threads.
-  writer.u32(static_cast<std::uint32_t>(threads.size()));
+  BufWriter file;
+  file.bytes(kMagicV2, sizeof kMagicV2);
+  append_section(file, kSectionRegistry, registry_payload.buffer());
   for (const ThreadTrace& thread : threads) {
-    write_grammar(writer, thread.grammar);
-    write_timing(writer, thread.timing);
+    BufWriter payload;
+    write_grammar(payload, thread.grammar);
+    write_timing(payload, thread.timing);
+    append_section(file, kSectionThread, payload.buffer());
+  }
+  return write_file(path, file.buffer());
+}
+
+Result<Trace> Trace::try_load(const std::string& path,
+                              const TraceLoadOptions& options) {
+  std::vector<unsigned char> bytes;
+  Status io = read_file(path, bytes);
+  if (!io.ok()) return io;
+
+  if (bytes.size() < 8) {
+    return Status::corrupt("not a PYTHIA trace file (too short): " + path);
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, 8) == 0) {
+    return load_v2(bytes.data() + 8, bytes.size() - 8, options);
+  }
+  if (std::memcmp(bytes.data(), kMagicV1, 8) == 0) {
+    return load_v1(bytes.data() + 8, bytes.size() - 8);
+  }
+  if (std::memcmp(bytes.data(), "PYTHIA", 6) == 0) {
+    return Status::unsupported("trace format version newer than this "
+                               "library: " +
+                               path);
+  }
+  return Status::corrupt("not a PYTHIA trace file: " + path);
+}
+
+void Trace::save(const std::string& path) const {
+  const Status status = try_save(path);
+  if (!status.ok()) {
+    throw std::runtime_error("pythia: " + status.to_string());
   }
 }
 
 Trace Trace::load(const std::string& path) {
-  Reader reader(path);
-  char magic[8];
-  reader.bytes(magic, sizeof magic);
-  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    throw std::runtime_error("pythia: not a PYTHIA trace file: " + path);
+  Result<Trace> result =
+      try_load(path, TraceLoadOptions{.salvage_sections = false});
+  if (!result.ok()) {
+    throw std::runtime_error("pythia: " + result.status().to_string());
   }
-
-  Trace trace;
-  const std::uint32_t kinds = reader.u32();
-  for (std::uint32_t k = 0; k < kinds; ++k) {
-    const std::string name = reader.str();
-    const KindId id = trace.registry.intern_kind(name);
-    if (id != k) {
-      throw std::runtime_error("pythia: corrupt trace file (kind table)");
-    }
-  }
-  const std::uint32_t events = reader.u32();
-  for (std::uint32_t e = 0; e < events; ++e) {
-    const KindId kind = reader.u32();
-    const EventAux aux = reader.i32();
-    if (kind >= kinds) {
-      throw std::runtime_error("pythia: corrupt trace file (event table)");
-    }
-    const TerminalId id = trace.registry.intern_event(kind, aux);
-    if (id != e) {
-      throw std::runtime_error("pythia: corrupt trace file (event table)");
-    }
-  }
-
-  const std::uint32_t thread_count = reader.u32();
-  if (thread_count > (1u << 20)) {
-    throw std::runtime_error("pythia: corrupt trace file (thread count)");
-  }
-  trace.threads.reserve(thread_count);
-  for (std::uint32_t t = 0; t < thread_count; ++t) {
-    Grammar grammar = read_grammar(reader);
-    grammar.finalize();
-    TimingModel timing = read_timing(reader);
-    trace.threads.push_back(ThreadTrace{std::move(grammar),
-                                        std::move(timing)});
-  }
-  return trace;
+  return result.take();
 }
 
 }  // namespace pythia

@@ -1,25 +1,45 @@
 // Trace file format: what PYTHIA-RECORD saves at the end of the reference
 // execution and what PYTHIA-PREDICT reloads (paper §II).
 //
-// Layout (little-endian, versioned):
-//   magic "PYTHIA01"
-//   event registry (kind names, (kind, aux) event table)
-//   one section per recorded thread:
-//     grammar rules (live rules remapped to dense ids, root first)
-//     timing contexts (suffix-key -> duration stats)
+// Current format (little-endian): magic "PYTHIA02", then checksummed
+// sections — one registry section (kind names, (kind, aux) event table,
+// thread count), then one section per recorded thread (grammar rules with
+// live rules remapped to dense ids, root first; timing contexts). Every
+// section carries a CRC32 over its payload and a CRC32 over its own
+// header, so any corruption is detected before parsing and a damaged
+// thread section can be skipped without losing the rest of the file.
+// Legacy "PYTHIA01" files (no checksums, no framing) are still readable.
 //
 // Timing context keys hash grammar *stable node ids*; finalize() assigns
 // them deterministically from the rule/body order, which the serializer
 // preserves, so keys computed by the reader match the writer's.
+//
+// Error model: try_load()/try_save() form the no-throw library boundary —
+// corruption, I/O failures and unsupported versions come back as a
+// pythia::Status, never as an exception or an abort. The legacy
+// load()/save() wrappers throw std::runtime_error and treat *any*
+// corruption as fatal (no salvage).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/event.hpp"
 #include "core/recorder.hpp"
+#include "support/status.hpp"
 
 namespace pythia {
+
+struct TraceLoadOptions {
+  /// When a thread section fails its checksum or structural validation,
+  /// keep loading: the damaged section becomes an empty placeholder whose
+  /// Status is recorded in Trace::section_status, and the consumer (e.g.
+  /// harness::run_app) degrades that rank to Oracle Mode::kOff. File-level
+  /// damage — magic, registry section, unreadable framing — always fails
+  /// the whole load. With salvage off, any damage fails the load.
+  bool salvage_sections = true;
+};
 
 /// A complete application trace: shared event registry plus one
 /// ThreadTrace per recorded thread (the paper keeps one grammar per
@@ -28,6 +48,38 @@ struct Trace {
   EventRegistry registry;
   std::vector<ThreadTrace> threads;
 
+  /// Per-thread load status, parallel to `threads`. Empty for traces
+  /// built in memory (every section implicitly OK). A non-OK entry marks
+  /// a salvaged placeholder: empty grammar, no timing.
+  std::vector<Status> section_status;
+
+  /// True when thread `index` exists and loaded intact.
+  bool thread_ok(std::size_t index) const {
+    return index < threads.size() &&
+           (section_status.empty() || section_status[index].ok());
+  }
+  std::size_t salvaged_threads() const {
+    std::size_t count = 0;
+    for (const Status& status : section_status) {
+      if (!status.ok()) ++count;
+    }
+    return count;
+  }
+  bool fully_intact() const { return salvaged_threads() == 0; }
+
+  /// Writes the trace in the current (PYTHIA02) format. No-throw.
+  Status try_save(const std::string& path) const;
+
+  /// Reads a PYTHIA02 or legacy PYTHIA01 file. No-throw: every failure
+  /// mode — missing file, bad magic, checksum mismatch, structural
+  /// corruption (including rule-reference cycles) — is a Status. With
+  /// salvage enabled (default), per-thread damage degrades that section
+  /// instead of failing the load; inspect section_status on the result.
+  static Result<Trace> try_load(const std::string& path,
+                                const TraceLoadOptions& options = {});
+
+  // Throwing wrappers kept for tools and tests: std::runtime_error on any
+  // failure, strict loading (a salvageable section is still an error).
   void save(const std::string& path) const;
   static Trace load(const std::string& path);
 };

@@ -1,0 +1,102 @@
+#include "harness/faults.hpp"
+
+#include <cstddef>
+#include <fstream>
+
+namespace pythia::harness {
+
+EventFaultInjector::EventFaultInjector(const FaultPlan& plan,
+                                       SharedRegistry& registry,
+                                       std::uint64_t salt)
+    : plan_(plan),
+      rng_(plan.seed ^ (salt * 0x9e3779b97f4a7c15ULL)),
+      interner_(registry),
+      fault_kind_(registry.kind("FAULT_INJECTED")) {}
+
+void EventFaultInjector::operator()(TerminalId event,
+                                    std::vector<TerminalId>& out) {
+  ++stats_.submitted;
+  if (holding_) {
+    // Complete the swap: the successor goes first, then the held victim.
+    out.push_back(event);
+    out.push_back(held_);
+    holding_ = false;
+    ++stats_.reordered;
+    stats_.delivered += 2;
+    return;
+  }
+  if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (plan_.reorder_rate > 0.0 && rng_.chance(plan_.reorder_rate)) {
+    held_ = event;
+    holding_ = true;  // delivered when the next event arrives
+    return;
+  }
+  out.push_back(event);
+  ++stats_.delivered;
+  if (plan_.duplicate_rate > 0.0 && rng_.chance(plan_.duplicate_rate)) {
+    out.push_back(event);
+    ++stats_.duplicated;
+    ++stats_.delivered;
+  }
+  if (plan_.inject_rate > 0.0 && rng_.chance(plan_.inject_rate)) {
+    // A fresh aux every time keeps the event absent from any reference
+    // grammar, so the oracle sees a genuinely unknown event.
+    out.push_back(interner_.event(
+        fault_kind_, static_cast<EventAux>(++injected_counter_)));
+    ++stats_.injected;
+    ++stats_.delivered;
+  }
+}
+
+void EventFaultInjector::attach(Oracle& oracle) {
+  oracle.set_event_filter(
+      [this](TerminalId event, std::vector<TerminalId>& out) {
+        (*this)(event, out);
+      });
+}
+
+void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint64_t seed,
+                   int bit_flips) {
+  if (bytes.empty()) return;
+  support::Rng rng(seed);
+  for (int i = 0; i < bit_flips; ++i) {
+    const std::uint64_t bit = rng.below(bytes.size() * 8u);
+    bytes[bit / 8u] ^= static_cast<std::uint8_t>(1u << (bit % 8u));
+  }
+}
+
+Status corrupt_file(const std::string& path, std::uint64_t seed,
+                    int bit_flips, double keep_fraction) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::io_error("cannot open " + path);
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+      return Status::io_error("cannot read " + path);
+    }
+  }
+  if (keep_fraction < 1.0) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(bytes.size()) * keep_fraction);
+    bytes.resize(keep);
+  }
+  corrupt_bytes(bytes, seed, bit_flips);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::io_error("cannot open " + path + " for write");
+  if (!bytes.empty() &&
+      !out.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+    return Status::io_error("cannot write " + path);
+  }
+  return Status();
+}
+
+}  // namespace pythia::harness

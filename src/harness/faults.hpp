@@ -1,0 +1,97 @@
+// General fault-injection harness for resilience experiments.
+//
+// Two orthogonal perturbation surfaces, both seeded and bit-reproducible:
+//
+//  * the *event stream* an oracle observes — EventFaultInjector plugs
+//    into Oracle::set_event_filter and models a lossy instrumentation
+//    channel (dropped probes, duplicated probes, swapped neighbours,
+//    spurious events unknown to the reference grammar). The application's
+//    actual behaviour is untouched; only the oracle's view degrades.
+//
+//  * the *trace file* on disk — corrupt_file/corrupt_bytes flip random
+//    bits or truncate, exercising the PYTHIA02 checksum + salvage paths
+//    (Trace::try_load).
+//
+// bench/ext_degradation.cpp sweeps event-fault rates to show that the
+// divergence circuit breaker keeps predict-mode virtual time at vanilla
+// level no matter how hostile the stream gets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/oracle.hpp"
+#include "core/shared_registry.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace pythia::harness {
+
+/// Per-event perturbation probabilities, each rolled independently.
+struct FaultPlan {
+  double drop_rate = 0.0;       ///< event never reaches the oracle
+  double duplicate_rate = 0.0;  ///< event observed twice
+  double reorder_rate = 0.0;    ///< event swapped with its successor
+  double inject_rate = 0.0;     ///< spurious unknown event appended
+  std::uint64_t seed = 0x7a1b5;
+
+  bool active() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           inject_rate > 0.0;
+  }
+
+  /// Convenience for sweeps: every fault class at the same rate.
+  static FaultPlan uniform(double rate, std::uint64_t seed = 0x7a1b5) {
+    return FaultPlan{rate, rate, rate, rate, seed};
+  }
+};
+
+/// Oracle::EventFilter implementation. Install with attach(); the
+/// injector must outlive the oracle session it is attached to.
+class EventFaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;   ///< events offered by the runtime
+    std::uint64_t delivered = 0;   ///< events the oracle observed
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;   ///< swapped pairs
+    std::uint64_t injected = 0;    ///< spurious unknown events
+  };
+
+  /// `salt` decorrelates streams that share a plan (e.g. one per rank).
+  EventFaultInjector(const FaultPlan& plan, SharedRegistry& registry,
+                     std::uint64_t salt = 0);
+
+  /// The filter itself: turns one submitted event into 0..3 observed ones.
+  void operator()(TerminalId event, std::vector<TerminalId>& out);
+
+  void attach(Oracle& oracle);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  support::Rng rng_;
+  CachedInterner interner_;
+  KindId fault_kind_;
+  std::uint64_t injected_counter_ = 0;
+  bool holding_ = false;   ///< a reorder victim awaits its successor
+  TerminalId held_ = 0;
+  Stats stats_;
+};
+
+/// Flips `bit_flips` uniformly chosen bits in `bytes` (deterministic in
+/// `seed`). No-op on an empty buffer.
+void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint64_t seed,
+                   int bit_flips);
+
+/// Corrupts the file at `path` in place: first truncates it to
+/// `keep_fraction` of its size (1.0 = no truncation), then flips
+/// `bit_flips` random bits in what remains. Deterministic in `seed`.
+Status corrupt_file(const std::string& path, std::uint64_t seed,
+                    int bit_flips, double keep_fraction = 1.0);
+
+}  // namespace pythia::harness

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "support/assert.hpp"
@@ -36,6 +37,7 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
       cluster.run([&](mpisim::Communicator& comm) {
         const auto rank = static_cast<std::size_t>(comm.rank());
 
+        bool salvaged_off = false;
         Oracle oracle = [&] {
           switch (config.mode) {
             case Mode::kVanilla:
@@ -47,11 +49,28 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
                   config.wrap_reference_threads
                       ? rank % config.reference->threads.size()
                       : rank;
-              return Oracle::predict(config.reference->threads[section]);
+              if (!config.reference->thread_ok(section)) {
+                // The reference section for this rank was salvaged (its
+                // checksum or structure failed during try_load): graceful
+                // degradation — this rank runs vanilla.
+                salvaged_off = true;
+                return Oracle::off();
+              }
+              return Oracle::predict(config.reference->threads[section],
+                                     config.breaker
+                                         ? Predictor::Options::runtime_defaults()
+                                         : Predictor::Options{});
             }
           }
           return Oracle::off();
         }();
+
+        std::unique_ptr<EventFaultInjector> injector;
+        if (config.faults.active()) {
+          injector = std::make_unique<EventFaultInjector>(
+              config.faults, shared, static_cast<std::uint64_t>(rank));
+          injector->attach(oracle);
+        }
 
         std::unique_ptr<mpisim::CommObserver> observer;
         if (config.observer_factory) {
@@ -96,17 +115,33 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           result.omp_stats.threads_used_total += s.threads_used_total;
           result.omp_stats.adaptive_decisions += s.adaptive_decisions;
           result.omp_stats.fallback_decisions += s.fallback_decisions;
+          result.omp_stats.degraded_decisions += s.degraded_decisions;
           result.omp_stats.pool_cost_ns += s.pool_cost_ns;
           result.omp_stats.region_time_ns += s.region_time_ns;
         }
+        if (injector != nullptr) {
+          const EventFaultInjector::Stats& f = injector->stats();
+          result.fault_stats.submitted += f.submitted;
+          result.fault_stats.delivered += f.delivered;
+          result.fault_stats.dropped += f.dropped;
+          result.fault_stats.duplicated += f.duplicated;
+          result.fault_stats.reordered += f.reordered;
+          result.fault_stats.injected += f.injected;
+        }
+        if (salvaged_off) ++result.ranks_salvaged;
         if (config.mode == Mode::kRecord) {
           recorded[rank] = oracle.finish();
-        } else if (config.mode == Mode::kPredict) {
+        } else if (oracle.predicting()) {
           const Predictor::Stats& s = oracle.predictor()->stats();
           result.predictor_stats.observed += s.observed;
           result.predictor_stats.advanced += s.advanced;
           result.predictor_stats.reanchored += s.reanchored;
           result.predictor_stats.unknown += s.unknown;
+          result.predictor_stats.anchors += s.anchors;
+          result.predictor_stats.anchors_suppressed += s.anchors_suppressed;
+          if (oracle.degraded()) ++result.ranks_degraded;
+          result.min_confidence =
+              std::min(result.min_confidence, oracle.confidence());
         }
       });
 

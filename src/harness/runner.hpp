@@ -11,6 +11,7 @@
 
 #include "apps/app.hpp"
 #include "core/trace_io.hpp"
+#include "harness/faults.hpp"
 #include "mpisim/cluster.hpp"
 #include "mpisim/instrumented_comm.hpp"
 #include "ompsim/runtime.hpp"
@@ -42,8 +43,22 @@ struct RunConfig {
   bool record_timestamps = true;
 
   /// Reference trace; required in predict mode. Must have one thread
-  /// section per rank unless wrap_reference_threads is set.
+  /// section per rank unless wrap_reference_threads is set. Sections that
+  /// were salvaged during loading (Trace::thread_ok false) degrade their
+  /// rank to Mode::kOff — that rank runs vanilla; the others still
+  /// predict.
   const Trace* reference = nullptr;
+
+  /// Arm the divergence circuit breaker on predict-mode oracles (see
+  /// Predictor::Options::Breaker). On by default: a runtime system must
+  /// not keep paying re-anchor costs — or acting on stale predictions —
+  /// once the execution stops matching the reference.
+  bool breaker = true;
+
+  /// Event-stream fault injection (EventFaultInjector), applied to every
+  /// rank's oracle with the plan's seed salted by rank. Inactive rates
+  /// leave the stream untouched.
+  FaultPlan faults;
 
   /// Cross-configuration prediction (extension of the paper's future
   /// work): rank r uses reference section r mod |sections|, so a trace
@@ -77,6 +92,12 @@ struct RunResult {
   std::size_t max_rules = 0;
   Predictor::Stats predictor_stats;  ///< predict mode: summed over ranks
   ompsim::OmpRuntime::Stats omp_stats;  ///< hybrid apps: summed over ranks
+
+  // Resilience telemetry.
+  std::size_t ranks_degraded = 0;  ///< breaker not healthy at run end
+  std::size_t ranks_salvaged = 0;  ///< damaged reference section -> off
+  double min_confidence = 1.0;     ///< worst end-of-run rank confidence
+  EventFaultInjector::Stats fault_stats;  ///< summed over ranks
 
   double makespan_seconds() const {
     return static_cast<double>(makespan_virtual_ns) * 1e-9;

@@ -47,7 +47,10 @@ class PrefetchingReader {
                   clock_.now_ns());
     store_.read(clock_, block);
 
-    if (!oracle_.predicting()) return;
+    // Breaker open: no lookahead at all. Wrong prefetches are not free —
+    // they evict resident blocks and occupy the device — so a degraded
+    // oracle must behave like no oracle.
+    if (!oracle_.predicting() || oracle_.degraded()) return;
     for (std::size_t distance = 1; distance <= config_.lookahead;
          ++distance) {
       const auto prediction = oracle_.predict_event(distance);

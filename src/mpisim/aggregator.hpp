@@ -33,6 +33,7 @@ class SendAggregator {
     std::uint64_t batches = 0;         ///< wire transactions with >1 part
     std::uint64_t flushes = 0;         ///< total wire transactions
     std::uint64_t latency_saved = 0;   ///< messages that skipped latency
+    std::uint64_t degraded_sends = 0;  ///< sent vanilla (breaker open)
   };
 
   explicit SendAggregator(InstrumentedComm& mpi) : mpi_(mpi) {}
@@ -49,8 +50,15 @@ class SendAggregator {
     pending_.emplace_back(tag, Payload(bytes.begin(), bytes.end()));
 
     // Keep buffering only if PYTHIA says another isend to the same
-    // destination is coming.
-    const auto next = mpi_.oracle().predict_event(1);
+    // destination is coming. When the divergence breaker is open the
+    // oracle is not consulted at all: the chain breaks and the message
+    // flushes immediately — exactly vanilla eager-send behaviour.
+    std::optional<Prediction> next;
+    if (!mpi_.oracle().degraded()) {
+      next = mpi_.oracle().predict_event(1);
+    } else {
+      ++stats_.degraded_sends;
+    }
     const bool chain_continues =
         next.has_value() && next->event == mpi_.isend_terminal(dst) &&
         next->probability > 0.5;

@@ -52,8 +52,10 @@ class PersistentSendOptimizer {
     }
 
     // Oracle decision: does this send repeat often enough in the
-    // reference execution to amortize a channel?
-    if (mpi_.oracle().predicting()) {
+    // reference execution to amortize a channel? When the divergence
+    // breaker is open the reference occurrence counts describe an
+    // execution we are provably not in — pay no setup, send vanilla.
+    if (mpi_.oracle().predicting() && !mpi_.oracle().degraded()) {
       const TerminalId terminal = mpi_.isend_terminal(dst);
       const Predictor* predictor = mpi_.oracle().predictor();
       if (predictor != nullptr &&

@@ -82,6 +82,7 @@ class OmpRuntime {
     std::uint64_t threads_used_total = 0;
     std::uint64_t adaptive_decisions = 0;   ///< regions with a prediction
     std::uint64_t fallback_decisions = 0;   ///< no prediction -> max
+    std::uint64_t degraded_decisions = 0;   ///< breaker open -> vanilla
     double pool_cost_ns = 0.0;
     double region_time_ns = 0.0;
 
@@ -120,14 +121,21 @@ class OmpRuntime {
 
     int team = config_.max_threads;
     if (config_.adaptive) {
-      // Predicted delay from the begin event to the next event — which,
-      // in the reference trace, is this region's end event.
-      const std::optional<double> predicted = oracle_.predict_time_ns(1);
-      team = policy_.choose_threads(predicted);
-      if (predicted.has_value()) {
-        ++stats_.adaptive_decisions;
+      if (oracle_.degraded()) {
+        // Circuit breaker open: the oracle lost the execution, so don't
+        // even ask — run the region exactly like vanilla GNU OpenMP
+        // (max_threads). Guarantees divergence costs decisions nothing.
+        ++stats_.degraded_decisions;
       } else {
-        ++stats_.fallback_decisions;
+        // Predicted delay from the begin event to the next event — which,
+        // in the reference trace, is this region's end event.
+        const std::optional<double> predicted = oracle_.predict_time_ns(1);
+        team = policy_.choose_threads(predicted);
+        if (predicted.has_value()) {
+          ++stats_.adaptive_decisions;
+        } else {
+          ++stats_.fallback_decisions;
+        }
       }
     }
 

@@ -1,0 +1,56 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+// checksum of the PYTHIA02 trace format.
+//
+// Plain table-driven implementation: trace sections are read once at
+// startup, so simplicity and zero dependencies beat throughput tricks.
+// The table is built at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pythia::support {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc32_init()` through one or more
+/// `crc32_update` calls, then `crc32_final`.
+constexpr std::uint32_t crc32_init() { return 0xffffffffu; }
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = detail::kCrc32Table[(state ^ bytes[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xffffffffu;
+}
+
+/// One-shot checksum of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace pythia::support

@@ -1,0 +1,126 @@
+// Status / Result<T>: the no-throw, no-abort error model of the library
+// boundary.
+//
+// PYTHIA is linked *into* runtime systems (MPI, OpenMP shims); a corrupt
+// trace file or an API misuse at the boundary must never terminate or
+// unwind through the host application (§II-B2 tolerates unexpected
+// events). Operations that consume untrusted input therefore return a
+// Status (or a Result<T> carrying a value), and the caller decides how to
+// degrade — typically to Oracle Mode::kOff, i.e. vanilla behaviour.
+//
+// Internal invariant violations (bugs) still abort via PYTHIA_ASSERT;
+// Status is for *conditions*, not for programming errors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace pythia {
+
+enum class StatusCode {
+  kOk = 0,
+  kCorrupt,       ///< structurally invalid input (checksum, framing, shape)
+  kIoError,       ///< the operating system failed us (open, read, write)
+  kUnsupported,   ///< recognized but unreadable (e.g. future format version)
+  kInvalidState,  ///< operation does not apply in the current mode
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCorrupt:
+      return "corrupt";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInvalidState:
+      return "invalid-state";
+  }
+  return "?";
+}
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// allocation; error statuses carry a human-readable message.
+class Status {
+ public:
+  Status() = default;  // OK — default construction is success
+
+  static Status corrupt(std::string message) {
+    return Status(StatusCode::kCorrupt, std::move(message));
+  }
+  static Status io_error(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status invalid_state(std::string message) {
+    return Status(StatusCode::kInvalidState, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// Error description; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "corrupt: rule count out of bounds" — for logs and CLI errors.
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(pythia::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status plus, on success, a value. `Result<Trace> r = Trace::try_load(p);
+/// if (r.ok()) use(r.value());` — no exceptions cross the boundary.
+template <typename T>
+class Result {
+ public:
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    PYTHIA_ASSERT_MSG(!status_.ok(), "Result from OK status needs a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access asserts success — check ok() first.
+  T& value() {
+    PYTHIA_ASSERT_MSG(ok(), "Result::value() on error");
+    return *value_;
+  }
+  const T& value() const {
+    PYTHIA_ASSERT_MSG(ok(), "Result::value() on error");
+    return *value_;
+  }
+  /// Moves the value out (one-shot).
+  T take() {
+    PYTHIA_ASSERT_MSG(ok(), "Result::take() on error");
+    return std::move(*value_);
+  }
+
+  /// Success value, or `fallback` on error — the one-line degrade path.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pythia

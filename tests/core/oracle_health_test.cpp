@@ -1,0 +1,196 @@
+// Divergence circuit breaker: healthy -> degraded -> recovering state
+// machine, confidence window, re-anchor rationing (exponential backoff)
+// and the Oracle-level health surface consumers key off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+
+namespace pythia {
+namespace {
+
+constexpr TerminalId kUnknown = 99;  // never occurs in the reference
+
+// Reference execution: the pattern 0 1 2 3 repeated.
+ThreadTrace make_reference(int repetitions = 50) {
+  Recorder recorder(Recorder::Options{});
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (TerminalId event : {0, 1, 2, 3}) recorder.record(event, 0);
+  }
+  return std::move(recorder).finish();
+}
+
+Predictor::Options breaker_on() { return Predictor::Options::runtime_defaults(); }
+
+// Follows the reference pattern for `count` events, continuing at
+// `phase`; returns the next phase.
+int feed_pattern(Predictor& predictor, int count, int phase = 0) {
+  for (int i = 0; i < count; ++i) {
+    predictor.observe(static_cast<TerminalId>(phase));
+    phase = (phase + 1) % 4;
+  }
+  return phase;
+}
+
+void feed_unknown(Predictor& predictor, int count) {
+  for (int i = 0; i < count; ++i) predictor.observe(kUnknown);
+}
+
+TEST(OracleHealth, DisabledBreakerNeverLeavesHealthy) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar);  // default options: breaker off
+  feed_unknown(predictor, 200);
+  EXPECT_EQ(predictor.health(), Health::kHealthy);
+  // Every miss still pays for a full re-anchor attempt.
+  EXPECT_EQ(predictor.stats().anchors, 200u);
+  EXPECT_EQ(predictor.stats().anchors_suppressed, 0u);
+  // The confidence window is maintained regardless, as telemetry.
+  EXPECT_LT(predictor.confidence(), 0.05);
+}
+
+TEST(OracleHealth, CleanStreamStaysHealthyAndPredicts) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar, nullptr, breaker_on());
+  feed_pattern(predictor, 40);
+  EXPECT_EQ(predictor.health(), Health::kHealthy);
+  EXPECT_GT(predictor.confidence(), 0.9);
+  ASSERT_TRUE(predictor.predict(1).has_value());
+}
+
+TEST(OracleHealth, MissStreakTripsBreakerAndSuppressesPredictions) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar, nullptr, breaker_on());
+  feed_pattern(predictor, 40);
+
+  const std::uint32_t limit = predictor.options().breaker.miss_streak_limit;
+  feed_unknown(predictor, static_cast<int>(limit) - 1);
+  EXPECT_EQ(predictor.health(), Health::kHealthy);  // one short of the limit
+  feed_unknown(predictor, 1);
+  EXPECT_EQ(predictor.health(), Health::kDegraded);
+  EXPECT_FALSE(predictor.predict(1).has_value());
+  EXPECT_TRUE(predictor.predict_distribution(1).empty());
+  EXPECT_TRUE(predictor.predict_sequence(4).empty());
+}
+
+TEST(OracleHealth, DegradedRationsReanchorsWithBackoff) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar, nullptr, breaker_on());
+  feed_pattern(predictor, 40);
+  feed_unknown(predictor, 8);  // trip the breaker
+  ASSERT_EQ(predictor.health(), Health::kDegraded);
+
+  const std::uint64_t anchors_at_trip = predictor.stats().anchors;
+  feed_unknown(predictor, 1000);
+  EXPECT_EQ(predictor.health(), Health::kDegraded);
+  const std::uint64_t probes = predictor.stats().anchors - anchors_at_trip;
+  // Backoff 4 -> 8 -> ... -> 256 then steady: far fewer probes than events.
+  EXPECT_LE(probes, 16u);
+  EXPECT_GE(predictor.stats().anchors_suppressed, 1000u - probes);
+}
+
+TEST(OracleHealth, RecoversThroughProbeAndAdvanceStreak) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar, nullptr, breaker_on());
+  int phase = feed_pattern(predictor, 40);
+  feed_unknown(predictor, 8);
+  ASSERT_EQ(predictor.health(), Health::kDegraded);
+
+  // Resume the reference pattern: a probe re-anchors (kRecovering), then
+  // a streak of clean advances restores trust.
+  phase = feed_pattern(predictor, 4, phase);
+  EXPECT_EQ(predictor.health(), Health::kRecovering);
+  EXPECT_FALSE(predictor.predict(1).has_value());  // still not trusted
+  feed_pattern(predictor, 12, phase);
+  EXPECT_EQ(predictor.health(), Health::kHealthy);
+  EXPECT_TRUE(predictor.predict(1).has_value());
+}
+
+TEST(OracleHealth, MissDuringRecoveryFallsBackToDegraded) {
+  ThreadTrace trace = make_reference();
+  Predictor predictor(trace.grammar, nullptr, breaker_on());
+  int phase = feed_pattern(predictor, 40);
+  feed_unknown(predictor, 8);
+  ASSERT_EQ(predictor.health(), Health::kDegraded);
+  feed_pattern(predictor, 4, phase);
+  ASSERT_EQ(predictor.health(), Health::kRecovering);
+  feed_unknown(predictor, 1);
+  EXPECT_EQ(predictor.health(), Health::kDegraded);
+}
+
+TEST(OracleHealth, LowConfidenceTripsWithoutLongStreak) {
+  ThreadTrace trace = make_reference();
+  Predictor::Options options = breaker_on();
+  Predictor predictor(trace.grammar, nullptr, options);
+  // Pattern X a b: unknown (miss), re-anchor (miss), advance. Miss streak
+  // never exceeds 2, but the advance rate (1/3) sits below degrade_below,
+  // so the confidence window trips the breaker once it has min_samples.
+  ASSERT_LT(1.0 / 3.0, options.breaker.degrade_below + 0.02);
+  int phase = 0;
+  bool degraded = false;
+  for (int i = 0; i < 60 && !degraded; ++i) {
+    predictor.observe(kUnknown);
+    predictor.observe(static_cast<TerminalId>(phase));
+    predictor.observe(static_cast<TerminalId>((phase + 1) % 4));
+    phase = (phase + 2) % 4;
+    degraded = predictor.health() == Health::kDegraded;
+  }
+  EXPECT_TRUE(degraded);
+}
+
+TEST(OracleHealth, OracleSurfacesHealthAndConfidence) {
+  ThreadTrace trace = make_reference();
+  Oracle oracle =
+      Oracle::predict(trace, Predictor::Options::runtime_defaults());
+  for (int i = 0; i < 40; ++i) oracle.event(i % 4);
+  EXPECT_EQ(oracle.health(), Health::kHealthy);
+  EXPECT_FALSE(oracle.degraded());
+  EXPECT_GT(oracle.confidence(), 0.9);
+
+  for (int i = 0; i < 16; ++i) oracle.event(kUnknown);
+  EXPECT_EQ(oracle.health(), Health::kDegraded);
+  EXPECT_TRUE(oracle.degraded());
+  EXPECT_FALSE(oracle.predict_event(1).has_value());
+  EXPECT_FALSE(oracle.predict_time_ns(1).has_value());
+}
+
+TEST(OracleHealth, NonPredictModesReportHealthy) {
+  Oracle off = Oracle::off();
+  EXPECT_EQ(off.health(), Health::kHealthy);
+  EXPECT_EQ(off.confidence(), 1.0);
+  EXPECT_FALSE(off.degraded());
+
+  Oracle record = Oracle::record(false);
+  for (int i = 0; i < 10; ++i) record.event(kUnknown);
+  EXPECT_EQ(record.health(), Health::kHealthy);
+  EXPECT_FALSE(record.degraded());
+}
+
+TEST(OracleHealth, EventFilterRewritesDeliveredStream) {
+  ThreadTrace trace = make_reference();
+  Oracle oracle = Oracle::predict(trace);
+
+  // Telemetry hook sees the submitted stream, the predictor the filtered
+  // one: drop every other event, duplicate the rest.
+  std::vector<TerminalId> hooked;
+  oracle.set_event_hook(
+      [&hooked](TerminalId id, std::uint64_t) { hooked.push_back(id); });
+  int parity = 0;
+  oracle.set_event_filter(
+      [&parity](TerminalId id, std::vector<TerminalId>& out) {
+        if (parity++ % 2 == 0) {
+          out.push_back(id);
+          out.push_back(id);
+        }  // odd submissions are dropped entirely
+      });
+
+  for (int i = 0; i < 10; ++i) oracle.event(static_cast<TerminalId>(i % 4));
+  EXPECT_EQ(hooked.size(), 10u);
+  EXPECT_EQ(oracle.predictor()->stats().observed, 10u);  // 5 * 2 deliveries
+}
+
+}  // namespace
+}  // namespace pythia

@@ -33,9 +33,14 @@ TEST(Oracle, FinishTransitionsToOff) {
   oracle.event(2);
 }
 
-TEST(Oracle, FinishOutsideRecordAborts) {
+TEST(Oracle, FinishOutsideRecordYieldsEmptyTrace) {
+  // No-abort boundary: finish() on a non-recording session is tolerated
+  // and yields an empty (but finalized, hence loadable) trace.
   Oracle oracle = Oracle::off();
-  EXPECT_DEATH(oracle.finish(), "record");
+  ThreadTrace trace = oracle.finish();
+  EXPECT_TRUE(trace.grammar.finalized());
+  EXPECT_EQ(trace.grammar.sequence_length(), 0u);
+  EXPECT_TRUE(trace.timing.empty());
 }
 
 TEST(Oracle, PredictModeExposesPredictor) {

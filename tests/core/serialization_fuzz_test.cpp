@@ -11,6 +11,7 @@
 #include "core/predictor.hpp"
 #include "core/recorder.hpp"
 #include "core/trace_io.hpp"
+#include "harness/faults.hpp"
 #include "support/rng.hpp"
 
 namespace pythia {
@@ -164,6 +165,192 @@ TEST(SerializationFuzz, ManyThreadsRoundTrip) {
   for (std::size_t thread = 0; thread < 16; ++thread) {
     EXPECT_EQ(loaded.threads[thread].grammar.unfold(), sequences[thread]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption corpus: every seeded bit-flip / truncation of a valid trace
+// file must end in exactly one of three outcomes — loaded bit-identically
+// in behaviour, salvaged per-section, or rejected with a Status. Never a
+// crash, an abort, or a hang.
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+  return bytes;
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+std::uint32_t read_le32(const std::uint8_t* at) {
+  return static_cast<std::uint32_t>(at[0]) |
+         (static_cast<std::uint32_t>(at[1]) << 8) |
+         (static_cast<std::uint32_t>(at[2]) << 16) |
+         (static_cast<std::uint32_t>(at[3]) << 24);
+}
+
+struct SectionSpan {
+  std::uint32_t kind;
+  std::size_t header_offset;
+  std::size_t payload_offset;
+  std::uint32_t payload_size;
+};
+
+// Walks the PYTHIA02 section framing (magic, then 16-byte headers).
+std::vector<SectionSpan> scan_sections(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<SectionSpan> out;
+  std::size_t offset = 8;
+  while (offset + 16 <= bytes.size()) {
+    SectionSpan span;
+    span.kind = read_le32(&bytes[offset]);
+    span.payload_size = read_le32(&bytes[offset + 4]);
+    span.header_offset = offset;
+    span.payload_offset = offset + 16;
+    out.push_back(span);
+    offset = span.payload_offset + span.payload_size;
+  }
+  return out;
+}
+
+// A four-thread trace with distinct per-thread sequences.
+struct CorruptionFixture {
+  Trace trace;
+  std::vector<std::vector<TerminalId>> sequences;
+  std::vector<std::uint8_t> pristine;
+  std::string path;
+
+  CorruptionFixture() {
+    trace.registry.intern("a");
+    trace.registry.intern("b");
+    trace.registry.intern("c");
+    support::Rng rng(0xC0FFEE);
+    for (int thread = 0; thread < 4; ++thread) {
+      Recorder recorder(Recorder::Options{.record_timestamps = true});
+      std::vector<TerminalId> sequence;
+      std::uint64_t now = 0;
+      for (int i = 0; i < 120; ++i) {
+        const auto t = static_cast<TerminalId>(rng.below(3));
+        sequence.push_back(t);
+        recorder.record(t, now += 100 + rng.below(500));
+      }
+      sequences.push_back(std::move(sequence));
+      trace.threads.push_back(std::move(recorder).finish());
+    }
+    path = temp_path(424242);
+    EXPECT_TRUE(trace.try_save(path).ok());
+    pristine = file_bytes(path);
+  }
+  ~CorruptionFixture() { std::remove(path.c_str()); }
+
+  // Loads `bytes` and checks the outcome trichotomy. Returns true when the
+  // load succeeded (possibly salvaged).
+  bool check_outcome(const std::vector<std::uint8_t>& bytes) const {
+    write_bytes(path, bytes);
+    const Result<Trace> result = Trace::try_load(path);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+      return false;
+    }
+    const Trace& loaded = result.value();
+    EXPECT_EQ(loaded.threads.size(), loaded.section_status.size());
+    for (std::size_t i = 0; i < loaded.threads.size(); ++i) {
+      if (loaded.thread_ok(i)) {
+        // Sections that claim to be intact must actually be the recorded
+        // ones (checksums make silent damage practically impossible).
+        loaded.threads[i].grammar.check_invariants();
+        if (i < sequences.size()) {
+          EXPECT_EQ(loaded.threads[i].grammar.unfold(), sequences[i]);
+        }
+      } else {
+        // Salvaged placeholder: harmless — predicts nothing.
+        EXPECT_TRUE(loaded.threads[i].grammar.finalized());
+        EXPECT_EQ(loaded.threads[i].grammar.sequence_length(), 0u);
+      }
+    }
+    return true;
+  }
+};
+
+TEST(SerializationFuzz, BitFlipCorpusNeverCrashes) {
+  CorruptionFixture fixture;
+  int loaded = 0, rejected = 0;
+  for (int seed = 0; seed < 700; ++seed) {
+    std::vector<std::uint8_t> bytes = fixture.pristine;
+    harness::corrupt_bytes(bytes, static_cast<std::uint64_t>(seed),
+                           1 + seed % 8);
+    (fixture.check_outcome(bytes) ? loaded : rejected) += 1;
+  }
+  // The corpus must exercise both outcomes: per-section salvage keeps
+  // most flipped files loadable, registry/framing damage rejects.
+  EXPECT_GT(loaded, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(SerializationFuzz, TruncationCorpusNeverCrashes) {
+  CorruptionFixture fixture;
+  support::Rng rng(0xBEEF);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> bytes = fixture.pristine;
+    bytes.resize(rng.below(bytes.size()));  // cut anywhere, even to zero
+    fixture.check_outcome(bytes);
+  }
+}
+
+TEST(SerializationFuzz, ThreadSectionFlipSalvagesOnlyThatThread) {
+  CorruptionFixture fixture;
+  const std::vector<SectionSpan> sections = scan_sections(fixture.pristine);
+  // Section 0 is the registry; the rest are threads.
+  ASSERT_EQ(sections.size(), 5u);
+  ASSERT_EQ(sections[0].kind, 1u);
+
+  // Flip one payload bit in the third thread's section.
+  const SectionSpan& victim = sections[3];
+  ASSERT_EQ(victim.kind, 2u);
+  std::vector<std::uint8_t> bytes = fixture.pristine;
+  bytes[victim.payload_offset + victim.payload_size / 2] ^= 0x10;
+  write_bytes(fixture.path, bytes);
+
+  const Result<Trace> result = Trace::try_load(fixture.path);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const Trace& trace = result.value();
+  ASSERT_EQ(trace.threads.size(), 4u);
+  EXPECT_EQ(trace.salvaged_threads(), 1u);
+  EXPECT_FALSE(trace.thread_ok(2));
+  EXPECT_EQ(trace.section_status[2].code(), StatusCode::kCorrupt);
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(trace.thread_ok(i));
+    EXPECT_EQ(trace.threads[i].grammar.unfold(), fixture.sequences[i]);
+  }
+
+  // Strict mode refuses the same file outright…
+  EXPECT_FALSE(
+      Trace::try_load(fixture.path, {.salvage_sections = false}).ok());
+  // …and so does the legacy throwing loader.
+  EXPECT_THROW(Trace::load(fixture.path), std::runtime_error);
+}
+
+TEST(SerializationFuzz, RegistryFlipFailsWholeLoad) {
+  CorruptionFixture fixture;
+  const std::vector<SectionSpan> sections = scan_sections(fixture.pristine);
+  ASSERT_EQ(sections[0].kind, 1u);
+  std::vector<std::uint8_t> bytes = fixture.pristine;
+  bytes[sections[0].payload_offset + 2] ^= 0x01;
+  write_bytes(fixture.path, bytes);
+  const Result<Trace> result = Trace::try_load(fixture.path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorrupt);
 }
 
 }  // namespace

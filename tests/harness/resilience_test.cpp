@@ -1,0 +1,115 @@
+// Harness resilience: salvaged reference sections degrade their rank to
+// off, RunConfig::faults drives the EventFaultInjector, and the
+// telemetry in RunResult reflects both.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/app.hpp"
+#include "harness/faults.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia::harness {
+namespace {
+
+class LoopApp final : public apps::App {
+ public:
+  std::string name() const override { return "Loop"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 3; }
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig&) const override {
+    auto& mpi = env.mpi;
+    for (int i = 0; i < 200; ++i) {
+      mpi.barrier();
+      mpi.compute(1000.0);
+      mpi.allreduce(1.0, mpisim::ReduceOp::kSum);
+    }
+  }
+};
+
+Trace record_loop(const LoopApp& app) {
+  RunConfig config;
+  config.mode = Mode::kRecord;
+  RunResult result = run_app(app, config);
+  return std::move(result.trace);
+}
+
+TEST(Resilience, SalvagedSectionDegradesItsRankToOff) {
+  LoopApp app;
+  Trace reference = record_loop(app);
+  ASSERT_EQ(reference.threads.size(), 3u);
+  // Simulate what try_load produces for a damaged middle section.
+  reference.section_status.assign(3, Status());
+  reference.section_status[1] = Status::corrupt("thread section 1 damaged");
+  reference.threads[1] = ThreadTrace{};
+  reference.threads[1].grammar.finalize();
+
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.reference = &reference;
+  const RunResult result = run_app(app, config);
+
+  EXPECT_EQ(result.ranks_salvaged, 1u);
+  EXPECT_EQ(result.ranks_degraded, 0u);  // the intact ranks track cleanly
+  // Two predicting ranks contributed stats; the off rank none.
+  EXPECT_GT(result.predictor_stats.observed, 0u);
+  EXPECT_GT(result.predictor_stats.advanced, 0u);
+}
+
+TEST(Resilience, FaultPlanPerturbsStreamAndTripsBreaker) {
+  LoopApp app;
+  const Trace reference = record_loop(app);
+
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.reference = &reference;
+  config.faults = FaultPlan::uniform(0.5, /*seed=*/11);
+  const RunResult result = run_app(app, config);
+
+  EXPECT_GT(result.fault_stats.submitted, 0u);
+  EXPECT_GT(result.fault_stats.dropped, 0u);
+  EXPECT_GT(result.fault_stats.injected, 0u);
+  EXPECT_GT(result.fault_stats.reordered, 0u);
+  // A 50% fault storm must open the breaker and ration re-anchoring.
+  EXPECT_GT(result.ranks_degraded, 0u);
+  EXPECT_GT(result.predictor_stats.anchors_suppressed, 0u);
+  EXPECT_LT(result.min_confidence, 0.6);
+}
+
+TEST(Resilience, BreakerOffKeepsLegacyBehaviour) {
+  LoopApp app;
+  const Trace reference = record_loop(app);
+
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.reference = &reference;
+  config.breaker = false;
+  config.faults = FaultPlan::uniform(0.5, /*seed=*/11);
+  const RunResult result = run_app(app, config);
+
+  EXPECT_EQ(result.ranks_degraded, 0u);
+  EXPECT_EQ(result.predictor_stats.anchors_suppressed, 0u);
+  // Without rationing, every miss pays a full re-anchor enumeration.
+  EXPECT_EQ(result.predictor_stats.anchors,
+            result.predictor_stats.reanchored +
+                result.predictor_stats.unknown);
+}
+
+TEST(Resilience, CleanPredictRunStaysHealthy) {
+  LoopApp app;
+  const Trace reference = record_loop(app);
+
+  RunConfig config;
+  config.mode = Mode::kPredict;
+  config.reference = &reference;
+  const RunResult result = run_app(app, config);
+
+  EXPECT_EQ(result.ranks_degraded, 0u);
+  EXPECT_EQ(result.ranks_salvaged, 0u);
+  EXPECT_GT(result.min_confidence, 0.9);
+  EXPECT_EQ(result.fault_stats.submitted, 0u);
+}
+
+}  // namespace
+}  // namespace pythia::harness
