@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "harness/probes.hpp"
@@ -26,5 +27,89 @@ inline void banner(const char* experiment, const char* description) {
   std::printf(" not absolute values, are the comparison target.)\n");
   std::printf("================================================================\n\n");
 }
+
+/// Minimal JSON object writer for machine-readable bench results
+/// (bench/regress emits BENCH_core.json with it; any bench can reuse it
+/// to publish numbers for CI diffing). Values are appended in call order;
+/// nesting via begin_object()/end_object(). No external dependency.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  JsonWriter& field(const std::string& key, double value) {
+    char buffer[64];
+    // %.6g keeps latencies readable and round-trips the magnitudes we
+    // care about; integral doubles print without an exponent.
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    raw(key, buffer);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, std::uint64_t value) {
+    raw(key, std::to_string(value));
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, bool value) {
+    raw(key, value ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const std::string& value) {
+    raw(key, "\"" + escape(value) + "\"");
+    return *this;
+  }
+
+  JsonWriter& begin_object(const std::string& key) {
+    separator();
+    out_ += quote(key) + ": {";
+    fresh_ = true;
+    ++depth_;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += "}";
+    fresh_ = false;
+    --depth_;
+    return *this;
+  }
+
+  /// Final document; call once, after all fields.
+  std::string str() {
+    while (depth_ > 0) end_object();
+    return out_ + "}\n";
+  }
+
+  bool write_file(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::string body = str();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), file) ==
+                    body.size();
+    return std::fclose(file) == 0 && ok;
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  static std::string quote(const std::string& key) {
+    return "\"" + escape(key) + "\"";
+  }
+  void separator() {
+    if (!fresh_) out_ += ", ";
+    fresh_ = false;
+  }
+  void raw(const std::string& key, const std::string& value) {
+    separator();
+    out_ += quote(key) + ": " + value;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+  int depth_ = 0;
+};
 
 }  // namespace pythia::bench

@@ -1,0 +1,294 @@
+// regress — the benchmark-regression harness for the PYTHIA core hot
+// paths (Table I territory: per-event record cost, observe/predict
+// latency, allocator traffic).
+//
+//   ./build/bench/regress [--out=BENCH_core.json] [--strict]
+//
+// Self-timed (no google-benchmark dependency) so it can fold the counting
+// allocator's numbers into the same report. Emits one JSON object with:
+//   - append throughput (events/s, ns/event) on regular + irregular traces
+//   - finalize() cost
+//   - observe()/predict(1) latency percentiles (p50/p90/p99)
+//   - steady-state allocator calls and bytes per event (requires the
+//     pythia_alloc_hook TU, which this binary links)
+//
+// --strict (or PYTHIA_BENCH_STRICT=1) exits nonzero when the steady-state
+// hot paths allocate at all — the regression gate CI runs.
+// PYTHIA_BENCH_SCALE scales the workload sizes as in every other bench.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+#include "support/alloc_counter.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pythia;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point begin, Clock::time_point end) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+std::vector<TerminalId> loop_trace(std::size_t events) {
+  // BT-like: a 7-event loop body repeated (same shape as micro_core).
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  while (out.size() < events) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 4u, 5u, 5u}) {
+      if (out.size() >= events) break;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<TerminalId> irregular_trace(std::size_t events,
+                                        std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    out.push_back(static_cast<TerminalId>(rng.below(24)));
+  }
+  return out;
+}
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[index];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  return out;
+}
+
+/// Best-of-reps wall time (ns) for appending `trace` into a fresh grammar.
+double append_ns(const std::vector<TerminalId>& trace, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Grammar grammar;
+    const auto begin = Clock::now();
+    for (TerminalId t : trace) grammar.append(t);
+    const double ns = elapsed_ns(begin, Clock::now());
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+double finalize_ns(const std::vector<TerminalId>& trace, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Grammar grammar;
+    for (TerminalId t : trace) grammar.append(t);
+    const auto begin = Clock::now();
+    grammar.finalize();
+    const double ns = elapsed_ns(begin, Clock::now());
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+void emit_append(bench::JsonWriter& json, const char* name,
+                 const std::vector<TerminalId>& trace, int reps) {
+  const double ns = append_ns(trace, reps);
+  const double per_event = ns / static_cast<double>(trace.size());
+  json.begin_object(name)
+      .field("events", static_cast<std::uint64_t>(trace.size()))
+      .field("ns_per_event", per_event)
+      .field("events_per_sec", 1e9 / per_event)
+      .end_object();
+  std::printf("  %-24s %8.1f ns/event  (%.2fM events/s)\n", name, per_event,
+              1e3 / per_event);
+}
+
+void emit_percentiles(bench::JsonWriter& json, const char* name,
+                      std::vector<double>& samples) {
+  const Percentiles p = percentiles(samples);
+  json.begin_object(name)
+      .field("samples", static_cast<std::uint64_t>(samples.size()))
+      .field("p50_ns", p.p50)
+      .field("p90_ns", p.p90)
+      .field("p99_ns", p.p99)
+      .end_object();
+  std::printf("  %-24s p50 %6.0f ns   p90 %6.0f ns   p99 %6.0f ns\n", name,
+              p.p50, p.p90, p.p99);
+}
+
+/// Allocator traffic per event across `events` steady-state calls of `fn`.
+template <typename Fn>
+void emit_alloc(bench::JsonWriter& json, const char* name,
+                std::size_t events, Fn&& fn, double& allocs_out) {
+  const support::AllocSnapshot before = support::alloc_snapshot();
+  fn();
+  const support::AllocSnapshot delta = support::alloc_snapshot() - before;
+  const double denom = static_cast<double>(events);
+  allocs_out = static_cast<double>(delta.allocations) / denom;
+  json.begin_object(name)
+      .field("events", static_cast<std::uint64_t>(events))
+      .field("allocations", delta.allocations)
+      .field("allocs_per_event", allocs_out)
+      .field("bytes_per_event", static_cast<double>(delta.bytes) / denom)
+      .end_object();
+  std::printf("  %-24s %6.4f allocs/event  %8.2f bytes/event\n", name,
+              allocs_out, static_cast<double>(delta.bytes) / denom);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_core.json";
+  bool strict = pythia::support::env_flag("PYTHIA_BENCH_STRICT");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "usage: regress [--out=FILE] [--strict]\n");
+      return 2;
+    }
+  }
+
+  const double scale = pythia::bench::workload_scale();
+  const int reps = pythia::support::bench_reps(3);
+  // Rounded to whole loop bodies so steady-state measurements that append
+  // *more* loop iterations continue the pattern instead of starting a new
+  // digram at a mid-body seam.
+  const auto append_events =
+      static_cast<std::size_t>(std::max(7000.0, 100000.0 * scale)) / 7 * 7;
+  const auto latency_samples = static_cast<std::size_t>(
+      std::max(2000.0, 50000.0 * scale));
+
+  std::printf("pythia bench/regress  (scale %.2f, reps %d, alloc hook %s)\n",
+              scale, reps,
+              pythia::support::alloc_hook_active() ? "active" : "MISSING");
+
+  pythia::bench::JsonWriter json;
+  json.field("bench", std::string("regress"))
+      .field("scale", scale)
+      .field("reps", static_cast<std::uint64_t>(reps))
+      .field("alloc_hook", pythia::support::alloc_hook_active());
+
+  // --- grammar construction -------------------------------------------------
+  const std::vector<TerminalId> regular = loop_trace(append_events);
+  const std::vector<TerminalId> irregular =
+      irregular_trace(append_events, 99);
+  emit_append(json, "append_regular", regular, reps);
+  emit_append(json, "append_irregular", irregular, reps);
+
+  const double fin_ns = finalize_ns(regular, reps);
+  json.begin_object("finalize_regular")
+      .field("events", static_cast<std::uint64_t>(regular.size()))
+      .field("total_ns", fin_ns)
+      .field("ns_per_event", fin_ns / static_cast<double>(regular.size()))
+      .end_object();
+  std::printf("  %-24s %8.0f ns total\n", "finalize_regular", fin_ns);
+
+  // --- tracking / prediction latency ---------------------------------------
+  Grammar grammar;
+  for (TerminalId t : regular) grammar.append(t);
+  grammar.finalize();
+  Predictor predictor(grammar);
+
+  // Warm up: one full pass seats every scratch buffer at its high-water
+  // capacity, so the measured (and alloc-counted) passes are steady state.
+  for (TerminalId t : regular) predictor.observe(t);
+
+  std::vector<double> samples;
+  samples.reserve(latency_samples);
+  for (std::size_t i = 0; i < latency_samples; ++i) {
+    const TerminalId event = regular[i % regular.size()];
+    const auto begin = Clock::now();
+    predictor.observe(event);
+    samples.push_back(elapsed_ns(begin, Clock::now()));
+  }
+  emit_percentiles(json, "observe", samples);
+
+  // Park the tracker mid-loop-body: at the very end of the reference
+  // sequence predict(1) rightly has no future to report.
+  for (TerminalId t : {0u, 1u, 2u}) predictor.observe(t);
+  samples.clear();
+  for (std::size_t i = 0; i < latency_samples; ++i) {
+    const auto begin = Clock::now();
+    const auto prediction = predictor.predict(1);
+    samples.push_back(elapsed_ns(begin, Clock::now()));
+    if (!prediction.has_value()) break;  // would make the numbers a lie
+  }
+  emit_percentiles(json, "predict1", samples);
+
+  // --- steady-state allocator traffic --------------------------------------
+  double append_allocs = 0.0;
+  double observe_allocs = 0.0;
+  double predict_allocs = 0.0;
+  if (pythia::support::alloc_hook_active()) {
+    // Grammar warmed with the full regular trace: further loop iterations
+    // only bump repetition exponents and recycle pooled nodes.
+    Grammar warm;
+    for (TerminalId t : regular) warm.append(t);
+    const std::vector<TerminalId> tail = loop_trace(7 * 1000);
+    emit_alloc(json, "append_steady_state", tail.size(),
+               [&] { for (TerminalId t : tail) warm.append(t); },
+               append_allocs);
+    emit_alloc(json, "observe_steady_state", regular.size(),
+               [&] { for (TerminalId t : regular) predictor.observe(t); },
+               observe_allocs);
+    for (TerminalId t : {0u, 1u, 2u}) predictor.observe(t);  // re-park
+    emit_alloc(json, "predict_steady_state", 4096,
+               [&] {
+                 for (int i = 0; i < 4096; ++i) {
+                   const auto p = predictor.predict(1);
+                   if (!p.has_value()) break;
+                 }
+               },
+               predict_allocs);
+  } else {
+    std::printf("  (alloc hook not linked — allocator metrics skipped)\n");
+  }
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (strict) {
+    if (!pythia::support::alloc_hook_active()) {
+      std::fprintf(stderr,
+                   "strict: alloc hook not linked, cannot verify\n");
+      return 1;
+    }
+    if (append_allocs > 0.0 || observe_allocs > 0.0 ||
+        predict_allocs > 0.0) {
+      std::fprintf(stderr,
+                   "strict: steady-state hot path allocates "
+                   "(append %.4f, observe %.4f, predict %.4f per event)\n",
+                   append_allocs, observe_allocs, predict_allocs);
+      return 1;
+    }
+    std::printf("strict: steady-state hot paths allocation-free\n");
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the core benchmark-regression harness, leaving
+# BENCH_core.json at the repo root. Extra flags are forwarded to the
+# binary, e.g.:
+#
+#   bench/run_regress.sh --strict          # fail on steady-state allocs
+#   PYTHIA_BENCH_SCALE=0.2 bench/run_regress.sh
+#
+# BUILD_DIR overrides the build tree (default: build-bench, kept separate
+# from the default developer tree so a Debug build never pollutes the
+# numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target regress >/dev/null
+
+"$BUILD_DIR/bench/regress" --out=BENCH_core.json "$@"

@@ -38,6 +38,15 @@ void print_thread(const Trace& trace, std::size_t index) {
               nodes > 0 ? static_cast<double>(grammar.sequence_length()) /
                               static_cast<double>(nodes)
                         : 0.0);
+  const Grammar::PoolStats pools = grammar.pool_stats();
+  std::printf("  node pool:         %zu allocated, %zu free\n",
+              pools.nodes_allocated, pools.nodes_free);
+  std::printf("  rule pool:         %zu allocated, %zu live, %zu free "
+              "(%zu id slots)\n",
+              pools.rules_allocated, pools.rules_live, pools.rules_free,
+              pools.rule_ids);
+  std::printf("  digram index:      %zu entries / %zu slots\n",
+              pools.digram_count, pools.digram_capacity);
   std::printf("  timing contexts:   %zu%s\n", thread.timing.context_count(),
               thread.timing.empty() ? " (no timestamps recorded)" : "");
   if (!thread.timing.empty()) {

@@ -63,6 +63,25 @@ class EventRegistry {
     return intern_event(intern_kind(name), aux);
   }
 
+  /// Const lookups that never intern — the read-only half of the intern
+  /// calls above, split out so concurrent callers (SharedRegistry) can
+  /// resolve already-registered ids under a shared lock.
+  bool find_kind(std::string_view name, KindId& out) const {
+    auto it = kind_by_name_.find(std::string(name));
+    if (it == kind_by_name_.end()) return false;
+    out = it->second;
+    return true;
+  }
+  bool find_event(KindId kind, EventAux aux, TerminalId& out) const {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(kind) << 32u) |
+        static_cast<std::uint32_t>(aux);
+    auto it = event_by_key_.find(key);
+    if (it == event_by_key_.end()) return false;
+    out = it->second;
+    return true;
+  }
+
   std::size_t kind_count() const { return kind_names_.size(); }
   std::size_t event_count() const { return events_.size(); }
 

@@ -55,11 +55,35 @@ void Grammar::flush_pending_free() {
   free_nodes_.insert(free_nodes_.end(), pending_free_.begin(),
                      pending_free_.end());
   pending_free_.clear();
+  // Dead rules release their id slot (tombstone -> nullptr) and park the
+  // struct — including its users-vector capacity — for reuse. Deferred to
+  // the end of the append for the same reason as nodes: dirty-list entries
+  // from the current cascade may still point at them.
+  for (Rule* rule : pending_free_rules_) {
+    PYTHIA_ASSERT(!rule->alive);
+    rules_[rule->id] = nullptr;
+    rule->users.clear();
+    free_rules_.push_back(rule);
+  }
+  pending_free_rules_.clear();
 }
 
 Rule* Grammar::allocate_rule() {
-  rule_pool_.emplace_back();
-  Rule* rule = &rule_pool_.back();
+  Rule* rule;
+  if (!free_rules_.empty()) {
+    rule = free_rules_.back();
+    free_rules_.pop_back();
+    rule->head = rule->tail = nullptr;
+    rule->length = 0;
+    rule->alive = true;
+    rule->occurrences = 0;
+  } else {
+    rule_pool_.emplace_back();
+    rule = &rule_pool_.back();
+  }
+  // Recycled structs get a *fresh* id: id assignment (and with it rule
+  // naming, serialization order, and stable node ids) is identical whether
+  // or not a free struct was available.
   rule->id = static_cast<std::uint32_t>(rules_.size());
   rules_.push_back(rule);
   ++live_rule_count_;
@@ -121,18 +145,18 @@ void Grammar::unlink(Node* node) {
 void Grammar::index_pair(Node* left) {
   PYTHIA_ASSERT(left->next != nullptr);
   PYTHIA_ASSERT(left->sym != left->next->sym);
-  digrams_[digram_key(left->sym, left->next->sym)] = left;
+  digrams_.insert_or_assign(digram_key(left->sym, left->next->sym), left);
 }
 
 void Grammar::unindex_pair(Node* left) {
   if (left == nullptr || !left->alive || left->next == nullptr) return;
-  auto it = digrams_.find(digram_key(left->sym, left->next->sym));
-  if (it != digrams_.end() && it->second == left) digrams_.erase(it);
+  digrams_.erase_if(digram_key(left->sym, left->next->sym),
+                    [left](Node* canon) { return canon == left; });
 }
 
 Node* Grammar::find_pair(Symbol a, Symbol b) const {
-  auto it = digrams_.find(digram_key(a, b));
-  return it != digrams_.end() ? it->second : nullptr;
+  Node* const* found = digrams_.find(digram_key(a, b));
+  return found != nullptr ? *found : nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -197,7 +221,7 @@ void Grammar::append_symbol(Rule* rule, Symbol sym, int depth) {
     Node* b = allocate_node(sym, 1);
     link_after(target, a, b);
     // The couple now lives canonically inside the new rule's body.
-    digrams_[digram_key(left->sym, sym)] = a;
+    digrams_.insert_or_assign(digram_key(left->sym, sym), a);
     raw_substitute(left, right, target, m);
   }
 
@@ -291,7 +315,7 @@ void Grammar::resolve_duplicate(Node* site, Node* canon, int depth) {
     return;
   }
   if (exact_body(site, site_r)) {
-    digrams_[key] = site;
+    digrams_.insert_or_assign(key, site);
     raw_substitute(canon, canon_r, site->owner, m);
     return;
   }
@@ -301,7 +325,7 @@ void Grammar::resolve_duplicate(Node* site, Node* canon, int depth) {
   link_after(target, nullptr, a);
   Node* b = allocate_node(site_r->sym, 1);
   link_after(target, a, b);
-  digrams_[key] = a;
+  digrams_.insert_or_assign(key, a);
 
   raw_substitute(site, site_r, target, m);
   // Cascades from the first substitution may have restructured the other
@@ -383,6 +407,7 @@ void Grammar::inline_rule(Rule* rule) {
   rule->users.clear();
   rule->alive = false;
   --live_rule_count_;
+  pending_free_rules_.push_back(rule);
   user->prev = user->next = nullptr;
   user->owner = nullptr;
   release_node(user);
@@ -410,6 +435,7 @@ void Grammar::destroy_rule(Rule* rule) {
   rule->length = 0;
   rule->alive = false;
   --live_rule_count_;
+  pending_free_rules_.push_back(rule);
 }
 
 // ---------------------------------------------------------------------------
@@ -452,18 +478,22 @@ std::vector<const Rule*> Grammar::rules() const {
   std::vector<const Rule*> out;
   out.reserve(live_rule_count_);
   for (const Rule* rule : rules_) {
-    if (rule->alive) out.push_back(rule);
+    if (rule != nullptr && rule->alive) out.push_back(rule);
   }
   return out;
 }
 
 const Rule* Grammar::rule_by_id(std::uint32_t id) const {
-  if (id >= rules_.size() || !rules_[id]->alive) return nullptr;
+  if (id >= rules_.size() || rules_[id] == nullptr || !rules_[id]->alive) {
+    return nullptr;
+  }
   return rules_[id];
 }
 
 Rule* Grammar::rule_by_id(std::uint32_t id) {
-  if (id >= rules_.size() || !rules_[id]->alive) return nullptr;
+  if (id >= rules_.size() || rules_[id] == nullptr || !rules_[id]->alive) {
+    return nullptr;
+  }
   return rules_[id];
 }
 
@@ -510,33 +540,75 @@ std::uint64_t Grammar::count_occurrences(Rule* rule,
 void Grammar::finalize() {
   PYTHIA_ASSERT_MSG(!finalized_, "finalize() called twice");
   finalized_ = true;
-  occurrence_index_.clear();
+  occurrence_nodes_.clear();
+  occurrence_spans_.clear();
   stable_nodes_.clear();
 
   std::vector<std::uint64_t> memo(rules_.size(), 0);
   std::vector<int> state(rules_.size(), 0);
   for (Rule* rule : rules_) {
-    if (!rule->alive) continue;
+    if (rule == nullptr || !rule->alive) continue;
     rule->occurrences = count_occurrences(rule, memo, state);
   }
 
+  // Pass 1: assign stable ids and count occurrences per terminal.
+  TerminalId max_terminal = 0;
+  std::size_t terminal_nodes = 0;
   for (Rule* rule : rules_) {
-    if (!rule->alive) continue;
+    if (rule == nullptr || !rule->alive) continue;
     for (Node* node = rule->head; node != nullptr; node = node->next) {
       node->stable_id = static_cast<std::uint32_t>(stable_nodes_.size());
       stable_nodes_.push_back(node);
       if (node->sym.is_terminal()) {
-        occurrence_index_[node->sym.terminal_id()].push_back(node);
+        max_terminal = std::max(max_terminal, node->sym.terminal_id());
+        ++terminal_nodes;
       }
     }
   }
+  if (terminal_nodes == 0) return;
+
+  // Pass 2: counting sort into one flat array. Fill order follows stable
+  // node order, so each terminal's occurrence list is ordered exactly as
+  // the per-terminal vectors of the old hash index were.
+  occurrence_spans_.assign(static_cast<std::size_t>(max_terminal) + 1,
+                           {0, 0});
+  for (const Node* node : stable_nodes_) {
+    if (node->sym.is_terminal()) {
+      ++occurrence_spans_[node->sym.terminal_id()].second;
+    }
+  }
+  std::uint32_t offset = 0;
+  for (auto& [start, count] : occurrence_spans_) {
+    start = offset;
+    offset += count;
+    count = 0;  // reused as the fill cursor below
+  }
+  occurrence_nodes_.resize(terminal_nodes);
+  for (Node* node : stable_nodes_) {
+    if (!node->sym.is_terminal()) continue;
+    auto& [start, filled] = occurrence_spans_[node->sym.terminal_id()];
+    occurrence_nodes_[start + filled++] = node;
+  }
 }
 
-const std::vector<Node*>& Grammar::occurrences_of(TerminalId event) const {
+NodeSpan Grammar::occurrences_of(TerminalId event) const {
   PYTHIA_ASSERT_MSG(finalized_, "occurrences_of() before finalize()");
-  static const std::vector<Node*> kEmpty;
-  auto it = occurrence_index_.find(event);
-  return it != occurrence_index_.end() ? it->second : kEmpty;
+  if (event >= occurrence_spans_.size()) return NodeSpan{};
+  const auto& [start, count] = occurrence_spans_[event];
+  return NodeSpan{occurrence_nodes_.data() + start, count};
+}
+
+Grammar::PoolStats Grammar::pool_stats() const {
+  PoolStats stats;
+  stats.nodes_allocated = node_pool_.size();
+  stats.nodes_free = free_nodes_.size() + pending_free_.size();
+  stats.rules_allocated = rule_pool_.size();
+  stats.rules_live = live_rule_count_;
+  stats.rules_free = free_rules_.size() + pending_free_rules_.size();
+  stats.rule_ids = rules_.size();
+  stats.digram_count = digrams_.size();
+  stats.digram_capacity = digrams_.capacity();
+  return stats;
 }
 
 Node* Grammar::node_by_stable_id(std::uint32_t id) const {
@@ -553,7 +625,7 @@ void Grammar::check_invariants() const {
   std::size_t live_count = 0;
 
   for (const Rule* rule : rules_) {
-    if (!rule->alive) continue;
+    if (rule == nullptr || !rule->alive) continue;
     ++live_count;
     PYTHIA_ASSERT_MSG(rule->head != nullptr || rule == root_,
                       "live rule with empty body");
@@ -579,8 +651,8 @@ void Grammar::check_invariants() const {
         const std::uint64_t key = digram_key(prev->sym, node->sym);
         PYTHIA_ASSERT_MSG(seen_pairs.emplace(key, prev).second,
                           "duplicate couple (invariant 2)");
-        auto it = digrams_.find(key);
-        PYTHIA_ASSERT_MSG(it != digrams_.end() && it->second == prev,
+        Node* const* canon = digrams_.find(key);
+        PYTHIA_ASSERT_MSG(canon != nullptr && *canon == prev,
                           "couple missing from digram index");
       }
       prev = node;
@@ -593,7 +665,7 @@ void Grammar::check_invariants() const {
                     "stale digram index entries");
 
   for (const Rule* rule : rules_) {
-    if (!rule->alive || rule == root_) continue;
+    if (rule == nullptr || !rule->alive || rule == root_) continue;
     auto& actual = actual_users[rule];
     PYTHIA_ASSERT_MSG(actual.size() == rule->users.size(),
                       "user list out of sync");
@@ -651,7 +723,7 @@ std::string Grammar::to_text(const EventRegistry* registry) const {
 
   std::string out;
   for (const Rule* rule : rules_) {
-    if (!rule->alive) continue;
+    if (rule == nullptr || !rule->alive) continue;
     out += symbol_name(Symbol::rule(rule->id)) + " -> ";
     bool first = true;
     for (const Node* node = rule->head; node != nullptr; node = node->next) {
@@ -684,7 +756,7 @@ std::string Grammar::to_dot(const EventRegistry* registry) const {
 
   std::string out = "digraph grammar {\n  node [shape=box];\n";
   for (const Rule* rule : rules_) {
-    if (!rule->alive) continue;
+    if (rule == nullptr || !rule->alive) continue;
     std::string body;
     for (const Node* node = rule->head; node != nullptr; node = node->next) {
       if (!body.empty()) body += " ";
@@ -739,10 +811,10 @@ Grammar Grammar::from_bodies(
       grammar.link_after(rule, tail, node);
       if (tail != nullptr) {
         const std::uint64_t key = digram_key(tail->sym, node->sym);
-        if (grammar.digrams_.find(key) != grammar.digrams_.end()) {
+        if (grammar.digrams_.contains(key)) {
           reject("duplicate couple (invariant 2)");
         }
-        grammar.digrams_[key] = tail;
+        grammar.digrams_.insert_or_assign(key, tail);
       }
       tail = node;
     }

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/symbol.hpp"
+#include "support/flat_map.hpp"
 
 namespace pythia {
 
@@ -57,6 +58,25 @@ struct Rule {
   /// Number of times this rule's body unfolds in the full trace; computed
   /// by finalize() (occ(root) == 1).
   std::uint64_t occurrences = 0;
+};
+
+/// Non-owning view of a run of occurrence nodes (the result of
+/// `occurrences_of()`). The nodes live in the grammar's flat occurrence
+/// index; the span stays valid as long as the grammar does.
+class NodeSpan {
+ public:
+  NodeSpan() = default;
+  NodeSpan(Node* const* data, std::size_t size) : data_(data), size_(size) {}
+
+  Node* const* begin() const { return data_; }
+  Node* const* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Node* operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  Node* const* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// The grammar. Use `append()` to feed events (PYTHIA-RECORD), then
@@ -106,8 +126,9 @@ class Grammar {
   void finalize();
   bool finalized() const { return finalized_; }
 
-  /// Occurrence nodes of a terminal (valid after finalize()).
-  const std::vector<Node*>& occurrences_of(TerminalId event) const;
+  /// Occurrence nodes of a terminal (valid after finalize()). O(1): a
+  /// dense-by-terminal span lookup into one flat array, no hashing.
+  NodeSpan occurrences_of(TerminalId event) const;
 
   /// All live rules (valid any time; order: creation order, root first).
   std::vector<const Rule*> rules() const;
@@ -130,8 +151,21 @@ class Grammar {
   };
   static Grammar from_bodies(const std::vector<std::vector<BodyEntry>>& bodies);
 
+  /// Allocator-pool telemetry (trace_inspect, benches): how much of the
+  /// node/rule pools is live vs. parked on the free lists.
+  struct PoolStats {
+    std::size_t nodes_allocated = 0;  ///< node structs ever created
+    std::size_t nodes_free = 0;       ///< parked on the node free list
+    std::size_t rules_allocated = 0;  ///< rule structs ever created
+    std::size_t rules_live = 0;
+    std::size_t rules_free = 0;       ///< parked on the rule free list
+    std::size_t rule_ids = 0;         ///< id slots incl. tombstones
+    std::size_t digram_count = 0;
+    std::size_t digram_capacity = 0;
+  };
+  PoolStats pool_stats() const;
+
  private:
-  struct DigramIndex;
 
   Node* allocate_node(Symbol sym, std::uint64_t exp);
   void release_node(Node* node);
@@ -167,17 +201,24 @@ class Grammar {
   std::vector<Node*> free_nodes_;
   std::vector<Node*> pending_free_;
   std::deque<Rule> rule_pool_;
-  std::vector<Rule*> rules_;  // by id; dead rules stay as tombstones
+  // By id. A slot holds nullptr once its rule struct has been recycled;
+  // freshly dead rules keep their slot (alive == false) until the end of
+  // the append so in-flight cascade frames never see a reused rule.
+  std::vector<Rule*> rules_;
+  std::vector<Rule*> free_rules_;
+  std::vector<Rule*> pending_free_rules_;
   Rule* root_ = nullptr;
   std::size_t live_rule_count_ = 0;
-  std::unordered_map<std::uint64_t, Node*> digrams_;
+  support::FlatMap<std::uint64_t, Node*> digrams_;
   std::vector<Rule*> dirty_rules_;
   std::uint64_t appended_ = 0;
   std::uint64_t ops_since_append_ = 0;
   bool finalized_ = false;
 
-  // finalize() products
-  std::unordered_map<TerminalId, std::vector<Node*>> occurrence_index_;
+  // finalize() products: all terminal occurrence nodes in one flat array,
+  // grouped by terminal id; spans_[t] = (offset, count) into it.
+  std::vector<Node*> occurrence_nodes_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> occurrence_spans_;
   std::vector<Node*> stable_nodes_;
 };
 

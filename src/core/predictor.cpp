@@ -1,8 +1,6 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "support/assert.hpp"
 
@@ -18,32 +16,59 @@ Predictor::Predictor(const Grammar& grammar, const TimingModel* timing,
                     "Predictor requires a finalized grammar");
 }
 
-void Predictor::dedupe_and_cap(std::vector<ProgressPath>& paths) const {
-  std::unordered_set<std::uint64_t> seen;
-  std::vector<ProgressPath> unique;
-  unique.reserve(paths.size());
-  for (ProgressPath& path : paths) {
-    if (seen.insert(path.hash()).second) unique.push_back(std::move(path));
+void Predictor::dedupe_and_cap(std::vector<ProgressPath>& paths) {
+  // In-place compaction of first occurrences. The anchor cap bounds the
+  // working set to a few hundred paths, so linear hash probing beats a
+  // freshly allocated hash set.
+  seen_hashes_.clear();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint64_t hash = paths[i].hash();
+    bool duplicate = false;
+    for (const std::uint64_t seen : seen_hashes_) {
+      if (seen == hash) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen_hashes_.push_back(hash);
+    if (kept != i) paths[kept] = std::move(paths[i]);
+    ++kept;
   }
-  if (unique.size() > options_.max_candidates) {
+  paths.resize(kept);
+
+  if (paths.size() > options_.max_candidates) {
     // Keep the most frequently executed positions (occurrence weights).
-    std::stable_sort(unique.begin(), unique.end(),
-                     [](const ProgressPath& a, const ProgressPath& b) {
-                       return a.weight() > b.weight();
-                     });
-    unique.resize(options_.max_candidates);
+    // Sorting (weight desc, index asc) reproduces the stable order the
+    // old stable_sort produced, without its temporary buffer.
+    rank_scratch_.clear();
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      rank_scratch_.push_back(
+          {paths[i].weight(), static_cast<std::uint32_t>(i)});
+    }
+    std::sort(rank_scratch_.begin(), rank_scratch_.end(),
+              [](const RankEntry& a, const RankEntry& b) {
+                return a.weight != b.weight ? a.weight > b.weight
+                                            : a.index < b.index;
+              });
+    sorted_scratch_.clear();
+    for (std::size_t i = 0; i < options_.max_candidates; ++i) {
+      sorted_scratch_.push_back(std::move(paths[rank_scratch_[i].index]));
+    }
+    paths.swap(sorted_scratch_);
   }
-  paths = std::move(unique);
 }
 
 void Predictor::anchor(TerminalId event) {
   ++stats_.anchors;
   candidates_.clear();
-  std::vector<ProgressPath> paths;
+  scratch_paths_.clear();
   ProgressPath::enumerate_occurrences(grammar_, event,
-                                      options_.max_anchor_paths, paths);
-  dedupe_and_cap(paths);
-  candidates_ = std::move(paths);
+                                      options_.max_anchor_paths,
+                                      scratch_paths_);
+  dedupe_and_cap(scratch_paths_);
+  candidates_.swap(scratch_paths_);
 }
 
 void Predictor::record_outcome(bool advanced) {
@@ -105,18 +130,17 @@ void Predictor::observe(TerminalId event) {
   }
 
   if (!candidates_.empty()) {
-    std::vector<ProgressPath> advanced;
-    advanced.reserve(candidates_.size());
+    scratch_paths_.clear();
     for (ProgressPath& path : candidates_) {
       ProgressPath next = path;  // advance works on a copy; misses drop out
       if (next.advance(grammar_) && next.terminal() == event) {
-        advanced.push_back(std::move(next));
+        scratch_paths_.push_back(std::move(next));
       }
     }
-    if (!advanced.empty()) {
+    if (!scratch_paths_.empty()) {
       ++stats_.advanced;
-      dedupe_and_cap(advanced);
-      candidates_ = std::move(advanced);
+      dedupe_and_cap(scratch_paths_);
+      candidates_.swap(scratch_paths_);
       record_outcome(true);
       if (breaker.enabled) {
         miss_streak_ = 0;
@@ -151,37 +175,51 @@ void Predictor::observe(TerminalId event) {
   if (streak_tripped || confidence_tripped) enter_degraded();
 }
 
-std::vector<Prediction> Predictor::predict_distribution(
-    std::size_t distance) const {
-  PYTHIA_ASSERT(distance >= 1);
-  std::vector<Prediction> out;
-  if (predictions_suppressed() || candidates_.empty()) return out;
-
+double Predictor::accumulate_votes(std::size_t distance) const {
   // Simulate the future of every candidate (paper §II-C: "predicting
   // future events boils down to simulating the future execution from a
-  // copy of the current progress sequences").
-  std::unordered_map<TerminalId, double> votes;
+  // copy of the current progress sequences"). Votes land in a flat,
+  // reused scratch vector — candidate counts are capped at
+  // max_candidates, so the linear terminal lookup is a handful of
+  // comparisons and the whole pass makes no allocator calls.
+  vote_scratch_.clear();
   double total = 0.0;
   for (const ProgressPath& candidate : candidates_) {
-    ProgressPath future = candidate;
+    future_scratch_ = candidate;
     const double weight = static_cast<double>(candidate.weight());
     bool alive = true;
     for (std::size_t step = 0; step < distance; ++step) {
-      if (!future.advance(grammar_)) {
+      if (!future_scratch_.advance(grammar_)) {
         alive = false;
         break;
       }
     }
     if (!alive) continue;
-    votes[future.terminal()] += weight;
+    const TerminalId event = future_scratch_.terminal();
+    bool merged = false;
+    for (Prediction& vote : vote_scratch_) {
+      if (vote.event == event) {
+        vote.probability += weight;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) vote_scratch_.push_back({event, weight});
     total += weight;
   }
-  if (total <= 0.0) return out;
-
-  out.reserve(votes.size());
-  for (const auto& [event, weight] : votes) {
-    out.push_back({event, weight / total});
+  if (total > 0.0) {
+    for (Prediction& vote : vote_scratch_) vote.probability /= total;
   }
+  return total;
+}
+
+std::vector<Prediction> Predictor::predict_distribution(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  std::vector<Prediction> out;
+  if (predictions_suppressed() || candidates_.empty()) return out;
+  if (accumulate_votes(distance) <= 0.0) return out;
+  out.assign(vote_scratch_.begin(), vote_scratch_.end());
   std::stable_sort(out.begin(), out.end(),
                    [](const Prediction& a, const Prediction& b) {
                      return a.probability > b.probability;
@@ -190,9 +228,16 @@ std::vector<Prediction> Predictor::predict_distribution(
 }
 
 std::optional<Prediction> Predictor::predict(std::size_t distance) const {
-  std::vector<Prediction> distribution = predict_distribution(distance);
-  if (distribution.empty()) return std::nullopt;
-  return distribution.front();
+  PYTHIA_ASSERT(distance >= 1);
+  if (predictions_suppressed() || candidates_.empty()) return std::nullopt;
+  if (accumulate_votes(distance) <= 0.0) return std::nullopt;
+  // First maximum in first-seen order — the element stable_sort would put
+  // in front — without materializing the sorted distribution.
+  const Prediction* best = &vote_scratch_.front();
+  for (const Prediction& vote : vote_scratch_) {
+    if (vote.probability > best->probability) best = &vote;
+  }
+  return *best;
 }
 
 std::vector<TerminalId> Predictor::predict_sequence(std::size_t count) const {
@@ -230,7 +275,8 @@ std::optional<double> Predictor::predict_time_ns(std::size_t distance) const {
   double weighted_sum = 0.0;
   double total_weight = 0.0;
   for (const ProgressPath& candidate : candidates_) {
-    ProgressPath future = candidate;
+    ProgressPath& future = future_scratch_;
+    future = candidate;
     const double weight = static_cast<double>(candidate.weight());
     double elapsed = 0.0;
     bool alive = true;

@@ -161,7 +161,10 @@ class Predictor {
 
  private:
   void anchor(TerminalId event);
-  void dedupe_and_cap(std::vector<ProgressPath>& paths) const;
+  void dedupe_and_cap(std::vector<ProgressPath>& paths);
+  /// Simulates every candidate `distance` steps ahead into vote_scratch_
+  /// (probabilities normalized, first-seen order). Returns total weight.
+  double accumulate_votes(std::size_t distance) const;
   bool predictions_suppressed() const {
     return options_.breaker.enabled && health_ != Health::kHealthy;
   }
@@ -173,6 +176,20 @@ class Predictor {
   Options options_;
   std::vector<ProgressPath> candidates_;
   Stats stats_;
+
+  // Reusable hot-path scratch: observe()/predict() cycle these buffers
+  // instead of allocating per event; after warm-up the steady state makes
+  // zero allocator calls (asserted by tests, measured by bench/regress).
+  std::vector<ProgressPath> scratch_paths_;   ///< advanced / anchored set
+  std::vector<std::uint64_t> seen_hashes_;    ///< dedupe working set
+  struct RankEntry {
+    std::uint64_t weight;
+    std::uint32_t index;
+  };
+  std::vector<RankEntry> rank_scratch_;       ///< cap-selection ordering
+  std::vector<ProgressPath> sorted_scratch_;  ///< cap-selection output
+  mutable std::vector<Prediction> vote_scratch_;
+  mutable ProgressPath future_scratch_;       ///< per-candidate simulation
 
   // Breaker state.
   Health health_ = Health::kHealthy;

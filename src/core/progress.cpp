@@ -5,13 +5,16 @@
 
 namespace pythia {
 
+namespace {
+using PathChain = support::SmallVec<PathElement, ProgressPath::kInlineDepth>;
+}  // namespace
+
 ProgressPath ProgressPath::begin(const Grammar& grammar) {
-  std::vector<PathElement> elements;
   const Rule* rule = grammar.root();
   if (rule->head == nullptr) return ProgressPath{};
   // Descend along rule heads to the first terminal, building the path
   // root-last.
-  std::vector<PathElement> downward;
+  PathChain downward;
   const Node* node = rule->head;
   while (true) {
     downward.push_back({node, 0});
@@ -20,8 +23,11 @@ ProgressPath ProgressPath::begin(const Grammar& grammar) {
     PYTHIA_ASSERT(inner != nullptr && inner->head != nullptr);
     node = inner->head;
   }
-  elements.assign(downward.rbegin(), downward.rend());
-  return ProgressPath{std::move(elements)};
+  ProgressPath path;
+  for (std::size_t i = downward.size(); i > 0; --i) {
+    path.elements_.push_back(downward[i - 1]);
+  }
+  return path;
 }
 
 bool ProgressPath::advance(const Grammar& grammar) {
@@ -46,15 +52,14 @@ bool ProgressPath::advance(const Grammar& grammar) {
     elements_.clear();
     return false;
   }
-  elements_.erase(elements_.begin(),
-                  elements_.begin() + static_cast<std::ptrdiff_t>(level));
+  elements_.erase_prefix(level);
 
   // Descend to the first terminal of the new front element (fig. 5d).
   while (elements_.front().node->sym.is_rule()) {
     const Rule* rule =
         grammar.rule_by_id(elements_.front().node->sym.rule_id());
     PYTHIA_ASSERT(rule != nullptr && rule->head != nullptr);
-    elements_.insert(elements_.begin(), {rule->head, 0});
+    elements_.push_front({rule->head, 0});
   }
   return true;
 }
@@ -83,11 +88,12 @@ namespace {
 // Recursively extends `chain` (terminal-first, currently ending inside
 // `owner`) upwards through every usage site until the root is reached.
 void extend_upward(const Grammar& grammar, const Rule* owner,
-                   std::vector<PathElement>& chain, std::size_t limit,
+                   PathChain& chain, std::size_t limit,
                    std::vector<ProgressPath>& out) {
   if (out.size() >= limit) return;
   if (owner == grammar.root()) {
-    out.emplace_back(chain);
+    out.emplace_back();
+    out.back().assign(chain.data(), chain.size());
     return;
   }
   for (const Node* user : owner->users) {
@@ -105,16 +111,15 @@ void ProgressPath::enumerate_occurrences(const Grammar& grammar,
                                          std::vector<ProgressPath>& out) {
   PYTHIA_ASSERT_MSG(grammar.finalized(),
                     "enumerate_occurrences requires finalize()");
+  PathChain chain;
   for (const Node* node : grammar.occurrences_of(event)) {
-    std::vector<PathElement> chain;
+    chain.clear();
     chain.push_back({node, 0});
     extend_upward(grammar, node->owner, chain, limit, out);
     if (node->exp > 1) {
       // End-of-run phase: the next event differs from the mid-run one.
-      chain.back().rep = node->exp - 1;
-      // chain currently holds only the terminal element again.
-      chain.resize(1);
-      chain[0] = {node, node->exp - 1};
+      chain.clear();
+      chain.push_back({node, node->exp - 1});
       extend_upward(grammar, node->owner, chain, limit, out);
     }
     if (out.size() >= limit) return;

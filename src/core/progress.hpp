@@ -11,6 +11,7 @@
 
 #include "core/grammar.hpp"
 #include "core/symbol.hpp"
+#include "support/small_vec.hpp"
 
 namespace pythia {
 
@@ -31,9 +32,21 @@ struct PathElement {
 /// progress sequence "aAB").
 class ProgressPath {
  public:
+  /// Paths this deep or shallower live entirely inline: copying and
+  /// advancing them in the predictor's per-event loop touches no allocator
+  /// (real grammars nest a handful of levels; see docs/PERF.md).
+  static constexpr std::size_t kInlineDepth = 12;
+
   ProgressPath() = default;
-  explicit ProgressPath(std::vector<PathElement> elements)
-      : elements_(std::move(elements)) {}
+  explicit ProgressPath(const std::vector<PathElement>& elements) {
+    elements_.assign(elements.data(), elements.size());
+  }
+
+  /// Replaces the contents (allocation-free while `count` fits the
+  /// current capacity). Used by the enumeration/anchoring hot path.
+  void assign(const PathElement* data, std::size_t count) {
+    elements_.assign(data, count);
+  }
 
   /// Anchored position of the very first event of the trace.
   static ProgressPath begin(const Grammar& grammar);
@@ -82,7 +95,7 @@ class ProgressPath {
   std::uint64_t suffix_key(std::size_t levels) const;
 
  private:
-  std::vector<PathElement> elements_;
+  support::SmallVec<PathElement, kInlineDepth> elements_;
 };
 
 }  // namespace pythia

@@ -38,8 +38,14 @@ class Recorder {
   void record(TerminalId event, std::uint64_t now_ns = 0) {
     grammar_.append(event);
     if (options_.record_timestamps) {
-      events_.push_back(event);
-      times_ns_.push_back(now_ns);
+      // Packed single-vector log (12 bytes/event on one stream) with
+      // explicit geometric growth: one reserve per doubling, no
+      // per-event reallocation check beyond the capacity test.
+      if (log_.size() == log_.capacity()) {
+        log_.reserve(log_.empty() ? kInitialLogCapacity
+                                  : log_.capacity() * 2);
+      }
+      log_.push_back(TimedEvent::make(event, now_ns));
     }
   }
 
@@ -52,17 +58,18 @@ class Recorder {
   ThreadTrace finish() && {
     grammar_.finalize();
     TimingModel timing;
-    if (options_.record_timestamps && !events_.empty()) {
-      timing = TimingModel::replay(grammar_, events_, times_ns_);
+    if (options_.record_timestamps && !log_.empty()) {
+      timing = TimingModel::replay(grammar_, log_);
     }
     return ThreadTrace{std::move(grammar_), std::move(timing)};
   }
 
  private:
+  static constexpr std::size_t kInitialLogCapacity = 4096;
+
   Options options_;
   Grammar grammar_;
-  std::vector<TerminalId> events_;
-  std::vector<std::uint64_t> times_ns_;
+  std::vector<TimedEvent> log_;
 };
 
 }  // namespace pythia

@@ -2,10 +2,15 @@
 //
 // One registry is shared by every rank/thread of an instrumented job; the
 // runtime shims intern through this facade and keep a per-shim cache so
-// the lock is only taken the first time a (kind, aux) pair is seen.
+// the registry is only consulted the first time a (kind, aux) pair is
+// seen. Interning is rare after warm-up while decode lookups keep coming,
+// so the facade uses a reader/writer lock: lookups and already-interned
+// hits take a shared lock and proceed in parallel; only the first
+// registration of a kind/event takes the exclusive lock.
 #pragma once
 
 #include <mutex>
+#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 
@@ -18,23 +23,37 @@ class SharedRegistry {
   explicit SharedRegistry(EventRegistry& registry) : registry_(registry) {}
 
   KindId kind(std::string_view name) {
-    std::lock_guard lock(mutex_);
+    {
+      std::shared_lock lock(mutex_);
+      KindId id;
+      if (registry_.find_kind(name, id)) return id;
+    }
+    // Not registered yet (or raced with another registrar): take the
+    // exclusive lock and intern — intern_kind re-checks, so the race is
+    // benign.
+    std::unique_lock lock(mutex_);
     return registry_.intern_kind(name);
   }
 
   TerminalId event(KindId kind, EventAux aux = kNoAux) {
-    std::lock_guard lock(mutex_);
+    {
+      std::shared_lock lock(mutex_);
+      TerminalId id;
+      if (registry_.find_event(kind, aux, id)) return id;
+    }
+    std::unique_lock lock(mutex_);
     return registry_.intern_event(kind, aux);
   }
 
-  /// Locked lookups for consumers that decode predicted events while
-  /// other threads may still be interning.
+  /// Lookups for consumers that decode predicted events while other
+  /// threads may still be interning. Shared lock: decoders never block
+  /// each other, only an in-flight registration.
   KindId kind_of(TerminalId event) {
-    std::lock_guard lock(mutex_);
+    std::shared_lock lock(mutex_);
     return registry_.kind_of(event);
   }
   EventAux aux_of(TerminalId event) {
-    std::lock_guard lock(mutex_);
+    std::shared_lock lock(mutex_);
     return registry_.aux_of(event);
   }
 
@@ -43,7 +62,7 @@ class SharedRegistry {
   EventRegistry& registry() { return registry_; }
 
  private:
-  std::mutex mutex_;
+  std::shared_mutex mutex_;
   EventRegistry& registry_;
 };
 

@@ -25,32 +25,53 @@ std::optional<double> TimingModel::expect_ns(const ProgressPath& path) const {
   return std::nullopt;
 }
 
-TimingModel TimingModel::replay(const Grammar& grammar,
-                                const std::vector<TerminalId>& events,
-                                const std::vector<std::uint64_t>& times_ns) {
-  PYTHIA_ASSERT(events.size() == times_ns.size());
+namespace {
+
+// Shared replay walk; EventAt/TimeAt read entry i of whatever log layout
+// the caller recorded.
+template <typename EventAt, typename TimeAt>
+TimingModel replay_impl(const Grammar& grammar, std::size_t count,
+                        EventAt event_at, TimeAt time_at) {
   PYTHIA_ASSERT_MSG(grammar.finalized(), "replay requires finalize()");
   TimingModel model;
-  if (events.empty()) return model;
+  if (count == 0) return model;
 
   ProgressPath path = ProgressPath::begin(grammar);
-  std::uint64_t previous_ns = times_ns.front();
-  for (std::size_t i = 0; i < events.size(); ++i) {
+  std::uint64_t previous_ns = time_at(0);
+  for (std::size_t i = 0; i < count; ++i) {
     PYTHIA_ASSERT_MSG(!path.empty(), "trace shorter than event log");
-    PYTHIA_ASSERT_MSG(path.terminal() == events[i],
+    PYTHIA_ASSERT_MSG(path.terminal() == event_at(i),
                       "event log diverges from grammar");
     if (i > 0) {
       // The first event has no predecessor; it contributes no duration.
       model.add_sample(path,
-                       static_cast<double>(times_ns[i] - previous_ns));
+                       static_cast<double>(time_at(i) - previous_ns));
     }
-    previous_ns = times_ns[i];
-    if (i + 1 < events.size()) {
+    previous_ns = time_at(i);
+    if (i + 1 < count) {
       const bool more = path.advance(grammar);
       PYTHIA_ASSERT(more);
     }
   }
   return model;
+}
+
+}  // namespace
+
+TimingModel TimingModel::replay(const Grammar& grammar,
+                                const std::vector<TerminalId>& events,
+                                const std::vector<std::uint64_t>& times_ns) {
+  PYTHIA_ASSERT(events.size() == times_ns.size());
+  return replay_impl(
+      grammar, events.size(), [&](std::size_t i) { return events[i]; },
+      [&](std::size_t i) { return times_ns[i]; });
+}
+
+TimingModel TimingModel::replay(const Grammar& grammar,
+                                const std::vector<TimedEvent>& log) {
+  return replay_impl(
+      grammar, log.size(), [&](std::size_t i) { return log[i].event; },
+      [&](std::size_t i) { return log[i].time_ns(); });
 }
 
 }  // namespace pythia

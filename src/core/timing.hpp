@@ -18,6 +18,25 @@
 
 namespace pythia {
 
+/// One entry of the recorder's raw timestamp log: the event id plus its
+/// timestamp split into two 32-bit halves. The split keeps the struct at
+/// 12 bytes with natural alignment — a packed single-vector log instead of
+/// two parallel vectors (event ids and times land on the same cache line).
+struct TimedEvent {
+  TerminalId event = 0;
+  std::uint32_t time_lo = 0;
+  std::uint32_t time_hi = 0;
+
+  static TimedEvent make(TerminalId event, std::uint64_t time_ns) {
+    return {event, static_cast<std::uint32_t>(time_ns),
+            static_cast<std::uint32_t>(time_ns >> 32)};
+  }
+  std::uint64_t time_ns() const {
+    return (static_cast<std::uint64_t>(time_hi) << 32) | time_lo;
+  }
+};
+static_assert(sizeof(TimedEvent) == 12);
+
 class TimingModel {
  public:
   /// Maximum suffix depth recorded per event (paper examples use 2–3
@@ -52,6 +71,10 @@ class TimingModel {
   static TimingModel replay(const Grammar& grammar,
                             const std::vector<TerminalId>& events,
                             const std::vector<std::uint64_t>& times_ns);
+
+  /// Same, over the recorder's packed log.
+  static TimingModel replay(const Grammar& grammar,
+                            const std::vector<TimedEvent>& log);
 
   // Serialization access (trace_io).
   const std::unordered_map<std::uint64_t, DurationStat>& contexts() const {

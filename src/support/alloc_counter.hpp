@@ -1,0 +1,52 @@
+// Pluggable counting-allocator hook.
+//
+// The zero-allocation claims on the record/predict hot paths are *measured*,
+// not assumed: link the `pythia_alloc_hook` library into a binary and every
+// global operator new/delete bumps the counters below. The hook is a
+// separate translation unit, so the core library and ordinary binaries pay
+// nothing; benches (`bench/regress`) and the allocation tests link it to
+// report bytes-allocated-per-event and to assert steady-state zero.
+//
+// Counters are relaxed atomics: cross-thread totals are eventually
+// consistent, which is all a benchmark needs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pythia::support {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_dealloc_count{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
+inline std::atomic<bool> g_alloc_hook_linked{false};
+}  // namespace detail
+
+struct AllocSnapshot {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+
+  friend AllocSnapshot operator-(const AllocSnapshot& a,
+                                 const AllocSnapshot& b) {
+    return {a.allocations - b.allocations,
+            a.deallocations - b.deallocations, a.bytes - b.bytes};
+  }
+};
+
+/// Current totals since process start (all zero when the hook TU is not
+/// linked into this binary).
+inline AllocSnapshot alloc_snapshot() {
+  return {detail::g_alloc_count.load(std::memory_order_relaxed),
+          detail::g_dealloc_count.load(std::memory_order_relaxed),
+          detail::g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+/// True when the counting operator new/delete overrides are linked in —
+/// callers use this to distinguish "zero allocations" from "not measuring".
+inline bool alloc_hook_active() {
+  return detail::g_alloc_hook_linked.load(std::memory_order_relaxed);
+}
+
+}  // namespace pythia::support

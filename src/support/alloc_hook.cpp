@@ -1,0 +1,92 @@
+// Global operator new/delete overrides that feed the counters declared in
+// support/alloc_counter.hpp. Link `pythia_alloc_hook` into a target to
+// activate them; see that header for the contract.
+#include <cstdlib>
+#include <new>
+
+#include "support/alloc_counter.hpp"
+
+namespace {
+
+struct HookMarker {
+  HookMarker() {
+    pythia::support::detail::g_alloc_hook_linked.store(
+        true, std::memory_order_relaxed);
+  }
+};
+HookMarker g_marker;
+
+void* counted_alloc(std::size_t size) {
+  using namespace pythia::support::detail;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* ptr = std::malloc(size > 0 ? size : 1);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t alignment) {
+  using namespace pythia::support::detail;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* ptr = std::aligned_alloc(alignment, rounded > 0 ? rounded : alignment);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void counted_free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  pythia::support::detail::g_dealloc_count.fetch_add(
+      1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}

@@ -1,0 +1,173 @@
+// Open-addressing flat hash map for the grammar hot paths.
+//
+// std::unordered_map pays a heap node per entry and chases a pointer per
+// probe; on the digram index that cost lands on *every* Grammar::append().
+// FlatMap keeps keys and values in two flat arrays with power-of-two
+// capacity and linear probing, so a lookup is one mix, one mask, and a
+// forward scan over contiguous memory. Deletion is tombstone-free: the
+// backward-shift algorithm moves displaced entries into the hole, so probe
+// sequences never grow stale and the table never needs a cleanup rehash.
+//
+// Constraints (deliberate, for speed):
+//   - Key and Value must be trivially copyable (entries move via memcpy
+//     during rehash and backward shift).
+//   - No iterator stability; `for_each` visits entries in table order.
+//   - Not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace pythia::support {
+
+/// Default hash: mix64 finalizer. Identity hashes (what libstdc++ uses for
+/// integers) are not enough here — power-of-two masking would turn the
+/// structured bit patterns of digram keys into long collision clusters.
+struct Mix64Hash {
+  std::uint64_t operator()(std::uint64_t key) const { return mix64(key); }
+};
+
+template <typename Key, typename Value, typename Hash = Mix64Hash>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<Key>);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  explicit FlatMap(std::size_t initial_capacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    keys_.resize(cap);
+    values_.resize(cap);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  void clear() {
+    used_.assign(used_.size(), 0);
+    size_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  Value* find(const Key& key) {
+    const std::size_t slot = find_slot(key);
+    return slot != kNone ? &values_[slot] : nullptr;
+  }
+  const Value* find(const Key& key) const {
+    const std::size_t slot = find_slot(key);
+    return slot != kNone ? &values_[slot] : nullptr;
+  }
+
+  bool contains(const Key& key) const { return find_slot(key) != kNone; }
+
+  /// Inserts or overwrites.
+  void insert_or_assign(const Key& key, const Value& value) {
+    if ((size_ + 1) * 4 > capacity() * 3) grow();
+    std::size_t slot = Hash{}(key)&mask_;
+    while (used_[slot]) {
+      if (keys_[slot] == key) {
+        values_[slot] = value;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    used_[slot] = 1;
+    keys_[slot] = key;
+    values_[slot] = value;
+    ++size_;
+  }
+
+  /// Removes `key`; returns whether it was present. Backward-shift: every
+  /// entry in the probe cluster after the hole moves back iff its home
+  /// slot is at or before the hole, so lookups never cross a gap.
+  bool erase(const Key& key) {
+    const std::size_t slot = find_slot(key);
+    if (slot == kNone) return false;
+    erase_slot(slot);
+    return true;
+  }
+
+  /// Removes `key` only when its value satisfies `pred` (single probe for
+  /// the common "erase if it still points at me" pattern).
+  template <typename Pred>
+  bool erase_if(const Key& key, Pred pred) {
+    const std::size_t slot = find_slot(key);
+    if (slot == kNone || !pred(values_[slot])) return false;
+    erase_slot(slot);
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t slot = 0; slot < used_.size(); ++slot) {
+      if (used_[slot]) fn(keys_[slot], values_[slot]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t find_slot(const Key& key) const {
+    std::size_t slot = Hash{}(key)&mask_;
+    while (used_[slot]) {
+      if (keys_[slot] == key) return slot;
+      slot = (slot + 1) & mask_;
+    }
+    return kNone;
+  }
+
+  void erase_slot(std::size_t hole) {
+    std::size_t slot = hole;
+    while (true) {
+      slot = (slot + 1) & mask_;
+      if (!used_[slot]) break;
+      const std::size_t home = Hash{}(keys_[slot]) & mask_;
+      // `slot` can fill the hole iff its home precedes the hole in probe
+      // order, i.e. the hole lies within [home, slot).
+      if (((slot - home) & mask_) >= ((slot - hole) & mask_)) {
+        keys_[hole] = keys_[slot];
+        values_[hole] = values_[slot];
+        hole = slot;
+      }
+    }
+    used_[hole] = 0;
+    --size_;
+  }
+
+  void grow() {
+    const std::size_t old_cap = capacity();
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+
+    const std::size_t cap = old_cap * 2;
+    keys_.resize(cap);
+    values_.resize(cap);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (!old_used[i]) continue;
+      std::size_t slot = Hash{}(old_keys[i]) & mask_;
+      while (used_[slot]) slot = (slot + 1) & mask_;
+      used_[slot] = 1;
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pythia::support

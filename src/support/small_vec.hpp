@@ -1,0 +1,147 @@
+// Small vector with inline storage for the prediction hot path.
+//
+// Progress sequences are as deep as the grammar is nested — almost always a
+// handful of levels. Storing their elements inline means copying, advancing
+// and re-anchoring paths in Predictor::observe() touches no allocator at
+// all; only pathologically deep grammars spill to the heap, and a spilled
+// SmallVec reuses its heap capacity on later assignments.
+//
+// Restricted to trivially copyable element types (elements move via
+// memcpy; no destructors run on removal).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "support/assert.hpp"
+
+namespace pythia::support {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N >= 1);
+
+ public:
+  SmallVec() = default;
+  ~SmallVec() {
+    if (data_ != inline_data()) ::operator delete(data_);
+  }
+
+  SmallVec(const SmallVec& other) { assign(other.data_, other.size_); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data_, other.size_);
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      if (data_ != inline_data()) ::operator delete(data_);
+      steal(other);
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) reserve(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  void pop_back() {
+    PYTHIA_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  /// Replaces the contents with [src, src + count). Reuses existing
+  /// storage whenever it is large enough.
+  void assign(const T* src, std::size_t count) {
+    if (count > capacity_) reserve_exact(count);
+    std::memmove(data_, src, count * sizeof(T));
+    size_ = count;
+  }
+
+  /// Drops the first `count` elements (the shallow levels of a path).
+  void erase_prefix(std::size_t count) {
+    PYTHIA_ASSERT(count <= size_);
+    if (count == 0) return;
+    std::memmove(data_, data_ + count, (size_ - count) * sizeof(T));
+    size_ -= count;
+  }
+
+  /// Inserts at the front (descending one grammar level).
+  void push_front(const T& value) {
+    if (size_ == capacity_) reserve(capacity_ * 2);
+    std::memmove(data_ + 1, data_, size_ * sizeof(T));
+    data_[0] = value;
+    ++size_;
+  }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) reserve_exact(wanted);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_); }
+
+  void reserve_exact(std::size_t wanted) {
+    T* grown = static_cast<T*>(::operator new(wanted * sizeof(T)));
+    std::memcpy(grown, data_, size_ * sizeof(T));
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = grown;
+    capacity_ = wanted;
+  }
+
+  void steal(SmallVec& other) {
+    if (other.data_ == other.inline_data()) {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace pythia::support

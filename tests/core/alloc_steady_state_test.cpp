@@ -1,0 +1,116 @@
+// Asserts the zero-allocation steady-state contract of the hot paths:
+// after warm-up, Grammar::append() on a loop trace, Predictor::observe()
+// and Predictor::predict() must make no allocator calls at all. The test
+// binary links pythia_alloc_hook, so every global operator new/delete is
+// counted; a regression that sneaks a per-event allocation back in fails
+// here, not just in the bench numbers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/predictor.hpp"
+#include "support/alloc_counter.hpp"
+
+namespace pythia {
+namespace {
+
+std::vector<TerminalId> loop_trace(std::size_t events) {
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  while (out.size() < events) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 4u, 5u, 5u}) {
+      if (out.size() >= events) break;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+class AllocSteadyState : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!support::alloc_hook_active()) {
+      GTEST_SKIP() << "pythia_alloc_hook not linked into this binary";
+    }
+  }
+};
+
+TEST_F(AllocSteadyState, GrammarAppendIsAllocationFree) {
+  const std::vector<TerminalId> warmup = loop_trace(14000);
+  const std::vector<TerminalId> tail = loop_trace(1400);
+  Grammar grammar;
+  for (TerminalId t : warmup) grammar.append(t);
+
+  const support::AllocSnapshot before = support::alloc_snapshot();
+  for (TerminalId t : tail) grammar.append(t);
+  const support::AllocSnapshot delta = support::alloc_snapshot() - before;
+
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.allocations << " allocations (" << delta.bytes
+      << " bytes) across " << tail.size() << " steady-state appends";
+}
+
+TEST_F(AllocSteadyState, ObserveAndPredictAreAllocationFree) {
+  const std::vector<TerminalId> trace = loop_trace(14000);
+  Grammar grammar;
+  for (TerminalId t : trace) grammar.append(t);
+  grammar.finalize();
+
+  Predictor predictor(grammar);
+  // Warm-up pass seats every scratch buffer at its high-water capacity.
+  for (TerminalId t : trace) predictor.observe(t);
+
+  support::AllocSnapshot before = support::alloc_snapshot();
+  for (TerminalId t : trace) predictor.observe(t);
+  support::AllocSnapshot delta = support::alloc_snapshot() - before;
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.allocations << " allocations across " << trace.size()
+      << " steady-state observes";
+
+  // The pass above parked the tracker at the end of the reference
+  // sequence, where predict(1) rightly has no future; step back into the
+  // loop body before measuring predictions. The first predict() of the
+  // predictor's life seats the vote scratch buffer — that one-time
+  // warm-up is allowed, per-call allocations are not.
+  for (TerminalId t : {0u, 1u, 2u}) predictor.observe(t);
+  ASSERT_TRUE(predictor.predict(1).has_value());
+
+  before = support::alloc_snapshot();
+  for (int i = 0; i < 1000; ++i) {
+    const auto prediction = predictor.predict(1);
+    ASSERT_TRUE(prediction.has_value());
+  }
+  delta = support::alloc_snapshot() - before;
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.allocations << " allocations across 1000 predict(1) calls";
+}
+
+TEST_F(AllocSteadyState, ReanchorReusesScratchCapacity) {
+  // Divergence is the expensive path (anchor enumerates occurrence
+  // paths); once its buffers are warm, bouncing between two loop phases
+  // must also be allocation-free.
+  const std::vector<TerminalId> trace = loop_trace(14000);
+  Grammar grammar;
+  for (TerminalId t : trace) grammar.append(t);
+  grammar.finalize();
+
+  Predictor predictor(grammar);
+  auto bounce = [&] {
+    for (int round = 0; round < 50; ++round) {
+      for (TerminalId t : {0u, 1u, 2u}) predictor.observe(t);
+      for (TerminalId t : {4u, 5u, 5u}) predictor.observe(t);  // jump
+    }
+  };
+  bounce();  // warm up, including the re-anchor path
+
+  const support::AllocSnapshot before = support::alloc_snapshot();
+  bounce();
+  const support::AllocSnapshot delta = support::alloc_snapshot() - before;
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.allocations << " allocations across re-anchoring rounds";
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,251 @@
+// FlatMap correctness: differential fuzz against std::unordered_map plus
+// deterministic backward-shift deletion edge cases (the one part of an
+// open-addressing table that is easy to get subtly wrong), and a grammar
+// fuzz that cross-checks the flattened occurrence index against the
+// grammar's own structure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "support/flat_map.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+using support::FlatMap;
+using support::Rng;
+
+TEST(FlatMap, InsertFindOverwriteErase) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7u), nullptr);
+
+  map.insert_or_assign(7, 70);
+  map.insert_or_assign(8, 80);
+  ASSERT_NE(map.find(7u), nullptr);
+  EXPECT_EQ(*map.find(7u), 70);
+  EXPECT_EQ(map.size(), 2u);
+
+  map.insert_or_assign(7, 71);  // overwrite, not duplicate
+  EXPECT_EQ(*map.find(7u), 71);
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_EQ(map.find(7u), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(8));
+}
+
+TEST(FlatMap, KeyZeroIsOrdinary) {
+  // used_ flags mean key 0 needs no sentinel treatment; prove it.
+  FlatMap<std::uint64_t, int> map;
+  map.insert_or_assign(0, 42);
+  ASSERT_NE(map.find(0u), nullptr);
+  EXPECT_EQ(*map.find(0u), 42);
+  EXPECT_TRUE(map.erase(0));
+  EXPECT_EQ(map.find(0u), nullptr);
+}
+
+TEST(FlatMap, EraseIfChecksValue) {
+  FlatMap<std::uint64_t, int> map;
+  map.insert_or_assign(5, 50);
+  EXPECT_FALSE(map.erase_if(5, [](int v) { return v == 99; }));
+  EXPECT_TRUE(map.contains(5));
+  EXPECT_TRUE(map.erase_if(5, [](int v) { return v == 50; }));
+  EXPECT_FALSE(map.contains(5));
+  EXPECT_FALSE(map.erase_if(5, [](int) { return true; }));  // absent
+}
+
+TEST(FlatMap, GrowPreservesEntries) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map.insert_or_assign(k, k * k);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k * k);
+  }
+}
+
+// Identity hash exposes the raw probe sequence, letting the tests place
+// keys in chosen slots (home slot = key % capacity, capacity 16 initially).
+struct IdentityHash {
+  std::uint64_t operator()(std::uint64_t key) const { return key; }
+};
+using ProbeMap = FlatMap<std::uint64_t, int, IdentityHash>;
+
+TEST(FlatMap, BackwardShiftClosesCollisionCluster) {
+  // Keys 1, 17, 33 all home at slot 1 -> occupy slots 1, 2, 3. Erasing
+  // the head must shift both displaced entries back or lookups would hit
+  // the empty slot and stop early.
+  ProbeMap map;
+  map.insert_or_assign(1, 10);
+  map.insert_or_assign(17, 170);
+  map.insert_or_assign(33, 330);
+  ASSERT_TRUE(map.erase(1));
+  ASSERT_NE(map.find(17u), nullptr);
+  EXPECT_EQ(*map.find(17u), 170);
+  ASSERT_NE(map.find(33u), nullptr);
+  EXPECT_EQ(*map.find(33u), 330);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, BackwardShiftSkipsEntriesAtHome) {
+  // Slot layout: 1 -> key 1 (home), 2 -> key 2 (home), 3 -> key 17
+  // (displaced from 1). Erasing key 1 must NOT move key 2 (it is at its
+  // home slot) but must still pull 17 across it into the hole.
+  ProbeMap map;
+  map.insert_or_assign(1, 10);
+  map.insert_or_assign(2, 20);
+  map.insert_or_assign(17, 170);
+  ASSERT_TRUE(map.erase(1));
+  ASSERT_NE(map.find(2u), nullptr);
+  EXPECT_EQ(*map.find(2u), 20);
+  ASSERT_NE(map.find(17u), nullptr);
+  EXPECT_EQ(*map.find(17u), 170);
+}
+
+TEST(FlatMap, BackwardShiftWrapsAroundTableEnd) {
+  // Keys 15, 31, 47 home at slot 15 of a 16-slot table -> slots 15, 0, 1.
+  // The shift arithmetic must treat the wrap correctly in both the probe
+  // and the (slot - home) distance computation.
+  ProbeMap map;
+  map.insert_or_assign(15, 1);
+  map.insert_or_assign(31, 2);
+  map.insert_or_assign(47, 3);
+  ASSERT_TRUE(map.erase(15));
+  EXPECT_EQ(*map.find(31u), 2);
+  EXPECT_EQ(*map.find(47u), 3);
+  ASSERT_TRUE(map.erase(31));
+  EXPECT_EQ(*map.find(47u), 3);
+}
+
+// Grows then shrinks the key space so the fuzz revisits dense clusters.
+std::uint64_t striding(int step) {
+  return 64 + static_cast<std::uint64_t>((step / 1000) % 7) * 97;
+}
+
+TEST(FlatMap, DifferentialFuzzAgainstUnorderedMap) {
+  // Small key space forces constant collision, reinsertion after erase,
+  // clustering, and several grows; every operation's result and the full
+  // table contents are checked against std::unordered_map.
+  Rng rng(0xF1A7F1A7ULL);
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+  for (int step = 0; step < 100000; ++step) {
+    const std::uint64_t key = rng.below(striding(step));
+    switch (rng.below(5)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const std::uint64_t value = rng();
+        map.insert_or_assign(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 3: {  // conditional erase
+        const auto it = ref.find(key);
+        const bool should = it != ref.end() && (it->second & 1) == 0;
+        EXPECT_EQ(map.erase_if(
+                      key, [](std::uint64_t v) { return (v & 1) == 0; }),
+                  should);
+        if (should) ref.erase(it);
+        break;
+      }
+      default: {  // lookup
+        const std::uint64_t* found = map.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << "key " << key;
+        if (found != nullptr) EXPECT_EQ(*found, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+
+    if (step % 10000 == 9999) {
+      // Full-content sweep: every table entry must exist in the reference.
+      std::size_t visited = 0;
+      map.for_each([&](std::uint64_t k, std::uint64_t v) {
+        const auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+        ++visited;
+      });
+      EXPECT_EQ(visited, ref.size());
+    }
+  }
+}
+
+TEST(FlatMapGrammar, OccurrenceIndexMatchesGrammarStructure) {
+  // Fuzz the flattened occurrence index: for random traces, the spans
+  // returned by occurrences_of() must (a) pass check_invariants, (b)
+  // cover every terminal exactly once across all spans, and (c) expand —
+  // weighting each node by exp * owner occurrences — to the trace's
+  // per-terminal counts.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 0x9E3779B9ULL);
+    const std::uint64_t alphabet = 2 + rng.below(12);
+    std::vector<TerminalId> trace;
+    const std::size_t length = 200 + rng.below(3000);
+    while (trace.size() < length) {
+      if (rng.chance(0.5) && !trace.empty()) {
+        // replay a recent window to provoke rules
+        const std::size_t window = 1 + rng.below(8);
+        const std::size_t start =
+            trace.size() > window ? trace.size() - window : 0;
+        const std::size_t end = trace.size();
+        for (std::size_t i = start; i < end && trace.size() < length; ++i) {
+          trace.push_back(trace[i]);
+        }
+      } else {
+        trace.push_back(static_cast<TerminalId>(rng.below(alphabet)));
+      }
+    }
+
+    Grammar grammar;
+    for (TerminalId t : trace) grammar.append(t);
+    grammar.finalize();
+    grammar.check_invariants();
+
+    std::vector<std::uint64_t> expected(alphabet, 0);
+    for (TerminalId t : trace) ++expected[t];
+
+    std::size_t nodes_spanned = 0;
+    for (TerminalId t = 0; t < alphabet; ++t) {
+      std::uint64_t unfolded = 0;
+      for (const Node* node : grammar.occurrences_of(t)) {
+        ASSERT_TRUE(node->sym.is_terminal());
+        ASSERT_EQ(node->sym.terminal_id(), t);
+        unfolded += node->exp * node->owner->occurrences;
+        ++nodes_spanned;
+      }
+      EXPECT_EQ(unfolded, expected[t]) << "seed " << seed << " terminal "
+                                       << t;
+    }
+    // Spans must partition the terminal nodes: no terminal node of any
+    // live rule may be missing or double-counted.
+    std::size_t terminal_nodes = 0;
+    for (const Rule* rule : grammar.rules()) {
+      for (const Node* node = rule->head; node != nullptr;
+           node = node->next) {
+        if (node->sym.is_terminal()) ++terminal_nodes;
+      }
+    }
+    EXPECT_EQ(nodes_spanned, terminal_nodes) << "seed " << seed;
+
+    // Out-of-range terminals yield empty spans, not UB.
+    EXPECT_TRUE(grammar.occurrences_of(
+        static_cast<TerminalId>(alphabet + 100)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace pythia
