@@ -19,12 +19,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/grammar.hpp"
 #include "core/predictor.hpp"
+#include "core/session.hpp"
 #include "support/alloc_counter.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
@@ -111,8 +113,8 @@ double finalize_ns(const std::vector<TerminalId>& trace, int reps) {
   return best;
 }
 
-void emit_append(bench::JsonWriter& json, const char* name,
-                 const std::vector<TerminalId>& trace, int reps) {
+double emit_append(bench::JsonWriter& json, const char* name,
+                   const std::vector<TerminalId>& trace, int reps) {
   const double ns = append_ns(trace, reps);
   const double per_event = ns / static_cast<double>(trace.size());
   json.begin_object(name)
@@ -122,6 +124,58 @@ void emit_append(bench::JsonWriter& json, const char* name,
       .end_object();
   std::printf("  %-24s %8.1f ns/event  (%.2fM events/s)\n", name, per_event,
               1e3 / per_event);
+  return per_event;
+}
+
+struct JournaledAppend {
+  double ns = -1.0;     ///< best journaled wall time across reps
+  double ratio = -1.0;  ///< best per-rep journaled/plain ratio
+};
+
+/// Appending `trace` through a RecordSession — grammar append + framed
+/// journal write on every event. Write-cadence durability (no fsync):
+/// the crash-consistency level the SIGKILL matrix tests. Each rep also
+/// times a plain-grammar pass back-to-back and the overhead ratio is
+/// taken per rep, so CPU frequency drift between the journaled loop and
+/// the earlier append_regular measurement cannot masquerade as journal
+/// cost.
+JournaledAppend journaled_append(const std::vector<TerminalId>& trace,
+                                 int reps) {
+  namespace fs = std::filesystem;
+  JournaledAppend out;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto plain_begin = Clock::now();
+    Grammar plain;
+    for (TerminalId t : trace) plain.append(t);
+    const double plain_ns = elapsed_ns(plain_begin, Clock::now());
+
+    std::error_code ignored;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("pythia_regress_journal_" + std::to_string(rep));
+    fs::remove_all(dir, ignored);
+    SessionOptions options;
+    options.record_timestamps = false;  // match the bare-grammar baseline
+    options.journal.sync_on_seal = false;
+    Result<RecordSession> opened = RecordSession::open(dir.string(), options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "  append_journaled: %s\n",
+                   opened.status().to_string().c_str());
+      return out;
+    }
+    RecordSession session = opened.take();
+    for (int k = 0; k < 6; ++k) {
+      session.intern("k" + std::to_string(k));  // TerminalIds 0..5
+    }
+    const auto begin = Clock::now();
+    for (TerminalId t : trace) session.event(t);
+    const double ns = elapsed_ns(begin, Clock::now());
+    if (out.ns < 0.0 || ns < out.ns) out.ns = ns;
+    const double ratio = ns / plain_ns;
+    if (out.ratio < 0.0 || ratio < out.ratio) out.ratio = ratio;
+    // Abandon without finish(): the bench measures the append path only.
+    fs::remove_all(dir, ignored);
+  }
+  return out;
 }
 
 void emit_percentiles(bench::JsonWriter& json, const char* name,
@@ -198,6 +252,26 @@ int main(int argc, char** argv) {
       irregular_trace(append_events, 99);
   emit_append(json, "append_regular", regular, reps);
   emit_append(json, "append_irregular", irregular, reps);
+
+  // Journaled append: the same regular trace through a RecordSession,
+  // with the overhead ratio measured against a back-to-back plain pass
+  // inside each rep. The acceptance bound is <= 15% overhead; reported,
+  // not gated by --strict (a wall-clock ratio is too noisy for a hard CI
+  // gate on shared runners).
+  const JournaledAppend journaled = journaled_append(regular, reps);
+  if (journaled.ns > 0.0) {
+    const double per_event = journaled.ns / static_cast<double>(regular.size());
+    const double overhead = journaled.ratio - 1.0;
+    json.begin_object("append_journaled")
+        .field("events", static_cast<std::uint64_t>(regular.size()))
+        .field("ns_per_event", per_event)
+        .field("events_per_sec", 1e9 / per_event)
+        .field("overhead_vs_plain_append", overhead)
+        .end_object();
+    std::printf("  %-24s %8.1f ns/event  (%.2fM events/s, %+.1f%% vs plain)\n",
+                "append_journaled", per_event, 1e3 / per_event,
+                overhead * 100.0);
+  }
 
   const double fin_ns = finalize_ns(regular, reps);
   json.begin_object("finalize_regular")

@@ -17,4 +17,12 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target regress >/dev/null
 
-"$BUILD_DIR/bench/regress" --out=BENCH_core.json "$@"
+# Write via a temp file + atomic rename so an interrupted or failing run
+# never leaves a torn BENCH_core.json behind.
+OUT=BENCH_core.json
+TMP=$(mktemp "${OUT}.XXXXXX.tmp")
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD_DIR/bench/regress" --out="$TMP" "$@"
+mv -f "$TMP" "$OUT"
+trap - EXIT

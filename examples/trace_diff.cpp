@@ -2,6 +2,10 @@
 //
 //   ./build/examples/trace_diff <reference.pythia> <other.pythia> [thread]
 //
+// Either argument may also be a record-session *directory* (journal +
+// checkpoints); it is recovered in memory first, so a crashed run can be
+// diffed against its reference without an explicit trace_recover step.
+//
 // Replays the second trace's event stream against the first trace's
 // grammar with PYTHIA-PREDICT and reports how well they agree: the
 // fraction of events tracked by advancing (identical behaviour), the
@@ -17,11 +21,30 @@
 
 #include "core/oracle.hpp"
 #include "core/predictor.hpp"
+#include "core/session.hpp"
 #include "core/trace_io.hpp"
+#include "support/io.hpp"
 
 namespace {
 
 using namespace pythia;
+
+/// Loads a trace file — or recovers a session directory in memory.
+Result<Trace> load_trace_or_session(const std::string& path) {
+  if (support::is_directory(path)) {
+    RecoveryInfo info;
+    Result<Trace> recovered = recover_session(path, &info);
+    if (recovered.ok()) {
+      std::printf("note: %s is a record session (%llu journaled events%s)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(info.journaled_events),
+                  info.torn_bytes > 0 ? ", torn tail truncated in memory"
+                                      : "");
+    }
+    return recovered;
+  }
+  return Trace::try_load(path);
+}
 
 struct DiffReport {
   std::uint64_t events = 0;
@@ -108,13 +131,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Result<Trace> reference_result = Trace::try_load(argv[1]);
+  Result<Trace> reference_result = load_trace_or_session(argv[1]);
   if (!reference_result.ok()) {
     std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
                  reference_result.status().to_string().c_str());
     return 1;
   }
-  Result<Trace> other_result = Trace::try_load(argv[2]);
+  Result<Trace> other_result = load_trace_or_session(argv[2]);
   if (!other_result.ok()) {
     std::fprintf(stderr, "error: cannot load %s: %s\n", argv[2],
                  other_result.status().to_string().c_str());

@@ -1,20 +1,61 @@
 // trace_inspect — command-line tool to examine a .pythia trace file.
 //
 //   ./build/examples/trace_inspect <trace-file> [thread-index]
+//   ./build/examples/trace_inspect <session-dir> [thread-index]
+//   ./build/examples/trace_inspect <journal.pyj>
 //
 // Prints the event registry, per-thread grammar statistics, the grammar
-// itself in the paper's notation, and timing-model coverage. With no
-// arguments, demonstrates on a freshly recorded example trace.
+// itself in the paper's notation, and timing-model coverage. A record
+// *session directory* is recovered in memory first (checkpoint + journal
+// replay) and inspected like a trace; a bare journal file is scanned and
+// summarized. With no arguments, demonstrates on a freshly recorded
+// example trace.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "core/journal.hpp"
 #include "core/oracle.hpp"
+#include "core/session.hpp"
 #include "core/trace_io.hpp"
+#include "support/io.hpp"
 
 namespace {
 
 using namespace pythia;
+
+void print_journal_scan(const char* path, const JournalScan& scan) {
+  std::printf("%s: record-session journal\n", path);
+  std::printf("  segment size:   %zu bytes\n", scan.segment_bytes);
+  std::printf("  segments:       %llu\n",
+              static_cast<unsigned long long>(scan.segments));
+  std::printf("  records:        %zu (%llu events)\n", scan.records.size(),
+              static_cast<unsigned long long>(scan.event_records));
+  std::printf("  valid prefix:   %llu of %llu bytes\n",
+              static_cast<unsigned long long>(scan.valid_bytes),
+              static_cast<unsigned long long>(scan.file_bytes));
+  if (scan.torn) {
+    std::printf("  TORN TAIL:      %llu byte(s) — %s\n",
+                static_cast<unsigned long long>(scan.torn_tail_bytes()),
+                scan.torn_note.c_str());
+  }
+}
+
+int inspect_journal(const char* path) {
+  Result<JournalScan> scanned = scan_journal(path);
+  if (!scanned.ok()) {
+    std::fprintf(stderr, "error: cannot scan %s: %s\n", path,
+                 scanned.status().to_string().c_str());
+    return 1;
+  }
+  print_journal_scan(path, scanned.value());
+  return 0;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 void print_thread(const Trace& trace, std::size_t index) {
   const ThreadTrace& thread = trace.threads[index];
@@ -86,13 +127,40 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Result<Trace> result = Trace::try_load(argv[1]);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
-                 result.status().to_string().c_str());
-    return 1;
+  const std::string arg = argv[1];
+  if (ends_with(arg, ".pyj")) return inspect_journal(argv[1]);
+
+  Trace trace;
+  if (support::is_directory(arg)) {
+    // A session directory: recover in memory and inspect the result.
+    RecoveryInfo info;
+    Result<Trace> recovered = recover_session(arg, &info);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "error: cannot recover session %s: %s\n",
+                   argv[1], recovered.status().to_string().c_str());
+      return 1;
+    }
+    trace = recovered.take();
+    std::printf("%s: record session (%llu journaled events, %s, "
+                "%llu replayed, %llu torn byte(s))\n",
+                argv[1],
+                static_cast<unsigned long long>(info.journaled_events),
+                info.used_checkpoint ? "checkpoint used" : "no checkpoint",
+                static_cast<unsigned long long>(info.replayed_events),
+                static_cast<unsigned long long>(info.torn_bytes));
+    for (const std::string& note : info.notes) {
+      std::printf("  note: %s\n", note.c_str());
+    }
+    std::printf("\n");
+  } else {
+    Result<Trace> result = Trace::try_load(arg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    trace = result.take();
   }
-  const Trace trace = result.take();
 
   std::printf("%s: %zu thread(s)\n", argv[1], trace.threads.size());
   std::printf("registry: %zu kinds, %zu events\n\n",

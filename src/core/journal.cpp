@@ -1,0 +1,440 @@
+#include "core/journal.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "support/crash_point.hpp"
+#include "support/crc32.hpp"
+#include "support/io.hpp"
+
+namespace pythia {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'P', 'Y', 'J', 'R', 'N', 'L', '0', '1'};
+constexpr std::size_t kFileHeaderBytes = 16;
+constexpr std::uint32_t kSegmentMagic = 0x534a5950u;  // "PYJS" LE
+constexpr std::size_t kSegmentHeaderBytes = 24;
+constexpr std::size_t kRecordHeaderBytes = 8;
+constexpr std::size_t kMinSegmentBytes = 256;
+constexpr std::size_t kMaxSegmentBytes = std::size_t{1} << 30;
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  std::memcpy(out, &v, sizeof v);
+}
+void put_u64(unsigned char* out, std::uint64_t v) {
+  std::memcpy(out, &v, sizeof v);
+}
+std::uint32_t get_u32(const unsigned char* in) {
+  std::uint32_t v;
+  std::memcpy(&v, in, sizeof v);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v;
+  std::memcpy(&v, in, sizeof v);
+  return v;
+}
+
+std::size_t clamp_segment_bytes(std::size_t bytes) {
+  return std::clamp(bytes, kMinSegmentBytes, kMaxSegmentBytes);
+}
+
+Status pread_full(int fd, unsigned char* out, std::size_t size,
+                  std::uint64_t offset, const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, out, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return support::errno_status("pread", path);
+    }
+    if (n == 0) {
+      return Status::io_error("unexpected EOF reading journal tail: " +
+                              path);
+    }
+    out += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return Status();
+}
+
+}  // namespace
+
+// --- scan -----------------------------------------------------------------
+
+Result<JournalScan> scan_journal(const std::string& path) {
+  std::vector<unsigned char> bytes;
+  Status io = support::read_file(path, bytes);
+  if (!io.ok()) return io;
+
+  if (bytes.size() < kFileHeaderBytes ||
+      std::memcmp(bytes.data(), kFileMagic, sizeof kFileMagic) != 0) {
+    return Status::corrupt("not a PYTHIA journal (bad magic or too short): " +
+                           path);
+  }
+  if (support::crc32(bytes.data(), 12) != get_u32(bytes.data() + 12)) {
+    return Status::corrupt("journal file header checksum mismatch: " + path);
+  }
+  const std::size_t segment_bytes = get_u32(bytes.data() + 8);
+  if (segment_bytes < kMinSegmentBytes || segment_bytes > kMaxSegmentBytes) {
+    return Status::corrupt("journal segment size out of bounds: " + path);
+  }
+
+  JournalScan scan;
+  scan.segment_bytes = segment_bytes;
+  scan.file_bytes = bytes.size();
+  scan.valid_bytes = kFileHeaderBytes;
+
+  std::uint64_t seq = 0;
+  std::uint64_t events = 0;
+  std::size_t pos = kFileHeaderBytes;
+  bool stop = false;
+  while (!stop && pos < bytes.size()) {
+    if (pos + kSegmentHeaderBytes > bytes.size()) {
+      scan.torn_note = "truncated segment header at offset " +
+                       std::to_string(pos);
+      break;
+    }
+    const unsigned char* head = bytes.data() + pos;
+    if (get_u32(head) != kSegmentMagic ||
+        support::crc32(head, 20) != get_u32(head + 20)) {
+      scan.torn_note = "invalid segment header at offset " +
+                       std::to_string(pos);
+      break;
+    }
+    if (get_u64(head + 4) != seq || get_u64(head + 12) != events) {
+      scan.torn_note =
+          "segment sequence discontinuity at offset " + std::to_string(pos) +
+          " (duplicated or reordered segment)";
+      break;
+    }
+    ++scan.segments;
+    // The validated header joins the prefix even before any record does:
+    // a freshly started (empty, unsealed) tail segment is not damage.
+    scan.valid_bytes = pos + kSegmentHeaderBytes;
+    const std::size_t seg_end = std::min(pos + segment_bytes, bytes.size());
+    const bool sealed = pos + segment_bytes <= bytes.size();
+    std::size_t rpos = pos + kSegmentHeaderBytes;
+    while (true) {
+      if (rpos + kRecordHeaderBytes > seg_end) break;
+      const unsigned char* rec = bytes.data() + rpos;
+      const std::uint32_t len_type = get_u32(rec + 4);
+      if (len_type == 0) break;  // padding begins (sealed segment)
+      const auto type = static_cast<std::uint8_t>(len_type >> 24);
+      const std::size_t len = len_type & 0xffffffu;
+      if (type == 0 ||
+          type > static_cast<std::uint8_t>(JournalRecord::Type::kEventDef)) {
+        scan.torn_note = "unknown record type at offset " +
+                         std::to_string(rpos);
+        stop = true;
+        break;
+      }
+      if (rpos + kRecordHeaderBytes + len > seg_end) {
+        scan.torn_note = "record overruns its segment at offset " +
+                         std::to_string(rpos);
+        stop = true;
+        break;
+      }
+      const unsigned char* payload = rec + kRecordHeaderBytes;
+      if (record_check(len_type, payload, len, seq) != get_u32(rec)) {
+        scan.torn_note = "record checksum mismatch at offset " +
+                         std::to_string(rpos) + " (torn or corrupt record)";
+        stop = true;
+        break;
+      }
+      JournalRecord record;
+      record.type = static_cast<JournalRecord::Type>(type);
+      record.seq = seq;
+      bool shape_ok = true;
+      switch (record.type) {
+        case JournalRecord::Type::kEvent:
+          shape_ok = len == 12;
+          if (shape_ok) {
+            record.event = get_u32(payload);
+            record.time_ns = get_u64(payload + 4);
+          }
+          break;
+        case JournalRecord::Type::kKind:
+          record.name.assign(reinterpret_cast<const char*>(payload), len);
+          break;
+        case JournalRecord::Type::kEventDef:
+          shape_ok = len == 8;
+          if (shape_ok) {
+            record.kind = get_u32(payload);
+            std::int32_t aux;
+            std::memcpy(&aux, payload + 4, sizeof aux);
+            record.aux = aux;
+          }
+          break;
+        case JournalRecord::Type::kPad:
+          shape_ok = false;
+          break;
+      }
+      if (!shape_ok) {
+        scan.torn_note = "record payload shape invalid at offset " +
+                         std::to_string(rpos);
+        stop = true;
+        break;
+      }
+      if (record.type == JournalRecord::Type::kEvent) ++events;
+      scan.records.push_back(std::move(record));
+      ++seq;
+      rpos += kRecordHeaderBytes + len;
+      scan.valid_bytes = rpos;
+    }
+    if (stop) break;
+    if (sealed) {
+      pos += segment_bytes;
+      scan.valid_bytes = pos;  // the pad region belongs to the prefix
+    } else {
+      // Unsealed tail segment: the journal ends with its last valid
+      // record; anything after it (a torn pad, garbage) is tail.
+      break;
+    }
+  }
+
+  scan.event_records = events;
+  scan.torn = scan.valid_bytes < scan.file_bytes;
+  if (scan.torn && scan.torn_note.empty()) {
+    scan.torn_note = "unreachable bytes after offset " +
+                     std::to_string(scan.valid_bytes);
+  }
+  return scan;
+}
+
+// --- writer ---------------------------------------------------------------
+
+JournalWriter::~JournalWriter() { release(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept {
+  *this = std::move(other);
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  path_ = std::move(other.path_);
+  options_ = other.options_;
+  buffer_ = std::move(other.buffer_);
+  buffer_used_ = other.buffer_used_;
+  buffer_flushed_ = other.buffer_flushed_;
+  next_seq_ = other.next_seq_;
+  event_count_ = other.event_count_;
+  events_since_flush_ = other.events_since_flush_;
+  events_since_sync_ = other.events_since_sync_;
+  return *this;
+}
+
+void JournalWriter::release() {
+  // Crash semantics: buffered records are dropped, not flushed. close()
+  // is the orderly path.
+  if (fd_ >= 0) {
+    support::close_noeintr(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<JournalWriter> JournalWriter::create(const std::string& path,
+                                            const JournalOptions& options) {
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.options_ = options;
+  writer.options_.segment_bytes = clamp_segment_bytes(options.segment_bytes);
+
+  writer.fd_ = support::open_noeintr(
+      path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC);
+  if (writer.fd_ < 0) return support::errno_status("open", path);
+
+  unsigned char header[kFileHeaderBytes];
+  std::memcpy(header, kFileMagic, sizeof kFileMagic);
+  put_u32(header + 8,
+          static_cast<std::uint32_t>(writer.options_.segment_bytes));
+  put_u32(header + 12, support::crc32(header, 12));
+  Status status = support::full_write(writer.fd_, header, sizeof header, path);
+  if (status.ok()) status = support::fsync_fd(writer.fd_, path);
+  if (status.ok()) {
+    status = support::fsync_path(support::parent_dir(path));
+  }
+  if (!status.ok()) return status;
+
+  writer.start_segment();
+  return writer;
+}
+
+Result<JournalWriter> JournalWriter::resume(const std::string& path,
+                                            const JournalOptions& options,
+                                            const JournalScan& scan) {
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.options_ = options;
+  // The on-disk segment size is part of the format; it wins over the
+  // options so mixed-configuration resumes cannot corrupt the framing.
+  writer.options_.segment_bytes = scan.segment_bytes;
+  writer.next_seq_ = scan.records.size();
+  writer.event_count_ = scan.event_records;
+
+  writer.fd_ = support::open_noeintr(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (writer.fd_ < 0) return support::errno_status("open", path);
+
+  // Truncate the torn tail so the resumed stream is append-only again.
+  int rc;
+  do {
+    rc = ::ftruncate(writer.fd_, static_cast<off_t>(scan.valid_bytes));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return support::errno_status("ftruncate", path);
+  Status status = support::fsync_fd(writer.fd_, path);
+  if (!status.ok()) return status;
+
+  const std::uint64_t body = scan.valid_bytes - kFileHeaderBytes;
+  const std::size_t partial = static_cast<std::size_t>(
+      body % writer.options_.segment_bytes);
+  if (partial == 0) {
+    writer.start_segment();
+  } else {
+    // Reload the active tail segment so sealing can pad it correctly.
+    const std::uint64_t seg_start = kFileHeaderBytes + (body - partial);
+    writer.buffer_.assign(writer.options_.segment_bytes, 0);
+    status = pread_full(writer.fd_, writer.buffer_.data(), partial,
+                        seg_start, path);
+    if (!status.ok()) return status;
+    writer.buffer_used_ = partial;
+    writer.buffer_flushed_ = partial;
+  }
+  if (::lseek(writer.fd_, static_cast<off_t>(scan.valid_bytes), SEEK_SET) ==
+      static_cast<off_t>(-1)) {
+    return support::errno_status("lseek", path);
+  }
+  return writer;
+}
+
+void JournalWriter::start_segment() {
+  // One zero-fill per segment keeps the eventual pad region pre-zeroed,
+  // so sealing and the per-record hot path never write padding.
+  buffer_.assign(options_.segment_bytes, 0);
+  buffer_flushed_ = 0;
+  put_u32(buffer_.data(), kSegmentMagic);
+  put_u64(buffer_.data() + 4, next_seq_);
+  put_u64(buffer_.data() + 12, event_count_);
+  put_u32(buffer_.data() + 20, support::crc32(buffer_.data(), 20));
+  buffer_used_ = kSegmentHeaderBytes;
+}
+
+Status JournalWriter::seal_segment() {
+  support::crash_point("journal.seal");
+  buffer_used_ = options_.segment_bytes;  // pad region is already zero
+  Status status = flush();
+  if (!status.ok()) return status;
+  if (options_.sync_on_seal) {
+    status = support::fsync_fd(fd_, path_);
+    if (!status.ok()) return status;
+    events_since_sync_ = 0;
+  }
+  start_segment();
+  support::crash_point("journal.sealed");
+  return Status();
+}
+
+Status JournalWriter::append_record(JournalRecord::Type type,
+                                    const void* payload, std::size_t size) {
+  if (fd_ < 0) {
+    return Status::invalid_state("journal writer is closed: " + path_);
+  }
+  const std::size_t max_payload =
+      options_.segment_bytes - kSegmentHeaderBytes - kRecordHeaderBytes;
+  if (size > max_payload) {
+    return Status::invalid_state(
+        "journal record larger than a segment (" + std::to_string(size) +
+        " > " + std::to_string(max_payload) + " bytes): " + path_);
+  }
+  if (buffer_used_ + kRecordHeaderBytes + size > options_.segment_bytes) {
+    const Status status = seal_segment();
+    if (!status.ok()) return status;
+  }
+  const std::uint32_t len_type =
+      (static_cast<std::uint32_t>(type) << 24) |
+      static_cast<std::uint32_t>(size);
+  const std::uint32_t check = record_check(len_type, payload, size, next_seq_);
+  unsigned char* out = buffer_.data() + buffer_used_;
+  put_u32(out, check);
+  put_u32(out + 4, len_type);
+  if (size > 0) std::memcpy(out + 8, payload, size);
+  buffer_used_ += kRecordHeaderBytes + size;
+  ++next_seq_;
+  return Status();
+}
+
+Status JournalWriter::append_event_slow(TerminalId event,
+                                        std::uint64_t time_ns) {
+  unsigned char payload[12];
+  put_u32(payload, event);
+  put_u64(payload + 4, time_ns);
+  const Status status = append_record(JournalRecord::Type::kEvent, payload,
+                                      sizeof payload);
+  if (!status.ok()) return status;
+  ++event_count_;
+  ++events_since_flush_;
+  ++events_since_sync_;
+  if (options_.sync_every_events > 0 &&
+      events_since_sync_ >= options_.sync_every_events) {
+    return sync();
+  }
+  if (options_.flush_every_events > 0 &&
+      events_since_flush_ >= options_.flush_every_events) {
+    return flush();
+  }
+  return Status();
+}
+
+Status JournalWriter::append_kind(std::string_view name) {
+  return append_record(JournalRecord::Type::kKind, name.data(), name.size());
+}
+
+Status JournalWriter::append_event_def(KindId kind, EventAux aux) {
+  unsigned char payload[8];
+  put_u32(payload, kind);
+  std::int32_t aux32 = aux;
+  std::memcpy(payload + 4, &aux32, sizeof aux32);
+  return append_record(JournalRecord::Type::kEventDef, payload,
+                       sizeof payload);
+}
+
+Status JournalWriter::flush() {
+  if (fd_ < 0) {
+    return Status::invalid_state("journal writer is closed: " + path_);
+  }
+  if (buffer_flushed_ < buffer_used_) {
+    const Status status =
+        support::full_write(fd_, buffer_.data() + buffer_flushed_,
+                            buffer_used_ - buffer_flushed_, path_);
+    if (!status.ok()) return status;
+    buffer_flushed_ = buffer_used_;
+  }
+  events_since_flush_ = 0;
+  return Status();
+}
+
+Status JournalWriter::sync() {
+  Status status = flush();
+  if (!status.ok()) return status;
+  support::crash_point("journal.sync");
+  status = support::fsync_fd(fd_, path_);
+  if (!status.ok()) return status;
+  events_since_sync_ = 0;
+  return Status();
+}
+
+Status JournalWriter::close() {
+  if (fd_ < 0) return Status();
+  Status status = sync();
+  if (support::close_noeintr(fd_) != 0 && status.ok()) {
+    status = support::errno_status("close", path_);
+  }
+  fd_ = -1;
+  return status;
+}
+
+}  // namespace pythia

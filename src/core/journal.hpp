@@ -1,0 +1,237 @@
+// Append-only, CRC-framed event journal — the write-ahead log of a
+// record session.
+//
+// PYTHIA's reference execution only persists its grammar at the end of a
+// run (paper §II-A); a crash hours into a long record run would lose the
+// whole trace. Sequitur-style inference is strictly incremental, so the
+// natural durability pair is a periodic grammar checkpoint plus this
+// journal: every submitted event (and every registry intern) is framed,
+// checksummed and appended here *before* anything else depends on it.
+// Recovery replays the journal tail on top of the newest valid
+// checkpoint — or reconstructs the entire grammar from the journal alone.
+//
+// On-disk layout (little-endian; see docs/FORMAT.md for the normative
+// description):
+//
+//   file header   16 bytes   magic "PYJRNL01", u32 segment_bytes, u32 crc
+//   segment       segment_bytes each, back to back; the last one may be
+//                 partial (the active tail)
+//     seg header  24 bytes   u32 magic, u64 first_record_seq,
+//                            u64 first_event_count, u32 header crc
+//     records     until the segment is full; a record never spans
+//                 segments — the writer zero-pads and seals instead
+//   record        u32 check, u32 len_type (type << 24 | payload_len),
+//                 payload. The check value covers len_type, the payload
+//                 AND the record's implied sequence number, so a record
+//                 that is byte-identical but replayed at the wrong
+//                 position (duplicated segment) fails validation. It is
+//                 a position-salted mix64 frame check (record_check()),
+//                 not a CRC: records are written once per event, and the
+//                 mix avalanches in a few ALU ops where table-driven
+//                 CRC32 costs a chain of L1 loads. File and segment
+//                 headers, written rarely, keep CRC32.
+//
+// Torn-tail tolerance: scan_journal() accepts the longest valid prefix —
+// segment headers must chain (seq / event-count continuity), records
+// must checksum — and reports where validity ends, so a writer resumed
+// after a crash truncates the torn bytes and continues in place.
+//
+// Crash semantics: the destructor does NOT flush buffered records —
+// flush()/sync()/close() are the durability API. This is deliberate: it
+// lets in-process kill-point tests abandon a writer and observe exactly
+// the on-disk state a real crash would leave.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "support/hash.hpp"
+#include "support/status.hpp"
+
+namespace pythia {
+
+/// Frame check of one journal record: a 32-bit fold of position-salted
+/// mix64 passes over the frame word (len_type), the payload (8-byte
+/// little-endian words, zero-padded tail) and the record's implied
+/// sequence number. Each word is mixed independently (no serial chain),
+/// so the common 12-byte event payload costs three parallel mixes; for
+/// the event fast path the compiler constant-folds the len_type term.
+inline std::uint32_t record_check(std::uint32_t len_type, const void* payload,
+                                  std::size_t size, std::uint64_t seq) {
+  std::uint64_t h =
+      support::mix64(seq ^ 0x9e3779b97f4a7c15ULL) ^
+      support::mix64(std::uint64_t{len_type} ^ 0xbf58476d1ce4e5b9ULL);
+  const auto* p = static_cast<const unsigned char*>(payload);
+  std::uint64_t salt = 0xff51afd7ed558ccdULL;
+  while (size >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h ^= support::mix64(w ^ salt);
+    salt += 0x94d049bb133111ebULL;  // position salt: word swaps change h
+    p += 8;
+    size -= 8;
+  }
+  if (size > 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, size);
+    h ^= support::mix64(w ^ salt);
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+struct JournalOptions {
+  /// Fixed segment size. Small segments bound the blast radius of a torn
+  /// tail; large segments amortize the seal fsync. Clamped to >= 256.
+  std::size_t segment_bytes = 64 * 1024;
+
+  /// Push buffered records to the OS every N events (write(2), no
+  /// fsync). Completed writes survive process death (SIGKILL, OOM kill);
+  /// only power loss can take them. 0 = only on segment seal.
+  std::uint64_t flush_every_events = 1024;
+
+  /// fsync cadence in events for power-loss durability. 0 = only where
+  /// sync_on_seal says so, plus explicit sync() calls.
+  std::uint64_t sync_every_events = 0;
+
+  /// fsync whenever a segment fills.
+  bool sync_on_seal = true;
+};
+
+/// One decoded journal record.
+struct JournalRecord {
+  enum class Type : std::uint8_t {
+    kPad = 0,       ///< never materialized; padding marker on disk only
+    kEvent = 1,     ///< payload: u32 terminal id, u64 timestamp ns
+    kKind = 2,      ///< payload: kind name bytes (intern order)
+    kEventDef = 3,  ///< payload: u32 kind id, i32 aux (intern order)
+  };
+
+  Type type = Type::kPad;
+  std::uint64_t seq = 0;  ///< position in the journal's record stream
+
+  TerminalId event = 0;        // kEvent
+  std::uint64_t time_ns = 0;   // kEvent
+  std::string name;            // kKind
+  KindId kind = 0;             // kEventDef
+  EventAux aux = kNoAux;       // kEventDef
+};
+
+/// Result of validating a journal file: the longest valid prefix.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::uint64_t event_records = 0;  ///< kEvent records among `records`
+  std::uint64_t segments = 0;       ///< segments with a valid header
+  std::size_t segment_bytes = 0;    ///< from the file header
+
+  std::uint64_t valid_bytes = 0;  ///< prefix that validated (incl. headers)
+  std::uint64_t file_bytes = 0;
+  bool torn = false;              ///< valid_bytes < file_bytes
+  std::string torn_note;          ///< what ended the scan, for diagnostics
+
+  std::uint64_t torn_tail_bytes() const { return file_bytes - valid_bytes; }
+};
+
+/// Validates `path` and decodes every record of its longest valid
+/// prefix. A torn or corrupt tail is not an error — it is reported via
+/// `torn`/`torn_note`. Only an unreadable file or an invalid *file
+/// header* fails: without the header nothing can be trusted.
+Result<JournalScan> scan_journal(const std::string& path);
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();  // closes the fd WITHOUT flushing (crash semantics)
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+
+  /// Creates (or truncates) a fresh journal.
+  static Result<JournalWriter> create(const std::string& path,
+                                      const JournalOptions& options);
+
+  /// Resumes an existing journal after scan_journal(): truncates the
+  /// torn tail (if any) and continues appending mid-segment. The
+  /// segment size recorded in the file wins over `options.segment_bytes`.
+  static Result<JournalWriter> resume(const std::string& path,
+                                      const JournalOptions& options,
+                                      const JournalScan& scan);
+
+  /// Per-event hot path, inline so a recording loop pays only the CRC
+  /// and a buffered memcpy: taken when the record fits in the open
+  /// segment and no flush/sync cadence comes due. Sealing, cadence
+  /// flushes and error states fall through to the out-of-line slow path.
+  Status append_event(TerminalId event, std::uint64_t time_ns) {
+    constexpr std::size_t kEventRecordBytes = 8 + 12;  // header + payload
+    if (fd_ >= 0 &&
+        buffer_used_ + kEventRecordBytes <= options_.segment_bytes &&
+        (options_.flush_every_events == 0 ||
+         events_since_flush_ + 1 < options_.flush_every_events) &&
+        (options_.sync_every_events == 0 ||
+         events_since_sync_ + 1 < options_.sync_every_events)) {
+      constexpr std::uint32_t kLenType =
+          (static_cast<std::uint32_t>(JournalRecord::Type::kEvent) << 24) |
+          12u;
+      unsigned char payload[12];
+      std::memcpy(payload, &event, 4);
+      std::memcpy(payload + 4, &time_ns, 8);
+      const std::uint32_t check =
+          record_check(kLenType, payload, sizeof payload, next_seq_);
+      unsigned char* out = buffer_.data() + buffer_used_;
+      std::memcpy(out, &check, 4);
+      std::memcpy(out + 4, &kLenType, 4);
+      std::memcpy(out + 8, payload, sizeof payload);
+      buffer_used_ += kEventRecordBytes;
+      ++next_seq_;
+      ++event_count_;
+      ++events_since_flush_;
+      ++events_since_sync_;
+      return Status();
+    }
+    return append_event_slow(event, time_ns);
+  }
+
+  Status append_kind(std::string_view name);
+  Status append_event_def(KindId kind, EventAux aux);
+
+  /// Pushes buffered records to the OS (survives process death).
+  Status flush();
+  /// flush() + fsync (survives power loss).
+  Status sync();
+  /// sync() + release the descriptor. The writer is unusable afterwards.
+  Status close();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t record_count() const { return next_seq_; }
+  std::uint64_t event_count() const { return event_count_; }
+  std::size_t segment_bytes() const { return options_.segment_bytes; }
+
+ private:
+  Status append_event_slow(TerminalId event, std::uint64_t time_ns);
+  Status append_record(JournalRecord::Type type, const void* payload,
+                       std::size_t size);
+  Status seal_segment();
+  void start_segment();
+  void release();
+
+  int fd_ = -1;
+  std::string path_;
+  JournalOptions options_;
+  /// The active segment, pre-sized to segment_bytes and zero-filled on
+  /// start; records land by plain stores, so the hot path never touches
+  /// vector growth, and the pad region of a sealed segment is already
+  /// zero.
+  std::vector<unsigned char> buffer_;
+  std::size_t buffer_used_ = 0;     ///< bytes of buffer_ holding records
+  std::size_t buffer_flushed_ = 0;  ///< buffer_ prefix already write(2)n
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t event_count_ = 0;
+  std::uint64_t events_since_flush_ = 0;
+  std::uint64_t events_since_sync_ = 0;
+};
+
+}  // namespace pythia

@@ -11,6 +11,7 @@
 
 #include "core/grammar.hpp"
 #include "core/timing.hpp"
+#include "support/assert.hpp"
 
 namespace pythia {
 
@@ -32,6 +33,14 @@ class Recorder {
 
   Recorder() : options_{} {}
   explicit Recorder(Options options) : options_(options) {}
+
+  /// Resumes recording from recovered state (the crash-safe session
+  /// layer): a grammar rebuilt from a checkpoint/journal — which must not
+  /// be finalized — plus the timestamp log replayed so far.
+  Recorder(Options options, Grammar&& grammar, std::vector<TimedEvent>&& log)
+      : options_(options), grammar_(std::move(grammar)), log_(std::move(log)) {
+    PYTHIA_ASSERT(!grammar_.finalized());
+  }
 
   /// Submits one event; `now_ns` is only stored when timestamp recording
   /// is on (pass the runtime's clock — wall or virtual).

@@ -1,0 +1,465 @@
+#include "core/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "support/crash_point.hpp"
+#include "support/crc32.hpp"
+#include "support/io.hpp"
+
+namespace pythia {
+
+namespace {
+
+constexpr const char* kJournalName = "journal.pyj";
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kTraceName = "trace.pythia";
+
+std::string join(const std::string& dir, const char* name) {
+  return dir + "/" + name;
+}
+
+/// One validated manifest entry.
+struct ManifestEntry {
+  std::uint64_t events = 0;
+  std::string file;
+};
+
+/// "ckpt <events> <file>" — the checksummed part of a manifest line.
+std::string manifest_body(std::uint64_t events, const std::string& file) {
+  return "ckpt " + std::to_string(events) + " " + file;
+}
+
+char hex_digit(std::uint32_t nibble) {
+  return static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + nibble - 10);
+}
+
+std::string crc_hex(const std::string& body) {
+  const std::uint32_t crc = support::crc32(body.data(), body.size());
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[7 - i] = hex_digit((crc >> (4 * i)) & 0xfu);
+  }
+  return out;
+}
+
+/// Parses the manifest, ignoring lines whose checksum fails (a torn
+/// final line is expected after a crash) — each skip is noted.
+std::vector<ManifestEntry> parse_manifest(const std::string& path,
+                                          std::vector<std::string>& notes) {
+  std::vector<ManifestEntry> entries;
+  std::vector<unsigned char> bytes;
+  if (!support::read_file(path, bytes).ok()) return entries;
+  const std::string text(bytes.begin(), bytes.end());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    bool valid = false;
+    const std::size_t crc_at = line.find_last_of(' ');
+    if (crc_at != std::string::npos && line.size() - crc_at - 1 == 8) {
+      const std::string body = line.substr(0, crc_at);
+      if (line.compare(crc_at + 1, 8, crc_hex(body)) == 0 &&
+          body.rfind("ckpt ", 0) == 0) {
+        const std::size_t file_at = body.find(' ', 5);
+        if (file_at != std::string::npos && file_at + 1 < body.size()) {
+          ManifestEntry entry;
+          entry.events =
+              std::strtoull(body.c_str() + 5, nullptr, 10);
+          entry.file = body.substr(file_at + 1);
+          entries.push_back(std::move(entry));
+          valid = true;
+        }
+      }
+    }
+    if (!valid) {
+      notes.push_back("manifest: ignored invalid line (torn or corrupt): " +
+                      line.substr(0, 64));
+    }
+  }
+  return entries;
+}
+
+/// Everything recovery reconstructs from a session directory. The
+/// grammar is NOT finalized (a resumed session keeps appending).
+struct RecoveredState {
+  EventRegistry registry;
+  Grammar grammar;
+  std::vector<TimedEvent> log;  ///< full journaled (event, time) stream
+  JournalScan scan;
+  std::vector<std::pair<std::uint64_t, std::string>> checkpoints;
+  std::uint64_t checkpoint_events = 0;
+  bool used_checkpoint = false;
+};
+
+/// Core recovery: newest covered-and-valid checkpoint + journal replay.
+Result<RecoveredState> recover_state(const std::string& dir,
+                                     RecoveryInfo& info) {
+  RecoveredState state;
+
+  Result<JournalScan> scanned = scan_journal(join(dir, kJournalName));
+  if (!scanned.ok()) return scanned.status();
+  state.scan = scanned.take();
+  info.recovered = true;
+  info.journaled_events = state.scan.event_records;
+  info.torn_bytes = state.scan.torn_tail_bytes();
+  if (state.scan.torn) {
+    info.notes.push_back("journal: " + state.scan.torn_note + "; " +
+                         std::to_string(info.torn_bytes) +
+                         " torn byte(s) truncated");
+  }
+
+  // Newest manifest entry that (a) the journal covers — the journal is
+  // the source of truth, a checkpoint claiming more events than the
+  // journal holds is stale — and (b) loads and validates.
+  std::vector<ManifestEntry> entries =
+      parse_manifest(join(dir, kManifestName), info.notes);
+  for (const ManifestEntry& entry : entries) {
+    state.checkpoints.emplace_back(entry.events, entry.file);
+  }
+  for (std::size_t i = entries.size(); i-- > 0 && !state.used_checkpoint;) {
+    const ManifestEntry& entry = entries[i];
+    if (entry.events > state.scan.event_records) {
+      info.notes.push_back("checkpoint " + entry.file + " claims " +
+                           std::to_string(entry.events) +
+                           " events but the journal only holds " +
+                           std::to_string(state.scan.event_records) +
+                           " (stale, newer than journal); ignored");
+      continue;
+    }
+    TraceLoadOptions load_options;
+    load_options.salvage_sections = false;
+    load_options.finalize_grammars = false;
+    Result<Trace> loaded = Trace::try_load(join(dir, entry.file.c_str()),
+                                           load_options);
+    if (!loaded.ok()) {
+      info.notes.push_back("checkpoint " + entry.file +
+                           " unusable: " + loaded.status().to_string());
+      continue;
+    }
+    Trace trace = loaded.take();
+    if (trace.threads.size() != 1 ||
+        trace.threads[0].grammar.sequence_length() != entry.events) {
+      info.notes.push_back("checkpoint " + entry.file +
+                           " inconsistent with its manifest entry; ignored");
+      continue;
+    }
+    state.registry = std::move(trace.registry);
+    state.grammar = std::move(trace.threads[0].grammar);
+    state.checkpoint_events = entry.events;
+    state.used_checkpoint = true;
+    info.used_checkpoint = true;
+    info.checkpoint_events = entry.events;
+  }
+
+  // Replay every journal record in order. Intern records re-drive the
+  // registry (idempotent when the checkpoint already covers them) and
+  // must reproduce the same dense ids; event records re-drive
+  // Grammar::append for the tail past the checkpoint, and rebuild the
+  // full timestamp log so finish() can still build the timing model.
+  state.log.reserve(state.scan.event_records);
+  std::uint64_t kind_index = 0;
+  std::uint64_t event_def_index = 0;
+  std::uint64_t event_index = 0;
+  for (const JournalRecord& record : state.scan.records) {
+    switch (record.type) {
+      case JournalRecord::Type::kKind:
+        if (state.registry.intern_kind(record.name) != kind_index) {
+          return Status::corrupt(
+              "journal kind record " + std::to_string(record.seq) +
+              " disagrees with the checkpoint registry (name '" +
+              record.name + "')");
+        }
+        ++kind_index;
+        break;
+      case JournalRecord::Type::kEventDef:
+        if (record.kind >= state.registry.kind_count()) {
+          return Status::corrupt("journal event-def record " +
+                                 std::to_string(record.seq) +
+                                 " references unknown kind");
+        }
+        if (state.registry.intern_event(record.kind, record.aux) !=
+            event_def_index) {
+          return Status::corrupt(
+              "journal event-def record " + std::to_string(record.seq) +
+              " disagrees with the checkpoint registry");
+        }
+        ++event_def_index;
+        break;
+      case JournalRecord::Type::kEvent:
+        if (record.event >= state.registry.event_count()) {
+          return Status::corrupt(
+              "journal event record " + std::to_string(record.seq) +
+              " references terminal id " + std::to_string(record.event) +
+              " before its definition");
+        }
+        state.log.push_back(TimedEvent::make(record.event, record.time_ns));
+        if (event_index >= state.checkpoint_events) {
+          state.grammar.append(record.event);
+        }
+        ++event_index;
+        break;
+      case JournalRecord::Type::kPad:
+        break;
+    }
+  }
+  if (state.grammar.sequence_length() != state.scan.event_records) {
+    return Status::corrupt("recovered grammar length disagrees with the "
+                           "journal (internal error)");
+  }
+  info.replayed_events = state.scan.event_records - state.checkpoint_events;
+  info.notes.push_back(
+      "recovered " + std::to_string(state.scan.event_records) + " event(s): " +
+      (state.used_checkpoint
+           ? "checkpoint covered " + std::to_string(state.checkpoint_events) +
+                 ", replayed " + std::to_string(info.replayed_events) +
+                 " from the journal"
+           : "no usable checkpoint, rebuilt entirely from the journal"));
+  return state;
+}
+
+}  // namespace
+
+// --- RecordSession --------------------------------------------------------
+
+Result<RecordSession> RecordSession::open(const std::string& dir,
+                                          const SessionOptions& options) {
+  if (!support::is_directory(dir)) {
+    Status status = support::make_dir(dir);
+    if (!status.ok()) return status;
+  }
+
+  RecordSession session;
+  session.dir_ = dir;
+  session.options_ = options;
+
+  const std::string journal_path = join(dir, kJournalName);
+  if (!support::path_exists(journal_path)) {
+    Result<JournalWriter> journal =
+        JournalWriter::create(journal_path, options.journal);
+    if (!journal.ok()) return journal.status();
+    session.journal_ = journal.take();
+    session.recorder_ =
+        Recorder(Recorder::Options{options.record_timestamps});
+    return session;
+  }
+
+  Result<RecoveredState> recovered = recover_state(dir, session.recovery_);
+  if (!recovered.ok()) return recovered.status();
+  RecoveredState state = recovered.take();
+
+  Result<JournalWriter> journal =
+      JournalWriter::resume(journal_path, options.journal, state.scan);
+  if (!journal.ok()) return journal.status();
+  session.journal_ = journal.take();
+
+  session.registry_ = std::move(state.registry);
+  session.recorder_ =
+      Recorder(Recorder::Options{options.record_timestamps},
+               std::move(state.grammar),
+               options.record_timestamps ? std::move(state.log)
+                                         : std::vector<TimedEvent>{});
+  session.checkpoints_ = std::move(state.checkpoints);
+  session.journaled_kinds_ = session.registry_.kind_count();
+  session.journaled_events_ = session.registry_.event_count();
+  session.events_since_checkpoint_ =
+      state.scan.event_records - state.checkpoint_events;
+  return session;
+}
+
+Status RecordSession::journal_new_interns() {
+  while (journaled_kinds_ < registry_.kind_count()) {
+    const Status status = journal_.append_kind(
+        registry_.kind_name(static_cast<KindId>(journaled_kinds_)));
+    if (!status.ok()) {
+      if (durability_.ok()) durability_ = status;
+      return durability_;
+    }
+    ++journaled_kinds_;
+  }
+  while (journaled_events_ < registry_.event_count()) {
+    const auto id = static_cast<TerminalId>(journaled_events_);
+    const Status status =
+        journal_.append_event_def(registry_.kind_of(id), registry_.aux_of(id));
+    if (!status.ok()) {
+      if (durability_.ok()) durability_ = status;
+      return durability_;
+    }
+    ++journaled_events_;
+  }
+  return Status();
+}
+
+KindId RecordSession::intern_kind(std::string_view name) {
+  const KindId id = registry_.intern_kind(name);
+  journal_new_interns();
+  return id;
+}
+
+TerminalId RecordSession::intern_event(KindId kind, EventAux aux) {
+  const TerminalId id = registry_.intern_event(kind, aux);
+  journal_new_interns();
+  return id;
+}
+
+TerminalId RecordSession::intern(std::string_view name, EventAux aux) {
+  const TerminalId id = registry_.intern(name, aux);
+  journal_new_interns();
+  return id;
+}
+
+const Status& RecordSession::event(TerminalId event, std::uint64_t now_ns) {
+  if (event >= registry_.event_count()) {
+    // Caller error, reported but NOT latched into durability_: one bad id
+    // must not poison the session.
+    event_error_ = Status::invalid_state(
+        "event id " + std::to_string(event) +
+        " was never interned through this session (registry holds " +
+        std::to_string(registry_.event_count()) + ")");
+    return event_error_;
+  }
+  // WAL ordering: the journal sees the event before the grammar does, so
+  // a crash can lose tail events but never journal an event the grammar
+  // already consumed... the other way round the journal could under-report.
+  const Status journaled = journal_.append_event(event, now_ns);
+  if (!journaled.ok() && durability_.ok()) durability_ = journaled;
+  recorder_.record(event, now_ns);
+  support::crash_point("session.event");
+  ++events_since_checkpoint_;
+  if (options_.checkpoint_every_events > 0 &&
+      events_since_checkpoint_ >= options_.checkpoint_every_events) {
+    const Status status = checkpoint();
+    if (!status.ok() && durability_.ok()) durability_ = status;
+  }
+  return durability_;
+}
+
+std::string RecordSession::checkpoint_path(std::uint64_t events) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt-%012llu.pythia",
+                static_cast<unsigned long long>(events));
+  return name;
+}
+
+Status RecordSession::checkpoint() {
+  // The checkpoint must never get ahead of the durable journal: sync
+  // first, so checkpoint_events <= journaled events even across a power
+  // loss right after the checkpoint lands.
+  Status status = journal_.sync();
+  if (!status.ok()) {
+    if (durability_.ok()) durability_ = status;
+    return status;
+  }
+
+  const std::uint64_t events = recorder_.event_count();
+  const std::string name = checkpoint_path(events);
+  const std::string path = join(dir_, name.c_str());
+  const std::string temp = path + ".tmp";
+
+  std::vector<ThreadTraceView> views;
+  views.push_back({&recorder_.grammar(), nullptr});
+  status = save_trace_file(temp, registry_, views, /*durable=*/true);
+  if (!status.ok()) {
+    std::remove(temp.c_str());
+    if (durability_.ok()) durability_ = status;
+    return status;
+  }
+  support::crash_point("checkpoint.pre_rename");
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    status = support::errno_status("rename", temp);
+    std::remove(temp.c_str());
+    if (durability_.ok()) durability_ = status;
+    return status;
+  }
+  status = support::fsync_path(dir_);
+  if (!status.ok()) {
+    if (durability_.ok()) durability_ = status;
+    return status;
+  }
+  support::crash_point("checkpoint.post_rename");
+
+  const std::string line = manifest_body(events, name) + " " +
+                           crc_hex(manifest_body(events, name)) + "\n";
+  status = support::append_file(join(dir_, kManifestName), line.data(),
+                                line.size(), /*durable=*/true);
+  if (!status.ok()) {
+    if (durability_.ok()) durability_ = status;
+    return status;
+  }
+  support::crash_point("checkpoint.manifest");
+
+  checkpoints_.emplace_back(events, name);
+  // Prune: keep the newest keep_checkpoints files. The manifest keeps its
+  // lines (append-only); recovery skips entries whose file is gone.
+  const std::size_t keep = options_.keep_checkpoints == 0
+                               ? 1
+                               : options_.keep_checkpoints;
+  while (checkpoints_.size() > keep) {
+    std::remove(join(dir_, checkpoints_.front().second.c_str()).c_str());
+    checkpoints_.erase(checkpoints_.begin());
+  }
+  events_since_checkpoint_ = 0;
+  return Status();
+}
+
+Status RecordSession::sync() {
+  const Status status = journal_.sync();
+  if (!status.ok() && durability_.ok()) durability_ = status;
+  return status;
+}
+
+Result<Trace> RecordSession::finish() && {
+  ThreadTrace thread = std::move(recorder_).finish();
+  Trace trace;
+  trace.registry = registry_;
+  trace.threads.push_back(std::move(thread));
+
+  const Status journal_status = journal_.close();
+  if (!journal_status.ok() && durability_.ok()) {
+    durability_ = journal_status;
+  }
+  // try_save is atomic + durable; on failure the journal (already synced
+  // by close, or intact on disk even if close failed) still holds every
+  // event — trace_recover can rebuild this trace.
+  const Status saved = trace.try_save(join(dir_, kTraceName));
+  if (!saved.ok()) return saved;
+  return trace;
+}
+
+// --- offline recovery ------------------------------------------------------
+
+Result<Trace> recover_session(const std::string& dir, RecoveryInfo* info) {
+  RecoveryInfo local;
+  RecoveryInfo& out = info != nullptr ? *info : local;
+  out = RecoveryInfo{};
+  Result<RecoveredState> recovered = recover_state(dir, out);
+  if (!recovered.ok()) return recovered.status();
+  RecoveredState state = recovered.take();
+
+  state.grammar.finalize();
+  TimingModel timing;
+  // The journal stores a timestamp per event; a session recording without
+  // timestamps journals zeros, which would only poison the model.
+  bool timestamped = false;
+  for (const TimedEvent& entry : state.log) {
+    if (entry.time_ns() != 0) {
+      timestamped = true;
+      break;
+    }
+  }
+  if (timestamped) {
+    timing = TimingModel::replay(state.grammar, state.log);
+  }
+
+  Trace trace;
+  trace.registry = std::move(state.registry);
+  trace.threads.push_back(
+      ThreadTrace{std::move(state.grammar), std::move(timing)});
+  return trace;
+}
+
+}  // namespace pythia

@@ -1,0 +1,144 @@
+// Crash-safe record sessions: journal + grammar checkpoints + recovery.
+//
+// A RecordSession wraps the single-thread Recorder with a durability
+// layer so that a reference execution killed hours in (paper §II-A runs
+// the *whole* application once to record it) loses at most the configured
+// flush window instead of the entire trace:
+//
+//   <dir>/journal.pyj       append-only CRC-framed event journal (WAL);
+//                           every intern and every event lands here first
+//   <dir>/ckpt-<seq>.pythia periodic grammar checkpoints in the normal
+//                           PYTHIA02 format, written temp -> fsync ->
+//                           atomic rename
+//   <dir>/MANIFEST          append-only checkpoint index (one checksummed
+//                           line per checkpoint, monotonic event seq)
+//   <dir>/trace.pythia      the final trace, written by finish()
+//
+// Recovery (automatic in open(), or offline via recover_session / the
+// trace_recover tool) loads the newest checkpoint that validates AND is
+// covered by the journal, replays the journal tail through the normal
+// Grammar::append path, truncates any torn journal bytes, and resumes —
+// or rebuilds everything from the journal alone when no checkpoint
+// survives. The journal is the source of truth; a checkpoint claiming
+// more events than the journal holds is stale and ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/status.hpp"
+
+namespace pythia {
+
+struct SessionOptions {
+  JournalOptions journal;
+
+  /// Write a grammar checkpoint every N recorded events (0 = never;
+  /// recovery then replays the whole journal, which is correct but
+  /// linear in the run length).
+  std::uint64_t checkpoint_every_events = 0;
+
+  /// Checkpoints kept on disk; older ones are pruned after each new one
+  /// lands. At least 1 is kept once any checkpoint exists.
+  std::size_t keep_checkpoints = 2;
+
+  /// Forwarded to Recorder::Options (12 bytes/event of memory, enables
+  /// the timing model).
+  bool record_timestamps = true;
+};
+
+/// What open() found on disk and how it resumed.
+struct RecoveryInfo {
+  bool recovered = false;        ///< an existing journal was resumed
+  bool used_checkpoint = false;  ///< a checkpoint seeded the grammar
+  std::uint64_t checkpoint_events = 0;  ///< events covered by that checkpoint
+  std::uint64_t journaled_events = 0;   ///< events in the valid journal prefix
+  std::uint64_t replayed_events = 0;    ///< journal tail re-appended on top
+  std::uint64_t torn_bytes = 0;         ///< journal bytes truncated as torn
+  std::vector<std::string> notes;       ///< human-readable decisions taken
+};
+
+class RecordSession {
+ public:
+  RecordSession(RecordSession&&) = default;
+  RecordSession& operator=(RecordSession&&) = default;
+
+  /// Opens (creating the directory if needed) or recovers a session in
+  /// `dir`. With an existing journal present, recovery runs first and the
+  /// session resumes exactly after the last durable event.
+  static Result<RecordSession> open(const std::string& dir,
+                                    const SessionOptions& options = {});
+
+  // Registry interning. New kinds/events are journaled (in intern order)
+  // before the id is returned, so a replayed journal reproduces the same
+  // dense ids.
+  KindId intern_kind(std::string_view name);
+  TerminalId intern_event(KindId kind, EventAux aux = kNoAux);
+  TerminalId intern(std::string_view name, EventAux aux = kNoAux);
+
+  /// Records one event: journal append first, then the grammar. A journal
+  /// write failure degrades durability (latched, returned here and from
+  /// every later event()) but recording continues — an oracle recording
+  /// session must not take the application down with a full disk.
+  /// Returns a reference to the latched durability status (not a copy:
+  /// Status carries a string, and this is the per-event hot path).
+  const Status& event(TerminalId event, std::uint64_t now_ns = 0);
+
+  /// Forces a grammar checkpoint now (also runs on the
+  /// checkpoint_every_events cadence). Syncs the journal first so the
+  /// checkpoint never claims events the journal could lose.
+  Status checkpoint();
+
+  /// journal flush + fsync (power-loss durability for everything so far).
+  Status sync();
+
+  /// Ends the session: finalizes the grammar, builds the timing model,
+  /// closes the journal and atomically writes <dir>/trace.pythia. On save
+  /// failure the error is returned and the journal remains on disk — the
+  /// events are not lost, trace_recover can rebuild the trace.
+  Result<Trace> finish() &&;
+
+  const EventRegistry& registry() const { return registry_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  std::uint64_t event_count() const { return recorder_.event_count(); }
+  const Grammar& grammar() const { return recorder_.grammar(); }
+  const std::string& dir() const { return dir_; }
+
+  /// First latched journal/checkpoint failure, if any (kOk otherwise).
+  const Status& durability_status() const { return durability_; }
+
+ private:
+  RecordSession() = default;
+
+  Status journal_new_interns();
+  std::string checkpoint_path(std::uint64_t events) const;
+
+  std::string dir_;
+  SessionOptions options_;
+  EventRegistry registry_;
+  Recorder recorder_;
+  JournalWriter journal_;
+  RecoveryInfo recovery_;
+  Status durability_;
+  Status event_error_;  ///< last per-call rejection (not a session fault)
+  std::uint64_t events_since_checkpoint_ = 0;
+  std::size_t journaled_kinds_ = 0;   ///< registry kinds already journaled
+  std::size_t journaled_events_ = 0;  ///< registry event defs already journaled
+
+  /// Checkpoints on disk, oldest first: (event seq, file name). Seeded
+  /// from the manifest on recovery, used for pruning.
+  std::vector<std::pair<std::uint64_t, std::string>> checkpoints_;
+};
+
+/// Offline recovery: rebuilds a finalized Trace from a session directory
+/// (checkpoint + journal tail, or journal alone) without resuming it.
+/// Powers the trace_recover tool and journal-aware trace_inspect/diff.
+Result<Trace> recover_session(const std::string& dir,
+                              RecoveryInfo* info = nullptr);
+
+}  // namespace pythia

@@ -1,15 +1,14 @@
 #include "core/trace_io.hpp"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "support/assert.hpp"
 #include "support/crc32.hpp"
+#include "support/io.hpp"
 
 namespace pythia {
 
@@ -49,6 +48,7 @@ class BufWriter {
   }
 
   const std::vector<unsigned char>& buffer() const { return buf_; }
+  std::vector<unsigned char> take() && { return std::move(buf_); }
 
  private:
   std::vector<unsigned char> buf_;
@@ -206,9 +206,9 @@ void read_registry_tables(BufReader& reader, EventRegistry& registry) {
   }
 }
 
-ThreadTrace read_thread_payload(BufReader& reader) {
+ThreadTrace read_thread_payload(BufReader& reader, bool finalize) {
   Grammar grammar = read_grammar(reader);
-  grammar.finalize();
+  if (finalize) grammar.finalize();
   TimingModel timing = read_timing(reader);
   return ThreadTrace{std::move(grammar), std::move(timing)};
 }
@@ -217,44 +217,6 @@ ThreadTrace placeholder_thread() {
   ThreadTrace placeholder;
   placeholder.grammar.finalize();  // empty, inert: predicts nothing
   return placeholder;
-}
-
-// --- file I/O -------------------------------------------------------------
-
-Status read_file(const std::string& path, std::vector<unsigned char>& out) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (file == nullptr) {
-    return Status::io_error("cannot open trace file for reading: " + path);
-  }
-  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
-    return Status::io_error("cannot seek trace file: " + path);
-  }
-  const long size = std::ftell(file.get());
-  if (size < 0) return Status::io_error("cannot size trace file: " + path);
-  std::rewind(file.get());
-  out.resize(static_cast<std::size_t>(size));
-  if (!out.empty() &&
-      std::fread(out.data(), 1, out.size(), file.get()) != out.size()) {
-    return Status::io_error("short read from trace file: " + path);
-  }
-  return Status();
-}
-
-Status write_file(const std::string& path,
-                  const std::vector<unsigned char>& bytes) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::io_error("cannot open trace file for writing: " + path);
-  }
-  const bool wrote =
-      bytes.empty() ||
-      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
-  const bool closed = std::fclose(file) == 0;
-  if (!wrote || !closed) {
-    return Status::io_error("short write to trace file: " + path);
-  }
-  return Status();
 }
 
 // --- PYTHIA02 section framing --------------------------------------------
@@ -353,7 +315,7 @@ Result<Trace> load_v2(const unsigned char* data, std::size_t size,
         } else {
           try {
             BufReader body(payload.data(), payload.size());
-            thread = read_thread_payload(body);
+            thread = read_thread_payload(body, options.finalize_grammars);
             if (!body.at_end()) fail("thread section trailing bytes");
           } catch (const std::exception& error) {
             status = Status::corrupt(error.what());
@@ -371,7 +333,8 @@ Result<Trace> load_v2(const unsigned char* data, std::size_t size,
   return trace;
 }
 
-Result<Trace> load_v1(const unsigned char* data, std::size_t size) {
+Result<Trace> load_v1(const unsigned char* data, std::size_t size,
+                      const TraceLoadOptions& options) {
   // Legacy format: no framing, no checksums — nothing to salvage with, so
   // the first structural problem fails the load.
   BufReader reader(data, size);
@@ -383,7 +346,8 @@ Result<Trace> load_v1(const unsigned char* data, std::size_t size) {
     trace.threads.reserve(thread_count);
     trace.section_status.assign(thread_count, Status());
     for (std::uint32_t t = 0; t < thread_count; ++t) {
-      trace.threads.push_back(read_thread_payload(reader));
+      trace.threads.push_back(
+          read_thread_payload(reader, options.finalize_grammars));
     }
     return trace;
   } catch (const std::exception& error) {
@@ -391,9 +355,10 @@ Result<Trace> load_v1(const unsigned char* data, std::size_t size) {
   }
 }
 
-}  // namespace
-
-Status Trace::try_save(const std::string& path) const {
+/// Serializes registry + thread views into a complete PYTHIA02 image.
+std::vector<unsigned char> serialize_trace(
+    const EventRegistry& registry,
+    const std::vector<ThreadTraceView>& threads) {
   BufWriter registry_payload;
   registry_payload.u32(static_cast<std::uint32_t>(registry.kind_count()));
   for (std::uint32_t k = 0; k < registry.kind_count(); ++k) {
@@ -409,19 +374,44 @@ Status Trace::try_save(const std::string& path) const {
   BufWriter file;
   file.bytes(kMagicV2, sizeof kMagicV2);
   append_section(file, kSectionRegistry, registry_payload.buffer());
-  for (const ThreadTrace& thread : threads) {
+  const TimingModel empty_timing;
+  for (const ThreadTraceView& thread : threads) {
     BufWriter payload;
-    write_grammar(payload, thread.grammar);
-    write_timing(payload, thread.timing);
+    write_grammar(payload, *thread.grammar);
+    write_timing(payload,
+                 thread.timing != nullptr ? *thread.timing : empty_timing);
     append_section(file, kSectionThread, payload.buffer());
   }
-  return write_file(path, file.buffer());
+  return std::move(file).take();
+}
+
+}  // namespace
+
+Status save_trace_file(const std::string& path, const EventRegistry& registry,
+                       const std::vector<ThreadTraceView>& threads,
+                       bool durable) {
+  const std::vector<unsigned char> bytes = serialize_trace(registry, threads);
+  return support::write_file(path, bytes.data(), bytes.size(), durable);
+}
+
+Status Trace::try_save(const std::string& path) const {
+  std::vector<ThreadTraceView> views;
+  views.reserve(threads.size());
+  for (const ThreadTrace& thread : threads) {
+    views.push_back({&thread.grammar, &thread.timing});
+  }
+  const std::vector<unsigned char> bytes = serialize_trace(registry, views);
+  // Atomic replace: a crash mid-save leaves the previous trace (or no
+  // file), never a torn one. Durability is deliberate here — this is the
+  // end of a whole reference execution.
+  return support::write_file_atomic(path, bytes.data(), bytes.size(),
+                                    /*durable=*/true);
 }
 
 Result<Trace> Trace::try_load(const std::string& path,
                               const TraceLoadOptions& options) {
   std::vector<unsigned char> bytes;
-  Status io = read_file(path, bytes);
+  Status io = support::read_file(path, bytes);
   if (!io.ok()) return io;
 
   if (bytes.size() < 8) {
@@ -431,7 +421,7 @@ Result<Trace> Trace::try_load(const std::string& path,
     return load_v2(bytes.data() + 8, bytes.size() - 8, options);
   }
   if (std::memcmp(bytes.data(), kMagicV1, 8) == 0) {
-    return load_v1(bytes.data() + 8, bytes.size() - 8);
+    return load_v1(bytes.data() + 8, bytes.size() - 8, options);
   }
   if (std::memcmp(bytes.data(), "PYTHIA", 6) == 0) {
     return Status::unsupported("trace format version newer than this "

@@ -39,6 +39,12 @@ struct TraceLoadOptions {
   /// damage — magic, registry section, unreadable framing — always fails
   /// the whole load. With salvage off, any damage fails the load.
   bool salvage_sections = true;
+
+  /// Finalize loaded grammars (assigns stable node ids; required before
+  /// prediction). The session recovery path loads checkpoints with this
+  /// off, because a finalized grammar refuses further append() and a
+  /// recovered session must keep recording.
+  bool finalize_grammars = true;
 };
 
 /// A complete application trace: shared event registry plus one
@@ -83,5 +89,20 @@ struct Trace {
   void save(const std::string& path) const;
   static Trace load(const std::string& path);
 };
+
+/// Non-owning view of one thread's state, so callers holding live (and
+/// non-copyable) Grammar/TimingModel objects — the session checkpointer —
+/// can serialize without surrendering them.
+struct ThreadTraceView {
+  const Grammar* grammar = nullptr;
+  const TimingModel* timing = nullptr;  ///< nullptr = empty model
+};
+
+/// Writes a PYTHIA02 trace file from views. With `durable` the file is
+/// fsync'd before returning. Plain write, not atomic — checkpointing
+/// writes to a temp name and renames on its own schedule.
+Status save_trace_file(const std::string& path, const EventRegistry& registry,
+                       const std::vector<ThreadTraceView>& threads,
+                       bool durable = false);
 
 }  // namespace pythia

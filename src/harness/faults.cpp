@@ -1,7 +1,10 @@
 #include "harness/faults.hpp"
 
 #include <cstddef>
+#include <cstring>
 #include <fstream>
+
+#include "support/io.hpp"
 
 namespace pythia::harness {
 
@@ -97,6 +100,38 @@ Status corrupt_file(const std::string& path, std::uint64_t seed,
     return Status::io_error("cannot write " + path);
   }
   return Status();
+}
+
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  const int fd = support::open_noeintr(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return support::errno_status("open", path);
+  int rc;
+  do {
+    rc = ::ftruncate(fd, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  Status status = rc == 0 ? Status() : support::errno_status("ftruncate", path);
+  if (support::close_noeintr(fd) != 0 && status.ok()) {
+    status = support::errno_status("close", path);
+  }
+  return status;
+}
+
+Status duplicate_file_range(const std::string& path, std::uint64_t src_offset,
+                            std::uint64_t size, std::uint64_t dst_offset) {
+  std::vector<unsigned char> bytes;
+  Status status = support::read_file(path, bytes);
+  if (!status.ok()) return status;
+  if (src_offset + size > bytes.size()) {
+    return Status::invalid_state("duplicate_file_range: source range [" +
+                                 std::to_string(src_offset) + ", " +
+                                 std::to_string(src_offset + size) +
+                                 ") exceeds file size " +
+                                 std::to_string(bytes.size()));
+  }
+  if (dst_offset + size > bytes.size()) bytes.resize(dst_offset + size);
+  std::memmove(bytes.data() + dst_offset, bytes.data() + src_offset,
+               static_cast<std::size_t>(size));
+  return support::write_file(path, bytes.data(), bytes.size());
 }
 
 }  // namespace pythia::harness

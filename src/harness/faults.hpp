@@ -1,6 +1,6 @@
 // General fault-injection harness for resilience experiments.
 //
-// Two orthogonal perturbation surfaces, both seeded and bit-reproducible:
+// Three orthogonal perturbation surfaces, all seeded and bit-reproducible:
 //
 //  * the *event stream* an oracle observes — EventFaultInjector plugs
 //    into Oracle::set_event_filter and models a lossy instrumentation
@@ -9,8 +9,16 @@
 //    actual behaviour is untouched; only the oracle's view degrades.
 //
 //  * the *trace file* on disk — corrupt_file/corrupt_bytes flip random
-//    bits or truncate, exercising the PYTHIA02 checksum + salvage paths
-//    (Trace::try_load).
+//    bits or truncate, and truncate_file/duplicate_file_range perform the
+//    surgical edits the journal tests need (torn tails, cloned segments),
+//    exercising the PYTHIA02 checksum + salvage paths (Trace::try_load)
+//    and the journal's longest-valid-prefix scan (scan_journal).
+//
+//  * the *process itself* — the kill-point API (re-exported here from
+//    support/crash_point.hpp, where the instrumented core code lives
+//    below the harness layer) crashes the process, or throws into the
+//    test, at named durability boundaries inside the journal and
+//    checkpoint writers.
 //
 // bench/ext_degradation.cpp sweeps event-fault rates to show that the
 // divergence circuit breaker keeps predict-mode virtual time at vanilla
@@ -24,10 +32,20 @@
 #include "core/event.hpp"
 #include "core/oracle.hpp"
 #include "core/shared_registry.hpp"
+#include "support/crash_point.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 
 namespace pythia::harness {
+
+// Kill-point fault injection (see support/crash_point.hpp for the
+// mechanism and the list of instrumented sites).
+using support::CrashAction;
+using support::CrashPointHit;
+using support::arm_crash_point;
+using support::arm_crash_point_from_env;
+using support::crash_point_armed;
+using support::disarm_crash_points;
 
 /// Per-event perturbation probabilities, each rolled independently.
 struct FaultPlan {
@@ -93,5 +111,15 @@ void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint64_t seed,
 /// `bit_flips` random bits in what remains. Deterministic in `seed`.
 Status corrupt_file(const std::string& path, std::uint64_t seed,
                     int bit_flips, double keep_fraction = 1.0);
+
+/// Truncates `path` to exactly `size` bytes — a surgical torn tail
+/// (corrupt_file's keep_fraction is proportional, this one is exact).
+Status truncate_file(const std::string& path, std::uint64_t size);
+
+/// Copies `size` bytes from `src_offset` over `dst_offset` in place,
+/// extending the file if needed — forges a duplicated/relocated journal
+/// segment. The source range must lie inside the file.
+Status duplicate_file_range(const std::string& path, std::uint64_t src_offset,
+                            std::uint64_t size, std::uint64_t dst_offset);
 
 }  // namespace pythia::harness

@@ -1,0 +1,157 @@
+// Kill-point fault injection: named crash sites in durability-critical
+// code paths.
+//
+// Crash-safe code is only as good as the crashes it was tested against.
+// The journal and checkpoint writers call crash_point("name") at every
+// boundary where a real crash would be interesting (segment seal, before
+// and after the checkpoint rename, after the manifest append). Disarmed —
+// the production state — a crash point is a single relaxed atomic load.
+// A test (or the PYTHIA_CRASH_POINT environment variable, for subprocess
+// kill matrices) arms one named point with a hit countdown and an action:
+//
+//   kSigkill — raise SIGKILL: the process dies exactly like an OOM kill,
+//              no unwinding, no flushing (subprocess tests);
+//   kExit    — _exit(137): same, but usable where a signal is awkward;
+//   kThrow   — throw CrashPointHit: the *test* catches it and abandons
+//              the session object in place, simulating an in-process
+//              crash without losing the test runner.
+//
+// Destructors of the crash-safe types deliberately do not flush their
+// user-space buffers (close()/sync() are the durability API), so the
+// kThrow unwind observes the same on-disk state a real crash would leave.
+#pragma once
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace pythia::support {
+
+enum class CrashAction { kSigkill, kExit, kThrow };
+
+/// Thrown by an armed crash point with action kThrow. Deliberately not
+/// derived from std::exception: generic catch (const std::exception&)
+/// recovery blocks must not swallow an injected crash.
+struct CrashPointHit {
+  std::string point;
+};
+
+namespace detail {
+
+struct CrashPointState {
+  std::mutex mutex;
+  bool armed = false;
+  std::string point;
+  std::uint64_t countdown = 0;
+  CrashAction action = CrashAction::kThrow;
+};
+
+inline CrashPointState& crash_state() {
+  static CrashPointState state;
+  return state;
+}
+
+inline std::atomic<bool>& crash_armed_flag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+inline void crash_point_fire(const char* name, CrashAction action) {
+  switch (action) {
+    case CrashAction::kSigkill:
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(137);  // unreachable; SIGKILL cannot be handled
+    case CrashAction::kExit:
+      ::_exit(137);
+    case CrashAction::kThrow:
+      throw CrashPointHit{name};
+  }
+}
+
+inline void crash_point_slow(const char* name) {
+  auto& state = crash_state();
+  CrashAction action;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.armed || state.point != name) return;
+    if (state.countdown > 1) {
+      --state.countdown;
+      return;
+    }
+    state.armed = false;
+    crash_armed_flag().store(false, std::memory_order_relaxed);
+    action = state.action;
+  }
+  crash_point_fire(name, action);
+}
+
+}  // namespace detail
+
+/// Instrumentation site. One relaxed atomic load when nothing is armed.
+inline void crash_point(const char* name) {
+  if (detail::crash_armed_flag().load(std::memory_order_relaxed)) {
+    detail::crash_point_slow(name);
+  }
+}
+
+/// Arms `point` to fire on its `after_hits`-th hit (1 = next hit).
+inline void arm_crash_point(std::string point, std::uint64_t after_hits = 1,
+                            CrashAction action = CrashAction::kThrow) {
+  auto& state = detail::crash_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.armed = true;
+  state.point = std::move(point);
+  state.countdown = after_hits == 0 ? 1 : after_hits;
+  state.action = action;
+  detail::crash_armed_flag().store(true, std::memory_order_relaxed);
+}
+
+inline void disarm_crash_points() {
+  auto& state = detail::crash_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.armed = false;
+  detail::crash_armed_flag().store(false, std::memory_order_relaxed);
+}
+
+inline bool crash_point_armed() {
+  return detail::crash_armed_flag().load(std::memory_order_relaxed);
+}
+
+/// Arms from PYTHIA_CRASH_POINT="name:count[:kill|exit|throw]" (count
+/// defaults to 1, action to kill — the subprocess-matrix default).
+/// Returns true when a point was armed.
+inline bool arm_crash_point_from_env() {
+  const char* spec = std::getenv("PYTHIA_CRASH_POINT");
+  if (spec == nullptr || *spec == '\0') return false;
+  const std::string text(spec);
+  const std::size_t first = text.find(':');
+  std::string name = text.substr(0, first);
+  std::uint64_t count = 1;
+  CrashAction action = CrashAction::kSigkill;
+  if (first != std::string::npos) {
+    const std::size_t second = text.find(':', first + 1);
+    const std::string count_text =
+        text.substr(first + 1, second == std::string::npos
+                                   ? std::string::npos
+                                   : second - first - 1);
+    if (!count_text.empty()) {
+      count = std::strtoull(count_text.c_str(), nullptr, 10);
+    }
+    if (second != std::string::npos) {
+      const std::string action_text = text.substr(second + 1);
+      if (action_text == "exit") action = CrashAction::kExit;
+      if (action_text == "throw") action = CrashAction::kThrow;
+    }
+  }
+  if (name.empty()) return false;
+  arm_crash_point(std::move(name), count, action);
+  return true;
+}
+
+}  // namespace pythia::support

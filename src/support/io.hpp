@@ -1,0 +1,212 @@
+// EINTR-safe POSIX file I/O with errno context.
+//
+// Every loop here exists because a transient signal (profilers, timers,
+// MPI progress threads) can interrupt a syscall mid-operation: a trace
+// save that dies with an opaque "short write" on EINTR is a robustness
+// bug, not an I/O error. All helpers retry EINTR and surface failures as
+// a pythia::Status carrying the operation, the path and strerror(errno),
+// so callers can log something actionable.
+//
+// The durability vocabulary used by trace_io and the session layer:
+//   * write_file()        — plain create/truncate/write (no rename, no
+//                           fsync); a crash can leave a truncated file.
+//   * write_file_atomic() — write-temp -> (fsync) -> rename(2) -> fsync
+//                           of the parent directory. Readers see either
+//                           the old file or the complete new one, never a
+//                           torn intermediate.
+//   * fsync_fd/fsync_path — flush OS buffers to stable storage (needed
+//                           for power-loss durability; process death
+//                           alone never loses completed write(2)s).
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace pythia::support {
+
+/// "write 'path': Interrupted system call (errno 4)" — built from the
+/// current errno, so call it before anything else can clobber it.
+inline Status errno_status(const char* op, const std::string& path) {
+  const int saved = errno;
+  return Status::io_error(std::string(op) + " '" + path +
+                          "': " + std::strerror(saved) + " (errno " +
+                          std::to_string(saved) + ")");
+}
+
+inline int open_noeintr(const char* path, int flags, mode_t mode = 0644) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+/// POSIX leaves the descriptor state unspecified when close(2) returns
+/// EINTR; on Linux the descriptor is guaranteed released, so retrying
+/// would race with another thread reusing the fd. EINTR is success here.
+inline int close_noeintr(int fd) {
+  const int rc = ::close(fd);
+  return (rc != 0 && errno == EINTR) ? 0 : rc;
+}
+
+inline Status fsync_fd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0 ? Status() : errno_status("fsync", path);
+}
+
+/// Writes all of `size` bytes, retrying short writes and EINTR.
+inline Status full_write(int fd, const void* data, std::size_t size,
+                         const std::string& path) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write", path);
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+/// Reads the whole file into `out` (replacing its contents).
+inline Status read_file(const std::string& path,
+                        std::vector<unsigned char>& out) {
+  const int fd = open_noeintr(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = errno_status("stat", path);
+    close_noeintr(fd);
+    return status;
+  }
+  out.clear();
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + offset, out.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = errno_status("read", path);
+      close_noeintr(fd);
+      return status;
+    }
+    if (n == 0) {  // file shrank underneath us; return what exists
+      out.resize(offset);
+      break;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  if (close_noeintr(fd) != 0) return errno_status("close", path);
+  return Status();
+}
+
+/// Plain create/truncate/write; optionally fsync'd. Not atomic — a crash
+/// mid-write leaves a truncated file (use write_file_atomic when readers
+/// may race a crash).
+inline Status write_file(const std::string& path, const void* data,
+                         std::size_t size, bool durable = false) {
+  const int fd = open_noeintr(path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  Status status = full_write(fd, data, size, path);
+  if (status.ok() && durable) status = fsync_fd(fd, path);
+  if (close_noeintr(fd) != 0 && status.ok()) {
+    status = errno_status("close", path);
+  }
+  return status;
+}
+
+/// Directory of `path` ("." when the path has no slash).
+inline std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync of a directory, making a rename inside it durable.
+inline Status fsync_path(const std::string& path) {
+  const int fd = open_noeintr(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  Status status = fsync_fd(fd, path);
+  close_noeintr(fd);
+  return status;
+}
+
+/// Write-temp -> (fsync) -> atomic rename -> (fsync directory). With
+/// `durable` false the fsyncs are skipped: still atomic against process
+/// crashes, not against power loss.
+inline Status write_file_atomic(const std::string& path, const void* data,
+                                std::size_t size, bool durable = true) {
+  // Pid-unique temp name: concurrent writers of the same path must not
+  // share a temp file, or one process renames (steals) the temp the
+  // other is still writing and the loser's rename fails with ENOENT.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status status = write_file(temp, data, size, durable);
+  if (!status.ok()) {
+    std::remove(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    status = errno_status("rename", temp);
+    std::remove(temp.c_str());
+    return status;
+  }
+  if (durable) {
+    const Status dir_status = fsync_path(parent_dir(path));
+    // A failed directory fsync leaves the rename itself intact; surface
+    // the weaker durability but do not undo the write.
+    if (!dir_status.ok()) return dir_status;
+  }
+  return Status();
+}
+
+/// Appends `size` bytes to `path` (created if missing), optionally
+/// fsync'd — the manifest append primitive.
+inline Status append_file(const std::string& path, const void* data,
+                          std::size_t size, bool durable = true) {
+  const int fd = open_noeintr(path.c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  Status status = full_write(fd, data, size, path);
+  if (status.ok() && durable) status = fsync_fd(fd, path);
+  if (close_noeintr(fd) != 0 && status.ok()) {
+    status = errno_status("close", path);
+  }
+  return status;
+}
+
+inline bool path_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+inline bool is_directory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// mkdir that tolerates the directory already existing.
+inline Status make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status();
+  return errno_status("mkdir", path);
+}
+
+}  // namespace pythia::support

@@ -4,6 +4,8 @@
 // (events *and* durations) before and after the reload.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,8 +19,12 @@
 namespace pythia {
 namespace {
 
+// Pid-qualified: several tests reuse the same index, and under a
+// parallel ctest each runs in its own process — a shared literal path
+// lets one test's fixture teardown delete another's live file.
 std::string temp_path(int index) {
-  return testing::TempDir() + "/fuzz_" + std::to_string(index) + ".pythia";
+  return testing::TempDir() + "/fuzz_" + std::to_string(index) + "_" +
+         std::to_string(::getpid()) + ".pythia";
 }
 
 struct FuzzCase {

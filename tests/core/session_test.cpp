@@ -1,0 +1,363 @@
+// Crash-safe record sessions: fresh sessions match the plain Recorder,
+// recovery resumes event-for-event after an in-process crash (kThrow
+// kill points at every durability boundary), and checkpoints bound the
+// replay work without changing the result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "harness/faults.hpp"
+#include "support/io.hpp"
+
+namespace pythia {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  // Start clean even when TempDir is reused between runs.
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Deterministic workload: nested loops produce a grammar with real
+/// structure, three kinds, aux payloads, and growing timestamps.
+struct Workload {
+  std::vector<TerminalId> ids;
+  std::uint64_t now = 0;
+
+  void intern_all(RecordSession& session) {
+    ids.push_back(session.intern("compute"));
+    ids.push_back(session.intern("MPI_Send", 1));
+    ids.push_back(session.intern("MPI_Recv", 1));
+    ids.push_back(session.intern("MPI_Allreduce"));
+  }
+  void intern_all(EventRegistry& registry) {
+    ids.push_back(registry.intern("compute"));
+    ids.push_back(registry.intern("MPI_Send", 1));
+    ids.push_back(registry.intern("MPI_Recv", 1));
+    ids.push_back(registry.intern("MPI_Allreduce"));
+  }
+  TerminalId at(std::uint64_t step) const {
+    switch (step % 7) {
+      case 0:
+      case 2:
+      case 4:
+        return ids[0];
+      case 1:
+        return ids[1];
+      case 3:
+        return ids[2];
+      default:
+        return ids[step % 7 == 5 ? 1 : 3];
+    }
+  }
+  std::uint64_t tick() { return now += 1000; }
+};
+
+SessionOptions tiny_options(std::uint64_t checkpoint_every = 0) {
+  SessionOptions options;
+  options.journal.segment_bytes = 512;
+  options.journal.flush_every_events = 1;  // every event reaches the OS
+  options.journal.sync_on_seal = false;
+  options.checkpoint_every_events = checkpoint_every;
+  return options;
+}
+
+/// The uninterrupted reference run for `total` events.
+ThreadTrace reference_run(std::uint64_t total) {
+  Workload workload;
+  EventRegistry registry;
+  workload.intern_all(registry);
+  Recorder recorder(Recorder::Options{true});
+  for (std::uint64_t i = 0; i < total; ++i) {
+    recorder.record(workload.at(i), workload.tick());
+  }
+  return std::move(recorder).finish();
+}
+
+void expect_equivalent(const ThreadTrace& actual, const ThreadTrace& expected,
+                       const char* label) {
+  EXPECT_EQ(actual.grammar.sequence_length(),
+            expected.grammar.sequence_length())
+      << label;
+  EXPECT_EQ(actual.grammar.unfold(), expected.grammar.unfold()) << label;
+  EXPECT_EQ(actual.timing.context_count(), expected.timing.context_count())
+      << label;
+  EXPECT_DOUBLE_EQ(actual.timing.global_mean_ns(),
+                   expected.timing.global_mean_ns())
+      << label;
+}
+
+TEST(Session, FreshSessionMatchesPlainRecorder) {
+  const std::string dir = fresh_dir("session_fresh");
+  Result<RecordSession> opened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  RecordSession session = opened.take();
+  EXPECT_FALSE(session.recovery().recovered);
+
+  Workload workload;
+  workload.intern_all(session);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+  }
+  Result<Trace> finished = std::move(session).finish();
+  ASSERT_TRUE(finished.ok()) << finished.status().to_string();
+  const Trace trace = finished.take();
+
+  expect_equivalent(trace.threads[0], reference_run(500), "fresh session");
+  EXPECT_EQ(trace.registry.kind_count(), 4u);
+  EXPECT_EQ(trace.registry.event_count(), 4u);
+
+  // finish() wrote the final trace file; it reloads identically.
+  Result<Trace> reloaded = Trace::try_load(dir + "/trace.pythia");
+  ASSERT_TRUE(reloaded.ok());
+  expect_equivalent(reloaded.value().threads[0], trace.threads[0],
+                    "saved trace");
+}
+
+TEST(Session, RejectsEventsThatWereNeverInterned) {
+  const std::string dir = fresh_dir("session_reject");
+  Result<RecordSession> opened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(opened.ok());
+  RecordSession session = opened.take();
+  const Status status = session.event(42, 0);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidState);
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(Session, ResumesFromJournalAloneAfterAbandonment) {
+  const std::string dir = fresh_dir("session_journal_only");
+  Workload workload;
+  {
+    Result<RecordSession> opened = RecordSession::open(dir, tiny_options());
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+    }
+    // Abandon without finish(): everything flushed (cadence 1) but the
+    // session object dies like the process would.
+  }
+
+  Result<RecordSession> reopened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  RecordSession session = reopened.take();
+  EXPECT_TRUE(session.recovery().recovered);
+  EXPECT_FALSE(session.recovery().used_checkpoint);
+  EXPECT_EQ(session.recovery().journaled_events, 300u);
+  EXPECT_EQ(session.recovery().replayed_events, 300u);
+  EXPECT_EQ(session.event_count(), 300u);
+  // The registry survived through the journal's intern records.
+  EXPECT_EQ(session.registry().kind_count(), 4u);
+  EXPECT_EQ(session.registry().event_count(), 4u);
+
+  // Resume the workload where it stopped and compare to uninterrupted.
+  Workload resumed = workload;
+  for (std::uint64_t i = 300; i < 800; ++i) {
+    ASSERT_TRUE(session.event(resumed.at(i), resumed.tick()).ok());
+  }
+  Result<Trace> finished = std::move(session).finish();
+  ASSERT_TRUE(finished.ok());
+  expect_equivalent(finished.value().threads[0], reference_run(800),
+                    "journal-only recovery");
+}
+
+TEST(Session, CheckpointBoundsReplayAndPreservesEquivalence) {
+  const std::string dir = fresh_dir("session_ckpt");
+  Workload workload;
+  {
+    Result<RecordSession> opened =
+        RecordSession::open(dir, tiny_options(/*checkpoint_every=*/100));
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    for (std::uint64_t i = 0; i < 450; ++i) {
+      ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+    }
+  }
+
+  Result<RecordSession> reopened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  RecordSession session = reopened.take();
+  const RecoveryInfo& info = session.recovery();
+  EXPECT_TRUE(info.used_checkpoint);
+  EXPECT_EQ(info.checkpoint_events, 400u);
+  EXPECT_EQ(info.journaled_events, 450u);
+  EXPECT_EQ(info.replayed_events, 50u);
+
+  Workload resumed = workload;
+  for (std::uint64_t i = 450; i < 700; ++i) {
+    ASSERT_TRUE(session.event(resumed.at(i), resumed.tick()).ok());
+  }
+  Result<Trace> finished = std::move(session).finish();
+  ASSERT_TRUE(finished.ok());
+  expect_equivalent(finished.value().threads[0], reference_run(700),
+                    "checkpointed recovery");
+}
+
+TEST(Session, PrunesOldCheckpointsButManifestStaysUsable) {
+  const std::string dir = fresh_dir("session_prune");
+  SessionOptions options = tiny_options(/*checkpoint_every=*/50);
+  options.keep_checkpoints = 2;
+  Workload workload;
+  {
+    Result<RecordSession> opened = RecordSession::open(dir, options);
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+    }
+  }
+  // 10 checkpoints were cut; only the 2 newest files survive.
+  EXPECT_FALSE(support::path_exists(dir + "/ckpt-000000000050.pythia"));
+  EXPECT_FALSE(support::path_exists(dir + "/ckpt-000000000400.pythia"));
+  EXPECT_TRUE(support::path_exists(dir + "/ckpt-000000000450.pythia"));
+  EXPECT_TRUE(support::path_exists(dir + "/ckpt-000000000500.pythia"));
+
+  Result<RecordSession> reopened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().recovery().checkpoint_events, 500u);
+}
+
+// In-process crash points: arm each durability boundary with kThrow,
+// abandon the session mid-flight, recover, resume, and require
+// event-for-event equivalence with the uninterrupted run.
+class SessionCrashPoint : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { harness::disarm_crash_points(); }
+};
+
+TEST_P(SessionCrashPoint, RecoveryAfterInProcessCrashIsEquivalent) {
+  const std::string dir =
+      fresh_dir(std::string("session_crash_") + GetParam());
+  Workload workload;
+  std::uint64_t survived = 0;
+  {
+    Result<RecordSession> opened =
+        RecordSession::open(dir, tiny_options(/*checkpoint_every=*/64));
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    harness::arm_crash_point(GetParam(), /*after_hits=*/3,
+                             harness::CrashAction::kThrow);
+    try {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        const Status status = session.event(workload.at(i), workload.tick());
+        if (!status.ok()) {
+          ADD_FAILURE() << status.to_string();
+          break;
+        }
+        ++survived;
+      }
+      ADD_FAILURE() << "crash point " << GetParam() << " never fired";
+    } catch (const harness::CrashPointHit& hit) {
+      EXPECT_EQ(hit.point, GetParam());
+      // The session object is abandoned here, exactly like a crash.
+    }
+  }
+  harness::disarm_crash_points();
+  ASSERT_GT(survived, 0u);
+
+  Result<RecordSession> reopened = RecordSession::open(dir, tiny_options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  RecordSession session = reopened.take();
+  const std::uint64_t recovered = session.recovery().journaled_events;
+  // Durable-prefix bound: with flush_every_events=1 every *completed*
+  // event() is on disk; the crash interrupts at most the one in flight.
+  EXPECT_GE(recovered + 1, survived);
+  EXPECT_LE(recovered, survived + 1);
+
+  // The recovered prefix is the reference prefix.
+  const ThreadTrace expected_prefix = reference_run(recovered);
+  EXPECT_EQ(session.grammar().unfold(), expected_prefix.grammar.unfold());
+
+  // Resume to 1000 total and compare against the uninterrupted run.
+  Workload resumed = workload;
+  resumed.now = recovered * 1000;  // deterministic clock position
+  for (std::uint64_t i = recovered; i < 1000; ++i) {
+    ASSERT_TRUE(session.event(resumed.at(i), resumed.tick()).ok());
+  }
+  Result<Trace> finished = std::move(session).finish();
+  ASSERT_TRUE(finished.ok());
+  expect_equivalent(finished.value().threads[0], reference_run(1000),
+                    GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(DurabilityBoundaries, SessionCrashPoint,
+                         ::testing::Values("journal.seal", "journal.sealed",
+                                           "checkpoint.pre_rename",
+                                           "checkpoint.post_rename",
+                                           "checkpoint.manifest",
+                                           "session.event"));
+
+TEST(Session, OfflineRecoveryBuildsFinalizedTraceWithTiming) {
+  const std::string dir = fresh_dir("session_offline");
+  Workload workload;
+  {
+    Result<RecordSession> opened =
+        RecordSession::open(dir, tiny_options(/*checkpoint_every=*/128));
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+    }
+  }
+  RecoveryInfo info;
+  Result<Trace> recovered = recover_session(dir, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_EQ(info.journaled_events, 400u);
+  expect_equivalent(recovered.value().threads[0], reference_run(400),
+                    "offline recovery");
+  EXPECT_TRUE(recovered.value().threads[0].grammar.finalized());
+}
+
+TEST(Session, StaleCheckpointNewerThanJournalIsIgnored) {
+  const std::string dir = fresh_dir("session_stale");
+  Workload workload;
+  {
+    Result<RecordSession> opened =
+        RecordSession::open(dir, tiny_options(/*checkpoint_every=*/100));
+    ASSERT_TRUE(opened.ok());
+    RecordSession session = opened.take();
+    workload.intern_all(session);
+    for (std::uint64_t i = 0; i < 250; ++i) {
+      ASSERT_TRUE(session.event(workload.at(i), workload.tick()).ok());
+    }
+  }
+  // Rewind the journal below every checkpoint: keep the file header +
+  // first segment only. Both checkpoints now claim events the journal
+  // does not hold; recovery must ignore them and rebuild journal-only.
+  Result<JournalScan> scanned = scan_journal(dir + "/journal.pyj");
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_TRUE(harness::truncate_file(dir + "/journal.pyj",
+                                     16 + scanned.value().segment_bytes)
+                  .ok());
+  const std::uint64_t kept = scan_journal(dir + "/journal.pyj")
+                                 .value()
+                                 .event_records;
+  ASSERT_LT(kept, 200u);
+
+  RecoveryInfo info;
+  Result<Trace> recovered = recover_session(dir, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_EQ(info.journaled_events, kept);
+  EXPECT_LE(info.checkpoint_events, kept);
+  bool noted_stale = false;
+  for (const std::string& note : info.notes) {
+    if (note.find("stale") != std::string::npos) noted_stale = true;
+  }
+  EXPECT_TRUE(noted_stale);
+  // The recovered trace is exactly the journaled prefix.
+  EXPECT_EQ(recovered.value().threads[0].grammar.unfold(),
+            reference_run(kept).grammar.unfold());
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,190 @@
+// Kill-point recovery matrix: a child process records through a
+// RecordSession and SIGKILLs itself at a randomized event offset — no
+// unwinding, no flushing, exactly an OOM kill. The parent recovers the
+// session and asserts the crash-safety contract:
+//
+//   1. the journal's valid prefix M is event-for-event equal to the
+//      first M events of the deterministic workload;
+//   2. M is within the configured flush window of the kill offset
+//      (kill_at - flush_every < M <= kill_at);
+//   3. resuming the recovered session to the full length produces a
+//      trace equivalent (unfold + timing) to an uninterrupted run.
+//
+// Seeds vary the kill offset, flush cadence, checkpoint cadence and
+// segment size together, so the matrix covers mid-segment, mid-seal and
+// mid-checkpoint deaths. PYTHIA_KILL_SEEDS overrides the seed count
+// (CI runs 20).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+constexpr std::uint64_t kTotalEvents = 1200;
+
+std::vector<TerminalId> intern_workload(RecordSession& session) {
+  return {session.intern("compute"), session.intern("MPI_Send", 1),
+          session.intern("MPI_Recv", 1), session.intern("MPI_Allreduce")};
+}
+
+std::vector<TerminalId> intern_workload(EventRegistry& registry) {
+  return {registry.intern("compute"), registry.intern("MPI_Send", 1),
+          registry.intern("MPI_Recv", 1), registry.intern("MPI_Allreduce")};
+}
+
+/// Deterministic stream shared by child, parent and reference run.
+TerminalId workload_event(const std::vector<TerminalId>& ids,
+                          std::uint64_t step) {
+  switch (step % 11) {
+    case 0:
+    case 3:
+    case 6:
+      return ids[0];
+    case 1:
+    case 4:
+      return ids[1];
+    case 2:
+    case 5:
+      return ids[2];
+    default:
+      return ids[(step / 11) % 2 == 0 ? 0 : 3];
+  }
+}
+
+std::uint64_t workload_time(std::uint64_t step) { return (step + 1) * 1000; }
+
+struct KillPlan {
+  std::uint64_t kill_at = 0;
+  SessionOptions options;
+};
+
+KillPlan plan_for_seed(std::uint64_t seed) {
+  support::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
+  KillPlan plan;
+  plan.kill_at = rng.below(kTotalEvents);
+  plan.options.journal.segment_bytes = std::size_t{512}
+                                       << rng.below(3);  // 512/1024/2048
+  plan.options.journal.flush_every_events = 1 + rng.below(8);
+  plan.options.journal.sync_on_seal = false;  // SIGKILL spares the page cache
+  plan.options.checkpoint_every_events =
+      rng.below(3) == 0 ? 0 : 64 + 64 * rng.below(4);
+  return plan;
+}
+
+/// The child's whole life. Never returns.
+[[noreturn]] void run_child(const std::string& dir, const KillPlan& plan) {
+  Result<RecordSession> opened = RecordSession::open(dir, plan.options);
+  if (!opened.ok()) ::_exit(3);
+  RecordSession session = opened.take();
+  const std::vector<TerminalId> ids = intern_workload(session);
+  for (std::uint64_t i = 0; i < kTotalEvents; ++i) {
+    if (i == plan.kill_at) {
+      ::kill(::getpid(), SIGKILL);  // no unwinding, no flushing
+      ::_exit(4);                   // unreachable
+    }
+    if (!session.event(workload_event(ids, i), workload_time(i)).ok()) {
+      ::_exit(5);
+    }
+  }
+  ::_exit(6);  // kill_at out of range — plan bug
+}
+
+ThreadTrace reference_run(std::uint64_t total) {
+  EventRegistry registry;
+  const std::vector<TerminalId> ids = intern_workload(registry);
+  Recorder recorder(Recorder::Options{true});
+  for (std::uint64_t i = 0; i < total; ++i) {
+    recorder.record(workload_event(ids, i), workload_time(i));
+  }
+  return std::move(recorder).finish();
+}
+
+std::vector<TerminalId> reference_prefix(std::uint64_t length) {
+  EventRegistry registry;
+  const std::vector<TerminalId> ids = intern_workload(registry);
+  std::vector<TerminalId> events;
+  events.reserve(length);
+  for (std::uint64_t i = 0; i < length; ++i) {
+    events.push_back(workload_event(ids, i));
+  }
+  return events;
+}
+
+void run_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const KillPlan plan = plan_for_seed(seed);
+  const std::string dir =
+      testing::TempDir() + "/crash_recovery_" + std::to_string(seed);
+  std::filesystem::remove_all(dir);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) run_child(dir, plan);  // never returns
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited with code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+      << " instead of dying by signal";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Recover. The journal is the truth: M events survived.
+  Result<RecordSession> reopened = RecordSession::open(dir, plan.options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  RecordSession session = reopened.take();
+  const std::uint64_t recovered = session.recovery().journaled_events;
+
+  // Durability window: completed write(2)s survive SIGKILL, so at most
+  // flush_every_events - 1 completed events (the user-space buffer) die.
+  EXPECT_LE(recovered, plan.kill_at);
+  EXPECT_GT(recovered + plan.options.journal.flush_every_events,
+            plan.kill_at);
+
+  // Event-for-event: the recovered grammar unfolds to the exact prefix.
+  EXPECT_EQ(session.grammar().unfold(), reference_prefix(recovered));
+  EXPECT_EQ(session.event_count(), recovered);
+
+  // Resume to the full run; the final trace must match the uninterrupted
+  // one, including the timing model (timestamps are journaled).
+  // Re-interning is idempotent: the recovered registry returns the same
+  // dense ids and journals nothing new.
+  const std::vector<TerminalId> ids = intern_workload(session);
+  for (std::uint64_t i = recovered; i < kTotalEvents; ++i) {
+    ASSERT_TRUE(session.event(workload_event(ids, i), workload_time(i)).ok());
+  }
+  Result<Trace> finished = std::move(session).finish();
+  ASSERT_TRUE(finished.ok()) << finished.status().to_string();
+  const ThreadTrace& actual = finished.value().threads[0];
+  const ThreadTrace expected = reference_run(kTotalEvents);
+  EXPECT_EQ(actual.grammar.sequence_length(),
+            expected.grammar.sequence_length());
+  EXPECT_EQ(actual.grammar.unfold(), expected.grammar.unfold());
+  EXPECT_EQ(actual.timing.context_count(), expected.timing.context_count());
+  EXPECT_DOUBLE_EQ(actual.timing.global_mean_ns(),
+                   expected.timing.global_mean_ns());
+}
+
+TEST(CrashRecovery, SigkillAtRandomOffsetsRecoversEventForEvent) {
+  const long seeds = support::env_long("PYTHIA_KILL_SEEDS", 20);
+  for (long seed = 0; seed < seeds; ++seed) {
+    run_seed(static_cast<std::uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace pythia

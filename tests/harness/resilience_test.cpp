@@ -1,11 +1,17 @@
 // Harness resilience: salvaged reference sections degrade their rank to
-// off, RunConfig::faults drives the EventFaultInjector, and the
-// telemetry in RunResult reflects both.
+// off, RunConfig::faults drives the EventFaultInjector, the telemetry in
+// RunResult reflects both, and session recovery survives surgical
+// journal damage (torn tails, truncated headers, cloned segments, stale
+// checkpoints).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
+#include "core/session.hpp"
 #include "harness/faults.hpp"
 #include "harness/runner.hpp"
 
@@ -109,6 +115,126 @@ TEST(Resilience, CleanPredictRunStaysHealthy) {
   EXPECT_EQ(result.ranks_salvaged, 0u);
   EXPECT_GT(result.min_confidence, 0.9);
   EXPECT_EQ(result.fault_stats.submitted, 0u);
+}
+
+// --- journal-fault resilience ---------------------------------------------
+//
+// Each test records a session, damages the on-disk journal with the
+// fault-injection file surgery above, and asserts recovery degrades to
+// the longest valid prefix instead of failing or resurrecting bad data.
+
+constexpr std::uint64_t kJournalEvents = 400;
+
+std::string record_damaged_session(const std::string& name,
+                                   std::uint64_t checkpoint_every = 0) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  SessionOptions options;
+  options.journal.segment_bytes = 512;
+  options.journal.flush_every_events = 1;
+  options.journal.sync_on_seal = false;
+  options.checkpoint_every_events = checkpoint_every;
+  Result<RecordSession> opened = RecordSession::open(dir, options);
+  EXPECT_TRUE(opened.ok()) << opened.status().to_string();
+  RecordSession session = opened.take();
+  const TerminalId a = session.intern("phase_a");
+  const TerminalId b = session.intern("phase_b");
+  const TerminalId c = session.intern("sync");
+  for (std::uint64_t i = 0; i < kJournalEvents; ++i) {
+    const TerminalId event = i % 5 == 4 ? c : (i % 2 == 0 ? a : b);
+    EXPECT_TRUE(session.event(event, (i + 1) * 100).ok());
+  }
+  EXPECT_TRUE(session.sync().ok());
+  // Abandoned without finish(): only journal + checkpoints remain.
+  return dir;
+}
+
+RecoveryInfo recover_expecting(const std::string& dir,
+                               std::uint64_t expected_events) {
+  RecoveryInfo info;
+  Result<Trace> recovered = recover_session(dir, &info);
+  EXPECT_TRUE(recovered.ok()) << recovered.status().to_string();
+  if (recovered.ok()) {
+    EXPECT_EQ(info.journaled_events, expected_events);
+    EXPECT_EQ(recovered.value().threads[0].grammar.sequence_length(),
+              expected_events);
+  }
+  return info;
+}
+
+TEST(JournalResilience, TornTailRecoversThePrefix) {
+  const std::string dir = record_damaged_session("jr_torn");
+  const std::string journal = dir + "/journal.pyj";
+  Result<JournalScan> scan = scan_journal(journal);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_FALSE(scan.value().torn);
+  // Tear 7 bytes off the final record.
+  ASSERT_TRUE(truncate_file(journal, scan.value().file_bytes - 7).ok());
+
+  const RecoveryInfo info = recover_expecting(dir, kJournalEvents - 1);
+  EXPECT_EQ(info.torn_bytes, 13u);  // 20-byte event record minus the 7 cut
+  EXPECT_FALSE(info.used_checkpoint);
+}
+
+TEST(JournalResilience, TruncatedSegmentHeaderEndsThePrefix) {
+  const std::string dir = record_damaged_session("jr_seghdr");
+  const std::string journal = dir + "/journal.pyj";
+  Result<JournalScan> scan = scan_journal(journal);
+  ASSERT_TRUE(scan.ok());
+  const std::uint64_t seg = scan.value().segment_bytes;
+  ASSERT_GE(scan.value().segments, 3u);
+  // Cut into the 3rd segment's header: 12 of its 24 bytes survive.
+  ASSERT_TRUE(truncate_file(journal, 16 + 2 * seg + 12).ok());
+
+  Result<JournalScan> cut = scan_journal(journal);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut.value().torn);
+  EXPECT_EQ(cut.value().segments, 2u);
+  recover_expecting(dir, cut.value().event_records);
+}
+
+TEST(JournalResilience, DuplicatedSegmentIsRejectedBySequenceCheck) {
+  const std::string dir = record_damaged_session("jr_dup");
+  const std::string journal = dir + "/journal.pyj";
+  Result<JournalScan> scan = scan_journal(journal);
+  ASSERT_TRUE(scan.ok());
+  const std::uint64_t seg = scan.value().segment_bytes;
+  ASSERT_GE(scan.value().segments, 4u);
+  // Clone segment 1 over segment 2: every byte checksums, but the clone
+  // repeats sequence numbers the prefix already consumed.
+  ASSERT_TRUE(duplicate_file_range(journal, 16 + seg, seg, 16 + 2 * seg).ok());
+
+  Result<JournalScan> damaged = scan_journal(journal);
+  ASSERT_TRUE(damaged.ok());
+  EXPECT_TRUE(damaged.value().torn);
+  EXPECT_EQ(damaged.value().segments, 2u);
+  const RecoveryInfo info =
+      recover_expecting(dir, damaged.value().event_records);
+  EXPECT_LT(info.journaled_events, kJournalEvents);
+}
+
+TEST(JournalResilience, StaleCheckpointNewerThanJournalIsIgnored) {
+  const std::string dir =
+      record_damaged_session("jr_stale", /*checkpoint_every=*/100);
+  const std::string journal = dir + "/journal.pyj";
+  Result<JournalScan> scan = scan_journal(journal);
+  ASSERT_TRUE(scan.ok());
+  // Rewind the journal to its first segment: fewer events than any
+  // checkpoint (cadence 100) covers. The checkpoints now describe a
+  // future the journal cannot corroborate — recovery must ignore them.
+  ASSERT_TRUE(truncate_file(journal, 16 + scan.value().segment_bytes).ok());
+  Result<JournalScan> cut = scan_journal(journal);
+  ASSERT_TRUE(cut.ok());
+  ASSERT_LT(cut.value().event_records, 100u);
+
+  const RecoveryInfo info =
+      recover_expecting(dir, cut.value().event_records);
+  EXPECT_FALSE(info.used_checkpoint);
+  bool noted_stale = false;
+  for (const std::string& note : info.notes) {
+    if (note.find("stale") != std::string::npos) noted_stale = true;
+  }
+  EXPECT_TRUE(noted_stale);
 }
 
 }  // namespace
