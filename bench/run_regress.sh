@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Builds (Release) and runs the core benchmark-regression harness, leaving
-# BENCH_core.json at the repo root. Extra flags are forwarded to the
-# binary, e.g.:
+# Builds (Release) and runs the benchmark-regression harnesses, leaving
+# BENCH_core.json and BENCH_mt.json at the repo root. Extra flags are
+# forwarded to both binaries, e.g.:
 #
-#   bench/run_regress.sh --strict          # fail on steady-state allocs
+#   bench/run_regress.sh --strict          # fail on steady-state allocs,
+#                                          # journaled overhead > 15%, or
+#                                          # (multi-core hosts) < 3x engine
+#                                          # scaling at 4 threads
 #   PYTHIA_BENCH_SCALE=0.2 bench/run_regress.sh
 #
 # BUILD_DIR overrides the build tree (default: build-bench, kept separate
@@ -15,14 +18,22 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target regress >/dev/null
+cmake --build "$BUILD_DIR" -j --target regress scaling >/dev/null
 
 # Write via a temp file + atomic rename so an interrupted or failing run
-# never leaves a torn BENCH_core.json behind.
+# never leaves a torn report behind.
 OUT=BENCH_core.json
 TMP=$(mktemp "${OUT}.XXXXXX.tmp")
 trap 'rm -f "$TMP"' EXIT
 
 "$BUILD_DIR/bench/regress" --out="$TMP" "$@"
 mv -f "$TMP" "$OUT"
+trap - EXIT
+
+MT_OUT=BENCH_mt.json
+MT_TMP=$(mktemp "${MT_OUT}.XXXXXX.tmp")
+trap 'rm -f "$MT_TMP"' EXIT
+
+"$BUILD_DIR/bench/scaling" --out="$MT_TMP" "$@"
+mv -f "$MT_TMP" "$MT_OUT"
 trap - EXIT

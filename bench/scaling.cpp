@@ -1,0 +1,319 @@
+// scaling — multi-threaded oracle engine scaling (record ingestion and
+// shared-grammar predict serving).
+//
+//   ./build/bench/scaling [--out=BENCH_mt.json] [--strict]
+//
+// Record side: T producer threads, each feeding its own RecordEngine
+// shard (SPSC ring + recorder worker), measured to the drain() barrier —
+// aggregate events/s at 1/2/4/8 threads, plus ring high-water occupancy
+// and drop/block counters. Predict side: T client threads, each with its
+// own PredictSession against one shared immutable TraceSnapshot —
+// aggregate predictions/s. Both report the 4-thread speedup over one
+// thread.
+//
+// Reps are pinned to distinct cores when the machine has them (Linux
+// affinity; see EXPERIMENTS.md for the tier-1 parallelism caveat). The
+// --strict gate (>= 3x aggregate at 4 threads, no drops) only arms on
+// machines with >= 4 hardware threads: on smaller boxes the threads
+// time-slice one core and a scaling assertion would measure the
+// scheduler, not the engine. hardware_concurrency is always reported so
+// CI can tell which case it saw.
+//
+// PYTHIA_BENCH_SCALE scales event counts; PYTHIA_BENCH_REPS the best-of
+// rep count, as in the other benches.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/recorder.hpp"
+#include "engine/record_engine.hpp"
+#include "engine/snapshot.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace {
+
+using namespace pythia;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Loopy stream with irregular interruptions (same shape as the engine
+/// tests): exercises rule creation, reuse and exponent bumps.
+std::vector<TerminalId> mixed_stream(std::size_t events, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  while (out.size() < events) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 2u, 3u}) {
+      if (out.size() >= events) break;
+      out.push_back(t);
+    }
+    if (rng.below(4) == 0) out.push_back(4 + rng.below(8));
+  }
+  out.resize(events);
+  return out;
+}
+
+/// Pins the calling thread to `core` (best effort; no-op off Linux).
+bool pin_self(unsigned core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+struct RecordResult {
+  double events_per_sec = 0.0;
+  std::uint64_t ring_peak = 0;  ///< sampled high-water ring occupancy
+  engine::RecordEngine::ShardStats stats;
+};
+
+/// T producers, one shard each, timed to the drain() barrier. Best-of
+/// `reps` on aggregate throughput.
+RecordResult bench_record(std::size_t threads, std::size_t events_per_thread,
+                          int reps, bool pin, unsigned cores) {
+  std::vector<std::vector<TerminalId>> streams;
+  streams.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    streams.push_back(mixed_stream(events_per_thread, 40 + t));
+  }
+
+  RecordResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    engine::RecordEngine engine(threads);
+    std::atomic<bool> producing{true};
+    std::uint64_t ring_peak = 0;
+
+    const auto begin = Clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      producers.emplace_back([&, t] {
+        // Distinct cores per producer; the worker threads float. (On a
+        // single-core host pinning is skipped entirely.)
+        if (pin) pin_self(static_cast<unsigned>(t) % cores);
+        engine::RecordEngine::Producer& producer = engine.producer(t);
+        std::uint64_t now = 0;
+        for (TerminalId event : streams[t]) producer.submit(event, now += 100);
+      });
+    }
+    // Sample ring occupancy from the main thread while producers run.
+    while (producing.load(std::memory_order_relaxed)) {
+      for (std::size_t t = 0; t < threads; ++t) {
+        ring_peak = std::max(
+            ring_peak, static_cast<std::uint64_t>(engine.ring_size_approx(t)));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (engine.totals().enqueued + engine.totals().dropped >=
+          threads * events_per_thread) {
+        producing.store(false, std::memory_order_relaxed);
+      }
+    }
+    for (std::thread& producer : producers) producer.join();
+    engine.drain();
+    const auto end = Clock::now();
+
+    const double wall = elapsed_s(begin, end);
+    const double rate =
+        static_cast<double>(threads * events_per_thread) / wall;
+    if (rate > best.events_per_sec) {
+      best.events_per_sec = rate;
+      best.ring_peak = ring_peak;
+      best.stats = engine.totals();
+    }
+    (void)engine.finish();
+  }
+  return best;
+}
+
+/// T clients over one shared snapshot: observe + predict_n(4) rounds.
+double bench_predict(const std::shared_ptr<const engine::TraceSnapshot>& snap,
+                     const std::vector<TerminalId>& reference,
+                     std::size_t threads, std::size_t rounds_per_thread,
+                     int reps, bool pin, unsigned cores) {
+  engine::PredictServer server;
+  server.publish(snap);
+  constexpr std::size_t kHorizon = 4;
+
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        if (pin) pin_self(static_cast<unsigned>(t) % cores);
+        auto session = server.open(0);
+        if (!session.ok()) return;
+        engine::PredictSession client = session.take();
+        TerminalId out[kHorizon];
+        std::size_t cursor = t % reference.size();
+        for (std::size_t round = 0; round < rounds_per_thread; ++round) {
+          client.observe(reference[cursor]);
+          cursor = (cursor + 1) % reference.size();
+          (void)client.predict_n(out, kHorizon);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double wall = elapsed_s(begin, Clock::now());
+    const double rate =
+        static_cast<double>(threads * rounds_per_thread * kHorizon) / wall;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_mt.json";
+  bool strict = support::env_flag("PYTHIA_BENCH_STRICT");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "usage: scaling [--out=FILE] [--strict]\n");
+      return 2;
+    }
+  }
+
+  const double scale = support::bench_scale();
+  const int reps = support::bench_reps(3);
+  const auto record_events = static_cast<std::size_t>(200'000 * scale);
+  const auto predict_rounds = static_cast<std::size_t>(50'000 * scale);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  // Pin only when every thread of the widest run can get its own core;
+  // pinning 8 threads onto 2 cores would measure the affinity mask, not
+  // the engine.
+  const bool pin = cores >= thread_counts.back();
+
+  std::printf("scaling: %zu record events/thread, %zu predict rounds/thread, "
+              "%d reps, %u hardware threads%s\n",
+              record_events, predict_rounds, reps, cores,
+              pin ? ", pinned" : "");
+
+  bench::JsonWriter json;
+  json.field("bench", std::string("scaling"))
+      .field("scale", scale)
+      .field("reps", static_cast<std::uint64_t>(reps))
+      .field("hardware_concurrency", static_cast<std::uint64_t>(cores))
+      .field("pinned", pin)
+      .field("ring_capacity",
+             static_cast<std::uint64_t>(engine::RingOptions{}.capacity));
+
+  // --- record ingestion -----------------------------------------------------
+  double record_rate_1 = 0.0;
+  double record_rate_4 = 0.0;
+  std::uint64_t dropped_total = 0;
+  for (const std::size_t threads : thread_counts) {
+    const RecordResult result =
+        bench_record(threads, record_events, reps, pin, cores);
+    if (threads == 1) record_rate_1 = result.events_per_sec;
+    if (threads == 4) record_rate_4 = result.events_per_sec;
+    dropped_total += result.stats.dropped;
+    json.begin_object("record_t" + std::to_string(threads))
+        .field("events_per_sec", result.events_per_sec)
+        .field("ns_per_event", 1e9 / result.events_per_sec *
+                                   static_cast<double>(threads))
+        .field("ring_occupancy_peak", result.ring_peak)
+        .field("max_batch", result.stats.max_batch)
+        .field("dropped", result.stats.dropped)
+        .field("blocked", result.stats.blocked)
+        .end_object();
+    std::printf("  record  t=%zu  %10.2fM events/s  (ring peak %llu, "
+                "blocked %llu)\n",
+                threads, result.events_per_sec / 1e6,
+                static_cast<unsigned long long>(result.ring_peak),
+                static_cast<unsigned long long>(result.stats.blocked));
+  }
+
+  // --- predict serving ------------------------------------------------------
+  const std::vector<TerminalId> reference = mixed_stream(40'000, 7);
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (TerminalId event : reference) recorder.record(event, now += 100);
+  Trace trace;
+  trace.threads.push_back(std::move(recorder).finish());
+  const auto snapshot = engine::TraceSnapshot::make(std::move(trace));
+
+  double predict_rate_1 = 0.0;
+  double predict_rate_4 = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    const double rate = bench_predict(snapshot, reference, threads,
+                                      predict_rounds, reps, pin, cores);
+    if (threads == 1) predict_rate_1 = rate;
+    if (threads == 4) predict_rate_4 = rate;
+    json.begin_object("predict_t" + std::to_string(threads))
+        .field("predictions_per_sec", rate)
+        .field("ns_per_prediction", 1e9 / rate * static_cast<double>(threads))
+        .end_object();
+    std::printf("  predict t=%zu  %10.2fM predictions/s\n", threads,
+                rate / 1e6);
+  }
+
+  const double record_speedup =
+      record_rate_1 > 0.0 ? record_rate_4 / record_rate_1 : 0.0;
+  const double predict_speedup =
+      predict_rate_1 > 0.0 ? predict_rate_4 / predict_rate_1 : 0.0;
+  const bool multicore = cores >= 4;
+  json.field("record_speedup_4x", record_speedup)
+      .field("predict_speedup_4x", predict_speedup)
+      .field("multicore", multicore);
+  std::printf("  speedup at 4 threads: record %.2fx, predict %.2fx\n",
+              record_speedup, predict_speedup);
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (strict) {
+    constexpr double kTargetSpeedup = 3.0;
+    if (dropped_total != 0) {
+      std::fprintf(stderr,
+                   "strict: kBlock backpressure dropped %llu events\n",
+                   static_cast<unsigned long long>(dropped_total));
+      return 1;
+    }
+    if (!multicore) {
+      std::printf("strict: %u hardware threads < 4 — scaling gate skipped "
+                  "(threads would time-slice one core)\n",
+                  cores);
+      return 0;
+    }
+    if (record_speedup < kTargetSpeedup || predict_speedup < kTargetSpeedup) {
+      std::fprintf(stderr,
+                   "strict: 4-thread speedup below %.1fx "
+                   "(record %.2fx, predict %.2fx)\n",
+                   kTargetSpeedup, record_speedup, predict_speedup);
+      return 1;
+    }
+    std::printf("strict: 4-thread speedup >= %.1fx on both paths\n",
+                kTargetSpeedup);
+  }
+  return 0;
+}

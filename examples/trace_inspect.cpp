@@ -94,6 +94,12 @@ void print_thread(const Trace& trace, std::size_t index) {
     std::printf("  mean event gap:    %.1f us\n",
                 thread.timing.global_mean_ns() / 1000.0);
   }
+  // Determinism digest: content hash of this section (grammar payload +
+  // canonicalized timing stats). Two recordings of the same run — e.g.
+  // sequential vs. engine-parallel — print the same value; the engine
+  // tests assert on it.
+  std::printf("  digest:            %016llx\n",
+              static_cast<unsigned long long>(thread_section_digest(thread)));
   std::printf("\n%s\n", grammar.to_text(&trace.registry).c_str());
 }
 

@@ -8,6 +8,7 @@
 // must predict.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -98,6 +99,64 @@ class EventRegistry {
   EventAux aux_of(TerminalId id) const {
     PYTHIA_ASSERT(id < events_.size());
     return events_[id].aux;
+  }
+
+  /// Renumbers kinds by name and events by (kind name, aux), returning
+  /// the old-id -> new-id terminal map. Interning order is first-come —
+  /// with ranks interning concurrently it depends on thread scheduling —
+  /// so a freshly recorded registry is not reproducible run to run. The
+  /// harness calls this once at record aggregation (single-threaded, ids
+  /// no longer live in any interner cache) and remaps each grammar's
+  /// terminals to match, which makes recorded traces deterministic.
+  std::vector<TerminalId> canonicalize() {
+    std::vector<KindId> kind_order(kind_names_.size());
+    for (KindId i = 0; i < kind_order.size(); ++i) kind_order[i] = i;
+    std::sort(kind_order.begin(), kind_order.end(),
+              [&](KindId a, KindId b) { return kind_names_[a] < kind_names_[b]; });
+    std::vector<KindId> kind_remap(kind_names_.size());
+    for (KindId fresh = 0; fresh < kind_order.size(); ++fresh) {
+      kind_remap[kind_order[fresh]] = fresh;
+    }
+
+    std::vector<TerminalId> event_order(events_.size());
+    for (TerminalId i = 0; i < event_order.size(); ++i) event_order[i] = i;
+    std::sort(event_order.begin(), event_order.end(),
+              [&](TerminalId a, TerminalId b) {
+                const EventRecord& ea = events_[a];
+                const EventRecord& eb = events_[b];
+                if (ea.kind != eb.kind) {
+                  return kind_remap[ea.kind] < kind_remap[eb.kind];
+                }
+                return ea.aux < eb.aux;
+              });
+    std::vector<TerminalId> remap(events_.size());
+    for (TerminalId fresh = 0; fresh < event_order.size(); ++fresh) {
+      remap[event_order[fresh]] = fresh;
+    }
+
+    std::vector<std::string> kind_names(kind_names_.size());
+    for (KindId old = 0; old < kind_names_.size(); ++old) {
+      kind_names[kind_remap[old]] = std::move(kind_names_[old]);
+    }
+    kind_names_ = std::move(kind_names);
+    kind_by_name_.clear();
+    for (KindId id = 0; id < kind_names_.size(); ++id) {
+      kind_by_name_.emplace(kind_names_[id], id);
+    }
+
+    std::vector<EventRecord> events(events_.size());
+    for (TerminalId old = 0; old < events_.size(); ++old) {
+      events[remap[old]] = {kind_remap[events_[old].kind], events_[old].aux};
+    }
+    events_ = std::move(events);
+    event_by_key_.clear();
+    for (TerminalId id = 0; id < events_.size(); ++id) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(events_[id].kind) << 32u) |
+          static_cast<std::uint32_t>(events_[id].aux);
+      event_by_key_.emplace(key, id);
+    }
+    return remap;
   }
 
   /// Human-readable form, e.g. "MPI_Send(3)" or "GOMP_parallel".

@@ -551,25 +551,35 @@ void Grammar::finalize() {
     rule->occurrences = count_occurrences(rule, memo, state);
   }
 
-  // Pass 1: assign stable ids and count occurrences per terminal.
-  TerminalId max_terminal = 0;
-  std::size_t terminal_nodes = 0;
+  // Pass 1: assign stable ids.
   for (Rule* rule : rules_) {
     if (rule == nullptr || !rule->alive) continue;
     for (Node* node = rule->head; node != nullptr; node = node->next) {
       node->stable_id = static_cast<std::uint32_t>(stable_nodes_.size());
       stable_nodes_.push_back(node);
-      if (node->sym.is_terminal()) {
-        max_terminal = std::max(max_terminal, node->sym.terminal_id());
-        ++terminal_nodes;
-      }
+    }
+  }
+
+  build_occurrence_index();
+}
+
+void Grammar::build_occurrence_index() {
+  occurrence_nodes_.clear();
+  occurrence_spans_.clear();
+
+  TerminalId max_terminal = 0;
+  std::size_t terminal_nodes = 0;
+  for (const Node* node : stable_nodes_) {
+    if (node->sym.is_terminal()) {
+      max_terminal = std::max(max_terminal, node->sym.terminal_id());
+      ++terminal_nodes;
     }
   }
   if (terminal_nodes == 0) return;
 
-  // Pass 2: counting sort into one flat array. Fill order follows stable
-  // node order, so each terminal's occurrence list is ordered exactly as
-  // the per-terminal vectors of the old hash index were.
+  // Counting sort into one flat array. Fill order follows stable node
+  // order, so each terminal's occurrence list is ordered exactly as the
+  // per-terminal vectors of the old hash index were.
   occurrence_spans_.assign(static_cast<std::size_t>(max_terminal) + 1,
                            {0, 0});
   for (const Node* node : stable_nodes_) {
@@ -588,6 +598,30 @@ void Grammar::finalize() {
     if (!node->sym.is_terminal()) continue;
     auto& [start, filled] = occurrence_spans_[node->sym.terminal_id()];
     occurrence_nodes_[start + filled++] = node;
+  }
+}
+
+void Grammar::remap_terminals(const std::vector<TerminalId>& old_to_new) {
+  PYTHIA_ASSERT_MSG(finalized_, "remap_terminals() before finalize()");
+  for (Node* node : stable_nodes_) {
+    if (!node->sym.is_terminal()) continue;
+    const TerminalId old = node->sym.terminal_id();
+    PYTHIA_ASSERT(old < old_to_new.size());
+    node->sym = Symbol::terminal(old_to_new[old]);
+  }
+  // The relabelling permutes occurrence spans and rewrites every digram
+  // key; rebuild both indexes (validate() cross-checks the digram index
+  // even on finalized grammars).
+  build_occurrence_index();
+  digrams_.clear();
+  for (Rule* rule : rules_) {
+    if (rule == nullptr || !rule->alive) continue;
+    for (Node* node = rule->head; node != nullptr; node = node->next) {
+      if (node->prev != nullptr) {
+        digrams_.insert_or_assign(digram_key(node->prev->sym, node->sym),
+                                  node->prev);
+      }
+    }
   }
 }
 

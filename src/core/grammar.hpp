@@ -130,6 +130,12 @@ class Grammar {
   /// dense-by-terminal span lookup into one flat array, no hashing.
   NodeSpan occurrences_of(TerminalId event) const;
 
+  /// Relabels every terminal `t` as `old_to_new[t]` and rebuilds the
+  /// occurrence index (finalized grammars only; structure, stable node
+  /// ids and rule ids are untouched). Used by the harness to apply the
+  /// registry's canonical renumbering to recorded grammars.
+  void remap_terminals(const std::vector<TerminalId>& old_to_new);
+
   /// All live rules (valid any time; order: creation order, root first).
   std::vector<const Rule*> rules() const;
 
@@ -196,6 +202,10 @@ class Grammar {
   std::uint64_t count_occurrences(Rule* rule,
                                   std::vector<std::uint64_t>& memo,
                                   std::vector<int>& state) const;
+
+  /// Rebuilds occurrence_nodes_/occurrence_spans_ from stable_nodes_
+  /// (counting sort by terminal id; fill order = stable node order).
+  void build_occurrence_index();
 
   std::deque<Node> node_pool_;
   std::vector<Node*> free_nodes_;

@@ -20,9 +20,19 @@
 
 namespace pythia {
 
+/// Destination for an event stream that is consumed somewhere other than
+/// inside the submitting oracle — e.g. the parallel engine's per-rank ring
+/// buffers (engine::RecordEngine::Producer implements this). Must accept
+/// submissions from exactly one thread at a time.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void submit(TerminalId event, std::uint64_t now_ns) = 0;
+};
+
 class Oracle {
  public:
-  enum class Mode { kOff, kRecord, kPredict };
+  enum class Mode { kOff, kRecord, kPredict, kSink };
 
   /// Baseline: all calls are cheap no-ops.
   static Oracle off() { return Oracle(Mode::kOff); }
@@ -32,6 +42,18 @@ class Oracle {
     Oracle oracle(Mode::kRecord);
     oracle.recorder_ = std::make_unique<Recorder>(
         Recorder::Options{.record_timestamps = timestamps});
+    return oracle;
+  }
+
+  /// Asynchronous recording: events are forwarded to `sink` (which must
+  /// outlive the oracle) instead of being reduced in-line. The harness
+  /// uses this to route a rank's stream into the engine's SPSC ring; the
+  /// submitting thread pays only the enqueue. finish() on a sink oracle
+  /// returns an empty trace — the sink's owner (the engine) holds the
+  /// recorder and produces the ThreadTrace.
+  static Oracle record_into(EventSink& sink) {
+    Oracle oracle(Mode::kSink);
+    oracle.sink_ = &sink;
     return oracle;
   }
 
@@ -141,12 +163,16 @@ class Oracle {
       case Mode::kPredict:
         predictor_->observe(id);
         break;
+      case Mode::kSink:
+        sink_->submit(id, now_ns);
+        break;
     }
   }
 
   Mode mode_;
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<Predictor> predictor_;
+  EventSink* sink_ = nullptr;
   std::function<void(TerminalId, std::uint64_t)> event_hook_;
   EventFilter event_filter_;
   std::vector<TerminalId> filter_scratch_;

@@ -241,19 +241,25 @@ std::optional<Prediction> Predictor::predict(std::size_t distance) const {
 }
 
 std::vector<TerminalId> Predictor::predict_sequence(std::size_t count) const {
-  std::vector<TerminalId> out;
-  if (predictions_suppressed() || candidates_.empty()) return out;
+  std::vector<TerminalId> out(count);
+  out.resize(predict_sequence_into(out.data(), count));
+  return out;
+}
+
+std::size_t Predictor::predict_sequence_into(TerminalId* out,
+                                             std::size_t count) const {
+  if (predictions_suppressed() || candidates_.empty()) return 0;
   const ProgressPath* best = &candidates_.front();
   for (const ProgressPath& candidate : candidates_) {
     if (candidate.weight() > best->weight()) best = &candidate;
   }
-  ProgressPath future = *best;
-  out.reserve(count);
-  for (std::size_t step = 0; step < count; ++step) {
-    if (!future.advance(grammar_)) break;
-    out.push_back(future.terminal());
+  ProgressPath& future = future_scratch_;
+  future = *best;
+  std::size_t filled = 0;
+  while (filled < count && future.advance(grammar_)) {
+    out[filled++] = future.terminal();
   }
-  return out;
+  return filled;
 }
 
 std::uint64_t Predictor::reference_occurrences(TerminalId event) const {

@@ -117,6 +117,11 @@ class Predictor {
   /// lookahead consumers (send aggregation, prefetching).
   std::vector<TerminalId> predict_sequence(std::size_t count) const;
 
+  /// Batched predict_sequence writing into a caller-owned buffer: fills
+  /// out[0..count) and returns the number filled (allocation-free after
+  /// warm-up — the serving path of engine::PredictSession::predict_n).
+  std::size_t predict_sequence_into(TerminalId* out, std::size_t count) const;
+
   /// Number of times `event` occurs in the whole reference execution
   /// (§II-C occurrence counting — the basis of the probabilities).
   std::uint64_t reference_occurrences(TerminalId event) const;

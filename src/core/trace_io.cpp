@@ -1,13 +1,16 @@
 #include "core/trace_io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "support/assert.hpp"
 #include "support/crc32.hpp"
+#include "support/hash.hpp"
 #include "support/io.hpp"
 
 namespace pythia {
@@ -385,7 +388,64 @@ std::vector<unsigned char> serialize_trace(
   return std::move(file).take();
 }
 
+/// FNV-1a over a byte run, finalized with mix64. Deliberately not CRC32:
+/// a digest match is independent evidence beyond the file checksums.
+std::uint64_t digest_bytes(const std::vector<unsigned char>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return support::mix64(h ^ bytes.size());
+}
+
 }  // namespace
+
+std::uint64_t thread_section_digest(const ThreadTrace& thread) {
+  // Grammar: hash the exact serialized payload bytes (rule order and node
+  // order are canonical already). Timing: the context table is an
+  // unordered_map whose iteration order depends on insertion history, so
+  // the *file* bytes can differ across a save/load round trip even though
+  // the model is identical — canonicalize by sorting on the context key
+  // so the digest is a content hash, stable across round trips.
+  BufWriter payload;
+  write_grammar(payload, thread.grammar);
+  std::uint64_t h = digest_bytes(payload.buffer());
+
+  std::vector<std::pair<std::uint64_t, TimingModel::DurationStat>> contexts(
+      thread.timing.contexts().begin(), thread.timing.contexts().end());
+  std::sort(contexts.begin(), contexts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  h = support::hash_combine(h, contexts.size());
+  for (const auto& [key, stat] : contexts) {
+    std::uint64_t sum_bits = 0;
+    static_assert(sizeof stat.sum_ns == sizeof sum_bits);
+    std::memcpy(&sum_bits, &stat.sum_ns, sizeof sum_bits);
+    h = support::hash_combine(h, key);
+    h = support::hash_combine(h, sum_bits);
+    h = support::hash_combine(h, stat.count);
+  }
+  return h;
+}
+
+std::uint64_t trace_digest(const Trace& trace) {
+  BufWriter registry_payload;
+  registry_payload.u32(static_cast<std::uint32_t>(trace.registry.kind_count()));
+  for (std::uint32_t k = 0; k < trace.registry.kind_count(); ++k) {
+    registry_payload.str(trace.registry.kind_name(k));
+  }
+  registry_payload.u32(
+      static_cast<std::uint32_t>(trace.registry.event_count()));
+  for (std::uint32_t e = 0; e < trace.registry.event_count(); ++e) {
+    registry_payload.u32(trace.registry.kind_of(e));
+    registry_payload.i32(trace.registry.aux_of(e));
+  }
+  std::uint64_t h = digest_bytes(registry_payload.buffer());
+  for (const ThreadTrace& thread : trace.threads) {
+    h = support::hash_combine(h, thread_section_digest(thread));
+  }
+  return h;
+}
 
 Status save_trace_file(const std::string& path, const EventRegistry& registry,
                        const std::vector<ThreadTraceView>& threads,

@@ -105,4 +105,16 @@ Status save_trace_file(const std::string& path, const EventRegistry& registry,
                        const std::vector<ThreadTraceView>& threads,
                        bool durable = false);
 
+/// Deterministic content digest of one recorded thread: a 64-bit hash
+/// over the exact payload bytes the PYTHIA02 writer would emit for this
+/// thread's section (grammar rules in stable dense-id order, then timing
+/// contexts). Equal digests certify byte-identical serialized sections —
+/// the check the parallel engine's determinism tests (and trace_inspect)
+/// use to prove sharded record equals sequential record, rank by rank.
+std::uint64_t thread_section_digest(const ThreadTrace& thread);
+
+/// Whole-trace digest: registry tables plus every thread-section digest,
+/// order-sensitive.
+std::uint64_t trace_digest(const Trace& trace);
+
 }  // namespace pythia

@@ -1,0 +1,203 @@
+#include "engine/record_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/assert.hpp"
+
+namespace pythia::engine {
+
+/// Everything one shard owns. Producer-written fields and worker-written
+/// fields sit on separate cache lines (the ring already pads its two
+/// cursors); the mutex/condvar pair exists only to park an idle worker —
+/// the event path never touches it.
+struct Shard {
+  Shard(const RingOptions& options)
+      : ring(options.capacity),
+        recorder(Recorder::Options{.record_timestamps =
+                                       options.record_timestamps}) {}
+
+  support::SpscRing<TimedEvent> ring;
+  Recorder recorder;
+  std::thread worker;
+  std::atomic<bool> stop{false};
+
+  // Producer-side counters (single writer, read by stats/drain).
+  alignas(support::kCacheLineBytes) std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> blocked{0};
+
+  // Worker-side counters.
+  alignas(support::kCacheLineBytes) std::atomic<std::uint64_t> applied{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> max_batch{0};
+
+  // Idle-worker parking. `sleeping` lets the producer skip the lock on
+  // the hot path: it only takes the mutex to notify when the worker
+  // really is (or is about to be) parked. The worker always waits with a
+  // timeout, so a lost wakeup costs one tick, never liveness.
+  std::mutex park_mutex;
+  std::condition_variable park_ready;
+  std::atomic<bool> sleeping{false};
+
+  RecordEngine::Producer producer;
+};
+
+void RecordEngine::Producer::submit(TerminalId event, std::uint64_t now_ns) {
+  Shard& shard = *shard_;
+  const TimedEvent timed = TimedEvent::make(event, now_ns);
+  if (!shard.ring.try_push(timed)) {
+    if (backpressure_ == RingOptions::Backpressure::kDropNewest) {
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    shard.blocked.fetch_add(1, std::memory_order_relaxed);
+    // Lossless backpressure: the ring is full, so the worker is awake and
+    // busy — yield until a slot frees up (on an oversubscribed machine
+    // the yield is what lets the worker run at all).
+    do {
+      std::this_thread::yield();
+    } while (!shard.ring.try_push(timed));
+  }
+  shard.enqueued.fetch_add(1, std::memory_order_release);
+  if (shard.sleeping.load(std::memory_order_acquire)) {
+    // Taking the mutex orders this notify against the worker's
+    // empty-recheck-then-wait, closing the sleep/notify race.
+    std::lock_guard lock(shard.park_mutex);
+    shard.park_ready.notify_one();
+  }
+}
+
+RecordEngine::RecordEngine(std::size_t shards, RingOptions options)
+    : options_(options) {
+  PYTHIA_ASSERT_MSG(shards >= 1, "RecordEngine needs at least one shard");
+  PYTHIA_ASSERT(options_.pop_batch >= 1);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_));
+    Shard& shard = *shards_.back();
+    shard.producer.shard_ = &shard;
+    shard.producer.backpressure_ = options_.backpressure;
+    shard.worker = std::thread([this, &shard] { worker_loop(shard); });
+  }
+}
+
+RecordEngine::~RecordEngine() {
+  if (finished_) return;
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+    std::lock_guard lock(shard->park_mutex);
+    shard->park_ready.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+RecordEngine::Producer& RecordEngine::producer(std::size_t shard) {
+  PYTHIA_ASSERT(shard < shards_.size());
+  return shards_[shard]->producer;
+}
+
+void RecordEngine::worker_loop(Shard& shard) {
+  std::vector<TimedEvent> batch(options_.pop_batch);
+  int idle_spins = 0;
+  for (;;) {
+    const std::size_t n = shard.ring.pop_batch(batch.data(), batch.size());
+    if (n == 0) {
+      if (shard.stop.load(std::memory_order_acquire) &&
+          shard.ring.empty_approx()) {
+        break;
+      }
+      if (++idle_spins < 64) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Park until the producer notifies (or a tick passes — the timeout
+      // makes a lost notify harmless and bounds shutdown latency).
+      std::unique_lock lock(shard.park_mutex);
+      shard.sleeping.store(true, std::memory_order_release);
+      if (shard.ring.empty_approx() &&
+          !shard.stop.load(std::memory_order_acquire)) {
+        shard.park_ready.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      shard.sleeping.store(false, std::memory_order_release);
+      idle_spins = 0;
+      continue;
+    }
+    idle_spins = 0;
+    shard.batches.fetch_add(1, std::memory_order_relaxed);
+    if (n > shard.max_batch.load(std::memory_order_relaxed)) {
+      shard.max_batch.store(n, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      shard.recorder.record(batch[i].event, batch[i].time_ns());
+    }
+    shard.applied.fetch_add(n, std::memory_order_release);
+  }
+}
+
+void RecordEngine::drain() {
+  for (auto& shard : shards_) {
+    const std::uint64_t target = shard->enqueued.load(std::memory_order_acquire);
+    while (shard->applied.load(std::memory_order_acquire) < target) {
+      if (shard->sleeping.load(std::memory_order_acquire)) {
+        std::lock_guard lock(shard->park_mutex);
+        shard->park_ready.notify_one();
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::vector<ThreadTrace> RecordEngine::finish() {
+  PYTHIA_ASSERT_MSG(!finished_, "RecordEngine::finish() called twice");
+  drain();
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+    std::lock_guard lock(shard->park_mutex);
+    shard->park_ready.notify_one();
+  }
+  std::vector<ThreadTrace> traces;
+  traces.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    shard->worker.join();
+    traces.push_back(std::move(shard->recorder).finish());
+  }
+  finished_ = true;
+  return traces;
+}
+
+RecordEngine::ShardStats RecordEngine::shard_stats(std::size_t shard) const {
+  PYTHIA_ASSERT(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  ShardStats stats;
+  stats.enqueued = s.enqueued.load(std::memory_order_acquire);
+  stats.applied = s.applied.load(std::memory_order_acquire);
+  stats.dropped = s.dropped.load(std::memory_order_acquire);
+  stats.blocked = s.blocked.load(std::memory_order_acquire);
+  stats.batches = s.batches.load(std::memory_order_acquire);
+  stats.max_batch = s.max_batch.load(std::memory_order_acquire);
+  return stats;
+}
+
+std::size_t RecordEngine::ring_size_approx(std::size_t shard) const {
+  PYTHIA_ASSERT(shard < shards_.size());
+  return shards_[shard]->ring.size_approx();
+}
+
+RecordEngine::ShardStats RecordEngine::totals() const {
+  ShardStats total;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats stats = shard_stats(s);
+    total.enqueued += stats.enqueued;
+    total.applied += stats.applied;
+    total.dropped += stats.dropped;
+    total.blocked += stats.blocked;
+    total.batches += stats.batches;
+    total.max_batch = std::max(total.max_batch, stats.max_batch);
+  }
+  return total;
+}
+
+}  // namespace pythia::engine

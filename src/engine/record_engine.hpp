@@ -1,0 +1,136 @@
+// Sharded parallel record engine (the paper's per-thread design, §II-A,
+// taken to its concurrent conclusion).
+//
+// PYTHIA reduces each thread's event stream into its own grammar — the
+// streams never interact until the trace file is assembled — so record
+// mode shards perfectly: one Recorder per rank, each owned by a dedicated
+// worker thread, fed through a bounded SPSC ring buffer
+// (support/spsc_ring.hpp). The instrumented application thread pays only
+// the enqueue on its hot path; Sequitur's constant-work-per-symbol
+// reduction happens on the worker. Because every ring preserves order and
+// every shard has exactly one consumer, the grammar a worker builds is
+// bit-for-bit the grammar the same stream would have built inline —
+// parallel record is byte-identical to sequential record, rank by rank
+// (asserted via thread_section_digest in the engine tests).
+//
+// Threading model:
+//   - producer side: exactly one thread per shard calls
+//     Producer::submit() (it implements EventSink, so Oracle::record_into
+//     routes a rank's whole stream here);
+//   - consumer side: one worker thread per shard pops batches and applies
+//     them to the shard's Recorder; nobody else touches the Recorder
+//     until finish();
+//   - backpressure: a full ring either blocks the producer (default —
+//     lossless, keeps determinism) or drops the newest event and counts
+//     it (kDropNewest — for callers that prefer losing telemetry over
+//     stalling, e.g. a latency-critical runtime hook);
+//   - drain() is the barrier: every event enqueued before the call is
+//     applied when it returns. finish() drains, stops the workers and
+//     yields the per-shard ThreadTraces.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/recorder.hpp"
+#include "core/timing.hpp"
+#include "support/spsc_ring.hpp"
+
+namespace pythia::engine {
+
+/// One shard's state (ring + recorder + worker); defined in the .cpp.
+struct Shard;
+
+struct RingOptions {
+  /// Ring slots per shard (rounded up to a power of two). 16Ki slots of
+  /// 12-byte TimedEvents = 192 KiB per shard: enough to ride out multi-
+  /// millisecond consumer stalls at tens of millions of events/s.
+  std::size_t capacity = 1 << 14;
+
+  enum class Backpressure {
+    kBlock,      ///< full ring stalls the producer (lossless, default)
+    kDropNewest  ///< full ring drops the submitted event and counts it
+  };
+  Backpressure backpressure = Backpressure::kBlock;
+
+  /// Max events a worker pops per batch (one acquire load per batch).
+  std::size_t pop_batch = 256;
+
+  /// Keep per-event timestamps for the timing model (§II-C). The ring
+  /// always carries them (TimedEvent is 12 bytes either way); this
+  /// controls whether the Recorder retains the log.
+  bool record_timestamps = true;
+};
+
+class RecordEngine {
+ public:
+  struct ShardStats {
+    std::uint64_t enqueued = 0;  ///< events accepted into the ring
+    std::uint64_t applied = 0;   ///< events reduced into the grammar
+    std::uint64_t dropped = 0;   ///< events lost to kDropNewest backpressure
+    std::uint64_t blocked = 0;   ///< submits that found the ring full
+    std::uint64_t batches = 0;   ///< non-empty worker pops
+    std::uint64_t max_batch = 0; ///< peak batch size (ring occupancy proxy)
+  };
+
+  /// Single-producer handle for one shard. Exactly one thread may call
+  /// submit() at a time (it is the "single producer" of the shard's ring).
+  class Producer final : public EventSink {
+   public:
+    void submit(TerminalId event, std::uint64_t now_ns) override;
+
+   private:
+    friend class RecordEngine;
+    friend struct Shard;
+    Producer() = default;
+    Shard* shard_ = nullptr;
+    RingOptions::Backpressure backpressure_ = RingOptions::Backpressure::kBlock;
+  };
+
+  RecordEngine(std::size_t shards, RingOptions options = {});
+  ~RecordEngine();
+
+  RecordEngine(const RecordEngine&) = delete;
+  RecordEngine& operator=(const RecordEngine&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  const RingOptions& options() const { return options_; }
+
+  Producer& producer(std::size_t shard);
+
+  /// Barrier: returns once every event enqueued *before* the call has
+  /// been applied to its shard's grammar. Safe to call repeatedly and
+  /// concurrently with further submissions (those may or may not be
+  /// covered); the drained state is only final once the producers stop.
+  void drain();
+
+  /// Drains, stops the workers, joins them, and finishes every shard's
+  /// Recorder (finalize + timing-model replay) on the caller's thread.
+  /// The engine is consumed: producers must not be used afterwards.
+  std::vector<ThreadTrace> finish();
+
+  /// Per-shard telemetry. Counters are monotonically published by the
+  /// producer/worker; for settled numbers call after drain()/finish().
+  ShardStats shard_stats(std::size_t shard) const;
+  /// Sum over shards.
+  ShardStats totals() const;
+
+  /// Instantaneous ring occupancy (racy by nature; benches sample it for
+  /// a high-water mark while producers run).
+  std::size_t ring_size_approx(std::size_t shard) const;
+
+ private:
+  void worker_loop(Shard& shard);
+
+  RingOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+}  // namespace pythia::engine

@@ -1,0 +1,59 @@
+#include "engine/snapshot.hpp"
+
+#include "support/assert.hpp"
+
+namespace pythia::engine {
+
+TraceSnapshot::TraceSnapshot(Trace&& trace, std::uint64_t version)
+    : trace_(std::move(trace)), version_(version) {
+  for (std::size_t i = 0; i < trace_.threads.size(); ++i) {
+    if (trace_.thread_ok(i)) {
+      PYTHIA_ASSERT_MSG(trace_.threads[i].grammar.finalized(),
+                        "TraceSnapshot needs finalized grammars");
+    }
+  }
+  digest_ = trace_digest(trace_);
+}
+
+std::shared_ptr<const TraceSnapshot> TraceSnapshot::make(
+    Trace trace, std::uint64_t version) {
+  return std::shared_ptr<const TraceSnapshot>(
+      new TraceSnapshot(std::move(trace), version));
+}
+
+Result<std::shared_ptr<const TraceSnapshot>> TraceSnapshot::load(
+    const std::string& path, std::uint64_t version) {
+  Result<Trace> loaded = Trace::try_load(path);
+  if (!loaded.ok()) return loaded.status();
+  return make(loaded.take(), version);
+}
+
+PredictSession::PredictSession(std::shared_ptr<const TraceSnapshot> snapshot,
+                               std::size_t section,
+                               const Predictor::Options& options)
+    : snapshot_(std::move(snapshot)), section_(section) {
+  const ThreadTrace& thread = snapshot_->section(section_);
+  predictor_ = std::make_unique<Predictor>(
+      thread.grammar, thread.timing.empty() ? nullptr : &thread.timing,
+      options);
+}
+
+Result<PredictSession> PredictServer::open(
+    std::size_t section, const Predictor::Options& options) const {
+  std::shared_ptr<const TraceSnapshot> snapshot = this->snapshot();
+  if (snapshot == nullptr) {
+    return Status::invalid_state("predict server: nothing published");
+  }
+  if (section >= snapshot->sections()) {
+    return Status::invalid_state("predict server: section " +
+                                 std::to_string(section) + " out of range");
+  }
+  if (!snapshot->section_ok(section)) {
+    return Status::corrupt("predict server: section " +
+                           std::to_string(section) +
+                           " was salvaged; cannot serve predictions");
+  }
+  return PredictSession(std::move(snapshot), section, options);
+}
+
+}  // namespace pythia::engine

@@ -1,0 +1,153 @@
+// Shared-grammar predict serving.
+//
+// A recorded trace is a read-mostly artifact: once finalized it never
+// changes, so any number of predict clients can walk the same grammar and
+// timing model concurrently — Predictor keeps all mutable tracking state
+// (progress paths, scratch buffers, breaker) per instance, and the
+// Grammar/TimingModel it references are only ever read after finalize().
+//
+// The pieces:
+//   - TraceSnapshot: an immutable, shared_ptr-held Trace. Created once,
+//     then strictly read-only.
+//   - SnapshotPublisher: the swap point for live trace reload. publish()
+//     atomically replaces the current snapshot; sessions opened earlier
+//     keep their pinned snapshot alive through their shared_ptr, so a
+//     swap never invalidates an in-flight client — old snapshots die when
+//     the last session drops them.
+//   - PredictSession: one client's tracking state over a pinned snapshot
+//     section. Sessions are independent: no locks, no shared mutable
+//     state, near-linear scaling of predictions/sec across cores
+//     (bench/scaling.cpp measures it).
+//   - PredictServer: convenience bundle of a publisher plus open().
+//
+// Ordering: TraceSnapshot::make fully builds the snapshot before the
+// shared_ptr is published; the atomic store/load pair in the publisher
+// provides the release/acquire edge, so a client can never observe a
+// half-built grammar.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/predictor.hpp"
+#include "core/trace_io.hpp"
+#include "support/status.hpp"
+
+namespace pythia::engine {
+
+class TraceSnapshot {
+ public:
+  /// Wraps a fully-built trace. Every intact thread grammar must be
+  /// finalized (true for traces from record mode and Trace::try_load with
+  /// default options). `version` is caller-assigned provenance (e.g. a
+  /// reload counter or file mtime).
+  static std::shared_ptr<const TraceSnapshot> make(Trace trace,
+                                                   std::uint64_t version = 0);
+
+  /// Loads a trace file and wraps it (salvage on: damaged sections become
+  /// placeholders a session cannot open).
+  static Result<std::shared_ptr<const TraceSnapshot>> load(
+      const std::string& path, std::uint64_t version = 0);
+
+  const Trace& trace() const { return trace_; }
+  std::uint64_t version() const { return version_; }
+  std::size_t sections() const { return trace_.threads.size(); }
+  bool section_ok(std::size_t index) const { return trace_.thread_ok(index); }
+  const ThreadTrace& section(std::size_t index) const {
+    return trace_.threads[index];
+  }
+  /// Content digest (trace_digest) — lets a reloader skip a no-op swap.
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  TraceSnapshot(Trace&& trace, std::uint64_t version);
+
+  Trace trace_;
+  std::uint64_t version_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+/// One predict client. Holds its snapshot alive; all mutable state is
+/// private to the session, so concurrent sessions never synchronize.
+/// Movable, not copyable (a Predictor's tracking state is one client's).
+class PredictSession {
+ public:
+  void observe(TerminalId event) { predictor_->observe(event); }
+
+  std::optional<Prediction> predict(std::size_t distance) const {
+    return predictor_->predict(distance);
+  }
+  std::optional<double> predict_time_ns(std::size_t distance) const {
+    return predictor_->predict_time_ns(distance);
+  }
+
+  /// Batched query path: the most probable next `count` events, written
+  /// into `out` in one grammar walk (O(count), no allocation after
+  /// warm-up). Returns the number filled — short when the reference ends
+  /// or the breaker suppresses predictions.
+  std::size_t predict_n(TerminalId* out, std::size_t count) {
+    return predictor_->predict_sequence_into(out, count);
+  }
+
+  Health health() const { return predictor_->health(); }
+  double confidence() const { return predictor_->confidence(); }
+  const Predictor::Stats& stats() const { return predictor_->stats(); }
+  const Predictor& predictor() const { return *predictor_; }
+
+  /// The snapshot this session is pinned to (publisher swaps do not move
+  /// a live session; re-open to pick up a new snapshot).
+  const std::shared_ptr<const TraceSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
+ private:
+  friend class PredictServer;
+  PredictSession(std::shared_ptr<const TraceSnapshot> snapshot,
+                 std::size_t section, const Predictor::Options& options);
+
+  std::shared_ptr<const TraceSnapshot> snapshot_;
+  std::size_t section_ = 0;
+  std::unique_ptr<Predictor> predictor_;
+};
+
+class PredictServer {
+ public:
+  PredictServer() = default;
+  explicit PredictServer(std::shared_ptr<const TraceSnapshot> initial) {
+    publish(std::move(initial));
+  }
+
+  /// Atomically swaps the served snapshot (live trace reload). Lock-free
+  /// for readers; in-flight sessions keep the snapshot they pinned.
+  void publish(std::shared_ptr<const TraceSnapshot> next) {
+    current_.store(std::move(next), std::memory_order_release);
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The snapshot new sessions would pin right now (may be null before
+  /// the first publish).
+  std::shared_ptr<const TraceSnapshot> snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a session over section `section` of the *current* snapshot.
+  /// Fails (no-throw) when nothing is published, the section is out of
+  /// range, or the section was salvaged as a placeholder.
+  Result<PredictSession> open(
+      std::size_t section,
+      const Predictor::Options& options =
+          Predictor::Options::runtime_defaults()) const;
+
+ private:
+  std::atomic<std::shared_ptr<const TraceSnapshot>> current_{};
+  std::atomic<std::uint64_t> publishes_{0};
+};
+
+}  // namespace pythia::engine

@@ -30,6 +30,16 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
   cluster_options.real_work_fraction = config.real_work_fraction;
   mpisim::Cluster cluster(ranks, cluster_options);
 
+  // Parallel record: one engine shard (SPSC ring + recorder worker) per
+  // rank; the rank's sim thread pays only the enqueue.
+  std::unique_ptr<engine::RecordEngine> record_engine;
+  if (config.mode == Mode::kRecord && config.parallel_ranks) {
+    engine::RingOptions ring = config.engine_ring;
+    ring.record_timestamps = config.record_timestamps;
+    record_engine = std::make_unique<engine::RecordEngine>(
+        static_cast<std::size_t>(ranks), ring);
+  }
+
   std::vector<ThreadTrace> recorded(static_cast<std::size_t>(ranks));
   std::mutex aggregate_mutex;
 
@@ -43,6 +53,9 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
             case Mode::kVanilla:
               return Oracle::off();
             case Mode::kRecord:
+              if (record_engine != nullptr) {
+                return Oracle::record_into(record_engine->producer(rank));
+              }
               return Oracle::record(config.record_timestamps);
             case Mode::kPredict: {
               const std::size_t section =
@@ -130,7 +143,9 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
         }
         if (salvaged_off) ++result.ranks_salvaged;
         if (config.mode == Mode::kRecord) {
-          recorded[rank] = oracle.finish();
+          // Engine mode: the shard's worker owns the recorder; traces are
+          // collected at the finalize barrier after the cluster joins.
+          if (record_engine == nullptr) recorded[rank] = oracle.finish();
         } else if (oracle.predicting()) {
           const Predictor::Stats& s = oracle.predictor()->stats();
           result.predictor_stats.observed += s.observed;
@@ -148,7 +163,23 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
   result.makespan_virtual_ns = cluster_result.makespan_virtual_ns;
   result.wall_seconds = cluster_result.wall_seconds;
 
+  if (config.mode == Mode::kRecord && record_engine != nullptr) {
+    // Drain/finalize barrier: every enqueued event is applied, workers
+    // stop, and each shard's grammar finalizes + replays its timing log.
+    recorded = record_engine->finish();
+    result.engine_stats = record_engine->totals();
+  }
+
   if (config.mode == Mode::kRecord) {
+    // Canonical id normalization: ranks intern events first-come, so raw
+    // terminal ids depend on thread scheduling and a recorded trace would
+    // not be reproducible run to run (nor parallel vs. sequential).
+    // Renumber events by (kind name, aux) and relabel every grammar to
+    // match — Sequitur is equivariant under terminal renaming and timing
+    // keys use stable node ids, so only the labels change.
+    const std::vector<TerminalId> remap = result.trace.registry.canonicalize();
+    for (ThreadTrace& thread : recorded) thread.grammar.remap_terminals(remap);
+
     std::size_t total_rules = 0;
     for (ThreadTrace& thread : recorded) {
       const std::size_t rules = thread.grammar.rule_count();

@@ -11,6 +11,7 @@
 
 #include "apps/app.hpp"
 #include "core/trace_io.hpp"
+#include "engine/record_engine.hpp"
 #include "harness/faults.hpp"
 #include "mpisim/cluster.hpp"
 #include "mpisim/instrumented_comm.hpp"
@@ -41,6 +42,23 @@ struct RunConfig {
   /// runs measure real wall-clock; everything else can leave this 0).
   double real_work_fraction = 0.0;
   bool record_timestamps = true;
+
+  /// Record mode: shard the grammar reduction onto the parallel engine.
+  /// Each rank's sim thread only enqueues into its SPSC ring; a dedicated
+  /// engine worker per rank owns that rank's Recorder. Per-rank event
+  /// order is preserved end to end, so the recorded trace is byte-
+  /// identical to a sequential (in-line) recording of the same run —
+  /// asserted by tests/engine/record_engine_test via the trace digest.
+  /// Ignored outside record mode (predict ranks already run concurrently
+  /// over the shared reference trace).
+  bool parallel_ranks = false;
+
+  /// Ring sizing/backpressure for parallel_ranks. `record_timestamps`
+  /// inside is overridden by the RunConfig field above; the backpressure
+  /// default (kBlock) is what keeps parallel record lossless and
+  /// deterministic — kDropNewest trades trace fidelity for never
+  /// stalling the simulated application.
+  engine::RingOptions engine_ring;
 
   /// Reference trace; required in predict mode. Must have one thread
   /// section per rank unless wrap_reference_threads is set. Sections that
@@ -98,6 +116,10 @@ struct RunResult {
   std::size_t ranks_salvaged = 0;  ///< damaged reference section -> off
   double min_confidence = 1.0;     ///< worst end-of-run rank confidence
   EventFaultInjector::Stats fault_stats;  ///< summed over ranks
+
+  /// Engine telemetry (record mode with parallel_ranks; zero otherwise).
+  /// dropped stays 0 under the default kBlock backpressure.
+  engine::RecordEngine::ShardStats engine_stats;
 
   double makespan_seconds() const {
     return static_cast<double>(makespan_virtual_ns) * 1e-9;

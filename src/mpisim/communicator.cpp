@@ -112,8 +112,13 @@ void Communicator::waitall(std::span<Request> requests) {
 void Communicator::barrier() {
   const int tag = next_collective_tag();
   if (rank_ == 0) {
+    // Receive in rank order, not arrival order: the clock advance/merge
+    // interleaving differs per order, so an any-source loop would make
+    // rank 0's virtual time depend on real thread scheduling. Rank order
+    // is an equally valid barrier realization and keeps recorded
+    // timestamps reproducible run to run.
     for (int r = 1; r < size(); ++r) {
-      receive_and_merge(kAnySource, tag);
+      receive_and_merge(r, tag);
     }
     for (int r = 1; r < size(); ++r) {
       send(r, tag, {});

@@ -1,0 +1,109 @@
+// Bounded single-producer/single-consumer ring buffer.
+//
+// The engine's record path puts one of these between each instrumented
+// application thread (producer) and its recorder worker (consumer): the
+// application pays an enqueue — two relaxed loads, a store, a release
+// store — and the grammar reduction happens elsewhere. The design is the
+// classic cached-index SPSC queue:
+//
+//   - head_ (consumer cursor) and tail_ (producer cursor) live on their
+//     own cache lines so the two sides never false-share;
+//   - each side keeps a *cached* copy of the other side's cursor on its
+//     own line and only re-reads the shared atomic when the cached value
+//     says the ring looks full (producer) or empty (consumer), so the
+//     steady state makes no cross-core loads at all;
+//   - capacity is rounded up to a power of two and indexing is masked,
+//     cursors increase monotonically (no wrap handling, no ABA).
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// tail_; the consumer acquires tail_ before reading slots. Symmetrically
+// the consumer releases head_ after consuming and the producer acquires
+// it before overwriting. T must be trivially copyable — slots are reused
+// in place and batch-popped by plain copy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pythia::support {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    PYTHIA_ASSERT_MSG(capacity >= 2, "SpscRing capacity must be >= 2");
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    mask_ = pow2 - 1;
+    slots_.resize(pow2);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (caller decides:
+  /// spin, yield, or drop-and-count).
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops up to `max` items into `out`, in order. Returns
+  /// the number popped (0 when empty). One acquire load of the producer
+  /// cursor covers the whole batch.
+  std::size_t pop_batch(T* out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = static_cast<std::size_t>(cached_tail_ - head);
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Occupancy estimate; exact only when called by the producer or the
+  /// consumer between their own operations (the other side may move it
+  /// concurrently). Used for telemetry, never for correctness.
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  // Consumer line: its own cursor plus the cached producer cursor.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+  // Producer line.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+
+  alignas(kCacheLineBytes) std::size_t mask_ = 0;
+  std::vector<T> slots_;
+};
+
+}  // namespace pythia::support

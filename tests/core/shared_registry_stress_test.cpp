@@ -1,0 +1,130 @@
+// SharedRegistry contention stress: N threads interning overlapping and
+// disjoint kind/event sets concurrently through the shared_mutex facade,
+// with decode lookups racing the registrations. The invariants:
+//   - one id per name: every thread that interns "k7" gets the same
+//     KindId, every thread that interns (kind, aux) gets the same
+//     TerminalId (the double-checked exclusive path re-checks, so the
+//     registration race is benign);
+//   - no torn lookups: kind_of/aux_of on an id another thread just
+//     interned return the registered values, never garbage.
+// This is the multi-threaded coverage the shared_mutex read path from
+// the zero-allocation PR never had; the TSan CI job runs it to hunt
+// ordering bugs the assertions alone cannot see.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/shared_registry.hpp"
+
+namespace pythia {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kSharedKinds = 16;    // every thread interns these
+constexpr int kPrivateKinds = 8;    // per-thread disjoint names
+constexpr int kAuxPerKind = 32;
+constexpr int kRounds = 50;         // re-intern rounds (hit the read path)
+
+TEST(SharedRegistryStress, OneIdPerNameUnderContention) {
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+
+  // ids[thread][slot]: what each thread observed for each shared kind.
+  std::vector<std::vector<KindId>> kind_ids(
+      kThreads, std::vector<KindId>(kSharedKinds, 0));
+  // Shared-event ids: kind 0 with kAuxPerKind aux values, seen per thread.
+  std::vector<std::vector<TerminalId>> event_ids(
+      kThreads, std::vector<TerminalId>(kAuxPerKind, 0));
+  std::atomic<int> torn_lookups{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Overlapping set: all threads fight over the same names. After
+        // round 0 these are pure shared-lock hits.
+        for (int k = 0; k < kSharedKinds; ++k) {
+          const KindId id = shared.kind("shared_k" + std::to_string(k));
+          if (round == 0) {
+            kind_ids[t][static_cast<std::size_t>(k)] = id;
+          } else if (kind_ids[t][static_cast<std::size_t>(k)] != id) {
+            ++torn_lookups;  // same name must keep the same id forever
+          }
+        }
+        // Disjoint set: no cross-thread collisions, but the writes still
+        // contend on the exclusive lock with everyone else's.
+        for (int k = 0; k < kPrivateKinds; ++k) {
+          const std::string name =
+              "private_t" + std::to_string(t) + "_k" + std::to_string(k);
+          const KindId first = shared.kind(name);
+          if (shared.kind(name) != first) ++torn_lookups;
+        }
+        // Overlapping events on a shared kind, with decode lookups racing
+        // other threads' in-flight registrations.
+        const KindId base = shared.kind("shared_k0");
+        for (int aux = 0; aux < kAuxPerKind; ++aux) {
+          const TerminalId id = shared.event(base, aux);
+          if (round == 0) {
+            event_ids[t][static_cast<std::size_t>(aux)] = id;
+          } else if (event_ids[t][static_cast<std::size_t>(aux)] != id) {
+            ++torn_lookups;
+          }
+          if (shared.kind_of(id) != base || shared.aux_of(id) != aux) {
+            ++torn_lookups;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(torn_lookups.load(), 0);
+  // Cross-thread agreement: every thread saw the identical id for every
+  // shared name and every shared (kind, aux) pair.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(kind_ids[t], kind_ids[0]) << "thread " << t;
+    EXPECT_EQ(event_ids[t], event_ids[0]) << "thread " << t;
+  }
+  // Exactly the expected population: interning raced but never duplicated.
+  EXPECT_EQ(registry.kind_count(),
+            static_cast<std::size_t>(kSharedKinds + kThreads * kPrivateKinds));
+  EXPECT_EQ(registry.event_count(), static_cast<std::size_t>(kAuxPerKind));
+}
+
+TEST(SharedRegistryStress, CachedInternersStayCoherent) {
+  // The per-shim cache in front of the facade must converge on the same
+  // ids as everyone else's caches.
+  EventRegistry registry;
+  SharedRegistry shared(registry);
+  std::vector<std::vector<TerminalId>> seen(
+      kThreads, std::vector<TerminalId>(64, 0));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CachedInterner interner(shared);
+      const KindId kind = shared.kind("mpi_send");
+      for (int round = 0; round < kRounds; ++round) {
+        for (int aux = 0; aux < 64; ++aux) {
+          const TerminalId id = interner.event(kind, aux);
+          if (round == 0) {
+            seen[t][static_cast<std::size_t>(aux)] = id;
+          } else {
+            ASSERT_EQ(seen[t][static_cast<std::size_t>(aux)], id);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(registry.event_count(), 64u);
+}
+
+}  // namespace
+}  // namespace pythia

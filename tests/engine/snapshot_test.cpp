@@ -1,0 +1,173 @@
+// Shared-grammar predict serving tests: snapshot immutability and
+// publication, session pinning across live swaps, the batched predict_n
+// path, and a many-clients concurrency run over one shared snapshot (the
+// TSan CI job runs this file to vouch for the lock-free read claim).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "engine/snapshot.hpp"
+
+namespace pythia::engine {
+namespace {
+
+/// A trace with one loopy section: a b c a b c ... (20 iterations).
+Trace loop_trace(int iterations, std::uint64_t step_ns = 1000) {
+  Trace trace;
+  const TerminalId a = trace.registry.intern("a");
+  const TerminalId b = trace.registry.intern("b");
+  const TerminalId c = trace.registry.intern("c");
+  Oracle oracle = Oracle::record(true);
+  std::uint64_t now = 0;
+  for (int i = 0; i < iterations; ++i) {
+    oracle.event(a, now += step_ns);
+    oracle.event(b, now += step_ns);
+    oracle.event(c, now += step_ns);
+  }
+  trace.threads.push_back(oracle.finish());
+  return trace;
+}
+
+TEST(TraceSnapshot, WrapsTraceAndComputesDigest) {
+  auto snapshot = TraceSnapshot::make(loop_trace(20), /*version=*/3);
+  EXPECT_EQ(snapshot->version(), 3u);
+  EXPECT_EQ(snapshot->sections(), 1u);
+  EXPECT_TRUE(snapshot->section_ok(0));
+  EXPECT_EQ(snapshot->digest(), trace_digest(snapshot->trace()));
+  // Same content, same digest: a reloader can skip a no-op publish.
+  EXPECT_EQ(snapshot->digest(), TraceSnapshot::make(loop_trace(20))->digest());
+  EXPECT_NE(snapshot->digest(), TraceSnapshot::make(loop_trace(21))->digest());
+}
+
+TEST(TraceSnapshot, LoadRoundTripsThroughAFile) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "pythia_snapshot_test.pythia";
+  const Trace trace = loop_trace(10);
+  ASSERT_TRUE(trace.try_save(path.string()).ok());
+  Result<std::shared_ptr<const TraceSnapshot>> loaded =
+      TraceSnapshot::load(path.string(), /*version=*/7);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value()->version(), 7u);
+  EXPECT_EQ(loaded.value()->digest(), trace_digest(trace));
+  fs::remove(path);
+
+  Result<std::shared_ptr<const TraceSnapshot>> missing =
+      TraceSnapshot::load((fs::temp_directory_path() / "nope.pythia").string());
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(PredictServer, OpenFailsCleanlyBeforePublishAndOutOfRange) {
+  PredictServer server;
+  EXPECT_FALSE(server.open(0).ok());
+  server.publish(TraceSnapshot::make(loop_trace(20)));
+  EXPECT_TRUE(server.open(0).ok());
+  EXPECT_FALSE(server.open(1).ok());
+}
+
+TEST(PredictServer, SessionTracksAndPredicts) {
+  PredictServer server(TraceSnapshot::make(loop_trace(20)));
+  Result<PredictSession> opened =
+      server.open(0, Predictor::Options{});  // no breaker: deterministic
+  ASSERT_TRUE(opened.ok());
+  PredictSession session = opened.take();
+
+  // Observe one loop body, then the oracle should know what comes next.
+  session.observe(0);  // a
+  session.observe(1);  // b
+  session.observe(2);  // c
+  session.observe(0);  // a
+  const std::optional<Prediction> next = session.predict(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->event, 1u);  // b follows a
+  const std::optional<double> eta = session.predict_time_ns(1);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_GT(*eta, 0.0);
+}
+
+TEST(PredictServer, PredictNMatchesPredictSequence) {
+  PredictServer server(TraceSnapshot::make(loop_trace(20)));
+  PredictSession session = server.open(0, Predictor::Options{}).take();
+  session.observe(0);
+  session.observe(1);
+
+  TerminalId batched[12] = {};
+  const std::size_t n = session.predict_n(batched, 12);
+  ASSERT_GT(n, 0u);
+  const std::vector<TerminalId> reference =
+      session.predictor().predict_sequence(12);
+  ASSERT_EQ(n, reference.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(batched[i], reference[i]);
+  // The loop continues c a b c a b ...
+  EXPECT_EQ(batched[0], 2u);
+  EXPECT_EQ(batched[1], 0u);
+  EXPECT_EQ(batched[2], 1u);
+}
+
+TEST(PredictServer, SwapDoesNotMovePinnedSessions) {
+  auto v1 = TraceSnapshot::make(loop_trace(20), 1);
+  auto v2 = TraceSnapshot::make(loop_trace(40), 2);
+  PredictServer server(v1);
+  PredictSession pinned = server.open(0).take();
+  EXPECT_EQ(pinned.snapshot()->version(), 1u);
+
+  server.publish(v2);
+  EXPECT_EQ(server.publishes(), 2u);
+  EXPECT_EQ(pinned.snapshot()->version(), 1u)
+      << "live session must keep its snapshot";
+  EXPECT_EQ(server.open(0).take().snapshot()->version(), 2u);
+
+  // The old snapshot dies only when the last pinned session lets go.
+  std::weak_ptr<const TraceSnapshot> watch = v1;
+  v1.reset();
+  EXPECT_FALSE(watch.expired());
+  pinned = server.open(0).take();  // re-pin to current
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(PredictServer, ManyConcurrentSessionsShareOneSnapshot) {
+  // The lock-free serving claim: N clients, one immutable snapshot, no
+  // coordination. Each client tracks the loop from a different phase and
+  // must see exactly the deterministic continuation.
+  constexpr int kClients = 8;
+  constexpr int kRounds = 1'000;  // stays well inside the 1500-event trace
+  PredictServer server(TraceSnapshot::make(loop_trace(500)));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PredictSession session = server.open(0, Predictor::Options{}).take();
+      const TerminalId phase = static_cast<TerminalId>(c % 3);
+      session.observe(phase);
+      TerminalId expected = (phase + 1) % 3;
+      TerminalId batch[6] = {};
+      for (int round = 0; round < kRounds; ++round) {
+        session.observe(expected);
+        const std::size_t n = session.predict_n(batch, 6);
+        if (n != 6) {
+          ++failures;
+          return;
+        }
+        TerminalId want = expected;
+        for (std::size_t i = 0; i < n; ++i) {
+          want = (want + 1) % 3;
+          if (batch[i] != want) {
+            ++failures;
+            return;
+          }
+        }
+        expected = (expected + 1) % 3;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace pythia::engine

@@ -1,0 +1,92 @@
+// SPSC ring unit tests: ordering, capacity/full behaviour, batch pop,
+// cursor wraparound, and a two-thread handoff stress (the test the TSan
+// CI job leans on for the ring's memory-ordering claims).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/spsc_ring.hpp"
+
+namespace pythia::support {
+namespace {
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  SpscRing<std::uint64_t> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  SpscRing<std::uint64_t> exact(16);
+  EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<std::uint64_t> ring(8);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "ring should be full";
+  std::uint64_t out[8] = {};
+  EXPECT_EQ(ring.pop_batch(out, 8), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.pop_batch(out, 8), 0u) << "ring should be empty";
+}
+
+TEST(SpscRing, BatchPopBoundedByMax) {
+  SpscRing<std::uint64_t> ring(16);
+  for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::uint64_t out[4] = {};
+  EXPECT_EQ(ring.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[3], 3u);
+  EXPECT_EQ(ring.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out[0], 4u);
+  std::uint64_t rest[8] = {};
+  EXPECT_EQ(ring.pop_batch(rest, 8), 2u);
+  EXPECT_EQ(rest[1], 9u);
+}
+
+TEST(SpscRing, CursorsWrapAcrossManyRefills) {
+  // Push/pop far past the capacity so the masked indices wrap many times.
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_pop = 0;
+  std::uint64_t next_push = 0;
+  std::uint64_t out[4] = {};
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.try_push(next_push)) ++next_push;
+    const std::size_t n = ring.pop_batch(out, 4);
+    ASSERT_GT(n, 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], next_pop) << "round " << round;
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, TwoThreadHandoffPreservesOrderAndLosesNothing) {
+  constexpr std::uint64_t kEvents = 200'000;
+  SpscRing<std::uint64_t> ring(64);  // small: forces constant wrapping
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::vector<std::uint64_t> batch(32);
+  while (expected < kEvents) {
+    const std::size_t n = ring.pop_batch(batch.data(), batch.size());
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+}  // namespace
+}  // namespace pythia::support
