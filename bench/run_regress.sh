@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the benchmark-regression harnesses, leaving
-# BENCH_core.json and BENCH_mt.json at the repo root. Extra flags are
+# BENCH_core.json, BENCH_mt.json and BENCH_serve.json at the repo root. Extra flags are
 # forwarded to both binaries, e.g.:
 #
 #   bench/run_regress.sh --strict          # fail on steady-state allocs,
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target regress scaling >/dev/null
+cmake --build "$BUILD_DIR" -j --target regress scaling serve >/dev/null
 
 # Write via a temp file + atomic rename so an interrupted or failing run
 # never leaves a torn report behind.
@@ -36,4 +36,12 @@ trap 'rm -f "$MT_TMP"' EXIT
 
 "$BUILD_DIR/bench/scaling" --out="$MT_TMP" "$@"
 mv -f "$MT_TMP" "$MT_OUT"
+trap - EXIT
+
+SERVE_OUT=BENCH_serve.json
+SERVE_TMP=$(mktemp "${SERVE_OUT}.XXXXXX.tmp")
+trap 'rm -f "$SERVE_TMP"' EXIT
+
+"$BUILD_DIR/bench/serve" --out="$SERVE_TMP" "$@"
+mv -f "$SERVE_TMP" "$SERVE_OUT"
 trap - EXIT

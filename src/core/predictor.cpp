@@ -11,9 +11,23 @@ Predictor::Predictor(const Grammar& grammar, const TimingModel* timing)
 
 Predictor::Predictor(const Grammar& grammar, const TimingModel* timing,
                      Options options)
-    : grammar_(grammar), timing_(timing), options_(options) {
+    : grammar_(grammar),
+      timing_(timing),
+      options_(options),
+      jitter_rng_(options.breaker.jitter_seed ^ 0x9e3779b97f4a7c15ULL) {
   PYTHIA_ASSERT_MSG(grammar.finalized(),
                     "Predictor requires a finalized grammar");
+}
+
+std::uint32_t Predictor::jittered_spacing(std::uint32_t spacing) {
+  const double jitter = options_.breaker.backoff_jitter;
+  if (jitter <= 0.0 || spacing <= 1) return spacing;
+  const double clamped = jitter < 1.0 ? jitter : 1.0;
+  const auto span = static_cast<std::uint32_t>(clamped *
+                                               static_cast<double>(spacing));
+  if (span == 0) return spacing;
+  const auto cut = static_cast<std::uint32_t>(jitter_rng_.below(span + 1));
+  return std::max<std::uint32_t>(1, spacing - cut);
 }
 
 void Predictor::dedupe_and_cap(std::vector<ProgressPath>& paths) {
@@ -90,7 +104,7 @@ void Predictor::enter_degraded() {
   miss_streak_ = 0;
   advance_streak_ = 0;
   backoff_ = std::max<std::uint32_t>(1, options_.breaker.backoff_initial);
-  probe_countdown_ = backoff_;
+  probe_countdown_ = jittered_spacing(backoff_);
   // A position that stopped matching the execution is worse than none:
   // predictions from it would be confidently wrong.
   candidates_.clear();
@@ -120,7 +134,7 @@ void Predictor::observe(TerminalId event) {
       ++stats_.unknown;
       backoff_ = std::min(backoff_ * 2, std::max<std::uint32_t>(
                                             1, breaker.backoff_max));
-      probe_countdown_ = backoff_;
+      probe_countdown_ = jittered_spacing(backoff_);
     } else {
       ++stats_.reanchored;
       health_ = Health::kRecovering;

@@ -9,6 +9,7 @@
 #include "core/grammar.hpp"
 #include "core/progress.hpp"
 #include "core/timing.hpp"
+#include "support/rng.hpp"
 
 namespace pythia {
 
@@ -76,6 +77,16 @@ class Predictor {
       /// every failed probe up to backoff_max (exponential backoff).
       std::uint32_t backoff_initial = 4;
       std::uint32_t backoff_max = 256;
+      /// Seeded jitter on the probe spacing: each interval is drawn
+      /// uniformly from [spacing*(1-jitter), spacing]. A fleet of
+      /// sessions that degraded together (one shared divergence in the
+      /// reference) would otherwise re-anchor in lockstep and pay the
+      /// enumeration cost as a thundering herd; jitter spreads the
+      /// probes. 0 (default) keeps the deterministic spacing.
+      double backoff_jitter = 0.0;
+      /// Decorrelates sessions sharing identical options — salt it per
+      /// session (the serve layer salts with the session id).
+      std::uint64_t jitter_seed = 0;
       /// Consecutive advances while recovering before predictions are
       /// trusted again (recovering -> healthy).
       std::uint32_t recover_streak = 8;
@@ -175,6 +186,8 @@ class Predictor {
   }
   void record_outcome(bool advanced);
   void enter_degraded();
+  /// Probe interval with backoff_jitter applied (identity when off).
+  std::uint32_t jittered_spacing(std::uint32_t spacing);
 
   const Grammar& grammar_;
   const TimingModel* timing_;
@@ -206,6 +219,7 @@ class Predictor {
   std::uint32_t advance_streak_ = 0;
   std::uint32_t backoff_ = 0;            ///< current probe spacing
   std::uint32_t probe_countdown_ = 0;    ///< events until the next probe
+  support::Rng jitter_rng_;              ///< seeded probe-spacing jitter
 };
 
 }  // namespace pythia

@@ -1,0 +1,56 @@
+// faults::Plan — the one fault-injection configuration surface.
+//
+// Extracted from harness::RunConfig so that every driver that perturbs a
+// PYTHIA component — harness::run_app degrading an oracle's event stream,
+// the serve soak tests corrupting wire frames in flight — shares a single
+// seeded, bit-reproducible knob struct instead of growing parallel copies.
+// The *mechanisms* stay where they belong (EventFaultInjector in
+// src/harness, frame corruption in the serve tests, kill points in
+// support/crash_point.hpp); this header only owns the dials.
+#pragma once
+
+#include <cstdint>
+
+namespace pythia::faults {
+
+/// Seeded perturbation rates, each rolled independently per unit (event
+/// or frame). A default-constructed Plan injects nothing.
+struct Plan {
+  // --- Event-stream faults (harness::EventFaultInjector): a lossy
+  // instrumentation channel between the application and its oracle. ---
+  double drop_rate = 0.0;       ///< event never reaches the oracle
+  double duplicate_rate = 0.0;  ///< event observed twice
+  double reorder_rate = 0.0;    ///< event swapped with its successor
+  double inject_rate = 0.0;     ///< spurious unknown event appended
+
+  // --- Wire-frame faults (serve soak drivers): a hostile or failing
+  // client/transport between a predict daemon and its tenants. ---
+  double frame_corrupt_rate = 0.0;  ///< fraction of frames bit-flipped
+  int frame_bit_flips = 2;          ///< flips per corrupted frame
+
+  /// One seed drives every surface; drivers salt it per rank / per
+  /// tenant / per connection to decorrelate streams sharing a plan.
+  std::uint64_t seed = 0x7a1b5;
+
+  /// True when the *event stream* is perturbed (harness fast-path check;
+  /// wire faults are the serve drivers' business).
+  bool active() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           inject_rate > 0.0;
+  }
+
+  bool wire_active() const { return frame_corrupt_rate > 0.0; }
+
+  /// Convenience for sweeps: every event-fault class at the same rate.
+  static Plan uniform(double rate, std::uint64_t seed = 0x7a1b5) {
+    Plan plan;
+    plan.drop_rate = rate;
+    plan.duplicate_rate = rate;
+    plan.reorder_rate = rate;
+    plan.inject_rate = rate;
+    plan.seed = seed;
+    return plan;
+  }
+};
+
+}  // namespace pythia::faults

@@ -32,6 +32,7 @@
 #include "core/event.hpp"
 #include "core/oracle.hpp"
 #include "core/shared_registry.hpp"
+#include "faults/plan.hpp"
 #include "support/crash_point.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
@@ -47,24 +48,10 @@ using support::arm_crash_point_from_env;
 using support::crash_point_armed;
 using support::disarm_crash_points;
 
-/// Per-event perturbation probabilities, each rolled independently.
-struct FaultPlan {
-  double drop_rate = 0.0;       ///< event never reaches the oracle
-  double duplicate_rate = 0.0;  ///< event observed twice
-  double reorder_rate = 0.0;    ///< event swapped with its successor
-  double inject_rate = 0.0;     ///< spurious unknown event appended
-  std::uint64_t seed = 0x7a1b5;
-
-  bool active() const {
-    return drop_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
-           inject_rate > 0.0;
-  }
-
-  /// Convenience for sweeps: every fault class at the same rate.
-  static FaultPlan uniform(double rate, std::uint64_t seed = 0x7a1b5) {
-    return FaultPlan{rate, rate, rate, rate, seed};
-  }
-};
+/// The perturbation knobs moved to faults::Plan (src/faults/plan.hpp) so
+/// the serve soak drivers and harness::run_app share one configuration
+/// surface; the historical harness name remains valid.
+using FaultPlan = faults::Plan;
 
 /// Oracle::EventFilter implementation. Install with attach(); the
 /// injector must outlive the oracle session it is attached to.

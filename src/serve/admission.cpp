@@ -1,0 +1,74 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace pythia::serve {
+
+std::uint32_t AdmissionController::register_tenant(const std::string& name) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].name == name) return static_cast<std::uint32_t>(i);
+  }
+  Tenant tenant;
+  tenant.name = name;
+  tenant.limits = defaults_;
+  tenant.bucket = TokenBucket(defaults_.rate_per_sec, defaults_.burst);
+  tenant.stats.name = name;
+  tenants_.push_back(std::move(tenant));
+  return static_cast<std::uint32_t>(tenants_.size() - 1);
+}
+
+void AdmissionController::set_limits(std::uint32_t tenant,
+                                     const TenantLimits& limits) {
+  if (tenant >= tenants_.size()) return;
+  tenants_[tenant].limits = limits;
+  tenants_[tenant].bucket = TokenBucket(limits.rate_per_sec, limits.burst);
+}
+
+Admit AdmissionController::admit(std::uint32_t tenant, std::uint64_t now_ns,
+                                 bool trace_degraded) {
+  if (tenant >= tenants_.size()) return Admit::kShedQueue;
+  Tenant& t = tenants_[tenant];
+  if (trace_degraded) {
+    // The cheapest possible service: the answer ("fall back to vanilla")
+    // is known before any oracle work, and it does not spend the
+    // tenant's rate budget — a degraded trace must not eat the budget
+    // the tenant needs for its healthy traces.
+    ++t.stats.shed_degraded;
+    return Admit::kDegraded;
+  }
+  if (t.inflight >= t.limits.max_inflight) {
+    ++t.stats.shed_queue;
+    return Admit::kShedQueue;
+  }
+  if (!t.bucket.try_take(now_ns)) {
+    ++t.stats.shed_rate;
+    return Admit::kShedRate;
+  }
+  ++t.stats.admitted;
+  return Admit::kAdmit;
+}
+
+void AdmissionController::begin(std::uint32_t tenant) {
+  if (tenant >= tenants_.size()) return;
+  ++tenants_[tenant].inflight;
+}
+
+void AdmissionController::end(std::uint32_t tenant) {
+  if (tenant >= tenants_.size()) return;
+  Tenant& t = tenants_[tenant];
+  if (t.inflight > 0) --t.inflight;
+}
+
+std::vector<AdmissionController::TenantStats> AdmissionController::stats()
+    const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    TenantStats s = t.stats;
+    s.inflight = t.inflight;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace pythia::serve

@@ -1,0 +1,129 @@
+// Per-tenant admission control for the predict daemon.
+//
+// Overload safety before speed: one flooding or hostile tenant must not
+// starve the rest, and an oracle that cannot currently be trusted must
+// shed its traffic *early* — with an explicit kDegraded answer the
+// client maps to its vanilla policy — rather than burn cycles producing
+// predictions nobody should act on (the per-process circuit-breaker
+// contract, lifted to the serving layer).
+//
+// Three gates, evaluated in cost order (cheapest rejection first):
+//   1. degraded trace  — the target trace's sessions are mostly
+//                        degraded: answer kDegraded without spending a
+//                        token (the answer is already known);
+//   2. bounded inflight— per-tenant queue depth cap: a tenant that
+//                        pipelines thousands of requests into one read
+//                        burst gets kShed beyond its bound;
+//   3. token bucket    — sustained-rate limiting with a burst allowance,
+//                        refilled from the caller's clock (virtual in
+//                        tests, CLOCK_MONOTONIC in the daemon; no hidden
+//                        clock reads, fully deterministic under test).
+//
+// Deadlines are enforced by the caller (ServerCore) per request frame —
+// admission only decides *whether* to serve, the deadline decides
+// whether serving is still useful.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pythia::serve {
+
+struct TenantLimits {
+  double rate_per_sec = 10000.0;  ///< sustained request budget
+  double burst = 256.0;           ///< bucket capacity (instantaneous)
+  std::size_t max_inflight = 256; ///< bounded per-tenant queue depth
+};
+
+/// Classic token bucket against an external nanosecond clock.
+class TokenBucket {
+ public:
+  TokenBucket() : TokenBucket(10000.0, 256.0) {}
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  bool try_take(std::uint64_t now_ns, double cost = 1.0) {
+    refill(now_ns);
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens(std::uint64_t now_ns) {
+    refill(now_ns);
+    return tokens_;
+  }
+
+ private:
+  void refill(std::uint64_t now_ns) {
+    if (last_ns_ == 0) {
+      last_ns_ = now_ns;
+      return;
+    }
+    if (now_ns <= last_ns_) return;  // clock went sideways: no refill
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_ns_ = now_ns;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+};
+
+enum class Admit : std::uint8_t {
+  kAdmit = 0,
+  kShedRate,   ///< token bucket empty -> ReplyCode::kShed
+  kShedQueue,  ///< inflight bound hit  -> ReplyCode::kShed
+  kDegraded,   ///< trace health shed   -> ReplyCode::kDegraded
+};
+
+class AdmissionController {
+ public:
+  AdmissionController() : AdmissionController(TenantLimits{}) {}
+  explicit AdmissionController(TenantLimits defaults)
+      : defaults_(defaults) {}
+
+  /// Registers a tenant (idempotent by name) and returns its id.
+  std::uint32_t register_tenant(const std::string& name);
+  void set_limits(std::uint32_t tenant, const TenantLimits& limits);
+
+  /// One admission decision. `trace_degraded` is the serving layer's
+  /// aggregated health verdict for the request's target trace.
+  Admit admit(std::uint32_t tenant, std::uint64_t now_ns,
+              bool trace_degraded);
+
+  /// Inflight accounting: begin() after a successful admit, end() when
+  /// the reply is handed to the transport.
+  void begin(std::uint32_t tenant);
+  void end(std::uint32_t tenant);
+
+  struct TenantStats {
+    std::string name;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue = 0;
+    std::uint64_t shed_degraded = 0;
+    std::size_t inflight = 0;
+  };
+  std::vector<TenantStats> stats() const;
+  std::size_t tenants() const { return tenants_.size(); }
+
+ private:
+  struct Tenant {
+    std::string name;
+    TenantLimits limits;
+    TokenBucket bucket;
+    std::size_t inflight = 0;
+    TenantStats stats;
+  };
+
+  TenantLimits defaults_;
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace pythia::serve

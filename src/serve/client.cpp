@@ -1,0 +1,474 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "support/io.hpp"
+
+namespace pythia::serve {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void sleep_ms(std::uint64_t ms) {
+  struct timespec ts {};
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000ull);
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+std::string degraded_key(const std::string& trace, std::uint32_t section) {
+  return trace + '#' + std::to_string(section);
+}
+
+}  // namespace
+
+PredictClient::PredictClient(ClientOptions options)
+    : options_(std::move(options)),
+      rng_(options_.jitter_seed ^ 0xc1ec7c1ec7ull) {}
+
+PredictClient::~PredictClient() { disconnect(); }
+
+void PredictClient::disconnect() {
+  if (fd_ >= 0) {
+    support::close_noeintr(fd_);
+    fd_ = -1;
+  }
+  // Poisoned or half-fed decoder state dies with the connection.
+  decoder_ = FrameDecoder();
+  hello_sent_ = false;
+}
+
+Status PredictClient::connect_fd(int fd) {
+  if (fd < 0) return Status::invalid_state("client: bad fd");
+  disconnect();
+  fd_ = fd;
+  unix_path_.clear();
+  ++generation_;
+  return Status();
+}
+
+Status PredictClient::connect_unix(const std::string& path) {
+  disconnect();
+  unix_path_ = path;
+  return reconnect();
+}
+
+Status PredictClient::reconnect() {
+  disconnect();
+  if (unix_path_.empty()) {
+    return Status::invalid_state("client: no reconnect target");
+  }
+  struct sockaddr_un addr {};
+  if (unix_path_.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_state("client: socket path too long");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return support::errno_status("socket", unix_path_);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = support::errno_status("connect", unix_path_);
+    support::close_noeintr(fd);
+    return status;
+  }
+  fd_ = fd;
+  ++generation_;
+  ++stats_.reconnects;
+  return Status();
+}
+
+std::uint64_t PredictClient::backoff_delay_ms(std::uint32_t attempt) {
+  // Capped exponential, then jittered *down*: the cap stays an upper
+  // bound and no two seeds produce the same schedule — a daemon restart
+  // is greeted by a smear of reconnects, not a stampede.
+  std::uint64_t base = options_.backoff_initial_ms;
+  for (std::uint32_t i = 1; i < attempt && base < options_.backoff_max_ms;
+       ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.backoff_max_ms);
+  const double jitter = std::clamp(options_.backoff_jitter, 0.0, 1.0);
+  const auto span =
+      static_cast<std::uint64_t>(jitter * static_cast<double>(base));
+  if (span == 0) return base;
+  return std::max<std::uint64_t>(1, base - rng_.below(span + 1));
+}
+
+bool PredictClient::degraded_cached(const std::string& key,
+                                    std::uint64_t now_ns) {
+  for (std::size_t i = degraded_.size(); i-- > 0;) {
+    if (degraded_[i].until_ns <= now_ns) {
+      degraded_[i] = degraded_.back();
+      degraded_.pop_back();
+      continue;
+    }
+    if (degraded_[i].key == key) return true;
+  }
+  return false;
+}
+
+void PredictClient::note_degraded(const std::string& key,
+                                  std::uint64_t now_ns) {
+  if (options_.degraded_ttl_ms == 0) return;
+  const std::uint64_t until = now_ns + options_.degraded_ttl_ms * 1000000ull;
+  for (DegradedEntry& entry : degraded_) {
+    if (entry.key == key) {
+      entry.until_ns = until;
+      return;
+    }
+  }
+  degraded_.push_back(DegradedEntry{key, until});
+}
+
+Status PredictClient::round_trip(MsgType type,
+                                 const std::vector<std::uint8_t>& payload,
+                                 MsgType expect, Frame& reply) {
+  if (fd_ < 0) return Status::io_error("client: not connected");
+  const std::uint64_t request_id = next_request_++;
+  send_buffer_.clear();
+  encode_frame(type, request_id, payload, send_buffer_);
+
+  std::size_t sent = 0;
+  while (sent < send_buffer_.size()) {
+    const ssize_t n = ::send(fd_, send_buffer_.data() + sent,
+                             send_buffer_.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = support::errno_status("send", "predict daemon");
+      disconnect();
+      return status;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  const std::uint64_t deadline =
+      monotonic_ns() + options_.request_timeout_ms * 1000000ull;
+  std::uint8_t chunk[4096];
+  while (true) {
+    while (auto frame = decoder_.next()) {
+      if (frame->request_id != request_id) continue;  // stale: timed out
+      if (frame->type != expect && frame->type != MsgType::kError) {
+        disconnect();
+        return Status::corrupt("client: unexpected reply type");
+      }
+      reply_payload_.assign(frame->payload, frame->payload + frame->size);
+      reply.type = frame->type;
+      reply.request_id = frame->request_id;
+      reply.payload = reply_payload_.data();
+      reply.size = reply_payload_.size();
+      return Status();
+    }
+    if (decoder_.failed()) {
+      const Status status = decoder_.error();
+      disconnect();
+      return status;
+    }
+
+    const std::uint64_t now = monotonic_ns();
+    if (now >= deadline) {
+      ++stats_.timeouts;
+      return Status::io_error("client: request timed out");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int timeout_ms =
+        static_cast<int>((deadline - now + 999999ull) / 1000000ull);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      const Status status = support::errno_status("poll", "predict daemon");
+      disconnect();
+      return status;
+    }
+    if (ready == 0) continue;  // loop re-checks the deadline
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.feed(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    disconnect();
+    return Status::io_error("client: connection closed by daemon");
+  }
+}
+
+Status PredictClient::request(MsgType type,
+                              const std::vector<std::uint8_t>& payload,
+                              MsgType expect, Frame& reply) {
+  ++stats_.requests;
+  Status last = Status::io_error("client: not connected");
+  for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleep_ms(backoff_delay_ms(attempt));
+    }
+    if (fd_ < 0) {
+      last = reconnect();
+      if (!last.ok()) continue;
+    }
+    if (type != MsgType::kHello) {
+      last = hello();
+      if (!last.ok()) continue;
+    }
+    last = round_trip(type, payload, expect, reply);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+Status PredictClient::hello() {
+  if (fd_ < 0) return Status::io_error("client: not connected");
+  if (hello_sent_) return Status();
+  std::vector<std::uint8_t> payload;
+  encode_hello(HelloMsg{options_.tenant}, payload);
+  Frame reply;
+  Status status = round_trip(MsgType::kHello, payload, MsgType::kHelloAck,
+                             reply);
+  if (!status.ok()) return status;
+  if (reply.type == MsgType::kError) {
+    ErrorMsg err;
+    (void)parse_error(reply.reader(), err);
+    return Status::invalid_state("client: hello rejected: " + err.message);
+  }
+  HelloAckMsg ack;
+  if (!parse_hello_ack(reply.reader(), ack) || ack.code != ReplyCode::kOk) {
+    return Status::corrupt("client: malformed hello ack");
+  }
+  hello_sent_ = true;
+  return Status();
+}
+
+Status PredictClient::ensure_open(ClientSession& session) {
+  if (session.open && session.generation == generation_) return Status();
+  std::vector<std::uint8_t> payload;
+  encode_open(OpenMsg{session.trace, session.section}, payload);
+  Frame reply;
+  Status status =
+      round_trip(MsgType::kOpen, payload, MsgType::kOpenAck, reply);
+  if (!status.ok()) return status;
+  if (reply.type == MsgType::kError) {
+    ErrorMsg err;
+    (void)parse_error(reply.reader(), err);
+    session.open = false;
+    session.last_code = err.code;
+    return Status();
+  }
+  OpenAckMsg ack;
+  if (!parse_open_ack(reply.reader(), ack)) {
+    return Status::corrupt("client: malformed open ack");
+  }
+  session.last_code = ack.code;
+  if (ack.code != ReplyCode::kOk) {
+    session.open = false;
+    return Status();
+  }
+  if (session.server_id != 0) ++stats_.reopens;
+  session.server_id = ack.session_id;
+  session.snapshot_version = ack.snapshot_version;
+  session.generation = generation_;
+  session.open = true;
+  return Status();
+}
+
+Result<ClientSession> PredictClient::open(const std::string& trace,
+                                          std::uint32_t section) {
+  ClientSession session;
+  session.trace = trace;
+  session.section = section;
+  ++stats_.requests;
+  Status last = Status::io_error("client: not connected");
+  for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleep_ms(backoff_delay_ms(attempt));
+    }
+    if (fd_ < 0) {
+      last = reconnect();
+      if (!last.ok()) continue;
+    }
+    last = hello();
+    if (!last.ok()) continue;
+    last = ensure_open(session);
+    if (last.ok()) return session;  // last_code explains open == false
+  }
+  return last;
+}
+
+Result<PredictClient::ObserveResult> PredictClient::observe(
+    ClientSession& session, const TerminalId* events, std::size_t count) {
+  ++stats_.requests;
+  Status last = Status::io_error("client: not connected");
+  for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleep_ms(backoff_delay_ms(attempt));
+    }
+    if (fd_ < 0) {
+      last = reconnect();
+      if (!last.ok()) continue;
+    }
+    last = hello();
+    if (!last.ok()) continue;
+    last = ensure_open(session);
+    if (!last.ok()) continue;
+    if (!session.open) {
+      // The server answered: the trace is degraded / gone. Not a
+      // transport failure — surface the code, do not burn retries.
+      return ObserveResult{session.last_code, Health::kDegraded, 0.0};
+    }
+    payload_buffer_.clear();
+    encode_observe(session.server_id, events, count, payload_buffer_);
+    Frame reply;
+    last = round_trip(MsgType::kObserve, payload_buffer_,
+                      MsgType::kObserveAck, reply);
+    if (!last.ok()) continue;
+    if (reply.type == MsgType::kError) {
+      ErrorMsg err;
+      (void)parse_error(reply.reader(), err);
+      return ObserveResult{err.code, Health::kDegraded, 0.0};
+    }
+    ObserveAckMsg ack;
+    if (!parse_observe_ack(reply.reader(), ack)) {
+      return Status::corrupt("client: malformed observe ack");
+    }
+    return ObserveResult{ack.code, static_cast<Health>(ack.health),
+                         ack.confidence};
+  }
+  return last;
+}
+
+Result<PredictResult> PredictClient::predict(ClientSession& session,
+                                             std::uint32_t distance,
+                                             std::uint32_t count,
+                                             std::uint64_t deadline_budget_ns) {
+  const std::string key = degraded_key(session.trace, session.section);
+  if (options_.degraded_ttl_ms != 0 && degraded_cached(key, monotonic_ns())) {
+    // The breaker already spoke for this (trace, section); answer
+    // locally until the TTL lapses instead of re-asking per decision
+    // point.
+    ++stats_.degraded_cache_hits;
+    PredictResult result;
+    result.code = ReplyCode::kDegraded;
+    result.health = Health::kDegraded;
+    return result;
+  }
+
+  ++stats_.requests;
+  Status last = Status::io_error("client: not connected");
+  for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleep_ms(backoff_delay_ms(attempt));
+    }
+    if (fd_ < 0) {
+      last = reconnect();
+      if (!last.ok()) continue;
+    }
+    last = hello();
+    if (!last.ok()) continue;
+    last = ensure_open(session);
+    if (!last.ok()) continue;
+
+    PredictResult result;
+    if (!session.open) {
+      result.code = session.last_code;
+      result.health = Health::kDegraded;
+      if (result.code == ReplyCode::kDegraded) {
+        note_degraded(key, monotonic_ns());
+      }
+      return result;
+    }
+
+    PredictMsg msg;
+    msg.session_id = session.server_id;
+    msg.distance = distance;
+    msg.count = count;
+    msg.deadline_ns =
+        deadline_budget_ns == 0 ? 0 : monotonic_ns() + deadline_budget_ns;
+    payload_buffer_.clear();
+    encode_predict(msg, payload_buffer_);
+    Frame reply;
+    last = round_trip(MsgType::kPredict, payload_buffer_,
+                      MsgType::kPredictAck, reply);
+    if (!last.ok()) continue;
+    if (reply.type == MsgType::kError) {
+      ErrorMsg err;
+      (void)parse_error(reply.reader(), err);
+      result.code = err.code;
+      result.health = Health::kDegraded;
+      return result;
+    }
+    PredictAckMsg ack;
+    if (!parse_predict_ack(reply.reader(), ack, event_scratch_,
+                           options_.max_reply_events)) {
+      return Status::corrupt("client: malformed predict ack");
+    }
+    result.code = ack.code;
+    result.health = static_cast<Health>(ack.health);
+    result.probability = ack.probability;
+    result.confidence = ack.confidence;
+    result.events.assign(event_scratch_.begin(), event_scratch_.end());
+    if (result.code == ReplyCode::kDegraded) {
+      note_degraded(key, monotonic_ns());
+    }
+    return result;
+  }
+  return last;
+}
+
+Status PredictClient::close(ClientSession& session) {
+  if (!session.open) return Status();
+  session.open = false;
+  if (fd_ < 0 || session.generation != generation_) {
+    return Status();  // the server-side session died with its connection
+  }
+  payload_buffer_.clear();
+  encode_close(CloseMsg{session.server_id}, payload_buffer_);
+  Frame reply;
+  return round_trip(MsgType::kClose, payload_buffer_, MsgType::kCloseAck,
+                    reply);
+}
+
+Result<StatsAckMsg> PredictClient::server_stats() {
+  Frame reply;
+  Status status = request(MsgType::kStats, {}, MsgType::kStatsAck, reply);
+  if (!status.ok()) return status;
+  if (reply.type == MsgType::kError) {
+    return Status::invalid_state("client: stats rejected");
+  }
+  StatsAckMsg ack;
+  if (!parse_stats_ack(reply.reader(), ack)) {
+    return Status::corrupt("client: malformed stats ack");
+  }
+  return ack;
+}
+
+Status PredictClient::ping() {
+  Frame reply;
+  return request(MsgType::kPing, {}, MsgType::kPong, reply);
+}
+
+}  // namespace pythia::serve

@@ -1,0 +1,166 @@
+// PredictClient: the tenant-side library of the predict daemon.
+//
+// A runtime system embeds this next to its decision points, so the
+// client must fail *fast* and fail *useful*: every call returns within
+// its timeout budget, every failure maps to "use the vanilla policy",
+// and a degraded oracle stops being queried at all for a while — the
+// in-process circuit breaker's discipline (PR 1), mirrored client-side:
+//
+//   * request timeout per attempt (poll(2) bounded reads);
+//   * capped exponential backoff with seeded jitter between reconnect
+//     attempts — a daemon restart must not be greeted by every tenant
+//     retrying in lockstep;
+//   * a degradation cache: after a kDegraded answer for a (trace,
+//     section), predict() short-circuits locally to kDegraded until the
+//     TTL passes, so thousands of decision points don't pay a round
+//     trip each to re-learn what the breaker already said;
+//   * transparent session re-open after reconnect: sessions are
+//     connection-scoped on the server, so the client remembers what each
+//     handle was opened on and re-opens lazily (fresh tracking state —
+//     the oracle re-anchors, which is exactly what it would do after a
+//     gap in observations anyway).
+//
+// Thread model: one PredictClient per client thread (like a Predictor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/symbol.hpp"
+#include "serve/wire.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace pythia::serve {
+
+struct ClientOptions {
+  std::string tenant = "default";
+  std::uint64_t request_timeout_ms = 1000;
+  /// Reconnect/retry schedule: capped exponential backoff, jittered.
+  std::uint32_t max_retries = 3;
+  std::uint64_t backoff_initial_ms = 10;
+  std::uint64_t backoff_max_ms = 500;
+  double backoff_jitter = 0.5;  ///< fraction of each delay randomized
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Degradation cache TTL; 0 disables the cache.
+  std::uint64_t degraded_ttl_ms = 250;
+  std::size_t max_reply_events = 4096;
+};
+
+/// A client-side session handle. Survives reconnects: `generation`
+/// tells the client when the server-side session died with its
+/// connection and must be re-opened.
+struct ClientSession {
+  std::string trace;
+  std::uint32_t section = 0;
+  std::uint64_t server_id = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t snapshot_version = 0;
+  bool open = false;
+  /// Server's answer to the last (re)open: kDegraded / kNotFound / …
+  /// explain why `open` stayed false without a transport error.
+  ReplyCode last_code = ReplyCode::kOk;
+};
+
+struct PredictResult {
+  ReplyCode code = ReplyCode::kUnavailable;
+  Health health = Health::kHealthy;
+  double probability = 0.0;
+  double confidence = 0.0;
+  std::vector<TerminalId> events;
+};
+
+class PredictClient {
+ public:
+  explicit PredictClient(ClientOptions options = {});
+  ~PredictClient();
+
+  PredictClient(const PredictClient&) = delete;
+  PredictClient& operator=(const PredictClient&) = delete;
+
+  /// Connects over an already-open stream fd (socketpair tests). The
+  /// client owns the fd. No reconnect source: when this connection
+  /// dies, calls fail with kIoError until connect_* is called again.
+  Status connect_fd(int fd);
+
+  /// Connects to a daemon's Unix socket; remembers the path, so broken
+  /// connections heal themselves via the retry schedule.
+  Status connect_unix(const std::string& path);
+
+  bool connected() const { return fd_ >= 0; }
+  /// Sends hello (implicit in the first request otherwise).
+  Status hello();
+
+  Result<ClientSession> open(const std::string& trace,
+                             std::uint32_t section);
+
+  /// Feeds observed events. Degraded/shed answers come back as the
+  /// Status-ok codes inside `health_out`-style results; transport
+  /// failures return non-ok after the retry budget.
+  struct ObserveResult {
+    ReplyCode code = ReplyCode::kUnavailable;
+    Health health = Health::kHealthy;
+    double confidence = 0.0;
+  };
+  Result<ObserveResult> observe(ClientSession& session,
+                                const TerminalId* events, std::size_t count);
+
+  /// Predicts distance/count with a deadline budget (0 = none). A cached
+  /// degradation short-circuits without touching the wire.
+  Result<PredictResult> predict(ClientSession& session,
+                                std::uint32_t distance, std::uint32_t count,
+                                std::uint64_t deadline_budget_ns = 0);
+
+  Status close(ClientSession& session);
+  Result<StatsAckMsg> server_stats();
+  Status ping();
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t degraded_cache_hits = 0;
+    std::uint64_t reopens = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct DegradedEntry {
+    std::string key;
+    std::uint64_t until_ns = 0;
+  };
+
+  void disconnect();
+  Status reconnect();
+  /// One request round trip (no retries): send `type` with `payload`,
+  /// await the matching reply frame into reply_payload_.
+  Status round_trip(MsgType type, const std::vector<std::uint8_t>& payload,
+                    MsgType expect, Frame& reply);
+  /// round_trip + reconnect/retry schedule + implicit hello/re-open.
+  Status request(MsgType type, const std::vector<std::uint8_t>& payload,
+                 MsgType expect, Frame& reply);
+  Status ensure_open(ClientSession& session);
+  std::uint64_t backoff_delay_ms(std::uint32_t attempt);
+  bool degraded_cached(const std::string& key, std::uint64_t now_ns);
+  void note_degraded(const std::string& key, std::uint64_t now_ns);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string unix_path_;       ///< reconnect target; empty for fds
+  bool hello_sent_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped per (re)connect
+  std::uint64_t next_request_ = 1;
+  support::Rng rng_;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> send_buffer_;
+  std::vector<std::uint8_t> payload_buffer_;
+  std::vector<std::uint8_t> reply_payload_;
+  std::vector<std::uint32_t> event_scratch_;
+  std::vector<DegradedEntry> degraded_;
+  Stats stats_;
+};
+
+}  // namespace pythia::serve

@@ -1,0 +1,281 @@
+#include "serve/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/io.hpp"
+
+namespace pythia::serve {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return support::errno_status("fcntl", "fd " + std::to_string(fd));
+  }
+  return Status();
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(options), core_(options.server) {
+  read_buffer_.resize(options_.read_chunk);
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (listen_fd_ >= 0) support::close_noeintr(listen_fd_);
+  if (!listen_path_.empty()) ::unlink(listen_path_.c_str());
+  if (wake_read_fd_ >= 0) support::close_noeintr(wake_read_fd_);
+  if (wake_write_fd_ >= 0) support::close_noeintr(wake_write_fd_);
+  for (int fd : adopted_) support::close_noeintr(fd);
+  for (Conn& conn : conns_) support::close_noeintr(conn.fd);
+}
+
+Status Daemon::listen_unix(const std::string& path) {
+  if (running()) return Status::invalid_state("daemon: already running");
+  struct sockaddr_un addr {};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_state("daemon: socket path too long");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return support::errno_status("socket", path);
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = support::errno_status("bind", path);
+    support::close_noeintr(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status = support::errno_status("listen", path);
+    support::close_noeintr(fd);
+    return status;
+  }
+  Status status = set_nonblocking(fd);
+  if (!status.ok()) {
+    support::close_noeintr(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  listen_path_ = path;
+  return Status();
+}
+
+Status Daemon::adopt(int fd) {
+  Status status = set_nonblocking(fd);
+  if (!status.ok()) return status;
+  {
+    std::lock_guard<std::mutex> lock(adopt_mutex_);
+    adopted_.push_back(fd);
+  }
+  // Nudge a running loop out of poll() so the fd is served promptly.
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+  return Status();
+}
+
+Status Daemon::start() {
+  if (running()) return Status::invalid_state("daemon: already running");
+  if (!options_.server.registry.manifest_path.empty()) {
+    // Crash recovery: membership comes back from the manifest; the
+    // snapshots themselves reload lazily on first acquire.
+    Status status = core_.registry().recover();
+    if (!status.ok()) return status;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return support::errno_status("pipe", "daemon wake pipe");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  (void)set_nonblocking(wake_read_fd_);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return Status();
+}
+
+void Daemon::stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Daemon::add_connection_locked(int fd) {
+  Conn conn;
+  conn.fd = fd;
+  conn.id = core_.connection_open();
+  conns_.push_back(std::move(conn));
+  ++stats_.accepted;
+}
+
+void Daemon::drop_connection(std::size_t index) {
+  Conn& conn = conns_[index];
+  core_.connection_close(conn.id);
+  support::close_noeintr(conn.fd);
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+/// Writes as much buffered output as the socket accepts. Returns false
+/// when the connection is dead (EPIPE & co).
+bool Daemon::flush_connection(Conn& conn) {
+  while (conn.out_offset < conn.outbox.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbox.data() + conn.out_offset,
+               conn.outbox.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+  }
+  conn.outbox.clear();
+  conn.out_offset = 0;
+  return true;
+}
+
+void Daemon::loop() {
+  std::vector<struct pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(adopt_mutex_);
+      for (int fd : adopted_) add_connection_locked(fd);
+      adopted_.clear();
+    }
+
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t conn_base = fds.size();
+    // Only this prefix of conns_ has a pollfd this iteration; accepts
+    // below append past it and wait for the next poll round.
+    const std::size_t polled = conns_.size();
+    for (Conn& conn : conns_) {
+      short events = POLLIN;
+      if (conn.out_offset < conn.outbox.size()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(),
+                             options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    if (listen_fd_ >= 0 && (fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) break;
+        if (set_nonblocking(client).ok()) {
+          add_connection_locked(client);
+        } else {
+          support::close_noeintr(client);
+        }
+      }
+    }
+
+    // Serve back to front so drop_connection's erase cannot shift an
+    // index we still have to visit. Bounded by `polled`, not the live
+    // size: a connection accepted above has no pollfd entry yet —
+    // reading fds[conn_base + i] for it would run past the array (and
+    // whatever garbage revents came back could drop the newcomer on
+    // the spot).
+    for (std::size_t i = polled; i-- > 0;) {
+      const short revents = fds[conn_base + i].revents;
+      if (revents == 0) continue;
+      Conn& conn = conns_[i];
+      bool drop = false;
+
+      if ((revents & POLLIN) != 0) {
+        while (true) {
+          const ssize_t n =
+              ::recv(conn.fd, read_buffer_.data(), read_buffer_.size(), 0);
+          if (n > 0) {
+            const std::uint64_t now = monotonic_ns();
+            if (!core_.on_bytes(conn.id, read_buffer_.data(),
+                                static_cast<std::size_t>(n), conn.outbox,
+                                now)) {
+              ++stats_.dropped_protocol;
+              drop = true;
+              break;
+            }
+            if (conn.outbox.size() - conn.out_offset >
+                options_.max_output_buffer) {
+              // The peer pumps requests but does not read answers: a
+              // slow or hostile reader. Bound the memory, cut the cord.
+              ++stats_.dropped_slow_reader;
+              drop = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            ++stats_.dropped_hangup;
+            drop = true;
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            ++stats_.dropped_hangup;
+            drop = true;
+          }
+          break;
+        }
+      }
+
+      if (!drop && (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          conn.out_offset >= conn.outbox.size()) {
+        ++stats_.dropped_hangup;
+        drop = true;
+      }
+
+      if (!drop && !flush_connection(conn)) {
+        ++stats_.dropped_hangup;
+        drop = true;
+      }
+
+      if (drop) {
+        // Best effort: push any pending error reply before closing so
+        // the client learns *why* when the kernel buffer allows it.
+        (void)flush_connection(conn);
+        drop_connection(i);
+      }
+    }
+  }
+
+  // Shutdown: flush what the sockets will take, then close everything.
+  for (Conn& conn : conns_) (void)flush_connection(conn);
+  while (!conns_.empty()) drop_connection(conns_.size() - 1);
+}
+
+}  // namespace pythia::serve

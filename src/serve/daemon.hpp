@@ -1,0 +1,119 @@
+// The predict daemon: a single-threaded poll(2) event loop hosting a
+// ServerCore over Unix-domain stream sockets and/or adopted socketpair
+// ends.
+//
+// One serving thread is a robustness feature, not a shortcut: every
+// request against the oracle engine runs on the loop thread, so there is
+// no locking in the request path to get wrong, and a SIGKILL can never
+// leave half-taken locks — the only cross-thread surfaces are the
+// internally synchronized TraceRegistry (operator publishes) and the
+// atomic stop flag. Predict queries are tens of nanoseconds; the loop
+// saturates a core long before the oracle does (bench/serve measures
+// it). Scale-out is another daemon, not another lock.
+//
+// Slow-reader protection: replies buffer per connection up to
+// max_output_buffer; a client that stops reading while pumping requests
+// (or never reads at all) crosses the bound and is dropped, freeing the
+// loop — one hostile reader cannot wedge the daemon or grow its memory.
+//
+// Crash recovery: the registry manifest lives on disk (ServerOptions::
+// registry.manifest_path); a restarted daemon calls recover() before
+// serving, so tenants reconnect to the same trace names with snapshots
+// lazily reloaded (sessions are connection-scoped and die with their
+// connection — clients re-open, which the client library automates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "support/status.hpp"
+
+namespace pythia::serve {
+
+struct DaemonOptions {
+  ServerOptions server;
+  std::size_t read_chunk = 64 * 1024;
+  /// Per-connection pending-reply cap; beyond it the reader is presumed
+  /// dead or hostile and the connection is dropped.
+  std::size_t max_output_buffer = 4 * 1024 * 1024;
+  /// poll timeout; bounds stop() latency, nothing else.
+  int poll_interval_ms = 50;
+};
+
+class Daemon {
+ public:
+  Daemon() : Daemon(DaemonOptions{}) {}
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  ServerCore& core() { return core_; }
+
+  /// Binds and listens on a Unix-domain socket path (unlinked first —
+  /// the daemon owns its endpoint). Call before start().
+  Status listen_unix(const std::string& path);
+
+  /// Adopts an already-connected stream fd (e.g. one end of a
+  /// socketpair). Thread-safe; usable before or after start().
+  Status adopt(int fd);
+
+  /// Spawns the serving thread. recover()s the registry first when a
+  /// manifest path is configured.
+  Status start();
+
+  /// Stops and joins the serving thread; idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped_protocol = 0;    ///< framing failures
+    std::uint64_t dropped_slow_reader = 0; ///< output bound exceeded
+    std::uint64_t dropped_hangup = 0;      ///< peer closed / error
+  };
+  /// Loop-thread counters; read them after stop() (or accept the tear).
+  const Stats& transport_stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;           ///< ServerCore connection id
+    std::vector<std::uint8_t> outbox;
+    std::size_t out_offset = 0;
+  };
+
+  void loop();
+  void add_connection_locked(int fd);
+  void drop_connection(std::size_t index);
+  bool flush_connection(Conn& conn);
+
+  DaemonOptions options_;
+  ServerCore core_;
+  int listen_fd_ = -1;
+  std::string listen_path_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+
+  /// Fds handed to adopt() before/while the loop runs; the loop drains
+  /// this under the mutex into its private connection list.
+  std::mutex adopt_mutex_;
+  std::vector<int> adopted_;
+
+  std::vector<Conn> conns_;  ///< loop-thread private
+  std::vector<std::uint8_t> read_buffer_;
+  Stats stats_;
+};
+
+}  // namespace pythia::serve

@@ -1,0 +1,294 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/crash_point.hpp"
+#include "support/crc32.hpp"
+#include "support/io.hpp"
+
+namespace pythia::serve {
+
+namespace {
+
+constexpr const char* kManifestMagic = "PYSRV01";
+
+/// CRC over the line's semantic content, hex-encoded — a torn or
+/// bit-flipped manifest line fails its own checksum and is skipped
+/// instead of poisoning the whole recovery.
+std::uint32_t line_crc(const std::string& name, const std::string& path) {
+  std::uint32_t crc = support::crc32_init();
+  crc = support::crc32_update(crc, name.data(), name.size());
+  crc = support::crc32_update(crc, "\t", 1);
+  crc = support::crc32_update(crc, path.data(), path.size());
+  return support::crc32_final(crc);
+}
+
+}  // namespace
+
+TraceRegistry::TraceRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+TraceRegistry::Entry* TraceRegistry::find_locked(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+const TraceRegistry::Entry* TraceRegistry::find_locked(
+    const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Status TraceRegistry::persist_locked() {
+  if (options_.manifest_path.empty()) return Status();
+  std::string text = kManifestMagic;
+  text += '\n';
+  for (const auto& entry : entries_) {
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                  line_crc(entry->name, entry->path));
+    text += crc_hex;
+    text += '\t';
+    text += entry->name;
+    text += '\t';
+    text += entry->path;
+    text += '\n';
+  }
+  support::crash_point("serve.manifest.write");
+  const Status status =
+      support::write_file_atomic(options_.manifest_path, text.data(),
+                                 text.size(), options_.durable_manifest);
+  support::crash_point("serve.manifest.renamed");
+  if (status.ok()) ++stats_.manifest_writes;
+  return status;
+}
+
+Status TraceRegistry::add(const std::string& name, const std::string& path) {
+  if (name.empty() || name.size() > 256 ||
+      name.find('\t') != std::string::npos ||
+      name.find('\n') != std::string::npos) {
+    return Status::invalid_state("registry: invalid trace name");
+  }
+  if (path.find('\t') != std::string::npos ||
+      path.find('\n') != std::string::npos) {
+    return Status::invalid_state("registry: invalid trace path");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = find_locked(name)) {
+    // Re-registering an existing name re-points it (next acquire loads
+    // the new file; resident snapshot of the old file is dropped).
+    existing->path = path;
+    existing->server.publish(nullptr);
+    existing->version = 0;
+    return persist_locked();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->path = path;
+  entries_.push_back(std::move(entry));
+  Status status = persist_locked();
+  if (!status.ok()) entries_.pop_back();  // membership matches disk
+  return status;
+}
+
+Status TraceRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const std::unique_ptr<Entry>& e) { return e->name == name; });
+  if (it == entries_.end()) {
+    return Status::invalid_state("registry: unknown trace '" + name + "'");
+  }
+  std::unique_ptr<Entry> removed = std::move(*it);
+  entries_.erase(it);
+  Status status = persist_locked();
+  if (!status.ok()) entries_.push_back(std::move(removed));
+  return status;
+}
+
+Status TraceRegistry::publish(
+    const std::string& name,
+    std::shared_ptr<const engine::TraceSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = find_locked(name);
+  if (entry == nullptr) {
+    return Status::invalid_state("registry: unknown trace '" + name + "'");
+  }
+  entry->version = snapshot ? snapshot->version() : 0;
+  entry->server.publish(std::move(snapshot));
+  entry->last_used = ++lru_tick_;
+  ++stats_.publishes;
+  evict_over_cap_locked();
+  return Status();
+}
+
+Result<std::shared_ptr<const engine::TraceSnapshot>> TraceRegistry::acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = find_locked(name);
+  if (entry == nullptr) {
+    return Status::invalid_state("registry: unknown trace '" + name + "'");
+  }
+  entry->last_used = ++lru_tick_;
+  std::shared_ptr<const engine::TraceSnapshot> snapshot =
+      entry->server.snapshot();
+  if (snapshot != nullptr) return snapshot;
+
+  // Cold: fault the trace in from its file. Loading under the registry
+  // mutex serializes concurrent cold loads of the same name (good) at
+  // the cost of delaying unrelated acquires (acceptable: cold loads are
+  // rare and the hot path — resident acquire — is a map walk).
+  ++stats_.cold_loads;
+  Result<std::shared_ptr<const engine::TraceSnapshot>> loaded =
+      engine::TraceSnapshot::load(entry->path, entry->version + 1);
+  if (!loaded.ok()) {
+    ++stats_.load_failures;
+    return loaded.status();
+  }
+  snapshot = loaded.take();
+  entry->version = snapshot->version();
+  entry->server.publish(snapshot);
+  evict_over_cap_locked();
+  return snapshot;
+}
+
+void TraceRegistry::evict_over_cap_locked() {
+  // Evict beyond the residency cap, least-recently-used first, unpinned
+  // entries before pinned ones. Eviction drops only the registry's
+  // reference: a pinned snapshot stays fully valid for its sessions and
+  // its memory is released when the last pin drops.
+  const std::size_t cap = std::max<std::size_t>(1, options_.max_resident);
+  while (true) {
+    std::size_t resident_count = 0;
+    Entry* victim = nullptr;
+    bool victim_pinned = false;
+    for (auto& entry : entries_) {
+      const auto snapshot = entry->server.snapshot();
+      if (snapshot == nullptr) continue;
+      ++resident_count;
+      // use_count: registry's publisher holds one reference plus the
+      // local `snapshot` — anything beyond 2 is a client pin.
+      const bool pinned = snapshot.use_count() > 2;
+      if (victim == nullptr ||
+          (victim_pinned && !pinned) ||
+          (victim_pinned == pinned && entry->last_used < victim->last_used)) {
+        victim = entry.get();
+        victim_pinned = pinned;
+      }
+    }
+    if (resident_count <= cap || victim == nullptr) return;
+    victim->server.publish(nullptr);
+    ++stats_.evictions;
+  }
+}
+
+Status TraceRegistry::recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  if (options_.manifest_path.empty() ||
+      !support::path_exists(options_.manifest_path)) {
+    return Status();  // first boot: empty registry
+  }
+  std::vector<unsigned char> bytes;
+  Status status = support::read_file(options_.manifest_path, bytes);
+  if (!status.ok()) return status;
+  const std::string text(bytes.begin(), bytes.end());
+
+  std::size_t offset = 0;
+  auto next_line = [&](std::string& line) {
+    if (offset >= text.size()) return false;
+    const std::size_t end = text.find('\n', offset);
+    if (end == std::string::npos) {
+      // No terminating newline: a torn final line from a crash mid-write
+      // of a non-atomic editor; treat as absent.
+      offset = text.size();
+      line.clear();
+      return false;
+    }
+    line = text.substr(offset, end - offset);
+    offset = end + 1;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line) || line != kManifestMagic) {
+    return Status::corrupt("registry manifest: bad magic");
+  }
+  while (next_line(line)) {
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 =
+        tab1 == std::string::npos ? std::string::npos
+                                  : line.find('\t', tab1 + 1);
+    if (tab1 != 8 || tab2 == std::string::npos) {
+      ++stats_.manifest_salvaged_lines;
+      continue;
+    }
+    const std::string crc_hex = line.substr(0, 8);
+    const std::string name = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    const std::string path = line.substr(tab2 + 1);
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(crc_hex.c_str(), &end, 16);
+    if (end != crc_hex.c_str() + 8 ||
+        static_cast<std::uint32_t>(crc) != line_crc(name, path) ||
+        name.empty() || find_locked(name) != nullptr) {
+      ++stats_.manifest_salvaged_lines;
+      continue;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->path = path;
+    entries_.push_back(std::move(entry));
+  }
+  return Status();
+}
+
+bool TraceRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(name) != nullptr;
+}
+
+std::vector<std::string> TraceRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->name);
+  return out;
+}
+
+std::size_t TraceRegistry::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (entry->server.snapshot() != nullptr) ++count;
+  }
+  return count;
+}
+
+std::size_t TraceRegistry::pins(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_locked(name);
+  if (entry == nullptr) return 0;
+  const auto snapshot = entry->server.snapshot();
+  if (snapshot == nullptr) return 0;
+  const long uses = snapshot.use_count();
+  return uses > 2 ? static_cast<std::size_t>(uses - 2) : 0;
+}
+
+std::uint64_t TraceRegistry::version_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_locked(name);
+  return entry == nullptr ? 0 : entry->version;
+}
+
+TraceRegistry::Stats TraceRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pythia::serve

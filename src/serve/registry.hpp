@@ -1,0 +1,119 @@
+// Trace registry of the predict daemon: many named traces, bounded
+// residency, crash-recoverable membership.
+//
+// Residency vs. existence: a registered trace always *exists* (name +
+// file path, persisted in the manifest); it is only sometimes *resident*
+// (its TraceSnapshot loaded and published). acquire() faults a cold
+// trace in from disk and evicts the least-recently-used resident entry
+// beyond the cap. Eviction only drops the registry's own reference — a
+// session that pinned the snapshot (shared_ptr) keeps it alive and
+// valid, so eviction can never invalidate an in-flight client. The pin
+// count is also the eviction policy's input: unpinned entries go first.
+//
+// Hot swap: publish() atomically replaces a resident snapshot through
+// engine::PredictServer — in-flight sessions keep their pinned version,
+// new opens get the new one, zero client disruption.
+//
+// Crash safety: the manifest (name -> path, one self-checksummed line
+// each) is rewritten atomically (write-temp -> rename) on every
+// membership change, so a daemon that is SIGKILLed recovers its registry
+// by re-reading the manifest; snapshots reload lazily on first acquire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/snapshot.hpp"
+#include "support/status.hpp"
+
+namespace pythia::serve {
+
+struct RegistryOptions {
+  /// Resident snapshot cap (LRU beyond it). Pinned entries survive
+  /// eviction physically (their sessions hold the memory) — the cap
+  /// bounds what the *registry* keeps alive, which is what matters once
+  /// the pins drain.
+  std::size_t max_resident = 4;
+  /// Manifest file path; empty disables persistence (in-memory registry,
+  /// used by unit tests and the bench).
+  std::string manifest_path;
+  /// fsync the manifest (and its directory) on every rewrite. Off is
+  /// still atomic against process death; on survives power loss.
+  bool durable_manifest = false;
+};
+
+class TraceRegistry {
+ public:
+  TraceRegistry() : TraceRegistry(RegistryOptions{}) {}
+  explicit TraceRegistry(RegistryOptions options);
+
+  /// Registers `name` backed by trace file `path` and persists the
+  /// manifest. The file is not touched yet (lazy load on first acquire);
+  /// a bad path surfaces as kUnavailable from acquire(), keeping one
+  /// tenant's broken registration from delaying everyone else's adds.
+  Status add(const std::string& name, const std::string& path);
+
+  /// Unregisters and persists. In-flight sessions on the trace keep
+  /// their pinned snapshots; only new opens start failing.
+  Status remove(const std::string& name);
+
+  /// Publishes a new snapshot version for `name` (hot swap; the entry
+  /// becomes resident). Fails when the name is unknown.
+  Status publish(const std::string& name,
+                 std::shared_ptr<const engine::TraceSnapshot> snapshot);
+
+  /// The current snapshot of `name`, loading it from disk when cold
+  /// (evicting the LRU resident entry beyond max_resident). The returned
+  /// shared_ptr is the caller's pin.
+  Result<std::shared_ptr<const engine::TraceSnapshot>> acquire(
+      const std::string& name);
+
+  /// Re-reads the manifest, replacing in-memory membership — the daemon
+  /// restart path. Unreadable lines are skipped (salvage), a missing
+  /// manifest file yields an empty registry (first boot).
+  Status recover();
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t resident() const;
+  /// Outstanding pins on `name`'s current snapshot (0 when cold or
+  /// unknown; registry's own reference excluded).
+  std::size_t pins(const std::string& name) const;
+  /// Version the next acquire() would see (0 when cold/unknown).
+  std::uint64_t version_of(const std::string& name) const;
+
+  struct Stats {
+    std::uint64_t cold_loads = 0;
+    std::uint64_t load_failures = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t manifest_writes = 0;
+    std::uint64_t manifest_salvaged_lines = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string path;
+    engine::PredictServer server;  ///< holds the resident snapshot
+    std::uint64_t last_used = 0;   ///< LRU tick of the last acquire
+    std::uint64_t version = 0;     ///< bumped per publish/load
+  };
+
+  Entry* find_locked(const std::string& name);
+  const Entry* find_locked(const std::string& name) const;
+  Status persist_locked();
+  void evict_over_cap_locked();
+
+  RegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::uint64_t lru_tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pythia::serve

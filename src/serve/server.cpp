@@ -1,0 +1,374 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+namespace pythia::serve {
+
+ServerCore::ServerCore(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry),
+      admission_(options_.tenant_defaults) {}
+
+std::uint64_t ServerCore::connection_open() {
+  const std::uint64_t id = next_connection_++;
+  Connection conn;
+  conn.decoder = FrameDecoder(options_.wire);
+  connections_.emplace(id, std::move(conn));
+  stats_.connections = connections_.size();
+  return id;
+}
+
+void ServerCore::connection_close(std::uint64_t connection) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) return;
+  for (auto& [sid, session] : it->second.sessions) {
+    (void)sid;
+    drop_session_gauge(session);
+    ++stats_.sessions_closed;
+  }
+  stats_.sessions_open -= it->second.sessions.size();
+  connections_.erase(it);
+  stats_.connections = connections_.size();
+}
+
+bool ServerCore::trace_degraded(const std::string& trace) const {
+  const auto it = gauges_.find(trace);
+  if (it == gauges_.end()) return false;
+  const TraceGauge& gauge = it->second;
+  if (gauge.sessions < options_.degraded_min_sessions) return false;
+  return static_cast<double>(gauge.degraded) >=
+         options_.degraded_fraction * static_cast<double>(gauge.sessions);
+}
+
+std::pair<std::size_t, std::size_t> ServerCore::trace_health(
+    const std::string& trace) const {
+  const auto it = gauges_.find(trace);
+  if (it == gauges_.end()) return {0, 0};
+  return {it->second.degraded, it->second.sessions};
+}
+
+void ServerCore::note_health(ServeSession& session, Health now_health) {
+  if (now_health == session.last_health) return;
+  TraceGauge& gauge = gauges_[session.trace];
+  if (session.last_health == Health::kDegraded && gauge.degraded > 0) {
+    --gauge.degraded;
+  }
+  if (now_health == Health::kDegraded) ++gauge.degraded;
+  session.last_health = now_health;
+}
+
+void ServerCore::drop_session_gauge(const ServeSession& session) {
+  auto it = gauges_.find(session.trace);
+  if (it == gauges_.end()) return;
+  TraceGauge& gauge = it->second;
+  if (gauge.sessions > 0) --gauge.sessions;
+  if (session.last_health == Health::kDegraded && gauge.degraded > 0) {
+    --gauge.degraded;
+  }
+  if (gauge.sessions == 0) gauges_.erase(it);
+}
+
+void ServerCore::reply_error(const Frame& frame, ReplyCode code,
+                             std::string message, Connection& conn,
+                             std::vector<std::uint8_t>& out) {
+  ++stats_.bad_requests;
+  ++stats_.replies;
+  conn.payload_scratch.clear();
+  encode_error(ErrorMsg{code, std::move(message)}, conn.payload_scratch);
+  encode_frame(MsgType::kError, frame.request_id, conn.payload_scratch, out);
+}
+
+bool ServerCore::on_bytes(std::uint64_t connection, const std::uint8_t* data,
+                          std::size_t size, std::vector<std::uint8_t>& out,
+                          std::uint64_t now_ns) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) return false;
+  Connection& conn = it->second;
+
+  conn.decoder.feed(data, size);
+  while (auto frame = conn.decoder.next()) {
+    ++stats_.frames;
+    serve_frame(conn, *frame, out, now_ns);
+  }
+  if (conn.decoder.failed()) {
+    // Corrupt framing: tell the client why (best effort — the stream is
+    // already suspect), then force the drop. request_id 0: the frame it
+    // belonged to is unrecoverable by definition.
+    ++stats_.bad_frames;
+    ++stats_.connections_dropped;
+    ++stats_.replies;
+    conn.payload_scratch.clear();
+    encode_error(ErrorMsg{ReplyCode::kBadRequest,
+                          conn.decoder.error().to_string()},
+                 conn.payload_scratch);
+    encode_frame(MsgType::kError, 0, conn.payload_scratch, out);
+    return false;
+  }
+  return true;
+}
+
+void ServerCore::serve_frame(Connection& conn, const Frame& frame,
+                             std::vector<std::uint8_t>& out,
+                             std::uint64_t now_ns) {
+  conn.payload_scratch.clear();
+
+  switch (frame.type) {
+    case MsgType::kPing: {
+      ++stats_.replies;
+      encode_frame(MsgType::kPong, frame.request_id, nullptr, 0, out);
+      return;
+    }
+
+    case MsgType::kHello: {
+      HelloMsg msg;
+      if (!parse_hello(frame.reader(), msg) || msg.tenant.empty()) {
+        reply_error(frame, ReplyCode::kBadRequest, "hello: bad tenant name",
+                    conn, out);
+        return;
+      }
+      conn.tenant = admission_.register_tenant(msg.tenant);
+      conn.hello_done = true;
+      ++stats_.replies;
+      encode_hello_ack(HelloAckMsg{ReplyCode::kOk, conn.tenant},
+                       conn.payload_scratch);
+      encode_frame(MsgType::kHelloAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    case MsgType::kStats: {
+      StatsAckMsg msg;
+      msg.frames = stats_.frames;
+      msg.replies = stats_.replies + 1;
+      msg.sessions_open = stats_.sessions_open;
+      msg.shed = stats_.shed;
+      msg.degraded = stats_.degraded;
+      msg.expired = stats_.expired;
+      msg.publishes = registry_.stats().publishes;
+      ++stats_.replies;
+      encode_stats_ack(msg, conn.payload_scratch);
+      encode_frame(MsgType::kStatsAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    default:
+      break;
+  }
+
+  // Everything below requires an introduced tenant.
+  if (!conn.hello_done) {
+    reply_error(frame, ReplyCode::kBadRequest,
+                "protocol: hello required first", conn, out);
+    return;
+  }
+
+  switch (frame.type) {
+    case MsgType::kOpen: {
+      OpenMsg msg;
+      if (!parse_open(frame.reader(), msg)) {
+        reply_error(frame, ReplyCode::kBadRequest, "open: malformed", conn,
+                    out);
+        return;
+      }
+      OpenAckMsg ack;
+      if (conn.sessions.size() >= options_.max_sessions_per_tenant) {
+        ack.code = ReplyCode::kShed;
+        ++stats_.shed;
+      } else if (!registry_.contains(msg.trace)) {
+        ack.code = ReplyCode::kNotFound;
+      } else if (trace_degraded(msg.trace)) {
+        // No point opening a session whose predictions would be
+        // suppressed — tell the tenant to run vanilla now.
+        ack.code = ReplyCode::kDegraded;
+        ++stats_.degraded;
+      } else {
+        const Admit verdict =
+            admission_.admit(conn.tenant, now_ns, /*trace_degraded=*/false);
+        if (verdict != Admit::kAdmit) {
+          ack.code = ReplyCode::kShed;
+          ++stats_.shed;
+        } else {
+          Result<std::shared_ptr<const engine::TraceSnapshot>> acquired =
+              registry_.acquire(msg.trace);
+          if (!acquired.ok()) {
+            ack.code = ReplyCode::kUnavailable;
+          } else {
+            const auto& snapshot = acquired.value();
+            if (msg.section >= snapshot->sections() ||
+                !snapshot->section_ok(msg.section)) {
+              ack.code = ReplyCode::kUnavailable;
+            } else {
+              const std::uint64_t sid = next_session_++;
+              Predictor::Options popts =
+                  Predictor::Options::runtime_defaults();
+              popts.breaker.backoff_jitter = options_.breaker_jitter;
+              popts.breaker.jitter_seed = sid;
+              ServeSession session;
+              session.trace = msg.trace;
+              session.session = std::make_unique<engine::PredictSession>(
+                  engine::PredictServer(snapshot)
+                      .open(msg.section, popts)
+                      .take());
+              conn.sessions.emplace(sid, std::move(session));
+              ++gauges_[msg.trace].sessions;
+              ++stats_.sessions_opened;
+              ++stats_.sessions_open;
+              ack.session_id = sid;
+              ack.snapshot_version = snapshot->version();
+            }
+          }
+        }
+      }
+      ++stats_.replies;
+      encode_open_ack(ack, conn.payload_scratch);
+      encode_frame(MsgType::kOpenAck, frame.request_id, conn.payload_scratch,
+                   out);
+      return;
+    }
+
+    case MsgType::kObserve: {
+      ObserveMsg msg;
+      if (!parse_observe(frame.reader(), msg, conn.event_scratch,
+                         options_.max_events_per_observe)) {
+        reply_error(frame, ReplyCode::kBadRequest, "observe: malformed",
+                    conn, out);
+        return;
+      }
+      auto sit = conn.sessions.find(msg.session_id);
+      ObserveAckMsg ack;
+      if (sit == conn.sessions.end()) {
+        ack.code = ReplyCode::kBadRequest;
+      } else {
+        const Admit verdict = admission_.admit(
+            conn.tenant, now_ns, trace_degraded(sit->second.trace));
+        if (verdict == Admit::kDegraded) {
+          ack.code = ReplyCode::kDegraded;
+          ++stats_.degraded;
+        } else if (verdict != Admit::kAdmit) {
+          ack.code = ReplyCode::kShed;
+          ++stats_.shed;
+        } else {
+          admission_.begin(conn.tenant);
+          engine::PredictSession& session = *sit->second.session;
+          for (std::size_t i = 0; i < msg.count; ++i) {
+            session.observe(conn.event_scratch[i]);
+          }
+          note_health(sit->second, session.health());
+          ack.health = static_cast<std::uint8_t>(session.health());
+          ack.confidence = session.confidence();
+          if (session.health() == Health::kDegraded) {
+            ack.code = ReplyCode::kDegraded;
+            ++stats_.degraded;
+          }
+          admission_.end(conn.tenant);
+        }
+      }
+      ++stats_.replies;
+      encode_observe_ack(ack, conn.payload_scratch);
+      encode_frame(MsgType::kObserveAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    case MsgType::kPredict: {
+      PredictMsg msg;
+      if (!parse_predict(frame.reader(), msg)) {
+        reply_error(frame, ReplyCode::kBadRequest, "predict: malformed",
+                    conn, out);
+        return;
+      }
+      if (msg.count > options_.max_predict_count) {
+        reply_error(frame, ReplyCode::kBadRequest,
+                    "predict: count exceeds cap", conn, out);
+        return;
+      }
+      auto sit = conn.sessions.find(msg.session_id);
+      ReplyCode code = ReplyCode::kOk;
+      std::uint8_t health = 0;
+      double probability = 0.0;
+      double confidence = 1.0;
+      std::size_t filled = 0;
+      if (sit == conn.sessions.end()) {
+        code = ReplyCode::kBadRequest;
+      } else if (msg.deadline_ns != 0 && now_ns > msg.deadline_ns) {
+        // The request outlived its usefulness in the backlog: an
+        // explicit expiry beats a late answer the runtime already
+        // replaced with its vanilla decision.
+        code = ReplyCode::kDeadlineExpired;
+        ++stats_.expired;
+      } else {
+        const Admit verdict = admission_.admit(
+            conn.tenant, now_ns, trace_degraded(sit->second.trace));
+        if (verdict == Admit::kDegraded) {
+          code = ReplyCode::kDegraded;
+          ++stats_.degraded;
+        } else if (verdict != Admit::kAdmit) {
+          code = ReplyCode::kShed;
+          ++stats_.shed;
+        } else {
+          admission_.begin(conn.tenant);
+          engine::PredictSession& session = *sit->second.session;
+          health = static_cast<std::uint8_t>(session.health());
+          confidence = session.confidence();
+          if (session.health() == Health::kDegraded) {
+            code = ReplyCode::kDegraded;
+            ++stats_.degraded;
+          } else if (msg.count <= 1) {
+            const auto prediction =
+                session.predict(std::max<std::uint32_t>(1, msg.distance));
+            if (prediction.has_value()) {
+              conn.predict_scratch.assign(1, prediction->event);
+              probability = prediction->probability;
+              filled = 1;
+            }
+          } else {
+            conn.predict_scratch.resize(msg.count);
+            filled = session.predict_n(conn.predict_scratch.data(),
+                                       msg.count);
+          }
+          note_health(sit->second, session.health());
+          admission_.end(conn.tenant);
+        }
+      }
+      ++stats_.replies;
+      encode_predict_ack(code, health, probability, confidence,
+                         filled > 0 ? conn.predict_scratch.data() : nullptr,
+                         filled, conn.payload_scratch);
+      encode_frame(MsgType::kPredictAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    case MsgType::kClose: {
+      CloseMsg msg;
+      if (!parse_close(frame.reader(), msg)) {
+        reply_error(frame, ReplyCode::kBadRequest, "close: malformed", conn,
+                    out);
+        return;
+      }
+      CloseAckMsg ack;
+      auto sit = conn.sessions.find(msg.session_id);
+      if (sit == conn.sessions.end()) {
+        ack.code = ReplyCode::kBadRequest;
+      } else {
+        drop_session_gauge(sit->second);
+        conn.sessions.erase(sit);
+        ++stats_.sessions_closed;
+        --stats_.sessions_open;
+      }
+      ++stats_.replies;
+      encode_close_ack(ack, conn.payload_scratch);
+      encode_frame(MsgType::kCloseAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    default:
+      reply_error(frame, ReplyCode::kBadRequest,
+                  "protocol: unexpected message type", conn, out);
+      return;
+  }
+}
+
+}  // namespace pythia::serve

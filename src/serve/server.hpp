@@ -1,0 +1,152 @@
+// ServerCore: the transport-agnostic request brain of the predict
+// daemon.
+//
+// One ServerCore hosts one TraceRegistry, one AdmissionController, and
+// every connection's protocol state. The daemon (serve/daemon.hpp) feeds
+// it raw transport bytes per connection; the core decodes frames,
+// applies admission and deadlines, drives the engine's PredictSessions,
+// and appends reply bytes for the transport to flush. The core never
+// reads a clock and never touches a socket — every call takes `now_ns`
+// from the caller, which makes the whole request pipeline, including
+// rate limiting and deadline expiry, deterministic under test.
+//
+// Robustness contract per failure class:
+//   * bit-flipped / truncated / oversized frame  -> best-effort kError
+//     reply, connection dropped (a byte stream cannot resync), decoder
+//     counters record which check caught it;
+//   * malformed payload in a valid frame         -> kError(kBadRequest)
+//     reply, connection lives (framing is still sound);
+//   * unknown session / trace                    -> explicit kBadRequest /
+//     kNotFound reply codes, never a hang;
+//   * flooding tenant                            -> admission sheds with
+//     kShed, other tenants' budgets untouched;
+//   * unhealthy trace (sessions mostly degraded) -> early kDegraded
+//     before any oracle work, client falls back to vanilla policy;
+//   * request past its deadline                  -> kDeadlineExpired
+//     instead of a late answer;
+//   * publish during in-flight traffic           -> sessions keep their
+//     pinned snapshot (engine guarantee), new opens get the new one.
+//
+// Threading: a ServerCore instance belongs to one serving thread (the
+// daemon's event loop). The *registry* is internally synchronized — hot
+// publishes may arrive from other threads (an operator reload) while the
+// loop serves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/snapshot.hpp"
+#include "serve/admission.hpp"
+#include "serve/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace pythia::serve {
+
+struct ServerOptions {
+  FrameDecoder::Options wire;
+  TenantLimits tenant_defaults;
+  RegistryOptions registry;
+
+  std::size_t max_sessions_per_tenant = 4096;
+  std::size_t max_events_per_observe = 4096;
+  std::size_t max_predict_count = 1024;
+
+  /// Trace-health aggregation: a trace whose sessions are mostly
+  /// degraded sheds new work early. Both thresholds must hold.
+  double degraded_fraction = 0.5;
+  std::size_t degraded_min_sessions = 4;
+
+  /// Serve-side sessions run the standard runtime breaker plus seeded
+  /// backoff jitter (salted by session id): thousands of sessions that
+  /// degrade together on one shared divergence must not re-anchor in
+  /// lockstep against the shared grammar.
+  double breaker_jitter = 0.25;
+};
+
+class ServerCore {
+ public:
+  ServerCore() : ServerCore(ServerOptions{}) {}
+  explicit ServerCore(ServerOptions options);
+
+  TraceRegistry& registry() { return registry_; }
+  AdmissionController& admission() { return admission_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Opens a connection-state slot; the id keys every later call.
+  std::uint64_t connection_open();
+  void connection_close(std::uint64_t connection);
+
+  /// Feeds transport bytes; reply frames are appended to `out`. Returns
+  /// false when the connection must be dropped (framing failure) — a
+  /// best-effort kError frame is already in `out` when so.
+  bool on_bytes(std::uint64_t connection, const std::uint8_t* data,
+                std::size_t size, std::vector<std::uint8_t>& out,
+                std::uint64_t now_ns);
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t bad_frames = 0;       ///< framing failures (drops)
+    std::uint64_t bad_requests = 0;     ///< well-framed, malformed payload
+    std::uint64_t replies = 0;
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_closed = 0;
+    std::uint64_t shed = 0;             ///< kShed replies (rate/queue)
+    std::uint64_t degraded = 0;         ///< kDegraded replies
+    std::uint64_t expired = 0;          ///< kDeadlineExpired replies
+    std::uint64_t connections_dropped = 0;
+    std::size_t sessions_open = 0;      ///< live right now
+    std::size_t connections = 0;        ///< live right now
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Sessions currently degraded / total, for `trace` (health gauge).
+  std::pair<std::size_t, std::size_t> trace_health(
+      const std::string& trace) const;
+
+ private:
+  struct ServeSession {
+    std::string trace;
+    std::unique_ptr<engine::PredictSession> session;
+    Health last_health = Health::kHealthy;
+  };
+
+  struct Connection {
+    FrameDecoder decoder;
+    bool hello_done = false;
+    std::uint32_t tenant = 0;
+    std::unordered_map<std::uint64_t, ServeSession> sessions;
+    /// Reusable per-connection scratch (observe batches, predict
+    /// buffers): the steady-state request path allocates nothing.
+    std::vector<std::uint32_t> event_scratch;
+    std::vector<std::uint32_t> predict_scratch;
+    std::vector<std::uint8_t> payload_scratch;
+  };
+
+  struct TraceGauge {
+    std::size_t sessions = 0;
+    std::size_t degraded = 0;
+  };
+
+  void serve_frame(Connection& conn, const Frame& frame,
+                   std::vector<std::uint8_t>& out, std::uint64_t now_ns);
+  void reply_error(const Frame& frame, ReplyCode code, std::string message,
+                   Connection& conn, std::vector<std::uint8_t>& out);
+  bool trace_degraded(const std::string& trace) const;
+  void note_health(ServeSession& session, Health now_health);
+  void drop_session_gauge(const ServeSession& session);
+
+  ServerOptions options_;
+  TraceRegistry registry_;
+  AdmissionController admission_;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  std::unordered_map<std::string, TraceGauge> gauges_;
+  std::uint64_t next_connection_ = 1;
+  std::uint64_t next_session_ = 1;
+  Stats stats_;
+};
+
+}  // namespace pythia::serve

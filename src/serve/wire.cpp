@@ -1,0 +1,321 @@
+#include "serve/wire.hpp"
+
+#include "support/crc32.hpp"
+
+namespace pythia::serve {
+
+const char* to_string(ReplyCode code) {
+  switch (code) {
+    case ReplyCode::kOk:
+      return "ok";
+    case ReplyCode::kDegraded:
+      return "degraded";
+    case ReplyCode::kShed:
+      return "shed";
+    case ReplyCode::kDeadlineExpired:
+      return "deadline-expired";
+    case ReplyCode::kBadRequest:
+      return "bad-request";
+    case ReplyCode::kNotFound:
+      return "not-found";
+    case ReplyCode::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+bool WireReader::str(std::string& out, std::size_t max_length) {
+  std::uint32_t length = 0;
+  if (!u32(length)) return false;
+  if (length > max_length || length > remaining()) return false;
+  out.assign(reinterpret_cast<const char*>(data_ + offset_), length);
+  offset_ += length;
+  return true;
+}
+
+bool WireReader::u32_array(std::uint32_t* out, std::size_t count) {
+  if (count == 0) return true;  // memcpy(null, _, 0) is still UB
+  if (count > remaining() / 4) return false;
+  std::memcpy(out, data_ + offset_, count * 4);
+  offset_ += count * 4;
+  return true;
+}
+
+void encode_frame(MsgType type, std::uint64_t request_id,
+                  const std::uint8_t* payload, std::size_t size,
+                  std::vector<std::uint8_t>& out) {
+  std::uint8_t header[kFrameHeaderSize];
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    std::memcpy(header + at, &v, 4);
+  };
+  put32(0, kWireMagic);
+  header[4] = kWireVersion;
+  header[5] = static_cast<std::uint8_t>(type);
+  header[6] = 0;  // flags
+  header[7] = 0;
+  put32(8, static_cast<std::uint32_t>(size));
+  std::memcpy(header + 12, &request_id, 8);
+  put32(20, support::crc32(payload, size));
+  put32(24, support::crc32(header, 24));
+  out.insert(out.end(), header, header + kFrameHeaderSize);
+  out.insert(out.end(), payload, payload + size);
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed()) return;
+  compact();
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FrameDecoder::compact() {
+  // Drop consumed bytes so the buffer never grows past one in-progress
+  // frame plus the transport's read chunk.
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed()) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return std::nullopt;
+
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  auto get32 = [&](std::size_t at) {
+    std::uint32_t v;
+    std::memcpy(&v, header + at, 4);
+    return v;
+  };
+
+  // The header checksum comes first: nothing else in the header — least
+  // of all payload_size — is believed until it passes.
+  if (get32(24) != support::crc32(header, 24)) {
+    ++stats_.rejected_header;
+    fail(Status::corrupt("wire: frame header checksum mismatch"));
+    return std::nullopt;
+  }
+  if (get32(0) != kWireMagic) {
+    ++stats_.rejected_header;
+    fail(Status::corrupt("wire: bad frame magic"));
+    return std::nullopt;
+  }
+  if (header[4] != kWireVersion) {
+    ++stats_.rejected_header;
+    fail(Status::unsupported("wire: unknown protocol version " +
+                             std::to_string(header[4])));
+    return std::nullopt;
+  }
+  std::uint16_t flags;
+  std::memcpy(&flags, header + 6, 2);
+  if (flags != 0) {
+    ++stats_.rejected_header;
+    fail(Status::unsupported("wire: reserved flags set"));
+    return std::nullopt;
+  }
+  const std::uint32_t payload_size = get32(8);
+  if (payload_size > options_.max_payload) {
+    ++stats_.rejected_oversize;
+    fail(Status::corrupt("wire: frame payload " +
+                         std::to_string(payload_size) + " exceeds cap " +
+                         std::to_string(options_.max_payload)));
+    return std::nullopt;
+  }
+  if (available < kFrameHeaderSize + payload_size) {
+    // Incomplete but believable (header validated): wait for more bytes.
+    return std::nullopt;
+  }
+
+  const std::uint8_t* payload = header + kFrameHeaderSize;
+  if (get32(20) != support::crc32(payload, payload_size)) {
+    ++stats_.rejected_payload;
+    fail(Status::corrupt("wire: frame payload checksum mismatch"));
+    return std::nullopt;
+  }
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(header[5]);
+  std::memcpy(&frame.request_id, header + 12, 8);
+  frame.payload = payload;
+  frame.size = payload_size;
+  consumed_ += kFrameHeaderSize + payload_size;
+  ++stats_.frames;
+  return frame;
+}
+
+// --- Payload schemas -------------------------------------------------
+
+void encode_hello(const HelloMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).str(msg.tenant);
+}
+
+bool parse_hello(WireReader reader, HelloMsg& out) {
+  return reader.str(out.tenant);
+}
+
+void encode_hello_ack(const HelloAckMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).u8(static_cast<std::uint8_t>(msg.code)).u32(msg.tenant_id);
+}
+
+bool parse_hello_ack(WireReader reader, HelloAckMsg& out) {
+  std::uint8_t code;
+  if (!reader.u8(code) || !reader.u32(out.tenant_id)) return false;
+  out.code = static_cast<ReplyCode>(code);
+  return true;
+}
+
+void encode_open(const OpenMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).str(msg.trace).u32(msg.section);
+}
+
+bool parse_open(WireReader reader, OpenMsg& out) {
+  return reader.str(out.trace) && reader.u32(out.section);
+}
+
+void encode_open_ack(const OpenAckMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out)
+      .u8(static_cast<std::uint8_t>(msg.code))
+      .u64(msg.session_id)
+      .u64(msg.snapshot_version);
+}
+
+bool parse_open_ack(WireReader reader, OpenAckMsg& out) {
+  std::uint8_t code;
+  if (!reader.u8(code) || !reader.u64(out.session_id) ||
+      !reader.u64(out.snapshot_version)) {
+    return false;
+  }
+  out.code = static_cast<ReplyCode>(code);
+  return true;
+}
+
+void encode_observe(std::uint64_t session_id, const std::uint32_t* events,
+                    std::size_t count, std::vector<std::uint8_t>& out) {
+  WireWriter writer(out);
+  writer.u64(session_id).u32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) writer.u32(events[i]);
+}
+
+bool parse_observe(WireReader reader, ObserveMsg& out,
+                   std::vector<std::uint32_t>& events_scratch,
+                   std::size_t max_events) {
+  std::uint32_t count;
+  if (!reader.u64(out.session_id) || !reader.u32(count)) return false;
+  if (count > max_events || count > reader.remaining() / 4) return false;
+  events_scratch.resize(count);
+  if (!reader.u32_array(events_scratch.data(), count)) return false;
+  out.count = count;
+  return true;
+}
+
+void encode_observe_ack(const ObserveAckMsg& msg,
+                        std::vector<std::uint8_t>& out) {
+  WireWriter(out)
+      .u8(static_cast<std::uint8_t>(msg.code))
+      .u8(msg.health)
+      .f64(msg.confidence);
+}
+
+bool parse_observe_ack(WireReader reader, ObserveAckMsg& out) {
+  std::uint8_t code;
+  if (!reader.u8(code) || !reader.u8(out.health) ||
+      !reader.f64(out.confidence)) {
+    return false;
+  }
+  out.code = static_cast<ReplyCode>(code);
+  return true;
+}
+
+void encode_predict(const PredictMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out)
+      .u64(msg.session_id)
+      .u32(msg.distance)
+      .u32(msg.count)
+      .u64(msg.deadline_ns);
+}
+
+bool parse_predict(WireReader reader, PredictMsg& out) {
+  return reader.u64(out.session_id) && reader.u32(out.distance) &&
+         reader.u32(out.count) && reader.u64(out.deadline_ns);
+}
+
+void encode_predict_ack(ReplyCode code, std::uint8_t health,
+                        double probability, double confidence,
+                        const std::uint32_t* events, std::size_t count,
+                        std::vector<std::uint8_t>& out) {
+  WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(code))
+      .u8(health)
+      .f64(probability)
+      .f64(confidence)
+      .u32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) writer.u32(events[i]);
+}
+
+bool parse_predict_ack(WireReader reader, PredictAckMsg& out,
+                       std::vector<std::uint32_t>& events_scratch,
+                       std::size_t max_events) {
+  std::uint8_t code;
+  std::uint32_t count;
+  if (!reader.u8(code) || !reader.u8(out.health) ||
+      !reader.f64(out.probability) || !reader.f64(out.confidence) ||
+      !reader.u32(count)) {
+    return false;
+  }
+  if (count > max_events || count > reader.remaining() / 4) return false;
+  events_scratch.resize(count);
+  if (!reader.u32_array(events_scratch.data(), count)) return false;
+  out.code = static_cast<ReplyCode>(code);
+  out.count = count;
+  return true;
+}
+
+void encode_close(const CloseMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).u64(msg.session_id);
+}
+
+bool parse_close(WireReader reader, CloseMsg& out) {
+  return reader.u64(out.session_id);
+}
+
+void encode_close_ack(const CloseAckMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).u8(static_cast<std::uint8_t>(msg.code));
+}
+
+bool parse_close_ack(WireReader reader, CloseAckMsg& out) {
+  std::uint8_t code;
+  if (!reader.u8(code)) return false;
+  out.code = static_cast<ReplyCode>(code);
+  return true;
+}
+
+void encode_error(const ErrorMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out).u8(static_cast<std::uint8_t>(msg.code)).str(msg.message);
+}
+
+bool parse_error(WireReader reader, ErrorMsg& out) {
+  std::uint8_t code;
+  if (!reader.u8(code) || !reader.str(out.message, 1024)) return false;
+  out.code = static_cast<ReplyCode>(code);
+  return true;
+}
+
+void encode_stats_ack(const StatsAckMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out)
+      .u64(msg.frames)
+      .u64(msg.replies)
+      .u64(msg.sessions_open)
+      .u64(msg.shed)
+      .u64(msg.degraded)
+      .u64(msg.expired)
+      .u64(msg.publishes);
+}
+
+bool parse_stats_ack(WireReader reader, StatsAckMsg& out) {
+  return reader.u64(out.frames) && reader.u64(out.replies) &&
+         reader.u64(out.sessions_open) && reader.u64(out.shed) &&
+         reader.u64(out.degraded) && reader.u64(out.expired) &&
+         reader.u64(out.publishes);
+}
+
+}  // namespace pythia::serve

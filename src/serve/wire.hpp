@@ -1,0 +1,333 @@
+// Wire protocol of the predict daemon: length-prefixed, CRC-checked
+// frames over a byte-stream transport (Unix-domain socket / socketpair).
+//
+// Robustness is the organizing principle:
+//
+//  * Every frame carries a CRC32 over its header *and* a CRC32 over its
+//    payload, so a bit-flipped length field can never be trusted: the
+//    decoder validates the header checksum before it believes
+//    payload_size, and caps the believed size at max_payload before
+//    reserving a byte — no allocation amplification from hostile input.
+//
+//  * A byte stream cannot resynchronize after garbage (there is no
+//    framing marker that corruption could not also forge), so any header
+//    failure — bad magic, bad version, bad CRC, oversized — poisons the
+//    decoder; the server answers with a best-effort kError frame and
+//    drops the connection. Clients reconnect with capped backoff.
+//
+//  * Payload parsing goes through WireReader, which bounds-checks every
+//    read; a truncated or lying payload yields a kBadRequest reply, never
+//    an out-of-bounds access.
+//
+// Frame layout (little-endian, 28-byte header):
+//   u32 magic        "PYW1"
+//   u8  version      kWireVersion
+//   u8  type         MsgType
+//   u16 flags        reserved, must be 0
+//   u32 payload_size bytes following the header
+//   u64 request_id   client correlation id, echoed in the reply
+//   u32 payload_crc  CRC32 of the payload bytes
+//   u32 header_crc   CRC32 of the preceding 24 header bytes
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace pythia::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x31575950u;  // "PYW1"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 28;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,     ///< tenant introduction (string name)
+  kHelloAck,      ///< code + assigned tenant id
+  kOpen,          ///< open a predict session (trace name, section)
+  kOpenAck,       ///< code + session id + snapshot version
+  kObserve,       ///< session id + observed event batch
+  kObserveAck,    ///< code + health + confidence
+  kPredict,       ///< session id + distance/count + deadline
+  kPredictAck,    ///< code + health + predicted events (+ probability)
+  kClose,         ///< close one session
+  kCloseAck,      ///< code
+  kPing,          ///< liveness probe
+  kPong,          ///< liveness answer
+  kStats,         ///< server counters request
+  kStatsAck,      ///< server counters
+  kError,         ///< request-level failure (code + message)
+};
+
+/// Reply status carried inside ack payloads. kDegraded is an *answer*,
+/// not an error: the oracle cannot currently be trusted for this
+/// session/trace and the client must fall back to its vanilla policy —
+/// exactly the in-process circuit-breaker contract, stretched over a
+/// socket.
+enum class ReplyCode : std::uint8_t {
+  kOk = 0,
+  kDegraded,         ///< oracle unhealthy: use the vanilla policy
+  kShed,             ///< admission refused (rate/queue); retry later
+  kDeadlineExpired,  ///< request outlived its deadline in the backlog
+  kBadRequest,       ///< malformed payload or unknown session
+  kNotFound,         ///< no such trace registered
+  kUnavailable,      ///< trace registered but not loadable right now
+};
+
+const char* to_string(ReplyCode code);
+
+/// Bounds-checked little-endian payload reader. Every accessor returns
+/// false on underflow and leaves the output untouched; a payload that
+/// lies about its own sizes can only produce a clean parse failure.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& out) { return fixed(&out, 1); }
+  bool u16(std::uint16_t& out) { return fixed(&out, 2); }
+  bool u32(std::uint32_t& out) { return fixed(&out, 4); }
+  bool u64(std::uint64_t& out) { return fixed(&out, 8); }
+  bool f64(double& out) { return fixed(&out, 8); }
+
+  /// u32 length-prefixed string, capped (tenant and trace names are
+  /// short; a 4 GiB "name" is an attack, not a request).
+  bool str(std::string& out, std::size_t max_length = 256);
+
+  /// Copies `count` u32 values (e.g. a TerminalId batch) out of the
+  /// payload. memcpy-based: payload arrays carry no alignment guarantee,
+  /// so borrowing a u32* view would be a misaligned-load trap.
+  bool u32_array(std::uint32_t* out, std::size_t count);
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool exhausted() const { return offset_ == size_; }
+
+ private:
+  bool fixed(void* out, std::size_t bytes) {
+    if (size_ - offset_ < bytes) return false;
+    std::memcpy(out, data_ + offset_, bytes);
+    offset_ += bytes;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Little-endian payload builder (append-only, reusable).
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  WireWriter& u8(std::uint8_t v) { return fixed(&v, 1); }
+  WireWriter& u16(std::uint16_t v) { return fixed(&v, 2); }
+  WireWriter& u32(std::uint32_t v) { return fixed(&v, 4); }
+  WireWriter& u64(std::uint64_t v) { return fixed(&v, 8); }
+  WireWriter& f64(double v) { return fixed(&v, 8); }
+  WireWriter& str(const std::string& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    return fixed(v.data(), v.size());
+  }
+
+ private:
+  WireWriter& fixed(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + bytes);
+    return *this;
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// One decoded frame. `payload` points into the decoder's buffer and is
+/// valid until the next feed()/next() call.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t size = 0;
+
+  WireReader reader() const { return WireReader(payload, size); }
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void encode_frame(MsgType type, std::uint64_t request_id,
+                  const std::uint8_t* payload, std::size_t size,
+                  std::vector<std::uint8_t>& out);
+inline void encode_frame(MsgType type, std::uint64_t request_id,
+                         const std::vector<std::uint8_t>& payload,
+                         std::vector<std::uint8_t>& out) {
+  encode_frame(type, request_id, payload.data(), payload.size(), out);
+}
+
+/// Incremental frame decoder over a byte stream.
+///
+/// feed() appends transport bytes; next() yields frames until the buffer
+/// runs dry. The first malformed header or payload checksum poisons the
+/// stream (failed() true, error() says why) — the owner must drop the
+/// connection. Memory discipline: the internal buffer holds at most one
+/// partial frame plus whatever the last feed() pushed, compacted on
+/// consumption, and a frame's payload_size is only believed — and only
+/// reserved — after the header CRC validates and the max_payload cap
+/// passes.
+class FrameDecoder {
+ public:
+  struct Options {
+    std::size_t max_payload = 1u << 20;  ///< reject larger frames
+  };
+
+  struct Stats {
+    std::uint64_t frames = 0;            ///< well-formed frames delivered
+    std::uint64_t rejected_header = 0;   ///< magic/version/flags/CRC
+    std::uint64_t rejected_oversize = 0; ///< payload_size > max_payload
+    std::uint64_t rejected_payload = 0;  ///< payload CRC mismatch
+  };
+
+  FrameDecoder() : FrameDecoder(Options{}) {}
+  explicit FrameDecoder(Options options) : options_(options) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next complete frame, or nullopt when more bytes are needed or the
+  /// decoder failed. The returned views die at the next feed()/next().
+  std::optional<Frame> next();
+
+  bool failed() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+  /// Bytes buffered but not yet consumed — nonzero at connection close
+  /// means a truncated trailing frame.
+  std::size_t pending() const { return buffer_.size() - consumed_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void fail(Status status) { error_ = std::move(status); }
+  void compact();
+
+  Options options_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  Status error_;
+  Stats stats_;
+};
+
+// --- Payload schemas -------------------------------------------------
+//
+// Each message's payload has an encode_* builder and a parse_* reader;
+// parse returns false on any underflow/overflow (the server replies
+// kBadRequest). Trailing bytes are tolerated (forward compatibility).
+
+struct HelloMsg {
+  std::string tenant;
+};
+void encode_hello(const HelloMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_hello(WireReader reader, HelloMsg& out);
+
+struct HelloAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+  std::uint32_t tenant_id = 0;
+};
+void encode_hello_ack(const HelloAckMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_hello_ack(WireReader reader, HelloAckMsg& out);
+
+struct OpenMsg {
+  std::string trace;
+  std::uint32_t section = 0;
+};
+void encode_open(const OpenMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_open(WireReader reader, OpenMsg& out);
+
+struct OpenAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+  std::uint64_t session_id = 0;
+  std::uint64_t snapshot_version = 0;
+};
+void encode_open_ack(const OpenAckMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_open_ack(WireReader reader, OpenAckMsg& out);
+
+struct ObserveMsg {
+  std::uint64_t session_id = 0;
+  /// Filled into the caller's reusable scratch vector (see parse).
+  std::size_t count = 0;
+};
+void encode_observe(std::uint64_t session_id, const std::uint32_t* events,
+                    std::size_t count, std::vector<std::uint8_t>& out);
+/// `events_scratch` is clear()ed and filled with the batch (reused per
+/// connection, so the steady state allocates nothing). `max_events`
+/// rejects abusive batch sizes before any copy happens.
+bool parse_observe(WireReader reader, ObserveMsg& out,
+                   std::vector<std::uint32_t>& events_scratch,
+                   std::size_t max_events);
+
+struct ObserveAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+  std::uint8_t health = 0;  ///< pythia::Health
+  double confidence = 1.0;
+};
+void encode_observe_ack(const ObserveAckMsg& msg,
+                        std::vector<std::uint8_t>& out);
+bool parse_observe_ack(WireReader reader, ObserveAckMsg& out);
+
+struct PredictMsg {
+  std::uint64_t session_id = 0;
+  std::uint32_t distance = 1;  ///< used when count <= 1
+  std::uint32_t count = 1;     ///< >1: batched predict_n sequence
+  /// Absolute CLOCK_MONOTONIC deadline in ns (0 = none). Same-host
+  /// transports share the monotonic clock, so the server can honour it
+  /// exactly; a request that outlives its deadline in a backlog gets an
+  /// explicit kDeadlineExpired instead of a late, useless answer.
+  std::uint64_t deadline_ns = 0;
+};
+void encode_predict(const PredictMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_predict(WireReader reader, PredictMsg& out);
+
+struct PredictAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+  std::uint8_t health = 0;     ///< pythia::Health
+  double probability = 0.0;    ///< single-event queries
+  double confidence = 1.0;
+  std::size_t count = 0;       ///< events land in the caller's scratch
+};
+void encode_predict_ack(ReplyCode code, std::uint8_t health,
+                        double probability, double confidence,
+                        const std::uint32_t* events, std::size_t count,
+                        std::vector<std::uint8_t>& out);
+bool parse_predict_ack(WireReader reader, PredictAckMsg& out,
+                       std::vector<std::uint32_t>& events_scratch,
+                       std::size_t max_events);
+
+struct CloseMsg {
+  std::uint64_t session_id = 0;
+};
+void encode_close(const CloseMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_close(WireReader reader, CloseMsg& out);
+
+struct CloseAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+};
+void encode_close_ack(const CloseAckMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_close_ack(WireReader reader, CloseAckMsg& out);
+
+struct ErrorMsg {
+  ReplyCode code = ReplyCode::kBadRequest;
+  std::string message;
+};
+void encode_error(const ErrorMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_error(WireReader reader, ErrorMsg& out);
+
+struct StatsAckMsg {
+  std::uint64_t frames = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t sessions_open = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t publishes = 0;
+};
+void encode_stats_ack(const StatsAckMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_stats_ack(WireReader reader, StatsAckMsg& out);
+
+}  // namespace pythia::serve

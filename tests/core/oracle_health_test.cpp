@@ -92,6 +92,54 @@ TEST(OracleHealth, DegradedRationsReanchorsWithBackoff) {
   EXPECT_GE(predictor.stats().anchors_suppressed, 1000u - probes);
 }
 
+// The degraded-probe schedule of one predictor: the unknown-event
+// indices (out of `events`) at which it spent a re-anchor attempt.
+std::vector<int> probe_schedule(std::uint64_t seed, double jitter,
+                                int events = 1000) {
+  ThreadTrace trace = make_reference();
+  Predictor::Options options = breaker_on();
+  options.breaker.backoff_jitter = jitter;
+  options.breaker.jitter_seed = seed;
+  Predictor predictor(trace.grammar, nullptr, options);
+  feed_pattern(predictor, 40);
+  feed_unknown(predictor, 8);  // trip the breaker
+  EXPECT_EQ(predictor.health(), Health::kDegraded);
+
+  std::vector<int> schedule;
+  std::uint64_t anchors = predictor.stats().anchors;
+  for (int i = 0; i < events; ++i) {
+    predictor.observe(kUnknown);
+    if (predictor.stats().anchors != anchors) {
+      anchors = predictor.stats().anchors;
+      schedule.push_back(i);
+    }
+  }
+  return schedule;
+}
+
+TEST(OracleHealth, ProbeJitterSpreadsSchedulesAcrossSeeds) {
+  // Off by default: every predictor probes on the same deterministic
+  // beat, seed or no seed.
+  EXPECT_EQ(probe_schedule(1, 0.0), probe_schedule(2, 0.0));
+
+  // Jitter on: a fleet with distinct seeds spreads its probes instead
+  // of re-anchoring in lockstep (the thundering-herd concern).
+  const auto a = probe_schedule(1, 0.5);
+  const auto b = probe_schedule(2, 0.5);
+  const auto c = probe_schedule(3, 0.5);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // Same seed: bit-reproducible, like everything else in the system.
+  EXPECT_EQ(a, probe_schedule(1, 0.5));
+
+  // Jitter shortens intervals (draws from [spacing/2, spacing]) — it
+  // must not defeat the rationing: still exponentially rare probes,
+  // at worst ~2x the unjittered count.
+  EXPECT_LE(a.size(), 32u);
+  EXPECT_GE(a.size(), 4u);
+}
+
 TEST(OracleHealth, RecoversThroughProbeAndAdvanceStreak) {
   ThreadTrace trace = make_reference();
   Predictor predictor(trace.grammar, nullptr, breaker_on());

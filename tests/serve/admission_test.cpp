@@ -1,0 +1,129 @@
+// Admission-control tests: deterministic token-bucket behaviour against
+// a virtual clock, per-tenant isolation, bounded inflight queues, and
+// the degraded-trace early shed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/admission.hpp"
+
+namespace pythia::serve {
+namespace {
+
+constexpr std::uint64_t kSecond = 1000000000ull;
+
+TEST(TokenBucket, BurstThenSustainedRate) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/3.0);
+  std::uint64_t now = kSecond;
+  // The burst allowance drains first.
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_FALSE(bucket.try_take(now));  // empty at the same instant
+  // 100 ms at 10/s refills exactly one token.
+  now += kSecond / 10;
+  EXPECT_TRUE(bucket.try_take(now));
+  EXPECT_FALSE(bucket.try_take(now));
+  // A long idle period refills to the burst cap, not beyond.
+  now += 100 * kSecond;
+  EXPECT_DOUBLE_EQ(bucket.tokens(now), 3.0);
+}
+
+TEST(TokenBucket, ClockGoingBackwardsDoesNotMintTokens) {
+  TokenBucket bucket(10.0, 1.0);
+  std::uint64_t now = 10 * kSecond;
+  EXPECT_TRUE(bucket.try_take(now));
+  // A rewound clock (shared-memory clock skew, test artifact) must not
+  // refill; it just freezes the bucket until time moves forward again.
+  EXPECT_FALSE(bucket.try_take(now - kSecond));
+  EXPECT_FALSE(bucket.try_take(now));
+  EXPECT_TRUE(bucket.try_take(now + kSecond));
+}
+
+TEST(Admission, RegisterIsIdempotentByName) {
+  AdmissionController admission;
+  const std::uint32_t a = admission.register_tenant("alpha");
+  const std::uint32_t b = admission.register_tenant("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(admission.register_tenant("alpha"), a);
+  EXPECT_EQ(admission.tenants(), 2u);
+}
+
+TEST(Admission, RateShedIsPerTenant) {
+  TenantLimits limits;
+  limits.rate_per_sec = 1.0;
+  limits.burst = 2.0;
+  AdmissionController admission(limits);
+  const std::uint32_t flooder = admission.register_tenant("flooder");
+  const std::uint32_t calm = admission.register_tenant("calm");
+
+  std::uint64_t now = kSecond;
+  // The flooder burns its burst...
+  EXPECT_EQ(admission.admit(flooder, now, false), Admit::kAdmit);
+  EXPECT_EQ(admission.admit(flooder, now, false), Admit::kAdmit);
+  // ...and gets shed from then on.
+  EXPECT_EQ(admission.admit(flooder, now, false), Admit::kShedRate);
+  EXPECT_EQ(admission.admit(flooder, now, false), Admit::kShedRate);
+  // The calm tenant's bucket is untouched by the flood.
+  EXPECT_EQ(admission.admit(calm, now, false), Admit::kAdmit);
+
+  const auto stats = admission.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[flooder].shed_rate, 2u);
+  EXPECT_EQ(stats[calm].shed_rate, 0u);
+}
+
+TEST(Admission, InflightBoundSheds) {
+  TenantLimits limits;
+  limits.max_inflight = 2;
+  limits.rate_per_sec = 1e9;  // rate never the limiter here
+  limits.burst = 1e9;
+  AdmissionController admission(limits);
+  const std::uint32_t tenant = admission.register_tenant("t");
+
+  EXPECT_EQ(admission.admit(tenant, kSecond, false), Admit::kAdmit);
+  admission.begin(tenant);
+  EXPECT_EQ(admission.admit(tenant, kSecond, false), Admit::kAdmit);
+  admission.begin(tenant);
+  EXPECT_EQ(admission.admit(tenant, kSecond, false), Admit::kShedQueue);
+  admission.end(tenant);
+  EXPECT_EQ(admission.admit(tenant, kSecond, false), Admit::kAdmit);
+}
+
+TEST(Admission, DegradedTraceShedsEarlyWithoutSpendingTokens) {
+  TenantLimits limits;
+  limits.rate_per_sec = 1.0;
+  limits.burst = 1.0;
+  AdmissionController admission(limits);
+  const std::uint32_t tenant = admission.register_tenant("t");
+
+  // Degraded requests shed before the bucket: the answer is known.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(admission.admit(tenant, kSecond, true), Admit::kDegraded);
+  }
+  // The untouched token is still there for a healthy request.
+  EXPECT_EQ(admission.admit(tenant, kSecond, false), Admit::kAdmit);
+
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats[tenant].shed_degraded, 5u);
+  EXPECT_EQ(stats[tenant].admitted, 1u);
+}
+
+TEST(Admission, PerTenantLimitOverrides) {
+  AdmissionController admission;  // generous defaults
+  const std::uint32_t vip = admission.register_tenant("vip");
+  const std::uint32_t capped = admission.register_tenant("capped");
+  TenantLimits tight;
+  tight.rate_per_sec = 1.0;
+  tight.burst = 1.0;
+  admission.set_limits(capped, tight);
+
+  EXPECT_EQ(admission.admit(capped, kSecond, false), Admit::kAdmit);
+  EXPECT_EQ(admission.admit(capped, kSecond, false), Admit::kShedRate);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(admission.admit(vip, kSecond, false), Admit::kAdmit);
+  }
+}
+
+}  // namespace
+}  // namespace pythia::serve

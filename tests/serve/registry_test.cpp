@@ -1,0 +1,299 @@
+// TraceRegistry tests: LRU residency with pin-aware eviction, hot
+// publish swaps that never invalidate in-flight sessions, and manifest
+// persistence across crashes — including an armed kill point at the
+// manifest write and salvage of corrupted manifest lines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/snapshot.hpp"
+#include "serve/registry.hpp"
+#include "serve_test_util.hpp"
+#include "support/crash_point.hpp"
+
+namespace pythia::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::loop_trace;
+using testutil::temp_dir;
+using testutil::write_trace_file;
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = temp_dir("registry"); }
+  void TearDown() override {
+    support::disarm_crash_points();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RegistryTest, AddAcquireRoundTrip) {
+  TraceRegistry registry;
+  const std::string path = write_trace_file(dir_, "alpha", 20);
+  ASSERT_FALSE(path.empty());
+  ASSERT_TRUE(registry.add("alpha", path).ok());
+  EXPECT_TRUE(registry.contains("alpha"));
+  EXPECT_EQ(registry.resident(), 0u);  // lazy: nothing loaded yet
+
+  auto acquired = registry.acquire("alpha");
+  ASSERT_TRUE(acquired.ok()) << acquired.status().to_string();
+  EXPECT_EQ(registry.resident(), 1u);
+  EXPECT_EQ(registry.stats().cold_loads, 1u);
+  EXPECT_GE(acquired.value()->version(), 1u);
+
+  // Second acquire: resident, no new load.
+  auto again = registry.acquire("alpha");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(registry.stats().cold_loads, 1u);
+  EXPECT_EQ(again.value().get(), acquired.value().get());
+}
+
+TEST_F(RegistryTest, RejectsBadNamesAndUnknownTraces) {
+  TraceRegistry registry;
+  EXPECT_FALSE(registry.add("", "/x").ok());
+  EXPECT_FALSE(registry.add("tab\tname", "/x").ok());
+  EXPECT_FALSE(registry.add("nl\nname", "/x").ok());
+  EXPECT_FALSE(registry.acquire("ghost").ok());
+  EXPECT_FALSE(registry.remove("ghost").ok());
+  EXPECT_FALSE(
+      registry.publish("ghost", engine::TraceSnapshot::make(loop_trace(5)))
+          .ok());
+}
+
+TEST_F(RegistryTest, MissingFileIsUnavailableNotFatal) {
+  TraceRegistry registry;
+  ASSERT_TRUE(registry.add("broken", dir_ + "/missing.pythia").ok());
+  EXPECT_FALSE(registry.acquire("broken").ok());
+  EXPECT_EQ(registry.stats().load_failures, 1u);
+  // The bad registration does not poison others.
+  const std::string path = write_trace_file(dir_, "good", 10);
+  ASSERT_TRUE(registry.add("good", path).ok());
+  EXPECT_TRUE(registry.acquire("good").ok());
+}
+
+TEST_F(RegistryTest, LruEvictionBeyondResidencyCap) {
+  RegistryOptions options;
+  options.max_resident = 2;
+  TraceRegistry registry(options);
+  for (const char* name : {"a", "b", "c"}) {
+    const std::string path = write_trace_file(dir_, name, 10);
+    ASSERT_TRUE(registry.add(name, path).ok());
+  }
+  ASSERT_TRUE(registry.acquire("a").ok());
+  ASSERT_TRUE(registry.acquire("b").ok());
+  EXPECT_EQ(registry.resident(), 2u);
+  // Touch "a" so "b" is the LRU, then fault "c" in.
+  ASSERT_TRUE(registry.acquire("a").ok());
+  ASSERT_TRUE(registry.acquire("c").ok());
+  EXPECT_EQ(registry.resident(), 2u);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  // "b" was evicted: acquiring it again is a cold load.
+  const auto cold_loads = registry.stats().cold_loads;
+  ASSERT_TRUE(registry.acquire("b").ok());
+  EXPECT_EQ(registry.stats().cold_loads, cold_loads + 1);
+}
+
+TEST_F(RegistryTest, EvictionPrefersUnpinnedAndNeverInvalidatesPins) {
+  RegistryOptions options;
+  options.max_resident = 1;
+  TraceRegistry registry(options);
+  for (const char* name : {"pinned", "cold1", "cold2"}) {
+    const std::string path = write_trace_file(dir_, name, 10);
+    ASSERT_TRUE(registry.add(name, path).ok());
+  }
+  // Pin "pinned" with a live session the way the server does.
+  auto acquired = registry.acquire("pinned");
+  ASSERT_TRUE(acquired.ok());
+  std::shared_ptr<const engine::TraceSnapshot> pin = acquired.take();
+  engine::PredictServer server(pin);
+  auto session = server.open(0, Predictor::Options{});  // deterministic
+  ASSERT_TRUE(session.ok());
+  // Three client-side refs: our pin, our PredictServer, the session.
+  EXPECT_EQ(registry.pins("pinned"), 3u);
+
+  // Fault two more traces through a cap of one. The pinned entry is the
+  // LRU, but unpinned victims must go first.
+  ASSERT_TRUE(registry.acquire("cold1").ok());
+  ASSERT_TRUE(registry.acquire("cold2").ok());
+  EXPECT_GE(registry.stats().evictions, 2u);
+
+  // Whatever the registry evicted, the pinned snapshot and its session
+  // still answer — eviction can only ever drop the registry's own ref.
+  session.value().observe(0);
+  session.value().observe(1);
+  const auto prediction = session.value().predict(1);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(prediction->event, 2u);  // a b -> c
+  EXPECT_EQ(pin->sections(), 1u);
+}
+
+TEST_F(RegistryTest, PublishHotSwapsWithoutDisruptingSessions) {
+  TraceRegistry registry;
+  const std::string path = write_trace_file(dir_, "swap", 10);
+  ASSERT_TRUE(registry.add("swap", path).ok());
+  auto before = registry.acquire("swap");
+  ASSERT_TRUE(before.ok());
+  const std::uint64_t v1 = before.value()->version();
+
+  // In-flight session on the old snapshot.
+  engine::PredictServer server(before.value());
+  auto session = server.open(0);
+  ASSERT_TRUE(session.ok());
+
+  auto next = engine::TraceSnapshot::make(loop_trace(30), v1 + 1);
+  ASSERT_TRUE(registry.publish("swap", next).ok());
+  EXPECT_EQ(registry.version_of("swap"), v1 + 1);
+  EXPECT_EQ(registry.stats().publishes, 1u);
+
+  // New acquires see the new version; the old session still works.
+  auto after = registry.acquire("swap");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value()->version(), v1 + 1);
+  session.value().observe(0);
+  EXPECT_EQ(session.value().snapshot()->version(), v1);
+}
+
+TEST_F(RegistryTest, ManifestPersistsAndRecovers) {
+  const std::string manifest = dir_ + "/manifest.psrv";
+  RegistryOptions options;
+  options.manifest_path = manifest;
+  const std::string path_a = write_trace_file(dir_, "a", 10);
+  const std::string path_b = write_trace_file(dir_, "b", 12);
+  {
+    TraceRegistry registry(options);
+    ASSERT_TRUE(registry.add("a", path_a).ok());
+    ASSERT_TRUE(registry.add("b", path_b).ok());
+    ASSERT_TRUE(registry.remove("b").ok());
+    ASSERT_TRUE(registry.add("b2", path_b).ok());
+  }  // daemon dies
+
+  TraceRegistry recovered(options);
+  ASSERT_TRUE(recovered.recover().ok());
+  EXPECT_TRUE(recovered.contains("a"));
+  EXPECT_FALSE(recovered.contains("b"));
+  EXPECT_TRUE(recovered.contains("b2"));
+  // Snapshots reload lazily from the recovered paths.
+  EXPECT_EQ(recovered.resident(), 0u);
+  EXPECT_TRUE(recovered.acquire("a").ok());
+  EXPECT_TRUE(recovered.acquire("b2").ok());
+}
+
+TEST_F(RegistryTest, RecoverOnEmptyOrMissingManifestIsFirstBoot) {
+  RegistryOptions options;
+  options.manifest_path = dir_ + "/never_written.psrv";
+  TraceRegistry registry(options);
+  EXPECT_TRUE(registry.recover().ok());
+  EXPECT_TRUE(registry.names().empty());
+}
+
+TEST_F(RegistryTest, RecoverSalvagesCorruptManifestLines) {
+  const std::string manifest = dir_ + "/manifest.psrv";
+  RegistryOptions options;
+  options.manifest_path = manifest;
+  const std::string path = write_trace_file(dir_, "keep", 10);
+  {
+    TraceRegistry registry(options);
+    ASSERT_TRUE(registry.add("keep", path).ok());
+    ASSERT_TRUE(registry.add("mangle", path).ok());
+  }
+  // Flip a byte inside the second entry's name: its line CRC now lies.
+  std::string text;
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const auto pos = text.find("mangle");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'X';
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  TraceRegistry recovered(options);
+  ASSERT_TRUE(recovered.recover().ok());
+  EXPECT_TRUE(recovered.contains("keep"));
+  EXPECT_FALSE(recovered.contains("mangle"));
+  EXPECT_FALSE(recovered.contains("Xangle"));
+  EXPECT_EQ(recovered.stats().manifest_salvaged_lines, 1u);
+}
+
+TEST_F(RegistryTest, CrashAtManifestWriteLeavesOldStateAndRollsBack) {
+  const std::string manifest = dir_ + "/manifest.psrv";
+  RegistryOptions options;
+  options.manifest_path = manifest;
+  const std::string path = write_trace_file(dir_, "a", 10);
+  TraceRegistry registry(options);
+  ASSERT_TRUE(registry.add("a", path).ok());
+
+  // Crash before the atomic write: disk keeps the old manifest; the
+  // in-memory add must roll back so memory matches disk.
+  support::arm_crash_point("serve.manifest.write", 1,
+                           support::CrashAction::kThrow);
+  bool crashed = false;
+  try {
+    (void)registry.add("b", path);
+  } catch (const support::CrashPointHit&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  // NOTE: kThrow unwinds out of add() before the rollback, so memory may
+  // briefly disagree — the recovery contract is about *disk*: a fresh
+  // registry over the same manifest sees only "a".
+  TraceRegistry recovered(options);
+  ASSERT_TRUE(recovered.recover().ok());
+  EXPECT_TRUE(recovered.contains("a"));
+  EXPECT_FALSE(recovered.contains("b"));
+}
+
+TEST_F(RegistryTest, CrashAfterManifestRenameIsDurable) {
+  const std::string manifest = dir_ + "/manifest.psrv";
+  RegistryOptions options;
+  options.manifest_path = manifest;
+  const std::string path = write_trace_file(dir_, "a", 10);
+  TraceRegistry registry(options);
+
+  // Crash just after the rename: the new manifest is already the truth.
+  support::arm_crash_point("serve.manifest.renamed", 1,
+                           support::CrashAction::kThrow);
+  bool crashed = false;
+  try {
+    (void)registry.add("a", path);
+  } catch (const support::CrashPointHit&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  TraceRegistry recovered(options);
+  ASSERT_TRUE(recovered.recover().ok());
+  EXPECT_TRUE(recovered.contains("a"));
+  EXPECT_TRUE(recovered.acquire("a").ok());
+}
+
+TEST_F(RegistryTest, ReAddRepointsAndDropsStaleResidency) {
+  TraceRegistry registry;
+  const std::string old_path = write_trace_file(dir_, "old", 10);
+  const std::string new_path = write_trace_file(dir_, "new", 25);
+  ASSERT_TRUE(registry.add("t", old_path).ok());
+  auto first = registry.acquire("t");
+  ASSERT_TRUE(first.ok());
+  const std::uint64_t old_digest = first.value()->digest();
+
+  ASSERT_TRUE(registry.add("t", new_path).ok());  // re-point
+  EXPECT_EQ(registry.resident(), 0u);             // stale snapshot dropped
+  auto second = registry.acquire("t");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value()->digest(), old_digest);
+  // The first acquire's pin is untouched by the re-point.
+  EXPECT_EQ(first.value()->digest(), old_digest);
+}
+
+}  // namespace
+}  // namespace pythia::serve

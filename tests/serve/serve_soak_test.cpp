@@ -1,0 +1,401 @@
+// Daemon soak and fault matrix, over real sockets:
+//
+//   Soak  — concurrent tenants drive a live daemon over socketpairs
+//           while a corruptor connection injects bit-flipped frames
+//           (faults::Plan knobs), a flooding tenant exhausts its rate
+//           budget, a slow reader refuses to drain replies, and the
+//           operator hot-publishes new snapshots mid-traffic. Healthy
+//           tenants must keep answering; no request may be lost or hung
+//           (every call returns a code within its timeout); the daemon
+//           must drop exactly the hostile connections.
+//
+//   Kill  — a daemon child process is SIGKILLed mid-service; clients
+//           fail fast (no hang), a restarted daemon recovers its trace
+//           registry from the on-disk manifest, and reconnecting
+//           clients re-open sessions and get answers again. A second
+//           matrix SIGKILLs a child *inside* the manifest writer at
+//           kill points (support/crash_point.hpp), seeded by
+//           PYTHIA_KILL_SEEDS, and asserts the manifest is a readable
+//           prefix of the adds after every death.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve_test_util.hpp"
+#include "support/crash_point.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace pythia::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::frame_bytes;
+using testutil::temp_dir;
+using testutil::write_trace_file;
+
+int make_socketpair(int fds[2]) {
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+}
+
+struct TenantOutcome {
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t other = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t unanswered = 0;  ///< calls that returned nothing at all
+};
+
+/// One well-behaved tenant: open, observe/predict for `rounds`, close.
+/// Every call must come back with *something* — a code or an error.
+TenantOutcome run_tenant(int fd, const std::string& name, int rounds) {
+  TenantOutcome outcome;
+  ClientOptions options;
+  options.tenant = name;
+  options.request_timeout_ms = 5000;
+  options.max_retries = 1;
+  PredictClient client(options);
+  if (!client.connect_fd(fd).ok()) {
+    ++outcome.unanswered;
+    return outcome;
+  }
+  auto opened = client.open("loop", 0);
+  if (!opened.ok() || !opened.value().open) {
+    ++outcome.unanswered;
+    return outcome;
+  }
+  ClientSession session = opened.take();
+  const TerminalId loop_events[3] = {0, 1, 2};
+  for (int i = 0; i < rounds; ++i) {
+    // Stay on the trace's a,b,c loop: warm up with one full lap, then
+    // feed one in-sequence event per round (divergence would trip the
+    // breaker and turn every answer into an honest-but-useless
+    // kDegraded).
+    const TerminalId next = loop_events[i == 0 ? 0 : (i - 1) % 3];
+    const auto observed =
+        client.observe(session, i == 0 ? loop_events : &next, i == 0 ? 3 : 1);
+    if (!observed.ok()) {
+      ++outcome.transport_errors;
+      continue;
+    }
+    auto predicted = client.predict(session, 1, 1 + (i % 3));
+    if (!predicted.ok()) {
+      ++outcome.transport_errors;
+      continue;
+    }
+    switch (predicted.value().code) {
+      case ReplyCode::kOk:
+        ++outcome.ok;
+        break;
+      case ReplyCode::kDegraded:
+        ++outcome.degraded;
+        break;
+      case ReplyCode::kShed:
+        ++outcome.shed;
+        break;
+      default:
+        ++outcome.other;
+        break;
+    }
+  }
+  (void)client.close(session);
+  return outcome;
+}
+
+TEST(ServeSoak, ConcurrentTenantsSurviveHostileTraffic) {
+  const std::string dir = temp_dir("soak");
+  const std::string trace_path = write_trace_file(dir, "loop", 20);
+  ASSERT_FALSE(trace_path.empty());
+
+  DaemonOptions options;
+  options.server.registry.manifest_path = dir + "/manifest.psrv";
+  options.max_output_buffer = 4096;  // makes the slow reader detectable
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.core().registry().add("loop", trace_path).ok());
+  // The flooding tenant gets a starvation budget before the loop starts
+  // (admission is loop-thread state once serving begins).
+  TenantLimits tight;
+  tight.rate_per_sec = 50.0;
+  tight.burst = 8.0;
+  daemon.core().admission().set_limits(
+      daemon.core().admission().register_tenant("flood"), tight);
+  ASSERT_TRUE(daemon.start().ok());
+
+  // --- hostile connection 1: the corruptor --------------------------
+  // Sends frames mutated per faults::Plan wire knobs; the daemon must
+  // reject on the first corrupt frame and drop the connection.
+  int corrupt_pair[2];
+  ASSERT_EQ(make_socketpair(corrupt_pair), 0);
+  ASSERT_TRUE(daemon.adopt(corrupt_pair[0]).ok());
+  std::thread corruptor([fd = corrupt_pair[1]] {
+    faults::Plan plan;
+    plan.frame_corrupt_rate = 0.5;
+    plan.frame_bit_flips = 2;
+    plan.seed = 0xc0de;
+    support::Rng rng(plan.seed);
+    for (int i = 0; i < 64; ++i) {
+      auto bytes = frame_bytes(MsgType::kPing,
+                               static_cast<std::uint64_t>(i + 1), {});
+      if (rng.chance(plan.frame_corrupt_rate)) {
+        for (int flip = 0; flip < plan.frame_bit_flips; ++flip) {
+          bytes[rng.below(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+      }
+      if (::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) < 0) {
+        break;  // daemon already cut the cord — exactly the contract
+      }
+    }
+    ::close(fd);
+  });
+
+  // --- hostile connection 2: the slow reader ------------------------
+  // Pumps pings and never reads a single reply.
+  int slow_pair[2];
+  ASSERT_EQ(make_socketpair(slow_pair), 0);
+  ASSERT_TRUE(daemon.adopt(slow_pair[0]).ok());
+  std::thread slow_reader([fd = slow_pair[1]] {
+    const auto ping = frame_bytes(MsgType::kPing, 7, {});
+    for (int i = 0; i < 20000; ++i) {
+      if (::send(fd, ping.data(), ping.size(), MSG_NOSIGNAL) < 0) break;
+    }
+    ::close(fd);
+  });
+
+  // --- the flood ----------------------------------------------------
+  int flood_pair[2];
+  ASSERT_EQ(make_socketpair(flood_pair), 0);
+  ASSERT_TRUE(daemon.adopt(flood_pair[0]).ok());
+  std::thread flooder([fd = flood_pair[1]] {
+    (void)run_tenant(fd, "flood", 300);
+  });
+
+  // --- the healthy tenants ------------------------------------------
+  constexpr int kTenants = 3;
+  constexpr int kRounds = 150;
+  std::vector<TenantOutcome> outcomes(kTenants);
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < kTenants; ++t) {
+    int pair[2];
+    ASSERT_EQ(make_socketpair(pair), 0);
+    ASSERT_TRUE(daemon.adopt(pair[0]).ok());
+    tenants.emplace_back([&outcomes, t, fd = pair[1]] {
+      outcomes[static_cast<std::size_t>(t)] =
+          run_tenant(fd, "tenant-" + std::to_string(t), kRounds);
+    });
+  }
+
+  // --- the operator: hot publishes mid-traffic ----------------------
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(daemon.core()
+                    .registry()
+                    .publish("loop", engine::TraceSnapshot::make(
+                                         testutil::loop_trace(20 + i),
+                                         static_cast<std::uint64_t>(i + 2)))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  corruptor.join();
+  slow_reader.join();
+  flooder.join();
+  for (auto& tenant : tenants) tenant.join();
+  daemon.stop();
+
+  // Healthy tenants: every request answered, and answered usefully.
+  for (int t = 0; t < kTenants; ++t) {
+    const TenantOutcome& outcome = outcomes[static_cast<std::size_t>(t)];
+    EXPECT_EQ(outcome.unanswered, 0u) << "tenant " << t;
+    EXPECT_EQ(outcome.transport_errors, 0u) << "tenant " << t;
+    EXPECT_EQ(outcome.ok + outcome.degraded + outcome.shed + outcome.other,
+              static_cast<std::uint64_t>(kRounds))
+        << "tenant " << t;
+    // The flood and the hostiles must not have shed the healthy
+    // tenants into uselessness.
+    EXPECT_GT(outcome.ok, static_cast<std::uint64_t>(kRounds) / 2)
+        << "tenant " << t;
+  }
+
+  const Daemon::Stats& stats = daemon.transport_stats();
+  EXPECT_GE(stats.accepted, static_cast<std::uint64_t>(kTenants) + 3);
+  EXPECT_GE(stats.dropped_protocol, 1u);     // the corruptor
+  EXPECT_GE(stats.dropped_slow_reader, 1u);  // the non-reader
+  EXPECT_GE(daemon.core().registry().stats().publishes, 10u);
+
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Kill matrix
+// ---------------------------------------------------------------------
+
+/// The daemon child's whole life: serve on `socket_path` until killed.
+/// `first_boot` decides between registering traces and recovering them.
+[[noreturn]] void run_daemon_child(const std::string& dir,
+                                   const std::string& socket_path,
+                                   const std::string& trace_path,
+                                   bool first_boot) {
+  DaemonOptions options;
+  options.server.registry.manifest_path = dir + "/manifest.psrv";
+  options.server.registry.durable_manifest = true;
+  Daemon daemon(options);
+  if (first_boot) {
+    if (!daemon.core().registry().add("loop", trace_path).ok()) ::_exit(3);
+  }
+  if (!daemon.listen_unix(socket_path).ok()) ::_exit(4);
+  if (!daemon.start().ok()) ::_exit(5);
+  while (true) ::pause();  // SIGKILL is the only way out
+}
+
+/// Connects with patience: the child daemon needs a beat to bind.
+bool connect_with_retries(PredictClient& client, const std::string& path,
+                          int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    if (client.connect_unix(path).ok()) return true;
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+TEST(ServeSoak, DaemonSigkillRecoveryOverUnixSocket) {
+  const std::string dir = temp_dir("kill");
+  const std::string trace_path = write_trace_file(dir, "loop", 20);
+  ASSERT_FALSE(trace_path.empty());
+  const std::string socket_path = dir + "/pythia.sock";
+
+  // Boot one: registers the trace (persisting the manifest) and serves.
+  const pid_t first = ::fork();
+  ASSERT_GE(first, 0);
+  if (first == 0) {
+    run_daemon_child(dir, socket_path, trace_path, /*first_boot=*/true);
+  }
+
+  ClientOptions coptions;
+  coptions.tenant = "survivor";
+  coptions.request_timeout_ms = 5000;
+  coptions.max_retries = 2;
+  coptions.backoff_initial_ms = 20;
+  PredictClient client(coptions);
+  ASSERT_TRUE(connect_with_retries(client, socket_path, 100));
+
+  auto opened = client.open("loop", 0);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  ASSERT_TRUE(opened.value().open);
+  ClientSession session = opened.take();
+  const TerminalId warmup[4] = {0, 1, 2, 0};
+  ASSERT_TRUE(client.observe(session, warmup, 4).ok());
+  auto before = client.predict(session, 1, 1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().code, ReplyCode::kOk);
+
+  // SIGKILL mid-service: no shutdown path runs in the daemon at all.
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(first, &wait_status, 0), first);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+  // The client fails *fast and explicitly* — never hangs.
+  auto during = client.predict(session, 1, 1);
+  EXPECT_FALSE(during.ok());
+
+  // Boot two: same manifest, no adds — recovery must restore the
+  // registry and the socket.
+  const pid_t second = ::fork();
+  ASSERT_GE(second, 0);
+  if (second == 0) {
+    run_daemon_child(dir, socket_path, trace_path, /*first_boot=*/false);
+  }
+  ASSERT_TRUE(connect_with_retries(client, socket_path, 100));
+
+  // The old session handle heals: the client re-opens it on the
+  // recovered daemon and predictions flow again.
+  ASSERT_TRUE(client.observe(session, warmup, 4).ok());
+  auto after = client.predict(session, 1, 1);
+  ASSERT_TRUE(after.ok()) << after.status().to_string();
+  EXPECT_EQ(after.value().code, ReplyCode::kOk);
+  EXPECT_GT(client.stats().reopens, 0u);
+
+  ASSERT_EQ(::kill(second, SIGKILL), 0);
+  ASSERT_EQ(::waitpid(second, &wait_status, 0), second);
+  fs::remove_all(dir);
+}
+
+TEST(ServeSoak, ManifestKillMatrixLeavesReadablePrefix) {
+  const long seeds = support::env_long("PYTHIA_KILL_SEEDS", 6);
+  const std::string trace_dir = temp_dir("killmatrix_traces");
+  const std::string trace_path = write_trace_file(trace_dir, "t", 10);
+  ASSERT_FALSE(trace_path.empty());
+  constexpr int kAdds = 5;
+
+  for (long seed = 0; seed < seeds; ++seed) {
+    const std::string dir =
+        temp_dir("killmatrix_" + std::to_string(seed));
+    support::Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b9u + 7);
+    // Die at the Nth manifest write, alternating before/after the
+    // atomic rename.
+    const std::uint64_t hit = 1 + rng.below(kAdds);
+    const char* point =
+        seed % 2 == 0 ? "serve.manifest.write" : "serve.manifest.renamed";
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      support::arm_crash_point(point, hit, support::CrashAction::kSigkill);
+      RegistryOptions options;
+      options.manifest_path = dir + "/manifest.psrv";
+      options.durable_manifest = true;
+      TraceRegistry registry(options);
+      for (int i = 0; i < kAdds; ++i) {
+        if (!registry.add("trace-" + std::to_string(i), trace_path).ok()) {
+          ::_exit(3);
+        }
+      }
+      ::_exit(0);  // crash point never fired — matrix bug
+    }
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wait_status) && WTERMSIG(wait_status) == SIGKILL)
+        << "seed " << seed << " point " << point << " hit " << hit;
+
+    // Recovery after the kill: the manifest must be readable and list a
+    // clean prefix of the adds (the in-flight add may or may not have
+    // landed, depending on which side of the rename the kill hit).
+    RegistryOptions options;
+    options.manifest_path = dir + "/manifest.psrv";
+    TraceRegistry recovered(options);
+    ASSERT_TRUE(recovered.recover().ok()) << "seed " << seed;
+    EXPECT_EQ(recovered.stats().manifest_salvaged_lines, 0u);
+    const auto names = recovered.names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      EXPECT_EQ(names[i], "trace-" + std::to_string(i)) << "seed " << seed;
+    }
+    const std::size_t expected_min =
+        static_cast<std::size_t>(hit) - 1;  // writes before the fatal one
+    EXPECT_GE(names.size(), expected_min) << "seed " << seed;
+    EXPECT_LE(names.size(), static_cast<std::size_t>(hit)) << "seed " << seed;
+    // Every recovered name is actually servable.
+    for (const auto& name : names) {
+      EXPECT_TRUE(recovered.acquire(name).ok()) << name;
+    }
+    fs::remove_all(dir);
+  }
+  fs::remove_all(trace_dir);
+}
+
+}  // namespace
+}  // namespace pythia::serve

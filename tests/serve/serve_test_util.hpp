@@ -1,0 +1,104 @@
+// Shared fixtures for the serving-layer tests: a deterministic loopy
+// trace, trace files on disk, and a minimal raw wire client for tests
+// that must speak the protocol below the PredictClient conveniences.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/trace_io.hpp"
+#include "engine/snapshot.hpp"
+#include "serve/wire.hpp"
+
+namespace pythia::serve::testutil {
+
+/// One loopy section: a b c repeated. Event ids are 0, 1, 2.
+inline Trace loop_trace(int iterations, std::uint64_t step_ns = 1000) {
+  Trace trace;
+  const TerminalId a = trace.registry.intern("a");
+  const TerminalId b = trace.registry.intern("b");
+  const TerminalId c = trace.registry.intern("c");
+  Oracle oracle = Oracle::record(true);
+  std::uint64_t now = 0;
+  for (int i = 0; i < iterations; ++i) {
+    oracle.event(a, now += step_ns);
+    oracle.event(b, now += step_ns);
+    oracle.event(c, now += step_ns);
+  }
+  trace.threads.push_back(oracle.finish());
+  return trace;
+}
+
+/// A fresh per-process temp directory (removed by the caller's fixture).
+inline std::string temp_dir(const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("pythia_serve_" + tag + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Saves loop_trace(iterations) under dir/name.pythia, returns the path.
+inline std::string write_trace_file(const std::string& dir,
+                                    const std::string& name,
+                                    int iterations) {
+  const std::string path = dir + "/" + name + ".pythia";
+  const Trace trace = loop_trace(iterations);
+  if (!trace.try_save(path).ok()) return "";
+  return path;
+}
+
+/// Encodes one complete request frame.
+inline std::vector<std::uint8_t> frame_bytes(
+    MsgType type, std::uint64_t request_id,
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  encode_frame(type, request_id, payload, out);
+  return out;
+}
+
+inline std::vector<std::uint8_t> hello_frame(const std::string& tenant,
+                                             std::uint64_t request_id = 1) {
+  std::vector<std::uint8_t> payload;
+  encode_hello(HelloMsg{tenant}, payload);
+  return frame_bytes(MsgType::kHello, request_id, payload);
+}
+
+inline std::vector<std::uint8_t> open_frame(const std::string& trace,
+                                            std::uint32_t section,
+                                            std::uint64_t request_id) {
+  std::vector<std::uint8_t> payload;
+  encode_open(OpenMsg{trace, section}, payload);
+  return frame_bytes(MsgType::kOpen, request_id, payload);
+}
+
+/// Collects every frame a reply byte-buffer contains (copies payloads).
+struct CollectedFrame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+inline std::vector<CollectedFrame> collect_frames(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<CollectedFrame> frames;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  while (auto frame = decoder.next()) {
+    CollectedFrame out;
+    out.type = frame->type;
+    out.request_id = frame->request_id;
+    out.payload.assign(frame->payload, frame->payload + frame->size);
+    frames.push_back(std::move(out));
+  }
+  return frames;
+}
+
+}  // namespace pythia::serve::testutil

@@ -1,0 +1,410 @@
+// ServerCore request-pipeline tests, all in-process and on a virtual
+// clock: protocol gating (hello first), the full open/observe/predict/
+// close flow, malformed-payload vs corrupt-frame handling, per-tenant
+// flood isolation, deadline expiry, degraded-trace early shedding, and
+// hot publishes under live sessions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/snapshot.hpp"
+#include "serve/server.hpp"
+#include "serve_test_util.hpp"
+
+namespace pythia::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::CollectedFrame;
+using testutil::collect_frames;
+using testutil::frame_bytes;
+using testutil::hello_frame;
+using testutil::loop_trace;
+using testutil::open_frame;
+using testutil::temp_dir;
+using testutil::write_trace_file;
+
+/// One connection against an in-process core; every exchange returns the
+/// decoded reply frames.
+struct CoreClient {
+  explicit CoreClient(ServerCore& core_in)
+      : core(&core_in), conn(core_in.connection_open()) {}
+
+  std::vector<CollectedFrame> send(const std::vector<std::uint8_t>& bytes,
+                                   std::uint64_t now_ns = 1) {
+    std::vector<std::uint8_t> out;
+    alive = core->on_bytes(conn, bytes.data(), bytes.size(), out, now_ns);
+    return collect_frames(out);
+  }
+
+  std::vector<CollectedFrame> hello(const std::string& tenant) {
+    return send(hello_frame(tenant, next_request++));
+  }
+
+  /// Opens and returns the session id; asserts the ack code is kOk.
+  std::uint64_t open_ok(const std::string& trace, std::uint32_t section = 0) {
+    const auto replies = send(open_frame(trace, section, next_request++));
+    EXPECT_EQ(replies.size(), 1u);
+    OpenAckMsg ack;
+    EXPECT_TRUE(parse_open_ack(
+        WireReader(replies[0].payload.data(), replies[0].payload.size()),
+        ack));
+    EXPECT_EQ(ack.code, ReplyCode::kOk);
+    return ack.session_id;
+  }
+
+  ReplyCode open_code(const std::string& trace, std::uint32_t section = 0,
+                      std::uint64_t now_ns = 1) {
+    const auto replies =
+        send(open_frame(trace, section, next_request++), now_ns);
+    OpenAckMsg ack;
+    EXPECT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(parse_open_ack(
+        WireReader(replies[0].payload.data(), replies[0].payload.size()),
+        ack));
+    return ack.code;
+  }
+
+  ObserveAckMsg observe(std::uint64_t session,
+                        const std::vector<std::uint32_t>& events,
+                        std::uint64_t now_ns = 1) {
+    std::vector<std::uint8_t> payload;
+    encode_observe(session, events.data(), events.size(), payload);
+    const auto replies =
+        send(frame_bytes(MsgType::kObserve, next_request++, payload), now_ns);
+    ObserveAckMsg ack;
+    EXPECT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(parse_observe_ack(
+        WireReader(replies[0].payload.data(), replies[0].payload.size()),
+        ack));
+    return ack;
+  }
+
+  PredictAckMsg predict(std::uint64_t session, std::uint32_t distance,
+                        std::uint32_t count, std::uint64_t deadline_ns = 0,
+                        std::uint64_t now_ns = 1) {
+    PredictMsg msg;
+    msg.session_id = session;
+    msg.distance = distance;
+    msg.count = count;
+    msg.deadline_ns = deadline_ns;
+    std::vector<std::uint8_t> payload;
+    encode_predict(msg, payload);
+    const auto replies =
+        send(frame_bytes(MsgType::kPredict, next_request++, payload), now_ns);
+    PredictAckMsg ack;
+    EXPECT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(parse_predict_ack(
+        WireReader(replies[0].payload.data(), replies[0].payload.size()),
+        ack, events, 4096));
+    return ack;
+  }
+
+  ServerCore* core;
+  std::uint64_t conn;
+  std::uint64_t next_request = 1;
+  bool alive = true;
+  std::vector<std::uint32_t> events;  ///< last predict's returned batch
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = temp_dir("server");
+    trace_path_ = write_trace_file(dir_, "loop", 20);
+    ASSERT_FALSE(trace_path_.empty());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // ServerCore is pinned in place (the registry owns a mutex), so the
+  // fixture hands out heap instances.
+  std::unique_ptr<ServerCore> make_core(ServerOptions options = {}) {
+    auto core = std::make_unique<ServerCore>(options);
+    EXPECT_TRUE(core->registry().add("loop", trace_path_).ok());
+    return core;
+  }
+
+  std::string dir_;
+  std::string trace_path_;
+};
+
+TEST_F(ServerTest, HelloRequiredBeforeSessionTraffic) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  const auto replies = client.send(open_frame("loop", 0, 1));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+  ErrorMsg error;
+  ASSERT_TRUE(parse_error(
+      WireReader(replies[0].payload.data(), replies[0].payload.size()),
+      error));
+  EXPECT_EQ(error.code, ReplyCode::kBadRequest);
+  EXPECT_TRUE(client.alive);  // protocol violation, not corruption
+
+  // Ping and stats stay available pre-hello (health checks).
+  const auto pong = client.send(frame_bytes(MsgType::kPing, 2, {}));
+  ASSERT_EQ(pong.size(), 1u);
+  EXPECT_EQ(pong[0].type, MsgType::kPong);
+}
+
+TEST_F(ServerTest, FullSessionFlow) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  const auto hello_replies = client.hello("tenant-a");
+  ASSERT_EQ(hello_replies.size(), 1u);
+  EXPECT_EQ(hello_replies[0].type, MsgType::kHelloAck);
+
+  const std::uint64_t session = client.open_ok("loop");
+  EXPECT_EQ(core.stats().sessions_opened, 1u);
+
+  const ObserveAckMsg observed = client.observe(session, {0, 1, 2, 0});
+  EXPECT_EQ(observed.code, ReplyCode::kOk);
+  EXPECT_EQ(observed.health, 0u);  // kHealthy
+
+  // Next after ...c a is b.
+  const PredictAckMsg predicted = client.predict(session, 1, 1);
+  EXPECT_EQ(predicted.code, ReplyCode::kOk);
+  ASSERT_EQ(predicted.count, 1u);
+  ASSERT_EQ(client.events.size(), 1u);
+  EXPECT_EQ(client.events[0], 1u);
+  EXPECT_GT(predicted.probability, 0.0);
+
+  // Batched: b c a ...
+  const PredictAckMsg batch = client.predict(session, 1, 3);
+  EXPECT_EQ(batch.code, ReplyCode::kOk);
+  ASSERT_EQ(client.events.size(), 3u);
+  EXPECT_EQ(client.events[0], 1u);
+  EXPECT_EQ(client.events[1], 2u);
+  EXPECT_EQ(client.events[2], 0u);
+
+  std::vector<std::uint8_t> payload;
+  encode_close(CloseMsg{session}, payload);
+  const auto closed = client.send(frame_bytes(MsgType::kClose, 99, payload));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].type, MsgType::kCloseAck);
+  EXPECT_EQ(core.stats().sessions_open, 0u);
+}
+
+TEST_F(ServerTest, OpenFailuresAreExplicitCodes) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  EXPECT_EQ(client.open_code("ghost"), ReplyCode::kNotFound);
+  EXPECT_EQ(client.open_code("loop", /*section=*/7), ReplyCode::kUnavailable);
+
+  // A registered name whose file is gone: kUnavailable, not a hang.
+  ASSERT_TRUE(core.registry().add("gone", dir_ + "/gone.pythia").ok());
+  EXPECT_EQ(client.open_code("gone"), ReplyCode::kUnavailable);
+}
+
+TEST_F(ServerTest, UnknownSessionIsBadRequestReply) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  const ObserveAckMsg observed = client.observe(/*session=*/12345, {0});
+  EXPECT_EQ(observed.code, ReplyCode::kBadRequest);
+  const PredictAckMsg predicted = client.predict(/*session=*/12345, 1, 1);
+  EXPECT_EQ(predicted.code, ReplyCode::kBadRequest);
+  EXPECT_TRUE(client.alive);
+}
+
+TEST_F(ServerTest, MalformedPayloadRepliesErrorAndKeepsConnection) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  // A valid frame whose payload is not a valid OpenMsg.
+  const auto replies =
+      client.send(frame_bytes(MsgType::kOpen, 5, {0xde, 0xad}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+  EXPECT_TRUE(client.alive);
+  EXPECT_EQ(core.stats().bad_requests, 1u);
+  // The connection still serves.
+  client.open_ok("loop");
+}
+
+TEST_F(ServerTest, CorruptFrameDropsConnectionWithBestEffortError) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  auto bytes = open_frame("loop", 0, 6);
+  bytes[3] ^= 0x40;  // bit flip inside the magic
+  const auto replies = client.send(bytes);
+  EXPECT_FALSE(client.alive);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+  EXPECT_EQ(core.stats().bad_frames, 1u);
+  EXPECT_EQ(core.stats().connections_dropped, 1u);
+}
+
+TEST_F(ServerTest, FloodingTenantShedsWithoutStarvingOthers) {
+  ServerOptions options;
+  TenantLimits tight;
+  tight.rate_per_sec = 1.0;  // refills one request per virtual second
+  tight.burst = 4.0;
+  options.tenant_defaults = tight;
+  auto core_owner = make_core(options);
+  ServerCore& core = *core_owner;
+
+  CoreClient flooder(core);
+  flooder.hello("flooder");
+  CoreClient calm(core);
+  calm.hello("calm");
+
+  const std::uint64_t flooder_session = flooder.open_ok("loop");
+  const std::uint64_t calm_session = calm.open_ok("loop");
+
+  std::size_t shed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const PredictAckMsg ack = flooder.predict(flooder_session, 1, 1);
+    if (ack.code == ReplyCode::kShed) ++shed;
+  }
+  EXPECT_GE(shed, 45u);  // 3 remaining burst tokens, then shed
+
+  // Same instant, same core: the calm tenant's budget is intact.
+  const PredictAckMsg ack = calm.predict(calm_session, 1, 1);
+  EXPECT_NE(ack.code, ReplyCode::kShed);
+  EXPECT_GE(core.stats().shed, shed);
+}
+
+TEST_F(ServerTest, DeadlineExpiryIsExplicit) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  const std::uint64_t session = client.open_ok("loop");
+  client.observe(session, {0, 1});
+
+  // Deadline already behind now_ns: explicit expiry, no prediction work.
+  const PredictAckMsg expired = client.predict(session, 1, 1,
+                                               /*deadline_ns=*/50,
+                                               /*now_ns=*/100);
+  EXPECT_EQ(expired.code, ReplyCode::kDeadlineExpired);
+  EXPECT_EQ(core.stats().expired, 1u);
+
+  // A live deadline is honoured.
+  const PredictAckMsg fine = client.predict(session, 1, 1,
+                                            /*deadline_ns=*/200,
+                                            /*now_ns=*/100);
+  EXPECT_EQ(fine.code, ReplyCode::kOk);
+}
+
+TEST_F(ServerTest, DegradedSessionsShedTheTraceEarly) {
+  ServerOptions options;
+  options.degraded_min_sessions = 1;
+  options.degraded_fraction = 0.5;
+  auto core_owner = make_core(options);
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  const std::uint64_t session = client.open_ok("loop");
+
+  // Feed events the reference has never seen: the breaker's miss streak
+  // trips the session into kDegraded.
+  ObserveAckMsg ack;
+  for (int i = 0; i < 4; ++i) {
+    ack = client.observe(session, {99, 99, 99, 99});
+    if (ack.code == ReplyCode::kDegraded) break;
+  }
+  EXPECT_EQ(ack.code, ReplyCode::kDegraded);
+  const auto [degraded, total] = core.trace_health("loop");
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(degraded, 1u);
+
+  // The whole trace now sheds early: opens answer kDegraded without
+  // touching the oracle, predicts on the degraded session likewise.
+  EXPECT_EQ(client.open_code("loop"), ReplyCode::kDegraded);
+  const PredictAckMsg predicted = client.predict(session, 1, 1);
+  EXPECT_EQ(predicted.code, ReplyCode::kDegraded);
+  EXPECT_GE(core.stats().degraded, 3u);
+}
+
+TEST_F(ServerTest, PublishUnderLiveSessionsKeepsOldPinsAndServesNew) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  const std::uint64_t session = client.open_ok("loop");
+  client.observe(session, {0, 1, 2, 0});
+
+  // Hot swap mid-traffic: a longer recording of the same loop.
+  const std::uint64_t old_version = core.registry().version_of("loop");
+  auto next = engine::TraceSnapshot::make(loop_trace(40), old_version + 1);
+  ASSERT_TRUE(core.registry().publish("loop", next).ok());
+
+  // The in-flight session keeps answering from its pinned snapshot.
+  const PredictAckMsg predicted = client.predict(session, 1, 1);
+  EXPECT_EQ(predicted.code, ReplyCode::kOk);
+  ASSERT_EQ(client.events.size(), 1u);
+  EXPECT_EQ(client.events[0], 1u);
+
+  // A new open sees the new snapshot version.
+  const auto replies =
+      client.send(open_frame("loop", 0, client.next_request++));
+  OpenAckMsg ack;
+  ASSERT_TRUE(parse_open_ack(
+      WireReader(replies[0].payload.data(), replies[0].payload.size()), ack));
+  EXPECT_EQ(ack.code, ReplyCode::kOk);
+  EXPECT_EQ(ack.snapshot_version, old_version + 1);
+}
+
+TEST_F(ServerTest, SessionCapSheds) {
+  ServerOptions options;
+  options.max_sessions_per_tenant = 2;
+  auto core_owner = make_core(options);
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  client.open_ok("loop");
+  client.open_ok("loop");
+  EXPECT_EQ(client.open_code("loop"), ReplyCode::kShed);
+}
+
+TEST_F(ServerTest, ConnectionCloseReleasesSessions) {
+  auto core_owner = make_core();
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  client.open_ok("loop");
+  client.open_ok("loop");
+  EXPECT_EQ(core.stats().sessions_open, 2u);
+  core.connection_close(client.conn);
+  EXPECT_EQ(core.stats().sessions_open, 0u);
+  EXPECT_EQ(core.stats().sessions_closed, 2u);
+  const auto [degraded, total] = core.trace_health("loop");
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(degraded, 0u);
+}
+
+TEST_F(ServerTest, PredictCountCapIsBadRequest) {
+  ServerOptions options;
+  options.max_predict_count = 8;
+  auto core_owner = make_core(options);
+  ServerCore& core = *core_owner;
+  CoreClient client(core);
+  client.hello("t");
+  const std::uint64_t session = client.open_ok("loop");
+  PredictMsg msg;
+  msg.session_id = session;
+  msg.count = 9;
+  std::vector<std::uint8_t> payload;
+  encode_predict(msg, payload);
+  const auto replies =
+      client.send(frame_bytes(MsgType::kPredict, 50, payload));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+  EXPECT_TRUE(client.alive);
+}
+
+}  // namespace
+}  // namespace pythia::serve

@@ -1,0 +1,296 @@
+// Wire framing tests: every message schema round-trips; the decoder
+// survives truncation, bit flips, oversize claims and byte-at-a-time
+// delivery; and a corrupt length field can never drive an allocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace pythia::serve {
+namespace {
+
+std::vector<std::uint8_t> make_frame(MsgType type, std::uint64_t request_id,
+                                     const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  encode_frame(type, request_id, payload, out);
+  return out;
+}
+
+TEST(Wire, FrameRoundTrip) {
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto bytes = make_frame(MsgType::kObserve, 42, payload);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kObserve);
+  EXPECT_EQ(frame->request_id, 42u);
+  ASSERT_EQ(frame->size, payload.size());
+  EXPECT_EQ(0, std::memcmp(frame->payload, payload.data(), payload.size()));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(Wire, EmptyPayloadAndBackToBackFrames) {
+  std::vector<std::uint8_t> bytes = make_frame(MsgType::kPing, 1, {});
+  const auto second = make_frame(MsgType::kClose, 2, {9, 9});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto first = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, MsgType::kPing);
+  EXPECT_EQ(first->size, 0u);
+  auto next = decoder.next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->type, MsgType::kClose);
+  EXPECT_EQ(next->request_id, 2u);
+}
+
+TEST(Wire, ByteAtATimeDelivery) {
+  const std::vector<std::uint8_t> payload(100, 0xab);
+  const auto bytes = make_frame(MsgType::kPredict, 7, payload);
+  FrameDecoder decoder;
+  std::size_t frames = 0;
+  for (std::uint8_t byte : bytes) {
+    decoder.feed(&byte, 1);
+    while (decoder.next().has_value()) ++frames;
+  }
+  EXPECT_EQ(frames, 1u);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(Wire, TruncatedFrameStaysPending) {
+  const auto bytes = make_frame(MsgType::kObserve, 3, {1, 2, 3, 4});
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 2);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.failed());  // not corrupt — just incomplete
+  EXPECT_GT(decoder.pending(), 0u);
+  // The tail arrives: the frame completes.
+  decoder.feed(bytes.data() + bytes.size() - 2, 2);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(Wire, HeaderBitFlipPoisonsTheStream) {
+  // Flip one bit in each header position in turn; every single one must
+  // be caught by the header CRC (or the field checks it protects).
+  for (std::size_t pos = 0; pos < kFrameHeaderSize; ++pos) {
+    auto bytes = make_frame(MsgType::kOpen, 9, {5, 6, 7});
+    bytes[pos] ^= 0x10;
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(decoder.next().has_value()) << "flipped header byte " << pos;
+    EXPECT_TRUE(decoder.failed()) << "flipped header byte " << pos;
+    // Poisoned: even a following pristine frame is not delivered.
+    const auto clean = make_frame(MsgType::kPing, 10, {});
+    decoder.feed(clean.data(), clean.size());
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+}
+
+TEST(Wire, PayloadBitFlipIsCaughtByPayloadCrc) {
+  for (std::size_t pos = 0; pos < 8; ++pos) {
+    auto bytes = make_frame(MsgType::kObserve, 4,
+                            {10, 11, 12, 13, 14, 15, 16, 17});
+    bytes[kFrameHeaderSize + pos] ^= 0x01;
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(decoder.next().has_value()) << "flipped payload byte " << pos;
+    EXPECT_TRUE(decoder.failed());
+    EXPECT_EQ(decoder.stats().rejected_payload, 1u);
+  }
+}
+
+TEST(Wire, OversizeClaimRejectedWithoutBuffering) {
+  // A frame honestly claiming a payload beyond max_payload: rejected as
+  // soon as the header is complete, long before any payload arrives —
+  // the decoder never buffers toward a hostile length.
+  FrameDecoder::Options options;
+  options.max_payload = 64;
+  const std::vector<std::uint8_t> payload(65, 0xcd);
+  const auto bytes = make_frame(MsgType::kObserve, 5, payload);
+  FrameDecoder decoder(options);
+  decoder.feed(bytes.data(), kFrameHeaderSize);  // header only
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.stats().rejected_oversize, 1u);
+}
+
+TEST(Wire, CorruptLengthFieldCannotDriveAllocation) {
+  // Forge a header whose payload_size says ~1 GiB but whose CRC is
+  // stale: the decoder must reject on the checksum *before* believing
+  // the size.
+  auto bytes = make_frame(MsgType::kObserve, 6, {1});
+  bytes[8] = 0xff;  // payload_size field
+  bytes[9] = 0xff;
+  bytes[10] = 0xff;
+  bytes[11] = 0x3f;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.stats().rejected_header, 1u);
+  EXPECT_EQ(decoder.stats().rejected_oversize, 0u);
+}
+
+TEST(Wire, GarbagePrefixPoisons) {
+  std::vector<std::uint8_t> bytes(64, 0x5a);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(Wire, ReaderBoundsChecksEveryRead) {
+  const std::uint8_t bytes[4] = {1, 2, 3, 4};
+  WireReader reader(bytes, sizeof(bytes));
+  std::uint64_t wide = 0;
+  EXPECT_FALSE(reader.u64(wide));  // 8 > 4: refused, offset unchanged
+  std::uint32_t narrow = 0;
+  EXPECT_TRUE(reader.u32(narrow));
+  EXPECT_EQ(narrow, 0x04030201u);
+  std::uint8_t one = 0;
+  EXPECT_FALSE(reader.u8(one));  // exhausted
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Wire, ReaderRejectsLyingStringLength) {
+  std::vector<std::uint8_t> payload;
+  WireWriter writer(payload);
+  writer.u32(1000);  // claims 1000 bytes, provides 3
+  payload.push_back('a');
+  payload.push_back('b');
+  payload.push_back('c');
+  WireReader reader(payload.data(), payload.size());
+  std::string out;
+  EXPECT_FALSE(reader.str(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, ReaderCapsStringLength) {
+  std::vector<std::uint8_t> payload;
+  WireWriter writer(payload);
+  writer.str(std::string(300, 'x'));  // well-formed but over the cap
+  WireReader reader(payload.data(), payload.size());
+  std::string out;
+  EXPECT_FALSE(reader.str(out, /*max_length=*/256));
+}
+
+TEST(Wire, MessageSchemasRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+
+  encode_hello(HelloMsg{"tenant-a"}, buffer);
+  HelloMsg hello;
+  ASSERT_TRUE(parse_hello(WireReader(buffer.data(), buffer.size()), hello));
+  EXPECT_EQ(hello.tenant, "tenant-a");
+
+  buffer.clear();
+  encode_open(OpenMsg{"trace-x", 3}, buffer);
+  OpenMsg open;
+  ASSERT_TRUE(parse_open(WireReader(buffer.data(), buffer.size()), open));
+  EXPECT_EQ(open.trace, "trace-x");
+  EXPECT_EQ(open.section, 3u);
+
+  buffer.clear();
+  const std::uint32_t events[4] = {7, 8, 9, 10};
+  encode_observe(99, events, 4, buffer);
+  ObserveMsg observe;
+  std::vector<std::uint32_t> scratch;
+  ASSERT_TRUE(parse_observe(WireReader(buffer.data(), buffer.size()), observe,
+                            scratch, 16));
+  EXPECT_EQ(observe.session_id, 99u);
+  ASSERT_EQ(observe.count, 4u);
+  EXPECT_EQ(scratch, (std::vector<std::uint32_t>{7, 8, 9, 10}));
+  // Batch over the cap: rejected before any copy.
+  EXPECT_FALSE(parse_observe(WireReader(buffer.data(), buffer.size()),
+                             observe, scratch, 3));
+
+  buffer.clear();
+  PredictMsg predict;
+  predict.session_id = 5;
+  predict.distance = 2;
+  predict.count = 8;
+  predict.deadline_ns = 123456789;
+  encode_predict(predict, buffer);
+  PredictMsg predict_out;
+  ASSERT_TRUE(
+      parse_predict(WireReader(buffer.data(), buffer.size()), predict_out));
+  EXPECT_EQ(predict_out.session_id, 5u);
+  EXPECT_EQ(predict_out.distance, 2u);
+  EXPECT_EQ(predict_out.count, 8u);
+  EXPECT_EQ(predict_out.deadline_ns, 123456789u);
+
+  buffer.clear();
+  encode_predict_ack(ReplyCode::kOk, 1, 0.75, 0.5, events, 4, buffer);
+  PredictAckMsg ack;
+  ASSERT_TRUE(parse_predict_ack(WireReader(buffer.data(), buffer.size()), ack,
+                                scratch, 16));
+  EXPECT_EQ(ack.code, ReplyCode::kOk);
+  EXPECT_EQ(ack.health, 1u);
+  EXPECT_DOUBLE_EQ(ack.probability, 0.75);
+  EXPECT_DOUBLE_EQ(ack.confidence, 0.5);
+  EXPECT_EQ(scratch, (std::vector<std::uint32_t>{7, 8, 9, 10}));
+
+  buffer.clear();
+  encode_error(ErrorMsg{ReplyCode::kShed, "busy"}, buffer);
+  ErrorMsg error;
+  ASSERT_TRUE(parse_error(WireReader(buffer.data(), buffer.size()), error));
+  EXPECT_EQ(error.code, ReplyCode::kShed);
+  EXPECT_EQ(error.message, "busy");
+
+  buffer.clear();
+  StatsAckMsg stats;
+  stats.frames = 10;
+  stats.replies = 9;
+  stats.sessions_open = 3;
+  stats.shed = 2;
+  stats.degraded = 1;
+  stats.expired = 4;
+  stats.publishes = 5;
+  encode_stats_ack(stats, buffer);
+  StatsAckMsg stats_out;
+  ASSERT_TRUE(
+      parse_stats_ack(WireReader(buffer.data(), buffer.size()), stats_out));
+  EXPECT_EQ(stats_out.frames, 10u);
+  EXPECT_EQ(stats_out.publishes, 5u);
+}
+
+TEST(Wire, DecoderRecountsFramesAcrossCompaction) {
+  // Many frames through one decoder with interleaved partial feeds: the
+  // internal compaction must never lose or duplicate a frame.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> stream;
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(i % 17), 0x11);
+    encode_frame(MsgType::kObserve, static_cast<std::uint64_t>(i), payload,
+                 stream);
+  }
+  std::uint64_t delivered = 0;
+  std::size_t offset = 0;
+  std::size_t chunk = 1;
+  while (offset < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - offset);
+    decoder.feed(stream.data() + offset, n);
+    offset += n;
+    chunk = (chunk * 7 + 3) % 61 + 1;  // varied chunk sizes
+    while (auto frame = decoder.next()) {
+      EXPECT_EQ(frame->request_id, delivered);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(decoder.stats().frames, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace pythia::serve
