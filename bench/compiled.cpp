@@ -1,0 +1,458 @@
+// compiled — zero-copy prediction automaton bench (compile.hpp +
+// CompiledPredictor + mapped trace loading).
+//
+//   ./build/bench/compiled [--out=BENCH_compiled.json] [--strict]
+//
+// Answers three questions with numbers:
+//   1. How fast is the compiled engine vs the interpreted walker on the
+//      serving hot paths — predict(1) tracked, predict(1) right after an
+//      anchor (the precomputed k-step table), observe(), predict_n?
+//   2. What does compiling cost (time, blob bytes) for a given grammar?
+//   3. How much faster does a daemon get a trace *servable* when it mmaps
+//      the compiled section instead of deserializing the thread sections
+//      (cold-start: file -> first answered prediction)?
+//
+// Latency protocol: per-call Clock::now() sampling (as bench/regress
+// uses) floors every number at the clock-read cost, which drowns a
+// table-lookup-fast path. Here each sample is the mean of a 64-call
+// batch; percentiles are over batch means. Interpreted and compiled are
+// measured under the SAME protocol, so the ratios are clean even where
+// the absolute floor matters.
+//
+// --strict (or PYTHIA_BENCH_STRICT=1) gates:
+//   * compiled anchored predict(1) p50 <= 20 ns,
+//   * compiled >= 2x faster than interpreted at anchored predict(1)
+//     (the ambiguous-anchor vote is the expensive interpreted path;
+//     tracked predict(1) sits at the clock floor for BOTH engines and is
+//     gated only against regression, <= 1.5x interpreted),
+//   * mapped cold start >= 10x faster than full deserialization.
+// The ratio gates compare numbers taken back-to-back on the same host,
+// so they hold on slow/noisy runners; the absolute gate uses the batched
+// p50, which is clock-overhead-free.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/compile.hpp"
+#include "core/compiled_predictor.hpp"
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "engine/snapshot.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pythia;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point begin, Clock::time_point end) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[index];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  return out;
+}
+
+void emit_percentiles(bench::JsonWriter& json, const char* name,
+                      std::vector<double>& samples) {
+  const Percentiles p = percentiles(samples);
+  json.begin_object(name)
+      .field("samples", static_cast<std::uint64_t>(samples.size()))
+      .field("p50_ns", p.p50)
+      .field("p90_ns", p.p90)
+      .field("p99_ns", p.p99)
+      .end_object();
+  std::printf("  %-26s p50 %7.1f ns   p90 %7.1f ns   p99 %7.1f ns\n", name,
+              p.p50, p.p90, p.p99);
+}
+
+/// Batched latency: each sample is the mean over `kBatch` calls of `fn`
+/// (which must return a value to fold into the sink).
+template <typename Fn>
+std::vector<double> batched_samples(std::size_t batches, Fn&& fn) {
+  constexpr std::size_t kBatch = 64;
+  std::vector<double> samples;
+  samples.reserve(batches);
+  volatile std::uint64_t sink = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::uint64_t local = 0;
+    const auto begin = Clock::now();
+    for (std::size_t i = 0; i < kBatch; ++i) local += fn();
+    const double ns = elapsed_ns(begin, Clock::now());
+    sink = sink + local;
+    samples.push_back(ns / static_cast<double>(kBatch));
+  }
+  return samples;
+}
+
+std::vector<TerminalId> loop_trace(std::size_t events) {
+  // BT-like 7-event loop body (the shape bench/regress measures).
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  while (out.size() < events) {
+    for (TerminalId t : {0u, 1u, 2u, 3u, 4u, 5u, 5u}) {
+      if (out.size() >= events) break;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<TerminalId> irregular_trace(std::size_t events,
+                                        std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  out.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    out.push_back(static_cast<TerminalId>(rng.below(24)));
+  }
+  return out;
+}
+
+ThreadTrace record_thread(const std::vector<TerminalId>& stream) {
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (TerminalId t : stream) recorder.record(t, now += 1000);
+  return std::move(recorder).finish();
+}
+
+constexpr std::size_t kN = 256;  ///< predict_n window
+
+struct PairResult {
+  double predict1_interpreted = 0.0;
+  double predict1_compiled = 0.0;
+  double predictn_interpreted = 0.0;
+  double predictn_compiled = 0.0;
+};
+
+/// Measures the serving hot paths on one thread with BOTH engines under
+/// the identical protocol: tracked predict(1), predict_n(256), observe.
+/// Engines are parked mid-stream so every prediction has a future and
+/// predict_n a full window; predict() is const, so the parked state holds
+/// until the observe phase (which runs last).
+PairResult measure_pair(bench::JsonWriter& json, const std::string& prefix,
+                        const ThreadTrace& thread,
+                        const std::vector<TerminalId>& stream,
+                        std::size_t batches) {
+  PairResult out;
+  Predictor interpreted(thread.grammar, &thread.timing);
+  CompiledPredictor compiled(thread.compiled, Predictor::Options{});
+  const std::size_t park = stream.size() / 2;
+  for (std::size_t i = 0; i < park; ++i) {
+    interpreted.observe(stream[i]);
+    compiled.observe(stream[i]);
+  }
+
+  std::vector<double> samples = batched_samples(batches, [&] {
+    const auto p = interpreted.predict(1);
+    return static_cast<std::uint64_t>(p.has_value() ? p->event : 0);
+  });
+  out.predict1_interpreted = percentiles(samples).p50;
+  emit_percentiles(json, (prefix + "_predict1_interpreted").c_str(), samples);
+
+  samples = batched_samples(batches, [&] {
+    const auto p = compiled.predict(1);
+    return static_cast<std::uint64_t>(p.has_value() ? p->event : 0);
+  });
+  out.predict1_compiled = percentiles(samples).p50;
+  emit_percentiles(json, (prefix + "_predict1_compiled").c_str(), samples);
+
+  TerminalId buffer[kN];
+  samples = batched_samples(batches, [&] {
+    return static_cast<std::uint64_t>(
+        interpreted.predict_sequence_into(buffer, kN));
+  });
+  out.predictn_interpreted = percentiles(samples).p50;
+  emit_percentiles(json, (prefix + "_predict_n256_interpreted").c_str(),
+                   samples);
+
+  samples = batched_samples(batches, [&] {
+    return static_cast<std::uint64_t>(
+        compiled.predict_sequence_into(buffer, kN));
+  });
+  out.predictn_compiled = percentiles(samples).p50;
+  emit_percentiles(json, (prefix + "_predict_n256_compiled").c_str(), samples);
+
+  // observe last: it advances the engines. Both replay the same on-
+  // reference continuation, so advance/re-anchor mixes stay identical.
+  std::size_t cursor = park;
+  samples = batched_samples(batches, [&] {
+    interpreted.observe(stream[cursor++ % stream.size()]);
+    return std::uint64_t{0};
+  });
+  emit_percentiles(json, (prefix + "_observe_interpreted").c_str(), samples);
+  cursor = park;
+  samples = batched_samples(batches, [&] {
+    compiled.observe(stream[cursor++ % stream.size()]);
+    return std::uint64_t{0};
+  });
+  emit_percentiles(json, (prefix + "_observe_compiled").c_str(), samples);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_compiled.json";
+  bool strict = support::env_flag("PYTHIA_BENCH_STRICT");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "usage: compiled [--out=FILE] [--strict]\n");
+      return 2;
+    }
+  }
+
+  const double scale = bench::workload_scale();
+  const auto events =
+      static_cast<std::size_t>(std::max(7000.0, 100000.0 * scale)) / 7 * 7;
+  const auto batches =
+      static_cast<std::size_t>(std::max(200.0, 2000.0 * scale));
+  const int reps = support::bench_reps(3);
+
+  std::printf("pythia bench/compiled  (scale %.2f, %zu events, %zu batches)\n",
+              scale, events, batches);
+  bench::JsonWriter json;
+  json.field("bench", std::string("compiled"))
+      .field("scale", scale)
+      .field("events", static_cast<std::uint64_t>(events));
+
+  // --- workloads -------------------------------------------------------------
+  // rich: irregular 24-symbol stream -> a deep rule hierarchy, the case
+  // grammar compilation exists for (the interpreted walker chases nested
+  // expansions; the compiled engine reads flattened tables). The strict
+  // gates apply here. loop: the BT-like 7-event loop bench/regress
+  // measures — on it both engines sit near the measurement floor, so it
+  // bounds the best case rather than showing the compiled win.
+  const std::vector<TerminalId> rich_stream = irregular_trace(events, 7);
+  ThreadTrace rich = record_thread(rich_stream);
+  const std::vector<TerminalId> loop_stream = loop_trace(events);
+  ThreadTrace loop = record_thread(loop_stream);
+
+  // --- compile cost (rich grammar) ------------------------------------------
+  const std::uint64_t digest = thread_section_digest(rich);
+  double compile_ns = 0.0;
+  std::vector<unsigned char> blob;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = Clock::now();
+    blob = compile_thread(rich.grammar, &rich.timing, digest);
+    const double ns = elapsed_ns(begin, Clock::now());
+    if (rep == 0 || ns < compile_ns) compile_ns = ns;
+  }
+  if (blob.empty() || !rich.compile() || !loop.compile()) {
+    std::fprintf(stderr, "error: grammar did not compile\n");
+    return 1;
+  }
+  json.begin_object("compile")
+      .field("ns", compile_ns)
+      .field("blob_bytes", static_cast<std::uint64_t>(blob.size()))
+      .field("nodes", static_cast<std::uint64_t>(rich.compiled.node_count()))
+      .field("rules", static_cast<std::uint64_t>(rich.compiled.rule_count()))
+      .end_object();
+  std::printf("  %-26s %8.0f ns  (%zu bytes, %u nodes, %u rules)\n",
+              "compile", compile_ns, blob.size(), rich.compiled.node_count(),
+              rich.compiled.rule_count());
+
+  // --- hot paths, both engines, both workloads -------------------------------
+  const PairResult rich_pair =
+      measure_pair(json, "rich", rich, rich_stream, batches);
+  const PairResult loop_pair =
+      measure_pair(json, "loop", loop, loop_stream, batches);
+  const double interpreted_p50 = rich_pair.predict1_interpreted;
+  const double compiled_p50 = rich_pair.predict1_compiled;
+
+  // --- predict(k) from a fresh ambiguous anchor (daemon first answer) -------
+  // A fresh engine's first observe anchors; on the rich grammar that
+  // anchor is ambiguous, so the interpreted engine re-votes across up to
+  // 32 candidate continuations on EVERY predict. The compiled engine
+  // reads one precomputed anchor-table row. This is where the strict
+  // predict(1) gates apply — the tracked steady-state numbers above sit
+  // at the measurement floor for both engines.
+  Predictor anchored_interpreted(rich.grammar, &rich.timing);
+  CompiledPredictor anchored(rich.compiled, Predictor::Options{});
+  anchored_interpreted.observe(rich_stream[0]);
+  anchored.observe(rich_stream[0]);
+  std::vector<double> samples = batched_samples(batches, [&] {
+    const auto p = anchored_interpreted.predict(1);
+    return static_cast<std::uint64_t>(p.has_value() ? p->event : 0);
+  });
+  const double anchored_interpreted_p50 = percentiles(samples).p50;
+  emit_percentiles(json, "anchored_predict1_interpreted", samples);
+  samples = batched_samples(batches, [&] {
+    const auto p = anchored.predict(1);
+    return static_cast<std::uint64_t>(p.has_value() ? p->event : 0);
+  });
+  const double anchored_compiled_p50 = percentiles(samples).p50;
+  emit_percentiles(json, "anchored_predict1_compiled", samples);
+  samples = batched_samples(batches, [&] {
+    const auto p = anchored.predict(4);
+    return static_cast<std::uint64_t>(p.has_value() ? p->event : 0);
+  });
+  emit_percentiles(json, "anchored_predict4_compiled", samples);
+
+  // --- memcpy floor for predict_n --------------------------------------------
+  TerminalId buffer[kN];
+  std::vector<TerminalId> src(kN);
+  for (std::size_t i = 0; i < kN; ++i) src[i] = loop_stream[i];
+  samples = batched_samples(batches, [&] {
+    std::memcpy(buffer, src.data(), sizeof(TerminalId) * kN);
+    return static_cast<std::uint64_t>(buffer[0]);
+  });
+  const double memcpy_p50 = percentiles(samples).p50;
+  emit_percentiles(json, "memcpy256_baseline", samples);
+  json.begin_object("predict_n_ratio")
+      .field("rich_compiled_vs_memcpy",
+             memcpy_p50 > 0.0 ? rich_pair.predictn_compiled / memcpy_p50 : 0.0)
+      .field("rich_interpreted_vs_compiled",
+             rich_pair.predictn_compiled > 0.0
+                 ? rich_pair.predictn_interpreted / rich_pair.predictn_compiled
+                 : 0.0)
+      .field("loop_compiled_vs_memcpy",
+             memcpy_p50 > 0.0 ? loop_pair.predictn_compiled / memcpy_p50 : 0.0)
+      .field("loop_interpreted_vs_compiled",
+             loop_pair.predictn_compiled > 0.0
+                 ? loop_pair.predictn_interpreted / loop_pair.predictn_compiled
+                 : 0.0)
+      .end_object();
+
+  // --- cold start: file -> first answered prediction ------------------------
+  // Big irregular grammar: the case where deserialization actually hurts
+  // (many rules, large occurrence index, big timing table).
+  {
+    // Fixed size, independent of PYTHIA_BENCH_SCALE: the >= 10x gate
+    // needs a trace big enough that deserialization dominates, and a
+    // scaled-down trace would flake the ratio right at the threshold.
+    const std::vector<TerminalId> stream =
+        irregular_trace(std::max<std::size_t>(events, 100000), 99);
+    Trace trace;
+    for (int k = 0; k < 24; ++k) trace.registry.intern("k" + std::to_string(k));
+    trace.threads.push_back(record_thread(stream));
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "pythia_bench_compiled.pythia").string();
+    trace.save(path);
+    const TerminalId warm = stream[0];
+
+    double full_ns = -1.0;
+    double mapped_ns = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      {
+        const auto begin = Clock::now();
+        auto loaded = engine::TraceSnapshot::load(path);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "error: full load failed: %s\n",
+                       loaded.status().to_string().c_str());
+          return 1;
+        }
+        engine::PredictServer server(loaded.take());
+        auto session = server.open(0).take();
+        session.observe(warm);
+        const bool answered = session.predict(1).has_value();
+        const double ns = elapsed_ns(begin, Clock::now());
+        if (answered && (full_ns < 0.0 || ns < full_ns)) full_ns = ns;
+      }
+      {
+        const auto begin = Clock::now();
+        auto loaded = engine::TraceSnapshot::load_mapped(path);
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "error: mapped load failed: %s\n",
+                       loaded.status().to_string().c_str());
+          return 1;
+        }
+        engine::PredictServer server(loaded.take());
+        auto session = server.open(0).take();
+        session.observe(warm);
+        const bool answered = session.predict(1).has_value();
+        const double ns = elapsed_ns(begin, Clock::now());
+        if (answered && (mapped_ns < 0.0 || ns < mapped_ns)) mapped_ns = ns;
+      }
+    }
+    std::remove(path.c_str());
+    const double ratio = mapped_ns > 0.0 ? full_ns / mapped_ns : 0.0;
+    json.begin_object("cold_start")
+        .field("full_load_ns", full_ns)
+        .field("mapped_load_ns", mapped_ns)
+        .field("speedup", ratio)
+        .end_object();
+    std::printf("  %-26s full %9.0f ns   mapped %9.0f ns   (%.1fx)\n",
+                "cold_start", full_ns, mapped_ns, ratio);
+
+    if (!json.write_file(out_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (strict) {
+      bool ok = true;
+      if (anchored_compiled_p50 > 20.0) {
+        std::fprintf(stderr,
+                     "strict: compiled anchored predict(1) p50 %.1f ns "
+                     "exceeds 20 ns\n",
+                     anchored_compiled_p50);
+        ok = false;
+      }
+      if (anchored_interpreted_p50 < 2.0 * anchored_compiled_p50) {
+        std::fprintf(stderr,
+                     "strict: compiled anchored predict(1) only %.2fx faster "
+                     "than interpreted (need >= 2x)\n",
+                     anchored_compiled_p50 > 0.0
+                         ? anchored_interpreted_p50 / anchored_compiled_p50
+                         : 0.0);
+        ok = false;
+      }
+      // Tracked predict(1) must not regress past the interpreted engine
+      // by more than measurement noise: both sit at the clock floor.
+      if (compiled_p50 > 1.5 * interpreted_p50) {
+        std::fprintf(stderr,
+                     "strict: compiled tracked predict(1) p50 %.1f ns is "
+                     ">1.5x the interpreted %.1f ns\n",
+                     compiled_p50, interpreted_p50);
+        ok = false;
+      }
+      if (ratio < 10.0) {
+        std::fprintf(stderr,
+                     "strict: mapped cold start only %.1fx faster than full "
+                     "load (need >= 10x)\n",
+                     ratio);
+        ok = false;
+      }
+      if (!ok) return 1;
+      std::printf(
+          "strict: anchored predict1 %.1f ns (%.1fx vs interpreted), cold "
+          "start %.1fx — all gates pass\n",
+          anchored_compiled_p50,
+          anchored_interpreted_p50 / anchored_compiled_p50, ratio);
+    }
+  }
+  return 0;
+}

@@ -300,6 +300,7 @@ int main(int argc, char** argv) {
     predictor.observe(event);
     samples.push_back(elapsed_ns(begin, Clock::now()));
   }
+  const double observe_p50 = percentiles(samples).p50;
   emit_percentiles(json, "observe", samples);
 
   // Park the tracker mid-loop-body: at the very end of the reference
@@ -312,6 +313,14 @@ int main(int argc, char** argv) {
     samples.push_back(elapsed_ns(begin, Clock::now()));
     if (!prediction.has_value()) break;  // would make the numbers a lie
   }
+  // Absolute numbers on this path have swung 32-46 ns p50 across
+  // otherwise-neutral changes: per-call sampling pays the clock read
+  // (~15-20 ns here) inside every sample, and the remainder moves with
+  // code layout. The strict gate below therefore checks the RATIO
+  // against observe(), which is measured back-to-back under the same
+  // protocol and drifts with the same noise. For clock-overhead-free
+  // absolute predict latencies, see bench/compiled (batched protocol).
+  const double predict1_p50 = percentiles(samples).p50;
   emit_percentiles(json, "predict1", samples);
 
   // --- steady-state allocator traffic --------------------------------------
@@ -379,10 +388,37 @@ int main(int argc, char** argv) {
                    kJournaledOverheadBudget * 100.0);
       return 1;
     }
+    // Early warning before the budget gate trips: overhead has measured
+    // ~12.5% on the reference host, so anything above 13% means the
+    // margin is nearly gone — flag it loudly without failing the run.
+    constexpr double kJournaledWarnThreshold = 0.13;
+    const double journaled_overhead = journaled.ratio - 1.0;
+    if (journaled_overhead > kJournaledWarnThreshold) {
+      std::fprintf(stderr,
+                   "strict: WARNING journaled append overhead %.1f%% is "
+                   "within %.1f%% of the %.0f%% budget\n",
+                   journaled_overhead * 100.0,
+                   (kJournaledOverheadBudget - journaled_overhead) * 100.0,
+                   kJournaledOverheadBudget * 100.0);
+    }
+    // predict(1) drift gate (ratio, see the comment at the measurement).
+    constexpr double kPredictVsObserveBudget = 2.0;
+    if (predict1_p50 > kPredictVsObserveBudget * observe_p50) {
+      std::fprintf(stderr,
+                   "strict: predict(1) p50 %.1f ns is more than %.1fx the "
+                   "observe p50 %.1f ns\n",
+                   predict1_p50, kPredictVsObserveBudget, observe_p50);
+      return 1;
+    }
     std::printf(
         "strict: steady-state hot paths allocation-free, journaled "
-        "overhead %+.1f%% within budget\n",
-        (journaled.ratio - 1.0) * 100.0);
+        "overhead %+.1f%% (margin %.1f%% to the %.0f%% budget), "
+        "predict(1)/observe ratio %.2f within %.1fx\n",
+        journaled_overhead * 100.0,
+        (kJournaledOverheadBudget - journaled_overhead) * 100.0,
+        kJournaledOverheadBudget * 100.0,
+        observe_p50 > 0.0 ? predict1_p50 / observe_p50 : 0.0,
+        kPredictVsObserveBudget);
   }
   return 0;
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the benchmark-regression harnesses, leaving
-# BENCH_core.json, BENCH_mt.json and BENCH_serve.json at the repo root. Extra flags are
-# forwarded to both binaries, e.g.:
+# BENCH_core.json, BENCH_mt.json, BENCH_serve.json and BENCH_compiled.json
+# at the repo root. Extra flags are forwarded to every binary, e.g.:
 #
 #   bench/run_regress.sh --strict          # fail on steady-state allocs,
-#                                          # journaled overhead > 15%, or
+#                                          # journaled overhead > 15%,
+#                                          # compiled-engine gate misses, or
 #                                          # (multi-core hosts) < 3x engine
 #                                          # scaling at 4 threads
 #   PYTHIA_BENCH_SCALE=0.2 bench/run_regress.sh
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target regress scaling serve >/dev/null
+cmake --build "$BUILD_DIR" -j --target regress scaling serve compiled >/dev/null
 
 # Write via a temp file + atomic rename so an interrupted or failing run
 # never leaves a torn report behind.
@@ -44,4 +45,12 @@ trap 'rm -f "$SERVE_TMP"' EXIT
 
 "$BUILD_DIR/bench/serve" --out="$SERVE_TMP" "$@"
 mv -f "$SERVE_TMP" "$SERVE_OUT"
+trap - EXIT
+
+COMPILED_OUT=BENCH_compiled.json
+COMPILED_TMP=$(mktemp "${COMPILED_OUT}.XXXXXX.tmp")
+trap 'rm -f "$COMPILED_TMP"' EXIT
+
+"$BUILD_DIR/bench/compiled" --out="$COMPILED_TMP" "$@"
+mv -f "$COMPILED_TMP" "$COMPILED_OUT"
 trap - EXIT

@@ -16,6 +16,10 @@
 //              breaker degrades the session; reports degraded counts
 //              (both client-observed and daemon-side).
 //
+// A fourth phase times registry cold start (time-to-servable) with the
+// zero-copy mmap path vs full deserialization on a big irregular trace;
+// bench/compiled carries the strict gate for that ratio.
+//
 // Wall-clock gates (--strict / PYTHIA_BENCH_STRICT) only arm on hosts
 // with >= 2 hardware threads: the daemon serves from its own thread, so
 // on a 1-core box every round trip pays a scheduler handoff and a
@@ -38,7 +42,9 @@
 #include "bench/bench_util.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/registry.hpp"
 #include "support/env.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -301,6 +307,53 @@ int main(int argc, char** argv) {
   std::printf("  diverge    %llu degraded replies\n",
               static_cast<unsigned long long>(degraded_replies));
 
+  // --- phase 4: registry cold start (mapped vs full load) ------------------
+  // Time-to-servable for a cold registry entry: the zero-copy path maps
+  // the compiled section in place; the full path deserializes every
+  // thread section. Same file, fresh single-entry registry each way. A
+  // big irregular trace makes the cost visible — tiny loop grammars load
+  // fast either way.
+  double cold_full_ns = -1.0;
+  double cold_mapped_ns = -1.0;
+  {
+    const std::string big_path = (dir / "big.pythia").string();
+    Trace big;
+    for (int k = 0; k < 24; ++k) {
+      big.registry.intern("k" + std::to_string(k));
+    }
+    Oracle recorder = Oracle::record(true);
+    support::Rng rng(0xC01D);
+    std::uint64_t now = 0;
+    const auto cold_events =
+        static_cast<std::size_t>(50000.0 * std::max(0.2, scale));
+    for (std::size_t i = 0; i < cold_events; ++i) {
+      recorder.event(static_cast<TerminalId>(rng.below(24)), now += 1000);
+    }
+    big.threads.push_back(recorder.finish());
+    if (big.try_save(big_path).ok()) {
+      for (int rep = 0; rep < std::max(reps, 2); ++rep) {
+        for (const bool mapped : {false, true}) {
+          serve::RegistryOptions options;
+          options.prefer_mapped = mapped;
+          serve::TraceRegistry registry(options);
+          if (!registry.add("big", big_path).ok()) break;
+          const auto t0 = Clock::now();
+          auto snapshot = registry.acquire("big");
+          const double ns = elapsed_s(t0, Clock::now()) * 1e9;
+          if (!snapshot.ok()) break;
+          double& best_ns = mapped ? cold_mapped_ns : cold_full_ns;
+          if (best_ns < 0.0 || ns < best_ns) best_ns = ns;
+        }
+      }
+    }
+  }
+  const double cold_speedup =
+      (cold_full_ns > 0.0 && cold_mapped_ns > 0.0)
+          ? cold_full_ns / cold_mapped_ns
+          : 0.0;
+  std::printf("  cold start full %8.0f ns   mapped %8.0f ns   (%.1fx)\n",
+              cold_full_ns, cold_mapped_ns, cold_speedup);
+
   serve::StatsAckMsg server_stats;
   {
     auto* client = connect_client("stats");
@@ -337,6 +390,11 @@ int main(int argc, char** argv) {
       .end_object();
   json.begin_object("diverge")
       .field("degraded_replies", degraded_replies)
+      .end_object();
+  json.begin_object("cold_start")
+      .field("full_load_ns", cold_full_ns)
+      .field("mapped_load_ns", cold_mapped_ns)
+      .field("speedup", cold_speedup)
       .end_object();
   json.begin_object("daemon")
       .field("frames", server_stats.frames)

@@ -101,7 +101,7 @@ int main() {
     stencil_program(mpi, kIterations);
 
     if (comm.rank() == 0) {
-      const auto& stats = oracle.predictor()->stats();
+      const auto& stats = oracle.predictor_stats();
       std::lock_guard lock(print_mutex);
       std::printf(
           "\nrank 0 tracking: %llu events, %llu advanced, %llu re-anchored\n",

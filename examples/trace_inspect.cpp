@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/compile.hpp"
 #include "core/journal.hpp"
 #include "core/oracle.hpp"
 #include "core/session.hpp"
@@ -100,6 +101,30 @@ void print_thread(const Trace& trace, std::size_t index) {
   // tests assert on it.
   std::printf("  digest:            %016llx\n",
               static_cast<unsigned long long>(thread_section_digest(thread)));
+  if (thread.compiled.valid()) {
+    const CompiledHeader& header = thread.compiled.header();
+    std::printf("  compiled:          %llu bytes (checksums OK): "
+                "%u nodes, %u rules, %u terminals, k<=%u%s\n",
+                static_cast<unsigned long long>(header.blob_bytes),
+                header.node_count, header.rule_count, header.terminal_count,
+                header.k_max,
+                thread.compiled.has_timing() ? ", timing" : "");
+    std::printf("  compiled tables:   ");
+    static const char* const kTableNames[kCompiledTableCount] = {
+        "nodes", "tails", "rules", "occ_spans", "occ_nodes",
+        "users", "expansions", "timing", "anchor_pred"};
+    for (std::uint32_t t = 0; t < kCompiledTableCount; ++t) {
+      std::printf("%s%s %llu B", t == 0 ? "" : ", ", kTableNames[t],
+                  static_cast<unsigned long long>(header.tables[t].bytes));
+    }
+    std::printf("\n");
+  } else if (index < trace.compiled_status.size() &&
+             !trace.compiled_status[index].ok()) {
+    std::printf("  compiled:          DROPPED (%s) — serving interpreted\n",
+                trace.compiled_status[index].to_string().c_str());
+  } else {
+    std::printf("  compiled:          none (interpreted serving only)\n");
+  }
   std::printf("\n%s\n", grammar.to_text(&trace.registry).c_str());
 }
 

@@ -1,0 +1,677 @@
+#include "core/compile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "core/predictor.hpp"
+#include "support/assert.hpp"
+#include "support/crc32.hpp"
+
+namespace pythia {
+
+namespace {
+
+constexpr std::uint64_t kU64Max = ~0ull;
+constexpr std::uint32_t kMaxTableEntries = 1u << 28;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kU64Max - b ? kU64Max : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kU64Max / b ? kU64Max : a * b;
+}
+
+/// Appends up to kCompiledMaxK terminals of `count` unfoldings of the
+/// sequence `terms[0..len)` (itself `unfold_len` terminals long per
+/// unfolding; terms holds its first min(unfold_len, k_max)) to `out`.
+void append_first_terms(const std::uint32_t* terms, std::uint32_t terms_len,
+                        std::uint64_t unfold_len, std::uint64_t count,
+                        std::uint32_t* out, std::uint32_t& out_len) {
+  for (std::uint64_t rep = 0; rep < count && out_len < kCompiledMaxK; ++rep) {
+    for (std::uint32_t i = 0; i < terms_len && out_len < kCompiledMaxK; ++i) {
+      out[out_len++] = terms[i];
+    }
+    // When one unfolding is longer than the table, the table is already
+    // full (terms_len == kCompiledMaxK) and the loop above exited.
+    if (unfold_len > terms_len) break;
+  }
+}
+
+}  // namespace
+
+std::vector<unsigned char> compile_thread(const Grammar& grammar,
+                                          const TimingModel* timing,
+                                          std::uint64_t grammar_digest,
+                                          const CompileOptions& options) {
+  if (!grammar.finalized() || grammar.sequence_length() == 0) return {};
+  const std::vector<const Rule*> live = grammar.rules();
+  if (live.empty() || live.front()->id != 0) return {};
+  const std::size_t node_count = grammar.node_count();
+  if (node_count == 0 || node_count > kMaxTableEntries ||
+      live.size() > kMaxTableEntries) {
+    return {};
+  }
+
+  // Dense rule indices in creation order (root == 0), matching the
+  // PYTHIA02 grammar serialization's remap — a grammar reloaded from the
+  // same file reproduces these indices exactly.
+  std::unordered_map<std::uint32_t, std::uint32_t> rule_index;
+  rule_index.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    rule_index[live[i]->id] = static_cast<std::uint32_t>(i);
+  }
+
+  // --- node table ---------------------------------------------------------
+  std::vector<CompiledNode> nodes(node_count);
+  std::uint32_t max_terminal = 0;
+  bool any_terminal = false;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Node* node = grammar.node_by_stable_id(
+        static_cast<std::uint32_t>(i));
+    CompiledNode out{};
+    out.sym_raw = node->sym.raw();
+    if (node->sym.is_rule()) {
+      // Rewrite rule references to dense indices inside the symbol.
+      out.sym_raw = Symbol::rule(rule_index.at(node->sym.rule_id())).raw();
+    } else {
+      max_terminal = std::max(max_terminal, node->sym.terminal_id());
+      any_terminal = true;
+    }
+    out.next = node->next != nullptr ? node->next->stable_id
+                                     : kCompiledInvalid;
+    out.owner_rule = rule_index.at(node->owner->id);
+    out.exp = node->exp;
+    nodes[i] = out;
+  }
+  if (!any_terminal) return {};
+  const std::uint32_t terminal_count = max_terminal + 1;
+  if (terminal_count > kMaxTableEntries) return {};
+
+  // --- topological order of rules by body reference (children first) -----
+  const std::uint32_t rule_count = static_cast<std::uint32_t>(live.size());
+  std::vector<std::uint32_t> topo;
+  topo.reserve(rule_count);
+  {
+    std::vector<int> state(rule_count, 0);
+    std::vector<std::pair<std::uint32_t, const Node*>> stack;
+    for (std::uint32_t r = 0; r < rule_count; ++r) {
+      if (state[r] != 0) continue;
+      state[r] = 1;
+      stack.push_back({r, live[r]->head});
+      while (!stack.empty()) {
+        auto& [rule, node] = stack.back();
+        const Node* ref = nullptr;
+        while (node != nullptr) {
+          if (node->sym.is_rule()) {
+            const std::uint32_t sub = rule_index.at(node->sym.rule_id());
+            if (state[sub] == 0) {
+              ref = node;
+              state[sub] = 1;
+              node = node->next;
+              stack.push_back({sub, live[sub]->head});
+              break;
+            }
+            PYTHIA_ASSERT_MSG(state[sub] == 2, "cycle in rule references");
+          }
+          node = node->next;
+        }
+        if (ref != nullptr) continue;
+        state[rule] = 2;
+        topo.push_back(rule);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // --- per-rule expansion lengths and first-k terminals -------------------
+  std::vector<std::uint64_t> rule_len(rule_count, 0);
+  std::vector<std::array<std::uint32_t, kCompiledMaxK>> rule_head_terms(
+      rule_count);
+  std::vector<std::uint32_t> rule_head_len(rule_count, 0);
+  for (const std::uint32_t r : topo) {
+    std::uint64_t len = 0;
+    std::uint32_t head_len = 0;
+    std::array<std::uint32_t, kCompiledMaxK>& head = rule_head_terms[r];
+    for (const Node* node = live[r]->head; node != nullptr;
+         node = node->next) {
+      if (node->sym.is_terminal()) {
+        len = sat_add(len, node->exp);
+        const std::uint32_t term = node->sym.terminal_id();
+        append_first_terms(&term, 1, 1, node->exp, head.data(), head_len);
+      } else {
+        const std::uint32_t sub = rule_index.at(node->sym.rule_id());
+        len = sat_add(len, sat_mul(node->exp, rule_len[sub]));
+        append_first_terms(rule_head_terms[sub].data(), rule_head_len[sub],
+                           rule_len[sub], node->exp, head.data(), head_len);
+      }
+    }
+    PYTHIA_ASSERT(len >= 1);
+    rule_len[r] = len;
+    rule_head_len[r] = head_len;
+  }
+
+  // --- per-node tails -----------------------------------------------------
+  std::vector<CompiledNodeTail> tails(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Node* node =
+        grammar.node_by_stable_id(static_cast<std::uint32_t>(i));
+    CompiledNodeTail tail{};
+    for (const Node* s = node->next;
+         s != nullptr && tail.len < kCompiledMaxK; s = s->next) {
+      if (s->sym.is_terminal()) {
+        const std::uint32_t term = s->sym.terminal_id();
+        append_first_terms(&term, 1, 1, s->exp, tail.terms, tail.len);
+      } else {
+        const std::uint32_t sub = rule_index.at(s->sym.rule_id());
+        append_first_terms(rule_head_terms[sub].data(), rule_head_len[sub],
+                           rule_len[sub], s->exp, tail.terms, tail.len);
+      }
+    }
+    tails[i] = tail;
+  }
+
+  // --- flat expansion pool (children-first, so sub-rules flatten first) ---
+  std::vector<std::uint32_t> expansions;
+  std::vector<std::uint32_t> flat_index(rule_count, kCompiledInvalid);
+  for (const std::uint32_t r : topo) {
+    const std::uint64_t len = rule_len[r];
+    if (len > options.max_flat_expansion ||
+        expansions.size() + len > options.max_flat_pool) {
+      continue;
+    }
+    const std::size_t start = expansions.size();
+    bool ok = true;
+    for (const Node* node = live[r]->head; node != nullptr && ok;
+         node = node->next) {
+      if (node->sym.is_terminal()) {
+        expansions.insert(expansions.end(),
+                          static_cast<std::size_t>(node->exp),
+                          node->sym.terminal_id());
+      } else {
+        const std::uint32_t sub = rule_index.at(node->sym.rule_id());
+        if (flat_index[sub] == kCompiledInvalid) {
+          // A sub-rule over the flat cap makes this rule non-flat too
+          // (its length would be over the cap as well; the pool-budget
+          // case is the one that actually lands here).
+          ok = false;
+          break;
+        }
+        for (std::uint64_t rep = 0; rep < node->exp; ++rep) {
+          expansions.insert(
+              expansions.end(), expansions.begin() + flat_index[sub],
+              expansions.begin() + flat_index[sub] + rule_len[sub]);
+        }
+      }
+    }
+    if (ok) {
+      flat_index[r] = static_cast<std::uint32_t>(start);
+      PYTHIA_ASSERT(expansions.size() - start == len);
+    } else {
+      expansions.resize(start);
+    }
+  }
+  if (expansions.size() > kMaxTableEntries) return {};
+
+  // --- rule table + canonical user lists ----------------------------------
+  std::vector<CompiledRule> rules(rule_count);
+  std::vector<std::uint32_t> users;
+  for (std::uint32_t r = 0; r < rule_count; ++r) {
+    CompiledRule out{};
+    PYTHIA_ASSERT(live[r]->head != nullptr);
+    out.head = live[r]->head->stable_id;
+    out.users_start = static_cast<std::uint32_t>(users.size());
+    out.users_count = static_cast<std::uint32_t>(live[r]->users.size());
+    for (const Node* user : live[r]->users) {
+      users.push_back(user->stable_id);
+    }
+    out.flat_index = flat_index[r];
+    out.occurrences = live[r]->occurrences;
+    out.exp_len = rule_len[r];
+    std::copy(rule_head_terms[r].begin(), rule_head_terms[r].end(),
+              out.head_terms);
+    out.head_len = rule_head_len[r];
+    rules[r] = out;
+  }
+
+  // --- occurrence spans (prefix-summed counting sort, stable-id order) ----
+  std::vector<CompiledOccSpan> occ_spans(terminal_count);
+  std::vector<std::uint32_t> occ_nodes;
+  for (const CompiledNode& node : nodes) {
+    const Symbol sym = Symbol::from_raw(node.sym_raw);
+    if (sym.is_terminal()) ++occ_spans[sym.terminal_id()].count;
+  }
+  std::uint32_t offset = 0;
+  for (CompiledOccSpan& span : occ_spans) {
+    span.start = offset;
+    offset += span.count;
+    span.count = 0;  // reused as fill cursor
+  }
+  occ_nodes.resize(offset);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const Symbol sym = Symbol::from_raw(nodes[i].sym_raw);
+    if (!sym.is_terminal()) continue;
+    CompiledOccSpan& span = occ_spans[sym.terminal_id()];
+    occ_nodes[span.start + span.count++] = i;
+    span.total = sat_add(
+        span.total,
+        sat_mul(nodes[i].exp, rules[nodes[i].owner_rule].occurrences));
+  }
+
+  // --- timing table (sorted by key; global follows load semantics) --------
+  std::vector<CompiledTimingEntry> timing_entries;
+  double timing_global_sum = 0.0;
+  std::uint64_t timing_global_count = 0;
+  const bool has_timing = timing != nullptr && !timing->empty();
+  if (has_timing) {
+    timing_entries.reserve(timing->contexts().size());
+    for (const auto& [key, stat] : timing->contexts()) {
+      timing_entries.push_back({key, stat.sum_ns, stat.count});
+    }
+    std::sort(timing_entries.begin(), timing_entries.end(),
+              [](const CompiledTimingEntry& a, const CompiledTimingEntry& b) {
+                return a.key < b.key;
+              });
+    // Accumulate in sorted order so the blob bytes are deterministic
+    // (floating-point addition is order-sensitive; the map order is not).
+    for (const CompiledTimingEntry& entry : timing_entries) {
+      timing_global_sum += entry.sum_ns;
+      timing_global_count += entry.count;
+    }
+  }
+
+  // --- anchor-prediction table --------------------------------------------
+  // predict(k) right after anchoring on t is a pure function of the
+  // grammar and the predictor caps: run the interpreted predictor once
+  // per occurring terminal at compile time and bake the answers in.
+  std::vector<CompiledAnchorPred> anchor_pred(
+      static_cast<std::size_t>(terminal_count) * kCompiledMaxK,
+      CompiledAnchorPred{kCompiledInvalid, 0, 0.0});
+  {
+    Predictor::Options popts;
+    popts.max_candidates = options.max_candidates;
+    popts.max_anchor_paths = options.max_anchor_paths;
+    for (std::uint32_t t = 0; t < terminal_count; ++t) {
+      if (occ_spans[t].count == 0) continue;
+      Predictor predictor(grammar, nullptr, popts);
+      predictor.observe(t);
+      for (std::uint32_t k = 1; k <= kCompiledMaxK; ++k) {
+        const std::optional<Prediction> p = predictor.predict(k);
+        if (p.has_value()) {
+          anchor_pred[static_cast<std::size_t>(t) * kCompiledMaxK + k - 1] =
+              {p->event, 0, p->probability};
+        }
+      }
+    }
+  }
+
+  // --- assemble the blob --------------------------------------------------
+  const std::uint64_t table_bytes[kCompiledTableCount] = {
+      nodes.size() * sizeof(CompiledNode),
+      tails.size() * sizeof(CompiledNodeTail),
+      rules.size() * sizeof(CompiledRule),
+      occ_spans.size() * sizeof(CompiledOccSpan),
+      occ_nodes.size() * sizeof(std::uint32_t),
+      users.size() * sizeof(std::uint32_t),
+      expansions.size() * sizeof(std::uint32_t),
+      24 + timing_entries.size() * sizeof(CompiledTimingEntry),
+      anchor_pred.size() * sizeof(CompiledAnchorPred),
+  };
+
+  CompiledHeader header{};
+  std::memcpy(header.magic, kCompiledMagic, sizeof header.magic);
+  header.header_bytes = sizeof(CompiledHeader);
+  header.k_max = kCompiledMaxK;
+  header.node_count = static_cast<std::uint32_t>(node_count);
+  header.rule_count = rule_count;
+  header.terminal_count = terminal_count;
+  header.max_candidates = static_cast<std::uint32_t>(options.max_candidates);
+  header.max_anchor_paths =
+      static_cast<std::uint32_t>(options.max_anchor_paths);
+  header.flags = has_timing ? kCompiledFlagTiming : 0;
+  header.sequence_length = grammar.sequence_length();
+  header.grammar_digest = grammar_digest;
+
+  std::uint64_t cursor = sizeof(CompiledHeader);
+  for (std::uint32_t i = 0; i < kCompiledTableCount; ++i) {
+    cursor = (cursor + 63) & ~63ull;  // 64-byte aligned table starts
+    header.tables[i].offset = cursor;
+    header.tables[i].bytes = table_bytes[i];
+    cursor += table_bytes[i];
+  }
+  header.blob_bytes = cursor;
+  static constexpr std::uint32_t kEntrySizes[kCompiledTableCount] = {
+      sizeof(CompiledNode),   sizeof(CompiledNodeTail), sizeof(CompiledRule),
+      sizeof(CompiledOccSpan), 4, 4, 4, sizeof(CompiledTimingEntry),
+      sizeof(CompiledAnchorPred)};
+  for (std::uint32_t i = 0; i < kCompiledTableCount; ++i) {
+    header.tables[i].entry_size = kEntrySizes[i];
+  }
+
+  std::vector<unsigned char> blob(cursor, 0);
+  auto fill = [&](std::uint32_t table, const void* data, std::size_t bytes) {
+    if (bytes > 0) {
+      std::memcpy(blob.data() + header.tables[table].offset, data, bytes);
+    }
+  };
+  fill(kTableNodes, nodes.data(), table_bytes[kTableNodes]);
+  fill(kTableTails, tails.data(), table_bytes[kTableTails]);
+  fill(kTableRules, rules.data(), table_bytes[kTableRules]);
+  fill(kTableOccSpans, occ_spans.data(), table_bytes[kTableOccSpans]);
+  fill(kTableOccNodes, occ_nodes.data(), table_bytes[kTableOccNodes]);
+  fill(kTableUsers, users.data(), table_bytes[kTableUsers]);
+  fill(kTableExpansions, expansions.data(), table_bytes[kTableExpansions]);
+  {
+    unsigned char* timing_out =
+        blob.data() + header.tables[kTableTiming].offset;
+    const std::uint64_t count = timing_entries.size();
+    std::memcpy(timing_out, &count, 8);
+    std::memcpy(timing_out + 8, &timing_global_sum, 8);
+    std::memcpy(timing_out + 16, &timing_global_count, 8);
+    if (!timing_entries.empty()) {
+      std::memcpy(timing_out + 24, timing_entries.data(),
+                  timing_entries.size() * sizeof(CompiledTimingEntry));
+    }
+  }
+  fill(kTableAnchorPred, anchor_pred.data(), table_bytes[kTableAnchorPred]);
+
+  for (std::uint32_t i = 0; i < kCompiledTableCount; ++i) {
+    header.tables[i].crc =
+        support::crc32(blob.data() + header.tables[i].offset,
+                       header.tables[i].bytes);
+  }
+  std::memcpy(blob.data(), &header, sizeof header);
+  return blob;
+}
+
+// --- validation ------------------------------------------------------------
+
+bool CompiledView::timing_lookup(std::uint64_t key, double& mean_ns) const {
+  const CompiledTimingEntry* end = timing_ + timing_count_;
+  const CompiledTimingEntry* it = std::lower_bound(
+      timing_, end, key,
+      [](const CompiledTimingEntry& e, std::uint64_t k) { return e.key < k; });
+  if (it == end || it->key != key) return false;
+  mean_ns = it->count > 0 ? it->sum_ns / static_cast<double>(it->count) : 0.0;
+  return true;
+}
+
+Result<CompiledView> CompiledView::parse(const unsigned char* data,
+                                         std::size_t size,
+                                         const ParseOptions& options) {
+  auto corrupt = [](const char* what) {
+    return Status::corrupt(std::string("compiled section: ") + what);
+  };
+  if (data == nullptr ||
+      (reinterpret_cast<std::uintptr_t>(data) & 7u) != 0) {
+    return corrupt("misaligned blob");
+  }
+  if (size < sizeof(CompiledHeader)) return corrupt("truncated header");
+
+  CompiledHeader header;
+  std::memcpy(&header, data, sizeof header);
+  if (std::memcmp(header.magic, kCompiledMagic, sizeof header.magic) != 0) {
+    return corrupt("bad magic");
+  }
+  if (header.header_bytes != sizeof(CompiledHeader)) {
+    return corrupt("header size");
+  }
+  if (header.k_max != kCompiledMaxK) return corrupt("k_max");
+  if (header.blob_bytes != size) return corrupt("blob size");
+  if (header.node_count == 0 || header.node_count > kMaxTableEntries ||
+      header.rule_count == 0 || header.rule_count > kMaxTableEntries ||
+      header.terminal_count == 0 ||
+      header.terminal_count > kMaxTableEntries) {
+    return corrupt("table counts");
+  }
+  if (header.sequence_length == 0) return corrupt("sequence length");
+
+  static constexpr std::uint32_t kEntrySizes[kCompiledTableCount] = {
+      sizeof(CompiledNode),   sizeof(CompiledNodeTail), sizeof(CompiledRule),
+      sizeof(CompiledOccSpan), 4, 4, 4, sizeof(CompiledTimingEntry),
+      sizeof(CompiledAnchorPred)};
+  for (std::uint32_t i = 0; i < kCompiledTableCount; ++i) {
+    const CompiledTableDesc& desc = header.tables[i];
+    if (desc.entry_size != kEntrySizes[i]) return corrupt("entry size");
+    if ((desc.offset & 7u) != 0 || desc.offset > size ||
+        desc.bytes > size - desc.offset) {
+      return corrupt("table bounds");
+    }
+  }
+  const CompiledTableDesc* tables = header.tables;
+  const std::uint64_t n = header.node_count;
+  const std::uint64_t r = header.rule_count;
+  const std::uint64_t t = header.terminal_count;
+  if (tables[kTableNodes].bytes != n * sizeof(CompiledNode) ||
+      tables[kTableTails].bytes != n * sizeof(CompiledNodeTail) ||
+      tables[kTableRules].bytes != r * sizeof(CompiledRule) ||
+      tables[kTableOccSpans].bytes != t * sizeof(CompiledOccSpan) ||
+      (tables[kTableOccNodes].bytes & 3u) != 0 ||
+      (tables[kTableUsers].bytes & 3u) != 0 ||
+      (tables[kTableExpansions].bytes & 3u) != 0 ||
+      tables[kTableTiming].bytes < 24 ||
+      ((tables[kTableTiming].bytes - 24) % sizeof(CompiledTimingEntry)) != 0 ||
+      tables[kTableAnchorPred].bytes !=
+          t * kCompiledMaxK * sizeof(CompiledAnchorPred)) {
+    return corrupt("table sizes");
+  }
+
+  if (options.verify_checksums) {
+    for (std::uint32_t i = 0; i < kCompiledTableCount; ++i) {
+      if (support::crc32(data + tables[i].offset, tables[i].bytes) !=
+          tables[i].crc) {
+        return corrupt("table checksum");
+      }
+    }
+  }
+
+  CompiledView view;
+  view.data_ = data;
+  view.size_ = size;
+  view.nodes_ = reinterpret_cast<const CompiledNode*>(
+      data + tables[kTableNodes].offset);
+  view.tails_ = reinterpret_cast<const CompiledNodeTail*>(
+      data + tables[kTableTails].offset);
+  view.rules_ = reinterpret_cast<const CompiledRule*>(
+      data + tables[kTableRules].offset);
+  view.occ_spans_ = reinterpret_cast<const CompiledOccSpan*>(
+      data + tables[kTableOccSpans].offset);
+  view.occ_nodes_ = reinterpret_cast<const std::uint32_t*>(
+      data + tables[kTableOccNodes].offset);
+  view.users_ = reinterpret_cast<const std::uint32_t*>(
+      data + tables[kTableUsers].offset);
+  view.expansions_ = reinterpret_cast<const std::uint32_t*>(
+      data + tables[kTableExpansions].offset);
+  const unsigned char* timing_raw = data + tables[kTableTiming].offset;
+  std::memcpy(&view.timing_count_, timing_raw, 8);
+  std::memcpy(&view.timing_global_sum_, timing_raw + 8, 8);
+  std::memcpy(&view.timing_global_count_, timing_raw + 16, 8);
+  view.timing_ =
+      reinterpret_cast<const CompiledTimingEntry*>(timing_raw + 24);
+  if (view.timing_count_ !=
+      (tables[kTableTiming].bytes - 24) / sizeof(CompiledTimingEntry)) {
+    return corrupt("timing count");
+  }
+  view.anchor_pred_ = reinterpret_cast<const CompiledAnchorPred*>(
+      data + tables[kTableAnchorPred].offset);
+
+  const std::uint64_t occ_count = tables[kTableOccNodes].bytes / 4;
+  const std::uint64_t users_count = tables[kTableUsers].bytes / 4;
+  const std::uint64_t pool_count = tables[kTableExpansions].bytes / 4;
+
+  // Structural validation: after this pass every index stored in any
+  // table is known in-range and the rule graph is known acyclic, so the
+  // predictor can walk the tables without per-access checks.
+  std::vector<std::uint32_t> term_refs(t, 0);
+  std::vector<std::uint32_t> rule_refs(r, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const CompiledNode& node = view.nodes_[i];
+    if (node.exp == 0) return corrupt("node exponent");
+    const Symbol sym = Symbol::from_raw(node.sym_raw);
+    if (sym.is_terminal()) {
+      if (sym.terminal_id() >= t) return corrupt("node terminal");
+      ++term_refs[sym.terminal_id()];
+    } else {
+      if (sym.rule_id() >= r) return corrupt("node rule ref");
+      ++rule_refs[sym.rule_id()];
+    }
+    if (node.next != kCompiledInvalid && node.next >= n) {
+      return corrupt("node next");
+    }
+    if (node.owner_rule >= r) return corrupt("node owner");
+    const CompiledNodeTail& tail = view.tails_[i];
+    if (tail.len > kCompiledMaxK) return corrupt("tail length");
+    for (std::uint32_t k = 0; k < tail.len; ++k) {
+      if (tail.terms[k] >= t) return corrupt("tail term");
+    }
+  }
+
+  // Body chains: every node appears in exactly one rule's head->next
+  // walk, owned by that rule (also rejects next-pointer cycles).
+  std::vector<std::uint8_t> chained(n, 0);
+  std::uint64_t chained_total = 0;
+  for (std::uint64_t ri = 0; ri < r; ++ri) {
+    const CompiledRule& rule = view.rules_[ri];
+    if (rule.head >= n) return corrupt("rule head");
+    std::uint32_t id = rule.head;
+    while (id != kCompiledInvalid) {
+      if (chained[id]) return corrupt("body chain");
+      if (view.nodes_[id].owner_rule != ri) return corrupt("body owner");
+      chained[id] = 1;
+      ++chained_total;
+      id = view.nodes_[id].next;
+    }
+    if (rule.occurrences == 0) return corrupt("rule occurrences");
+    if (rule.exp_len == 0) return corrupt("rule length");
+    const std::uint32_t expect_head_len =
+        rule.exp_len < kCompiledMaxK
+            ? static_cast<std::uint32_t>(rule.exp_len)
+            : kCompiledMaxK;
+    if (rule.head_len != expect_head_len) return corrupt("rule head terms");
+    for (std::uint32_t k = 0; k < rule.head_len; ++k) {
+      if (rule.head_terms[k] >= t) return corrupt("rule head term");
+    }
+    if (static_cast<std::uint64_t>(rule.users_start) + rule.users_count >
+        users_count) {
+      return corrupt("user span");
+    }
+    if (rule.flat_index != kCompiledInvalid &&
+        (rule.exp_len > pool_count ||
+         rule.flat_index > pool_count - rule.exp_len)) {
+      return corrupt("flat span");
+    }
+  }
+  if (chained_total != n) return corrupt("orphan nodes");
+
+  // User lists: each rule's span must list exactly the nodes that
+  // reference it, each node once (a partition of the rule-ref nodes).
+  std::vector<std::uint8_t> user_seen(n, 0);
+  for (std::uint64_t ri = 0; ri < r; ++ri) {
+    const CompiledRule& rule = view.rules_[ri];
+    if (rule.users_count != rule_refs[ri]) return corrupt("user count");
+    for (std::uint32_t u = 0; u < rule.users_count; ++u) {
+      const std::uint32_t id = view.users_[rule.users_start + u];
+      if (id >= n || user_seen[id]) return corrupt("user entry");
+      const Symbol sym = Symbol::from_raw(view.nodes_[id].sym_raw);
+      if (!sym.is_rule() || sym.rule_id() != ri) return corrupt("user sym");
+      user_seen[id] = 1;
+    }
+  }
+
+  // Rule references must be acyclic, or anchoring/emission would not
+  // terminate. Iterative coloring over the body-reference graph.
+  {
+    std::vector<std::uint8_t> state(r, 0);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+    for (std::uint32_t start = 0; start < r; ++start) {
+      if (state[start] != 0) continue;
+      state[start] = 1;
+      stack.push_back({start, view.rules_[start].head});
+      while (!stack.empty()) {
+        auto& [ri, id] = stack.back();
+        bool descended = false;
+        while (id != kCompiledInvalid) {
+          const Symbol sym = Symbol::from_raw(view.nodes_[id].sym_raw);
+          const std::uint32_t next = view.nodes_[id].next;
+          if (sym.is_rule()) {
+            const std::uint32_t sub = sym.rule_id();
+            if (state[sub] == 1) return corrupt("rule cycle");
+            if (state[sub] == 0) {
+              state[sub] = 1;
+              id = next;
+              stack.push_back({sub, view.rules_[sub].head});
+              descended = true;
+              break;
+            }
+          }
+          id = next;
+        }
+        if (descended) continue;
+        state[ri] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Occurrence spans: a partition of the terminal nodes, grouped by
+  // terminal, with totals matching the node/rule tables.
+  std::vector<std::uint8_t> occ_seen(n, 0);
+  for (std::uint64_t ti = 0; ti < t; ++ti) {
+    const CompiledOccSpan& span = view.occ_spans_[ti];
+    if (static_cast<std::uint64_t>(span.start) + span.count > occ_count) {
+      return corrupt("occurrence span");
+    }
+    if (span.count != term_refs[ti]) return corrupt("occurrence count");
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < span.count; ++i) {
+      const std::uint32_t id = view.occ_nodes_[span.start + i];
+      if (id >= n || occ_seen[id]) return corrupt("occurrence entry");
+      const CompiledNode& node = view.nodes_[id];
+      const Symbol sym = Symbol::from_raw(node.sym_raw);
+      if (!sym.is_terminal() || sym.terminal_id() != ti) {
+        return corrupt("occurrence sym");
+      }
+      occ_seen[id] = 1;
+      total = sat_add(
+          total,
+          sat_mul(node.exp, view.rules_[node.owner_rule].occurrences));
+    }
+    if (span.total != total) return corrupt("occurrence total");
+  }
+
+  for (std::uint64_t i = 0; i < pool_count; ++i) {
+    if (view.expansions_[i] >= t) return corrupt("expansion term");
+  }
+
+  for (std::uint64_t i = 0; i < view.timing_count_; ++i) {
+    const CompiledTimingEntry& entry = view.timing_[i];
+    if (i > 0 && view.timing_[i - 1].key >= entry.key) {
+      return corrupt("timing order");
+    }
+    if (entry.count == 0 || !std::isfinite(entry.sum_ns)) {
+      return corrupt("timing entry");
+    }
+  }
+  if (!std::isfinite(view.timing_global_sum_)) {
+    return corrupt("timing global");
+  }
+
+  const std::uint64_t pred_count =
+      t * static_cast<std::uint64_t>(kCompiledMaxK);
+  for (std::uint64_t i = 0; i < pred_count; ++i) {
+    const CompiledAnchorPred& pred = view.anchor_pred_[i];
+    if (pred.event == kCompiledInvalid) continue;
+    if (pred.event >= t || !std::isfinite(pred.probability) ||
+        pred.probability < 0.0 || pred.probability > 1.0) {
+      return corrupt("anchor prediction");
+    }
+  }
+
+  return view;
+}
+
+}  // namespace pythia

@@ -1,0 +1,276 @@
+// Grammar compiler: lowers a finalized grammar (+ timing model) into a
+// pointer-free, offset-based, relocatable binary blob — the "compiled"
+// section of a PYTHIA02 trace file (ROADMAP item 1, following the
+// reachability-table construction of *Attention Meets Reachability*).
+//
+// The blob is proportional to the *grammar*, not the trace, and contains
+// everything CompiledPredictor needs to answer queries from flat array
+// lookups, with no pointer chasing and no deserialization:
+//
+//   * a node table indexed by stable node id (symbol, exponent, next
+//     sibling, owning rule) — the whole rule graph as offsets;
+//   * per-node k-step successor tables (`tails`): the first k_max
+//     terminals that follow the node inside its owner's body;
+//   * per-rule expansion metadata: one-unfold length, the first k_max
+//     terminals of the unfolding, canonical user lists, and (for small
+//     rules) the fully flattened terminal expansion for predict_n;
+//   * per-terminal anchor lists as prefix-summed occurrence spans plus
+//     the precomputed reference-occurrence totals;
+//   * an anchor-prediction table: for every terminal t and every
+//     k in 1..k_max, the prediction the interpreted Predictor returns
+//     right after anchoring on t (computed at compile time by running
+//     the interpreted predictor — predict-after-anchor is a pure
+//     function of the grammar);
+//   * the timing model as a sorted flat (suffix key, sum, count) array.
+//
+// Every table carries its own CRC32 (consistent with the per-section
+// salvage semantics of the PYTHIA02 format) and all offsets are relative
+// to the blob start, so the blob can be memory-mapped read-only straight
+// from the file and shared between processes. All multi-byte fields are
+// little-endian host layout with natural alignment; table offsets are
+// 64-byte aligned relative to the blob start, and the file writer pads
+// the blob start to a 64-byte file offset, so a page-aligned mmap yields
+// correctly aligned tables.
+//
+// CompiledView::parse validates structure exhaustively (bounds, body
+// chain consistency, rule-reference acyclicity) before any table is
+// trusted, so a corrupt or malicious blob degrades to "no compiled
+// section" — never to undefined behaviour. The loaders treat a failed
+// parse exactly like a missing section and fall back to the interpreted
+// predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/timing.hpp"
+#include "support/status.hpp"
+
+namespace pythia {
+
+/// Successor-table depth: predict(k) for k <= kCompiledMaxK resolves from
+/// the tables; larger distances fall back to the path-walk (still flat).
+inline constexpr std::uint32_t kCompiledMaxK = 8;
+
+/// Sentinel for "no node / no terminal / no entry" in u32 index fields.
+inline constexpr std::uint32_t kCompiledInvalid = 0xffffffffu;
+
+/// Table 0 entry, indexed by stable node id. 24 bytes.
+struct CompiledNode {
+  std::uint32_t sym_raw;     ///< Symbol::raw()
+  std::uint32_t next;        ///< stable id of the next sibling or invalid
+  std::uint32_t owner_rule;  ///< dense rule index (root == 0)
+  std::uint32_t pad;
+  std::uint64_t exp;         ///< repetition exponent, >= 1
+};
+static_assert(sizeof(CompiledNode) == 24);
+
+/// Table 1 entry, indexed by stable node id: the first kCompiledMaxK
+/// terminals that follow this node inside its owner's body (one unfold
+/// of the following siblings). len < kCompiledMaxK means the body truly
+/// ends within the table. 40 bytes.
+struct CompiledNodeTail {
+  std::uint32_t terms[kCompiledMaxK];
+  std::uint32_t len;
+  std::uint32_t pad;
+};
+static_assert(sizeof(CompiledNodeTail) == 40);
+
+/// Table 2 entry, indexed by dense rule index. 72 bytes.
+struct CompiledRule {
+  std::uint32_t head;         ///< stable id of the first body node
+  std::uint32_t users_start;  ///< span into the users table (canonical order)
+  std::uint32_t users_count;
+  std::uint32_t flat_index;   ///< span start into expansions, or invalid
+  std::uint64_t occurrences;  ///< times the body unfolds in the trace
+  std::uint64_t exp_len;      ///< terminals in one unfolding (saturating)
+  std::uint32_t head_terms[kCompiledMaxK];  ///< first terminals of one unfold
+  std::uint32_t head_len;     ///< min(exp_len, kCompiledMaxK)
+  std::uint32_t pad;
+};
+static_assert(sizeof(CompiledRule) == 72);
+
+/// Table 3 entry, indexed by terminal id: the terminal's occurrence nodes
+/// as a prefix-summed span into the occ-node table, plus the precomputed
+/// reference-occurrence total (sum of exp * owner occurrences). 16 bytes.
+struct CompiledOccSpan {
+  std::uint32_t start;
+  std::uint32_t count;
+  std::uint64_t total;
+};
+static_assert(sizeof(CompiledOccSpan) == 16);
+
+/// Table 7: sorted-by-key timing contexts; preceded by a 24-byte header
+/// (entry count, global sum, global count). The global stat follows
+/// *load* semantics (sum over all contexts), matching what a predictor
+/// over a deserialized TimingModel computes.
+struct CompiledTimingEntry {
+  std::uint64_t key;
+  double sum_ns;
+  std::uint64_t count;
+};
+static_assert(sizeof(CompiledTimingEntry) == 24);
+
+/// Table 8 entry: prediction after a fresh anchor on terminal t at
+/// distance k (row-major [terminal][k-1]). event == kCompiledInvalid
+/// encodes "interpreted predict returns nullopt". 16 bytes.
+struct CompiledAnchorPred {
+  std::uint32_t event;
+  std::uint32_t pad;
+  double probability;
+};
+static_assert(sizeof(CompiledAnchorPred) == 16);
+
+struct CompiledTableDesc {
+  std::uint64_t offset;    ///< from blob start; 64-byte aligned
+  std::uint64_t bytes;
+  std::uint32_t crc;       ///< CRC32 of the table bytes
+  std::uint32_t entry_size;
+};
+static_assert(sizeof(CompiledTableDesc) == 24);
+
+inline constexpr std::uint32_t kCompiledTableCount = 9;
+enum CompiledTable : std::uint32_t {
+  kTableNodes = 0,
+  kTableTails = 1,
+  kTableRules = 2,
+  kTableOccSpans = 3,
+  kTableOccNodes = 4,
+  kTableUsers = 5,
+  kTableExpansions = 6,
+  kTableTiming = 7,
+  kTableAnchorPred = 8,
+};
+
+inline constexpr char kCompiledMagic[8] = {'P', 'Y', 'C', 'G',
+                                           'R', 'M', '0', '1'};
+inline constexpr std::uint32_t kCompiledFlagTiming = 1u << 0;
+
+struct CompiledHeader {
+  char magic[8];
+  std::uint32_t header_bytes;     ///< sizeof(CompiledHeader)
+  std::uint32_t k_max;            ///< kCompiledMaxK
+  std::uint32_t node_count;
+  std::uint32_t rule_count;
+  std::uint32_t terminal_count;   ///< occ-span entries (max terminal + 1)
+  std::uint32_t max_candidates;   ///< predictor caps the anchor-prediction
+  std::uint32_t max_anchor_paths; ///< table was computed with
+  std::uint32_t flags;
+  std::uint64_t sequence_length;
+  std::uint64_t grammar_digest;   ///< thread_section_digest of the source
+  std::uint64_t blob_bytes;
+  CompiledTableDesc tables[kCompiledTableCount];
+};
+static_assert(sizeof(CompiledHeader) == 64 + 24 * kCompiledTableCount);
+
+struct CompileOptions {
+  /// Rules with a one-unfold expansion up to this long get their terminal
+  /// sequence stored flat (predict_n becomes memcpy for them).
+  std::uint64_t max_flat_expansion = 4096;
+  /// Total cap on the flat-expansion pool (keeps the artifact proportional
+  /// to the grammar even when many rules qualify).
+  std::uint64_t max_flat_pool = 1u << 20;
+  /// Predictor caps the anchor-prediction table is computed with; the
+  /// compiled predictor only uses the table when its own options match.
+  std::size_t max_candidates = 32;
+  std::size_t max_anchor_paths = 256;
+};
+
+/// Compiles a finalized grammar (+ optional timing model) into a blob.
+/// `grammar_digest` is the thread_section_digest of the source thread,
+/// stored for cross-checking at load. Returns an empty vector when the
+/// grammar is not compilable (unfinalized, empty, or over table limits) —
+/// callers then simply omit the compiled section.
+std::vector<unsigned char> compile_thread(const Grammar& grammar,
+                                          const TimingModel* timing,
+                                          std::uint64_t grammar_digest,
+                                          const CompileOptions& options = {});
+
+/// Non-owning, validated view over a compiled blob. Parse once, then all
+/// accessors are bounds-safe by construction (parse rejects any blob
+/// whose indices could escape their tables or whose rule graph cycles).
+class CompiledView {
+ public:
+  struct ParseOptions {
+    /// Verify the per-table CRC32s (linear in blob size). Off, only the
+    /// header and structural invariants are checked — the mmap "touch
+    /// only what you use" mode; on (default) is the safe loader mode.
+    bool verify_checksums = true;
+  };
+
+  CompiledView() = default;
+
+  /// `data` must be 8-byte aligned and hold exactly the blob.
+  static Result<CompiledView> parse(const unsigned char* data,
+                                    std::size_t size,
+                                    const ParseOptions& options);
+  static Result<CompiledView> parse(const unsigned char* data,
+                                    std::size_t size) {
+    return parse(data, size, ParseOptions{});
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  const CompiledHeader& header() const {
+    return *reinterpret_cast<const CompiledHeader*>(data_);
+  }
+  std::uint32_t node_count() const { return header().node_count; }
+  std::uint32_t rule_count() const { return header().rule_count; }
+  std::uint32_t terminal_count() const { return header().terminal_count; }
+  std::uint64_t sequence_length() const { return header().sequence_length; }
+  std::uint64_t grammar_digest() const { return header().grammar_digest; }
+  bool has_timing() const {
+    return (header().flags & kCompiledFlagTiming) != 0;
+  }
+
+  const CompiledNode& node(std::uint32_t id) const { return nodes_[id]; }
+  const CompiledNodeTail& tail(std::uint32_t id) const { return tails_[id]; }
+  const CompiledRule& rule(std::uint32_t index) const {
+    return rules_[index];
+  }
+
+  /// Occurrence span of a terminal; terminals past the table are absent
+  /// from the reference trace (empty span, total 0).
+  const CompiledOccSpan& occ_span(TerminalId event) const {
+    static constexpr CompiledOccSpan kEmpty{0, 0, 0};
+    return event < terminal_count() ? occ_spans_[event] : kEmpty;
+  }
+  const std::uint32_t* occ_nodes() const { return occ_nodes_; }
+  const std::uint32_t* users() const { return users_; }
+  const std::uint32_t* expansions() const { return expansions_; }
+
+  const CompiledTimingEntry* timing_begin() const { return timing_; }
+  std::uint64_t timing_count() const { return timing_count_; }
+  double timing_global_sum() const { return timing_global_sum_; }
+  std::uint64_t timing_global_count() const { return timing_global_count_; }
+  /// Mean of the timing context `key`, or false when absent (binary
+  /// search over the sorted table — the compiled TimingModel::expect_ns).
+  bool timing_lookup(std::uint64_t key, double& mean_ns) const;
+
+  const CompiledAnchorPred& anchor_pred(TerminalId event,
+                                        std::size_t distance) const {
+    return anchor_pred_[static_cast<std::size_t>(event) * kCompiledMaxK +
+                        (distance - 1)];
+  }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  const CompiledNode* nodes_ = nullptr;
+  const CompiledNodeTail* tails_ = nullptr;
+  const CompiledRule* rules_ = nullptr;
+  const CompiledOccSpan* occ_spans_ = nullptr;
+  const std::uint32_t* occ_nodes_ = nullptr;
+  const std::uint32_t* users_ = nullptr;
+  const std::uint32_t* expansions_ = nullptr;
+  const CompiledTimingEntry* timing_ = nullptr;
+  std::uint64_t timing_count_ = 0;
+  double timing_global_sum_ = 0.0;
+  std::uint64_t timing_global_count_ = 0;
+  const CompiledAnchorPred* anchor_pred_ = nullptr;
+};
+
+}  // namespace pythia

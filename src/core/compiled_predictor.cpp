@@ -1,0 +1,537 @@
+#include "core/compiled_predictor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace pythia {
+
+// --- CompiledPath -----------------------------------------------------------
+
+bool CompiledPath::advance(const CompiledView& view) {
+  PYTHIA_ASSERT(!elements_.empty());
+  std::size_t level = 0;
+  for (; level < elements_.size(); ++level) {
+    CompiledPathElement& element = elements_[level];
+    const CompiledNode& node = view.node(element.node);
+    if (element.rep + 1 < node.exp) {
+      ++element.rep;
+      break;
+    }
+    if (node.next != kCompiledInvalid) {
+      element = {node.next, 0};
+      break;
+    }
+  }
+  if (level == elements_.size()) {
+    elements_.clear();
+    return false;
+  }
+  elements_.erase_prefix(level);
+  while (true) {
+    const Symbol sym =
+        Symbol::from_raw(view.node(elements_.front().node).sym_raw);
+    if (sym.is_terminal()) break;
+    elements_.push_front({view.rule(sym.rule_id()).head, 0});
+  }
+  return true;
+}
+
+std::uint64_t CompiledPath::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const CompiledPathElement& element : elements_) {
+    h = support::hash_combine(h, element.node);
+    h = support::hash_combine(h, element.rep);
+  }
+  return h;
+}
+
+std::uint64_t CompiledPath::suffix_key(std::size_t levels) const {
+  PYTHIA_ASSERT(levels >= 1 && levels <= elements_.size());
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::size_t i = 0; i < levels; ++i) {
+    h = support::hash_combine(h, elements_[i].node);
+  }
+  return h;
+}
+
+namespace {
+
+using PathChain =
+    support::SmallVec<CompiledPathElement, CompiledPath::kInlineDepth>;
+
+// Mirror of progress.cpp's extend_upward: extends `chain` (terminal-first,
+// currently ending inside rule `owner`) upwards through every usage site
+// in canonical user order until the root (rule 0) is reached.
+void extend_upward(const CompiledView& view, std::uint32_t owner,
+                   PathChain& chain, std::size_t limit,
+                   std::vector<CompiledPath>& out) {
+  if (out.size() >= limit) return;
+  if (owner == 0) {
+    out.emplace_back();
+    out.back().elements_.assign(chain.data(), chain.size());
+    return;
+  }
+  const CompiledRule& rule = view.rule(owner);
+  const std::uint32_t* users = view.users() + rule.users_start;
+  for (std::uint32_t u = 0; u < rule.users_count; ++u) {
+    if (out.size() >= limit) return;
+    const std::uint32_t user = users[u];
+    chain.push_back({user, 0});
+    extend_upward(view, view.node(user).owner_rule, chain, limit, out);
+    chain.pop_back();
+  }
+}
+
+}  // namespace
+
+void CompiledPath::enumerate_occurrences(const CompiledView& view,
+                                         TerminalId event, std::size_t limit,
+                                         std::vector<CompiledPath>& out) {
+  const CompiledOccSpan& span = view.occ_span(event);
+  PathChain chain;
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    const std::uint32_t id = view.occ_nodes()[span.start + i];
+    const CompiledNode& node = view.node(id);
+    chain.clear();
+    chain.push_back({id, 0});
+    extend_upward(view, node.owner_rule, chain, limit, out);
+    if (node.exp > 1) {
+      chain.clear();
+      chain.push_back({id, node.exp - 1});
+      extend_upward(view, node.owner_rule, chain, limit, out);
+    }
+    if (out.size() >= limit) return;
+  }
+}
+
+// --- CompiledPredictor ------------------------------------------------------
+
+CompiledPredictor::CompiledPredictor(const CompiledView& view, Options options)
+    : view_(view),
+      options_(options),
+      jitter_rng_(options.breaker.jitter_seed ^ 0x9e3779b97f4a7c15ULL) {
+  PYTHIA_ASSERT_MSG(view.valid(), "CompiledPredictor requires a parsed view");
+  anchor_table_usable_ =
+      options_.max_candidates == view_.header().max_candidates &&
+      options_.max_anchor_paths == view_.header().max_anchor_paths;
+}
+
+std::uint32_t CompiledPredictor::jittered_spacing(std::uint32_t spacing) {
+  const double jitter = options_.breaker.backoff_jitter;
+  if (jitter <= 0.0 || spacing <= 1) return spacing;
+  const double clamped = jitter < 1.0 ? jitter : 1.0;
+  const auto span = static_cast<std::uint32_t>(clamped *
+                                               static_cast<double>(spacing));
+  if (span == 0) return spacing;
+  const auto cut = static_cast<std::uint32_t>(jitter_rng_.below(span + 1));
+  return std::max<std::uint32_t>(1, spacing - cut);
+}
+
+void CompiledPredictor::dedupe_and_cap(std::vector<CompiledPath>& paths) {
+  seen_hashes_.clear();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::uint64_t hash = paths[i].hash();
+    bool duplicate = false;
+    for (const std::uint64_t seen : seen_hashes_) {
+      if (seen == hash) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen_hashes_.push_back(hash);
+    if (kept != i) paths[kept] = std::move(paths[i]);
+    ++kept;
+  }
+  paths.resize(kept);
+
+  if (paths.size() > options_.max_candidates) {
+    rank_scratch_.clear();
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      rank_scratch_.push_back(
+          {paths[i].weight(view_), static_cast<std::uint32_t>(i)});
+    }
+    std::sort(rank_scratch_.begin(), rank_scratch_.end(),
+              [](const RankEntry& a, const RankEntry& b) {
+                return a.weight != b.weight ? a.weight > b.weight
+                                            : a.index < b.index;
+              });
+    sorted_scratch_.clear();
+    for (std::size_t i = 0; i < options_.max_candidates; ++i) {
+      sorted_scratch_.push_back(std::move(paths[rank_scratch_[i].index]));
+    }
+    paths.swap(sorted_scratch_);
+  }
+}
+
+void CompiledPredictor::anchor(TerminalId event) {
+  ++stats_.anchors;
+  candidates_.clear();
+  scratch_paths_.clear();
+  CompiledPath::enumerate_occurrences(view_, event,
+                                      options_.max_anchor_paths,
+                                      scratch_paths_);
+  dedupe_and_cap(scratch_paths_);
+  candidates_.swap(scratch_paths_);
+  anchored_event_ = event;
+}
+
+void CompiledPredictor::record_outcome(bool advanced) {
+  const std::size_t cap = options_.breaker.window;
+  if (cap == 0) return;
+  if (window_.size() != cap) window_.assign(cap, 0);
+  if (window_count_ < cap) {
+    ++window_count_;
+  } else if (window_[window_next_] != 0) {
+    --window_advanced_;
+  }
+  window_[window_next_] = advanced ? 1 : 0;
+  if (advanced) ++window_advanced_;
+  window_next_ = (window_next_ + 1) % cap;
+}
+
+void CompiledPredictor::enter_degraded() {
+  health_ = Health::kDegraded;
+  miss_streak_ = 0;
+  advance_streak_ = 0;
+  backoff_ = std::max<std::uint32_t>(1, options_.breaker.backoff_initial);
+  probe_countdown_ = jittered_spacing(backoff_);
+  candidates_.clear();
+  anchored_event_ = kCompiledInvalid;
+}
+
+void CompiledPredictor::observe(TerminalId event) {
+  ++stats_.observed;
+  const Options::Breaker& breaker = options_.breaker;
+
+  if (breaker.enabled && health_ == Health::kDegraded) {
+    if (probe_countdown_ > 1) {
+      --probe_countdown_;
+      ++stats_.anchors_suppressed;
+      if (view_.occ_span(event).count == 0) {
+        ++stats_.unknown;
+      } else {
+        ++stats_.reanchored;
+      }
+      record_outcome(false);
+      return;
+    }
+    anchor(event);
+    record_outcome(false);
+    if (candidates_.empty()) {
+      ++stats_.unknown;
+      backoff_ = std::min(backoff_ * 2, std::max<std::uint32_t>(
+                                            1, breaker.backoff_max));
+      probe_countdown_ = jittered_spacing(backoff_);
+    } else {
+      ++stats_.reanchored;
+      health_ = Health::kRecovering;
+      advance_streak_ = 0;
+    }
+    return;
+  }
+
+  if (!candidates_.empty()) {
+    scratch_paths_.clear();
+    for (const CompiledPath& path : candidates_) {
+      // Peek the successor from the tables first; only matches pay for
+      // the in-place advance (misses never copy the path at all).
+      TerminalId next_event;
+      if (resolve_terminal(path, 1, next_event) && next_event == event) {
+        scratch_paths_.push_back(path);
+        const bool more = scratch_paths_.back().advance(view_);
+        PYTHIA_ASSERT(more);
+      }
+    }
+    if (!scratch_paths_.empty()) {
+      ++stats_.advanced;
+      dedupe_and_cap(scratch_paths_);
+      candidates_.swap(scratch_paths_);
+      anchored_event_ = kCompiledInvalid;
+      record_outcome(true);
+      if (breaker.enabled) {
+        miss_streak_ = 0;
+        if (health_ == Health::kRecovering &&
+            ++advance_streak_ >= breaker.recover_streak) {
+          health_ = Health::kHealthy;
+        }
+      }
+      return;
+    }
+  }
+  anchor(event);
+  if (candidates_.empty()) {
+    ++stats_.unknown;
+  } else {
+    ++stats_.reanchored;
+  }
+  record_outcome(false);
+  if (!breaker.enabled) return;
+  advance_streak_ = 0;
+  if (health_ == Health::kRecovering) {
+    enter_degraded();
+    return;
+  }
+  ++miss_streak_;
+  const bool streak_tripped = breaker.miss_streak_limit > 0 &&
+                              miss_streak_ >= breaker.miss_streak_limit;
+  const bool confidence_tripped = window_count_ >= breaker.min_samples &&
+                                  confidence() < breaker.degrade_below;
+  if (streak_tripped || confidence_tripped) enter_degraded();
+}
+
+bool CompiledPredictor::resolve_terminal(const CompiledPath& path,
+                                         std::size_t k,
+                                         TerminalId& out) const {
+  PYTHIA_ASSERT(k >= 1 && k <= kCompiledMaxK);
+  // Successors of a position, in order: the remaining repetitions of the
+  // terminal's own run, then per level upwards (a) one unfold of each
+  // following sibling (the tail table) and (b) the remaining repetitions
+  // of the parent element's subtree (the rule head-terminal table).
+  const CompiledNode& front = view_.node(path.element(0).node);
+  const std::uint64_t rem0 = front.exp - 1 - path.element(0).rep;
+  if (k <= rem0) {
+    out = Symbol::from_raw(front.sym_raw).terminal_id();
+    return true;
+  }
+  k -= rem0;
+  const std::size_t depth = path.depth();
+  for (std::size_t level = 0; level < depth; ++level) {
+    const CompiledNodeTail& tail = view_.tail(path.element(level).node);
+    if (k <= tail.len) {
+      out = tail.terms[k - 1];
+      return true;
+    }
+    // k > tail.len with k <= kCompiledMaxK implies len < kCompiledMaxK,
+    // i.e. the body truly ends within the table: step past it.
+    k -= tail.len;
+    if (level + 1 == depth) return false;  // past the end of the root body
+    const CompiledPathElement& parent = path.element(level + 1);
+    const CompiledNode& pnode = view_.node(parent.node);
+    const CompiledRule& sub =
+        view_.rule(Symbol::from_raw(pnode.sym_raw).rule_id());
+    std::uint64_t rem = pnode.exp - 1 - parent.rep;
+    // Each remaining repetition contributes exp_len terminals; when
+    // k > head_len, head_len == exp_len < kCompiledMaxK, so k shrinks by
+    // at least 1 per iteration (bounded by kCompiledMaxK, not by rem).
+    while (rem > 0 && k > sub.head_len) {
+      k -= sub.exp_len;
+      --rem;
+    }
+    if (rem > 0) {
+      out = sub.head_terms[k - 1];
+      return true;
+    }
+  }
+  return false;
+}
+
+double CompiledPredictor::accumulate_votes(std::size_t distance) const {
+  vote_scratch_.clear();
+  double total = 0.0;
+  const bool tabled = distance <= kCompiledMaxK;
+  for (const CompiledPath& candidate : candidates_) {
+    const double weight = static_cast<double>(candidate.weight(view_));
+    TerminalId event;
+    if (tabled) {
+      if (!resolve_terminal(candidate, distance, event)) continue;
+    } else {
+      future_scratch_ = candidate;
+      bool alive = true;
+      for (std::size_t step = 0; step < distance; ++step) {
+        if (!future_scratch_.advance(view_)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      event = future_scratch_.terminal(view_);
+    }
+    bool merged = false;
+    for (Prediction& vote : vote_scratch_) {
+      if (vote.event == event) {
+        vote.probability += weight;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) vote_scratch_.push_back({event, weight});
+    total += weight;
+  }
+  if (total > 0.0) {
+    for (Prediction& vote : vote_scratch_) vote.probability /= total;
+  }
+  return total;
+}
+
+std::vector<Prediction> CompiledPredictor::predict_distribution(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  std::vector<Prediction> out;
+  if (predictions_suppressed() || candidates_.empty()) return out;
+  if (accumulate_votes(distance) <= 0.0) return out;
+  out.assign(vote_scratch_.begin(), vote_scratch_.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Prediction& a, const Prediction& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+std::optional<Prediction> CompiledPredictor::predict(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  if (predictions_suppressed() || candidates_.empty()) return std::nullopt;
+  if (anchor_table_usable_ && anchored_event_ != kCompiledInvalid &&
+      distance <= kCompiledMaxK) {
+    // Fresh-anchor state: the answer was precomputed at compile time.
+    const CompiledAnchorPred& pred =
+        view_.anchor_pred(anchored_event_, distance);
+    if (pred.event == kCompiledInvalid) return std::nullopt;
+    return Prediction{pred.event, pred.probability};
+  }
+  if (accumulate_votes(distance) <= 0.0) return std::nullopt;
+  const Prediction* best = &vote_scratch_.front();
+  for (const Prediction& vote : vote_scratch_) {
+    if (vote.probability > best->probability) best = &vote;
+  }
+  return *best;
+}
+
+std::vector<TerminalId> CompiledPredictor::predict_sequence(
+    std::size_t count) const {
+  std::vector<TerminalId> out(count);
+  out.resize(predict_sequence_into(out.data(), count));
+  return out;
+}
+
+void CompiledPredictor::emit_symbol(std::uint32_t sym_raw, TerminalId* out,
+                                    std::size_t& filled,
+                                    std::size_t count) const {
+  if (filled >= count) return;
+  const Symbol sym = Symbol::from_raw(sym_raw);
+  if (sym.is_terminal()) {
+    out[filled++] = sym.terminal_id();
+    return;
+  }
+  const CompiledRule& rule = view_.rule(sym.rule_id());
+  if (rule.flat_index != kCompiledInvalid) {
+    // Pre-flattened expansion: one memcpy per unfold (possibly partial
+    // at the very end of the output buffer).
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(rule.exp_len, count - filled));
+    std::memcpy(out + filled, view_.expansions() + rule.flat_index,
+                take * sizeof(TerminalId));
+    filled += take;
+    return;
+  }
+  for (std::uint32_t id = rule.head;
+       id != kCompiledInvalid && filled < count;
+       id = view_.node(id).next) {
+    const CompiledNode& node = view_.node(id);
+    for (std::uint64_t rep = 0; rep < node.exp && filled < count; ++rep) {
+      emit_symbol(node.sym_raw, out, filled, count);
+    }
+  }
+}
+
+std::size_t CompiledPredictor::predict_sequence_into(TerminalId* out,
+                                                     std::size_t count) const {
+  if (predictions_suppressed() || candidates_.empty()) return 0;
+  const CompiledPath* best = &candidates_.front();
+  std::uint64_t best_weight = best->weight(view_);
+  for (const CompiledPath& candidate : candidates_) {
+    const std::uint64_t weight = candidate.weight(view_);
+    if (weight > best_weight) {
+      best = &candidate;
+      best_weight = weight;
+    }
+  }
+  // Emit the best candidate's future as run fills and expansion copies
+  // instead of advancing a path copy step by step: the remaining
+  // repetitions of the terminal run, then per level the following
+  // siblings and the parent's remaining repetitions (same successor
+  // order resolve_terminal walks).
+  std::size_t filled = 0;
+  const CompiledNode& front = view_.node(best->element(0).node);
+  const TerminalId t0 = Symbol::from_raw(front.sym_raw).terminal_id();
+  for (std::uint64_t rep = best->element(0).rep + 1;
+       rep < front.exp && filled < count; ++rep) {
+    out[filled++] = t0;
+  }
+  const std::size_t depth = best->depth();
+  for (std::size_t level = 0; level < depth && filled < count; ++level) {
+    for (std::uint32_t id = view_.node(best->element(level).node).next;
+         id != kCompiledInvalid && filled < count;
+         id = view_.node(id).next) {
+      const CompiledNode& node = view_.node(id);
+      for (std::uint64_t rep = 0; rep < node.exp && filled < count; ++rep) {
+        emit_symbol(node.sym_raw, out, filled, count);
+      }
+    }
+    if (level + 1 == depth) break;
+    const CompiledPathElement& parent = best->element(level + 1);
+    const CompiledNode& pnode = view_.node(parent.node);
+    for (std::uint64_t rep = parent.rep + 1;
+         rep < pnode.exp && filled < count; ++rep) {
+      emit_symbol(pnode.sym_raw, out, filled, count);
+    }
+  }
+  return filled;
+}
+
+std::optional<double> CompiledPredictor::expect_ns(
+    const CompiledPath& path) const {
+  const std::size_t depth =
+      std::min(path.depth(), TimingModel::kMaxContextDepth);
+  for (std::size_t levels = depth; levels >= 1; --levels) {
+    double mean = 0.0;
+    if (view_.timing_lookup(path.suffix_key(levels), mean)) return mean;
+  }
+  if (view_.timing_global_count() > 0) {
+    return view_.timing_global_sum() /
+           static_cast<double>(view_.timing_global_count());
+  }
+  return std::nullopt;
+}
+
+std::optional<double> CompiledPredictor::predict_time_ns(
+    std::size_t distance) const {
+  PYTHIA_ASSERT(distance >= 1);
+  if (!view_.has_timing() || predictions_suppressed() ||
+      candidates_.empty()) {
+    return std::nullopt;
+  }
+  double weighted_sum = 0.0;
+  double total_weight = 0.0;
+  for (const CompiledPath& candidate : candidates_) {
+    CompiledPath& future = future_scratch_;
+    future = candidate;
+    const double weight = static_cast<double>(candidate.weight(view_));
+    double elapsed = 0.0;
+    bool alive = true;
+    for (std::size_t step = 0; step < distance; ++step) {
+      if (!future.advance(view_)) {
+        alive = false;
+        break;
+      }
+      const std::optional<double> step_ns = expect_ns(future);
+      if (!step_ns.has_value()) {
+        alive = false;
+        break;
+      }
+      elapsed += *step_ns;
+    }
+    if (!alive) continue;
+    weighted_sum += weight * elapsed;
+    total_weight += weight;
+  }
+  if (total_weight <= 0.0) return std::nullopt;
+  return weighted_sum / total_weight;
+}
+
+}  // namespace pythia

@@ -1,0 +1,178 @@
+// PYTHIA-PREDICT over a compiled grammar blob (see compile.hpp).
+//
+// CompiledPredictor is a drop-in stand-in for Predictor that answers the
+// same queries from the flat tables of a CompiledView instead of the
+// pointer-linked Grammar: anchoring walks prefix-summed occurrence spans,
+// predict(k <= kCompiledMaxK) resolves successors from the per-node tail
+// and per-rule head-terminal tables without simulating a path copy, and
+// predict_n copies pre-flattened rule expansions. Results are *identical*
+// to the interpreted predictor over the grammar the blob was compiled
+// from (candidate enumeration order, vote accumulation order, breaker
+// state machine and jitter RNG are all mirrored exactly — the
+// differential tests assert this event by event across the app catalog).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/compile.hpp"
+#include "core/predictor.hpp"
+#include "support/rng.hpp"
+#include "support/small_vec.hpp"
+
+namespace pythia {
+
+/// One level of a compiled progress sequence: a stable node id plus the
+/// current repetition index in [0, node.exp). The flat analogue of
+/// PathElement (stable ids replace pointers, so paths are position-
+/// independent and hash/compare identically across processes).
+struct CompiledPathElement {
+  std::uint32_t node = 0;
+  std::uint64_t rep = 0;
+
+  friend bool operator==(const CompiledPathElement& a,
+                         const CompiledPathElement& b) {
+    return a.node == b.node && a.rep == b.rep;
+  }
+};
+
+/// A position in the unfolded reference trace, terminal-first — the
+/// compiled analogue of ProgressPath, walking table offsets instead of
+/// node pointers.
+class CompiledPath {
+ public:
+  static constexpr std::size_t kInlineDepth = 12;
+
+  bool empty() const { return elements_.empty(); }
+  std::size_t depth() const { return elements_.size(); }
+  const CompiledPathElement& element(std::size_t level) const {
+    return elements_[level];
+  }
+
+  TerminalId terminal(const CompiledView& view) const {
+    return Symbol::from_raw(view.node(elements_.front().node).sym_raw)
+        .terminal_id();
+  }
+
+  /// Depth-first successor; false when past the end of the trace.
+  bool advance(const CompiledView& view);
+
+  std::uint64_t weight(const CompiledView& view) const {
+    const CompiledNode& node = view.node(elements_.front().node);
+    return view.rule(node.owner_rule).occurrences * node.exp;
+  }
+
+  std::uint64_t hash() const;
+
+  /// Timing context key: identical to ProgressPath::suffix_key (both hash
+  /// stable node ids), so compiled timing lookups hit the same entries.
+  std::uint64_t suffix_key(std::size_t levels) const;
+
+  /// Mirror of ProgressPath::enumerate_occurrences over the occurrence
+  /// spans and canonical user lists (same paths, same order).
+  static void enumerate_occurrences(const CompiledView& view,
+                                    TerminalId event, std::size_t limit,
+                                    std::vector<CompiledPath>& out);
+
+  support::SmallVec<CompiledPathElement, kInlineDepth> elements_;
+};
+
+class CompiledPredictor {
+ public:
+  using Options = Predictor::Options;
+  using Stats = Predictor::Stats;
+
+  /// `view` must stay valid (and its underlying bytes mapped) for the
+  /// predictor's lifetime; the view itself is copied.
+  explicit CompiledPredictor(const CompiledView& view)
+      : CompiledPredictor(view, Options{}) {}
+  CompiledPredictor(const CompiledView& view, Options options);
+
+  void observe(TerminalId event);
+  std::optional<Prediction> predict(std::size_t distance) const;
+  std::vector<Prediction> predict_distribution(std::size_t distance) const;
+  std::vector<TerminalId> predict_sequence(std::size_t count) const;
+  std::size_t predict_sequence_into(TerminalId* out, std::size_t count) const;
+
+  /// O(1): the compiler precomputed the per-terminal totals.
+  std::uint64_t reference_occurrences(TerminalId event) const {
+    return view_.occ_span(event).total;
+  }
+
+  std::optional<double> predict_time_ns(std::size_t distance) const;
+
+  bool synchronized() const { return !candidates_.empty(); }
+  std::size_t candidate_count() const { return candidates_.size(); }
+  Health health() const { return health_; }
+  double confidence() const {
+    return window_count_ == 0
+               ? 1.0
+               : static_cast<double>(window_advanced_) /
+                     static_cast<double>(window_count_);
+  }
+  const Stats& stats() const { return stats_; }
+  const CompiledView& view() const { return view_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void anchor(TerminalId event);
+  void dedupe_and_cap(std::vector<CompiledPath>& paths);
+  double accumulate_votes(std::size_t distance) const;
+  bool predictions_suppressed() const {
+    return options_.breaker.enabled && health_ != Health::kHealthy;
+  }
+  void record_outcome(bool advanced);
+  void enter_degraded();
+  std::uint32_t jittered_spacing(std::uint32_t spacing);
+
+  /// Terminal `k` steps ahead of `path` (k in [1, kCompiledMaxK]) from
+  /// the successor tables alone — no path copy, no simulation.
+  bool resolve_terminal(const CompiledPath& path, std::size_t k,
+                        TerminalId& out) const;
+
+  /// Compiled TimingModel::expect_ns: deepest recorded suffix, else the
+  /// global mean.
+  std::optional<double> expect_ns(const CompiledPath& path) const;
+
+  /// Appends the expansion of `sym_raw` to out[filled..count).
+  void emit_symbol(std::uint32_t sym_raw, TerminalId* out,
+                   std::size_t& filled, std::size_t count) const;
+
+  CompiledView view_;
+  Options options_;
+  std::vector<CompiledPath> candidates_;
+  Stats stats_;
+  /// The anchor-prediction fast path is valid while the candidate set is
+  /// exactly what anchor() produced (predict-after-anchor is precomputed
+  /// per terminal); any advance invalidates it. kCompiledInvalid = stale.
+  TerminalId anchored_event_ = kCompiledInvalid;
+  /// Table usable only when computed with our caps.
+  bool anchor_table_usable_ = false;
+
+  // Hot-path scratch, cycled exactly like Predictor's.
+  std::vector<CompiledPath> scratch_paths_;
+  std::vector<std::uint64_t> seen_hashes_;
+  struct RankEntry {
+    std::uint64_t weight;
+    std::uint32_t index;
+  };
+  std::vector<RankEntry> rank_scratch_;
+  std::vector<CompiledPath> sorted_scratch_;
+  mutable std::vector<Prediction> vote_scratch_;
+  mutable CompiledPath future_scratch_;
+
+  // Breaker state (identical machine and RNG stream to Predictor's).
+  Health health_ = Health::kHealthy;
+  std::vector<std::uint8_t> window_;
+  std::size_t window_next_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t window_advanced_ = 0;
+  std::uint32_t miss_streak_ = 0;
+  std::uint32_t advance_streak_ = 0;
+  std::uint32_t backoff_ = 0;
+  std::uint32_t probe_countdown_ = 0;
+  support::Rng jitter_rng_;
+};
+
+}  // namespace pythia

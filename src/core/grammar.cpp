@@ -560,6 +560,22 @@ void Grammar::finalize() {
     }
   }
 
+  // Pass 2: canonicalize user lists into body-scan (stable id) order.
+  // During reduction the lists are maintained with swap-remove, so their
+  // order depends on construction history; anchoring enumerates them, and
+  // a grammar rebuilt from file (from_bodies registers users in body
+  // order) must enumerate identically — the compiled prediction tables
+  // bake that order in at save time.
+  for (Rule* rule : rules_) {
+    if (rule == nullptr || !rule->alive) continue;
+    rule->users.clear();
+  }
+  for (Node* node : stable_nodes_) {
+    if (node->sym.is_rule()) {
+      rule_by_id(node->sym.rule_id())->users.push_back(node);
+    }
+  }
+
   build_occurrence_index();
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/compiled_predictor.hpp"
 #include "core/predictor.hpp"
 #include "core/recorder.hpp"
 #include "support/assert.hpp"
@@ -57,13 +58,21 @@ class Oracle {
     return oracle;
   }
 
-  /// Subsequent execution; `trace` must outlive the oracle.
+  /// Subsequent execution; `trace` must outlive the oracle. When the
+  /// trace carries a validated compiled section, serving runs on the
+  /// zero-copy CompiledPredictor (identical answers, flat-table speed);
+  /// otherwise on the interpreted Predictor over the grammar.
   static Oracle predict(const ThreadTrace& trace,
                         Predictor::Options options = {}) {
     Oracle oracle(Mode::kPredict);
-    oracle.predictor_ = std::make_unique<Predictor>(
-        trace.grammar, trace.timing.empty() ? nullptr : &trace.timing,
-        options);
+    if (trace.compiled.valid()) {
+      oracle.compiled_ =
+          std::make_unique<CompiledPredictor>(trace.compiled, options);
+    } else {
+      oracle.predictor_ = std::make_unique<Predictor>(
+          trace.grammar, trace.timing.empty() ? nullptr : &trace.timing,
+          options);
+    }
     return oracle;
   }
 
@@ -105,25 +114,29 @@ class Oracle {
   /// Event expected `distance` events from now (predict mode only).
   std::optional<Prediction> predict_event(std::size_t distance) const {
     if (mode_ != Mode::kPredict) return std::nullopt;
-    return predictor_->predict(distance);
+    return compiled_ ? compiled_->predict(distance)
+                     : predictor_->predict(distance);
   }
 
   /// Expected delay until the event `distance` steps ahead.
   std::optional<double> predict_time_ns(std::size_t distance) const {
     if (mode_ != Mode::kPredict) return std::nullopt;
-    return predictor_->predict_time_ns(distance);
+    return compiled_ ? compiled_->predict_time_ns(distance)
+                     : predictor_->predict_time_ns(distance);
   }
 
   /// Circuit-breaker state of the underlying predictor (§II-B2 graceful
   /// degradation). Off/record sessions report kHealthy: they never serve
   /// predictions, so there is nothing to distrust.
   Health health() const {
-    return mode_ == Mode::kPredict ? predictor_->health() : Health::kHealthy;
+    if (mode_ != Mode::kPredict) return Health::kHealthy;
+    return compiled_ ? compiled_->health() : predictor_->health();
   }
   /// Fraction of recent events that matched the reference trace (1.0 when
   /// not predicting).
   double confidence() const {
-    return mode_ == Mode::kPredict ? predictor_->confidence() : 1.0;
+    if (mode_ != Mode::kPredict) return 1.0;
+    return compiled_ ? compiled_->confidence() : predictor_->confidence();
   }
   /// True when predictions are currently not trustworthy — the one check
   /// consumers make before acting on the oracle instead of their vanilla
@@ -147,8 +160,32 @@ class Oracle {
   }
 
   Recorder* recorder() { return recorder_.get(); }
+  /// The interpreted predictor; nullptr in compiled serving (consumers
+  /// should prefer the engine-agnostic accessors below).
   Predictor* predictor() { return predictor_.get(); }
   const Predictor* predictor() const { return predictor_.get(); }
+  const CompiledPredictor* compiled_predictor() const {
+    return compiled_.get();
+  }
+  /// True when predictions are served from a compiled trace artifact.
+  bool using_compiled() const { return compiled_ != nullptr; }
+
+  /// Tracking telemetry, whichever prediction engine is live (a static
+  /// all-zero struct outside predict mode).
+  const Predictor::Stats& predictor_stats() const {
+    static const Predictor::Stats kNone{};
+    if (compiled_) return compiled_->stats();
+    if (predictor_) return predictor_->stats();
+    return kNone;
+  }
+
+  /// Occurrences of `event` in the whole reference execution; 0 outside
+  /// predict mode. O(1) on the compiled engine.
+  std::uint64_t reference_occurrences(TerminalId event) const {
+    if (compiled_) return compiled_->reference_occurrences(event);
+    if (predictor_) return predictor_->reference_occurrences(event);
+    return 0;
+  }
 
  private:
   explicit Oracle(Mode mode) : mode_(mode) {}
@@ -161,7 +198,11 @@ class Oracle {
         recorder_->record(id, now_ns);
         break;
       case Mode::kPredict:
-        predictor_->observe(id);
+        if (compiled_) {
+          compiled_->observe(id);
+        } else {
+          predictor_->observe(id);
+        }
         break;
       case Mode::kSink:
         sink_->submit(id, now_ns);
@@ -172,6 +213,7 @@ class Oracle {
   Mode mode_;
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<Predictor> predictor_;
+  std::unique_ptr<CompiledPredictor> compiled_;
   EventSink* sink_ = nullptr;
   std::function<void(TerminalId, std::uint64_t)> event_hook_;
   EventFilter event_filter_;

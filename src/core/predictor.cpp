@@ -199,17 +199,24 @@ double Predictor::accumulate_votes(std::size_t distance) const {
   vote_scratch_.clear();
   double total = 0.0;
   for (const ProgressPath& candidate : candidates_) {
-    future_scratch_ = candidate;
     const double weight = static_cast<double>(candidate.weight());
-    bool alive = true;
-    for (std::size_t step = 0; step < distance; ++step) {
-      if (!future_scratch_.advance(grammar_)) {
-        alive = false;
-        break;
+    TerminalId event;
+    if (distance == 1) {
+      // Next-event votes never need the simulated path itself — peek the
+      // successor terminal without the path copy (the predict(1) hot path).
+      if (!candidate.peek_next(grammar_, event)) continue;
+    } else {
+      future_scratch_ = candidate;
+      bool alive = true;
+      for (std::size_t step = 0; step < distance; ++step) {
+        if (!future_scratch_.advance(grammar_)) {
+          alive = false;
+          break;
+        }
       }
+      if (!alive) continue;
+      event = future_scratch_.terminal();
     }
-    if (!alive) continue;
-    const TerminalId event = future_scratch_.terminal();
     bool merged = false;
     for (Prediction& vote : vote_scratch_) {
       if (vote.event == event) {

@@ -64,6 +64,40 @@ bool ProgressPath::advance(const Grammar& grammar) {
   return true;
 }
 
+namespace {
+
+/// First terminal of the subtree rooted at `node` (descends rule heads).
+TerminalId first_terminal_below(const Grammar& grammar, const Node* node) {
+  while (node->sym.is_rule()) {
+    const Rule* rule = grammar.rule_by_id(node->sym.rule_id());
+    PYTHIA_ASSERT(rule != nullptr && rule->head != nullptr);
+    node = rule->head;
+  }
+  return node->sym.terminal_id();
+}
+
+}  // namespace
+
+bool ProgressPath::peek_next(const Grammar& grammar, TerminalId& out) const {
+  PYTHIA_ASSERT(!elements_.empty());
+  // Mirror of advance(): the shallowest level with a successor decides the
+  // next terminal; one more repetition of a subtree re-enters its first
+  // terminal, a next sibling contributes the first terminal of its own
+  // subtree.
+  for (std::size_t level = 0; level < elements_.size(); ++level) {
+    const PathElement& element = elements_[level];
+    if (element.rep + 1 < element.node->exp) {
+      out = first_terminal_below(grammar, element.node);
+      return true;
+    }
+    if (element.node->next != nullptr) {
+      out = first_terminal_below(grammar, element.node->next);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t ProgressPath::hash() const {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   for (const PathElement& element : elements_) {

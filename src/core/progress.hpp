@@ -66,6 +66,11 @@ class ProgressPath {
   /// the last event of the reference trace (the path becomes empty).
   bool advance(const Grammar& grammar);
 
+  /// Terminal that advance() would land on, without copying or mutating
+  /// the path — the predict(1) hot path skips the full path simulation.
+  /// Returns false when the position is the last event of the trace.
+  bool peek_next(const Grammar& grammar, TerminalId& out) const;
+
   /// Prior weight of this position: how often the enclosing occurrence
   /// executes in the reference trace (paper §II-C occurrence counting).
   /// Requires a finalized grammar.

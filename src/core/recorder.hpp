@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/compile.hpp"
 #include "core/grammar.hpp"
 #include "core/timing.hpp"
 #include "support/assert.hpp"
@@ -18,9 +19,22 @@ namespace pythia {
 /// The recorded behaviour of one thread: the reference-execution grammar
 /// plus (optionally) its timing model. This is what the trace file stores
 /// per thread and what the predictor consumes.
+///
+/// When the trace was loaded from a file with a compiled section (or
+/// compiled in memory), `compiled_blob` owns the blob bytes and
+/// `compiled` is the validated view into them — Oracle::predict() then
+/// serves from the CompiledPredictor instead of the interpreted one.
+/// The view points into the blob, which vector moves keep stable, so
+/// ThreadTrace stays freely movable.
 struct ThreadTrace {
   Grammar grammar;
   TimingModel timing;
+  std::vector<unsigned char> compiled_blob;
+  CompiledView compiled;  ///< valid() only when the blob parsed clean
+
+  /// Builds (or rebuilds) the compiled artifact from the grammar/timing
+  /// in memory. Returns false when the grammar is not compilable.
+  bool compile(const CompileOptions& options = {});
 };
 
 class Recorder {
@@ -70,7 +84,10 @@ class Recorder {
     if (options_.record_timestamps && !log_.empty()) {
       timing = TimingModel::replay(grammar_, log_);
     }
-    return ThreadTrace{std::move(grammar_), std::move(timing)};
+    ThreadTrace trace;
+    trace.grammar = std::move(grammar_);
+    trace.timing = std::move(timing);
+    return trace;
   }
 
  private:

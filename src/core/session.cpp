@@ -457,8 +457,9 @@ Result<Trace> recover_session(const std::string& dir, RecoveryInfo* info) {
 
   Trace trace;
   trace.registry = std::move(state.registry);
-  trace.threads.push_back(
-      ThreadTrace{std::move(state.grammar), std::move(timing)});
+  trace.threads.emplace_back();
+  trace.threads.back().grammar = std::move(state.grammar);
+  trace.threads.back().timing = std::move(timing);
   return trace;
 }
 

@@ -1,5 +1,7 @@
 #include "core/trace_io.hpp"
 
+#include "core/compile.hpp"
+
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
@@ -23,6 +25,10 @@ constexpr char kMagicV2[8] = {'P', 'Y', 'T', 'H', 'I', 'A', '0', '2'};
 // Section kinds of the PYTHIA02 framing.
 constexpr std::uint32_t kSectionRegistry = 1;
 constexpr std::uint32_t kSectionThread = 2;
+// Compiled prediction automaton (compile.hpp), appended after the thread
+// sections; payload = thread index (u32), pad byte count (u32), pad, blob.
+// The pad places the blob at a 64-byte file offset for aligned mmaps.
+constexpr std::uint32_t kSectionCompiled = 3;
 constexpr std::size_t kSectionHeaderBytes = 16;  // kind, size, crc, hdr crc
 
 // Parse failures inside a section; converted to Status at the boundary
@@ -66,6 +72,14 @@ class BufReader {
 
   std::size_t remaining() const { return size_ - offset_; }
   bool at_end() const { return offset_ == size_; }
+
+  /// Current read position within the underlying buffer — the zero-copy
+  /// loader uses it to point a CompiledView at mapped bytes in place.
+  const unsigned char* cursor() const { return data_ + offset_; }
+  void skip(std::size_t size) {
+    if (size > remaining()) fail("truncated data");
+    offset_ += size;
+  }
 
   void bytes(void* out, std::size_t size) {
     if (size > remaining()) fail("truncated data");
@@ -210,10 +224,11 @@ void read_registry_tables(BufReader& reader, EventRegistry& registry) {
 }
 
 ThreadTrace read_thread_payload(BufReader& reader, bool finalize) {
-  Grammar grammar = read_grammar(reader);
-  if (finalize) grammar.finalize();
-  TimingModel timing = read_timing(reader);
-  return ThreadTrace{std::move(grammar), std::move(timing)};
+  ThreadTrace thread;
+  thread.grammar = read_grammar(reader);
+  if (finalize) thread.grammar.finalize();
+  thread.timing = read_timing(reader);
+  return thread;
 }
 
 ThreadTrace placeholder_thread() {
@@ -333,6 +348,75 @@ Result<Trace> load_v2(const unsigned char* data, std::size_t size,
     trace.threads.push_back(std::move(thread));
     trace.section_status.push_back(std::move(status));
   }
+
+  // Trailing sections: compiled prediction automatons (and any future
+  // kinds, which are skipped). A damaged compiled section never costs the
+  // thread itself — under salvage the artifact is dropped and the thread
+  // serves interpreted; strict mode still fails the load.
+  trace.compiled_status.assign(thread_count, Status());
+  while (!framing_lost && reader.remaining() >= kSectionHeaderBytes) {
+    const SectionHeader header = read_section_header(reader);
+    if (!header.header_ok || header.payload_size > reader.remaining()) {
+      if (!options.salvage_sections) {
+        return Status::corrupt("trailing section header corrupt");
+      }
+      break;  // framing lost in the tail; nothing further can be read
+    }
+    std::vector<unsigned char> payload(header.payload_size);
+    reader.bytes(payload.data(), payload.size());
+    if (header.kind != kSectionCompiled) continue;  // unknown: skip
+
+    Status status;
+    std::uint32_t thread_index = thread_count;
+    if (payload.size() < 8) {
+      status = Status::corrupt("compiled section truncated");
+    } else {
+      // Thread index first, checksum second: when the CRC fails, the
+      // (unverified) index still attributes the drop to a thread in
+      // compiled_status — a diagnosis hint, never trusted further.
+      std::uint32_t pad = 0;
+      std::memcpy(&thread_index, payload.data(), 4);
+      std::memcpy(&pad, payload.data() + 4, 4);
+      if (thread_index >= thread_count) {
+        status = Status::corrupt("compiled section thread index");
+        thread_index = thread_count;
+      } else if (support::crc32(payload.data(), payload.size()) !=
+                 header.payload_crc) {
+        status = Status::corrupt("compiled section checksum mismatch");
+      } else if (pad > 63 || payload.size() - 8 < pad) {
+        status = Status::corrupt("compiled section padding");
+      } else {
+        // Copy the blob into its own allocation: the mmap path serves
+        // aligned bytes in place, but a heap-loaded payload gives no
+        // alignment guarantee at the pad-dependent blob offset.
+        std::vector<unsigned char> blob(payload.begin() + 8 + pad,
+                                        payload.end());
+        Result<CompiledView> view = CompiledView::parse(blob.data(),
+                                                        blob.size());
+        if (!view.ok()) {
+          status = view.status();
+        } else if (view.value().grammar_digest() !=
+                   thread_section_digest(trace.threads[thread_index])) {
+          status = Status::corrupt(
+              "compiled section does not match its thread section");
+        } else {
+          trace.threads[thread_index].compiled_blob = std::move(blob);
+          trace.threads[thread_index].compiled = view.take();
+        }
+      }
+    }
+    if (!status.ok()) {
+      if (!options.salvage_sections) return status;
+      if (thread_index < thread_count) {
+        trace.compiled_status[thread_index] = std::move(status);
+      }
+    }
+  }
+  // Strict loads require the file to frame exactly into sections: a
+  // partial trailing header is truncation, not slack. Salvage ignores it.
+  if (!framing_lost && reader.remaining() != 0 && !options.salvage_sections) {
+    return Status::corrupt("trailing bytes do not frame a section");
+  }
   return trace;
 }
 
@@ -385,6 +469,29 @@ std::vector<unsigned char> serialize_trace(
                  thread.timing != nullptr ? *thread.timing : empty_timing);
     append_section(file, kSectionThread, payload.buffer());
   }
+
+  // Compiled sections, trailing so readers without compiled support stop
+  // cleanly after the last thread section. Only finalized, non-empty
+  // grammars are compilable; others simply have no compiled section
+  // (checkpoints of live recording sessions stay exactly as before).
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const ThreadTraceView& thread = threads[t];
+    if (!thread.grammar->finalized()) continue;
+    const std::vector<unsigned char> blob = compile_thread(
+        *thread.grammar, thread.timing,
+        thread_section_digest(*thread.grammar, thread.timing));
+    if (blob.empty()) continue;
+    BufWriter payload;
+    payload.u32(static_cast<std::uint32_t>(t));
+    // Pad so the blob lands on a 64-byte *file* offset: section header
+    // (16) plus thread index + pad count (8) follow the current end.
+    const std::size_t base = file.buffer().size() + kSectionHeaderBytes + 8;
+    const std::uint32_t pad = static_cast<std::uint32_t>((64 - base % 64) % 64);
+    payload.u32(pad);
+    for (std::uint32_t i = 0; i < pad; ++i) payload.u8(0);
+    payload.bytes(blob.data(), blob.size());
+    append_section(file, kSectionCompiled, payload.buffer());
+  }
   return std::move(file).take();
 }
 
@@ -401,7 +508,23 @@ std::uint64_t digest_bytes(const std::vector<unsigned char>& bytes) {
 
 }  // namespace
 
-std::uint64_t thread_section_digest(const ThreadTrace& thread) {
+bool ThreadTrace::compile(const CompileOptions& options) {
+  compiled = CompiledView();
+  compiled_blob.clear();
+  if (!grammar.finalized()) return false;
+  std::vector<unsigned char> blob =
+      compile_thread(grammar, timing.empty() ? nullptr : &timing,
+                     thread_section_digest(*this), options);
+  if (blob.empty()) return false;
+  Result<CompiledView> view = CompiledView::parse(blob.data(), blob.size());
+  PYTHIA_ASSERT_MSG(view.ok(), "freshly compiled blob failed validation");
+  compiled_blob = std::move(blob);
+  compiled = view.take();
+  return true;
+}
+
+std::uint64_t thread_section_digest(const Grammar& grammar,
+                                    const TimingModel* timing) {
   // Grammar: hash the exact serialized payload bytes (rule order and node
   // order are canonical already). Timing: the context table is an
   // unordered_map whose iteration order depends on insertion history, so
@@ -409,11 +532,13 @@ std::uint64_t thread_section_digest(const ThreadTrace& thread) {
   // the model is identical — canonicalize by sorting on the context key
   // so the digest is a content hash, stable across round trips.
   BufWriter payload;
-  write_grammar(payload, thread.grammar);
+  write_grammar(payload, grammar);
   std::uint64_t h = digest_bytes(payload.buffer());
 
-  std::vector<std::pair<std::uint64_t, TimingModel::DurationStat>> contexts(
-      thread.timing.contexts().begin(), thread.timing.contexts().end());
+  std::vector<std::pair<std::uint64_t, TimingModel::DurationStat>> contexts;
+  if (timing != nullptr) {
+    contexts.assign(timing->contexts().begin(), timing->contexts().end());
+  }
   std::sort(contexts.begin(), contexts.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   h = support::hash_combine(h, contexts.size());
@@ -426,6 +551,10 @@ std::uint64_t thread_section_digest(const ThreadTrace& thread) {
     h = support::hash_combine(h, stat.count);
   }
   return h;
+}
+
+std::uint64_t thread_section_digest(const ThreadTrace& thread) {
+  return thread_section_digest(thread.grammar, &thread.timing);
 }
 
 std::uint64_t trace_digest(const Trace& trace) {
@@ -505,6 +634,125 @@ Trace Trace::load(const std::string& path) {
     throw std::runtime_error("pythia: " + result.status().to_string());
   }
   return result.take();
+}
+
+Result<Trace> load_trace_zero_copy(const unsigned char* data,
+                                   std::size_t size) {
+  if (size < 8 || std::memcmp(data, kMagicV2, 8) != 0) {
+    return Status::unsupported(
+        "zero-copy load needs a PYTHIA02 trace with compiled sections");
+  }
+  BufReader reader(data + 8, size - 8);
+
+  // Registry section: small, parsed fully (terminal ids mean nothing
+  // without it). Any damage here fails the load — the caller falls back
+  // to the deserializing loader, which can salvage.
+  Trace trace;
+  std::uint32_t thread_count = 0;
+  try {
+    if (reader.remaining() < kSectionHeaderBytes) fail("missing registry");
+    const SectionHeader header = read_section_header(reader);
+    if (!header.header_ok) fail("registry section header checksum");
+    if (header.kind != kSectionRegistry) fail("registry section kind");
+    if (header.payload_size > reader.remaining()) {
+      fail("registry section size");
+    }
+    std::vector<unsigned char> payload(header.payload_size);
+    reader.bytes(payload.data(), payload.size());
+    if (support::crc32(payload.data(), payload.size()) !=
+        header.payload_crc) {
+      fail("registry section checksum");
+    }
+    BufReader body(payload.data(), payload.size());
+    read_registry_tables(body, trace.registry);
+    thread_count = body.u32();
+    if (thread_count > (1u << 20)) fail("thread count");
+    if (!body.at_end()) fail("registry section trailing bytes");
+  } catch (const std::exception& error) {
+    return Status::corrupt(error.what());
+  }
+
+  // Thread sections: *skipped*, not deserialized — that is the point of
+  // the zero-copy path. The kernel never faults their pages in; a thread
+  // is servable only if a valid compiled section for it follows. Until
+  // one arrives the thread is an inert placeholder marked unavailable.
+  trace.section_status.assign(
+      thread_count,
+      Status::invalid_state("thread section not deserialized (zero-copy "
+                            "load serves compiled sections only)"));
+  trace.compiled_status.assign(
+      thread_count, Status::invalid_state("no compiled section in file"));
+  for (std::uint32_t t = 0; t < thread_count; ++t) {
+    trace.threads.push_back(placeholder_thread());
+    if (reader.remaining() < kSectionHeaderBytes) {
+      return Status::corrupt("thread section " + std::to_string(t) +
+                             " missing (file truncated)");
+    }
+    const SectionHeader header = read_section_header(reader);
+    if (!header.header_ok || header.kind != kSectionThread ||
+        header.payload_size > reader.remaining()) {
+      return Status::corrupt("thread section " + std::to_string(t) +
+                             " header corrupt");
+    }
+    try {
+      reader.skip(header.payload_size);
+    } catch (const std::exception& error) {
+      return Status::corrupt(error.what());
+    }
+  }
+
+  // Trailing compiled sections, validated *in place*: the writer 64-byte
+  // aligns each blob in the file, so a page-aligned mapping keeps the
+  // alignment and CompiledView::parse can point straight at the map. The
+  // per-table CRCs inside the blob carry the integrity check; the
+  // digest-vs-thread-section cross-check of the deserializing loader is
+  // unavailable here (it needs the decoded thread), which is fine — the
+  // thread sections are never consulted on this path.
+  while (reader.remaining() >= kSectionHeaderBytes) {
+    const SectionHeader header = read_section_header(reader);
+    if (!header.header_ok || header.payload_size > reader.remaining()) {
+      break;  // tail framing lost; serve what parsed so far
+    }
+    if (header.kind != kSectionCompiled) {
+      try {
+        reader.skip(header.payload_size);
+      } catch (const std::exception&) {
+        break;
+      }
+      continue;
+    }
+    const unsigned char* payload = reader.cursor();
+    reader.skip(header.payload_size);
+    Status status;
+    std::uint32_t thread_index = thread_count;
+    if (header.payload_size < 8) {
+      status = Status::corrupt("compiled section truncated");
+    } else {
+      std::uint32_t pad = 0;
+      std::memcpy(&thread_index, payload, 4);
+      std::memcpy(&pad, payload + 4, 4);
+      if (thread_index >= thread_count) {
+        status = Status::corrupt("compiled section thread index");
+        thread_index = thread_count;
+      } else if (pad > 63 || header.payload_size - 8 < pad) {
+        status = Status::corrupt("compiled section padding");
+      } else {
+        Result<CompiledView> view = CompiledView::parse(
+            payload + 8 + pad, header.payload_size - 8 - pad);
+        if (!view.ok()) {
+          status = view.status();
+        } else {
+          trace.threads[thread_index].compiled = view.take();
+          trace.section_status[thread_index] = Status();
+          trace.compiled_status[thread_index] = Status();
+        }
+      }
+    }
+    if (!status.ok() && thread_index < thread_count) {
+      trace.compiled_status[thread_index] = std::move(status);
+    }
+  }
+  return trace;
 }
 
 }  // namespace pythia

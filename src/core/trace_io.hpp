@@ -8,7 +8,13 @@
 // section carries a CRC32 over its payload and a CRC32 over its own
 // header, so any corruption is detected before parsing and a damaged
 // thread section can be skipped without losing the rest of the file.
-// Legacy "PYTHIA01" files (no checksums, no framing) are still readable.
+// After the thread sections the writer appends one optional *compiled*
+// section per thread (kind 3): the grammar lowered into the zero-copy
+// prediction automaton of compile.hpp, 64-byte aligned in the file so it
+// can be served straight from an mmap. Readers older than the compiled
+// section simply stop after the last thread section — the trailing bytes
+// are invisible to them. Legacy "PYTHIA01" files (no checksums, no
+// framing) are still readable.
 //
 // Timing context keys hash grammar *stable node ids*; finalize() assigns
 // them deterministically from the rule/body order, which the serializer
@@ -58,6 +64,14 @@ struct Trace {
   /// built in memory (every section implicitly OK). A non-OK entry marks
   /// a salvaged placeholder: empty grammar, no timing.
   std::vector<Status> section_status;
+
+  /// Per-thread status of the optional *compiled* section, parallel to
+  /// `threads` (empty for in-memory and legacy traces). A non-OK entry
+  /// means the file carried a compiled artifact for that thread but it
+  /// failed validation and was dropped — the thread still serves via the
+  /// interpreted predictor (threads[i].compiled.valid() is the "is it
+  /// actually there" check; this vector explains why it is not).
+  std::vector<Status> compiled_status;
 
   /// True when thread `index` exists and loaded intact.
   bool thread_ok(std::size_t index) const {
@@ -113,8 +127,31 @@ Status save_trace_file(const std::string& path, const EventRegistry& registry,
 /// use to prove sharded record equals sequential record, rank by rank.
 std::uint64_t thread_section_digest(const ThreadTrace& thread);
 
+/// Same digest from live parts (`timing` nullptr = empty model) — what
+/// the checkpointer and the grammar compiler use before a ThreadTrace
+/// exists.
+std::uint64_t thread_section_digest(const Grammar& grammar,
+                                    const TimingModel* timing);
+
 /// Whole-trace digest: registry tables plus every thread-section digest,
 /// order-sensitive.
 std::uint64_t trace_digest(const Trace& trace);
+
+/// Zero-copy load over an already-mapped PYTHIA02 image (`data` spans the
+/// whole file, magic included). Decodes the registry tables, *skips* the
+/// thread sections entirely — their pages are never touched — and points
+/// each thread's CompiledView directly at the mapped compiled section
+/// (the writer 64-byte aligns blobs in the file, so a page-aligned
+/// mapping preserves the alignment CompiledView::parse demands).
+///
+/// The returned Trace borrows `data`: the caller must keep the mapping
+/// alive for as long as the trace (engine::TraceSnapshot pins the
+/// support::MappedFile). Threads without a valid compiled section are
+/// inert placeholders with a non-OK section_status — callers fall back
+/// to Trace::try_load when they need those threads. Registry or
+/// thread-framing damage fails the load outright (the fallback loader
+/// can salvage; this one cannot).
+Result<Trace> load_trace_zero_copy(const unsigned char* data,
+                                   std::size_t size);
 
 }  // namespace pythia

@@ -1,6 +1,7 @@
 #include "engine/snapshot.hpp"
 
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 
 namespace pythia::engine {
 
@@ -13,6 +14,21 @@ TraceSnapshot::TraceSnapshot(Trace&& trace, std::uint64_t version)
     }
   }
   digest_ = trace_digest(trace_);
+}
+
+TraceSnapshot::TraceSnapshot(Trace&& trace, support::MappedFile&& mapped,
+                             std::uint64_t version)
+    : trace_(std::move(trace)),
+      mapped_file_(std::move(mapped)),
+      version_(version) {
+  // Mapped snapshots never decode thread payloads, so the digest is built
+  // from what the compiled sections certify about them instead.
+  digest_ = 0x5a707943u;  // arbitrary mode tag: "ZpyC"
+  for (const ThreadTrace& thread : trace_.threads) {
+    digest_ = support::hash_combine(
+        digest_, thread.compiled.valid() ? thread.compiled.grammar_digest()
+                                         : 0);
+  }
 }
 
 std::shared_ptr<const TraceSnapshot> TraceSnapshot::make(
@@ -28,14 +44,41 @@ Result<std::shared_ptr<const TraceSnapshot>> TraceSnapshot::load(
   return make(loaded.take(), version);
 }
 
+Result<std::shared_ptr<const TraceSnapshot>> TraceSnapshot::load_mapped(
+    const std::string& path, std::uint64_t version) {
+  Result<support::MappedFile> mapped = support::MappedFile::open(path);
+  if (!mapped.ok()) return mapped.status();
+  support::MappedFile file = mapped.take();
+  Result<Trace> loaded = load_trace_zero_copy(file.data(), file.size());
+  if (!loaded.ok()) return loaded.status();
+  Trace trace = loaded.take();
+  bool any_compiled = false;
+  for (const ThreadTrace& thread : trace.threads) {
+    any_compiled = any_compiled || thread.compiled.valid();
+  }
+  if (!any_compiled) {
+    // Nothing servable in place (legacy file, or every compiled section
+    // damaged) — tell the caller to take the deserializing path rather
+    // than publishing a snapshot no session can open.
+    return Status::invalid_state(
+        "mapped load: no usable compiled section in '" + path + "'");
+  }
+  return std::shared_ptr<const TraceSnapshot>(
+      new TraceSnapshot(std::move(trace), std::move(file), version));
+}
+
 PredictSession::PredictSession(std::shared_ptr<const TraceSnapshot> snapshot,
                                std::size_t section,
                                const Predictor::Options& options)
     : snapshot_(std::move(snapshot)), section_(section) {
   const ThreadTrace& thread = snapshot_->section(section_);
-  predictor_ = std::make_unique<Predictor>(
-      thread.grammar, thread.timing.empty() ? nullptr : &thread.timing,
-      options);
+  if (thread.compiled.valid()) {
+    compiled_ = std::make_unique<CompiledPredictor>(thread.compiled, options);
+  } else {
+    predictor_ = std::make_unique<Predictor>(
+        thread.grammar, thread.timing.empty() ? nullptr : &thread.timing,
+        options);
+  }
 }
 
 Result<PredictSession> PredictServer::open(

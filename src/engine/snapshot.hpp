@@ -32,8 +32,10 @@
 #include <string>
 #include <utility>
 
+#include "core/compiled_predictor.hpp"
 #include "core/predictor.hpp"
 #include "core/trace_io.hpp"
+#include "support/io.hpp"
 #include "support/status.hpp"
 
 namespace pythia::engine {
@@ -52,6 +54,17 @@ class TraceSnapshot {
   static Result<std::shared_ptr<const TraceSnapshot>> load(
       const std::string& path, std::uint64_t version = 0);
 
+  /// Zero-copy load: mmaps the file and serves the compiled sections in
+  /// place — thread sections are never deserialized (their pages are not
+  /// even faulted in), so cold-start cost is O(pages touched) instead of
+  /// O(trace size). Sessions over a mapped snapshot always run the
+  /// CompiledPredictor; sections without a valid compiled artifact are
+  /// unopenable (section_ok false). Fails — rather than degrading — when
+  /// the file has no usable compiled section at all, so callers can fall
+  /// back to load(). The snapshot pins the mapping.
+  static Result<std::shared_ptr<const TraceSnapshot>> load_mapped(
+      const std::string& path, std::uint64_t version = 0);
+
   const Trace& trace() const { return trace_; }
   std::uint64_t version() const { return version_; }
   std::size_t sections() const { return trace_.threads.size(); }
@@ -59,13 +72,22 @@ class TraceSnapshot {
   const ThreadTrace& section(std::size_t index) const {
     return trace_.threads[index];
   }
-  /// Content digest (trace_digest) — lets a reloader skip a no-op swap.
+  /// True for snapshots produced by load_mapped (compiled-only serving,
+  /// grammars not materialized).
+  bool mapped() const { return mapped_file_.valid(); }
+  /// Content digest — lets a reloader skip a no-op swap. Full snapshots
+  /// use trace_digest; mapped ones combine the compiled sections'
+  /// embedded grammar digests (the thread payloads are not decoded, so
+  /// the two flavours are not comparable across modes).
   std::uint64_t digest() const { return digest_; }
 
  private:
   TraceSnapshot(Trace&& trace, std::uint64_t version);
+  TraceSnapshot(Trace&& trace, support::MappedFile&& mapped,
+                std::uint64_t version);
 
   Trace trace_;
+  support::MappedFile mapped_file_;
   std::uint64_t version_ = 0;
   std::uint64_t digest_ = 0;
 };
@@ -75,13 +97,17 @@ class TraceSnapshot {
 /// Movable, not copyable (a Predictor's tracking state is one client's).
 class PredictSession {
  public:
-  void observe(TerminalId event) { predictor_->observe(event); }
+  void observe(TerminalId event) {
+    compiled_ ? compiled_->observe(event) : predictor_->observe(event);
+  }
 
   std::optional<Prediction> predict(std::size_t distance) const {
-    return predictor_->predict(distance);
+    return compiled_ ? compiled_->predict(distance)
+                     : predictor_->predict(distance);
   }
   std::optional<double> predict_time_ns(std::size_t distance) const {
-    return predictor_->predict_time_ns(distance);
+    return compiled_ ? compiled_->predict_time_ns(distance)
+                     : predictor_->predict_time_ns(distance);
   }
 
   /// Batched query path: the most probable next `count` events, written
@@ -89,13 +115,23 @@ class PredictSession {
   /// warm-up). Returns the number filled — short when the reference ends
   /// or the breaker suppresses predictions.
   std::size_t predict_n(TerminalId* out, std::size_t count) {
-    return predictor_->predict_sequence_into(out, count);
+    return compiled_ ? compiled_->predict_sequence_into(out, count)
+                     : predictor_->predict_sequence_into(out, count);
   }
 
-  Health health() const { return predictor_->health(); }
-  double confidence() const { return predictor_->confidence(); }
-  const Predictor::Stats& stats() const { return predictor_->stats(); }
-  const Predictor& predictor() const { return *predictor_; }
+  Health health() const {
+    return compiled_ ? compiled_->health() : predictor_->health();
+  }
+  double confidence() const {
+    return compiled_ ? compiled_->confidence() : predictor_->confidence();
+  }
+  const Predictor::Stats& stats() const {
+    return compiled_ ? compiled_->stats() : predictor_->stats();
+  }
+  /// True when this session serves from the compiled automaton (always
+  /// the case over a mapped snapshot; also whenever the section carries
+  /// a valid compiled artifact).
+  bool using_compiled() const { return compiled_ != nullptr; }
 
   /// The snapshot this session is pinned to (publisher swaps do not move
   /// a live session; re-open to pick up a new snapshot).
@@ -110,7 +146,10 @@ class PredictSession {
 
   std::shared_ptr<const TraceSnapshot> snapshot_;
   std::size_t section_ = 0;
+  // Exactly one engine is live, chosen at open: the compiled automaton
+  // when the section carries one, the interpreted walker otherwise.
   std::unique_ptr<Predictor> predictor_;
+  std::unique_ptr<CompiledPredictor> compiled_;
 };
 
 class PredictServer {

@@ -147,7 +147,7 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           // collected at the finalize barrier after the cluster joins.
           if (record_engine == nullptr) recorded[rank] = oracle.finish();
         } else if (oracle.predicting()) {
-          const Predictor::Stats& s = oracle.predictor()->stats();
+          const Predictor::Stats& s = oracle.predictor_stats();
           result.predictor_stats.observed += s.observed;
           result.predictor_stats.advanced += s.advanced;
           result.predictor_stats.reanchored += s.reanchored;

@@ -57,10 +57,8 @@ class PersistentSendOptimizer {
     // execution we are provably not in — pay no setup, send vanilla.
     if (mpi_.oracle().predicting() && !mpi_.oracle().degraded()) {
       const TerminalId terminal = mpi_.isend_terminal(dst);
-      const Predictor* predictor = mpi_.oracle().predictor();
-      if (predictor != nullptr &&
-          predictor->reference_occurrences(terminal) >=
-              options_.min_occurrences) {
+      if (mpi_.oracle().reference_occurrences(terminal) >=
+          options_.min_occurrences) {
         mpi_.raw().setup_persistent();
         channels_.emplace(key, true);
         ++stats_.channels;

@@ -146,7 +146,22 @@ Result<std::shared_ptr<const engine::TraceSnapshot>> TraceRegistry::acquire(
   // rare and the hot path — resident acquire — is a map walk).
   ++stats_.cold_loads;
   Result<std::shared_ptr<const engine::TraceSnapshot>> loaded =
-      engine::TraceSnapshot::load(entry->path, entry->version + 1);
+      Status::invalid_state("mapped load disabled");
+  if (options_.prefer_mapped) {
+    // Zero-copy first: traces with compiled sections serve straight from
+    // the page cache with no deserialization. Anything unservable that
+    // way (legacy file, damaged compiled sections) falls back below.
+    loaded = engine::TraceSnapshot::load_mapped(entry->path,
+                                                entry->version + 1);
+    if (loaded.ok()) {
+      ++stats_.mapped_loads;
+    } else {
+      ++stats_.mapped_fallbacks;
+    }
+  }
+  if (!loaded.ok()) {
+    loaded = engine::TraceSnapshot::load(entry->path, entry->version + 1);
+  }
   if (!loaded.ok()) {
     ++stats_.load_failures;
     return loaded.status();

@@ -43,6 +43,10 @@ struct RegistryOptions {
   /// fsync the manifest (and its directory) on every rewrite. Off is
   /// still atomic against process death; on survives power loss.
   bool durable_manifest = false;
+  /// Cold loads try the zero-copy mmap path first (compiled sections
+  /// served in place, thread sections never deserialized) and fall back
+  /// to the full loader for traces without usable compiled sections.
+  bool prefer_mapped = true;
 };
 
 class TraceRegistry {
@@ -88,6 +92,11 @@ class TraceRegistry {
   struct Stats {
     std::uint64_t cold_loads = 0;
     std::uint64_t load_failures = 0;
+    /// Cold loads served zero-copy from an mmap of the trace file.
+    std::uint64_t mapped_loads = 0;
+    /// Cold loads where the mapped path was unusable and the full
+    /// deserializing loader took over.
+    std::uint64_t mapped_fallbacks = 0;
     std::uint64_t evictions = 0;
     std::uint64_t publishes = 0;
     std::uint64_t manifest_writes = 0;

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstddef>
 #include <cstdio>
@@ -197,6 +199,94 @@ inline bool path_exists(const std::string& path) {
   struct stat st {};
   return ::stat(path.c_str(), &st) == 0;
 }
+
+/// Read-only memory map of a whole file — the zero-copy trace load path.
+/// The kernel pages data in on demand, so "loading" a mapped trace costs
+/// O(pages actually touched), not O(file size), and concurrent readers of
+/// the same file share one physical copy of the page cache.
+///
+/// Move-only RAII: the mapping (and with it every pointer into data())
+/// lives until the MappedFile is destroyed or moved from. The descriptor
+/// is closed right after mmap(2) — the mapping keeps the file alive.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+  MappedFile(MappedFile&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file maps to a valid zero-length
+  /// view (data() == nullptr, size() == 0) — mmap(2) rejects length 0.
+  static Result<MappedFile> open(const std::string& path) {
+    const int fd = open_noeintr(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return errno_status("open", path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      const Status status = errno_status("stat", path);
+      close_noeintr(fd);
+      return status;
+    }
+    MappedFile mapped;
+    mapped.size_ = static_cast<std::size_t>(st.st_size);
+    if (mapped.size_ > 0) {
+      void* addr =
+          ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        const Status status = errno_status("mmap", path);
+        close_noeintr(fd);
+        return status;
+      }
+      mapped.data_ = static_cast<const unsigned char*>(addr);
+      // The serving access pattern is random probes into the compiled
+      // tables; readahead would fault in pages nobody asked for.
+      (void)::madvise(addr, mapped.size_, MADV_RANDOM);
+    }
+    close_noeintr(fd);
+    return mapped;
+  }
+
+  /// Hints the kernel that `[offset, offset+length)` will be accessed
+  /// soon (page-granular; best effort).
+  void will_need(std::size_t offset, std::size_t length) const {
+    if (data_ == nullptr || offset >= size_) return;
+    length = std::min(length, size_ - offset);
+    const std::size_t page = 4096;
+    const std::size_t begin = offset & ~(page - 1);
+    (void)::madvise(const_cast<unsigned char*>(data_) + begin,
+                    offset + length - begin, MADV_WILLNEED);
+  }
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void reset() {
+    if (data_ != nullptr) {
+      (void)::munmap(const_cast<unsigned char*>(data_), size_);
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 inline bool is_directory(const std::string& path) {
   struct stat st {};

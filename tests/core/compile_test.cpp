@@ -1,0 +1,167 @@
+// Grammar compiler unit tests: the compiled blob must be a faithful,
+// deterministic, self-validating lowering of a finalized grammar +
+// timing model (compile.hpp), round-trippable through the PYTHIA02
+// compiled section and the zero-copy loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/compile.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/io.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+ThreadTrace record_loopy(std::uint64_t seed, int alphabet, int length) {
+  support::Rng rng(seed);
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  int emitted = 0;
+  while (emitted < length) {
+    const auto body_length = 1 + rng.below(4);
+    std::vector<TerminalId> body;
+    for (std::uint64_t i = 0; i < body_length; ++i) {
+      body.push_back(static_cast<TerminalId>(rng.below(alphabet)));
+    }
+    const auto reps = 1 + rng.below(12);
+    for (std::uint64_t r = 0; r < reps && emitted < length; ++r) {
+      for (TerminalId t : body) {
+        recorder.record(t, now += 100 + rng.below(400));
+        ++emitted;
+      }
+    }
+  }
+  return std::move(recorder).finish();
+}
+
+TEST(Compile, ProducesValidatedBlobWithFaithfulTables) {
+  ThreadTrace thread = record_loopy(1, 5, 600);
+  ASSERT_TRUE(thread.compile());
+  const CompiledView& view = thread.compiled;
+  ASSERT_TRUE(view.valid());
+
+  EXPECT_EQ(view.sequence_length(), thread.grammar.sequence_length());
+  EXPECT_EQ(view.grammar_digest(), thread_section_digest(thread));
+  EXPECT_TRUE(view.has_timing());
+  EXPECT_GT(view.node_count(), 0u);
+  EXPECT_EQ(view.rule_count(), thread.grammar.rules().size());
+
+  // Occurrence spans partition the sequence: summing total over every
+  // terminal recovers the sequence length exactly.
+  std::uint64_t total = 0;
+  for (TerminalId t = 0; t < view.terminal_count(); ++t) {
+    total += view.occ_span(t).total;
+  }
+  EXPECT_EQ(total, view.sequence_length());
+
+  // A terminal the reference never saw has an empty span, even past the
+  // table end.
+  EXPECT_EQ(view.occ_span(view.terminal_count()).total, 0u);
+  EXPECT_EQ(view.occ_span(9999).count, 0u);
+}
+
+TEST(Compile, ByteDeterministic) {
+  ThreadTrace thread = record_loopy(2, 6, 500);
+  const std::uint64_t digest = thread_section_digest(thread);
+  const std::vector<unsigned char> first =
+      compile_thread(thread.grammar, &thread.timing, digest);
+  const std::vector<unsigned char> second =
+      compile_thread(thread.grammar, &thread.timing, digest);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Compile, RejectsUnfinalizedAndEmpty) {
+  Grammar unfinalized;
+  unfinalized.append(1);
+  EXPECT_TRUE(compile_thread(unfinalized, nullptr, 0).empty());
+
+  ThreadTrace empty;
+  EXPECT_FALSE(empty.compile());
+  EXPECT_FALSE(empty.compiled.valid());
+}
+
+TEST(Compile, TimingLookupMatchesModel) {
+  ThreadTrace thread = record_loopy(3, 4, 400);
+  ASSERT_TRUE(thread.compile());
+  const CompiledView& view = thread.compiled;
+  ASSERT_TRUE(view.has_timing());
+  // Every context the model knows must resolve to the same mean.
+  for (const auto& [key, stat] : thread.timing.contexts()) {
+    double mean = 0.0;
+    ASSERT_TRUE(view.timing_lookup(key, mean));
+    EXPECT_DOUBLE_EQ(mean,
+                     stat.sum_ns / static_cast<double>(stat.count));
+  }
+  double unused = 0.0;
+  EXPECT_FALSE(view.timing_lookup(0xdeadbeefcafef00dULL, unused));
+}
+
+TEST(Compile, FileRoundTripCarriesCompiledSection) {
+  Trace trace;
+  trace.registry.intern("a");
+  trace.registry.intern("b");
+  trace.registry.intern("c");
+  trace.threads.push_back(record_loopy(4, 3, 500));
+  const std::string path = temp_path("compile_roundtrip.pythia");
+  trace.save(path);
+
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  ASSERT_TRUE(loaded.threads[0].compiled.valid());
+  ASSERT_EQ(loaded.compiled_status.size(), 1u);
+  EXPECT_TRUE(loaded.compiled_status[0].ok());
+  EXPECT_EQ(loaded.threads[0].compiled.grammar_digest(),
+            thread_section_digest(loaded.threads[0]));
+  std::remove(path.c_str());
+}
+
+TEST(Compile, ZeroCopyLoadServesCompiledInPlace) {
+  Trace trace;
+  trace.registry.intern("a");
+  trace.registry.intern("b");
+  trace.registry.intern("c");
+  trace.threads.push_back(record_loopy(5, 3, 500));
+  const std::string path = temp_path("compile_zero_copy.pythia");
+  trace.save(path);
+
+  Result<support::MappedFile> mapped = support::MappedFile::open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().to_string();
+  const support::MappedFile file = mapped.take();
+  Result<Trace> loaded = load_trace_zero_copy(file.data(), file.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  const Trace& zero_copy = loaded.value();
+
+  ASSERT_EQ(zero_copy.threads.size(), 1u);
+  ASSERT_TRUE(zero_copy.threads[0].compiled.valid());
+  EXPECT_TRUE(zero_copy.thread_ok(0));
+  // The view must point INTO the mapping — zero copies.
+  const unsigned char* blob = zero_copy.threads[0].compiled.data();
+  EXPECT_GE(blob, file.data());
+  EXPECT_LT(blob, file.data() + file.size());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(blob) % 64, 0u)
+      << "blob must be 64-byte aligned in the file";
+  // The registry decoded; the grammar did not (that is the point).
+  EXPECT_EQ(zero_copy.registry.event_count(), trace.registry.event_count());
+  EXPECT_EQ(zero_copy.threads[0].grammar.sequence_length(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Compile, ZeroCopyRejectsLegacyAndGarbage) {
+  const std::string path = temp_path("compile_zero_copy_bad.pythia");
+  const std::vector<unsigned char> garbage = {'n', 'o', 'p', 'e'};
+  EXPECT_FALSE(load_trace_zero_copy(garbage.data(), garbage.size()).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pythia

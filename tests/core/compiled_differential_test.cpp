@@ -1,0 +1,153 @@
+// CompiledPredictor vs interpreted Predictor: the compiled automaton is
+// a pure lowering, so on the SAME event stream with the SAME options the
+// two engines must be bit-identical observers — every prediction, every
+// probability, every confidence value, every breaker transition — across
+// the full application catalog, including streams that diverge from the
+// reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/compiled_predictor.hpp"
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "harness/runner.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+struct Engines {
+  Predictor interpreted;
+  CompiledPredictor compiled;
+
+  Engines(const ThreadTrace& thread, const Predictor::Options& options)
+      : interpreted(thread.grammar,
+                    thread.timing.empty() ? nullptr : &thread.timing,
+                    options),
+        compiled(thread.compiled, options) {}
+};
+
+void expect_same_prediction(const std::optional<Prediction>& a,
+                            const std::optional<Prediction>& b,
+                            const char* what, std::size_t step) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << what << " at step " << step;
+  if (a.has_value()) {
+    EXPECT_EQ(a->event, b->event) << what << " at step " << step;
+    EXPECT_DOUBLE_EQ(a->probability, b->probability)
+        << what << " at step " << step;
+  }
+}
+
+/// Feeds `stream` to both engines, comparing the full observable surface
+/// at every step.
+void run_differential(const ThreadTrace& thread,
+                      const std::vector<TerminalId>& stream,
+                      const Predictor::Options& options) {
+  Engines engines(thread, options);
+  TerminalId batch_a[16];
+  TerminalId batch_b[16];
+  for (std::size_t step = 0; step < stream.size(); ++step) {
+    engines.interpreted.observe(stream[step]);
+    engines.compiled.observe(stream[step]);
+
+    for (const std::size_t distance : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{5}, std::size_t{8},
+                                       std::size_t{13}}) {
+      expect_same_prediction(engines.interpreted.predict(distance),
+                             engines.compiled.predict(distance), "predict",
+                             step);
+    }
+    EXPECT_DOUBLE_EQ(engines.interpreted.confidence(),
+                     engines.compiled.confidence())
+        << "step " << step;
+    ASSERT_EQ(engines.interpreted.health(), engines.compiled.health())
+        << "step " << step;
+
+    const auto eta_a = engines.interpreted.predict_time_ns(1);
+    const auto eta_b = engines.compiled.predict_time_ns(1);
+    ASSERT_EQ(eta_a.has_value(), eta_b.has_value()) << "step " << step;
+    if (eta_a.has_value()) {
+      EXPECT_DOUBLE_EQ(*eta_a, *eta_b);
+    }
+
+    if (step % 16 == 0) {
+      const std::size_t n_a =
+          engines.interpreted.predict_sequence_into(batch_a, 16);
+      const std::size_t n_b =
+          engines.compiled.predict_sequence_into(batch_b, 16);
+      ASSERT_EQ(n_a, n_b) << "predict_n length at step " << step;
+      for (std::size_t i = 0; i < n_a; ++i) {
+        ASSERT_EQ(batch_a[i], batch_b[i])
+            << "predict_n[" << i << "] at step " << step;
+      }
+    }
+  }
+  const Predictor::Stats& stats_a = engines.interpreted.stats();
+  const Predictor::Stats& stats_b = engines.compiled.stats();
+  EXPECT_EQ(stats_a.observed, stats_b.observed);
+  EXPECT_EQ(stats_a.advanced, stats_b.advanced);
+  EXPECT_EQ(stats_a.reanchored, stats_b.reanchored);
+  EXPECT_EQ(stats_a.unknown, stats_b.unknown);
+  EXPECT_EQ(stats_a.anchors, stats_b.anchors);
+  EXPECT_EQ(stats_a.anchors_suppressed, stats_b.anchors_suppressed);
+}
+
+/// 1.5% of events substituted — forces misses, re-anchors and (with the
+/// breaker armed) degraded/recovering transitions on both engines.
+std::vector<TerminalId> perturb(std::vector<TerminalId> stream,
+                                std::uint64_t seed, TerminalId alphabet) {
+  support::Rng rng(seed);
+  for (TerminalId& event : stream) {
+    if (rng.below(1000) < 15) {
+      event = static_cast<TerminalId>(rng.below(alphabet + 3));
+    }
+  }
+  return stream;
+}
+
+class CompiledCatalogDifferential
+    : public ::testing::TestWithParam<const apps::App*> {};
+
+TEST_P(CompiledCatalogDifferential, ExactReplayAndDivergedReplayMatch) {
+  const apps::App& app = *GetParam();
+  harness::RunConfig config;
+  config.mode = harness::Mode::kRecord;
+  config.app.set = apps::WorkingSet::kSmall;
+  config.app.scale = 0.2;
+  harness::RunResult result = harness::run_app(app, config);
+
+  ASSERT_FALSE(result.trace.threads.empty());
+  ThreadTrace subject = std::move(result.trace.threads[0]);
+  ASSERT_TRUE(subject.grammar.finalized());
+  ASSERT_TRUE(subject.compile());
+
+  const std::vector<TerminalId> stream = subject.grammar.unfold();
+  ASSERT_FALSE(stream.empty());
+  TerminalId max_terminal = 0;
+  for (TerminalId t : stream) max_terminal = std::max(max_terminal, t);
+
+  // Analysis options: no breaker, every re-anchor visible.
+  run_differential(subject, stream, Predictor::Options{});
+  // Runtime options: breaker armed — exercised hard by the perturbed
+  // replay below.
+  run_differential(subject, stream, Predictor::Options::runtime_defaults());
+  run_differential(subject, perturb(stream, 0xD1FF + app.name().size(),
+                                    max_terminal),
+                   Predictor::Options::runtime_defaults());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CompiledCatalogDifferential,
+    ::testing::ValuesIn(apps::all_apps()),
+    [](const ::testing::TestParamInfo<const apps::App*>& info) {
+      return info.param->name();
+    });
+
+}  // namespace
+}  // namespace pythia

@@ -317,9 +317,12 @@ TEST(SerializationFuzz, TruncationCorpusNeverCrashes) {
 TEST(SerializationFuzz, ThreadSectionFlipSalvagesOnlyThatThread) {
   CorruptionFixture fixture;
   const std::vector<SectionSpan> sections = scan_sections(fixture.pristine);
-  // Section 0 is the registry; the rest are threads.
-  ASSERT_EQ(sections.size(), 5u);
+  // Section 0 is the registry, then four thread sections, then the
+  // trailing compiled sections (one per compilable thread).
+  ASSERT_EQ(sections.size(), 9u);
   ASSERT_EQ(sections[0].kind, 1u);
+  for (std::size_t i = 1; i <= 4; ++i) EXPECT_EQ(sections[i].kind, 2u);
+  for (std::size_t i = 5; i <= 8; ++i) EXPECT_EQ(sections[i].kind, 3u);
 
   // Flip one payload bit in the third thread's section.
   const SectionSpan& victim = sections[3];
@@ -338,6 +341,14 @@ TEST(SerializationFuzz, ThreadSectionFlipSalvagesOnlyThatThread) {
   for (std::size_t i : {0u, 1u, 3u}) {
     EXPECT_TRUE(trace.thread_ok(i));
     EXPECT_EQ(trace.threads[i].grammar.unfold(), fixture.sequences[i]);
+  }
+  // The salvaged thread's compiled artifact no longer matches its (now
+  // empty) thread section, so it is dropped; the others survive.
+  EXPECT_FALSE(trace.threads[2].compiled.valid());
+  EXPECT_FALSE(trace.compiled_status[2].ok());
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(trace.threads[i].compiled.valid());
+    EXPECT_TRUE(trace.compiled_status[i].ok());
   }
 
   // Strict mode refuses the same file outright…

@@ -3,6 +3,8 @@
 // crashes, hangs, or silent acceptance of structurally invalid data.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -81,6 +83,30 @@ TEST(TraceFuzz, SingleByteCorruptionNeverCrashes) {
 TEST(TraceFuzz, TruncationAtEveryOffsetIsClean) {
   const std::string path = temp_path("fuzz_truncate.pythia");
   const std::vector<unsigned char> valid = make_valid_file(path);
+
+  // Section boundaries at or after the last *thread* section are legal
+  // truncation points: dropping whole trailing (compiled) sections yields
+  // a structurally valid file that just serves interpreted. Every other
+  // cut must be rejected, even when only the optional tail is damaged.
+  std::vector<std::size_t> legal_cuts;
+  {
+    std::size_t offset = 8;  // magic
+    std::size_t tail_start = valid.size();
+    while (offset + 16 <= valid.size()) {
+      const std::uint32_t kind = static_cast<std::uint32_t>(valid[offset]) |
+                                 (static_cast<std::uint32_t>(valid[offset + 1])
+                                  << 8);
+      const std::uint32_t size =
+          static_cast<std::uint32_t>(valid[offset + 4]) |
+          (static_cast<std::uint32_t>(valid[offset + 5]) << 8) |
+          (static_cast<std::uint32_t>(valid[offset + 6]) << 16) |
+          (static_cast<std::uint32_t>(valid[offset + 7]) << 24);
+      offset += 16 + size;
+      if (kind == 2) tail_start = offset;  // after the last thread section
+      if (offset >= tail_start) legal_cuts.push_back(offset);
+    }
+  }
+
   // Step through truncation points (every 7 bytes to keep the test
   // fast; includes offset 0).
   for (std::size_t cut = 0; cut < valid.size(); cut += 7) {
@@ -88,7 +114,16 @@ TEST(TraceFuzz, TruncationAtEveryOffsetIsClean) {
                                          valid.begin() +
                                              static_cast<std::ptrdiff_t>(cut));
     write_bytes(path, truncated);
-    EXPECT_THROW(Trace::load(path), std::runtime_error) << "cut=" << cut;
+    const bool legal = std::find(legal_cuts.begin(), legal_cuts.end(), cut) !=
+                       legal_cuts.end();
+    if (legal) {
+      const Trace loaded = Trace::load(path);
+      ASSERT_EQ(loaded.threads.size(), 1u) << "cut=" << cut;
+      loaded.threads[0].grammar.check_invariants();
+      EXPECT_FALSE(loaded.threads[0].compiled.valid()) << "cut=" << cut;
+    } else {
+      EXPECT_THROW(Trace::load(path), std::runtime_error) << "cut=" << cut;
+    }
   }
   std::remove(path.c_str());
 }

@@ -98,8 +98,15 @@ TEST(PredictServer, PredictNMatchesPredictSequence) {
   TerminalId batched[12] = {};
   const std::size_t n = session.predict_n(batched, 12);
   ASSERT_GT(n, 0u);
-  const std::vector<TerminalId> reference =
-      session.predictor().predict_sequence(12);
+  // Reference: an independent interpreted predictor over the same
+  // section, tracked to the same position.
+  const ThreadTrace& thread = session.snapshot()->section(0);
+  Predictor interpreter(thread.grammar,
+                        thread.timing.empty() ? nullptr : &thread.timing,
+                        Predictor::Options{});
+  interpreter.observe(0);
+  interpreter.observe(1);
+  const std::vector<TerminalId> reference = interpreter.predict_sequence(12);
   ASSERT_EQ(n, reference.size());
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(batched[i], reference[i]);
   // The loop continues c a b c a b ...
@@ -167,6 +174,63 @@ TEST(PredictServer, ManyConcurrentSessionsShareOneSnapshot) {
   }
   for (std::thread& client : clients) client.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TraceSnapshot, MappedLoadServesCompiledWithoutDeserializing) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "pythia_snapshot_mapped.pythia";
+  const Trace trace = loop_trace(20);
+  ASSERT_TRUE(trace.try_save(path.string()).ok());
+
+  Result<std::shared_ptr<const TraceSnapshot>> mapped =
+      TraceSnapshot::load_mapped(path.string(), /*version=*/5);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().to_string();
+  const auto snapshot = mapped.value();
+  EXPECT_TRUE(snapshot->mapped());
+  EXPECT_EQ(snapshot->version(), 5u);
+  ASSERT_EQ(snapshot->sections(), 1u);
+  EXPECT_TRUE(snapshot->section_ok(0));
+  // The grammar was never materialized; the compiled view was.
+  EXPECT_EQ(snapshot->section(0).grammar.sequence_length(), 0u);
+  ASSERT_TRUE(snapshot->section(0).compiled.valid());
+
+  // Sessions over the mapped snapshot serve from the compiled automaton
+  // and predict exactly like a fully-loaded one.
+  PredictServer server(snapshot);
+  PredictSession session = server.open(0).take();
+  EXPECT_TRUE(session.using_compiled());
+  session.observe(0);
+  session.observe(1);
+  const auto next = session.predict(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->event, 2u);
+  const auto eta = session.predict_time_ns(1);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_NEAR(*eta, 1000.0, 1e-6);
+  fs::remove(path);
+}
+
+TEST(TraceSnapshot, MappedLoadFailsWithoutCompiledSections) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "pythia_snapshot_nocompiled.pythia";
+  // A trace whose only thread cannot compile (empty) still saves fine —
+  // but carries no compiled section, so the mapped loader must refuse
+  // and the caller falls back to TraceSnapshot::load.
+  Trace trace;
+  trace.registry.intern("a");
+  Oracle oracle = Oracle::record(false);
+  trace.threads.push_back(oracle.finish());
+  ASSERT_TRUE(trace.try_save(path.string()).ok());
+
+  Result<std::shared_ptr<const TraceSnapshot>> mapped =
+      TraceSnapshot::load_mapped(path.string());
+  EXPECT_FALSE(mapped.ok());
+  Result<std::shared_ptr<const TraceSnapshot>> full =
+      TraceSnapshot::load(path.string());
+  EXPECT_TRUE(full.ok()) << full.status().to_string();
+  fs::remove(path);
 }
 
 }  // namespace

@@ -55,6 +55,37 @@ TEST_F(RegistryTest, AddAcquireRoundTrip) {
   EXPECT_EQ(again.value().get(), acquired.value().get());
 }
 
+TEST_F(RegistryTest, ColdLoadPrefersZeroCopyMapping) {
+  TraceRegistry registry;
+  const std::string path = write_trace_file(dir_, "zc", 30);
+  ASSERT_TRUE(registry.add("zc", path).ok());
+
+  auto acquired = registry.acquire("zc");
+  ASSERT_TRUE(acquired.ok()) << acquired.status().to_string();
+  // The trace has compiled sections, so the cold load mapped the file
+  // and never deserialized the thread sections.
+  EXPECT_TRUE(acquired.value()->mapped());
+  EXPECT_EQ(registry.stats().mapped_loads, 1u);
+  EXPECT_EQ(registry.stats().mapped_fallbacks, 0u);
+  EXPECT_TRUE(acquired.value()->section(0).compiled.valid());
+}
+
+TEST_F(RegistryTest, MappedLoadDisabledFallsBackToFullLoad) {
+  RegistryOptions options;
+  options.prefer_mapped = false;
+  TraceRegistry registry(options);
+  const std::string path = write_trace_file(dir_, "full", 30);
+  ASSERT_TRUE(registry.add("full", path).ok());
+
+  auto acquired = registry.acquire("full");
+  ASSERT_TRUE(acquired.ok()) << acquired.status().to_string();
+  EXPECT_FALSE(acquired.value()->mapped());
+  EXPECT_EQ(registry.stats().mapped_loads, 0u);
+  EXPECT_EQ(registry.stats().mapped_fallbacks, 0u);
+  // Full loads still serve compiled (from the heap-owned blob).
+  EXPECT_TRUE(acquired.value()->section(0).compiled.valid());
+}
+
 TEST_F(RegistryTest, RejectsBadNamesAndUnknownTraces) {
   TraceRegistry registry;
   EXPECT_FALSE(registry.add("", "/x").ok());
