@@ -172,13 +172,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     trace = recovered.take();
-    std::printf("%s: record session (%llu journaled events, %s, "
-                "%llu replayed, %llu torn byte(s))\n",
-                argv[1],
-                static_cast<unsigned long long>(info.journaled_events),
-                info.used_checkpoint ? "checkpoint used" : "no checkpoint",
-                static_cast<unsigned long long>(info.replayed_events),
-                static_cast<unsigned long long>(info.torn_bytes));
+    // Recovery summary: enough for an operator to audit what a crash
+    // cost — which checkpoint seeded the grammar, how much journal tail
+    // was replayed on top, and whether a torn write was truncated.
+    std::printf("%s: record session — recovery summary\n", argv[1]);
+    std::printf("  journaled events:  %llu (valid journal prefix)\n",
+                static_cast<unsigned long long>(info.journaled_events));
+    if (info.used_checkpoint) {
+      std::printf("  checkpoint chosen: %s (%llu events)\n",
+                  info.checkpoint_file.c_str(),
+                  static_cast<unsigned long long>(info.checkpoint_events));
+      std::printf("  replayed on top:   %llu journal event(s)\n",
+                  static_cast<unsigned long long>(info.replayed_events));
+    } else {
+      std::printf("  checkpoint chosen: none — full journal replay "
+                  "(%llu event(s))\n",
+                  static_cast<unsigned long long>(info.replayed_events));
+    }
+    if (info.torn_bytes > 0) {
+      std::printf("  torn bytes:        %llu truncated from the tail\n",
+                  static_cast<unsigned long long>(info.torn_bytes));
+    } else {
+      std::printf("  torn bytes:        0 (clean tail)\n");
+    }
     for (const std::string& note : info.notes) {
       std::printf("  note: %s\n", note.c_str());
     }

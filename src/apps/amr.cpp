@@ -1,0 +1,142 @@
+// AMR — adaptive mesh refinement skeleton (MPI), adversarially irregular.
+//
+// Not one of the paper's Table I applications: this workload exists to
+// stress exactly where grammar induction degrades (ROADMAP item 3, cf.
+// "Learning Highly Recursive Input Grammars"). A block-structured AMR
+// code refines and coarsens patches wherever the solution demands it, so
+// the per-cycle communication volume — halo exchanges per refinement
+// level, flux corrections, regrid collectives — follows the *data*, not a
+// static schedule. The refinement trajectory here is drawn from a
+// shared-seed RNG (every rank evaluates the same sequence, so sends and
+// matching receives agree), random-walking the per-rank patch population
+// with occasional refinement bursts and full regrids. Sequitur sees long
+// stretches that almost repeat but keep shifting length — the worst case
+// for rule reuse.
+#include <algorithm>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/kernels.hpp"
+#include "apps/topology.hpp"
+
+namespace pythia::apps {
+namespace {
+
+struct AmrParams {
+  int cycles;
+  int base_patches;   ///< level-0 patches per rank (fixed)
+  int max_extra;      ///< cap on refined patches per rank
+};
+
+AmrParams amr_params(WorkingSet set, double scale) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return {scaled(24, scale), 2, 6};
+    case WorkingSet::kMedium:
+      return {scaled(48, scale), 3, 10};
+    case WorkingSet::kLarge:
+      return {scaled(96, scale), 4, 16};
+  }
+  return {24, 2, 6};
+}
+
+constexpr double kWorkPerPatchNs = 24'000.0;
+
+class AmrApp final : public App {
+ public:
+  std::string name() const override { return "AMR"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    const AmrParams params = amr_params(config.set, config.scale);
+    const int ranks = mpi.size();
+    const int rank = mpi.rank();
+    const std::vector<double> halo(32, 1.0);
+
+    // Initial grid + distribution.
+    mpisim::Payload grid_spec(256);
+    mpi.bcast(grid_spec, 0);
+    mpi.barrier();
+
+    // Per-rank refined-patch counts; all ranks track everyone's so the
+    // halo partners of a refined patch know a message is coming.
+    std::vector<int> extra(static_cast<std::size_t>(ranks), 0);
+
+    for (int cycle = 0; cycle < params.cycles; ++cycle) {
+      support::Rng shared(config.seed * 2654435761u +
+                          static_cast<std::uint64_t>(cycle) * 69069u);
+
+      // Error estimation: refinement is data-dependent — random-walk each
+      // rank's refined-patch population (bursts on a heavy tail).
+      for (int r = 0; r < ranks; ++r) {
+        const double roll = shared.uniform();
+        int delta = 0;
+        if (roll < 0.30) delta = 1;
+        if (roll < 0.06) delta = 3;  // refinement burst
+        if (roll > 0.72) delta = -1;
+        extra[static_cast<std::size_t>(r)] =
+            std::clamp(extra[static_cast<std::size_t>(r)] + delta, 0,
+                       params.max_extra);
+      }
+
+      // Advance: level-0 sweep plus one sweep per refined patch (the
+      // subcycling a real AMR code pays on finer levels).
+      const int my_patches =
+          params.base_patches + extra[static_cast<std::size_t>(rank)];
+      kernels::ep_gaussian_pairs(env.rng, 500);
+      mpi.compute(static_cast<double>(my_patches) * kWorkPerPatchNs);
+
+      // Halo exchange: level-0 halos go to both ring neighbours every
+      // cycle (the regular backbone); each refined patch adds one more
+      // exchange with an RNG-chosen partner (the irregular overlay).
+      const int left = ring_neighbor(rank, ranks, -1);
+      const int right = ring_neighbor(rank, ranks, +1);
+      if (ranks > 1) {
+        std::vector<mpisim::Request> reqs;
+        reqs.push_back(mpi.irecv(left, 100 + cycle % 4));
+        reqs.push_back(mpi.isend_doubles(right, 100 + cycle % 4, halo));
+        mpi.waitall(reqs);
+        for (int r = 0; r < ranks; ++r) {
+          for (int p = 0; p < extra[static_cast<std::size_t>(r)]; ++p) {
+            const int partner =
+                (r + 1 + static_cast<int>(shared.below(
+                             static_cast<std::uint64_t>(ranks - 1)))) %
+                ranks;
+            if (rank == r) {
+              mpi.send_doubles(partner, 200 + p, halo);
+            } else if (rank == partner) {
+              mpi.recv(r, 200 + p);
+            }
+          }
+        }
+      }
+
+      // Flux correction at coarse/fine boundaries.
+      mpi.allreduce(static_cast<double>(my_patches), mpisim::ReduceOp::kSum);
+
+      // Regrid: data-dependent cadence — the whole hierarchy is
+      // rebalanced when the refinement drifted far enough.
+      if (shared.uniform() < 0.18) {
+        mpi.gather(mpisim::Communicator::as_bytes(std::span<const double>(
+                       halo.data(), 8)),
+                   0);
+        mpisim::Payload new_distribution(64);
+        mpi.bcast(new_distribution, 0);
+        mpi.barrier();
+      }
+    }
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* amr_app() {
+  static AmrApp app;
+  return &app;
+}
+
+}  // namespace pythia::apps

@@ -15,9 +15,13 @@
 #include <string_view>
 #include <vector>
 
-#include "mpisim/instrumented_comm.hpp"
+#include "mpisim/guided_comm.hpp"
 #include "ompsim/runtime.hpp"
 #include "support/rng.hpp"
+
+namespace pythia::iosim {
+class PrefetchingReader;
+}
 
 namespace pythia::apps {
 
@@ -45,12 +49,14 @@ struct AppConfig {
   std::uint64_t seed = 42;
 };
 
-/// Everything one rank needs: the instrumented MPI runtime, the (hybrid
-/// apps only) OpenMP runtime sharing the rank's clock, and a
-/// deterministic per-rank RNG.
+/// Everything one rank needs: the instrumented MPI runtime (behind the
+/// consumer-routing GuidedComm facade), the (hybrid apps only) OpenMP
+/// runtime sharing the rank's clock, an optional prediction-guided I/O
+/// reader, and a deterministic per-rank RNG.
 struct RankEnv {
-  mpisim::InstrumentedComm& mpi;
+  mpisim::GuidedComm& mpi;
   ompsim::OmpRuntime* omp = nullptr;
+  iosim::PrefetchingReader* io = nullptr;
   support::Rng rng;
 };
 
@@ -71,7 +77,15 @@ class App {
 /// BT CG EP FT IS LU MG SP AMG Lulesh Kripke miniFE Quicksilver.
 const std::vector<const App*>& all_apps();
 
-/// Lookup by case-sensitive name ("BT", "Lulesh", ...); nullptr if absent.
+/// Adversarially irregular workloads (ROADMAP item 3) — NOT in Table I.
+/// Data-dependent control flow by construction: AMR-style adaptive
+/// refinement, a work-stealing task graph, data-dependent branching with
+/// load imbalance. These stress exactly where grammar induction degrades
+/// (cf. "Learning Highly Recursive Input Grammars", PAPERS.md).
+const std::vector<const App*>& irregular_apps();
+
+/// Lookup by case-sensitive name ("BT", "Lulesh", "AMR", ...) across both
+/// catalogs; nullptr if absent.
 const App* find_app(std::string_view name);
 
 /// max(1, round(count * scale)) — iteration scaling helper.

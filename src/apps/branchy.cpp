@@ -1,0 +1,130 @@
+// Branchy — data-dependent branching and load imbalance (MPI + optional
+// guided I/O), adversarially irregular.
+//
+// Not a Table I application: an analytics-style main loop whose body is
+// chosen per iteration by the *data* — a compute-heavy phase, an
+// I/O-bound phase walking blocks through the prediction-guided reader
+// (RankEnv::io, when the harness enabled it), or an exchange phase whose
+// partner hops around the ring. A shared-seed RNG drives the branch so
+// all ranks agree on the control flow (sends match receives) while the
+// event stream refuses to settle into a single loop body. The I/O branch
+// alternates a regular sequential scan with random probes, so the online
+// oracle's prefetch decisions are tested on exactly the mix where acting
+// on a bad prediction costs real evictions.
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/kernels.hpp"
+#include "apps/topology.hpp"
+#include "iosim/prefetcher.hpp"
+
+namespace pythia::apps {
+namespace {
+
+struct BranchyParams {
+  int iterations;
+  int scan_blocks;  ///< blocks per I/O scan
+};
+
+BranchyParams branchy_params(WorkingSet set, double scale) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return {scaled(60, scale), 8};
+    case WorkingSet::kMedium:
+      return {scaled(120, scale), 12};
+    case WorkingSet::kLarge:
+      return {scaled(240, scale), 20};
+  }
+  return {60, 8};
+}
+
+constexpr double kComputeHeavyNs = 80'000.0;
+constexpr double kComputeLightNs = 6'000.0;
+
+class BranchyApp final : public App {
+ public:
+  std::string name() const override { return "Branchy"; }
+  bool hybrid() const override { return false; }
+  int default_ranks() const override { return 4; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    const BranchyParams params = branchy_params(config.set, config.scale);
+    const int ranks = mpi.size();
+    const int rank = mpi.rank();
+    const std::vector<double> payload(24, 1.0);
+
+    mpi.barrier();
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      support::Rng shared(config.seed * 6364136223846793005ULL +
+                          static_cast<std::uint64_t>(iter) * 1442695040888963407ULL);
+      const double branch = shared.uniform();
+
+      if (branch < 0.40) {
+        // Compute-heavy phase with data-dependent imbalance: one
+        // RNG-chosen straggler does 3x the work before the reduce.
+        const int straggler = static_cast<int>(
+            shared.below(static_cast<std::uint64_t>(ranks)));
+        kernels::ep_gaussian_pairs(env.rng, 400);
+        mpi.compute(rank == straggler ? 3.0 * kComputeHeavyNs
+                                      : kComputeHeavyNs);
+        mpi.allreduce(1.0, mpisim::ReduceOp::kMax);
+      } else if (branch < 0.70) {
+        // I/O phase: a sequential scan over a window, with random probes
+        // interleaved on a data-dependent cadence.
+        const auto window =
+            shared.below(4) * static_cast<std::uint64_t>(params.scan_blocks);
+        for (int b = 0; b < params.scan_blocks; ++b) {
+          const std::uint64_t block = window + static_cast<std::uint64_t>(b);
+          if (env.io != nullptr) {
+            env.io->read(block);
+            env.io->compute(kComputeLightNs);
+          } else {
+            mpi.compute(kComputeLightNs);
+          }
+          if (shared.uniform() < 0.2) {
+            const std::uint64_t probe = shared.below(96);
+            if (env.io != nullptr) {
+              env.io->read(probe);
+              env.io->compute(kComputeLightNs);
+            } else {
+              mpi.compute(kComputeLightNs);
+            }
+          }
+        }
+        mpi.barrier();
+      } else if (ranks > 1) {
+        // Exchange phase: partner distance hops 1/2/3 around the ring
+        // (clamped into [1, ranks-1] so a rank never exchanges with
+        // itself at small rank counts).
+        const int hop =
+            1 + static_cast<int>(shared.below(3)) % (ranks - 1 > 0 ? ranks - 1 : 1);
+        const int dst = ring_neighbor(rank, ranks, hop);
+        const int src = ring_neighbor(rank, ranks, -hop);
+        std::vector<mpisim::Request> reqs;
+        reqs.push_back(mpi.irecv(src, 400 + hop));
+        reqs.push_back(mpi.isend_doubles(dst, 400 + hop, payload));
+        mpi.waitall(reqs);
+        mpi.compute(kComputeLightNs);
+      } else {
+        mpi.compute(kComputeLightNs);
+      }
+
+      if (iter % 16 == 15) {
+        mpi.allreduce(payload, mpisim::ReduceOp::kSum);
+      }
+    }
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* branchy_app() {
+  static BranchyApp app;
+  return &app;
+}
+
+}  // namespace pythia::apps

@@ -22,6 +22,11 @@ const App* kripke_app();
 const App* minife_app();
 const App* quicksilver_app();
 
+// Adversarially irregular workloads (irregular_apps(); ROADMAP item 3).
+const App* amr_app();
+const App* worksteal_app();
+const App* branchy_app();
+
 struct RankEnv;
 
 /// Runs Lulesh at an explicit problem size (-s N); used by the figure

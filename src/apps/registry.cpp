@@ -14,8 +14,20 @@ const std::vector<const App*>& all_apps() {
   return apps;
 }
 
+const std::vector<const App*>& irregular_apps() {
+  static const std::vector<const App*> apps = {
+      amr_app(),
+      worksteal_app(),
+      branchy_app(),
+  };
+  return apps;
+}
+
 const App* find_app(std::string_view name) {
   for (const App* app : all_apps()) {
+    if (app->name() == name) return app;
+  }
+  for (const App* app : irregular_apps()) {
     if (app->name() == name) return app;
   }
   return nullptr;

@@ -1,0 +1,136 @@
+// WorkSteal — work-stealing task graph skeleton (MPI+OpenMP),
+// adversarially irregular.
+//
+// Not a Table I application: a distributed task runtime where ranks drain
+// local task deques and, when starved, steal from a victim. Which ranks
+// starve, whom they rob, and how much they get depends on the (data-
+// dependent) task costs — modelled with a shared-seed RNG so every rank
+// agrees on the full steal schedule and posts matching sends/receives.
+// The event stream interleaves per-rank regular drain loops with steal
+// handshakes at data-driven points, so the grammar cannot settle on one
+// loop body — the structure Sequitur finds keeps being interrupted.
+#include <algorithm>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/kernels.hpp"
+#include "apps/topology.hpp"
+
+namespace pythia::apps {
+namespace {
+
+struct StealParams {
+  int rounds;
+  int base_tasks;  ///< mean initial tasks per rank per round
+};
+
+StealParams steal_params(WorkingSet set, double scale) {
+  switch (set) {
+    case WorkingSet::kSmall:
+      return {scaled(20, scale), 12};
+    case WorkingSet::kMedium:
+      return {scaled(40, scale), 18};
+    case WorkingSet::kLarge:
+      return {scaled(80, scale), 28};
+  }
+  return {20, 12};
+}
+
+constexpr double kWorkPerTaskNs = 9'000.0;
+
+class WorkStealApp final : public App {
+ public:
+  std::string name() const override { return "WorkSteal"; }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 8; }
+
+  void run_rank(RankEnv& env, const AppConfig& config) const override {
+    auto& mpi = env.mpi;
+    auto& omp = *env.omp;
+    const StealParams params = steal_params(config.set, config.scale);
+    const int ranks = mpi.size();
+    const int rank = mpi.rank();
+    const std::vector<double> task_payload(16, 1.0);
+
+    mpi.barrier();
+
+    for (int round = 0; round < params.rounds; ++round) {
+      support::Rng shared(config.seed * 1099511628211ULL +
+                          static_cast<std::uint64_t>(round) * 40503u);
+
+      // Skewed initial partition: a few ranks get most of the work
+      // (power-of-two-choices in reverse), which is what forces steals.
+      std::vector<int> tasks(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        const double skew = shared.uniform();
+        tasks[static_cast<std::size_t>(r)] = std::max(
+            1, static_cast<int>(static_cast<double>(params.base_tasks) *
+                                (skew < 0.25 ? 2.5 : skew * 1.2)));
+      }
+
+      // Drain + steal until the round's tasks are gone. Every rank
+      // simulates the global schedule (shared RNG), executing only its
+      // own drains and its side of each steal handshake.
+      int remaining = 0;
+      for (int t : tasks) remaining += t;
+      while (remaining > 0) {
+        // Each rank drains a chunk of its deque as one parallel region
+        // (task costs vary: data-dependent region length).
+        for (int r = 0; r < ranks; ++r) {
+          const int chunk = std::min(
+              tasks[static_cast<std::size_t>(r)],
+              1 + static_cast<int>(shared.below(5)));
+          if (chunk > 0 && rank == r) {
+            kernels::ep_gaussian_pairs(env.rng, 200);
+            omp.parallel(10 + chunk,
+                         static_cast<double>(chunk) * kWorkPerTaskNs, 0.85);
+          }
+          tasks[static_cast<std::size_t>(r)] -= chunk;
+          remaining -= chunk;
+        }
+
+        // Starved ranks steal: victim = richest rank (ties by index),
+        // amount = half the victim's deque. The handshake is a request
+        // send + task-batch reply.
+        for (int r = 0; r < ranks && ranks > 1; ++r) {
+          if (tasks[static_cast<std::size_t>(r)] > 0) continue;
+          int victim = -1;
+          int best = 1;
+          for (int v = 0; v < ranks; ++v) {
+            if (tasks[static_cast<std::size_t>(v)] > best) {
+              best = tasks[static_cast<std::size_t>(v)];
+              victim = v;
+            }
+          }
+          if (victim < 0 || victim == r) continue;
+          const int loot = tasks[static_cast<std::size_t>(victim)] / 2;
+          if (loot == 0) continue;
+          if (rank == r) {
+            mpi.send_doubles(victim, 300, task_payload);  // steal request
+            mpi.recv(victim, 301);                        // task batch
+          } else if (rank == victim) {
+            mpi.recv(r, 300);
+            mpi.send_doubles(r, 301, task_payload);
+          }
+          tasks[static_cast<std::size_t>(victim)] -= loot;
+          tasks[static_cast<std::size_t>(r)] += loot;
+        }
+      }
+
+      // Round-end quiescence detection.
+      mpi.allreduce(0.0, mpisim::ReduceOp::kSum);
+      if (round % 8 == 7) mpi.barrier();
+    }
+    mpi.barrier();
+  }
+};
+
+}  // namespace
+
+const App* worksteal_app() {
+  static WorkStealApp app;
+  return &app;
+}
+
+}  // namespace pythia::apps

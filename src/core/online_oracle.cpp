@@ -1,0 +1,293 @@
+#include "core/online_oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace pythia {
+
+OnlineOracle::OnlineOracle(const Options& options) : options_(options) {
+  window_.assign(std::max<std::size_t>(1, options_.ramp_window), 0);
+  required_samples_ = std::min(options_.ramp_min_samples, window_.size());
+  next_snapshot_at_ = std::max<std::uint64_t>(1, options_.min_snapshot_events);
+}
+
+OnlineOracle OnlineOracle::in_memory(const Options& options) {
+  OnlineOracle oracle(options);
+  // The event log is the snapshot source, so timestamps are not optional
+  // here: every snapshot rebuild and timing-model replay reads it.
+  oracle.recorder_ = std::make_unique<Recorder>(
+      Recorder::Options{.record_timestamps = true});
+  return oracle;
+}
+
+Result<OnlineOracle> OnlineOracle::open(const std::string& dir,
+                                        const Options& options,
+                                        SessionOptions session) {
+  session.record_timestamps = true;  // the log is the snapshot source
+  Result<RecordSession> opened = RecordSession::open(dir, session);
+  if (!opened.ok()) return opened.status();
+
+  OnlineOracle oracle(options);
+  oracle.session_ = std::make_unique<RecordSession>(opened.take());
+  if (oracle.session_->event_count() > 0) {
+    // Crash recovery: the session rebuilt the journaled log; re-running
+    // the score/track/snapshot/ramp pipeline over it reproduces, state
+    // bit for state, the oracle a never-killed run would hold at the
+    // same event count (the pipeline is deterministic in the log).
+    oracle.replay_history();
+  }
+  return oracle;
+}
+
+const Grammar& OnlineOracle::live_grammar() const {
+  return session_ ? session_->grammar() : recorder_->grammar();
+}
+
+const std::vector<TimedEvent>& OnlineOracle::event_log() const {
+  return session_ ? session_->event_log() : recorder_->log();
+}
+
+const Predictor::Stats& OnlineOracle::predictor_stats() const {
+  static const Predictor::Stats kNone{};
+  return snapshot_ ? snapshot_->predictor->stats() : kNone;
+}
+
+Health OnlineOracle::health() const {
+  if (ramp_ != Ramp::kServing || snapshot_ == nullptr) {
+    return Health::kDegraded;
+  }
+  return snapshot_->predictor->health();
+}
+
+void OnlineOracle::observe(TerminalId event, std::uint64_t now_ns) {
+  // Learn first (WAL ordering: the journal must see the event before any
+  // derived state does), then witness, then maybe refresh — recovery
+  // replays witness+refresh over the recovered log in exactly this
+  // order, which is what makes the ramp resume where it left off.
+  if (session_ != nullptr) {
+    if (event >= session_->registry().event_count() && registry_sync_) {
+      (void)registry_sync_(*session_);
+    }
+    const std::uint64_t before = session_->event_count();
+    (void)session_->event(event, now_ns);
+    if (session_->event_count() == before) {
+      return;  // rejected (id never interned) — not part of the log
+    }
+  } else {
+    recorder_->record(event, now_ns);
+  }
+  witness(event);
+  maybe_refresh(stats_.events);
+}
+
+void OnlineOracle::witness(TerminalId event) {
+  ++stats_.events;
+
+  if (snapshot_ != nullptr) {
+    // Self-scoring: did the snapshot foresee this event one step out?
+    // A breaker-suppressed or unsynchronized predictor answers nullopt,
+    // which scores as a miss — the ramp stays (or falls) closed while
+    // tracking is lost and reopens only after the breaker's probing has
+    // caught the stream again and accuracy recovers.
+    ++stats_.scored;
+    const std::optional<Prediction> expected =
+        snapshot_->predictor->predict(1);
+    const bool hit = expected.has_value() && expected->event == event;
+    if (hit) ++stats_.hits;
+    snapshot_->predictor->observe(event);
+    record_outcome(hit);
+
+    const double accuracy = confidence();
+    if (ramp_ == Ramp::kServing) {
+      if (window_count_ >= std::min(options_.ramp_min_samples,
+                                    window_.size()) &&
+          accuracy < options_.drop_below) {
+        // Trip: stop serving, demand a doubled streak of clean samples
+        // before serving again (capped at the window size — the window
+        // cannot hold more evidence than that).
+        ramp_ = Ramp::kWithheld;
+        ++stats_.ramp_trips;
+        required_samples_ =
+            std::min(std::max<std::size_t>(1, required_samples_) * 2,
+                     window_.size());
+        reset_window();
+      }
+    } else if (window_count_ >= required_samples_ &&
+               accuracy >= options_.serve_above) {
+      if (ramp_ == Ramp::kLearning) {
+        stats_.first_served_event = stats_.events;
+      }
+      ramp_ = Ramp::kServing;
+    }
+  }
+
+  if (ramp_ == Ramp::kServing) {
+    ++stats_.served_events;
+  } else {
+    ++stats_.withheld_events;
+  }
+
+  if (options_.history_every != 0 &&
+      stats_.events % options_.history_every == 0) {
+    history_.push_back({stats_.events,
+                        window_count_ == 0 ? 0.0 : confidence(),
+                        ramp_ == Ramp::kServing, snapshot_rules()});
+  }
+}
+
+void OnlineOracle::record_outcome(bool hit) {
+  const std::uint8_t outcome = hit ? 1 : 0;
+  if (window_count_ == window_.size()) {
+    window_hits_ -= window_[window_next_];
+  } else {
+    ++window_count_;
+  }
+  window_[window_next_] = outcome;
+  window_hits_ += outcome;
+  window_next_ = (window_next_ + 1) % window_.size();
+}
+
+void OnlineOracle::reset_window() {
+  // The ring's stale bytes are NOT cleared: they are a deterministic
+  // function of the event stream, so recovery replay reproduces them and
+  // ramp_digest() can hash the buffer verbatim.
+  window_count_ = 0;
+  window_hits_ = 0;
+}
+
+void OnlineOracle::maybe_refresh(std::uint64_t prefix_len) {
+  if (prefix_len < next_snapshot_at_) return;
+  rebuild_snapshot(prefix_len);
+  const auto grown = static_cast<std::uint64_t>(
+      static_cast<double>(prefix_len) * options_.snapshot_growth);
+  next_snapshot_at_ = std::max(prefix_len + 1, grown);
+}
+
+void OnlineOracle::rebuild_snapshot(std::uint64_t prefix_len) {
+  const std::vector<TimedEvent>& log = event_log();
+  PYTHIA_ASSERT(prefix_len <= log.size());
+  const auto n = static_cast<std::size_t>(prefix_len);
+
+  auto snapshot = std::make_unique<Snapshot>();
+  for (std::size_t i = 0; i < n; ++i) {
+    snapshot->grammar.append(log[i].event);
+  }
+  snapshot->grammar.finalize();
+
+  // A virtual-clock run that never advances journals all-zero stamps;
+  // replaying those would only poison the timing model (same rule as
+  // recover_session).
+  bool timestamped = false;
+  for (std::size_t i = 0; i < n && !timestamped; ++i) {
+    timestamped = log[i].time_ns() != 0;
+  }
+  if (timestamped) {
+    const std::vector<TimedEvent> prefix(log.begin(),
+                                         log.begin() +
+                                             static_cast<std::ptrdiff_t>(n));
+    snapshot->timing = TimingModel::replay(snapshot->grammar, prefix);
+  }
+
+  snapshot->predictor = std::make_unique<Predictor>(
+      snapshot->grammar,
+      snapshot->timing.empty() ? nullptr : &snapshot->timing,
+      options_.predictor);
+
+  // Warm-up: replay the log tail (unscored) so the fresh predictor is
+  // anchored at the current execution point the moment it takes over —
+  // otherwise every snapshot swap would cost a re-anchor and a miss.
+  const std::size_t warm =
+      std::min<std::size_t>(options_.warmup_replay, n);
+  for (std::size_t i = n - warm; i < n; ++i) {
+    snapshot->predictor->observe(log[i].event);
+  }
+
+  snapshot->events = prefix_len;
+  snapshot_ = std::move(snapshot);
+  ++stats_.snapshots;
+}
+
+void OnlineOracle::replay_history() {
+  const std::vector<TimedEvent>& log = event_log();
+  const std::size_t total = log.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    witness(log[i].event);
+    maybe_refresh(stats_.events);
+  }
+}
+
+std::optional<Prediction> OnlineOracle::predict(std::size_t distance) const {
+  if (ramp_ != Ramp::kServing || snapshot_ == nullptr) return std::nullopt;
+  return snapshot_->predictor->predict(distance);
+}
+
+std::optional<double> OnlineOracle::predict_time_ns(
+    std::size_t distance) const {
+  if (ramp_ != Ramp::kServing || snapshot_ == nullptr) return std::nullopt;
+  return snapshot_->predictor->predict_time_ns(distance);
+}
+
+std::uint64_t OnlineOracle::reference_occurrences(TerminalId event) const {
+  if (ramp_ != Ramp::kServing || snapshot_ == nullptr) return 0;
+  return snapshot_->predictor->reference_occurrences(event);
+}
+
+std::uint64_t OnlineOracle::ramp_digest() const {
+  using support::hash_combine;
+  std::uint64_t h = 0x0431e0c1e0431e0cULL;
+  h = hash_combine(h, stats_.events);
+  h = hash_combine(h, stats_.snapshots);
+  h = hash_combine(h, stats_.scored);
+  h = hash_combine(h, stats_.hits);
+  h = hash_combine(h, stats_.served_events);
+  h = hash_combine(h, stats_.withheld_events);
+  h = hash_combine(h, stats_.ramp_trips);
+  h = hash_combine(h, stats_.first_served_event);
+  h = hash_combine(h, static_cast<std::uint64_t>(ramp_));
+  h = hash_combine(h, window_count_);
+  h = hash_combine(h, window_hits_);
+  h = hash_combine(h, window_next_);
+  for (std::uint8_t outcome : window_) h = hash_combine(h, outcome);
+  h = hash_combine(h, required_samples_);
+  h = hash_combine(h, next_snapshot_at_);
+  if (snapshot_ != nullptr) {
+    h = hash_combine(h, snapshot_->events);
+    h = hash_combine(h, snapshot_->grammar.rule_count());
+    h = hash_combine(h, snapshot_->grammar.sequence_length());
+    const Predictor& predictor = *snapshot_->predictor;
+    h = hash_combine(h, static_cast<std::uint64_t>(predictor.health()));
+    h = hash_combine(h, predictor.candidate_count());
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(predictor.confidence()));
+    const Predictor::Stats& stats = predictor.stats();
+    h = hash_combine(h, stats.observed);
+    h = hash_combine(h, stats.advanced);
+    h = hash_combine(h, stats.reanchored);
+    h = hash_combine(h, stats.unknown);
+    h = hash_combine(h, stats.anchors);
+    h = hash_combine(h, stats.anchors_suppressed);
+  }
+  return h;
+}
+
+ThreadTrace OnlineOracle::finish() && {
+  if (session_ != nullptr) {
+    Result<Trace> finished = std::move(*session_).finish();
+    if (finished.ok()) {
+      Trace trace = finished.take();
+      PYTHIA_ASSERT(!trace.threads.empty());
+      return std::move(trace.threads[0]);
+    }
+    // The trace file could not be written (the journal on disk still
+    // holds every event — trace_recover can rebuild it); degrade to an
+    // empty trace rather than aborting the host application.
+    ThreadTrace empty;
+    empty.grammar.finalize();
+    return empty;
+  }
+  return std::move(*recorder_).finish();
+}
+
+}  // namespace pythia

@@ -1,0 +1,243 @@
+// Online learn-while-running oracle (ROADMAP item 3): no reference trace.
+//
+// Every deployment mode before this one assumed a prior reference
+// execution. The hardest case for a real runtime system is the *first*
+// run: the oracle must learn the application's structure while the
+// application executes and earn the right to answer predict queries
+// mid-flight. Sequitur is inherently online, so the live grammar is
+// always current; what is missing is a *finalized* view (occurrence
+// index, timing model) to predict from, and a reason to trust it.
+//
+//   observe(e) ──► score e against the snapshot predictor (self-accuracy)
+//              ──► track e on the snapshot predictor (advance/re-anchor)
+//              ──► learn e into the live grammar (Recorder or, crash-safe,
+//                  a journaled RecordSession)
+//              ──► on a geometric cadence, rebuild the snapshot: replay
+//                  the event log into a fresh grammar, finalize it (the
+//                  occurrence index build), replay the timing model, and
+//                  warm the new predictor up on the log tail so it is
+//                  synchronized at the handoff point
+//
+// The confidence ramp decides when predictions are *served*. Predictions
+// are withheld (consumers fall back to their vanilla policy) until the
+// rolling self-accuracy over a validation window clears `serve_above`;
+// if, while serving, accuracy collapses below `drop_below`, the ramp
+// trips: serving stops, the window resets, and the number of clean
+// samples required to re-serve doubles (exponential backoff, the
+// circuit breaker's discipline applied at the ramp level). Below the
+// ramp, the snapshot predictor runs with its own divergence breaker
+// armed, so tracking loss inside a snapshot re-anchors with the
+// breaker's capped, exponentially backed-off probing.
+//
+// Crash safety: with the session-backed variant every event is journaled
+// (PYJRNL01 WAL + checkpoint manifest) before it is learned. The whole
+// oracle state — grammar, snapshot cadence, ramp state, validation
+// window — is a pure deterministic function of (event log, options), so
+// recovery replays the journaled log through the same pipeline and
+// resumes the ramp exactly where the kill left it (asserted event-for-
+// event by the SIGKILL matrix via ramp_digest()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/recorder.hpp"
+#include "core/session.hpp"
+#include "support/status.hpp"
+
+namespace pythia {
+
+class OnlineOracle {
+ public:
+  struct Options {
+    /// First snapshot after this many events; each later snapshot waits
+    /// until the log has grown by `snapshot_growth`. Geometric cadence
+    /// keeps total rebuild work linear in the run length.
+    std::uint64_t min_snapshot_events = 256;
+    double snapshot_growth = 1.5;
+
+    /// Log-tail events replayed into each fresh snapshot predictor
+    /// (without scoring) so it is synchronized the moment it takes over.
+    std::size_t warmup_replay = 64;
+
+    /// Confidence ramp: rolling self-accuracy window and thresholds.
+    /// Serving starts when `ramp_min_samples` outcomes exist and the
+    /// accuracy is at least `serve_above`; it stops (ramp trip) when the
+    /// accuracy falls below `drop_below`. The gap is hysteresis.
+    std::size_t ramp_window = 128;
+    std::size_t ramp_min_samples = 48;
+    double serve_above = 0.55;
+    double drop_below = 0.35;
+
+    /// Options for each snapshot predictor. The runtime defaults arm the
+    /// divergence circuit breaker — its exponential-backoff probing is
+    /// what rations re-anchoring when a snapshot stops matching.
+    Predictor::Options predictor = Predictor::Options::runtime_defaults();
+
+    /// Sample the ramp every N events into history() (0 = off). Powers
+    /// bench/online's mid-run accuracy-ramp curves.
+    std::uint64_t history_every = 0;
+  };
+
+  /// Ramp state. kLearning before the oracle ever served; kWithheld
+  /// after a trip (re-serving needs a doubled streak of clean samples).
+  enum class Ramp { kLearning, kServing, kWithheld };
+
+  struct Stats {
+    std::uint64_t events = 0;      ///< events observed (== log length)
+    std::uint64_t snapshots = 0;   ///< finalized views built
+    std::uint64_t scored = 0;      ///< events self-scored against a snapshot
+    std::uint64_t hits = 0;        ///< ...that matched the 1-ahead prediction
+    std::uint64_t served_events = 0;    ///< events observed while serving
+    std::uint64_t withheld_events = 0;  ///< events observed while withheld
+    std::uint64_t ramp_trips = 0;       ///< serving -> withheld transitions
+    std::uint64_t first_served_event = 0;  ///< event index when serving began
+  };
+
+  /// One history() sample (Options::history_every).
+  struct RampSample {
+    std::uint64_t events = 0;
+    double accuracy = 0.0;  ///< rolling self-accuracy at the sample point
+    bool serving = false;
+    std::size_t snapshot_rules = 0;  ///< grammar size of the live snapshot
+  };
+
+  /// Imports registry entries interned elsewhere (the harness's shared
+  /// registry) into the session before an event referencing them is
+  /// journaled. Only consulted by the session-backed variant.
+  using RegistrySync = std::function<Status(RecordSession&)>;
+
+  /// In-memory variant: learning state dies with the process. Timestamps
+  /// are always recorded — the event log is the snapshot source.
+  /// (Overloads, not `= {}` defaults: Options is a nested class and its
+  /// member initializers are late-parsed.)
+  static OnlineOracle in_memory(const Options& options);
+  static OnlineOracle in_memory() { return in_memory(Options()); }
+
+  /// Crash-safe variant: events journal into `dir` (PYJRNL01 WAL +
+  /// checkpoint manifest). Reopening a killed session recovers the log
+  /// and replays it through the same pipeline, resuming the ramp.
+  static Result<OnlineOracle> open(const std::string& dir,
+                                   const Options& options,
+                                   SessionOptions session);
+  static Result<OnlineOracle> open(const std::string& dir,
+                                   const Options& options) {
+    return open(dir, options, SessionOptions());
+  }
+  static Result<OnlineOracle> open(const std::string& dir) {
+    return open(dir, Options(), SessionOptions());
+  }
+
+  OnlineOracle(OnlineOracle&&) = default;
+  OnlineOracle& operator=(OnlineOracle&&) = default;
+
+  /// Submits the event that just happened: score, track, learn, maybe
+  /// refresh the snapshot, advance the ramp.
+  void observe(TerminalId event, std::uint64_t now_ns = 0);
+
+  /// Predictions; nullopt while the ramp withholds (or no snapshot yet).
+  std::optional<Prediction> predict(std::size_t distance) const;
+  std::optional<double> predict_time_ns(std::size_t distance) const;
+  std::uint64_t reference_occurrences(TerminalId event) const;
+
+  /// True when the ramp currently serves predictions.
+  bool serving() const { return ramp_ == Ramp::kServing; }
+  Ramp ramp() const { return ramp_; }
+
+  /// Health for consumers: the snapshot predictor's breaker state while
+  /// serving, kDegraded while withheld/learning — so `degraded()` checks
+  /// keep every consumer on its vanilla policy until the ramp opens.
+  Health health() const;
+  /// Rolling self-accuracy (1.0 before any sample, like a fresh breaker).
+  double confidence() const {
+    return window_count_ == 0 ? 1.0
+                              : static_cast<double>(window_hits_) /
+                                    static_cast<double>(window_count_);
+  }
+
+  const Stats& stats() const { return stats_; }
+  const Predictor::Stats& predictor_stats() const;
+  const std::vector<RampSample>& history() const { return history_; }
+
+  /// The live (still-appending) grammar and the event log behind it.
+  const Grammar& live_grammar() const;
+  const std::vector<TimedEvent>& event_log() const;
+  std::uint64_t event_count() const { return stats_.events; }
+
+  /// Rules in the current snapshot (0 before the first one).
+  std::size_t snapshot_rules() const {
+    return snapshot_ ? snapshot_->grammar.rule_count() : 0;
+  }
+  std::uint64_t snapshot_events() const {
+    return snapshot_ ? snapshot_->events : 0;
+  }
+
+  /// Session access (session-backed variant; nullptr in memory).
+  RecordSession* session() { return session_.get(); }
+  const RecoveryInfo* recovery() const {
+    return session_ ? &session_->recovery() : nullptr;
+  }
+  void set_registry_sync(RegistrySync sync) {
+    registry_sync_ = std::move(sync);
+  }
+
+  /// Deterministic digest of the complete oracle state (event count,
+  /// ramp state machine, validation window, snapshot cadence + content,
+  /// snapshot-predictor tracking state). Two oracles that consumed the
+  /// same event log under the same options — e.g. one that was SIGKILLed
+  /// and recovered vs. one that never crashed — print the same value.
+  std::uint64_t ramp_digest() const;
+
+  /// Ends the run: finalizes the live grammar into a ThreadTrace (and,
+  /// session-backed, writes <dir>/trace.pythia via the session's atomic
+  /// finish; a failed trace save still returns the in-memory result —
+  /// the journal keeps the events recoverable).
+  ThreadTrace finish() &&;
+
+ private:
+  explicit OnlineOracle(const Options& options);
+
+  /// Score + track + ramp bookkeeping for one event (no learning) —
+  /// shared verbatim between live observe() and recovery replay, which
+  /// is what makes recovery resume the ramp exactly.
+  void witness(TerminalId event);
+  void maybe_refresh(std::uint64_t prefix_len);
+  void rebuild_snapshot(std::uint64_t prefix_len);
+  void record_outcome(bool hit);
+  void reset_window();
+  /// Re-runs the pipeline over an already-learned log prefix (recovery).
+  void replay_history();
+
+  struct Snapshot {
+    Grammar grammar;
+    TimingModel timing;
+    std::unique_ptr<Predictor> predictor;  ///< refs grammar/timing above
+    std::uint64_t events = 0;              ///< log prefix it covers
+  };
+
+  Options options_;
+  std::unique_ptr<Recorder> recorder_;       ///< in-memory variant
+  std::unique_ptr<RecordSession> session_;   ///< crash-safe variant
+  RegistrySync registry_sync_;
+  std::unique_ptr<Snapshot> snapshot_;
+  std::uint64_t next_snapshot_at_ = 0;
+
+  Ramp ramp_ = Ramp::kLearning;
+  std::vector<std::uint8_t> window_;  ///< self-accuracy outcome ring
+  std::size_t window_next_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t window_hits_ = 0;
+  /// Samples required before (re-)serving; doubles per trip, capped at
+  /// the window size.
+  std::size_t required_samples_ = 0;
+
+  Stats stats_;
+  std::vector<RampSample> history_;
+};
+
+}  // namespace pythia

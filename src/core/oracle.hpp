@@ -1,20 +1,25 @@
 // High-level per-thread session facade used by runtime-system shims.
 //
 // A runtime system holds one Oracle per thread/rank and drives it in one
-// of three modes (mirroring the paper's evaluation setups):
+// of these modes (mirroring the paper's evaluation setups):
 //   off     — vanilla run, events are dropped (baseline);
 //   record  — PYTHIA-RECORD: events reduce into a grammar;
 //   predict — PYTHIA-PREDICT: events track the loaded reference trace and
-//             the runtime may ask for event/duration predictions.
+//             the runtime may ask for event/duration predictions;
+//   online  — learn-while-running: no reference trace; events both build
+//             the grammar and (once the confidence ramp opens) answer
+//             predict queries mid-run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/compiled_predictor.hpp"
+#include "core/online_oracle.hpp"
 #include "core/predictor.hpp"
 #include "core/recorder.hpp"
 #include "support/assert.hpp"
@@ -33,7 +38,7 @@ class EventSink {
 
 class Oracle {
  public:
-  enum class Mode { kOff, kRecord, kPredict, kSink };
+  enum class Mode { kOff, kRecord, kPredict, kSink, kOnline };
 
   /// Baseline: all calls are cheap no-ops.
   static Oracle off() { return Oracle(Mode::kOff); }
@@ -76,9 +81,41 @@ class Oracle {
     return oracle;
   }
 
+  /// Learn-while-running (ROADMAP item 3): no reference trace; the oracle
+  /// builds the grammar live and starts answering predictions once the
+  /// OnlineOracle's confidence ramp clears. State dies with the process.
+  static Oracle online(const OnlineOracle::Options& options = {}) {
+    Oracle oracle(Mode::kOnline);
+    oracle.online_ =
+        std::make_unique<OnlineOracle>(OnlineOracle::in_memory(options));
+    return oracle;
+  }
+
+  /// Crash-safe online mode: events journal into `dir` before they are
+  /// learned; reopening after a SIGKILL recovers event-for-event and
+  /// resumes the confidence ramp.
+  static Result<Oracle> online_in(const std::string& dir,
+                                  const OnlineOracle::Options& options = {},
+                                  const SessionOptions& session = {}) {
+    Result<OnlineOracle> opened = OnlineOracle::open(dir, options, session);
+    if (!opened.ok()) return opened.status();
+    Oracle oracle(Mode::kOnline);
+    oracle.online_ = std::make_unique<OnlineOracle>(opened.take());
+    return oracle;
+  }
+
   Mode mode() const { return mode_; }
   bool recording() const { return mode_ == Mode::kRecord; }
   bool predicting() const { return mode_ == Mode::kPredict; }
+  /// True when predict queries may answer right now: always in predict
+  /// mode (modulo the breaker, which `degraded()` reports), and in online
+  /// mode only while the confidence ramp serves. THE gate consumers check
+  /// (together with `degraded()`) before acting on the oracle instead of
+  /// their vanilla policy.
+  bool serving() const {
+    return mode_ == Mode::kPredict ||
+           (mode_ == Mode::kOnline && online_->serving());
+  }
 
   /// Telemetry hook invoked after every submitted event (any mode). The
   /// experiment harness uses it to score predictions against the events
@@ -111,8 +148,10 @@ class Oracle {
     for (TerminalId delivered : filter_scratch_) deliver(delivered, now_ns);
   }
 
-  /// Event expected `distance` events from now (predict mode only).
+  /// Event expected `distance` events from now (predict/online modes;
+  /// online answers only while the ramp serves).
   std::optional<Prediction> predict_event(std::size_t distance) const {
+    if (mode_ == Mode::kOnline) return online_->predict(distance);
     if (mode_ != Mode::kPredict) return std::nullopt;
     return compiled_ ? compiled_->predict(distance)
                      : predictor_->predict(distance);
@@ -120,6 +159,7 @@ class Oracle {
 
   /// Expected delay until the event `distance` steps ahead.
   std::optional<double> predict_time_ns(std::size_t distance) const {
+    if (mode_ == Mode::kOnline) return online_->predict_time_ns(distance);
     if (mode_ != Mode::kPredict) return std::nullopt;
     return compiled_ ? compiled_->predict_time_ns(distance)
                      : predictor_->predict_time_ns(distance);
@@ -127,14 +167,18 @@ class Oracle {
 
   /// Circuit-breaker state of the underlying predictor (§II-B2 graceful
   /// degradation). Off/record sessions report kHealthy: they never serve
-  /// predictions, so there is nothing to distrust.
+  /// predictions, so there is nothing to distrust. Online sessions report
+  /// kDegraded the whole time the ramp withholds, so `degraded()` keeps
+  /// every consumer on its vanilla policy until the oracle earns trust.
   Health health() const {
+    if (mode_ == Mode::kOnline) return online_->health();
     if (mode_ != Mode::kPredict) return Health::kHealthy;
     return compiled_ ? compiled_->health() : predictor_->health();
   }
-  /// Fraction of recent events that matched the reference trace (1.0 when
-  /// not predicting).
+  /// Fraction of recent events that matched the reference trace (online:
+  /// the rolling self-accuracy; 1.0 when not predicting).
   double confidence() const {
+    if (mode_ == Mode::kOnline) return online_->confidence();
     if (mode_ != Mode::kPredict) return 1.0;
     return compiled_ ? compiled_->confidence() : predictor_->confidence();
   }
@@ -148,6 +192,12 @@ class Oracle {
   /// any other mode is tolerated (no-throw boundary): it returns an empty
   /// finalized trace that records nothing and predicts nothing.
   ThreadTrace finish() {
+    if (mode_ == Mode::kOnline) {
+      ThreadTrace trace = std::move(*online_).finish();
+      online_.reset();
+      mode_ = Mode::kOff;
+      return trace;
+    }
     if (mode_ != Mode::kRecord) {
       ThreadTrace empty;
       empty.grammar.finalize();
@@ -160,6 +210,9 @@ class Oracle {
   }
 
   Recorder* recorder() { return recorder_.get(); }
+  /// The online learn-while-running engine; nullptr outside kOnline.
+  OnlineOracle* online_oracle() { return online_.get(); }
+  const OnlineOracle* online_oracle() const { return online_.get(); }
   /// The interpreted predictor; nullptr in compiled serving (consumers
   /// should prefer the engine-agnostic accessors below).
   Predictor* predictor() { return predictor_.get(); }
@@ -176,14 +229,16 @@ class Oracle {
     static const Predictor::Stats kNone{};
     if (compiled_) return compiled_->stats();
     if (predictor_) return predictor_->stats();
+    if (online_) return online_->predictor_stats();
     return kNone;
   }
 
-  /// Occurrences of `event` in the whole reference execution; 0 outside
-  /// predict mode. O(1) on the compiled engine.
+  /// Occurrences of `event` in the whole reference execution (online: in
+  /// the current snapshot, 0 while withheld). O(1) on the compiled engine.
   std::uint64_t reference_occurrences(TerminalId event) const {
     if (compiled_) return compiled_->reference_occurrences(event);
     if (predictor_) return predictor_->reference_occurrences(event);
+    if (online_) return online_->reference_occurrences(event);
     return 0;
   }
 
@@ -207,6 +262,9 @@ class Oracle {
       case Mode::kSink:
         sink_->submit(id, now_ns);
         break;
+      case Mode::kOnline:
+        online_->observe(id, now_ns);
+        break;
     }
   }
 
@@ -214,6 +272,7 @@ class Oracle {
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<Predictor> predictor_;
   std::unique_ptr<CompiledPredictor> compiled_;
+  std::unique_ptr<OnlineOracle> online_;
   EventSink* sink_ = nullptr;
   std::function<void(TerminalId, std::uint64_t)> event_hook_;
   EventFilter event_filter_;

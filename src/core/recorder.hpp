@@ -75,6 +75,9 @@ class Recorder {
   std::uint64_t event_count() const { return grammar_.sequence_length(); }
   const Grammar& grammar() const { return grammar_; }
 
+  /// The raw (event, time) log — empty unless record_timestamps is on.
+  const std::vector<TimedEvent>& log() const { return log_; }
+
   /// Ends the reference execution: finalizes the grammar and, when
   /// timestamps were recorded, replays them to build the timing model.
   /// The recorder is consumed.

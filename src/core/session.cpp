@@ -153,6 +153,7 @@ Result<RecoveredState> recover_state(const std::string& dir,
     state.checkpoint_events = entry.events;
     state.used_checkpoint = true;
     info.used_checkpoint = true;
+    info.checkpoint_file = entry.file;
     info.checkpoint_events = entry.events;
   }
 
@@ -229,7 +230,9 @@ Result<RecoveredState> recover_state(const std::string& dir,
 Result<RecordSession> RecordSession::open(const std::string& dir,
                                           const SessionOptions& options) {
   if (!support::is_directory(dir)) {
-    Status status = support::make_dir(dir);
+    // Recursive: harness online mode nests rank-<r> sessions under a
+    // shared run directory that may not exist yet.
+    Status status = support::make_dirs(dir);
     if (!status.ok()) return status;
   }
 
@@ -310,6 +313,51 @@ TerminalId RecordSession::intern(std::string_view name, EventAux aux) {
   const TerminalId id = registry_.intern(name, aux);
   journal_new_interns();
   return id;
+}
+
+Status RecordSession::import_registry(const EventRegistry& src) {
+  // Dense-order copy through the normal intern path: the common prefix
+  // must already agree (both registries intern in dense order), so each
+  // missing entry lands at the same id it has in `src` — and
+  // journal_new_interns() below persists them before any event that
+  // references them can be journaled.
+  //
+  // The prefix check matters on resume: a recovered session carries the
+  // intern order of the *original* run, and a differently-scheduled
+  // source registry must not silently remap its ids.
+  for (std::size_t kind = 0;
+       kind < registry_.kind_count() && kind < src.kind_count(); ++kind) {
+    if (registry_.kind_name(static_cast<KindId>(kind)) !=
+        src.kind_name(static_cast<KindId>(kind))) {
+      return Status::invalid_state(
+          "import_registry: kind " + std::to_string(kind) +
+          " disagrees with the session registry");
+    }
+  }
+  for (std::size_t id = 0;
+       id < registry_.event_count() && id < src.event_count(); ++id) {
+    const auto event = static_cast<TerminalId>(id);
+    if (registry_.kind_of(event) != src.kind_of(event) ||
+        registry_.aux_of(event) != src.aux_of(event)) {
+      return Status::invalid_state(
+          "import_registry: event " + std::to_string(id) +
+          " disagrees with the session registry");
+    }
+  }
+  for (std::size_t kind = registry_.kind_count(); kind < src.kind_count();
+       ++kind) {
+    registry_.intern_kind(src.kind_name(static_cast<KindId>(kind)));
+  }
+  for (std::size_t id = registry_.event_count(); id < src.event_count();
+       ++id) {
+    const auto event = static_cast<TerminalId>(id);
+    if (src.kind_of(event) >= registry_.kind_count()) {
+      return Status::invalid_state(
+          "import_registry: source event references an unknown kind");
+    }
+    registry_.intern_event(src.kind_of(event), src.aux_of(event));
+  }
+  return journal_new_interns();
 }
 
 const Status& RecordSession::event(TerminalId event, std::uint64_t now_ns) {

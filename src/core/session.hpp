@@ -56,6 +56,7 @@ struct SessionOptions {
 struct RecoveryInfo {
   bool recovered = false;        ///< an existing journal was resumed
   bool used_checkpoint = false;  ///< a checkpoint seeded the grammar
+  std::string checkpoint_file;   ///< file name of that checkpoint ("" if none)
   std::uint64_t checkpoint_events = 0;  ///< events covered by that checkpoint
   std::uint64_t journaled_events = 0;   ///< events in the valid journal prefix
   std::uint64_t replayed_events = 0;    ///< journal tail re-appended on top
@@ -103,10 +104,20 @@ class RecordSession {
   /// events are not lost, trace_recover can rebuild the trace.
   Result<Trace> finish() &&;
 
+  /// Interns, in dense order, every kind and event `src` holds that this
+  /// session's registry does not yet (all journaled via the normal intern
+  /// path). Both registries must agree on their common prefix — the ids
+  /// handed out here match `src`'s, which is what lets a session journal
+  /// events interned in a process-wide SharedRegistry.
+  Status import_registry(const EventRegistry& src);
+
   const EventRegistry& registry() const { return registry_; }
   const RecoveryInfo& recovery() const { return recovery_; }
   std::uint64_t event_count() const { return recorder_.event_count(); }
   const Grammar& grammar() const { return recorder_.grammar(); }
+  /// The timestamped event log (the session forces record_timestamps for
+  /// the online oracle's snapshot source; empty if it was disabled).
+  const std::vector<TimedEvent>& event_log() const { return recorder_.log(); }
   const std::string& dir() const { return dir_; }
 
   /// First latched journal/checkpoint failure, if any (kOk otherwise).

@@ -61,6 +61,15 @@ class SharedRegistry {
   /// or after a parallel run).
   EventRegistry& registry() { return registry_; }
 
+  /// Runs `fn(const EventRegistry&)` under the shared lock — the safe way
+  /// to read the registry (e.g. copy new interns into a per-rank session)
+  /// while other ranks may still be interning.
+  template <typename Fn>
+  auto with_registry(Fn&& fn) {
+    std::shared_lock lock(mutex_);
+    return fn(static_cast<const EventRegistry&>(registry_));
+  }
+
  private:
   std::shared_mutex mutex_;
   EventRegistry& registry_;

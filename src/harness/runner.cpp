@@ -57,6 +57,26 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
                 return Oracle::record_into(record_engine->producer(rank));
               }
               return Oracle::record(config.record_timestamps);
+            case Mode::kOnline: {
+              OnlineOracle::Options online = config.online;
+              if (!config.breaker) {
+                online.predictor = Predictor::Options{};
+              }
+              if (config.online_session_dir.empty()) {
+                return Oracle::online(online);
+              }
+              const std::string dir = config.online_session_dir + "/rank-" +
+                                      std::to_string(rank);
+              Result<Oracle> opened =
+                  Oracle::online_in(dir, online, config.online_session);
+              if (!opened.ok()) {
+                // Graceful degradation: a rank whose journal directory is
+                // unusable runs vanilla; the others still learn.
+                salvaged_off = true;
+                return Oracle::off();
+              }
+              return opened.take();
+            }
             case Mode::kPredict: {
               const std::size_t section =
                   config.wrap_reference_threads
@@ -78,6 +98,17 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           return Oracle::off();
         }();
 
+        if (oracle.online_oracle() != nullptr && oracle.online_oracle()->session() != nullptr) {
+          // Session-backed online rank: ids intern first into the
+          // process-wide shared registry; copy new entries into the
+          // session (journaled, dense order) before events use them.
+          oracle.online_oracle()->set_registry_sync([&shared](RecordSession& session) {
+            return shared.with_registry([&session](const EventRegistry& src) {
+              return session.import_registry(src);
+            });
+          });
+        }
+
         std::unique_ptr<EventFaultInjector> injector;
         if (config.faults.active()) {
           injector = std::make_unique<EventFaultInjector>(
@@ -90,8 +121,18 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           observer = config.observer_factory(comm.rank(), oracle);
         }
 
-        mpisim::InstrumentedComm mpi(comm, oracle, shared, observer.get(),
-                                     config.peer_encoding);
+        mpisim::GuidedComm mpi(comm, oracle, shared, observer.get(),
+                               config.peer_encoding);
+        switch (config.send_path) {
+          case SendPath::kDirect:
+            break;
+          case SendPath::kAggregate:
+            mpi.enable_aggregation();
+            break;
+          case SendPath::kPersistent:
+            mpi.enable_persistent();
+            break;
+        }
 
         std::unique_ptr<ompsim::OmpRuntime> omp;
         if (app.hybrid()) {
@@ -99,8 +140,9 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           omp_config.machine = config.machine;
           omp_config.max_threads = config.omp_max_threads;
           omp_config.park_spurious = config.omp_park;
-          omp_config.adaptive =
-              config.mode == Mode::kPredict && config.omp_adaptive;
+          omp_config.adaptive = (config.mode == Mode::kPredict ||
+                                 config.mode == Mode::kOnline) &&
+                                config.omp_adaptive;
           omp_config.real_work_fraction = config.real_work_fraction;
           omp_config.error_rate =
               config.mode == Mode::kPredict ? config.omp_error_rate : 0.0;
@@ -110,13 +152,23 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
                                                      oracle, shared);
         }
 
+        std::unique_ptr<iosim::BlockStore> io_store;
+        std::unique_ptr<iosim::PrefetchingReader> io_reader;
+        if (config.io.enabled) {
+          io_store = std::make_unique<iosim::BlockStore>(config.io.store);
+          io_reader = std::make_unique<iosim::PrefetchingReader>(
+              *io_store, comm.clock(), oracle, shared, config.io.reader);
+        }
+
         apps::RankEnv env{
             .mpi = mpi,
             .omp = omp.get(),
+            .io = io_reader.get(),
             .rng = support::Rng(config.app.seed * 1000000007ULL +
                                 static_cast<std::uint64_t>(rank)),
         };
         app.run_rank(env, config.app);
+        mpi.sync();  // deliver any consumer-buffered sends
 
         // Aggregate per-rank outputs.
         std::lock_guard lock(aggregate_mutex);
@@ -142,6 +194,60 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
           result.fault_stats.injected += f.injected;
         }
         if (salvaged_off) ++result.ranks_salvaged;
+        if (const auto* agg = mpi.aggregator_stats()) {
+          result.aggregator_stats.sends += agg->sends;
+          result.aggregator_stats.batched += agg->batched;
+          result.aggregator_stats.batches += agg->batches;
+          result.aggregator_stats.flushes += agg->flushes;
+          result.aggregator_stats.latency_saved += agg->latency_saved;
+          result.aggregator_stats.degraded_sends += agg->degraded_sends;
+        }
+        if (const auto* persistent = mpi.persistent_stats()) {
+          result.persistent_stats.sends += persistent->sends;
+          result.persistent_stats.channels += persistent->channels;
+          result.persistent_stats.persistent_sends +=
+              persistent->persistent_sends;
+        }
+        if (io_store != nullptr) {
+          const iosim::BlockStore::Stats& io = io_store->stats();
+          result.total_events += io.reads;  // one block_read event per read
+          result.io_stats.reads += io.reads;
+          result.io_stats.hits += io.hits;
+          result.io_stats.late_prefetches += io.late_prefetches;
+          result.io_stats.misses += io.misses;
+          result.io_stats.prefetches += io.prefetches;
+          result.io_stats.redundant_prefetches += io.redundant_prefetches;
+          result.io_prefetches += io_reader->prefetches_issued();
+        }
+        if (config.mode == Mode::kOnline && oracle.online_oracle() != nullptr) {
+          const OnlineOracle& online = *oracle.online_oracle();
+          const OnlineOracle::Stats& s = online.stats();
+          result.online_stats.events += s.events;
+          result.online_stats.snapshots += s.snapshots;
+          result.online_stats.scored += s.scored;
+          result.online_stats.hits += s.hits;
+          result.online_stats.served_events += s.served_events;
+          result.online_stats.withheld_events += s.withheld_events;
+          result.online_stats.ramp_trips += s.ramp_trips;
+          result.online_stats.first_served_event =
+              std::max(result.online_stats.first_served_event,
+                       s.first_served_event);
+          if (online.serving()) ++result.ranks_serving;
+          if (rank == 0) result.online_history = online.history();
+          if (oracle.degraded()) ++result.ranks_degraded;
+          result.min_confidence =
+              std::min(result.min_confidence, online.confidence());
+          const Predictor::Stats& p = online.predictor_stats();
+          result.predictor_stats.observed += p.observed;
+          result.predictor_stats.advanced += p.advanced;
+          result.predictor_stats.reanchored += p.reanchored;
+          result.predictor_stats.unknown += p.unknown;
+          result.predictor_stats.anchors += p.anchors;
+          result.predictor_stats.anchors_suppressed += p.anchors_suppressed;
+          // The learned grammar is collected like a recording's (and, when
+          // session-backed, finish() also writes <dir>/trace.pythia).
+          recorded[rank] = oracle.finish();
+        }
         if (config.mode == Mode::kRecord) {
           // Engine mode: the shard's worker owns the recorder; traces are
           // collected at the finalize barrier after the cluster joins.
@@ -170,7 +276,7 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
     result.engine_stats = record_engine->totals();
   }
 
-  if (config.mode == Mode::kRecord) {
+  if (config.mode == Mode::kRecord || config.mode == Mode::kOnline) {
     // Canonical id normalization: ranks intern events first-come, so raw
     // terminal ids depend on thread scheduling and a recorded trace would
     // not be reproducible run to run (nor parallel vs. sequential).
@@ -178,7 +284,13 @@ RunResult run_app(const apps::App& app, const RunConfig& config) {
     // match — Sequitur is equivariant under terminal renaming and timing
     // keys use stable node ids, so only the labels change.
     const std::vector<TerminalId> remap = result.trace.registry.canonicalize();
-    for (ThreadTrace& thread : recorded) thread.grammar.remap_terminals(remap);
+    for (ThreadTrace& thread : recorded) {
+      // A salvaged online rank ran without an oracle and left its slot
+      // default-constructed: give it an empty finalized section so the
+      // trace still has one section per rank.
+      if (!thread.grammar.finalized()) thread.grammar.finalize();
+      thread.grammar.remap_terminals(remap);
+    }
 
     std::size_t total_rules = 0;
     for (ThreadTrace& thread : recorded) {

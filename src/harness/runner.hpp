@@ -10,16 +10,18 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "core/online_oracle.hpp"
 #include "core/trace_io.hpp"
 #include "engine/record_engine.hpp"
 #include "harness/faults.hpp"
+#include "iosim/prefetcher.hpp"
 #include "mpisim/cluster.hpp"
-#include "mpisim/instrumented_comm.hpp"
+#include "mpisim/guided_comm.hpp"
 #include "ompsim/runtime.hpp"
 
 namespace pythia::harness {
 
-enum class Mode { kVanilla, kRecord, kPredict };
+enum class Mode { kVanilla, kRecord, kPredict, kOnline };
 
 inline const char* to_string(Mode mode) {
   switch (mode) {
@@ -29,9 +31,26 @@ inline const char* to_string(Mode mode) {
       return "pythia-record";
     case Mode::kPredict:
       return "pythia-predict";
+    case Mode::kOnline:
+      return "pythia-online";
   }
   return "?";
 }
+
+/// Which consumer a rank's isends route through (GuidedComm). The MPI
+/// send-path consumers check the oracle's serving()/degraded() gates
+/// themselves, so any path under a withheld or tripped oracle behaves
+/// like kDirect.
+enum class SendPath { kDirect, kAggregate, kPersistent };
+
+/// Optional prediction-guided I/O runtime per rank: a BlockStore +
+/// PrefetchingReader sharing the rank's virtual clock, handed to apps via
+/// RankEnv::io. Apps that never touch env.io are unaffected.
+struct IoConfig {
+  bool enabled = false;
+  iosim::BlockStore::Config store;
+  iosim::PrefetchingReader::Config reader;
+};
 
 struct RunConfig {
   Mode mode = Mode::kVanilla;
@@ -83,6 +102,24 @@ struct RunConfig {
   /// recorded with P processes can guide a run with P' processes.
   bool wrap_reference_threads = false;
 
+  /// Online mode (Mode::kOnline): learn-while-running options per rank.
+  /// With `breaker` false the snapshot predictors run breaker-less (test
+  /// configurations only). No reference trace is consulted.
+  OnlineOracle::Options online;
+
+  /// Online mode: when non-empty, each rank journals into
+  /// `<online_session_dir>/rank-<r>` (crash-safe; reopening the same dir
+  /// recovers and resumes the ramp). A rank whose session fails to open
+  /// degrades to vanilla and counts in ranks_salvaged.
+  std::string online_session_dir;
+  SessionOptions online_session;
+
+  /// isend routing (predict/online consumers; see SendPath).
+  SendPath send_path = SendPath::kDirect;
+
+  /// Prediction-guided I/O runtime (RankEnv::io).
+  IoConfig io;
+
   /// Peer-rank payload encoding in MPI events. kRelative makes traces
   /// transferable across process counts (see bench/ext_config_transfer).
   mpisim::PeerEncoding peer_encoding = mpisim::PeerEncoding::kAbsolute;
@@ -116,6 +153,19 @@ struct RunResult {
   std::size_t ranks_salvaged = 0;  ///< damaged reference section -> off
   double min_confidence = 1.0;     ///< worst end-of-run rank confidence
   EventFaultInjector::Stats fault_stats;  ///< summed over ranks
+
+  // Online-mode telemetry (Mode::kOnline; zero otherwise).
+  OnlineOracle::Stats online_stats;  ///< summed over ranks
+  std::size_t ranks_serving = 0;     ///< ramp serving at run end
+  /// Rank 0's ramp curve (Options::history_every samples; empty when
+  /// sampling is off). Powers bench/online's mid-run accuracy figures.
+  std::vector<OnlineOracle::RampSample> online_history;
+
+  // Consumer telemetry (send_path / io; zero when not enabled).
+  mpisim::SendAggregator::Stats aggregator_stats;
+  mpisim::PersistentSendOptimizer::Stats persistent_stats;
+  iosim::BlockStore::Stats io_stats;
+  std::uint64_t io_prefetches = 0;
 
   /// Engine telemetry (record mode with parallel_ranks; zero otherwise).
   /// dropped stays 0 under the default kBlock backpressure.

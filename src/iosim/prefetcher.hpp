@@ -50,7 +50,7 @@ class PrefetchingReader {
     // Breaker open: no lookahead at all. Wrong prefetches are not free —
     // they evict resident blocks and occupy the device — so a degraded
     // oracle must behave like no oracle.
-    if (!oracle_.predicting() || oracle_.degraded()) return;
+    if (!oracle_.serving() || oracle_.degraded()) return;
     for (std::size_t distance = 1; distance <= config_.lookahead;
          ++distance) {
       const auto prediction = oracle_.predict_event(distance);

@@ -1,0 +1,152 @@
+// Prediction-consumer routing over InstrumentedComm.
+//
+// Apps talk to one MPI surface; which send-path optimization (if any)
+// their isends take is a *runner* decision, not an app decision — that is
+// what lets harness::run_app drive every prediction consumer over the
+// unchanged app catalog, in predict mode and in online learn-while-running
+// mode alike. GuidedComm mirrors InstrumentedComm's surface; isend routes
+// through the enabled consumer:
+//
+//   (none)      — plain InstrumentedComm::isend (vanilla wire behaviour)
+//   aggregation — SendAggregator: predicted same-destination chains batch
+//                 into one wire transaction
+//   persistent  — PersistentSendOptimizer: channels set up for sends the
+//                 oracle says recur
+//
+// Ordering safety: every call a buffered send must not overtake (blocking
+// point-to-point, waits, collectives) flushes the aggregator first, so a
+// guided run delivers exactly the messages a vanilla run does, in order.
+// Both consumers check the oracle's serving()/degraded() gates themselves,
+// which is what keeps a withheld or tripped online ramp at vanilla cost.
+#pragma once
+
+#include <optional>
+
+#include "mpisim/aggregator.hpp"
+#include "mpisim/instrumented_comm.hpp"
+#include "mpisim/persistent.hpp"
+
+namespace pythia::mpisim {
+
+class GuidedComm {
+ public:
+  GuidedComm(Communicator& comm, Oracle& oracle, SharedRegistry& registry,
+             CommObserver* observer = nullptr,
+             PeerEncoding encoding = PeerEncoding::kAbsolute)
+      : mpi_(comm, oracle, registry, observer, encoding) {}
+
+  /// Route isends through the send aggregator (exclusive with
+  /// enable_persistent; the last call wins).
+  void enable_aggregation() {
+    persistent_.reset();
+    aggregator_.emplace(mpi_);
+  }
+  /// Route isends through persistent-channel setup.
+  void enable_persistent(PersistentSendOptimizer::Options options = {}) {
+    aggregator_.reset();
+    persistent_.emplace(mpi_, options);
+  }
+
+  const SendAggregator::Stats* aggregator_stats() const {
+    return aggregator_ ? &aggregator_->stats() : nullptr;
+  }
+  const PersistentSendOptimizer::Stats* persistent_stats() const {
+    return persistent_ ? &persistent_->stats() : nullptr;
+  }
+
+  int rank() const { return mpi_.rank(); }
+  int size() const { return mpi_.size(); }
+  Communicator& raw() { return mpi_.raw(); }
+  Oracle& oracle() { return mpi_.oracle(); }
+  InstrumentedComm& underlying() { return mpi_; }
+  std::uint64_t now_ns() const { return mpi_.now_ns(); }
+
+  void compute(double virtual_ns) { mpi_.compute(virtual_ns); }
+
+  // --- MPI-like surface (mirrors InstrumentedComm) ------------------------
+  void send(int dst, int tag, std::span<const std::byte> bytes) {
+    sync();  // a blocking send must not overtake buffered isends
+    mpi_.send(dst, tag, bytes);
+  }
+  Payload recv(int src, int tag) {
+    sync();
+    return mpi_.recv(src, tag);
+  }
+  Request isend(int dst, int tag, std::span<const std::byte> bytes) {
+    if (aggregator_) return aggregator_->isend(dst, tag, bytes);
+    if (persistent_) return persistent_->isend(dst, tag, bytes);
+    return mpi_.isend(dst, tag, bytes);
+  }
+  Request irecv(int src, int tag) {
+    return mpi_.irecv(src, tag);  // receives cannot overtake our sends
+  }
+  void wait(Request& request) {
+    sync();
+    mpi_.wait(request);
+  }
+  void waitall(std::span<Request> requests) {
+    sync();
+    mpi_.waitall(requests);
+  }
+  void barrier() {
+    sync();
+    mpi_.barrier();
+  }
+  void bcast(Payload& data, int root) {
+    sync();
+    mpi_.bcast(data, root);
+  }
+  double allreduce(double value, ReduceOp op) {
+    sync();
+    return mpi_.allreduce(value, op);
+  }
+  std::vector<double> allreduce(std::span<const double> values, ReduceOp op) {
+    sync();
+    return mpi_.allreduce(values, op);
+  }
+  double reduce(double value, ReduceOp op, int root) {
+    sync();
+    return mpi_.reduce(value, op, root);
+  }
+  std::vector<Payload> gather(std::span<const std::byte> bytes, int root) {
+    sync();
+    return mpi_.gather(bytes, root);
+  }
+  Payload scatter(const std::vector<Payload>& chunks, int root) {
+    sync();
+    return mpi_.scatter(chunks, root);
+  }
+  std::vector<Payload> alltoall(const std::vector<Payload>& send_chunks) {
+    sync();
+    return mpi_.alltoall(send_chunks);
+  }
+
+  void send_doubles(int dst, int tag, std::span<const double> values) {
+    send(dst, tag, Communicator::as_bytes(values));
+  }
+  std::vector<double> recv_doubles(int src, int tag) {
+    return Communicator::to_doubles(recv(src, tag));
+  }
+  Request isend_doubles(int dst, int tag, std::span<const double> values) {
+    return isend(dst, tag, Communicator::as_bytes(values));
+  }
+
+  std::uint64_t events_submitted() const { return mpi_.events_submitted(); }
+  TerminalId isend_terminal(int dst) { return mpi_.isend_terminal(dst); }
+  void emit_isend_event(int dst) { mpi_.emit_isend_event(dst); }
+
+  /// Flushes any consumer-buffered sends (aggregation only; persistent
+  /// channels send eagerly). Runs implicitly before every call that
+  /// buffered sends must not overtake, and should run once more at the
+  /// end of a rank program.
+  void sync() {
+    if (aggregator_) aggregator_->flush();
+  }
+
+ private:
+  InstrumentedComm mpi_;
+  std::optional<SendAggregator> aggregator_;
+  std::optional<PersistentSendOptimizer> persistent_;
+};
+
+}  // namespace pythia::mpisim

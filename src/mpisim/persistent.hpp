@@ -55,7 +55,7 @@ class PersistentSendOptimizer {
     // reference execution to amortize a channel? When the divergence
     // breaker is open the reference occurrence counts describe an
     // execution we are provably not in — pay no setup, send vanilla.
-    if (mpi_.oracle().predicting() && !mpi_.oracle().degraded()) {
+    if (mpi_.oracle().serving() && !mpi_.oracle().degraded()) {
       const TerminalId terminal = mpi_.isend_terminal(dst);
       if (mpi_.oracle().reference_occurrences(terminal) >=
           options_.min_occurrences) {

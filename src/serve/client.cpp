@@ -110,6 +110,18 @@ std::uint64_t PredictClient::backoff_delay_ms(std::uint32_t attempt) {
   return std::max<std::uint64_t>(1, base - rng_.below(span + 1));
 }
 
+std::uint64_t PredictClient::arm_deadline() const {
+  if (options_.total_deadline_ms == 0) return 0;
+  return monotonic_ns() + options_.total_deadline_ms * 1000000ull;
+}
+
+Status PredictClient::give_up(const Status& last) {
+  ++stats_.deadline_giveups;
+  std::string message = "client: total deadline spent";
+  if (!last.message().empty()) message += "; last error: " + last.message();
+  return Status::deadline_exceeded(std::move(message));
+}
+
 bool PredictClient::degraded_cached(const std::string& key,
                                     std::uint64_t now_ns) {
   for (std::size_t i = degraded_.size(); i-- > 0;) {
@@ -138,7 +150,8 @@ void PredictClient::note_degraded(const std::string& key,
 
 Status PredictClient::round_trip(MsgType type,
                                  const std::vector<std::uint8_t>& payload,
-                                 MsgType expect, Frame& reply) {
+                                 MsgType expect, Frame& reply,
+                                 std::uint64_t op_deadline_ns) {
   if (fd_ < 0) return Status::io_error("client: not connected");
   const std::uint64_t request_id = next_request_++;
   send_buffer_.clear();
@@ -157,8 +170,11 @@ Status PredictClient::round_trip(MsgType type,
     sent += static_cast<std::size_t>(n);
   }
 
-  const std::uint64_t deadline =
+  std::uint64_t deadline =
       monotonic_ns() + options_.request_timeout_ms * 1000000ull;
+  // The per-attempt timeout never reaches past the operation's overall
+  // budget: the last attempt before the cap gets only what remains.
+  if (op_deadline_ns != 0) deadline = std::min(deadline, op_deadline_ns);
   std::uint8_t chunk[4096];
   while (true) {
     while (auto frame = decoder_.next()) {
@@ -183,6 +199,10 @@ Status PredictClient::round_trip(MsgType type,
     const std::uint64_t now = monotonic_ns();
     if (now >= deadline) {
       ++stats_.timeouts;
+      if (op_deadline_ns != 0 && now >= op_deadline_ns) {
+        return Status::deadline_exceeded(
+            "client: request outlived the total deadline");
+      }
       return Status::io_error("client: request timed out");
     }
     struct pollfd pfd {};
@@ -215,35 +235,49 @@ Status PredictClient::request(MsgType type,
                               const std::vector<std::uint8_t>& payload,
                               MsgType expect, Frame& reply) {
   ++stats_.requests;
+  const std::uint64_t op_deadline = arm_deadline();
   Status last = Status::io_error("client: not connected");
   for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
        ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      sleep_ms(backoff_delay_ms(attempt));
+      std::uint64_t delay = backoff_delay_ms(attempt);
+      if (op_deadline != 0) {
+        const std::uint64_t now = monotonic_ns();
+        if (now >= op_deadline) return give_up(last);
+        // Clamp rounds *up*: the last sleep must cross the deadline, or
+        // fast-failing attempts could drain every retry just shy of it
+        // and the caller would see the transport error, not the cap.
+        delay = std::min<std::uint64_t>(
+            delay, (op_deadline - now + 999999ull) / 1000000ull);
+      }
+      sleep_ms(delay);
     }
     if (fd_ < 0) {
       last = reconnect();
       if (!last.ok()) continue;
     }
     if (type != MsgType::kHello) {
-      last = hello();
+      last = hello(op_deadline);
       if (!last.ok()) continue;
     }
-    last = round_trip(type, payload, expect, reply);
+    last = round_trip(type, payload, expect, reply, op_deadline);
     if (last.ok()) return last;
   }
+  if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_giveups;
   return last;
 }
 
-Status PredictClient::hello() {
+Status PredictClient::hello() { return hello(arm_deadline()); }
+
+Status PredictClient::hello(std::uint64_t op_deadline_ns) {
   if (fd_ < 0) return Status::io_error("client: not connected");
   if (hello_sent_) return Status();
   std::vector<std::uint8_t> payload;
   encode_hello(HelloMsg{options_.tenant}, payload);
   Frame reply;
   Status status = round_trip(MsgType::kHello, payload, MsgType::kHelloAck,
-                             reply);
+                             reply, op_deadline_ns);
   if (!status.ok()) return status;
   if (reply.type == MsgType::kError) {
     ErrorMsg err;
@@ -258,13 +292,14 @@ Status PredictClient::hello() {
   return Status();
 }
 
-Status PredictClient::ensure_open(ClientSession& session) {
+Status PredictClient::ensure_open(ClientSession& session,
+                                  std::uint64_t op_deadline_ns) {
   if (session.open && session.generation == generation_) return Status();
   std::vector<std::uint8_t> payload;
   encode_open(OpenMsg{session.trace, session.section}, payload);
   Frame reply;
-  Status status =
-      round_trip(MsgType::kOpen, payload, MsgType::kOpenAck, reply);
+  Status status = round_trip(MsgType::kOpen, payload, MsgType::kOpenAck,
+                             reply, op_deadline_ns);
   if (!status.ok()) return status;
   if (reply.type == MsgType::kError) {
     ErrorMsg err;
@@ -296,42 +331,59 @@ Result<ClientSession> PredictClient::open(const std::string& trace,
   session.trace = trace;
   session.section = section;
   ++stats_.requests;
+  const std::uint64_t op_deadline = arm_deadline();
   Status last = Status::io_error("client: not connected");
   for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
        ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      sleep_ms(backoff_delay_ms(attempt));
+      std::uint64_t delay = backoff_delay_ms(attempt);
+      if (op_deadline != 0) {
+        const std::uint64_t now = monotonic_ns();
+        if (now >= op_deadline) return give_up(last);
+        delay = std::min<std::uint64_t>(
+            delay, (op_deadline - now + 999999ull) / 1000000ull);
+      }
+      sleep_ms(delay);
     }
     if (fd_ < 0) {
       last = reconnect();
       if (!last.ok()) continue;
     }
-    last = hello();
+    last = hello(op_deadline);
     if (!last.ok()) continue;
-    last = ensure_open(session);
+    last = ensure_open(session, op_deadline);
     if (last.ok()) return session;  // last_code explains open == false
   }
+  if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_giveups;
   return last;
 }
 
 Result<PredictClient::ObserveResult> PredictClient::observe(
     ClientSession& session, const TerminalId* events, std::size_t count) {
   ++stats_.requests;
+  const std::uint64_t op_deadline = arm_deadline();
   Status last = Status::io_error("client: not connected");
   for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
        ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      sleep_ms(backoff_delay_ms(attempt));
+      std::uint64_t delay = backoff_delay_ms(attempt);
+      if (op_deadline != 0) {
+        const std::uint64_t now = monotonic_ns();
+        if (now >= op_deadline) return give_up(last);
+        delay = std::min<std::uint64_t>(
+            delay, (op_deadline - now + 999999ull) / 1000000ull);
+      }
+      sleep_ms(delay);
     }
     if (fd_ < 0) {
       last = reconnect();
       if (!last.ok()) continue;
     }
-    last = hello();
+    last = hello(op_deadline);
     if (!last.ok()) continue;
-    last = ensure_open(session);
+    last = ensure_open(session, op_deadline);
     if (!last.ok()) continue;
     if (!session.open) {
       // The server answered: the trace is degraded / gone. Not a
@@ -342,7 +394,7 @@ Result<PredictClient::ObserveResult> PredictClient::observe(
     encode_observe(session.server_id, events, count, payload_buffer_);
     Frame reply;
     last = round_trip(MsgType::kObserve, payload_buffer_,
-                      MsgType::kObserveAck, reply);
+                      MsgType::kObserveAck, reply, op_deadline);
     if (!last.ok()) continue;
     if (reply.type == MsgType::kError) {
       ErrorMsg err;
@@ -356,6 +408,7 @@ Result<PredictClient::ObserveResult> PredictClient::observe(
     return ObserveResult{ack.code, static_cast<Health>(ack.health),
                          ack.confidence};
   }
+  if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_giveups;
   return last;
 }
 
@@ -376,20 +429,28 @@ Result<PredictResult> PredictClient::predict(ClientSession& session,
   }
 
   ++stats_.requests;
+  const std::uint64_t op_deadline = arm_deadline();
   Status last = Status::io_error("client: not connected");
   for (std::uint32_t attempt = 0; attempt <= options_.max_retries;
        ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      sleep_ms(backoff_delay_ms(attempt));
+      std::uint64_t delay = backoff_delay_ms(attempt);
+      if (op_deadline != 0) {
+        const std::uint64_t now = monotonic_ns();
+        if (now >= op_deadline) return give_up(last);
+        delay = std::min<std::uint64_t>(
+            delay, (op_deadline - now + 999999ull) / 1000000ull);
+      }
+      sleep_ms(delay);
     }
     if (fd_ < 0) {
       last = reconnect();
       if (!last.ok()) continue;
     }
-    last = hello();
+    last = hello(op_deadline);
     if (!last.ok()) continue;
-    last = ensure_open(session);
+    last = ensure_open(session, op_deadline);
     if (!last.ok()) continue;
 
     PredictResult result;
@@ -412,7 +473,7 @@ Result<PredictResult> PredictClient::predict(ClientSession& session,
     encode_predict(msg, payload_buffer_);
     Frame reply;
     last = round_trip(MsgType::kPredict, payload_buffer_,
-                      MsgType::kPredictAck, reply);
+                      MsgType::kPredictAck, reply, op_deadline);
     if (!last.ok()) continue;
     if (reply.type == MsgType::kError) {
       ErrorMsg err;
@@ -436,6 +497,7 @@ Result<PredictResult> PredictClient::predict(ClientSession& session,
     }
     return result;
   }
+  if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_giveups;
   return last;
 }
 
@@ -449,7 +511,7 @@ Status PredictClient::close(ClientSession& session) {
   encode_close(CloseMsg{session.server_id}, payload_buffer_);
   Frame reply;
   return round_trip(MsgType::kClose, payload_buffer_, MsgType::kCloseAck,
-                    reply);
+                    reply, arm_deadline());
 }
 
 Result<StatsAckMsg> PredictClient::server_stats() {

@@ -44,6 +44,14 @@ struct ClientOptions {
   std::uint64_t backoff_max_ms = 500;
   double backoff_jitter = 0.5;  ///< fraction of each delay randomized
   std::uint64_t jitter_seed = 0x5eed;
+  /// Overall per-operation cap across all retries, reconnects and
+  /// backoff sleeps (ms); 0 disables it. Without the cap, the worst
+  /// case per call is ~max_retries * (request_timeout_ms + backoff) —
+  /// far longer than any decision point can stall. When the budget is
+  /// spent the call returns StatusCode::kDeadlineExceeded instead of
+  /// burning the remaining retry schedule, and the caller falls back
+  /// to the vanilla policy *now*.
+  std::uint64_t total_deadline_ms = 0;
   /// Degradation cache TTL; 0 disables the cache.
   std::uint64_t degraded_ttl_ms = 250;
   std::size_t max_reply_events = 4096;
@@ -122,6 +130,7 @@ class PredictClient {
     std::uint64_t retries = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t timeouts = 0;
+    std::uint64_t deadline_giveups = 0;  ///< ops that hit total_deadline_ms
     std::uint64_t degraded_cache_hits = 0;
     std::uint64_t reopens = 0;
   };
@@ -136,14 +145,23 @@ class PredictClient {
   void disconnect();
   Status reconnect();
   /// One request round trip (no retries): send `type` with `payload`,
-  /// await the matching reply frame into reply_payload_.
+  /// await the matching reply frame into reply_payload_. A non-zero
+  /// `op_deadline_ns` (absolute, CLOCK_MONOTONIC) further clamps the
+  /// per-attempt timeout to the operation's remaining overall budget.
   Status round_trip(MsgType type, const std::vector<std::uint8_t>& payload,
-                    MsgType expect, Frame& reply);
+                    MsgType expect, Frame& reply,
+                    std::uint64_t op_deadline_ns = 0);
   /// round_trip + reconnect/retry schedule + implicit hello/re-open.
   Status request(MsgType type, const std::vector<std::uint8_t>& payload,
                  MsgType expect, Frame& reply);
-  Status ensure_open(ClientSession& session);
+  Status hello(std::uint64_t op_deadline_ns);
+  Status ensure_open(ClientSession& session, std::uint64_t op_deadline_ns);
   std::uint64_t backoff_delay_ms(std::uint32_t attempt);
+  /// Absolute deadline for an operation starting now (0 = uncapped).
+  std::uint64_t arm_deadline() const;
+  /// The typed give-up: counts the giveup and wraps the last transport
+  /// error so the caller can tell "budget spent" from "daemon broken".
+  Status give_up(const Status& last);
   bool degraded_cached(const std::string& key, std::uint64_t now_ns);
   void note_degraded(const std::string& key, std::uint64_t now_ns);
 

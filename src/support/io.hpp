@@ -299,4 +299,18 @@ inline Status make_dir(const std::string& path) {
   return errno_status("mkdir", path);
 }
 
+/// Recursive mkdir -p, tolerant of concurrent creators (EEXIST at any
+/// level is success — harness ranks race to create a shared parent).
+inline Status make_dirs(const std::string& path) {
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    pos = path.find('/', pos + 1);
+    if (pos == std::string::npos) break;
+    const std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || is_directory(prefix)) continue;
+    if (Status status = make_dir(prefix); !status.ok()) return status;
+  }
+  return make_dir(path);
+}
+
 }  // namespace pythia::support

@@ -26,6 +26,7 @@ enum class StatusCode {
   kIoError,       ///< the operating system failed us (open, read, write)
   kUnsupported,   ///< recognized but unreadable (e.g. future format version)
   kInvalidState,  ///< operation does not apply in the current mode
+  kDeadlineExceeded,  ///< gave up: overall time budget spent (client caps)
 };
 
 inline const char* to_string(StatusCode code) {
@@ -40,6 +41,8 @@ inline const char* to_string(StatusCode code) {
       return "unsupported";
     case StatusCode::kInvalidState:
       return "invalid-state";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }
@@ -61,6 +64,9 @@ class Status {
   }
   static Status invalid_state(std::string message) {
     return Status(StatusCode::kInvalidState, std::move(message));
+  }
+  static Status deadline_exceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,262 @@
+// OnlineOracle: learn-while-running with a confidence ramp. The ramp
+// must open only after the rolling self-accuracy clears the threshold,
+// trip (and back off exponentially) when the workload shifts, and be a
+// pure deterministic function of (event log, options) — which is what
+// makes crash recovery exact. The session-backed variant must behave
+// bit-for-bit like the in-memory one and resume after reopen.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/online_oracle.hpp"
+
+namespace pythia {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Small thresholds so tests ramp within a few hundred events.
+OnlineOracle::Options test_options() {
+  OnlineOracle::Options options;
+  options.min_snapshot_events = 64;
+  options.snapshot_growth = 1.3;
+  options.warmup_replay = 32;
+  options.ramp_window = 32;
+  options.ramp_min_samples = 16;
+  options.serve_above = 0.6;
+  options.drop_below = 0.35;
+  return options;
+}
+
+/// Strongly periodic stream: ids cycle through a fixed loop body, the
+/// easy case Sequitur compresses and the predictor nails.
+TerminalId periodic(std::uint64_t step) {
+  static const TerminalId body[] = {0, 1, 0, 2, 0, 1, 0, 3};
+  return body[step % 8];
+}
+
+/// A different loop body over different ids: a regime change.
+TerminalId shifted(std::uint64_t step) {
+  static const TerminalId body[] = {4, 5, 6, 4, 5, 7, 6, 5, 4, 7};
+  return body[step % 10];
+}
+
+TEST(OnlineOracleTest, WithholdsBeforeFirstSnapshot) {
+  OnlineOracle oracle = OnlineOracle::in_memory(test_options());
+  EXPECT_FALSE(oracle.serving());
+  EXPECT_EQ(oracle.ramp(), OnlineOracle::Ramp::kLearning);
+  EXPECT_EQ(oracle.health(), Health::kDegraded);
+  EXPECT_FALSE(oracle.predict(1).has_value());
+  EXPECT_FALSE(oracle.predict_time_ns(1).has_value());
+  EXPECT_EQ(oracle.reference_occurrences(0), 0u);
+
+  // Observe fewer events than the first snapshot needs: still learning.
+  for (std::uint64_t i = 0; i < 32; ++i) oracle.observe(periodic(i));
+  EXPECT_FALSE(oracle.serving());
+  EXPECT_EQ(oracle.stats().snapshots, 0u);
+  EXPECT_FALSE(oracle.predict(1).has_value());
+}
+
+TEST(OnlineOracleTest, RampOpensOnPeriodicStream) {
+  OnlineOracle oracle = OnlineOracle::in_memory(test_options());
+  std::uint64_t now = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    oracle.observe(periodic(i), now += 1000);
+  }
+  EXPECT_TRUE(oracle.serving());
+  const auto& stats = oracle.stats();
+  EXPECT_EQ(stats.events, 1000u);
+  EXPECT_GE(stats.snapshots, 2u);
+  EXPECT_GT(stats.scored, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.served_events, 0u);
+  EXPECT_GT(stats.first_served_event, 0u);
+  EXPECT_EQ(stats.ramp_trips, 0u);
+  EXPECT_GE(oracle.confidence(), 0.6);
+  EXPECT_EQ(oracle.health(), Health::kHealthy);
+
+  // Serving predictions are real: the 1-ahead prediction matches the
+  // periodic stream's next event.
+  const auto next = oracle.predict(1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->event, periodic(1000));
+  // Timestamps were recorded, so duration queries answer too.
+  EXPECT_TRUE(oracle.predict_time_ns(1).has_value());
+  EXPECT_GT(oracle.reference_occurrences(0), 0u);
+  EXPECT_GT(oracle.snapshot_rules(), 0u);
+  EXPECT_GT(oracle.snapshot_events(), 0u);
+}
+
+TEST(OnlineOracleTest, RampTripsOnRegimeChangeAndRecovers) {
+  OnlineOracle oracle = OnlineOracle::in_memory(test_options());
+  for (std::uint64_t i = 0; i < 600; ++i) oracle.observe(periodic(i));
+  ASSERT_TRUE(oracle.serving());
+
+  // Regime change: the stream switches to unseen ids. Self-accuracy
+  // collapses, the ramp trips, and predictions are withheld (consumers
+  // fall back to vanilla — never worse).
+  std::uint64_t i = 0;
+  while (oracle.serving() && i < 600) oracle.observe(shifted(i++));
+  EXPECT_FALSE(oracle.serving());
+  EXPECT_EQ(oracle.ramp(), OnlineOracle::Ramp::kWithheld);
+  EXPECT_GE(oracle.stats().ramp_trips, 1u);
+  EXPECT_FALSE(oracle.predict(1).has_value());
+  EXPECT_EQ(oracle.health(), Health::kDegraded);
+
+  // The new regime is itself periodic: after enough clean samples (the
+  // doubled, backed-off requirement) the ramp re-opens.
+  for (std::uint64_t j = 0; j < 4000 && !oracle.serving(); ++j) {
+    oracle.observe(shifted(i++));
+  }
+  EXPECT_TRUE(oracle.serving());
+  EXPECT_GT(oracle.stats().withheld_events, 0u);
+}
+
+TEST(OnlineOracleTest, DigestIsDeterministic) {
+  OnlineOracle a = OnlineOracle::in_memory(test_options());
+  OnlineOracle b = OnlineOracle::in_memory(test_options());
+  std::uint64_t now = 0;
+  for (std::uint64_t i = 0; i < 700; ++i) {
+    const std::uint64_t ns = now += 500;
+    a.observe(periodic(i), ns);
+    b.observe(periodic(i), ns);
+    if (i % 97 == 0) {
+      EXPECT_EQ(a.ramp_digest(), b.ramp_digest());
+    }
+  }
+  EXPECT_EQ(a.ramp_digest(), b.ramp_digest());
+
+  // The digest is sensitive: one diverging event changes it.
+  a.observe(periodic(700));
+  b.observe(periodic(701));
+  EXPECT_NE(a.ramp_digest(), b.ramp_digest());
+}
+
+TEST(OnlineOracleTest, HistorySamplesRampCurve) {
+  OnlineOracle::Options options = test_options();
+  options.history_every = 50;
+  OnlineOracle oracle = OnlineOracle::in_memory(options);
+  for (std::uint64_t i = 0; i < 500; ++i) oracle.observe(periodic(i));
+
+  const auto& history = oracle.history();
+  ASSERT_FALSE(history.empty());
+  std::uint64_t prev = 0;
+  bool saw_serving = false;
+  for (const auto& sample : history) {
+    EXPECT_GT(sample.events, prev);
+    prev = sample.events;
+    EXPECT_GE(sample.accuracy, 0.0);
+    EXPECT_LE(sample.accuracy, 1.0);
+    saw_serving = saw_serving || sample.serving;
+  }
+  EXPECT_TRUE(saw_serving);
+}
+
+TEST(OnlineOracleTest, FinishProducesFinalizedTrace) {
+  OnlineOracle oracle = OnlineOracle::in_memory(test_options());
+  std::uint64_t now = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) oracle.observe(periodic(i), now += 100);
+  ThreadTrace trace = std::move(oracle).finish();
+  EXPECT_TRUE(trace.grammar.finalized());
+  EXPECT_EQ(trace.grammar.sequence_length(), 300u);
+  // Timestamps were recorded, so the trace carries a timing model.
+  EXPECT_FALSE(trace.timing.empty());
+}
+
+TEST(OnlineOracleTest, SessionBackedMatchesInMemory) {
+  const std::string dir = fresh_dir("online_session_match");
+  auto opened = OnlineOracle::open(dir, test_options());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  OnlineOracle durable = std::move(opened.value());
+  OnlineOracle memory = OnlineOracle::in_memory(test_options());
+
+  // Session events must be interned ids; mirror the dense intern order
+  // the in-memory stream uses (ids 0..3 for the periodic body).
+  ASSERT_NE(durable.session(), nullptr);
+  for (const char* name : {"a", "b", "c", "d"}) {
+    durable.session()->intern(name);
+  }
+
+  std::uint64_t now = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::uint64_t ns = now += 250;
+    durable.observe(periodic(i), ns);
+    memory.observe(periodic(i), ns);
+  }
+  EXPECT_EQ(durable.ramp_digest(), memory.ramp_digest());
+  EXPECT_TRUE(durable.serving());
+  EXPECT_EQ(durable.stats().events, memory.stats().events);
+}
+
+TEST(OnlineOracleTest, SessionReopenResumesRamp) {
+  const std::string dir = fresh_dir("online_session_resume");
+  std::uint64_t now = 0;
+  {
+    auto opened = OnlineOracle::open(dir, test_options());
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    OnlineOracle oracle = std::move(opened.value());
+    for (const char* name : {"a", "b", "c", "d"}) {
+      oracle.session()->intern(name);
+    }
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      oracle.observe(periodic(i), now += 250);
+    }
+    ASSERT_TRUE(oracle.serving());
+    // Make the journal durable, then drop without finish(): the
+    // destructor deliberately does not flush (crash-only discipline),
+    // so recovery sees exactly what sync() made durable.
+    ASSERT_TRUE(oracle.session()->sync().ok());
+  }
+
+  auto reopened = OnlineOracle::open(dir, test_options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  OnlineOracle oracle = std::move(reopened.value());
+  ASSERT_NE(oracle.recovery(), nullptr);
+  EXPECT_EQ(oracle.stats().events, 300u);
+  EXPECT_TRUE(oracle.serving());
+
+  // A fresh in-memory oracle fed the same 300 events agrees exactly.
+  OnlineOracle fresh = OnlineOracle::in_memory(test_options());
+  std::uint64_t replay_now = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    fresh.observe(periodic(i), replay_now += 250);
+  }
+  EXPECT_EQ(oracle.ramp_digest(), fresh.ramp_digest());
+
+  // And the ramp resumes: both keep serving through more events and
+  // stay in lockstep.
+  for (std::uint64_t i = 300; i < 400; ++i) {
+    const std::uint64_t ns = now += 250;
+    oracle.observe(periodic(i), ns);
+    fresh.observe(periodic(i), ns);
+  }
+  EXPECT_EQ(oracle.ramp_digest(), fresh.ramp_digest());
+  EXPECT_TRUE(oracle.serving());
+}
+
+TEST(OnlineOracleTest, SessionRejectsUnknownIdWithoutRecording) {
+  const std::string dir = fresh_dir("online_session_reject");
+  auto opened = OnlineOracle::open(dir, test_options());
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  OnlineOracle oracle = std::move(opened.value());
+  oracle.session()->intern("only");
+
+  oracle.observe(0);
+  EXPECT_EQ(oracle.stats().events, 1u);
+  // Un-interned id: rejected by the session, not counted, no witness —
+  // the event log and the stats stay in agreement.
+  oracle.observe(99);
+  EXPECT_EQ(oracle.stats().events, 1u);
+  EXPECT_EQ(oracle.session()->event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,194 @@
+// SIGKILL-mid-learning matrix for the online oracle: a child process
+// learns a deterministic workload through a session-backed OnlineOracle
+// and SIGKILLs itself at a randomized event offset — before the first
+// snapshot, mid-ramp, or while serving, depending on the seed. The
+// parent reopens the session and asserts the crash-only contract:
+//
+//   1. the recovered event log is event-for-event the workload prefix,
+//      within the journal's flush window of the kill offset;
+//   2. the recovered oracle's ramp_digest() equals a never-crashed
+//      in-memory oracle fed the same prefix — the whole learning state
+//      (snapshot cadence, validation window, ramp state machine,
+//      predictor tracking) resumed exactly;
+//   3. feeding the remaining events keeps the two in lockstep and the
+//      ramp reaches serving on the full run.
+//
+// PYTHIA_KILL_SEEDS overrides the seed count (CI runs 20).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/online_oracle.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+constexpr std::uint64_t kTotalEvents = 1200;
+
+std::vector<TerminalId> intern_workload(RecordSession& session) {
+  return {session.intern("compute"), session.intern("MPI_Send", 1),
+          session.intern("MPI_Recv", 1), session.intern("MPI_Allreduce")};
+}
+
+/// Deterministic periodic stream (period 22): regular enough that the
+/// ramp opens, long enough that snapshots straddle kill offsets.
+TerminalId workload_event(const std::vector<TerminalId>& ids,
+                          std::uint64_t step) {
+  switch (step % 11) {
+    case 0:
+    case 3:
+    case 6:
+      return ids[0];
+    case 1:
+    case 4:
+      return ids[1];
+    case 2:
+    case 5:
+      return ids[2];
+    default:
+      return ids[(step / 11) % 2 == 0 ? 0 : 3];
+  }
+}
+
+std::uint64_t workload_time(std::uint64_t step) { return (step + 1) * 1000; }
+
+OnlineOracle::Options online_options() {
+  OnlineOracle::Options options;
+  options.min_snapshot_events = 48;
+  options.snapshot_growth = 1.3;
+  options.warmup_replay = 32;
+  options.ramp_window = 32;
+  options.ramp_min_samples = 12;
+  options.serve_above = 0.55;
+  options.drop_below = 0.35;
+  return options;
+}
+
+struct KillPlan {
+  std::uint64_t kill_at = 0;
+  SessionOptions session;
+};
+
+KillPlan plan_for_seed(std::uint64_t seed) {
+  support::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x0431eULL);
+  KillPlan plan;
+  plan.kill_at = rng.below(kTotalEvents);
+  plan.session.journal.segment_bytes = std::size_t{512} << rng.below(3);
+  plan.session.journal.flush_every_events = 1 + rng.below(8);
+  plan.session.journal.sync_on_seal = false;  // SIGKILL spares the page cache
+  plan.session.checkpoint_every_events =
+      rng.below(3) == 0 ? 0 : 64 + 64 * rng.below(4);
+  return plan;
+}
+
+/// The child's whole life: learn until the kill offset. Never returns.
+[[noreturn]] void run_child(const std::string& dir, const KillPlan& plan) {
+  Result<OnlineOracle> opened =
+      OnlineOracle::open(dir, online_options(), plan.session);
+  if (!opened.ok()) ::_exit(3);
+  OnlineOracle oracle = std::move(opened.value());
+  const std::vector<TerminalId> ids = intern_workload(*oracle.session());
+  for (std::uint64_t i = 0; i < kTotalEvents; ++i) {
+    if (i == plan.kill_at) {
+      ::kill(::getpid(), SIGKILL);  // no unwinding, no flushing
+      ::_exit(4);                   // unreachable
+    }
+    oracle.observe(workload_event(ids, i), workload_time(i));
+  }
+  ::_exit(6);  // kill_at out of range — plan bug
+}
+
+/// A never-crashed oracle fed the first `length` workload events.
+OnlineOracle fresh_prefix(std::uint64_t length) {
+  OnlineOracle oracle = OnlineOracle::in_memory(online_options());
+  // In-memory streams use raw dense ids; mirror the session's intern
+  // order (compute=0, send=1, recv=2, allreduce=3).
+  const std::vector<TerminalId> ids = {0, 1, 2, 3};
+  for (std::uint64_t i = 0; i < length; ++i) {
+    oracle.observe(workload_event(ids, i), workload_time(i));
+  }
+  return oracle;
+}
+
+void run_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const KillPlan plan = plan_for_seed(seed);
+  const std::string dir =
+      testing::TempDir() + "/online_crash_" + std::to_string(seed);
+  std::filesystem::remove_all(dir);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) run_child(dir, plan);  // never returns
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited with code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+      << " instead of dying by signal";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Recover: the journal's valid prefix replays through the same
+  // score/track/learn pipeline the child ran live.
+  Result<OnlineOracle> reopened =
+      OnlineOracle::open(dir, online_options(), plan.session);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  OnlineOracle oracle = std::move(reopened.value());
+  const std::uint64_t recovered = oracle.event_count();
+
+  // Durability window: at most flush_every_events - 1 completed events
+  // (the user-space buffer) die with the process.
+  EXPECT_LE(recovered, plan.kill_at);
+  EXPECT_GT(recovered + plan.session.journal.flush_every_events,
+            plan.kill_at);
+
+  // Event-for-event: the recovered log is the exact workload prefix,
+  // timestamps included.
+  const std::vector<TerminalId> ids = {0, 1, 2, 3};
+  const auto& log = oracle.event_log();
+  ASSERT_EQ(log.size(), recovered);
+  for (std::uint64_t i = 0; i < recovered; ++i) {
+    ASSERT_EQ(log[i].event, workload_event(ids, i)) << "event " << i;
+    ASSERT_EQ(log[i].time_ns(), workload_time(i)) << "event " << i;
+  }
+
+  // The ramp resumed exactly: digest equality against a never-crashed
+  // oracle covers the snapshot cadence, the validation window, the
+  // required-sample backoff and the snapshot predictor's tracking state.
+  OnlineOracle fresh = fresh_prefix(recovered);
+  EXPECT_EQ(oracle.ramp_digest(), fresh.ramp_digest());
+  EXPECT_EQ(oracle.serving(), fresh.serving());
+  EXPECT_EQ(oracle.stats().ramp_trips, fresh.stats().ramp_trips);
+
+  // Resume the run: recovered and never-crashed stay in lockstep, and
+  // on this workload the full run always ends serving.
+  for (std::uint64_t i = recovered; i < kTotalEvents; ++i) {
+    oracle.observe(workload_event(ids, i), workload_time(i));
+    fresh.observe(workload_event(ids, i), workload_time(i));
+  }
+  EXPECT_EQ(oracle.ramp_digest(), fresh.ramp_digest());
+  EXPECT_TRUE(oracle.serving());
+  EXPECT_EQ(oracle.stats().events, kTotalEvents);
+}
+
+TEST(OnlineCrashRecovery, SigkillMidLearningResumesRampExactly) {
+  const long seeds = support::env_long("PYTHIA_KILL_SEEDS", 20);
+  for (long seed = 0; seed < seeds; ++seed) {
+    run_seed(static_cast<std::uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace pythia

@@ -117,6 +117,130 @@ TEST(Resilience, CleanPredictRunStaysHealthy) {
   EXPECT_EQ(result.fault_stats.submitted, 0u);
 }
 
+// --- online mode under fault storms ---------------------------------------
+//
+// The acceptance bar for learn-while-running: with the confidence ramp
+// and breaker armed, an online oracle fed a perturbed event stream must
+// never make any consumer worse than vanilla. The fault injector sits
+// between the runtime and the oracle, so the oracle learns a corrupted
+// stream while the application itself runs clean — exactly the setup
+// where acting on bad predictions would cost real (virtual) time.
+
+/// Hybrid app exercising every consumer: adaptive OpenMP regions, isends
+/// through the configured send path, guided I/O reads.
+class ConsumerLoopApp final : public apps::App {
+ public:
+  std::string name() const override { return "ConsumerLoop"; }
+  bool hybrid() const override { return true; }
+  int default_ranks() const override { return 2; }
+  void run_rank(apps::RankEnv& env,
+                const apps::AppConfig&) const override {
+    auto& mpi = env.mpi;
+    const std::vector<double> payload(8, 1.0);
+    const int dst = (mpi.rank() + 1) % mpi.size();
+    const int src = (mpi.rank() + mpi.size() - 1) % mpi.size();
+    for (int i = 0; i < 200; ++i) {
+      env.omp->parallel(16, 40'000.0, 0.9);
+      std::vector<mpisim::Request> reqs;
+      reqs.push_back(mpi.irecv(src, 3));
+      reqs.push_back(mpi.isend_doubles(dst, 3, payload));
+      mpi.waitall(reqs);
+      if (env.io != nullptr) {
+        for (int b = 0; b < 4; ++b) {
+          env.io->read(static_cast<std::uint64_t>((i % 8) * 4 + b));
+          env.io->compute(2'000.0);
+        }
+      }
+      mpi.barrier();
+    }
+  }
+};
+
+OnlineOracle::Options storm_online_options() {
+  OnlineOracle::Options options;
+  options.min_snapshot_events = 48;
+  options.snapshot_growth = 1.3;
+  options.warmup_replay = 32;
+  options.ramp_window = 32;
+  options.ramp_min_samples = 12;
+  options.serve_above = 0.55;
+  options.drop_below = 0.35;
+  return options;
+}
+
+TEST(Resilience, OnlineFaultStormNeverWorseThanVanilla) {
+  LoopApp app;
+  RunConfig vanilla;
+  vanilla.mode = Mode::kVanilla;
+  const RunResult base = run_app(app, vanilla);
+
+  RunConfig online;
+  online.mode = Mode::kOnline;
+  online.online = storm_online_options();
+  online.faults = FaultPlan::uniform(0.35, /*seed=*/7);
+  const RunResult result = run_app(app, online);
+
+  // The perturbed stream was really perturbed...
+  EXPECT_GT(result.fault_stats.dropped + result.fault_stats.injected, 0u);
+  // ...and the ramp withheld rather than acting on it.
+  EXPECT_GT(result.online_stats.withheld_events +
+                (result.online_stats.events -
+                 result.online_stats.served_events),
+            0u);
+  // Never worse: consumers on their vanilla policy, so the makespan is
+  // within noise of the vanilla run (5% guard band).
+  EXPECT_LE(static_cast<double>(result.makespan_virtual_ns),
+            1.05 * static_cast<double>(base.makespan_virtual_ns));
+}
+
+TEST(Resilience, OnlineConsumersUnderFaultStormNeverWorse) {
+  ConsumerLoopApp app;
+  RunConfig vanilla;
+  vanilla.mode = Mode::kVanilla;
+  vanilla.io.enabled = true;
+  const RunResult base = run_app(app, vanilla);
+
+  for (const SendPath path : {SendPath::kAggregate, SendPath::kPersistent}) {
+    RunConfig online;
+    online.mode = Mode::kOnline;
+    online.online = storm_online_options();
+    online.omp_adaptive = true;
+    online.send_path = path;
+    online.io.enabled = true;
+    online.faults = FaultPlan::uniform(0.35, /*seed=*/13);
+    const RunResult result = run_app(app, online);
+
+    EXPECT_GT(result.fault_stats.dropped + result.fault_stats.injected, 0u)
+        << static_cast<int>(path);
+    EXPECT_LE(static_cast<double>(result.makespan_virtual_ns),
+              1.05 * static_cast<double>(base.makespan_virtual_ns))
+        << static_cast<int>(path);
+  }
+}
+
+TEST(Resilience, OnlineCleanRunNeverWorseThanVanilla) {
+  ConsumerLoopApp app;
+  RunConfig vanilla;
+  vanilla.mode = Mode::kVanilla;
+  vanilla.io.enabled = true;
+  const RunResult base = run_app(app, vanilla);
+
+  RunConfig online;
+  online.mode = Mode::kOnline;
+  online.online = storm_online_options();
+  online.omp_adaptive = true;
+  online.send_path = SendPath::kAggregate;
+  online.io.enabled = true;
+  const RunResult result = run_app(app, online);
+
+  // The clean periodic stream opens the ramp...
+  EXPECT_EQ(result.ranks_serving, 2u);
+  EXPECT_GT(result.online_stats.served_events, 0u);
+  // ...and serving must not cost time either.
+  EXPECT_LE(static_cast<double>(result.makespan_virtual_ns),
+            1.05 * static_cast<double>(base.makespan_virtual_ns));
+}
+
 // --- journal-fault resilience ---------------------------------------------
 //
 // Each test records a session, damages the on-disk journal with the

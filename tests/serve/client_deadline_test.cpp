@@ -1,0 +1,181 @@
+// PredictClient total-deadline hardening (S2): a client embedded at a
+// runtime decision point must be able to promise "back in N ms, no
+// matter what". The per-attempt request timeout bounds one round trip,
+// but the retry/reconnect schedule multiplies it — a wedged daemon
+// could stall a caller for ~max_retries * (timeout + backoff). With
+// ClientOptions::total_deadline_ms set, every operation returns
+// StatusCode::kDeadlineExceeded once the overall budget is spent:
+// backoff sleeps are clamped to the remaining budget, the per-attempt
+// poll deadline never reaches past it, and the give-up is typed so the
+// caller can tell "budget spent" from "daemon broken".
+//
+// The wedge under test is the nastiest one: a listener that is bound
+// and listening but never accepts. connect(2) succeeds against the
+// backlog, sends land in the socket buffer, and replies never come —
+// so every attempt burns its full per-request timeout.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve_test_util.hpp"
+#include "support/status.hpp"
+
+namespace pythia::serve {
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Bound + listening, never calls accept(2): connects succeed (backlog),
+/// requests hang forever.
+class NeverAcceptListener {
+ public:
+  explicit NeverAcceptListener(const std::string& path) : path_(path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd_, 8) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~NeverAcceptListener() {
+    if (fd_ >= 0) ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+ClientOptions capped_options() {
+  ClientOptions options;
+  options.request_timeout_ms = 60;
+  options.max_retries = 10;  // uncapped worst case: > 600 ms of timeouts
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 40;
+  options.total_deadline_ms = 150;
+  return options;
+}
+
+TEST(ClientDeadline, NeverAcceptingListenerReturnsTypedGiveUp) {
+  const std::string dir = testutil::temp_dir("deadline");
+  const std::string path = dir + "/never.sock";
+  NeverAcceptListener listener(path);
+  ASSERT_TRUE(listener.ok());
+
+  PredictClient client(capped_options());
+  ASSERT_TRUE(client.connect_unix(path).ok());  // backlog accepts us
+
+  const std::uint64_t start = now_ms();
+  const Status status = client.ping();
+  const std::uint64_t elapsed = now_ms() - start;
+
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status.to_string();
+  // Roughly the 150 ms cap — far under the ~600+ ms the full retry
+  // schedule would burn. Generous ceiling for loaded CI hosts.
+  EXPECT_LT(elapsed, 600u);
+  EXPECT_GE(client.stats().timeouts, 1u);
+  EXPECT_EQ(client.stats().deadline_giveups, 1u);
+}
+
+TEST(ClientDeadline, AllFourOperationsHonorTheCap) {
+  const std::string dir = testutil::temp_dir("deadline_ops");
+  const std::string path = dir + "/never.sock";
+  NeverAcceptListener listener(path);
+  ASSERT_TRUE(listener.ok());
+
+  PredictClient client(capped_options());
+  ASSERT_TRUE(client.connect_unix(path).ok());
+
+  // open(): hello hangs first.
+  const std::uint64_t start = now_ms();
+  const auto opened = client.open("trace", 0);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDeadlineExceeded);
+
+  // observe() and predict() drive their own retry loops through the
+  // same wedge; each must give up on its own budget, not inherit a
+  // stale one.
+  ClientSession session;
+  session.trace = "trace";
+  const auto observed = client.observe(session, nullptr, 0);
+  ASSERT_FALSE(observed.ok());
+  EXPECT_EQ(observed.status().code(), StatusCode::kDeadlineExceeded);
+
+  const auto predicted = client.predict(session, 1, 1);
+  ASSERT_FALSE(predicted.ok());
+  EXPECT_EQ(predicted.status().code(), StatusCode::kDeadlineExceeded);
+
+  // request()-based plumbing (stats/ping) is capped too.
+  EXPECT_EQ(client.ping().code(), StatusCode::kDeadlineExceeded);
+  const std::uint64_t elapsed = now_ms() - start;
+  EXPECT_LT(elapsed, 4u * 600u);
+  EXPECT_EQ(client.stats().deadline_giveups, 4u);
+}
+
+TEST(ClientDeadline, CapsTheReconnectStormWhenNoDaemonExists) {
+  const std::string dir = testutil::temp_dir("deadline_gone");
+
+  ClientOptions options;
+  options.request_timeout_ms = 60;
+  options.max_retries = 10;
+  options.backoff_initial_ms = 200;  // one uncapped sleep alone > budget
+  options.backoff_max_ms = 400;
+  options.total_deadline_ms = 100;
+  PredictClient client(options);
+  // No socket at all: the initial connect fails, the path is remembered,
+  // and every retry is a fast ENOENT + a backoff sleep.
+  EXPECT_FALSE(client.connect_unix(dir + "/gone.sock").ok());
+
+  const std::uint64_t start = now_ms();
+  const Status status = client.ping();
+  const std::uint64_t elapsed = now_ms() - start;
+
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status.to_string();
+  // Backoff sleeps must be clamped to the remaining budget: a single
+  // unclamped 200 ms sleep would already blow the 100 ms cap.
+  EXPECT_LT(elapsed, 500u);
+  EXPECT_EQ(client.stats().deadline_giveups, 1u);
+}
+
+TEST(ClientDeadline, ZeroDeadlinePreservesTheFullRetrySchedule) {
+  const std::string dir = testutil::temp_dir("deadline_off");
+  const std::string path = dir + "/never.sock";
+  NeverAcceptListener listener(path);
+  ASSERT_TRUE(listener.ok());
+
+  ClientOptions options;
+  options.request_timeout_ms = 20;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  options.total_deadline_ms = 0;  // default: cap disabled
+  PredictClient client(options);
+  ASSERT_TRUE(client.connect_unix(path).ok());
+
+  const Status status = client.ping();
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status.to_string();
+  // Every attempt ran and timed out; nobody gave up on a deadline.
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().timeouts, 3u);
+  EXPECT_EQ(client.stats().deadline_giveups, 0u);
+}
+
+}  // namespace
+}  // namespace pythia::serve
