@@ -1,0 +1,229 @@
+// analysis — grammar-domain analytics bench (src/analysis/).
+//
+//   ./build/bench/analysis [--out=BENCH_analysis.json] [--strict]
+//
+// The tentpole claim in numbers: diffing two Lulesh-class traces in the
+// grammar domain (analysis::grammar_diff) costs O(grammar), while the
+// legacy replay (analysis::expand_diff) costs O(trace). Both produce
+// bit-identical reports — asserted here on every measured pair, so the
+// speedup is never bought with a wrong answer. The phase detector and
+// the summary pass are timed on the largest trace for context.
+//
+// Sizes grow geometrically (x PYTHIA_BENCH_SCALE); each timing is the
+// min over bench_reps(3) runs — min, not mean, because the quantity of
+// interest is the algorithm's cost, not the host's noise.
+//
+// --strict (or PYTHIA_BENCH_STRICT=1) gates:
+//   * grammar_diff >= 20x faster than expand_diff at the largest size,
+//   * the ratio GROWS with trace length (last size vs first size): an
+//     O(grammar) vs O(trace) separation must widen as traces lengthen,
+//     so a constant-factor win cannot fake the complexity claim.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/diff.hpp"
+#include "analysis/query.hpp"
+#include "apps/catalog.hpp"
+#include "bench/bench_util.hpp"
+#include "harness/runner.hpp"
+#include "support/env.hpp"
+
+namespace {
+
+using namespace pythia;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point begin, Clock::time_point end) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+/// Min-of-reps wall time of `fn` (which must fold into a sink).
+template <typename Fn>
+double min_ns(int reps, Fn&& fn) {
+  double best = -1.0;
+  volatile std::uint64_t sink = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = Clock::now();
+    sink = sink + fn();
+    const double ns = elapsed_ns(begin, Clock::now());
+    if (best < 0.0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+bool reports_equal(const analysis::DiffReport& a,
+                   const analysis::DiffReport& b) {
+  return a.events == b.events && a.advanced == b.advanced &&
+         a.reanchored == b.reanchored && a.unknown == b.unknown &&
+         a.divergence_points == b.divergence_points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_analysis.json";
+  bool strict = support::env_flag("PYTHIA_BENCH_STRICT");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "usage: analysis [--out=FILE] [--strict]\n");
+      return 2;
+    }
+  }
+
+  const double scale = bench::workload_scale();
+  const int reps = support::bench_reps(3);
+  std::printf("pythia bench/analysis  (scale %.2f, %d reps)\n", scale, reps);
+
+  bench::JsonWriter json;
+  json.field("bench", std::string("analysis")).field("scale", scale);
+
+  // Lulesh-class pairs at geometrically growing sizes. The two runs
+  // differ in seed, so the diff does real divergence work rather than
+  // fast-pathing an identical grammar. The largest size never shrinks
+  // below app scale 3.0 regardless of PYTHIA_BENCH_SCALE: the >= 20x
+  // gate needs a trace long enough for the O(trace) term to dominate,
+  // and a scaled-down run would flake the ratio right at the threshold.
+  const std::vector<double> app_scales = {0.25 * scale, 0.5 * scale,
+                                          1.0 * scale,
+                                          std::max(2.0 * scale, 3.0)};
+  std::vector<double> ratios;
+  std::vector<std::uint64_t> sizes;
+  double first_ratio = 0.0;
+  double last_ratio = 0.0;
+
+  json.begin_object("diff");
+  for (std::size_t i = 0; i < app_scales.size(); ++i) {
+    apps::AppConfig config;
+    config.scale = app_scales[i];
+    const Trace reference =
+        harness::record_reference(*apps::lulesh_app(), config);
+    apps::AppConfig rerun = config;
+    rerun.seed = config.seed + 1;
+    const Trace other = harness::record_reference(*apps::lulesh_app(), rerun);
+    const Grammar& ref = reference.threads[0].grammar;
+    const Grammar& oth = other.threads[0].grammar;
+
+    const analysis::DiffReport slow_report = analysis::expand_diff(ref, oth);
+    const analysis::DiffReport fast_report = analysis::grammar_diff(ref, oth);
+    if (!reports_equal(slow_report, fast_report)) {
+      std::fprintf(stderr,
+                   "error: grammar_diff report differs from expand_diff at "
+                   "app scale %.2f — speedup numbers would be meaningless\n",
+                   app_scales[i]);
+      return 1;
+    }
+
+    const double slow_ns = min_ns(reps, [&] {
+      return analysis::expand_diff(ref, oth).advanced;
+    });
+    const double fast_ns = min_ns(reps, [&] {
+      return analysis::grammar_diff(ref, oth).advanced;
+    });
+    const double ratio = fast_ns > 0.0 ? slow_ns / fast_ns : 0.0;
+    ratios.push_back(ratio);
+    sizes.push_back(fast_report.events);
+    if (i == 0) first_ratio = ratio;
+    last_ratio = ratio;
+
+    const std::string key = "size_" + std::to_string(i);
+    json.begin_object(key)
+        .field("app_scale", app_scales[i])
+        .field("events", fast_report.events)
+        .field("expand_ns", slow_ns)
+        .field("grammar_ns", fast_ns)
+        .field("speedup", ratio)
+        .end_object();
+    std::printf(
+        "  %-10s %10llu events   expand %12.0f ns   grammar %10.0f ns   "
+        "(%.1fx)\n",
+        key.c_str(), static_cast<unsigned long long>(fast_report.events),
+        slow_ns, fast_ns, ratio);
+  }
+  json.end_object();
+
+  // Context numbers on the largest pair: summaries + phases + event_at,
+  // the rest of the engine the diff shares its lens with.
+  {
+    apps::AppConfig config;
+    config.scale = app_scales.back();
+    const Trace trace = harness::record_reference(*apps::lulesh_app(), config);
+    const ThreadTrace& thread = trace.threads[0];
+    const double query_ns = min_ns(reps, [&] {
+      const analysis::Query query =
+          analysis::Query::over(thread.grammar, &thread.timing);
+      return query.events();
+    });
+    const analysis::Query query =
+        analysis::Query::over(thread.grammar, &thread.timing);
+    analysis::PhaseOptions options;
+    analysis::PhaseTree tree;
+    const double phases_ns = min_ns(reps, [&] {
+      query.phases(options, tree);
+      return static_cast<std::uint64_t>(tree.nodes.size());
+    });
+    const double event_at_ns = min_ns(reps, [&] {
+      TerminalId out = 0;
+      (void)query.event_at(query.events() / 2, out);
+      return static_cast<std::uint64_t>(out);
+    });
+    json.begin_object("query")
+        .field("events", query.events())
+        .field("rules", static_cast<std::uint64_t>(query.rules()))
+        .field("build_ns", query_ns)
+        .field("phases_ns", phases_ns)
+        .field("event_at_ns", event_at_ns)
+        .end_object();
+    std::printf("  %-10s build %9.0f ns   phases %8.0f ns   event_at %6.0f "
+                "ns   (%llu events, %u rules)\n",
+                "query", query_ns, phases_ns, event_at_ns,
+                static_cast<unsigned long long>(query.events()),
+                query.rules());
+  }
+
+  const bool growing = last_ratio > first_ratio;
+  json.field("largest_speedup", last_ratio)
+      .field("speedup_growing", growing);
+
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (strict) {
+    bool ok = true;
+    if (last_ratio < 20.0) {
+      std::fprintf(stderr,
+                   "strict: grammar_diff only %.1fx faster than expand_diff "
+                   "at the largest size (need >= 20x)\n",
+                   last_ratio);
+      ok = false;
+    }
+    if (!growing) {
+      std::fprintf(stderr,
+                   "strict: speedup does not grow with trace length "
+                   "(%.1fx at %llu events -> %.1fx at %llu events)\n",
+                   first_ratio,
+                   static_cast<unsigned long long>(sizes.front()), last_ratio,
+                   static_cast<unsigned long long>(sizes.back()));
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("strict: speedup %.1fx -> %.1fx over %llu -> %llu events — "
+                "all gates pass\n",
+                first_ratio, last_ratio,
+                static_cast<unsigned long long>(sizes.front()),
+                static_cast<unsigned long long>(sizes.back()));
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds (Release) and runs the benchmark-regression harnesses, leaving
-# BENCH_core.json, BENCH_mt.json, BENCH_serve.json, BENCH_compiled.json
-# and BENCH_online.json at the repo root. Extra flags are forwarded to every binary, e.g.:
+# BENCH_core.json, BENCH_mt.json, BENCH_serve.json, BENCH_compiled.json,
+# BENCH_online.json and BENCH_analysis.json at the repo root. Extra flags
+# are forwarded to every binary, e.g.:
 #
 #   bench/run_regress.sh --strict          # fail on steady-state allocs,
 #                                          # journaled overhead > 15%,
@@ -19,7 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-bench}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j --target regress scaling serve compiled online >/dev/null
+cmake --build "$BUILD_DIR" -j --target regress scaling serve compiled online analysis >/dev/null
 
 # Write via a temp file + atomic rename so an interrupted or failing run
 # never leaves a torn report behind.
@@ -61,4 +62,12 @@ trap 'rm -f "$ONLINE_TMP"' EXIT
 
 "$BUILD_DIR/bench/online" --out="$ONLINE_TMP" "$@"
 mv -f "$ONLINE_TMP" "$ONLINE_OUT"
+trap - EXIT
+
+ANALYSIS_OUT=BENCH_analysis.json
+ANALYSIS_TMP=$(mktemp "${ANALYSIS_OUT}.XXXXXX.tmp")
+trap 'rm -f "$ANALYSIS_TMP"' EXIT
+
+"$BUILD_DIR/bench/analysis" --out="$ANALYSIS_TMP" "$@"
+mv -f "$ANALYSIS_TMP" "$ANALYSIS_OUT"
 trap - EXIT

@@ -1,6 +1,7 @@
 // trace_diff — compare two .pythia traces.
 //
-//   ./build/examples/trace_diff <reference.pythia> <other.pythia> [thread]
+//   ./build/examples/trace_diff [--legacy-expand] <reference.pythia> \
+//                               <other.pythia> [thread]
 //
 // Either argument may also be a record-session *directory* (journal +
 // checkpoints); it is recovered in memory first, so a crashed run can be
@@ -13,14 +14,21 @@
 // reference (new behaviour). This is the oracle machinery applied to
 // trace *diffing*, in the spirit of DiffTrace from the paper's related
 // work (§IV). With no arguments, runs a self-demo.
+//
+// The replay runs in the GRAMMAR DOMAIN by default (analysis::
+// grammar_diff): time proportional to grammar size, not trace length,
+// with a bit-identical report. --legacy-expand switches back to the
+// original expansion-based replay (the differential-test oracle).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/diff.hpp"
+#include "analysis/query.hpp"
 #include "core/oracle.hpp"
-#include "core/predictor.hpp"
 #include "core/session.hpp"
 #include "core/trace_io.hpp"
 #include "support/io.hpp"
@@ -46,56 +54,33 @@ Result<Trace> load_trace_or_session(const std::string& path) {
   return Trace::try_load(path);
 }
 
-struct DiffReport {
-  std::uint64_t events = 0;
-  std::uint64_t advanced = 0;
-  std::uint64_t reanchored = 0;
-  std::uint64_t unknown = 0;
-  std::vector<std::uint64_t> divergence_points;  // event indices
-};
-
-DiffReport diff_thread(const ThreadTrace& reference,
-                       const ThreadTrace& other) {
-  DiffReport report;
-  Predictor predictor(reference.grammar);
-  const std::vector<TerminalId> events = other.grammar.unfold();
-  report.events = events.size();
-  std::uint64_t previous_reanchors = 0;
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    predictor.observe(events[i]);
-    const auto& stats = predictor.stats();
-    const std::uint64_t reanchors = stats.reanchored + stats.unknown;
-    if (reanchors != previous_reanchors && i > 0) {
-      if (report.divergence_points.size() < 16) {
-        report.divergence_points.push_back(i);
-      }
-      previous_reanchors = reanchors;
-    }
+analysis::DiffReport diff_thread(const ThreadTrace& reference,
+                                 const ThreadTrace& other,
+                                 bool legacy_expand) {
+  if (legacy_expand) {
+    return analysis::expand_diff(reference.grammar, other.grammar);
   }
-  const auto& stats = predictor.stats();
-  report.advanced = stats.advanced;
-  report.reanchored = stats.reanchored;
-  report.unknown = stats.unknown;
-  return report;
+  return analysis::grammar_diff(reference.grammar, other.grammar);
 }
 
-void print_report(const DiffReport& report, const Trace& reference,
+void print_report(const analysis::DiffReport& report, const Trace& reference,
                   const ThreadTrace& other_thread) {
-  const double agreement =
-      report.events > 0 ? 100.0 * static_cast<double>(report.advanced) /
-                              static_cast<double>(report.events)
-                        : 0.0;
   std::printf("  events: %llu   tracked: %.1f%%   re-anchors: %llu   "
               "unknown: %llu\n",
-              static_cast<unsigned long long>(report.events), agreement,
+              static_cast<unsigned long long>(report.events),
+              report.agreement_percent(),
               static_cast<unsigned long long>(report.reanchored),
               static_cast<unsigned long long>(report.unknown));
   if (!report.divergence_points.empty()) {
     std::printf("  first divergences at event indices:");
-    const std::vector<TerminalId> events = other_thread.grammar.unfold();
+    // Resolve each divergent index straight off the grammar — O(depth)
+    // per lookup, no unfolding.
+    const analysis::Query query = analysis::Query::over(other_thread.grammar);
     for (std::uint64_t index : report.divergence_points) {
+      TerminalId event = 0;
+      const bool ok = query.valid() && query.event_at(index, event);
       std::printf(" %llu(%s)", static_cast<unsigned long long>(index),
-                  reference.registry.describe(events[index]).c_str());
+                  ok ? reference.registry.describe(event).c_str() : "?");
     }
     std::printf("\n");
   }
@@ -119,35 +104,46 @@ Trace demo(bool with_detour) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  bool legacy_expand = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--legacy-expand") == 0) {
+      legacy_expand = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (args.size() < 2) {
     std::printf(
-        "usage: trace_diff <reference.pythia> <other.pythia> [thread]\n"
+        "usage: trace_diff [--legacy-expand] <reference.pythia> "
+        "<other.pythia> [thread]\n"
         "no files given — self demo (a run with one extra checkpoint):\n\n");
     const Trace reference = demo(false);
     const Trace other = demo(true);
-    const DiffReport report =
-        diff_thread(reference.threads[0], other.threads[0]);
+    const analysis::DiffReport report =
+        diff_thread(reference.threads[0], other.threads[0], legacy_expand);
     print_report(report, reference, other.threads[0]);
     return 0;
   }
 
-  Result<Trace> reference_result = load_trace_or_session(argv[1]);
+  Result<Trace> reference_result = load_trace_or_session(args[0]);
   if (!reference_result.ok()) {
-    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
+    std::fprintf(stderr, "error: cannot load %s: %s\n", args[0],
                  reference_result.status().to_string().c_str());
     return 1;
   }
-  Result<Trace> other_result = load_trace_or_session(argv[2]);
+  Result<Trace> other_result = load_trace_or_session(args[1]);
   if (!other_result.ok()) {
-    std::fprintf(stderr, "error: cannot load %s: %s\n", argv[2],
+    std::fprintf(stderr, "error: cannot load %s: %s\n", args[1],
                  other_result.status().to_string().c_str());
     return 1;
   }
   const Trace reference = reference_result.take();
   const Trace other = other_result.take();
   for (const auto& [trace, name] :
-       {std::pair<const Trace*, const char*>{&reference, argv[1]},
-        std::pair<const Trace*, const char*>{&other, argv[2]}}) {
+       {std::pair<const Trace*, const char*>{&reference, args[0]},
+        std::pair<const Trace*, const char*>{&other, args[1]}}) {
     if (!trace->fully_intact()) {
       std::printf("note: %s has %zu salvaged thread section(s); those "
                   "threads are skipped\n",
@@ -164,8 +160,8 @@ int main(int argc, char** argv) {
 
   std::size_t begin = 0;
   std::size_t end = threads;
-  if (argc >= 4) {
-    begin = static_cast<std::size_t>(std::strtoul(argv[3], nullptr, 10));
+  if (args.size() >= 3) {
+    begin = static_cast<std::size_t>(std::strtoul(args[2], nullptr, 10));
     if (begin >= threads) {
       std::fprintf(stderr, "error: thread %zu out of range\n", begin);
       return 1;
@@ -178,8 +174,8 @@ int main(int argc, char** argv) {
       std::printf("  (skipped: section salvaged during load)\n");
       continue;
     }
-    print_report(diff_thread(reference.threads[thread],
-                             other.threads[thread]),
+    print_report(diff_thread(reference.threads[thread], other.threads[thread],
+                             legacy_expand),
                  reference, other.threads[thread]);
   }
   return 0;

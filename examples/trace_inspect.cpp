@@ -1,7 +1,7 @@
 // trace_inspect — command-line tool to examine a .pythia trace file.
 //
-//   ./build/examples/trace_inspect <trace-file> [thread-index]
-//   ./build/examples/trace_inspect <session-dir> [thread-index]
+//   ./build/examples/trace_inspect [--phases] <trace-file> [thread-index]
+//   ./build/examples/trace_inspect [--phases] <session-dir> [thread-index]
 //   ./build/examples/trace_inspect <journal.pyj>
 //
 // Prints the event registry, per-thread grammar statistics, the grammar
@@ -10,10 +10,17 @@
 // replay) and inspected like a trace; a bare journal file is scanned and
 // summarized. With no arguments, demonstrates on a freshly recorded
 // example trace.
+//
+// --phases swaps the grammar dump for the detected phase/loop hierarchy
+// with trace-wide event counts and timing rollups — computed straight
+// from the grammar (analysis::Query), never by expanding the trace.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "analysis/query.hpp"
 #include "core/compile.hpp"
 #include "core/journal.hpp"
 #include "core/oracle.hpp"
@@ -128,6 +135,61 @@ void print_thread(const Trace& trace, std::size_t index) {
   std::printf("\n%s\n", grammar.to_text(&trace.registry).c_str());
 }
 
+void print_phase_node(const analysis::PhaseTree& tree,
+                      const Trace& trace, std::uint32_t index) {
+  const analysis::PhaseNode& node = tree.nodes[index];
+  std::string label(static_cast<std::size_t>(node.depth) * 2, ' ');
+  if (node.depth == 0) {
+    label += "<whole trace>";
+  } else if (node.is_rule) {
+    label += node.is_loop ? "loop R" : "R";
+    label += std::to_string(node.rule);
+  } else {
+    label += trace.registry.describe(node.terminal);
+  }
+  if (node.reps > 1) label += " x" + std::to_string(node.reps);
+  const double share =
+      tree.total_events > 0
+          ? 100.0 * static_cast<double>(node.events) /
+                static_cast<double>(tree.total_events)
+          : 0.0;
+  std::printf("  %-34s %12llu events  %5.1f%%", label.c_str(),
+              static_cast<unsigned long long>(node.events), share);
+  if (tree.timed) std::printf("  %10.3f ms", node.time_ns / 1e6);
+  std::printf("\n");
+  // Children are contiguous and parents precede children; a linear scan
+  // per node is fine at max_nodes scale.
+  for (std::uint32_t child = index + 1; child < tree.nodes.size(); ++child) {
+    if (tree.nodes[child].parent == static_cast<std::int32_t>(index)) {
+      print_phase_node(tree, trace, child);
+    }
+  }
+}
+
+void print_phases(const Trace& trace, std::size_t index) {
+  if (!trace.thread_ok(index)) {
+    std::printf("--- thread %zu --- (salvaged: %s)\n\n", index,
+                trace.section_status[index].to_string().c_str());
+    return;
+  }
+  const analysis::Query query =
+      analysis::Query::over_thread(trace.threads[index]);
+  if (!query.valid()) {
+    std::printf("--- thread %zu --- (no analyzable grammar)\n\n", index);
+    return;
+  }
+  analysis::PhaseOptions options;
+  analysis::PhaseTree tree;
+  query.phases(options, tree);
+  std::printf("--- thread %zu phases --- (%llu events, %s%s)\n", index,
+              static_cast<unsigned long long>(tree.total_events),
+              query.compiled() ? "compiled" : "interpreted",
+              tree.timed ? ", timed" : "");
+  if (!tree.nodes.empty()) print_phase_node(tree, trace, 0);
+  if (tree.truncated) std::printf("  ... (truncated at node cap)\n");
+  std::printf("\n");
+}
+
 Trace demo_trace() {
   Trace trace;
   const TerminalId compute = trace.registry.intern("compute");
@@ -147,19 +209,33 @@ Trace demo_trace() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  bool phases = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--phases") == 0) {
+      phases = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (args.empty()) {
     std::printf(
-        "usage: trace_inspect <trace.pythia> [thread]\n"
+        "usage: trace_inspect [--phases] <trace.pythia> [thread]\n"
         "no file given — inspecting a freshly recorded demo trace:\n\n");
     const Trace trace = demo_trace();
     std::printf("registry: %zu kinds, %zu events\n\n",
                 trace.registry.kind_count(), trace.registry.event_count());
-    print_thread(trace, 0);
+    if (phases) {
+      print_phases(trace, 0);
+    } else {
+      print_thread(trace, 0);
+    }
     return 0;
   }
 
-  const std::string arg = argv[1];
-  if (ends_with(arg, ".pyj")) return inspect_journal(argv[1]);
+  const std::string arg = args[0];
+  if (ends_with(arg, ".pyj")) return inspect_journal(args[0]);
 
   Trace trace;
   if (support::is_directory(arg)) {
@@ -168,14 +244,14 @@ int main(int argc, char** argv) {
     Result<Trace> recovered = recover_session(arg, &info);
     if (!recovered.ok()) {
       std::fprintf(stderr, "error: cannot recover session %s: %s\n",
-                   argv[1], recovered.status().to_string().c_str());
+                   args[0], recovered.status().to_string().c_str());
       return 1;
     }
     trace = recovered.take();
     // Recovery summary: enough for an operator to audit what a crash
     // cost — which checkpoint seeded the grammar, how much journal tail
     // was replayed on top, and whether a torn write was truncated.
-    std::printf("%s: record session — recovery summary\n", argv[1]);
+    std::printf("%s: record session — recovery summary\n", args[0]);
     std::printf("  journaled events:  %llu (valid journal prefix)\n",
                 static_cast<unsigned long long>(info.journaled_events));
     if (info.used_checkpoint) {
@@ -202,14 +278,14 @@ int main(int argc, char** argv) {
   } else {
     Result<Trace> result = Trace::try_load(arg);
     if (!result.ok()) {
-      std::fprintf(stderr, "error: cannot load %s: %s\n", argv[1],
+      std::fprintf(stderr, "error: cannot load %s: %s\n", args[0],
                    result.status().to_string().c_str());
       return 1;
     }
     trace = result.take();
   }
 
-  std::printf("%s: %zu thread(s)\n", argv[1], trace.threads.size());
+  std::printf("%s: %zu thread(s)\n", args[0], trace.threads.size());
   std::printf("registry: %zu kinds, %zu events\n\n",
               trace.registry.kind_count(), trace.registry.event_count());
   if (!trace.fully_intact()) {
@@ -225,17 +301,24 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (argc >= 3) {
+  const auto show = [&](std::size_t index) {
+    if (phases) {
+      print_phases(trace, index);
+    } else {
+      print_thread(trace, index);
+    }
+  };
+  if (args.size() >= 2) {
     const std::size_t index =
-        static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
+        static_cast<std::size_t>(std::strtoul(args[1], nullptr, 10));
     if (index >= trace.threads.size()) {
       std::fprintf(stderr, "error: thread %zu out of range\n", index);
       return 1;
     }
-    print_thread(trace, index);
+    show(index);
   } else {
     for (std::size_t i = 0; i < trace.threads.size(); ++i) {
-      print_thread(trace, i);
+      show(i);
     }
   }
   return 0;

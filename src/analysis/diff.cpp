@@ -1,0 +1,563 @@
+#include "analysis/diff.hpp"
+
+#include <algorithm>
+
+#include "analysis/interner.hpp"
+#include "analysis/lens.hpp"
+#include "analysis/summary.hpp"
+#include "core/predictor.hpp"
+#include "core/progress.hpp"
+#include "support/assert.hpp"
+
+namespace pythia::analysis {
+
+namespace {
+
+constexpr std::size_t kMaxDivergencePoints = 16;
+
+}  // namespace
+
+DiffReport expand_diff(const Grammar& reference, const Grammar& other) {
+  DiffReport report;
+  Predictor predictor(reference);
+  const std::vector<TerminalId> events = other.unfold();
+  report.events = events.size();
+
+  // The divergence bookkeeping below reproduces the original trace_diff
+  // loop exactly, including its quirk: `previous` is only updated inside
+  // the `i > 0` guard, so a miss at event 0 leaves the change pending
+  // and index 1 is always recorded on traces that open with an anchor.
+  std::uint64_t previous_reanchors = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    predictor.observe(events[i]);
+    const Predictor::Stats& stats = predictor.stats();
+    const std::uint64_t reanchors = stats.reanchored + stats.unknown;
+    if (reanchors != previous_reanchors && i > 0) {
+      if (report.divergence_points.size() < kMaxDivergencePoints) {
+        report.divergence_points.push_back(i);
+      }
+      previous_reanchors = reanchors;
+    }
+  }
+  const Predictor::Stats& stats = predictor.stats();
+  report.advanced = stats.advanced;
+  report.reanchored = stats.reanchored;
+  report.unknown = stats.unknown;
+  return report;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Grammar-domain replay.
+//
+// With the breaker off, a Predictor's entire behavioral state is its
+// ordered candidate vector, observe() is a deterministic function of
+// (candidates, event), and anchor(t) is a pure function of t. The
+// machine below exploits that: it walks `other`'s grammar block by
+// block, keeps the candidate set itself, and only feeds the real
+// predictor single events on the rare slow path. Everything regular is
+// fast-forwarded:
+//
+//   - subtree skip: if every candidate is entering a fresh expansion of
+//     a reference subtree hash-cons-equal to the block's, c whole
+//     expansions advance in O(depth) path surgery — no events simulated;
+//   - exponent runs: a t^n block advances by per-candidate run
+//     capacities, and once the set re-anchors, state returns to the pure
+//     anchor(t) set, so full (capacity+1)-event cycles multiply in O(1);
+//   - block cycles: a mismatched rule block R^n snapshots the candidate
+//     set before one probe expansion; if the state comes back unchanged,
+//     the remaining n-1 repetitions are pure multiplication.
+//
+// Divergence-point bookkeeping replicates expand_diff's event-indexed
+// records (cap 16, the `i > 0` quirk included) from cumulative-miss
+// deltas, so reports are bit-identical.
+// ---------------------------------------------------------------------
+
+struct Accum {
+  std::uint64_t advanced = 0;
+  std::uint64_t reanchored = 0;
+  std::uint64_t unknown = 0;
+};
+
+class DiffMachine {
+ public:
+  DiffMachine(const Grammar& reference, const Grammar& other)
+      : ref_(reference),
+        other_(other),
+        predictor_(reference),
+        ref_lens_(reference, nullptr),
+        other_lens_(other, nullptr) {
+    SubtreeInterner interner;
+    interner.intern(ref_lens_, ref_cons_);
+    interner.intern(other_lens_, other_cons_);
+    compute_summaries(other_lens_, other_sum_);
+  }
+
+  DiffReport run() {
+    walk_blocks();
+    PYTHIA_ASSERT_MSG(index_ == other_.sequence_length(),
+                      "grammar_diff consumed a wrong event count");
+    DiffReport report;
+    report.events = other_.sequence_length();
+    report.advanced = accum_.advanced;
+    report.reanchored = accum_.reanchored;
+    report.unknown = accum_.unknown;
+    report.divergence_points = std::move(points_);
+    return report;
+  }
+
+ private:
+  // --- divergence bookkeeping (expand_diff-exact) --------------------
+  std::uint64_t cum_misses() const {
+    return accum_.reanchored + accum_.unknown;
+  }
+
+  // After the event at index i, mirror one iteration of the legacy loop.
+  void note_event(std::uint64_t i) {
+    const std::uint64_t cum = cum_misses();
+    if (cum != cum_reported_ && i > 0) {
+      if (points_.size() < kMaxDivergencePoints) points_.push_back(i);
+      cum_reported_ = cum;
+    }
+  }
+
+  // --- slow path: one real observe() ---------------------------------
+  void slow_feed(TerminalId event) {
+    predictor_.set_candidates(cands_.data(), cands_.size());
+    const Predictor::Stats before = predictor_.stats();
+    predictor_.observe(event);
+    const Predictor::Stats& after = predictor_.stats();
+    accum_.advanced += after.advanced - before.advanced;
+    accum_.reanchored += after.reanchored - before.reanchored;
+    accum_.unknown += after.unknown - before.unknown;
+    cands_ = predictor_.candidates();
+    note_event(index_);
+    ++index_;
+  }
+
+  // --- bulk paths -----------------------------------------------------
+  // n events that all advance (cumulative misses unchanged): at most the
+  // pending miss from the previous event resolves at the block's first
+  // index, exactly as the legacy loop would.
+  void bulk_advance(std::uint64_t n) {
+    if (n == 0) return;
+    note_event(index_);
+    accum_.advanced += n;
+    index_ += n;
+  }
+
+  // n consecutive misses (every event bumps the cumulative count, so
+  // every index > 0 is recorded until the cap).
+  void flood_misses(std::uint64_t n, bool unknown) {
+    if (n == 0) return;
+    const std::uint64_t base = cum_misses();
+    for (std::uint64_t k = 0; k < n && points_.size() < kMaxDivergencePoints;
+         ++k) {
+      const std::uint64_t i = index_ + k;
+      if (i == 0) continue;
+      points_.push_back(i);
+    }
+    if (index_ + n - 1 > 0) cum_reported_ = base + n;
+    if (unknown) {
+      accum_.unknown += n;
+    } else {
+      accum_.reanchored += n;
+    }
+    index_ += n;
+  }
+
+  // --- terminal runs --------------------------------------------------
+  // Advances `path` across up to `cap` consecutive `event`s, absorbing
+  // whole exponent runs in O(1); returns how many it matched.
+  std::uint64_t advance_run(ProgressPath& path, TerminalId event,
+                            std::uint64_t cap) const {
+    std::uint64_t matched = 0;
+    while (matched < cap) {
+      ProgressPath probe = path;
+      if (!probe.advance(ref_) || probe.terminal() != event) break;
+      ++matched;
+      const Node* node = probe.terminal_node();
+      const std::uint64_t rep = probe.element(0).rep;
+      const std::uint64_t extra =
+          std::min(cap - matched, node->exp - 1 - rep);
+      if (extra > 0) probe.bump_front_rep(extra);
+      matched += extra;
+      path = probe;
+    }
+    return matched;
+  }
+
+  // One block of `n` consecutive `event`s.
+  void handle_terminals(TerminalId event, std::uint64_t n) {
+    while (n > 0) {
+      if (cands_.empty()) {
+        if (ref_.occurrences_of(event).empty()) {
+          flood_misses(n, /*unknown=*/true);
+          return;
+        }
+        slow_feed(event);
+        --n;
+        continue;
+      }
+      // Per-candidate run capacities; survivors of `steps` events are
+      // exactly the candidates that reach the maximum (observe() filters
+      // per event, and capacities are capped at n).
+      std::uint64_t max_cap = 0;
+      probes_.clear();
+      caps_.clear();
+      for (const ProgressPath& cand : cands_) {
+        ProgressPath probe = cand;
+        const std::uint64_t cap = advance_run(probe, event, n);
+        probes_.push_back(std::move(probe));
+        caps_.push_back(cap);
+        max_cap = std::max(max_cap, cap);
+      }
+      const std::uint64_t steps = std::min(max_cap, n);
+      if (steps > 0) {
+        next_cands_.clear();
+        for (std::size_t i = 0; i < probes_.size(); ++i) {
+          if (caps_[i] == steps) next_cands_.push_back(probes_[i]);
+        }
+        cands_.swap(next_cands_);
+        bulk_advance(steps);
+        n -= steps;
+        if (n == 0) return;
+      }
+      // The next event fails every candidate: one real observe()
+      // re-anchors (anchor(t) is pure, so the post-anchor state is a
+      // fixed point of the cycle below).
+      slow_feed(event);
+      --n;
+      if (n == 0) return;
+      if (cands_.empty()) {
+        flood_misses(n, /*unknown=*/true);
+        return;
+      }
+      // Anchored-set capacity: each cycle is (m' advances + 1 re-anchor)
+      // returning to this exact state — multiply full cycles in O(1).
+      std::uint64_t anchored_cap = 0;
+      for (const ProgressPath& cand : cands_) {
+        ProgressPath probe = cand;
+        anchored_cap =
+            std::max(anchored_cap, advance_run(probe, event, n));
+      }
+      if (anchored_cap == 0) {
+        // anchor(t) can never advance on another t: pure re-anchor flood.
+        flood_misses(n, /*unknown=*/false);
+        return;
+      }
+      const std::uint64_t cycle = anchored_cap + 1;
+      const std::uint64_t full = n / cycle;
+      if (full > 0) {
+        apply_anchor_cycles(anchored_cap, full);
+        n -= full * cycle;
+      }
+      // Tail (n <= anchored_cap): the next loop iteration bulk-advances.
+    }
+  }
+
+  void apply_anchor_cycles(std::uint64_t advances, std::uint64_t cycles) {
+    const std::uint64_t cycle = advances + 1;
+    const std::uint64_t base = cum_misses();
+    for (std::uint64_t c = 0;
+         c < cycles && points_.size() < kMaxDivergencePoints; ++c) {
+      const std::uint64_t i = index_ + c * cycle + advances;
+      if (i == 0) continue;
+      points_.push_back(i);
+    }
+    cum_reported_ = base + cycles;
+    accum_.advanced += cycles * advances;
+    accum_.reanchored += cycles;
+    index_ += cycles * cycle;
+  }
+
+  // --- structural subtree skip ----------------------------------------
+  // If every candidate's next event enters a fresh expansion of a
+  // reference subtree with cons id `cons`, consume up to `max_reps`
+  // whole expansions (`unit_len` events each) by path surgery alone.
+  // Returns the number of expansions consumed (0 = not applicable).
+  std::uint64_t try_skip(std::uint32_t cons, std::uint64_t unit_len,
+                         std::uint64_t max_reps) {
+    if (cands_.empty() || cons == kCompiledInvalid) return 0;
+    std::uint64_t reps = max_reps;
+    skip_paths_.clear();
+    skip_levels_.clear();
+    for (const ProgressPath& cand : cands_) {
+      ProgressPath next = cand;
+      if (!next.advance(ref_)) return 0;
+      // Find the ancestor that starts a fresh cons-matched expansion:
+      // all levels below it must sit at their body heads, repetition 0.
+      std::size_t level = 0;
+      bool found = false;
+      while (level + 1 < next.depth()) {
+        const PathElement& below = next.element(level);
+        if (below.rep != 0 || below.node->prev != nullptr) break;
+        const PathElement& parent = next.element(level + 1);
+        PYTHIA_ASSERT(parent.node->sym.is_rule());
+        const std::uint32_t dense =
+            ref_lens_.dense_of_rule_id(parent.node->sym.rule_id());
+        if (dense != kCompiledInvalid && ref_cons_[dense] == cons) {
+          reps = std::min(reps, parent.node->exp - parent.rep);
+          found = true;
+          break;
+        }
+        ++level;
+      }
+      if (!found) return 0;
+      skip_paths_.push_back(std::move(next));
+      skip_levels_.push_back(level + 1);
+    }
+    // Rebuild each path at the LAST event of the reps-th expansion: the
+    // matched ancestor's repetition moves up by reps-1 and the levels
+    // below become the subtree's trailing-terminal chain at full
+    // repetition (Rule::tail descent).
+    next_cands_.clear();
+    for (std::size_t i = 0; i < skip_paths_.size(); ++i) {
+      const ProgressPath& path = skip_paths_[i];
+      const std::size_t anchor_level = skip_levels_[i];
+      elems_.clear();
+      const Rule* rule =
+          ref_.rule_by_id(path.element(anchor_level).node->sym.rule_id());
+      chain_.clear();
+      while (true) {
+        const Node* tail = rule->tail;
+        chain_.push_back({tail, tail->exp - 1});
+        if (!tail->sym.is_rule()) break;
+        rule = ref_.rule_by_id(tail->sym.rule_id());
+      }
+      elems_.assign(chain_.rbegin(), chain_.rend());
+      for (std::size_t level = anchor_level; level < path.depth(); ++level) {
+        PathElement element = path.element(level);
+        if (level == anchor_level) element.rep += reps - 1;
+        elems_.push_back(element);
+      }
+      next_cands_.emplace_back();
+      next_cands_.back().assign(elems_.data(), elems_.size());
+    }
+    cands_.swap(next_cands_);
+    bulk_advance(reps * unit_len);
+    return reps;
+  }
+
+  // --- block walk over `other` ----------------------------------------
+  struct BlockFrame {
+    const Node* node = nullptr;
+    std::uint64_t reps_left = 0;
+    // Cycle-detection snapshot around one probe expansion.
+    bool probe_armed = false;
+    std::vector<ProgressPath> probe_cands;
+    Accum probe_accum;
+    std::uint64_t probe_index = 0;
+    std::size_t probe_points = 0;
+  };
+
+  void walk_blocks() {
+    std::vector<BlockFrame> stack;
+    {
+      BlockFrame top;
+      top.node = other_.root()->head;
+      top.reps_left = top.node != nullptr ? top.node->exp : 0;
+      stack.push_back(std::move(top));
+    }
+    while (!stack.empty()) {
+      BlockFrame& frame = stack.back();
+      if (frame.node == nullptr) {
+        stack.pop_back();
+        continue;
+      }
+      if (frame.reps_left == 0) {
+        frame.node = frame.node->next;
+        frame.reps_left = frame.node != nullptr ? frame.node->exp : 0;
+        frame.probe_armed = false;
+        continue;
+      }
+      if (frame.node->sym.is_terminal()) {
+        handle_terminals(frame.node->sym.terminal_id(), frame.reps_left);
+        frame.reps_left = 0;
+        continue;
+      }
+      const std::uint32_t dense =
+          other_lens_.dense_of_rule_id(frame.node->sym.rule_id());
+      const std::uint32_t cons = other_cons_[dense];
+      const std::uint64_t unit_len = other_sum_.rules[dense].exp_len;
+      const std::uint64_t skipped = try_skip(cons, unit_len, frame.reps_left);
+      if (skipped > 0) {
+        frame.reps_left -= skipped;
+        frame.probe_armed = false;
+        continue;
+      }
+      if (frame.probe_armed && cands_ == frame.probe_cands) {
+        multiply_block_cycles(frame);
+        frame.reps_left = 0;
+        continue;
+      }
+      // Descend one expansion; snapshot first so a repeating state can
+      // collapse the remaining repetitions. Only armed when no miss is
+      // pending AND the probe cannot contain global index 0 (whose miss
+      // the legacy loop never records), so the probe's divergence
+      // records replay verbatim in every later cycle.
+      if (frame.reps_left >= 2 && cum_misses() == cum_reported_ &&
+          index_ > 0) {
+        frame.probe_armed = true;
+        frame.probe_cands = cands_;
+        frame.probe_accum = accum_;
+        frame.probe_index = index_;
+        frame.probe_points = points_.size();
+      } else {
+        frame.probe_armed = false;
+      }
+      frame.reps_left -= 1;
+      const Rule* inner = other_.rule_by_id(frame.node->sym.rule_id());
+      BlockFrame child;
+      child.node = inner->head;
+      child.reps_left = child.node != nullptr ? child.node->exp : 0;
+      stack.push_back(std::move(child));  // invalidates `frame`
+    }
+  }
+
+  // The probe expansion left the candidate state exactly where it
+  // started: the remaining reps_left repetitions each replay the same
+  // stat deltas and the same divergence offsets.
+  void multiply_block_cycles(BlockFrame& frame) {
+    const std::uint64_t cycles = frame.reps_left;
+    const std::uint64_t period = index_ - frame.probe_index;
+    const std::uint64_t d_adv = accum_.advanced - frame.probe_accum.advanced;
+    const std::uint64_t d_re =
+        accum_.reanchored - frame.probe_accum.reanchored;
+    const std::uint64_t d_un = accum_.unknown - frame.probe_accum.unknown;
+    const std::size_t first = frame.probe_points;
+    const std::size_t last = points_.size();
+    for (std::uint64_t c = 1;
+         c <= cycles && points_.size() < kMaxDivergencePoints; ++c) {
+      for (std::size_t p = first;
+           p < last && points_.size() < kMaxDivergencePoints; ++p) {
+        points_.push_back(points_[p] + c * period);
+      }
+    }
+    accum_.advanced += cycles * d_adv;
+    accum_.reanchored += cycles * d_re;
+    accum_.unknown += cycles * d_un;
+    index_ += cycles * period;
+    if (d_re + d_un > 0) cum_reported_ = cum_misses();
+  }
+
+  const Grammar& ref_;
+  const Grammar& other_;
+  Predictor predictor_;
+  RuleLens ref_lens_;
+  RuleLens other_lens_;
+  std::vector<std::uint32_t> ref_cons_;    ///< ref dense rule -> cons id
+  std::vector<std::uint32_t> other_cons_;  ///< other dense rule -> cons id
+  SummarySet other_sum_;
+
+  std::vector<ProgressPath> cands_;
+  Accum accum_;
+  std::uint64_t index_ = 0;
+  std::uint64_t cum_reported_ = 0;
+  std::vector<std::uint64_t> points_;
+
+  // Scratch (reused across blocks).
+  std::vector<ProgressPath> probes_;
+  std::vector<std::uint64_t> caps_;
+  std::vector<ProgressPath> next_cands_;
+  std::vector<ProgressPath> skip_paths_;
+  std::vector<std::size_t> skip_levels_;
+  std::vector<PathElement> elems_;
+  std::vector<PathElement> chain_;
+};
+
+}  // namespace
+
+DiffReport grammar_diff(const Grammar& reference, const Grammar& other) {
+  DiffMachine machine(reference, other);
+  return machine.run();
+}
+
+std::vector<DiffRegion> structural_diff(const Grammar& reference,
+                                        const Grammar& other,
+                                        std::size_t max_regions) {
+  RuleLens ref_lens(reference, nullptr);
+  RuleLens other_lens(other, nullptr);
+  SubtreeInterner interner;
+  std::vector<std::uint32_t> ref_cons;
+  std::vector<std::uint32_t> other_cons;
+  interner.intern(ref_lens, ref_cons);
+  interner.intern(other_lens, other_cons);
+  SummarySet other_sum = compute_summaries(other_lens);
+
+  // Which subtrees does the reference contain at all? A cons id present
+  // anywhere in the reference matches in O(1); terminals match when the
+  // reference ever produces them.
+  std::vector<std::uint8_t> ref_has_cons(interner.distinct(), 0);
+  for (const std::uint32_t cons : ref_cons) ref_has_cons[cons] = 1;
+
+  std::vector<DiffRegion> regions;
+  // DFS over mismatched rules of `other`, path maintained explicitly.
+  struct Frame {
+    std::uint32_t rule;
+    std::uint64_t run_begin = 0;  ///< open mismatch run start (events)
+    bool run_open = false;
+    RuleLens::BodyCursor cursor;
+    std::uint64_t offset = 0;  ///< event offset inside one unfolding
+  };
+  std::vector<std::uint32_t> path;
+  std::vector<Frame> stack;
+  stack.push_back({0, 0, false, other_lens.body(0), 0});
+  path.push_back(0);
+
+  auto flush_run = [&](Frame& frame) {
+    if (!frame.run_open) return;
+    frame.run_open = false;
+    if (regions.size() >= max_regions) return;
+    DiffRegion region;
+    region.rule_path = path;
+    region.begin_event = frame.run_begin;
+    region.end_event = frame.offset;
+    region.occurrences = other_lens.occurrences(frame.rule);
+    regions.push_back(std::move(region));
+  };
+
+  BodyItem item;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (!frame.cursor.next(item)) {
+      flush_run(frame);
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    const std::uint64_t unit_len =
+        item.is_rule ? other_sum.rules[item.rule].exp_len : 1;
+    const std::uint64_t span = unit_len * item.exp;
+    bool matched;
+    if (item.is_rule) {
+      matched = ref_has_cons[other_cons[item.rule]] != 0;
+    } else {
+      matched = !reference.occurrences_of(item.terminal).empty();
+    }
+    if (matched) {
+      flush_run(frame);
+      frame.offset += span;
+      continue;
+    }
+    if (item.is_rule) {
+      // Descend to localize the mismatch; the child frame reports its
+      // own runs with the extended rule path.
+      flush_run(frame);
+      const std::uint64_t resume = frame.offset + span;
+      frame.offset = resume;
+      path.push_back(item.rule);
+      stack.push_back({item.rule, 0, false, other_lens.body(item.rule), 0});
+      continue;  // `frame` invalidated
+    }
+    if (!frame.run_open) {
+      frame.run_open = true;
+      frame.run_begin = frame.offset;
+    }
+    frame.offset += span;
+  }
+  return regions;
+}
+
+}  // namespace pythia::analysis

@@ -1,0 +1,81 @@
+// Trace diffing in the grammar domain.
+//
+// Three entry points, one contract:
+//
+//  - expand_diff():   the legacy oracle. Unfolds `other` and replays every
+//                     event through a Predictor over `reference`.
+//                     O(trace length); kept for `trace_diff
+//                     --legacy-expand` and as the differential-test
+//                     oracle.
+//  - grammar_diff():  the same replay computed WITHOUT unfolding —
+//                     bit-identical reports (asserted catalog-wide by
+//                     tests/analysis/diff_differential_test.cpp) in time
+//                     proportional to grammar size. See docs/ANALYSIS.md
+//                     for the fast-forward algebra (shared-subtree skips,
+//                     exponent-run absorption, re-anchor cycle
+//                     multiplication, block cycle detection).
+//  - structural_diff(): purely structural divergence regions — (rule
+//                     path, event-offset range, occurrence count) — from
+//                     top-down alignment over hash-consed subtrees,
+//                     descending only into mismatched rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grammar.hpp"
+
+namespace pythia::analysis {
+
+/// The exact report trace_diff has always printed.
+struct DiffReport {
+  std::uint64_t events = 0;
+  std::uint64_t advanced = 0;
+  std::uint64_t reanchored = 0;
+  std::uint64_t unknown = 0;
+  /// First divergences: indices where the cumulative miss count moved
+  /// (capped at 16, legacy semantics preserved bit-for-bit).
+  std::vector<std::uint64_t> divergence_points;
+
+  double agreement_percent() const {
+    return events > 0 ? 100.0 * static_cast<double>(advanced) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+
+  friend bool operator==(const DiffReport& a, const DiffReport& b) {
+    return a.events == b.events && a.advanced == b.advanced &&
+           a.reanchored == b.reanchored && a.unknown == b.unknown &&
+           a.divergence_points == b.divergence_points;
+  }
+};
+
+/// Legacy expansion-based replay (the oracle). Both grammars finalized.
+DiffReport expand_diff(const Grammar& reference, const Grammar& other);
+
+/// Grammar-domain replay: bit-identical to expand_diff, O(grammar).
+DiffReport grammar_diff(const Grammar& reference, const Grammar& other);
+
+/// One structurally divergent region of `other` relative to `reference`.
+struct DiffRegion {
+  /// Dense rule indices in `other` from the root down to the rule whose
+  /// body contains the divergent run.
+  std::vector<std::uint32_t> rule_path;
+  /// Event-offset range [begin, end) of the run inside ONE unfolding of
+  /// the innermost rule on the path.
+  std::uint64_t begin_event = 0;
+  std::uint64_t end_event = 0;
+  /// Times that unfolding executes trace-wide — how often the divergence
+  /// repeats.
+  std::uint64_t occurrences = 0;
+};
+
+/// Aligns the two grammars top-down over hash-consed subtrees and
+/// reports maximal mismatched runs, descending only into mismatched
+/// rules. O(grammar); never touches the event stream.
+std::vector<DiffRegion> structural_diff(const Grammar& reference,
+                                        const Grammar& other,
+                                        std::size_t max_regions = 64);
+
+}  // namespace pythia::analysis

@@ -1,0 +1,107 @@
+#include "analysis/interner.hpp"
+
+#include "support/assert.hpp"
+
+namespace pythia::analysis {
+
+namespace {
+
+constexpr std::uint64_t kBodySeed = 0x1c69b3f74ac4fb51ULL;
+
+// Tagged symbol word: terminals and cons ids must never collide.
+std::uint64_t terminal_token(TerminalId t) {
+  return static_cast<std::uint64_t>(t);
+}
+std::uint64_t cons_token(std::uint32_t cons) {
+  return (1ull << 32) | cons;
+}
+
+}  // namespace
+
+void SubtreeInterner::intern(const RuleLens& lens,
+                             std::vector<std::uint32_t>& out) {
+  const std::uint32_t count = lens.rule_count();
+  out.assign(count, kCompiledInvalid);
+
+  // Bottom-up over the rule DAG (explicit stack, see summary.cpp): a
+  // child's cons id exists before any referencing body is canonicalized.
+  std::vector<std::uint8_t> state(count, 0);
+  struct Frame {
+    std::uint32_t rule;
+    RuleLens::BodyCursor cursor;
+  };
+  std::vector<Frame> stack;
+  BodyItem item;
+  for (std::uint32_t start = 0; start < count; ++start) {
+    if (state[start] != 0) continue;
+    state[start] = 1;
+    stack.push_back({start, lens.body(start)});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      bool descended = false;
+      while (frame.cursor.next(item)) {
+        if (item.is_rule && state[item.rule] == 0) {
+          state[item.rule] = 1;
+          stack.push_back({item.rule, lens.body(item.rule)});
+          descended = true;
+          break;
+        }
+        PYTHIA_ASSERT_MSG(!item.is_rule || state[item.rule] == 2,
+                          "cycle in rule DAG");
+      }
+      if (descended) continue;
+
+      const std::uint32_t rule = stack.back().rule;
+      scratch_.clear();
+      std::uint64_t hash = kBodySeed;
+      RuleLens::BodyCursor cursor = lens.body(rule);
+      while (cursor.next(item)) {
+        const std::uint64_t sym = item.is_rule
+                                      ? cons_token(out[item.rule])
+                                      : terminal_token(item.terminal);
+        scratch_.push_back({sym, item.exp});
+        hash = support::hash_combine(hash, sym);
+        hash = support::hash_combine(hash, item.exp);
+      }
+      const std::size_t offset = pool_.size();
+      pool_.insert(pool_.end(), scratch_.begin(), scratch_.end());
+      out[rule] = intern_body(hash, offset, scratch_.size());
+      state[rule] = 2;
+      stack.pop_back();
+    }
+  }
+}
+
+std::uint32_t SubtreeInterner::intern_body(std::uint64_t hash,
+                                           std::size_t offset,
+                                           std::size_t length) {
+  // Walk the bucket chain; on a full match, discard the freshly appended
+  // body and return the existing id.
+  const std::uint32_t* head = buckets_.find(hash);
+  std::uint32_t at = head != nullptr ? *head : kCompiledInvalid;
+  while (at != kCompiledInvalid) {
+    const Entry& entry = entries_[at];
+    if (entry.hash == hash && entry.length == length) {
+      bool equal = true;
+      for (std::size_t i = 0; i < length; ++i) {
+        if (!(pool_[entry.offset + i] == pool_[offset + i])) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        pool_.resize(offset);
+        return at;
+      }
+    }
+    at = entry.next;
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back({hash, static_cast<std::uint32_t>(offset),
+                      static_cast<std::uint32_t>(length),
+                      head != nullptr ? *head : kCompiledInvalid});
+  buckets_.insert_or_assign(hash, id);
+  return id;
+}
+
+}  // namespace pythia::analysis

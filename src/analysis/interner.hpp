@@ -1,0 +1,62 @@
+// Cross-grammar hash-consing of rule bodies.
+//
+// Two rules — possibly from different grammars — receive the same cons
+// id iff their full expansions are structurally identical: same nested
+// rule shape, same terminals, same exponents. Identity is exact, not
+// probabilistic: the hash only routes to a bucket, equal bodies are
+// confirmed by comparison (with child references already replaced by
+// cons ids, equality at one level implies equality of the whole subtree
+// by induction).
+//
+// The structural diff interns both runs' grammars into one table; any
+// two subtrees then compare in O(1) by cons id, which is what lets the
+// diff descend only into genuinely mismatched regions.
+//
+// Terminal ids must be comparable across the interned grammars — intern
+// traces that share a registry, or canonicalize first
+// (EventRegistry::canonicalize), as the record harness already does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/lens.hpp"
+#include "support/flat_map.hpp"
+
+namespace pythia::analysis {
+
+class SubtreeInterner {
+ public:
+  /// Interns every rule of `lens` bottom-up; fills out[dense] = cons id.
+  void intern(const RuleLens& lens, std::vector<std::uint32_t>& out);
+
+  /// Distinct subtrees interned so far.
+  std::size_t distinct() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    std::uint32_t offset;  ///< span into pool_
+    std::uint32_t length;
+    std::uint32_t next;    ///< bucket chain, kCompiledInvalid ends
+  };
+  /// Canonical body token: (tagged symbol, exponent). Rule references
+  /// carry the child's cons id, so one level of comparison is enough.
+  struct Token {
+    std::uint64_t sym;
+    std::uint64_t exp;
+    friend bool operator==(const Token& a, const Token& b) {
+      return a.sym == b.sym && a.exp == b.exp;
+    }
+  };
+
+  std::uint32_t intern_body(std::uint64_t hash, std::size_t offset,
+                            std::size_t length);
+
+  std::vector<Token> pool_;
+  std::vector<Entry> entries_;
+  support::FlatMap<std::uint64_t, std::uint32_t> buckets_;  ///< hash -> first entry
+  std::vector<Token> scratch_;
+};
+
+}  // namespace pythia::analysis

@@ -1,0 +1,125 @@
+#include "analysis/lens.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace pythia::analysis {
+
+RuleLens::RuleLens(const Grammar& grammar, const TimingModel* timing)
+    : grammar_(&grammar), timing_(timing) {
+  PYTHIA_ASSERT_MSG(grammar.finalized(), "RuleLens requires finalize()");
+  rules_ = grammar.rules();
+  PYTHIA_ASSERT_MSG(!rules_.empty() && rules_[0] == grammar.root(),
+                    "rules() must list the root first");
+  std::uint32_t max_id = 0;
+  for (const Rule* rule : rules_) max_id = std::max(max_id, rule->id);
+  dense_of_id_.assign(static_cast<std::size_t>(max_id) + 1, kCompiledInvalid);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    dense_of_id_[rules_[i]->id] = static_cast<std::uint32_t>(i);
+  }
+}
+
+RuleLens::RuleLens(const CompiledView& view) : view_(&view) {
+  PYTHIA_ASSERT_MSG(view.valid(), "RuleLens requires a valid CompiledView");
+}
+
+std::uint32_t RuleLens::rule_count() const {
+  return view_ != nullptr ? view_->rule_count()
+                          : static_cast<std::uint32_t>(rules_.size());
+}
+
+std::uint64_t RuleLens::sequence_length() const {
+  return view_ != nullptr ? view_->sequence_length()
+                          : grammar_->sequence_length();
+}
+
+std::uint64_t RuleLens::occurrences(std::uint32_t rule) const {
+  return view_ != nullptr ? view_->rule(rule).occurrences
+                          : rules_[rule]->occurrences;
+}
+
+RuleLens::BodyCursor RuleLens::body(std::uint32_t rule) const {
+  BodyCursor cursor;
+  cursor.lens_ = this;
+  if (view_ != nullptr) {
+    cursor.id_ = view_->rule(rule).head;
+  } else {
+    cursor.node_ = rules_[rule]->head;
+  }
+  return cursor;
+}
+
+bool RuleLens::BodyCursor::next(BodyItem& out) {
+  if (lens_->view_ != nullptr) {
+    if (id_ == kCompiledInvalid) return false;
+    const CompiledNode& node = lens_->view_->node(id_);
+    const Symbol sym = Symbol::from_raw(node.sym_raw);
+    out.is_rule = sym.is_rule();
+    // Compiled bodies reference rules by dense index already. The unused
+    // half stays zero so items compare equal across backends.
+    out.rule = out.is_rule ? sym.rule_id() : 0;
+    out.terminal = out.is_rule ? 0 : sym.terminal_id();
+    out.exp = node.exp;
+    out.stable_id = id_;
+    id_ = node.next;
+    return true;
+  }
+  if (node_ == nullptr) return false;
+  out.is_rule = node_->sym.is_rule();
+  out.rule = out.is_rule ? lens_->dense_of_id_[node_->sym.rule_id()] : 0;
+  out.terminal = out.is_rule ? 0 : node_->sym.terminal_id();
+  out.exp = node_->exp;
+  out.stable_id = node_->stable_id;
+  node_ = node_->next;
+  return true;
+}
+
+bool RuleLens::has_timing() const {
+  if (view_ != nullptr) return view_->has_timing();
+  return timing_ != nullptr && !timing_->empty();
+}
+
+bool RuleLens::node_timing(std::uint32_t stable_id, double& sum_ns,
+                           std::uint64_t& count) const {
+  const std::uint64_t key = node_timing_key(stable_id);
+  if (view_ != nullptr) {
+    // The compiled timing table is sorted by key (binary search; same
+    // scheme as CompiledView::timing_lookup, which only exposes means).
+    const CompiledTimingEntry* begin = view_->timing_begin();
+    const CompiledTimingEntry* end = begin + view_->timing_count();
+    const CompiledTimingEntry* it = std::lower_bound(
+        begin, end, key,
+        [](const CompiledTimingEntry& entry, std::uint64_t k) {
+          return entry.key < k;
+        });
+    if (it == end || it->key != key) return false;
+    sum_ns = it->sum_ns;
+    count = it->count;
+    return true;
+  }
+  if (timing_ == nullptr) return false;
+  const auto& contexts = timing_->contexts();
+  const auto it = contexts.find(key);
+  if (it == contexts.end()) return false;
+  sum_ns = it->second.sum_ns;
+  count = it->second.count;
+  return true;
+}
+
+double RuleLens::global_mean_ns() const {
+  if (view_ != nullptr) {
+    return view_->timing_global_count() > 0
+               ? view_->timing_global_sum() /
+                     static_cast<double>(view_->timing_global_count())
+               : 0.0;
+  }
+  return timing_ != nullptr ? timing_->global_mean_ns() : 0.0;
+}
+
+std::uint32_t RuleLens::dense_of_rule_id(std::uint32_t rule_id) const {
+  if (rule_id >= dense_of_id_.size()) return kCompiledInvalid;
+  return dense_of_id_[rule_id];
+}
+
+}  // namespace pythia::analysis

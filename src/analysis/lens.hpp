@@ -1,0 +1,98 @@
+// RuleLens — one read-only view over the two grammar encodings.
+//
+// Every analysis pass (summaries, phase detection, structural diff, the
+// Query facade) walks rule bodies, occurrence counts and per-node timing
+// stats. Those live either in an interpreted `Grammar` (+ TimingModel)
+// or inside an mmapped PYCGRM01 compiled blob whose flat tables already
+// carry the same data. The lens exposes both through one cursor API so
+// the passes are written once and cold analysis of a mapped trace never
+// deserializes anything — it reads the tables in place.
+//
+// Rules are addressed by *dense index*: position in creation order for
+// interpreted grammars, the compiled rule-table index for blobs. The
+// root is dense index 0 in both encodings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compile.hpp"
+#include "core/grammar.hpp"
+#include "core/timing.hpp"
+#include "support/hash.hpp"
+
+namespace pythia::analysis {
+
+/// Depth-1 timing-context key of a terminal occurrence node: the
+/// trace-wide (sum, count) of arrival gaps into that node's events.
+/// Matches ProgressPath::suffix_key(1), which TimingModel::add_sample
+/// populates for every sample.
+inline std::uint64_t node_timing_key(std::uint32_t stable_id) {
+  return support::hash_combine(0x2545f4914f6cdd1dULL, stable_id);
+}
+
+/// One body entry as seen through a cursor.
+struct BodyItem {
+  bool is_rule = false;
+  std::uint32_t rule = 0;       ///< dense rule index (when is_rule)
+  TerminalId terminal = 0;      ///< event id (when !is_rule)
+  std::uint64_t exp = 1;        ///< repetition exponent
+  std::uint32_t stable_id = 0;  ///< occurrence node's stable id
+};
+
+class RuleLens {
+ public:
+  RuleLens() = default;
+
+  /// Interpreted source. `timing` may be null (no rollups). The grammar
+  /// must be finalized; both referents must outlive the lens.
+  RuleLens(const Grammar& grammar, const TimingModel* timing);
+
+  /// Compiled source; `view` must be valid() and outlive the lens.
+  explicit RuleLens(const CompiledView& view);
+
+  bool valid() const { return grammar_ != nullptr || view_ != nullptr; }
+  bool compiled() const { return view_ != nullptr; }
+
+  std::uint32_t rule_count() const;
+  std::uint64_t sequence_length() const;
+  std::uint64_t occurrences(std::uint32_t rule) const;
+
+  /// Streams one rule body, allocation-free.
+  class BodyCursor {
+   public:
+    bool next(BodyItem& out);
+
+   private:
+    friend class RuleLens;
+    const RuleLens* lens_ = nullptr;
+    const Node* node_ = nullptr;         // interpreted walk
+    std::uint32_t id_ = kCompiledInvalid;  // compiled walk (stable id)
+  };
+  BodyCursor body(std::uint32_t rule) const;
+
+  bool has_timing() const;
+  /// Trace-wide (sum, count) of arrival gaps into this occurrence node's
+  /// events; false when the node recorded no samples.
+  bool node_timing(std::uint32_t stable_id, double& sum_ns,
+                   std::uint64_t& count) const;
+  double global_mean_ns() const;
+
+  // Backend escape hatches for passes that need one encoding only.
+  const Grammar* grammar() const { return grammar_; }
+  const CompiledView* view() const { return view_; }
+  /// Dense index of an interpreted rule id (interpreted lens only;
+  /// kCompiledInvalid for unknown/dead ids).
+  std::uint32_t dense_of_rule_id(std::uint32_t rule_id) const;
+  /// Interpreted rule by dense index (interpreted lens only).
+  const Rule* rule_at(std::uint32_t dense) const { return rules_[dense]; }
+
+ private:
+  const Grammar* grammar_ = nullptr;
+  const TimingModel* timing_ = nullptr;
+  const CompiledView* view_ = nullptr;
+  std::vector<const Rule*> rules_;          ///< dense order, root first
+  std::vector<std::uint32_t> dense_of_id_;  ///< interpreted id -> dense
+};
+
+}  // namespace pythia::analysis

@@ -1,0 +1,86 @@
+#include "analysis/phases.hpp"
+
+namespace pythia::analysis {
+
+void detect_phases(const RuleLens& lens, const SummarySet& summaries,
+                   const PhaseOptions& options, PhaseTree& out) {
+  out.clear();
+  out.total_events = summaries.events;
+  out.timed = summaries.timed;
+  if (summaries.rules.empty()) return;
+
+  const double min_events =
+      options.min_coverage * static_cast<double>(summaries.events);
+
+  PhaseNode root;
+  root.is_rule = true;
+  root.rule = 0;
+  root.runs = 1;
+  root.events = summaries.events;
+  root.time_ns = summaries.root().total_time_ns;
+  root.is_loop = false;
+  out.nodes.push_back(root);
+
+  // Depth-first expansion via an explicit stack of emitted node indices:
+  // a popped node appends its significant child sites contiguously, then
+  // pushes them in reverse so the final vector is in preorder.
+  std::vector<std::uint32_t>& work = out.scratch;
+  work.clear();
+  work.push_back(0);
+  BodyItem item;
+  while (!work.empty()) {
+    const std::uint32_t at = work.back();
+    work.pop_back();
+    // Copy the fields used below: out.nodes grows inside the loop.
+    const std::uint32_t rule = out.nodes[at].rule;
+    const std::uint32_t depth = out.nodes[at].depth;
+    const std::uint64_t runs = out.nodes[at].runs;
+    if (!out.nodes[at].is_rule || depth >= options.max_depth) continue;
+
+    const std::size_t first_child = out.nodes.size();
+    RuleLens::BodyCursor cursor = lens.body(rule);
+    while (cursor.next(item)) {
+      const std::uint64_t unit_len =
+          item.is_rule ? summaries.rules[item.rule].exp_len : 1;
+      const std::uint64_t site_runs = runs * item.exp;
+      const std::uint64_t site_events = site_runs * unit_len;
+      if (static_cast<double>(site_events) < min_events) continue;
+      if (out.nodes.size() >= options.max_nodes) {
+        out.truncated = true;
+        break;
+      }
+      PhaseNode node;
+      node.parent = static_cast<std::int32_t>(at);
+      node.depth = depth + 1;
+      node.is_rule = item.is_rule;
+      node.is_loop = item.exp >= options.min_loop_reps;
+      node.rule = item.rule;
+      node.terminal = item.terminal;
+      node.reps = item.exp;
+      node.runs = site_runs;
+      node.events = site_events;
+      if (out.timed) {
+        if (item.is_rule) {
+          const RuleSummary& child = summaries.rules[item.rule];
+          if (child.occurrences > 0) {
+            node.time_ns = child.total_time_ns *
+                           (static_cast<double>(site_runs) /
+                            static_cast<double>(child.occurrences));
+          }
+        } else {
+          double sum = 0.0;
+          std::uint64_t count = 0;
+          if (lens.node_timing(item.stable_id, sum, count)) {
+            node.time_ns = sum;
+          }
+        }
+      }
+      out.nodes.push_back(node);
+    }
+    for (std::size_t i = out.nodes.size(); i > first_child; --i) {
+      work.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+}
+
+}  // namespace pythia::analysis

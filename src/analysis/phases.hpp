@@ -1,0 +1,71 @@
+// Phase / loop detection from grammar structure (no expansion).
+//
+// A Sequitur grammar of a phased execution *is* its phase structure:
+// high-occurrence rules with large coverage are loop bodies, repetition
+// exponents are iteration counts, and nesting is the phase hierarchy.
+// The detector walks rule bodies top-down, expanding only sites that
+// cover a meaningful share of the trace, and annotates each phase with
+// trace-wide event counts and timing rollups taken straight from the
+// rule summaries — O(grammar), never O(trace).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/lens.hpp"
+#include "analysis/summary.hpp"
+
+namespace pythia::analysis {
+
+struct PhaseOptions {
+  /// Expand a site only when it covers at least this share of the trace.
+  double min_coverage = 0.01;
+  /// Nesting levels below the root to descend into.
+  std::uint32_t max_depth = 4;
+  /// Hard cap on emitted nodes (sets PhaseTree::truncated).
+  std::size_t max_nodes = 256;
+  /// A site with this exponent or more is flagged as a loop.
+  std::uint64_t min_loop_reps = 2;
+};
+
+/// One site in the phase tree. nodes[0] is the whole trace (the root
+/// rule). A node's children are contiguous and in body order, and every
+/// parent precedes its children; renderers recurse via `parent` links.
+struct PhaseNode {
+  std::int32_t parent = -1;
+  std::uint32_t depth = 0;       ///< 0 for the root node
+  bool is_rule = false;
+  bool is_loop = false;
+  std::uint32_t rule = 0;        ///< dense rule index (when is_rule)
+  TerminalId terminal = 0;       ///< event id (when !is_rule)
+  std::uint64_t reps = 1;        ///< site repetition exponent
+  std::uint64_t runs = 0;        ///< times the site executes trace-wide
+  std::uint64_t events = 0;      ///< trace-wide events beneath the site
+  double time_ns = 0.0;          ///< trace-wide rollup (0 when untimed)
+};
+
+struct PhaseTree {
+  std::vector<PhaseNode> nodes;
+  std::uint64_t total_events = 0;
+  bool timed = false;
+  bool truncated = false;  ///< max_nodes cut the tree short
+
+  /// Internal work stack, kept here so repeated detect_phases() calls
+  /// into the same tree reuse its capacity (allocation-free steady
+  /// state, asserted by tests/analysis/query_mapped_test.cpp).
+  std::vector<std::uint32_t> scratch;
+
+  void clear() {
+    nodes.clear();
+    total_events = 0;
+    timed = false;
+    truncated = false;
+  }
+};
+
+/// Builds the phase tree into `out`; reuses its capacity, so repeated
+/// calls are allocation-free after warm-up.
+void detect_phases(const RuleLens& lens, const SummarySet& summaries,
+                   const PhaseOptions& options, PhaseTree& out);
+
+}  // namespace pythia::analysis

@@ -1,0 +1,58 @@
+#include "analysis/query.hpp"
+
+namespace pythia::analysis {
+
+Query Query::over(const Grammar& grammar, const TimingModel* timing) {
+  Query query;
+  query.lens_ = RuleLens(grammar, timing);
+  compute_summaries(query.lens_, query.summaries_);
+  return query;
+}
+
+Query Query::over_compiled(const CompiledView& view) {
+  Query query;
+  query.lens_ = RuleLens(view);
+  compute_summaries(query.lens_, query.summaries_);
+  return query;
+}
+
+Query Query::over_thread(const ThreadTrace& thread) {
+  if (thread.compiled.valid()) return over_compiled(thread.compiled);
+  if (thread.grammar.finalized()) {
+    return over(thread.grammar, thread.timing.empty() ? nullptr
+                                                      : &thread.timing);
+  }
+  return Query();
+}
+
+bool Query::event_at(std::uint64_t index, TerminalId& out) const {
+  if (!valid() || index >= summaries_.events) return false;
+  std::uint32_t rule = 0;
+  std::uint64_t target = index;
+  BodyItem item;
+  // Each level narrows the position to one body item, then (for rules)
+  // to one repetition of it; depth is bounded by grammar nesting.
+  for (;;) {
+    RuleLens::BodyCursor cursor = lens_.body(rule);
+    bool descended = false;
+    while (cursor.next(item)) {
+      const std::uint64_t unit =
+          item.is_rule ? summaries_.rules[item.rule].exp_len : 1;
+      const std::uint64_t span = unit * item.exp;
+      if (target < span) {
+        if (!item.is_rule) {
+          out = item.terminal;
+          return true;
+        }
+        target %= unit;
+        rule = item.rule;
+        descended = true;
+        break;
+      }
+      target -= span;
+    }
+    if (!descended) return false;  // inconsistent tables
+  }
+}
+
+}  // namespace pythia::analysis

@@ -1,0 +1,62 @@
+// analysis::Query — the shared entry point for grammar-domain analytics.
+//
+// trace_inspect, the grammar-domain trace_diff, and the serve daemon's
+// kAnalyze op all build one of these over a recorded thread and ask it
+// questions; every answer is computed from the rule summaries in
+// O(grammar). A Query binds to whichever encoding the thread offers —
+// the mmapped compiled blob when present (no deserialization at all),
+// the interpreted grammar otherwise — and computes its summary set once
+// at construction. After that warm-up, phases() and event_at() make no
+// allocator calls (tests/analysis/query_mapped_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/lens.hpp"
+#include "analysis/phases.hpp"
+#include "analysis/summary.hpp"
+#include "core/recorder.hpp"
+
+namespace pythia::analysis {
+
+class Query {
+ public:
+  Query() = default;
+
+  /// Over an interpreted grammar (+ optional timing). Referents must
+  /// outlive the query.
+  static Query over(const Grammar& grammar,
+                    const TimingModel* timing = nullptr);
+
+  /// Over a compiled blob; summaries are computed directly on the flat
+  /// tables (works for mmapped sections — nothing is deserialized).
+  static Query over_compiled(const CompiledView& view);
+
+  /// Picks the best source a thread offers: the compiled section when
+  /// valid, the interpreted grammar otherwise. Returns an invalid Query
+  /// when the thread has neither (e.g. a salvaged-empty section).
+  static Query over_thread(const ThreadTrace& thread);
+
+  bool valid() const { return lens_.valid(); }
+  bool compiled() const { return lens_.compiled(); }
+
+  const RuleLens& lens() const { return lens_; }
+  const SummarySet& summaries() const { return summaries_; }
+  std::uint64_t events() const { return summaries_.events; }
+  std::uint32_t rules() const { return lens_.rule_count(); }
+
+  /// Phase tree into `out` (capacity reused; allocation-free once warm).
+  void phases(const PhaseOptions& options, PhaseTree& out) const {
+    detect_phases(lens_, summaries_, options, out);
+  }
+
+  /// Terminal at absolute trace position `index`, by O(depth) descent
+  /// over per-rule expansion lengths — no unfolding.
+  bool event_at(std::uint64_t index, TerminalId& out) const;
+
+ private:
+  RuleLens lens_;
+  SummarySet summaries_;
+};
+
+}  // namespace pythia::analysis

@@ -1,0 +1,121 @@
+#include "analysis/summary.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace pythia::analysis {
+
+namespace {
+
+constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kSubtreeSeed = 0x5113a2ce97f1b2d7ULL;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kMax64 - b ? kMax64 : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kMax64 / b ? kMax64 : a * b;
+}
+
+}  // namespace
+
+void compute_summaries(const RuleLens& lens, SummarySet& out) {
+  const std::uint32_t count = lens.rule_count();
+  out.rules.clear();
+  out.rules.resize(count);
+  out.events = lens.sequence_length();
+  out.timed = lens.has_timing();
+
+  // Explicit-stack DFS over the rule DAG: a child's summary is complete
+  // before any parent reads it. Rule nesting can be adversarially deep
+  // (tests/core/deep_grammar_test.cpp), so no call recursion.
+  std::vector<std::uint8_t> state(count, 0);  // 0 new, 1 open, 2 done
+  struct Frame {
+    std::uint32_t rule;
+    RuleLens::BodyCursor cursor;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+
+  // Start from the root; pick up unreachable live rules afterwards so
+  // every dense index ends up populated.
+  for (std::uint32_t start = 0; start < count; ++start) {
+    if (state[start] != 0) continue;
+    state[start] = 1;
+    stack.push_back({start, lens.body(start)});
+    BodyItem item;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      bool descended = false;
+      while (frame.cursor.next(item)) {
+        if (item.is_rule && state[item.rule] == 0) {
+          state[item.rule] = 1;
+          stack.push_back({item.rule, lens.body(item.rule)});
+          descended = true;
+          break;
+        }
+        PYTHIA_ASSERT_MSG(!item.is_rule || state[item.rule] == 2,
+                          "cycle in rule DAG");
+      }
+      if (descended) continue;
+
+      // All children summarized: one more pass over the body fills in
+      // this rule's summary.
+      const std::uint32_t rule = stack.back().rule;
+      RuleSummary& sum = out.rules[rule];
+      sum.occurrences = lens.occurrences(rule);
+      std::uint64_t hash = kSubtreeSeed;
+      bool first = true;
+      RuleLens::BodyCursor cursor = lens.body(rule);
+      while (cursor.next(item)) {
+        ++sum.body_nodes;
+        std::uint64_t unit_len = 1;
+        TerminalId unit_first = item.terminal;
+        TerminalId unit_last = item.terminal;
+        std::uint64_t unit_hash;
+        if (item.is_rule) {
+          const RuleSummary& child = out.rules[item.rule];
+          unit_len = child.exp_len;
+          unit_first = child.first_terminal;
+          unit_last = child.last_terminal;
+          unit_hash = child.subtree_hash;
+          sum.terminal_sketch |= child.terminal_sketch;
+          if (sum.depth < child.depth + 1) sum.depth = child.depth + 1;
+          if (child.occurrences > 0) {
+            sum.total_time_ns +=
+                child.total_time_ns *
+                (static_cast<double>(sat_mul(sum.occurrences, item.exp)) /
+                 static_cast<double>(child.occurrences));
+          }
+        } else {
+          unit_hash = support::hash_combine(0x7e7e7e7e7e7e7e7eULL,
+                                            item.terminal);
+          sum.terminal_sketch |= 1ull << (item.terminal % 64u);
+          double gap_sum = 0.0;
+          std::uint64_t gap_count = 0;
+          if (lens.node_timing(item.stable_id, gap_sum, gap_count)) {
+            sum.self_time_ns += gap_sum;
+            sum.self_samples += gap_count;
+          }
+        }
+        if (first) {
+          sum.first_terminal = unit_first;
+          first = false;
+        }
+        sum.last_terminal = unit_last;
+        sum.exp_len = sat_add(sum.exp_len, sat_mul(unit_len, item.exp));
+        hash = support::hash_combine(hash, unit_hash);
+        hash = support::hash_combine(hash, item.exp);
+      }
+      sum.subtree_hash = hash;
+      sum.total_time_ns += sum.self_time_ns;
+      state[rule] = 2;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace pythia::analysis

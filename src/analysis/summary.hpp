@@ -1,0 +1,60 @@
+// Memoized per-rule summaries — the O(rules) backbone of every
+// grammar-domain analysis (docs/ANALYSIS.md).
+//
+// One bottom-up sweep over the rule DAG computes, per rule, everything
+// the queries need about its full expansion *without producing it*:
+// length, first/last terminal, a terminal-membership sketch, structural
+// content hash, and timing rollups attributed from the TimingModel's
+// depth-1 contexts. Cost is proportional to grammar size (rules + body
+// nodes), never to trace length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/lens.hpp"
+
+namespace pythia::analysis {
+
+struct RuleSummary {
+  std::uint64_t exp_len = 0;     ///< terminals in one unfolding (saturating)
+  std::uint64_t occurrences = 0; ///< times the body unfolds trace-wide
+  std::uint32_t body_nodes = 0;
+  std::uint32_t depth = 0;       ///< max rule nesting beneath (flat body = 0)
+  TerminalId first_terminal = 0; ///< first/last event of one unfolding
+  TerminalId last_terminal = 0;
+  /// Terminal-membership sketch: bit (t % 64) set for every terminal t
+  /// occurring anywhere beneath. sketch(A) & ~sketch(B) != 0 proves A
+  /// expands to an event B never produces — an O(1) pre-filter.
+  std::uint64_t terminal_sketch = 0;
+  /// Content hash of the full expansion structure (symbols + exponents,
+  /// child hashes substituted). Equal subtrees hash equal; the interner
+  /// upgrades this to exact identity.
+  std::uint64_t subtree_hash = 0;
+  /// Trace-wide arrival-gap time spent entering this body's direct
+  /// terminal occurrences (depth-1 timing contexts), and the rollup
+  /// including child rules' totals attributed by usage share.
+  double self_time_ns = 0.0;
+  std::uint64_t self_samples = 0;
+  double total_time_ns = 0.0;
+};
+
+struct SummarySet {
+  std::vector<RuleSummary> rules;  ///< dense index; rules[0] is the root
+  std::uint64_t events = 0;        ///< full trace length
+  bool timed = false;
+
+  const RuleSummary& root() const { return rules[0]; }
+};
+
+/// One bottom-up sweep; reuses `out`'s capacity so repeated queries are
+/// allocation-free after warm-up.
+void compute_summaries(const RuleLens& lens, SummarySet& out);
+
+inline SummarySet compute_summaries(const RuleLens& lens) {
+  SummarySet set;
+  compute_summaries(lens, set);
+  return set;
+}
+
+}  // namespace pythia::analysis

@@ -729,26 +729,42 @@ void Grammar::check_invariants() const {
   }
 
   // Master length check: the grammar must represent exactly the appended
-  // sequence length.
+  // sequence length. Explicit stack — rule chains can nest deeper than
+  // the C stack tolerates (tests/core/deep_grammar_test.cpp).
   std::vector<std::uint64_t> lengths(rules_.size(), 0);
   std::vector<int> state(rules_.size(), 0);  // 0 unvisited, 1 visiting, 2 done
-  auto expanded_length = [&](auto&& self, const Rule* rule) -> std::uint64_t {
-    if (state[rule->id] == 2) return lengths[rule->id];
-    PYTHIA_ASSERT_MSG(state[rule->id] != 1, "cyclic rule reference");
-    state[rule->id] = 1;
-    std::uint64_t total = 0;
-    for (const Node* node = rule->head; node != nullptr; node = node->next) {
-      const std::uint64_t unit =
-          node->sym.is_terminal()
-              ? 1
-              : self(self, rules_[node->sym.rule_id()]);
-      total += unit * node->exp;
-    }
-    lengths[rule->id] = total;
-    state[rule->id] = 2;
-    return total;
+  struct LengthFrame {
+    const Rule* rule;
+    const Node* node;
+    std::uint64_t total;
   };
-  PYTHIA_ASSERT_MSG(expanded_length(expanded_length, root_) == appended_,
+  std::vector<LengthFrame> length_stack;
+  state[root_->id] = 1;
+  length_stack.push_back({root_, root_->head, 0});
+  while (!length_stack.empty()) {
+    LengthFrame& frame = length_stack.back();
+    if (frame.node == nullptr) {
+      lengths[frame.rule->id] = frame.total;
+      state[frame.rule->id] = 2;
+      length_stack.pop_back();
+      continue;
+    }
+    const Node* node = frame.node;
+    std::uint64_t unit = 1;
+    if (node->sym.is_rule()) {
+      const std::uint32_t ref = node->sym.rule_id();
+      PYTHIA_ASSERT_MSG(state[ref] != 1, "cyclic rule reference");
+      if (state[ref] == 0) {
+        state[ref] = 1;
+        length_stack.push_back({rules_[ref], rules_[ref]->head, 0});
+        continue;  // resume this frame once the referenced rule is done
+      }
+      unit = lengths[ref];
+    }
+    frame.total += unit * node->exp;
+    frame.node = node->next;
+  }
+  PYTHIA_ASSERT_MSG(lengths[root_->id] == appended_,
                     "grammar length drifted from appended sequence");
 }
 

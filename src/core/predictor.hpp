@@ -145,6 +145,20 @@ class Predictor {
   bool synchronized() const { return !candidates_.empty(); }
   std::size_t candidate_count() const { return candidates_.size(); }
 
+  /// The tracked progress sequences, in their internal (stable) order.
+  /// With the breaker disabled this vector IS the predictor's entire
+  /// behavioral state: the grammar-domain diff (src/analysis/diff.cpp)
+  /// reads it out, fast-forwards the paths structurally, and writes the
+  /// result back with set_candidates().
+  const std::vector<ProgressPath>& candidates() const { return candidates_; }
+
+  /// Replaces the tracked progress sequences wholesale. Analysis-only
+  /// API: callers must hand back paths that are valid positions of this
+  /// predictor's grammar. Does not touch the breaker window or stats.
+  void set_candidates(const ProgressPath* data, std::size_t count) {
+    candidates_.assign(data, data + count);
+  }
+
   /// Breaker state (always kHealthy when the breaker is disabled).
   Health health() const { return health_; }
   /// Fraction of recent observe() calls that advanced a tracked sequence

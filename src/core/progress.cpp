@@ -119,8 +119,12 @@ std::uint64_t ProgressPath::suffix_key(std::size_t levels) const {
 
 namespace {
 
-// Recursively extends `chain` (terminal-first, currently ending inside
-// `owner`) upwards through every usage site until the root is reached.
+// Extends `chain` (terminal-first, currently ending inside `owner`)
+// upwards through every usage site until the root is reached. The walk
+// is an explicit-stack DFS: rule nesting equals grammar depth, and an
+// adversarial trace can nest tens of thousands of levels deep — call
+// recursion would overflow the thread stack long before the SmallVec
+// chain notices (tests/core/deep_grammar_test.cpp).
 void extend_upward(const Grammar& grammar, const Rule* owner,
                    PathChain& chain, std::size_t limit,
                    std::vector<ProgressPath>& out) {
@@ -130,11 +134,36 @@ void extend_upward(const Grammar& grammar, const Rule* owner,
     out.back().assign(chain.data(), chain.size());
     return;
   }
-  for (const Node* user : owner->users) {
+  // Each frame owns one chain element (pushed by the parent before the
+  // frame was entered); user_index iterates the owner's usage sites in
+  // the same order the recursion did, so anchoring output is unchanged.
+  // SmallVec keeps the common shallow case allocation-free — re-anchor
+  // is a steady-state hot path (tests/core/alloc_steady_state_test.cpp)
+  // — and only deep grammars spill to the heap.
+  struct UpFrame {
+    const Rule* owner;
+    std::size_t user_index;
+  };
+  support::SmallVec<UpFrame, ProgressPath::kInlineDepth> frames;
+  frames.push_back({owner, 0});
+  while (!frames.empty()) {
     if (out.size() >= limit) return;
-    chain.push_back({user, 0});
-    extend_upward(grammar, user->owner, chain, limit, out);
-    chain.pop_back();
+    UpFrame& frame = frames.back();
+    if (frame.user_index < frame.owner->users.size()) {
+      const Node* user = frame.owner->users[frame.user_index];
+      ++frame.user_index;
+      chain.push_back({user, 0});
+      if (user->owner == grammar.root()) {
+        out.emplace_back();
+        out.back().assign(chain.data(), chain.size());
+        chain.pop_back();
+      } else {
+        frames.push_back({user->owner, 0});
+      }
+    } else {
+      frames.pop_back();
+      if (!frames.empty()) chain.pop_back();
+    }
   }
 }
 

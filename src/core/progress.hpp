@@ -11,6 +11,7 @@
 
 #include "core/grammar.hpp"
 #include "core/symbol.hpp"
+#include "support/assert.hpp"
 #include "support/small_vec.hpp"
 
 namespace pythia {
@@ -60,6 +61,17 @@ class ProgressPath {
   const Node* terminal_node() const { return elements_.front().node; }
   TerminalId terminal() const {
     return elements_.front().node->sym.terminal_id();
+  }
+
+  /// Jumps `delta` repetitions forward inside the front terminal node's
+  /// exponent run without simulating the intermediate advances. The
+  /// grammar-domain diff (src/analysis/diff.cpp) uses this to absorb a
+  /// whole `t^e` run in O(1); the result must stay inside the run.
+  void bump_front_rep(std::uint64_t delta) {
+    PathElement& front = elements_[0];
+    PYTHIA_ASSERT_MSG(front.rep + delta < front.node->exp,
+                      "bump_front_rep past the exponent run");
+    front.rep += delta;
   }
 
   /// Depth-first successor (fig. 5). Returns false when the position was

@@ -514,6 +514,39 @@ Status PredictClient::close(ClientSession& session) {
                     reply, arm_deadline());
 }
 
+Result<PredictClient::AnalyzeResult> PredictClient::analyze(
+    const std::string& trace, std::uint32_t section, std::uint32_t max_depth,
+    std::uint32_t max_nodes, std::uint32_t min_coverage_permille) {
+  AnalyzeMsg msg;
+  msg.trace = trace;
+  msg.section = section;
+  msg.max_depth = max_depth;
+  msg.max_nodes = max_nodes;
+  msg.min_coverage_permille = min_coverage_permille;
+  payload_buffer_.clear();
+  encode_analyze(msg, payload_buffer_);
+  Frame reply;
+  Status status = request(MsgType::kAnalyze, payload_buffer_,
+                          MsgType::kAnalyzeAck, reply);
+  if (!status.ok()) return status;
+  if (reply.type == MsgType::kError) {
+    return Status::invalid_state("client: analyze rejected");
+  }
+  AnalyzeResult result;
+  AnalyzeAckMsg ack;
+  if (!parse_analyze_ack(reply.reader(), ack, result.phases,
+                         options_.max_reply_events)) {
+    return Status::corrupt("client: malformed analyze ack");
+  }
+  result.code = ack.code;
+  result.compiled = ack.compiled != 0;
+  result.timed = ack.timed != 0;
+  result.truncated = ack.truncated != 0;
+  result.events = ack.events;
+  result.rules = ack.rules;
+  return result;
+}
+
 Result<StatsAckMsg> PredictClient::server_stats() {
   Frame reply;
   Status status = request(MsgType::kStats, {}, MsgType::kStatsAck, reply);

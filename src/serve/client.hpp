@@ -122,6 +122,26 @@ class PredictClient {
                                 std::uint64_t deadline_budget_ns = 0);
 
   Status close(ClientSession& session);
+
+  /// Grammar-domain analytics for a registered trace (no session — the
+  /// reply is a pure function of the published snapshot). A kShed answer
+  /// with truncated set means the phase tree would not fit a frame;
+  /// retry with a smaller max_nodes/max_depth.
+  struct AnalyzeResult {
+    ReplyCode code = ReplyCode::kUnavailable;
+    bool compiled = false;
+    bool timed = false;
+    bool truncated = false;
+    std::uint64_t events = 0;
+    std::uint32_t rules = 0;
+    std::vector<AnalyzePhase> phases;
+  };
+  Result<AnalyzeResult> analyze(const std::string& trace,
+                                std::uint32_t section,
+                                std::uint32_t max_depth = 4,
+                                std::uint32_t max_nodes = 256,
+                                std::uint32_t min_coverage_permille = 10);
+
   Result<StatsAckMsg> server_stats();
   Status ping();
 

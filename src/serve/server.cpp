@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "analysis/query.hpp"
 
 namespace pythia::serve {
 
@@ -336,6 +339,98 @@ void ServerCore::serve_frame(Connection& conn, const Frame& frame,
                          filled > 0 ? conn.predict_scratch.data() : nullptr,
                          filled, conn.payload_scratch);
       encode_frame(MsgType::kPredictAck, frame.request_id,
+                   conn.payload_scratch, out);
+      return;
+    }
+
+    case MsgType::kAnalyze: {
+      AnalyzeMsg msg;
+      if (!parse_analyze(frame.reader(), msg)) {
+        reply_error(frame, ReplyCode::kBadRequest, "analyze: malformed",
+                    conn, out);
+        return;
+      }
+      AnalyzeAckMsg ack;
+      conn.phase_scratch.clear();
+      if (!registry_.contains(msg.trace)) {
+        ack.code = ReplyCode::kNotFound;
+      } else {
+        // Analytics pay the same per-tenant token bucket as predictions:
+        // an analyze flood cannot starve other tenants' predict traffic.
+        const Admit verdict = admission_.admit(conn.tenant, now_ns,
+                                               trace_degraded(msg.trace));
+        if (verdict == Admit::kDegraded) {
+          ack.code = ReplyCode::kDegraded;
+          ++stats_.degraded;
+        } else if (verdict != Admit::kAdmit) {
+          ack.code = ReplyCode::kShed;
+          ++stats_.shed;
+        } else {
+          admission_.begin(conn.tenant);
+          Result<std::shared_ptr<const engine::TraceSnapshot>> acquired =
+              registry_.acquire(msg.trace);
+          if (!acquired.ok()) {
+            ack.code = ReplyCode::kUnavailable;
+          } else {
+            const auto& snapshot = acquired.value();
+            if (msg.section >= snapshot->sections() ||
+                !snapshot->section_ok(msg.section)) {
+              ack.code = ReplyCode::kUnavailable;
+            } else {
+              const analysis::Query query =
+                  analysis::Query::over_thread(snapshot->section(msg.section));
+              if (!query.valid()) {
+                ack.code = ReplyCode::kUnavailable;
+              } else {
+                analysis::PhaseOptions popts;
+                popts.max_depth = msg.max_depth;
+                popts.max_nodes =
+                    std::min<std::size_t>(msg.max_nodes,
+                                          options_.max_analyze_nodes);
+                popts.min_coverage =
+                    static_cast<double>(msg.min_coverage_permille) / 1000.0;
+                analysis::PhaseTree tree;
+                query.phases(popts, tree);
+                ack.compiled = query.compiled() ? 1 : 0;
+                ack.timed = tree.timed ? 1 : 0;
+                ack.truncated = tree.truncated ? 1 : 0;
+                ack.events = tree.total_events;
+                ack.rules = query.rules();
+                if (analyze_ack_bytes(tree.nodes.size()) >
+                    options_.wire.max_payload) {
+                  // Oversized reply: the decoder on the other end would
+                  // reject the frame anyway, so shed explicitly — the
+                  // client retries with a smaller node budget.
+                  ack.code = ReplyCode::kShed;
+                  ack.truncated = 1;
+                  ++stats_.shed;
+                } else {
+                  conn.phase_scratch.reserve(tree.nodes.size());
+                  for (const analysis::PhaseNode& node : tree.nodes) {
+                    AnalyzePhase phase;
+                    phase.parent = node.parent;
+                    phase.depth = node.depth;
+                    phase.flags = (node.is_rule ? 1u : 0u) |
+                                  (node.is_loop ? 2u : 0u);
+                    phase.rule = node.rule;
+                    phase.terminal = node.terminal;
+                    phase.reps = node.reps;
+                    phase.runs = node.runs;
+                    phase.events = node.events;
+                    phase.time_ns = node.time_ns;
+                    conn.phase_scratch.push_back(phase);
+                  }
+                }
+              }
+            }
+          }
+          admission_.end(conn.tenant);
+        }
+      }
+      ++stats_.replies;
+      encode_analyze_ack(ack, conn.phase_scratch.data(),
+                         conn.phase_scratch.size(), conn.payload_scratch);
+      encode_frame(MsgType::kAnalyzeAck, frame.request_id,
                    conn.payload_scratch, out);
       return;
     }

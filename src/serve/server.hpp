@@ -54,6 +54,11 @@ struct ServerOptions {
   std::size_t max_sessions_per_tenant = 4096;
   std::size_t max_events_per_observe = 4096;
   std::size_t max_predict_count = 1024;
+  /// Hard cap on phase nodes per kAnalyze reply (requests asking for
+  /// more are clamped, not rejected). The real bound is the frame cap:
+  /// a reply that would not fit wire.max_payload is shed, because a
+  /// frame the client's decoder must reject helps nobody.
+  std::size_t max_analyze_nodes = 4096;
 
   /// Trace-health aggregation: a trace whose sessions are mostly
   /// degraded sheds new work early. Both thresholds must hold.
@@ -124,6 +129,7 @@ class ServerCore {
     std::vector<std::uint32_t> event_scratch;
     std::vector<std::uint32_t> predict_scratch;
     std::vector<std::uint8_t> payload_scratch;
+    std::vector<AnalyzePhase> phase_scratch;
   };
 
   struct TraceGauge {

@@ -300,6 +300,75 @@ bool parse_error(WireReader reader, ErrorMsg& out) {
   return true;
 }
 
+void encode_analyze(const AnalyzeMsg& msg, std::vector<std::uint8_t>& out) {
+  WireWriter(out)
+      .str(msg.trace)
+      .u32(msg.section)
+      .u32(msg.max_depth)
+      .u32(msg.max_nodes)
+      .u32(msg.min_coverage_permille);
+}
+
+bool parse_analyze(WireReader reader, AnalyzeMsg& out) {
+  return reader.str(out.trace) && reader.u32(out.section) &&
+         reader.u32(out.max_depth) && reader.u32(out.max_nodes) &&
+         reader.u32(out.min_coverage_permille);
+}
+
+void encode_analyze_ack(const AnalyzeAckMsg& msg, const AnalyzePhase* phases,
+                        std::size_t count, std::vector<std::uint8_t>& out) {
+  WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(msg.code))
+      .u8(msg.compiled)
+      .u8(msg.timed)
+      .u8(msg.truncated)
+      .u64(msg.events)
+      .u32(msg.rules)
+      .u32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const AnalyzePhase& phase = phases[i];
+    writer.u32(static_cast<std::uint32_t>(phase.parent))
+        .u32(phase.depth)
+        .u8(phase.flags)
+        .u32(phase.rule)
+        .u32(phase.terminal)
+        .u64(phase.reps)
+        .u64(phase.runs)
+        .u64(phase.events)
+        .f64(phase.time_ns);
+  }
+}
+
+bool parse_analyze_ack(WireReader reader, AnalyzeAckMsg& out,
+                       std::vector<AnalyzePhase>& phases_scratch,
+                       std::size_t max_nodes) {
+  phases_scratch.clear();
+  std::uint8_t code;
+  std::uint32_t count;
+  if (!reader.u8(code) || !reader.u8(out.compiled) || !reader.u8(out.timed) ||
+      !reader.u8(out.truncated) || !reader.u64(out.events) ||
+      !reader.u32(out.rules) || !reader.u32(count)) {
+    return false;
+  }
+  if (count > max_nodes || count > reader.remaining() / 49) return false;
+  phases_scratch.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AnalyzePhase& phase = phases_scratch[i];
+    std::uint32_t parent_raw = 0;
+    if (!reader.u32(parent_raw) || !reader.u32(phase.depth) ||
+        !reader.u8(phase.flags) || !reader.u32(phase.rule) ||
+        !reader.u32(phase.terminal) || !reader.u64(phase.reps) ||
+        !reader.u64(phase.runs) || !reader.u64(phase.events) ||
+        !reader.f64(phase.time_ns)) {
+      return false;
+    }
+    phase.parent = static_cast<std::int32_t>(parent_raw);
+  }
+  out.code = static_cast<ReplyCode>(code);
+  out.count = count;
+  return true;
+}
+
 void encode_stats_ack(const StatsAckMsg& msg, std::vector<std::uint8_t>& out) {
   WireWriter(out)
       .u64(msg.frames)

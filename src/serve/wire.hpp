@@ -60,6 +60,8 @@ enum class MsgType : std::uint8_t {
   kStats,         ///< server counters request
   kStatsAck,      ///< server counters
   kError,         ///< request-level failure (code + message)
+  kAnalyze,       ///< grammar-domain analytics (trace name + options)
+  kAnalyzeAck,    ///< code + summary header + phase tree
 };
 
 /// Reply status carried inside ack payloads. kDegraded is an *answer*,
@@ -317,6 +319,59 @@ struct ErrorMsg {
 };
 void encode_error(const ErrorMsg& msg, std::vector<std::uint8_t>& out);
 bool parse_error(WireReader reader, ErrorMsg& out);
+
+struct AnalyzeMsg {
+  std::string trace;
+  std::uint32_t section = 0;
+  std::uint32_t max_depth = 4;
+  std::uint32_t max_nodes = 256;
+  /// Expansion threshold in permille of the trace (10 = 1%). Integer on
+  /// the wire: a float here would invite cross-platform drift in what is
+  /// otherwise a deterministic reply.
+  std::uint32_t min_coverage_permille = 10;
+};
+void encode_analyze(const AnalyzeMsg& msg, std::vector<std::uint8_t>& out);
+bool parse_analyze(WireReader reader, AnalyzeMsg& out);
+
+/// Wire mirror of analysis::PhaseNode (49 bytes each on the wire).
+struct AnalyzePhase {
+  std::int32_t parent = -1;
+  std::uint32_t depth = 0;
+  std::uint8_t flags = 0;  ///< bit 0: is_rule, bit 1: is_loop
+  std::uint32_t rule = 0;
+  std::uint32_t terminal = 0;
+  std::uint64_t reps = 1;
+  std::uint64_t runs = 0;
+  std::uint64_t events = 0;
+  double time_ns = 0.0;
+
+  bool is_rule() const { return (flags & 1u) != 0; }
+  bool is_loop() const { return (flags & 2u) != 0; }
+};
+
+struct AnalyzeAckMsg {
+  ReplyCode code = ReplyCode::kOk;
+  std::uint8_t compiled = 0;   ///< served from the compiled blob
+  std::uint8_t timed = 0;      ///< rollups carry real timing
+  std::uint8_t truncated = 0;  ///< node cap (or response cap) cut the tree
+  std::uint64_t events = 0;
+  std::uint32_t rules = 0;
+  std::size_t count = 0;       ///< phases land in the caller's scratch
+};
+void encode_analyze_ack(const AnalyzeAckMsg& msg, const AnalyzePhase* phases,
+                        std::size_t count, std::vector<std::uint8_t>& out);
+/// `phases_scratch` is clear()ed and filled; `max_nodes` bounds what the
+/// caller is willing to materialize from a (possibly hostile) reply.
+bool parse_analyze_ack(WireReader reader, AnalyzeAckMsg& out,
+                       std::vector<AnalyzePhase>& phases_scratch,
+                       std::size_t max_nodes);
+
+/// Exact payload size of an analyze ack with `count` phase nodes — the
+/// server checks this against the frame cap *before* encoding and sheds
+/// instead of emitting a reply the client's decoder must reject.
+inline std::size_t analyze_ack_bytes(std::size_t count) {
+  return 20 + count * 49;
+}
 
 struct StatsAckMsg {
   std::uint64_t frames = 0;

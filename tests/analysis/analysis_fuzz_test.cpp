@@ -1,0 +1,199 @@
+// Analysis-under-corruption fuzzing: whatever happens to the bytes of a
+// compiled blob, grammar-domain analytics must either reject the blob
+// with a typed Status (and degrade to the interpreted grammar) or — when
+// every checksum and structural check passed — produce exactly the same
+// answers as the interpreted path. Never a crash, never garbage results
+// from corrupt tables. Runs under the ASan/UBSan workflow like the other
+// fuzz suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/query.hpp"
+#include "core/compile.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(input),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream output(path, std::ios::binary | std::ios::trunc);
+  output.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+}
+
+/// First byte of the trailing compiled region (kind-3 section framing).
+std::size_t compiled_region_begin(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 8;
+  while (offset + 16 <= bytes.size()) {
+    std::uint32_t kind = 0;
+    std::uint32_t size = 0;
+    std::memcpy(&kind, &bytes[offset], 4);
+    std::memcpy(&size, &bytes[offset + 4], 4);
+    if (kind == 3) return offset;
+    offset += 16 + size;
+  }
+  return bytes.size();
+}
+
+ThreadTrace recorded_thread() {
+  support::Rng source(0xA11CE);
+  Recorder recorder(Recorder::Options{.record_timestamps = true});
+  std::uint64_t now = 0;
+  for (int i = 0; i < 400; ++i) {
+    recorder.record(static_cast<TerminalId>(source.below(4)),
+                    now += 100 + source.below(300));
+  }
+  return std::move(recorder).finish();
+}
+
+void expect_same_analysis(const analysis::Query& truth,
+                          const analysis::Query& probe, int seed) {
+  ASSERT_EQ(truth.events(), probe.events()) << "seed " << seed;
+  ASSERT_EQ(truth.rules(), probe.rules()) << "seed " << seed;
+  const analysis::SummarySet& a = truth.summaries();
+  const analysis::SummarySet& b = probe.summaries();
+  ASSERT_EQ(a.rules.size(), b.rules.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].exp_len, b.rules[i].exp_len) << "seed " << seed;
+    EXPECT_EQ(a.rules[i].subtree_hash, b.rules[i].subtree_hash)
+        << "seed " << seed;
+    EXPECT_EQ(a.rules[i].occurrences, b.rules[i].occurrences)
+        << "seed " << seed;
+  }
+  analysis::PhaseTree ta;
+  analysis::PhaseTree tb;
+  truth.phases(analysis::PhaseOptions{}, ta);
+  probe.phases(analysis::PhaseOptions{}, tb);
+  ASSERT_EQ(ta.nodes.size(), tb.nodes.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < ta.nodes.size(); ++i) {
+    EXPECT_EQ(ta.nodes[i].events, tb.nodes[i].events) << "seed " << seed;
+  }
+  for (std::uint64_t i = 0; i < truth.events(); i += 37) {
+    TerminalId x = 0;
+    TerminalId y = 0;
+    ASSERT_TRUE(truth.event_at(i, x)) << "seed " << seed;
+    ASSERT_TRUE(probe.event_at(i, y)) << "seed " << seed;
+    EXPECT_EQ(x, y) << "seed " << seed << " index " << i;
+  }
+}
+
+TEST(AnalysisFuzz, CorruptBlobsRejectOrAnswerExactly) {
+  ThreadTrace thread = recorded_thread();
+  ASSERT_TRUE(thread.compile());
+  const std::vector<unsigned char> pristine = thread.compiled_blob;
+  const analysis::Query truth =
+      analysis::Query::over(thread.grammar, &thread.timing);
+  ASSERT_TRUE(truth.valid());
+
+  support::Rng rng(0xFA22);
+  int rejected = 0;
+  int accepted = 0;
+  constexpr int kSeeds = 1000;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    std::vector<unsigned char> blob = pristine;
+    const std::uint64_t mode = rng.below(10);
+    if (mode < 7) {
+      const int flips = 1 + static_cast<int>(rng.below(16));
+      for (int f = 0; f < flips; ++f) {
+        blob[rng.below(blob.size())] ^=
+            static_cast<unsigned char>(1 + rng.below(255));
+      }
+    } else if (mode < 9) {
+      blob.resize(rng.below(blob.size() + 1));
+    } else {
+      const std::size_t begin = rng.below(blob.size());
+      const std::size_t length =
+          std::min<std::size_t>(1 + rng.below(256), blob.size() - begin);
+      for (std::size_t i = 0; i < length; ++i) {
+        blob[begin + i] = static_cast<unsigned char>(rng.below(256));
+      }
+    }
+
+    const Result<CompiledView> view =
+        CompiledView::parse(blob.data(), blob.size());
+    if (!view.ok()) {
+      // Typed rejection: the caller degrades to the interpreted grammar,
+      // which still answers everything.
+      ++rejected;
+      EXPECT_FALSE(view.status().message().empty()) << "seed " << seed;
+      continue;
+    }
+    // The blob passed every CRC and structural check (flips in padding
+    // or slack): analysis over it must agree with the interpreted truth.
+    ++accepted;
+    const analysis::Query probe = analysis::Query::over_compiled(view.value());
+    ASSERT_TRUE(probe.valid()) << "seed " << seed;
+    expect_same_analysis(truth, probe, seed);
+  }
+  // The corpus must overwhelmingly exercise the rejection path.
+  EXPECT_GT(rejected, kSeeds * 9 / 10);
+  EXPECT_EQ(rejected + accepted, kSeeds);
+}
+
+TEST(AnalysisFuzz, CorruptFileDegradesToInterpretedAnalysis) {
+  // File-level: damage the compiled section, salvage-load, and ask
+  // Query::over_thread — it must transparently fall back to the intact
+  // interpreted grammar and answer exactly.
+  Trace trace;
+  trace.registry.intern("a");
+  trace.registry.intern("b");
+  trace.registry.intern("c");
+  trace.registry.intern("d");
+  trace.threads.push_back(recorded_thread());
+  const std::string path = temp_path("analysis_fuzz.pythia");
+  trace.save(path);
+
+  const std::vector<std::uint8_t> pristine = file_bytes(path);
+  const std::size_t region = compiled_region_begin(pristine);
+  ASSERT_LT(region, pristine.size()) << "file must carry a compiled section";
+  const analysis::Query truth =
+      analysis::Query::over(trace.threads[0].grammar,
+                            &trace.threads[0].timing);
+
+  support::Rng rng(0xD3AD);
+  int degraded = 0;
+  constexpr int kSeeds = 200;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    std::vector<std::uint8_t> bytes = pristine;
+    const int flips = 1 + static_cast<int>(rng.below(16));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t offset = region + rng.below(bytes.size() - region);
+      bytes[offset] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    write_bytes(path, bytes);
+
+    const Result<Trace> loaded = Trace::try_load(path);
+    ASSERT_TRUE(loaded.ok())
+        << "seed " << seed << ": " << loaded.status().to_string();
+    ASSERT_TRUE(loaded.value().thread_ok(0)) << "seed " << seed;
+    const ThreadTrace& salvaged = loaded.value().threads[0];
+    if (!salvaged.compiled.valid()) ++degraded;
+    const analysis::Query probe = analysis::Query::over_thread(salvaged);
+    ASSERT_TRUE(probe.valid()) << "seed " << seed;
+    expect_same_analysis(truth, probe, seed);
+  }
+  EXPECT_GT(degraded, kSeeds / 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,255 @@
+// grammar_diff() must be bit-identical to the expansion oracle — same
+// counters, same agreement percentage, same divergence indices — on
+// synthetic adversarial pairs, seeded random pairs, and the full app
+// catalog (ISSUE acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diff.hpp"
+#include "apps/app.hpp"
+#include "core/grammar.hpp"
+#include "harness/runner.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+Grammar from_events(const std::vector<TerminalId>& events) {
+  Grammar grammar;
+  for (const TerminalId event : events) grammar.append(event);
+  grammar.finalize();
+  return grammar;
+}
+
+void expect_identical(const Grammar& reference, const Grammar& other,
+                      const std::string& label) {
+  const analysis::DiffReport slow = analysis::expand_diff(reference, other);
+  const analysis::DiffReport fast = analysis::grammar_diff(reference, other);
+  EXPECT_EQ(slow.events, fast.events) << label;
+  EXPECT_EQ(slow.advanced, fast.advanced) << label;
+  EXPECT_EQ(slow.reanchored, fast.reanchored) << label;
+  EXPECT_EQ(slow.unknown, fast.unknown) << label;
+  EXPECT_EQ(slow.divergence_points, fast.divergence_points) << label;
+  EXPECT_DOUBLE_EQ(slow.agreement_percent(), fast.agreement_percent())
+      << label;
+}
+
+void expect_identical(const std::vector<TerminalId>& ref_events,
+                      const std::vector<TerminalId>& other_events,
+                      const std::string& label) {
+  const Grammar reference = from_events(ref_events);
+  const Grammar other = from_events(other_events);
+  expect_identical(reference, other, label);
+}
+
+std::vector<TerminalId> periodic(std::size_t repeats,
+                                 const std::vector<TerminalId>& period) {
+  std::vector<TerminalId> out;
+  out.reserve(repeats * period.size());
+  for (std::size_t i = 0; i < repeats; ++i) {
+    out.insert(out.end(), period.begin(), period.end());
+  }
+  return out;
+}
+
+TEST(DiffDifferential, IdenticalPeriodicTrace) {
+  const std::vector<TerminalId> trace = periodic(50, {1, 2, 3});
+  expect_identical(trace, trace, "identical");
+}
+
+TEST(DiffDifferential, LegacyDemoDetour) {
+  // The trace_diff self-demo: 50x(a,b) with an injected c at i == 25.
+  const std::vector<TerminalId> reference = periodic(50, {0, 1});
+  std::vector<TerminalId> other;
+  for (int i = 0; i < 50; ++i) {
+    other.push_back(0);
+    other.push_back(1);
+    if (i == 25) other.push_back(2);
+  }
+  expect_identical(reference, other, "detour");
+  expect_identical(other, reference, "detour reversed");
+}
+
+TEST(DiffDifferential, UnknownEventFlood) {
+  const std::vector<TerminalId> reference = periodic(30, {1, 2});
+  std::vector<TerminalId> other = periodic(5, {1, 2});
+  other.insert(other.end(), 5000, TerminalId{9});  // never in reference
+  other.insert(other.end(), 10, TerminalId{1});
+  expect_identical(reference, other, "unknown flood");
+}
+
+TEST(DiffDifferential, ExponentRunLongerThanReference) {
+  std::vector<TerminalId> reference(500, TerminalId{7});
+  std::vector<TerminalId> other(100000, TerminalId{7});
+  expect_identical(reference, other, "run overrun");
+  expect_identical(other, reference, "run underrun");
+}
+
+TEST(DiffDifferential, MismatchedRuleFlood) {
+  // Reference repeats (a b); other repeats (a c) many times: every
+  // block repetition re-anchors identically — the block-cycle path.
+  const std::vector<TerminalId> reference = periodic(100, {1, 2});
+  const std::vector<TerminalId> other = periodic(50000, {1, 3});
+  expect_identical(reference, other, "rule flood");
+}
+
+TEST(DiffDifferential, SharedPrefixDivergentSuffix) {
+  std::vector<TerminalId> reference = periodic(200, {1, 2, 3, 4});
+  std::vector<TerminalId> other = periodic(120, {1, 2, 3, 4});
+  const std::vector<TerminalId> suffix = periodic(80, {1, 2, 4, 3});
+  other.insert(other.end(), suffix.begin(), suffix.end());
+  expect_identical(reference, other, "suffix divergence");
+}
+
+TEST(DiffDifferential, SingleEventTraces) {
+  expect_identical({5}, {5}, "single match");
+  expect_identical({5}, {6}, "single mismatch");
+  expect_identical(periodic(20, {1, 2}), {1}, "other single");
+}
+
+TEST(DiffDifferential, NestedPhases) {
+  // Two-level phase structure with an inner loop count change.
+  std::vector<TerminalId> reference;
+  std::vector<TerminalId> other;
+  for (int outer = 0; outer < 20; ++outer) {
+    for (int inner = 0; inner < 8; ++inner) {
+      reference.push_back(1);
+      reference.push_back(2);
+      other.push_back(1);
+      other.push_back(2);
+    }
+    // `other` runs two extra inner iterations every fourth phase.
+    if (outer % 4 == 3) {
+      other.push_back(1);
+      other.push_back(2);
+      other.push_back(1);
+      other.push_back(2);
+    }
+    reference.push_back(3);
+    other.push_back(3);
+  }
+  expect_identical(reference, other, "nested phases");
+}
+
+TEST(DiffDifferential, SeededRandomPairs) {
+  // The workhorse: small alphabets with run-heavy shapes drive every
+  // fast path (skip, run absorption, anchor cycles, block cycles) and
+  // every slow-path handoff between them.
+  support::Rng rng(0x90d17f00d5eedULL);
+  for (int round = 0; round < 150; ++round) {
+    const std::uint32_t alphabet = 2 + rng.below(4);
+    auto make = [&](std::size_t length) {
+      std::vector<TerminalId> events;
+      events.reserve(length);
+      while (events.size() < length) {
+        const TerminalId t = static_cast<TerminalId>(rng.below(alphabet));
+        // Bias toward runs and repeated blocks so grammars grow
+        // exponents and shared rules.
+        const std::uint64_t run = 1 + rng.below(6);
+        for (std::uint64_t i = 0; i < run && events.size() < length; ++i) {
+          events.push_back(t);
+        }
+        if (rng.below(3) == 0 && events.size() >= 4) {
+          const std::size_t block = 2 + rng.below(3);
+          const std::size_t start = events.size() - block;
+          for (std::size_t i = 0; i < block && events.size() < length; ++i) {
+            events.push_back(events[start + i]);
+          }
+        }
+      }
+      return events;
+    };
+    const std::vector<TerminalId> reference = make(40 + rng.below(400));
+    const std::vector<TerminalId> other = make(40 + rng.below(400));
+    expect_identical(reference, other,
+                     "random round " + std::to_string(round));
+    if (HasFailure()) break;
+  }
+}
+
+TEST(StructuralDiff, IdenticalGrammarsHaveNoRegions) {
+  const std::vector<TerminalId> events = periodic(40, {1, 2, 3});
+  const Grammar reference = from_events(events);
+  const Grammar other = from_events(events);
+  EXPECT_TRUE(analysis::structural_diff(reference, other).empty());
+}
+
+TEST(StructuralDiff, LocalizesAnInjectedEvent) {
+  // `other` injects terminal 9 (absent from the reference) into every
+  // loop body: the divergence must surface as a region whose offsets
+  // cover the injected event and whose occurrence count reflects the
+  // loop repetition.
+  const std::vector<TerminalId> reference_events = periodic(40, {1, 2, 3});
+  const std::vector<TerminalId> other_events = periodic(40, {1, 2, 9, 3});
+  const Grammar reference = from_events(reference_events);
+  const Grammar other = from_events(other_events);
+
+  const std::vector<analysis::DiffRegion> regions =
+      analysis::structural_diff(reference, other);
+  ASSERT_FALSE(regions.empty());
+  std::uint64_t total_occurrences = 0;
+  for (const analysis::DiffRegion& region : regions) {
+    ASSERT_FALSE(region.rule_path.empty());
+    EXPECT_EQ(region.rule_path.front(), 0u);  // paths start at the root
+    EXPECT_LT(region.begin_event, region.end_event);
+    EXPECT_GE(region.occurrences, 1u);
+    total_occurrences += region.occurrences *
+                         (region.end_event - region.begin_event);
+  }
+  // The 40 injected events are accounted for across the regions.
+  EXPECT_EQ(total_occurrences, 40u);
+}
+
+TEST(StructuralDiff, RegionCapIsHonoured) {
+  // Many distinct unknown terminals scattered through the trace produce
+  // many regions; the cap must bound the report.
+  std::vector<TerminalId> reference_events = periodic(50, {1, 2});
+  std::vector<TerminalId> other_events;
+  for (int i = 0; i < 50; ++i) {
+    other_events.push_back(1);
+    other_events.push_back(2);
+    other_events.push_back(static_cast<TerminalId>(100 + i));
+  }
+  const Grammar reference = from_events(reference_events);
+  const Grammar other = from_events(other_events);
+  const std::vector<analysis::DiffRegion> regions =
+      analysis::structural_diff(reference, other, 8);
+  EXPECT_LE(regions.size(), 8u);
+  EXPECT_FALSE(regions.empty());
+}
+
+TEST(DiffDifferential, CatalogWide) {
+  apps::AppConfig config;
+  config.scale = 0.12;
+  for (const apps::App* app : apps::all_apps()) {
+    const Trace reference = harness::record_reference(*app, config);
+    apps::AppConfig rerun = config;
+    rerun.seed = config.seed + 1;
+    const Trace other = harness::record_reference(*app, rerun);
+    ASSERT_FALSE(reference.threads.empty());
+    ASSERT_FALSE(other.threads.empty());
+    expect_identical(reference.threads[0].grammar, other.threads[0].grammar,
+                     std::string("catalog ") + app->name());
+    if (HasFailure()) break;
+  }
+}
+
+TEST(DiffDifferential, IrregularCatalog) {
+  apps::AppConfig config;
+  config.scale = 0.12;
+  for (const apps::App* app : apps::irregular_apps()) {
+    const Trace reference = harness::record_reference(*app, config);
+    apps::AppConfig rerun = config;
+    rerun.seed = config.seed + 7;
+    const Trace other = harness::record_reference(*app, rerun);
+    expect_identical(reference.threads[0].grammar, other.threads[0].grammar,
+                     std::string("irregular ") + app->name());
+    if (HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace pythia

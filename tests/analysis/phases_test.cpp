@@ -1,0 +1,173 @@
+// Phase/loop detection: the grammar's rule structure is the phase
+// structure; the detector must find loops with correct trace-wide event
+// counts and timing rollups without unfolding anything.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/phases.hpp"
+#include "analysis/query.hpp"
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "core/grammar.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia {
+namespace {
+
+Grammar from_events(const std::vector<TerminalId>& events) {
+  Grammar grammar;
+  for (const TerminalId event : events) grammar.append(event);
+  grammar.finalize();
+  return grammar;
+}
+
+std::vector<TerminalId> phased_trace(int outers, int inners) {
+  std::vector<TerminalId> events;
+  for (int outer = 0; outer < outers; ++outer) {
+    for (int inner = 0; inner < inners; ++inner) {
+      events.push_back(1);
+      events.push_back(2);
+    }
+    events.push_back(3);
+  }
+  return events;
+}
+
+TEST(Phases, TreeInvariants) {
+  const std::vector<TerminalId> events = phased_trace(20, 8);
+  const Grammar grammar = from_events(events);
+  const analysis::Query query = analysis::Query::over(grammar);
+  analysis::PhaseTree tree;
+  query.phases(analysis::PhaseOptions{}, tree);
+
+  ASSERT_FALSE(tree.nodes.empty());
+  EXPECT_EQ(tree.total_events, events.size());
+  EXPECT_FALSE(tree.truncated);
+
+  // Node 0 is the whole trace.
+  EXPECT_EQ(tree.nodes[0].parent, -1);
+  EXPECT_EQ(tree.nodes[0].events, events.size());
+  EXPECT_EQ(tree.nodes[0].runs, 1u);
+
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    const analysis::PhaseNode& node = tree.nodes[i];
+    // Parents precede their children.
+    ASSERT_GE(node.parent, 0);
+    ASSERT_LT(static_cast<std::size_t>(node.parent), i);
+    const analysis::PhaseNode& parent = tree.nodes[node.parent];
+    EXPECT_EQ(node.depth, parent.depth + 1);
+    // A child never covers more of the trace than its parent.
+    EXPECT_LE(node.events, parent.events);
+    EXPECT_GT(node.events, 0u);
+  }
+
+  // Children of each node never sum past the parent's coverage.
+  std::vector<std::uint64_t> child_events(tree.nodes.size(), 0);
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    child_events[tree.nodes[i].parent] += tree.nodes[i].events;
+  }
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    EXPECT_LE(child_events[i], tree.nodes[i].events) << "node " << i;
+  }
+}
+
+TEST(Phases, FindsTheInnerLoop) {
+  // The 8x inner loop must surface as a loop node covering the (1 2)
+  // repetitions: 20 outer runs x 8 reps x 2 events = 320 of 340.
+  const std::vector<TerminalId> events = phased_trace(20, 8);
+  const Grammar grammar = from_events(events);
+  const analysis::Query query = analysis::Query::over(grammar);
+  analysis::PhaseTree tree;
+  analysis::PhaseOptions options;
+  options.min_coverage = 0.05;
+  query.phases(options, tree);
+
+  bool found_loop = false;
+  for (const analysis::PhaseNode& node : tree.nodes) {
+    if (node.is_loop && node.events >= 320) found_loop = true;
+  }
+  EXPECT_TRUE(found_loop);
+}
+
+TEST(Phases, CoverageFilterAndTruncation) {
+  const std::vector<TerminalId> events = phased_trace(20, 8);
+  const Grammar grammar = from_events(events);
+  const analysis::Query query = analysis::Query::over(grammar);
+
+  // An impossible coverage bar leaves only the root.
+  analysis::PhaseTree tree;
+  analysis::PhaseOptions options;
+  options.min_coverage = 1.1;
+  query.phases(options, tree);
+  EXPECT_EQ(tree.nodes.size(), 1u);
+
+  // A one-node cap truncates.
+  options = analysis::PhaseOptions{};
+  options.max_nodes = 1;
+  query.phases(options, tree);
+  EXPECT_EQ(tree.nodes.size(), 1u);
+  EXPECT_TRUE(tree.truncated);
+
+  // Depth 0 stops at the root without truncation flagging every site.
+  options = analysis::PhaseOptions{};
+  options.max_depth = 0;
+  query.phases(options, tree);
+  EXPECT_EQ(tree.nodes.size(), 1u);
+}
+
+TEST(Phases, TimedRollupsPropagate) {
+  const std::vector<TerminalId> events = phased_trace(20, 8);
+  const Grammar grammar = from_events(events);
+  std::vector<std::uint64_t> times;
+  for (std::size_t i = 0; i < events.size(); ++i) times.push_back(50 * i);
+  const TimingModel timing = TimingModel::replay(grammar, events, times);
+
+  const analysis::Query query = analysis::Query::over(grammar, &timing);
+  analysis::PhaseTree tree;
+  query.phases(analysis::PhaseOptions{}, tree);
+  ASSERT_TRUE(tree.timed);
+  const double total = tree.nodes[0].time_ns;
+  EXPECT_NEAR(total, 50.0 * (events.size() - 1), total * 1e-9);
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    EXPECT_LE(tree.nodes[i].time_ns,
+              tree.nodes[tree.nodes[i].parent].time_ns + 1e-6);
+  }
+}
+
+TEST(Phases, CompiledMatchesInterpreted) {
+  apps::AppConfig config;
+  config.scale = 0.15;
+  Trace trace = harness::record_reference(*apps::lulesh_app(), config);
+  ASSERT_FALSE(trace.threads.empty());
+  ThreadTrace& thread = trace.threads[0];
+  ASSERT_TRUE(thread.compile());
+
+  const analysis::Query interp =
+      analysis::Query::over(thread.grammar, &thread.timing);
+  const analysis::Query compiled =
+      analysis::Query::over_compiled(thread.compiled);
+  analysis::PhaseTree a;
+  analysis::PhaseTree b;
+  interp.phases(analysis::PhaseOptions{}, a);
+  compiled.phases(analysis::PhaseOptions{}, b);
+
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.timed, b.timed);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent) << i;
+    EXPECT_EQ(a.nodes[i].is_rule, b.nodes[i].is_rule) << i;
+    EXPECT_EQ(a.nodes[i].is_loop, b.nodes[i].is_loop) << i;
+    EXPECT_EQ(a.nodes[i].rule, b.nodes[i].rule) << i;
+    EXPECT_EQ(a.nodes[i].terminal, b.nodes[i].terminal) << i;
+    EXPECT_EQ(a.nodes[i].reps, b.nodes[i].reps) << i;
+    EXPECT_EQ(a.nodes[i].runs, b.nodes[i].runs) << i;
+    EXPECT_EQ(a.nodes[i].events, b.nodes[i].events) << i;
+    EXPECT_NEAR(a.nodes[i].time_ns, b.nodes[i].time_ns, 1e-3) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,124 @@
+// Analysis over an mmapped trace: Query::over_thread binds straight to
+// the mapped compiled section — no deserialization — and after the
+// constructor's one-time warm-up, phases() and event_at() make zero
+// allocator calls (this binary links pythia_alloc_hook, so every global
+// operator new/delete is counted).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/query.hpp"
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "core/trace_io.hpp"
+#include "harness/runner.hpp"
+#include "support/alloc_counter.hpp"
+#include "support/io.hpp"
+
+namespace pythia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(QueryMapped, MappedCompiledSectionAnswersWithoutDeserializing) {
+  apps::AppConfig config;
+  config.scale = 0.15;
+  Trace recorded = harness::record_reference(*apps::lulesh_app(), config);
+  ASSERT_FALSE(recorded.threads.empty());
+  ASSERT_TRUE(recorded.threads[0].compile());
+  const std::string path = temp_path("query_mapped.pythia");
+  recorded.save(path);
+
+  const Result<support::MappedFile> mapped = support::MappedFile::open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().to_string();
+  const Result<Trace> loaded =
+      load_trace_zero_copy(mapped.value().data(), mapped.value().size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  ASSERT_FALSE(loaded.value().threads.empty());
+  const ThreadTrace& thread = loaded.value().threads[0];
+  ASSERT_TRUE(thread.compiled.valid())
+      << "zero-copy load must bind the mapped compiled section";
+
+  const analysis::Query query = analysis::Query::over_thread(thread);
+  ASSERT_TRUE(query.valid());
+  EXPECT_TRUE(query.compiled()) << "must bind the compiled encoding";
+
+  // Same answers as the fully deserialized interpreted path.
+  const analysis::Query truth = analysis::Query::over(
+      recorded.threads[0].grammar, &recorded.threads[0].timing);
+  ASSERT_EQ(query.events(), truth.events());
+  ASSERT_EQ(query.rules(), truth.rules());
+  for (std::uint32_t i = 0; i < query.rules(); ++i) {
+    EXPECT_EQ(query.summaries().rules[i].exp_len,
+              truth.summaries().rules[i].exp_len)
+        << i;
+    EXPECT_EQ(query.summaries().rules[i].subtree_hash,
+              truth.summaries().rules[i].subtree_hash)
+        << i;
+  }
+  for (std::uint64_t i = 0; i < query.events(); i += 13) {
+    TerminalId a = 0;
+    TerminalId b = 0;
+    ASSERT_TRUE(query.event_at(i, a));
+    ASSERT_TRUE(truth.event_at(i, b));
+    EXPECT_EQ(a, b) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QueryMapped, AnalysisIsAllocationFreeAfterWarmup) {
+  if (!support::alloc_hook_active()) {
+    GTEST_SKIP() << "pythia_alloc_hook not linked into this binary";
+  }
+  apps::AppConfig config;
+  config.scale = 0.15;
+  Trace recorded = harness::record_reference(*apps::lulesh_app(), config);
+  ASSERT_FALSE(recorded.threads.empty());
+  ASSERT_TRUE(recorded.threads[0].compile());
+  const std::string path = temp_path("query_mapped_alloc.pythia");
+  recorded.save(path);
+
+  const Result<support::MappedFile> mapped = support::MappedFile::open(path);
+  ASSERT_TRUE(mapped.ok());
+  const Result<Trace> loaded =
+      load_trace_zero_copy(mapped.value().data(), mapped.value().size());
+  ASSERT_TRUE(loaded.ok());
+  const ThreadTrace& thread = loaded.value().threads[0];
+  ASSERT_TRUE(thread.compiled.valid());
+
+  // Warm-up: the query computes its summaries once; one phases() call
+  // grows the tree's capacity.
+  const analysis::Query query = analysis::Query::over_thread(thread);
+  ASSERT_TRUE(query.compiled());
+  analysis::PhaseTree tree;
+  const analysis::PhaseOptions options;
+  query.phases(options, tree);
+  TerminalId sink = 0;
+  (void)query.event_at(0, sink);
+
+  // Steady state: repeated analysis over the mapped tables allocates
+  // nothing at all.
+  const support::AllocSnapshot before = support::alloc_snapshot();
+  std::uint64_t checksum = 0;
+  for (int round = 0; round < 50; ++round) {
+    query.phases(options, tree);
+    checksum += tree.nodes.size();
+    for (std::uint64_t i = 0; i < query.events(); i += 101) {
+      TerminalId event = 0;
+      if (query.event_at(i, event)) checksum += event;
+    }
+  }
+  const support::AllocSnapshot delta = support::alloc_snapshot() - before;
+  EXPECT_EQ(delta.allocations, 0u)
+      << delta.allocations << " allocations (" << delta.bytes
+      << " bytes) across 50 warm analysis rounds";
+  EXPECT_GT(checksum, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pythia

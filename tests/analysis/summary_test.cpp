@@ -1,0 +1,222 @@
+// Rule summaries: O(grammar) facts about full expansions, checked
+// against ground truth from actual unfolding, on both encodings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interner.hpp"
+#include "analysis/lens.hpp"
+#include "analysis/query.hpp"
+#include "analysis/summary.hpp"
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "core/recorder.hpp"
+#include "core/trace_io.hpp"
+#include "harness/runner.hpp"
+
+namespace pythia {
+namespace {
+
+Grammar from_events(const std::vector<TerminalId>& events) {
+  Grammar grammar;
+  for (const TerminalId event : events) grammar.append(event);
+  grammar.finalize();
+  return grammar;
+}
+
+// Ground-truth expansion of one rule (test-only; the library never does
+// this).
+void unfold_rule_into(const Grammar& grammar, const Rule& rule,
+                      std::vector<TerminalId>& out) {
+  for (const Node* node = rule.head; node != nullptr; node = node->next) {
+    for (std::uint64_t rep = 0; rep < node->exp; ++rep) {
+      if (node->sym.is_terminal()) {
+        out.push_back(node->sym.terminal_id());
+      } else {
+        unfold_rule_into(grammar, *grammar.rule_by_id(node->sym.rule_id()),
+                         out);
+      }
+    }
+  }
+}
+
+std::vector<TerminalId> unfold_rule(const Grammar& grammar,
+                                    const Rule& rule) {
+  std::vector<TerminalId> out;
+  unfold_rule_into(grammar, rule, out);
+  return out;
+}
+
+std::vector<TerminalId> phased_trace() {
+  // 20 outer phases of (8 x (1 2)) followed by a 3.
+  std::vector<TerminalId> events;
+  for (int outer = 0; outer < 20; ++outer) {
+    for (int inner = 0; inner < 8; ++inner) {
+      events.push_back(1);
+      events.push_back(2);
+    }
+    events.push_back(3);
+  }
+  return events;
+}
+
+TEST(Summary, RootMatchesUnfold) {
+  const std::vector<TerminalId> events = phased_trace();
+  const Grammar grammar = from_events(events);
+  const analysis::RuleLens lens(grammar, nullptr);
+  const analysis::SummarySet set = analysis::compute_summaries(lens);
+
+  ASSERT_FALSE(set.rules.empty());
+  EXPECT_EQ(set.events, events.size());
+  EXPECT_EQ(set.root().exp_len, events.size());
+  EXPECT_EQ(set.root().occurrences, 1u);
+  EXPECT_EQ(set.root().first_terminal, events.front());
+  EXPECT_EQ(set.root().last_terminal, events.back());
+  EXPECT_FALSE(set.timed);
+
+  // Sketch covers exactly the terminals 1, 2, 3.
+  const std::uint64_t expected_sketch =
+      (1ull << (1 % 64)) | (1ull << (2 % 64)) | (1ull << (3 % 64));
+  EXPECT_EQ(set.root().terminal_sketch, expected_sketch);
+}
+
+TEST(Summary, PerRuleMatchesRuleUnfold) {
+  const Grammar grammar = from_events(phased_trace());
+  const analysis::RuleLens lens(grammar, nullptr);
+  const analysis::SummarySet set = analysis::compute_summaries(lens);
+
+  const std::vector<const Rule*> rules = grammar.rules();
+  ASSERT_EQ(rules.size(), set.rules.size());
+  for (std::size_t dense = 1; dense < rules.size(); ++dense) {
+    const std::vector<TerminalId> expansion =
+        unfold_rule(grammar, *rules[dense]);
+    const analysis::RuleSummary& summary = set.rules[dense];
+    EXPECT_EQ(summary.exp_len, expansion.size()) << "rule " << dense;
+    ASSERT_FALSE(expansion.empty());
+    EXPECT_EQ(summary.first_terminal, expansion.front()) << "rule " << dense;
+    EXPECT_EQ(summary.last_terminal, expansion.back()) << "rule " << dense;
+    for (const TerminalId t : expansion) {
+      EXPECT_NE(summary.terminal_sketch & (1ull << (t % 64)), 0u)
+          << "rule " << dense << " missing terminal " << t;
+    }
+    EXPECT_EQ(summary.occurrences, rules[dense]->occurrences)
+        << "rule " << dense;
+  }
+}
+
+TEST(Summary, TimingRollupCoversTrace) {
+  const std::vector<TerminalId> events = phased_trace();
+  const Grammar grammar = from_events(events);
+  // Synthetic timestamps: event i arrives at 100*i ns, so total recorded
+  // duration is 100 * (n - 1) (the first event has no arrival gap).
+  std::vector<std::uint64_t> times;
+  times.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) times.push_back(100 * i);
+  const TimingModel timing = TimingModel::replay(grammar, events, times);
+  ASSERT_FALSE(timing.empty());
+
+  const analysis::RuleLens lens(grammar, &timing);
+  const analysis::SummarySet set = analysis::compute_summaries(lens);
+  EXPECT_TRUE(set.timed);
+  const double expected_total = 100.0 * (events.size() - 1);
+  EXPECT_NEAR(set.root().total_time_ns, expected_total,
+              expected_total * 1e-9);
+  // Self time never exceeds the rollup.
+  for (const analysis::RuleSummary& summary : set.rules) {
+    EXPECT_LE(summary.self_time_ns, summary.total_time_ns + 1e-6);
+  }
+}
+
+TEST(Summary, CompiledEqualsInterpreted) {
+  apps::AppConfig config;
+  config.scale = 0.15;
+  Trace trace = harness::record_reference(*apps::lulesh_app(), config);
+  ASSERT_FALSE(trace.threads.empty());
+  ThreadTrace& thread = trace.threads[0];
+  ASSERT_TRUE(thread.compile());
+  ASSERT_TRUE(thread.compiled.valid());
+
+  const analysis::RuleLens interp(thread.grammar, &thread.timing);
+  const analysis::RuleLens compiled(thread.compiled);
+  ASSERT_EQ(interp.rule_count(), compiled.rule_count());
+
+  const analysis::SummarySet a = analysis::compute_summaries(interp);
+  const analysis::SummarySet b = analysis::compute_summaries(compiled);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.timed, b.timed);
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    const analysis::RuleSummary& x = a.rules[i];
+    const analysis::RuleSummary& y = b.rules[i];
+    EXPECT_EQ(x.exp_len, y.exp_len) << i;
+    EXPECT_EQ(x.occurrences, y.occurrences) << i;
+    EXPECT_EQ(x.body_nodes, y.body_nodes) << i;
+    EXPECT_EQ(x.depth, y.depth) << i;
+    EXPECT_EQ(x.first_terminal, y.first_terminal) << i;
+    EXPECT_EQ(x.last_terminal, y.last_terminal) << i;
+    EXPECT_EQ(x.terminal_sketch, y.terminal_sketch) << i;
+    EXPECT_EQ(x.subtree_hash, y.subtree_hash) << i;
+    EXPECT_EQ(x.self_samples, y.self_samples) << i;
+    EXPECT_NEAR(x.self_time_ns, y.self_time_ns, 1e-6) << i;
+    EXPECT_NEAR(x.total_time_ns, y.total_time_ns, 1e-3) << i;
+  }
+}
+
+TEST(Summary, InternerConsIdsAgreeAcrossGrammars) {
+  // The interner is exact: cross-grammar cons equality must mean
+  // identical expansions.
+  const std::vector<TerminalId> events = phased_trace();
+  const Grammar left = from_events(events);
+  const Grammar right = from_events(events);
+  analysis::RuleLens left_lens(left, nullptr);
+  analysis::RuleLens right_lens(right, nullptr);
+
+  analysis::SubtreeInterner interner;
+  std::vector<std::uint32_t> left_cons;
+  std::vector<std::uint32_t> right_cons;
+  interner.intern(left_lens, left_cons);
+  interner.intern(right_lens, right_cons);
+
+  // Same event stream, same construction: the grammars are isomorphic and
+  // every rule must land on the same cons id.
+  ASSERT_EQ(left_cons.size(), right_cons.size());
+  EXPECT_EQ(left_cons, right_cons);
+
+  // Cons-equal rules across the two grammars expand identically.
+  const std::vector<const Rule*> left_rules = left.rules();
+  const std::vector<const Rule*> right_rules = right.rules();
+  for (std::size_t i = 1; i < left_rules.size(); ++i) {
+    for (std::size_t j = 1; j < right_rules.size(); ++j) {
+      if (left_cons[i] != right_cons[j]) continue;
+      EXPECT_EQ(unfold_rule(left, *left_rules[i]),
+                unfold_rule(right, *right_rules[j]))
+          << "cons " << left_cons[i];
+    }
+  }
+}
+
+TEST(Summary, QueryEventAtMatchesUnfold) {
+  apps::AppConfig config;
+  config.scale = 0.1;
+  Trace trace = harness::record_reference(*apps::amr_app(), config);
+  ASSERT_FALSE(trace.threads.empty());
+  const ThreadTrace& thread = trace.threads[0];
+  const std::vector<TerminalId> events = thread.grammar.unfold();
+
+  const analysis::Query query =
+      analysis::Query::over(thread.grammar, &thread.timing);
+  ASSERT_TRUE(query.valid());
+  EXPECT_EQ(query.events(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    TerminalId got = 0;
+    ASSERT_TRUE(query.event_at(i, got)) << i;
+    EXPECT_EQ(got, events[i]) << i;
+  }
+  TerminalId past = 0;
+  EXPECT_FALSE(query.event_at(events.size(), past));
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,238 @@
+// kAnalyze: the serve daemon answers grammar-domain analytics requests.
+// The reply must equal a local analysis::Query over the same trace, the
+// op must sit behind hello + the per-tenant token bucket, and a phase
+// tree that cannot fit the frame cap must shed explicitly instead of
+// emitting a frame the client's decoder would reject.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/query.hpp"
+#include "core/trace_io.hpp"
+#include "serve/server.hpp"
+#include "serve_test_util.hpp"
+
+namespace pythia::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::CollectedFrame;
+using testutil::collect_frames;
+using testutil::frame_bytes;
+using testutil::hello_frame;
+using testutil::temp_dir;
+using testutil::write_trace_file;
+
+std::vector<std::uint8_t> analyze_frame(const AnalyzeMsg& msg,
+                                        std::uint64_t request_id) {
+  std::vector<std::uint8_t> payload;
+  encode_analyze(msg, payload);
+  return frame_bytes(MsgType::kAnalyze, request_id, payload);
+}
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = temp_dir("analyze");
+    trace_path_ = write_trace_file(dir_, "loop", 20);
+    ASSERT_FALSE(trace_path_.empty());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::unique_ptr<ServerCore> make_core(ServerOptions options = {}) {
+    auto core = std::make_unique<ServerCore>(options);
+    EXPECT_TRUE(core->registry().add("loop", trace_path_).ok());
+    return core;
+  }
+
+  /// Sends one analyze request on an introduced connection; returns the
+  /// parsed ack (asserting exactly one kAnalyzeAck reply).
+  AnalyzeAckMsg analyze(ServerCore& core, std::uint64_t conn,
+                        const AnalyzeMsg& msg,
+                        std::vector<AnalyzePhase>& phases,
+                        std::uint64_t now_ns = 1) {
+    const std::vector<std::uint8_t> bytes = analyze_frame(msg, ++request_);
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(core.on_bytes(conn, bytes.data(), bytes.size(), out, now_ns));
+    const std::vector<CollectedFrame> replies = collect_frames(out);
+    AnalyzeAckMsg ack;
+    EXPECT_EQ(replies.size(), 1u);
+    if (replies.empty()) return ack;
+    EXPECT_EQ(replies[0].type, MsgType::kAnalyzeAck);
+    EXPECT_TRUE(parse_analyze_ack(
+        WireReader(replies[0].payload.data(), replies[0].payload.size()), ack,
+        phases, 1u << 16));
+    return ack;
+  }
+
+  std::uint64_t introduced_connection(ServerCore& core) {
+    const std::uint64_t conn = core.connection_open();
+    const std::vector<std::uint8_t> hello = hello_frame("tenant", ++request_);
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(core.on_bytes(conn, hello.data(), hello.size(), out, 1));
+    return conn;
+  }
+
+  std::string dir_;
+  std::string trace_path_;
+  std::uint64_t request_ = 100;
+};
+
+TEST_F(AnalyzeTest, ReplyMatchesLocalQuery) {
+  auto core = make_core();
+  const std::uint64_t conn = introduced_connection(*core);
+
+  AnalyzeMsg msg;
+  msg.trace = "loop";
+  std::vector<AnalyzePhase> phases;
+  const AnalyzeAckMsg ack = analyze(*core, conn, msg, phases);
+  ASSERT_EQ(ack.code, ReplyCode::kOk);
+
+  // Ground truth: the same analysis run locally over the same file.
+  Result<Trace> loaded = Trace::try_load(trace_path_);
+  ASSERT_TRUE(loaded.ok());
+  const Trace truth = loaded.take();
+  const analysis::Query query = analysis::Query::over_thread(truth.threads[0]);
+  ASSERT_TRUE(query.valid());
+  analysis::PhaseOptions popts;
+  analysis::PhaseTree tree;
+  query.phases(popts, tree);
+
+  EXPECT_EQ(ack.events, tree.total_events);
+  EXPECT_EQ(ack.rules, query.rules());
+  EXPECT_EQ(ack.timed != 0, tree.timed);
+  EXPECT_EQ(ack.truncated != 0, tree.truncated);
+  ASSERT_EQ(phases.size(), tree.nodes.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const analysis::PhaseNode& want = tree.nodes[i];
+    EXPECT_EQ(phases[i].parent, want.parent) << i;
+    EXPECT_EQ(phases[i].depth, want.depth) << i;
+    EXPECT_EQ(phases[i].is_rule(), want.is_rule) << i;
+    EXPECT_EQ(phases[i].is_loop(), want.is_loop) << i;
+    EXPECT_EQ(phases[i].rule, want.rule) << i;
+    EXPECT_EQ(phases[i].terminal, want.terminal) << i;
+    EXPECT_EQ(phases[i].reps, want.reps) << i;
+    EXPECT_EQ(phases[i].runs, want.runs) << i;
+    EXPECT_EQ(phases[i].events, want.events) << i;
+    EXPECT_DOUBLE_EQ(phases[i].time_ns, want.time_ns) << i;
+  }
+  // The loop trace is 20 x (a b c): the root covers all 60 events and
+  // some node must be flagged as the loop carrying (nearly) everything.
+  EXPECT_EQ(ack.events, 60u);
+  bool found_loop = false;
+  for (const AnalyzePhase& phase : phases) {
+    if (phase.is_loop() && phase.events >= 54u) found_loop = true;
+  }
+  EXPECT_TRUE(found_loop);
+}
+
+TEST_F(AnalyzeTest, RequiresHelloFirst) {
+  auto core = make_core();
+  const std::uint64_t conn = core->connection_open();
+  AnalyzeMsg msg;
+  msg.trace = "loop";
+  const std::vector<std::uint8_t> bytes = analyze_frame(msg, 1);
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(core->on_bytes(conn, bytes.data(), bytes.size(), out, 1));
+  const std::vector<CollectedFrame> replies = collect_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+}
+
+TEST_F(AnalyzeTest, UnknownTraceIsNotFound) {
+  auto core = make_core();
+  const std::uint64_t conn = introduced_connection(*core);
+  AnalyzeMsg msg;
+  msg.trace = "nope";
+  std::vector<AnalyzePhase> phases;
+  const AnalyzeAckMsg ack = analyze(*core, conn, msg, phases);
+  EXPECT_EQ(ack.code, ReplyCode::kNotFound);
+  EXPECT_TRUE(phases.empty());
+}
+
+TEST_F(AnalyzeTest, MalformedPayloadIsBadRequest) {
+  auto core = make_core();
+  const std::uint64_t conn = introduced_connection(*core);
+  const std::vector<std::uint8_t> bytes =
+      frame_bytes(MsgType::kAnalyze, 9, {0x01, 0x02});
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(core->on_bytes(conn, bytes.data(), bytes.size(), out, 1));
+  const std::vector<CollectedFrame> replies = collect_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MsgType::kError);
+}
+
+TEST_F(AnalyzeTest, OversizedResponseShedsInsteadOfOverflowingFrame) {
+  // A frame cap smaller than the phase tree's wire size: the server must
+  // answer kShed with truncated set and an empty tree — never emit a
+  // frame the peer's decoder would have to reject.
+  ServerOptions options;
+  options.wire.max_payload = 128;  // header fits, any real tree does not
+  auto core = make_core(options);
+  const std::uint64_t conn = introduced_connection(*core);
+
+  AnalyzeMsg msg;
+  msg.trace = "loop";
+  std::vector<AnalyzePhase> phases;
+  const std::uint64_t shed_before = core->stats().shed;
+  const AnalyzeAckMsg ack = analyze(*core, conn, msg, phases);
+  EXPECT_EQ(ack.code, ReplyCode::kShed);
+  EXPECT_NE(ack.truncated, 0);
+  EXPECT_TRUE(phases.empty());
+  EXPECT_EQ(core->stats().shed, shed_before + 1);
+  EXPECT_LE(analyze_ack_bytes(phases.size()), options.wire.max_payload);
+}
+
+TEST_F(AnalyzeTest, NodeBudgetIsClampedToServerCap) {
+  ServerOptions options;
+  options.max_analyze_nodes = 2;
+  auto core = make_core(options);
+  const std::uint64_t conn = introduced_connection(*core);
+
+  AnalyzeMsg msg;
+  msg.trace = "loop";
+  msg.max_nodes = 100000;  // request far beyond the server's cap
+  std::vector<AnalyzePhase> phases;
+  const AnalyzeAckMsg ack = analyze(*core, conn, msg, phases);
+  ASSERT_EQ(ack.code, ReplyCode::kOk);
+  EXPECT_LE(phases.size(), 2u);
+  EXPECT_NE(ack.truncated, 0);
+}
+
+TEST_F(AnalyzeTest, FloodIsShedByTheTokenBucket) {
+  // Analytics share the per-tenant token bucket with predict traffic: a
+  // burst beyond the bucket capacity sheds with kShed.
+  TenantLimits tight;
+  tight.rate_per_sec = 1.0;
+  tight.burst = 3.0;
+  ServerOptions options;
+  options.tenant_defaults = tight;
+  auto core = make_core(options);
+  const std::uint64_t conn = introduced_connection(*core);
+
+  AnalyzeMsg msg;
+  msg.trace = "loop";
+  std::vector<AnalyzePhase> phases;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const AnalyzeAckMsg ack = analyze(*core, conn, msg, phases, /*now_ns=*/1);
+    if (ack.code == ReplyCode::kOk) ++ok;
+    if (ack.code == ReplyCode::kShed) ++shed;
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(ok + shed, 10u);
+
+  // The bucket refills with time: a later request is admitted again.
+  const AnalyzeAckMsg later =
+      analyze(*core, conn, msg, phases, /*now_ns=*/1 + 5'000'000'000ull);
+  EXPECT_EQ(later.code, ReplyCode::kOk);
+}
+
+}  // namespace
+}  // namespace pythia::serve

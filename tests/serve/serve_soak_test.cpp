@@ -117,16 +117,92 @@ TenantOutcome run_tenant(int fd, const std::string& name, int rounds) {
   return outcome;
 }
 
+/// A flat loop over many distinct events: its phase tree has one node
+/// per terminal, so a generous node budget produces a reply bigger than
+/// a small frame cap — the oversized-response shed path.
+std::string write_busy_trace_file(const std::string& dir) {
+  Trace trace;
+  std::vector<TerminalId> ids;
+  for (int i = 0; i < 48; ++i) {
+    ids.push_back(trace.registry.intern("step_" + std::to_string(i)));
+  }
+  Oracle oracle = Oracle::record(false);
+  for (int lap = 0; lap < 8; ++lap) {
+    for (const TerminalId id : ids) oracle.event(id);
+  }
+  trace.threads.push_back(oracle.finish());
+  const std::string path = dir + "/busy.pythia";
+  if (!trace.try_save(path).ok()) return "";
+  return path;
+}
+
+struct AnalystOutcome {
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t oversized_shed = 0;  ///< kShed with truncated set
+  std::uint64_t other = 0;
+  std::uint64_t transport_errors = 0;
+};
+
+/// The analyst tenant: hammers kAnalyze against the busy trace,
+/// alternating a polite node budget with a deliberately huge one whose
+/// reply cannot fit the daemon's frame cap.
+AnalystOutcome run_analyst(int fd, int rounds) {
+  AnalystOutcome outcome;
+  ClientOptions options;
+  options.tenant = "analyst";
+  options.request_timeout_ms = 5000;
+  options.max_retries = 1;
+  PredictClient client(options);
+  if (!client.connect_fd(fd).ok()) {
+    ++outcome.transport_errors;
+    return outcome;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    const bool huge = i % 2 == 1;
+    auto analyzed = client.analyze("busy", 0, /*max_depth=*/4,
+                                   /*max_nodes=*/huge ? 4096 : 8,
+                                   /*min_coverage_permille=*/1);
+    if (!analyzed.ok()) {
+      ++outcome.transport_errors;
+      continue;
+    }
+    const auto& result = analyzed.value();
+    switch (result.code) {
+      case ReplyCode::kOk:
+        ++outcome.ok;
+        break;
+      case ReplyCode::kShed:
+        ++outcome.shed;
+        if (huge && result.truncated && result.phases.empty()) {
+          ++outcome.oversized_shed;
+        }
+        break;
+      default:
+        ++outcome.other;
+        break;
+    }
+  }
+  return outcome;
+}
+
 TEST(ServeSoak, ConcurrentTenantsSurviveHostileTraffic) {
   const std::string dir = temp_dir("soak");
   const std::string trace_path = write_trace_file(dir, "loop", 20);
   ASSERT_FALSE(trace_path.empty());
+  const std::string busy_path = write_busy_trace_file(dir);
+  ASSERT_FALSE(busy_path.empty());
 
   DaemonOptions options;
   options.server.registry.manifest_path = dir + "/manifest.psrv";
   options.max_output_buffer = 4096;  // makes the slow reader detectable
+  // Frame cap small enough that the busy trace's full phase tree cannot
+  // fit (but a predict reply or an 8-node tree easily does): the
+  // analyst's greedy requests must shed, not wedge its decoder.
+  options.server.wire.max_payload = 2048;
   Daemon daemon(options);
   ASSERT_TRUE(daemon.core().registry().add("loop", trace_path).ok());
+  ASSERT_TRUE(daemon.core().registry().add("busy", busy_path).ok());
   // The flooding tenant gets a starvation budget before the loop starts
   // (admission is loop-thread state once serving begins).
   TenantLimits tight;
@@ -185,6 +261,15 @@ TEST(ServeSoak, ConcurrentTenantsSurviveHostileTraffic) {
     (void)run_tenant(fd, "flood", 300);
   });
 
+  // --- the analyst: kAnalyze traffic, half of it oversized ----------
+  int analyst_pair[2];
+  ASSERT_EQ(make_socketpair(analyst_pair), 0);
+  ASSERT_TRUE(daemon.adopt(analyst_pair[0]).ok());
+  AnalystOutcome analyst_outcome;
+  std::thread analyst([&analyst_outcome, fd = analyst_pair[1]] {
+    analyst_outcome = run_analyst(fd, 60);
+  });
+
   // --- the healthy tenants ------------------------------------------
   constexpr int kTenants = 3;
   constexpr int kRounds = 150;
@@ -214,8 +299,16 @@ TEST(ServeSoak, ConcurrentTenantsSurviveHostileTraffic) {
   corruptor.join();
   slow_reader.join();
   flooder.join();
+  analyst.join();
   for (auto& tenant : tenants) tenant.join();
   daemon.stop();
+
+  // The analyst: every call answered; the polite requests succeeded and
+  // every greedy request shed as an explicit oversized-response kShed.
+  EXPECT_EQ(analyst_outcome.transport_errors, 0u);
+  EXPECT_EQ(analyst_outcome.other, 0u);
+  EXPECT_GE(analyst_outcome.ok, 30u);
+  EXPECT_GE(analyst_outcome.oversized_shed, 30u);
 
   // Healthy tenants: every request answered, and answered usefully.
   for (int t = 0; t < kTenants; ++t) {
