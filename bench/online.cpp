@@ -22,11 +22,40 @@
 // often — while the ratio gate still holds, because a withheld oracle
 // is a no-op.
 //
+// A second phase, snapshot_rebuild, isolates the publish path itself:
+// for each regular app's recorded stream (and the longest stream again
+// at 3x scale) it times every snapshot publish twice — through the
+// IncrementalFinalizer (O(rules changed)) and through full log replay
+// (O(log)) — at the oracle's own geometric cadence, and converts the
+// latencies into staleness: how many events arrive while the snapshot
+// is being built, at the measured ingest rate. Each publish is measured
+// two ways:
+//   * structural — the grammar sync + refinalize that produces the
+//     servable finalized grammar (vs full Sequitur replay + finalize).
+//     This is the O(rules-changed) pipeline and what --strict gates.
+//   * timed — structural plus the timing-model rollup. The rollup is
+//     bit-identical to a full TimingModel::replay, and that contract
+//     makes it Theta(positions whose ≤4-level context changed): when a
+//     loopy stream regroups a shared rule between two publishes (tail
+//     carves, accumulator regrouping), the full-rebuild model itself
+//     genuinely differs at O(log) positions, so ANY bit-identical
+//     incremental rollup must do that work. The finalizer bounds it at
+//     one log sweep per publish (see incremental_finalize.hpp) and the
+//     bench reports the resulting speedup honestly, separate from the
+//     structural gate.
+//
 // --strict (or PYTHIA_BENCH_STRICT=1) gates:
 //   * online <= 1.05x vanilla for EVERY app (never-worse acceptance),
 //   * every regular app long enough to ramp (>= 600 events/rank) starts
-//     serving (first_served_event > 0).
+//     serving (first_served_event > 0),
+//   * the 3x-scale rebuild: incremental structural publish >= 5x faster
+//     than full replay at the final (largest) publish. Wall-clock on a
+//     noisy 1-core CI box is the caveat here, so the gate compares the
+//     same machine against itself in the same process, and self-skips
+//     when the recorded stream is too short for the asymptotic gap to
+//     show.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -34,6 +63,9 @@
 
 #include "apps/catalog.hpp"
 #include "bench/bench_util.hpp"
+#include "core/grammar.hpp"
+#include "core/incremental_finalize.hpp"
+#include "core/timing.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
 
@@ -143,6 +175,237 @@ void write_report(bench::JsonWriter& json, const AppReport& report) {
   json.end_object();
 }
 
+// --- snapshot_rebuild phase -------------------------------------------------
+
+struct RebuildReport {
+  std::string name;
+  double scale_mult = 1.0;
+  std::uint64_t events = 0;
+  std::uint64_t publishes = 0;
+  double inc_p50_us = 0.0;
+  double inc_p95_us = 0.0;
+  double full_p50_us = 0.0;
+  double full_p95_us = 0.0;
+  double speedup_p50 = 0.0;
+  /// full/incremental (timed publish: structural + timing rollup) at the
+  /// final publish — the largest snapshot.
+  double speedup_last = 0.0;
+  /// Structural publish only: grammar sync + refinalize vs full Sequitur
+  /// replay + finalize. O(rules changed) vs O(log) — the --strict gate.
+  double inc_struct_p50_us = 0.0;
+  double inc_struct_p95_us = 0.0;
+  double full_struct_p50_us = 0.0;
+  double full_struct_p95_us = 0.0;
+  double speedup_struct_p50 = 0.0;
+  double speedup_struct_last = 0.0;
+  double events_per_sec = 0.0;
+  /// Events arriving during a p95-latency publish at the measured ingest
+  /// rate — the prediction staleness a publish imposes on the ramp.
+  double staleness_full_p95 = 0.0;
+  double staleness_inc_p95 = 0.0;
+  /// The incremental finalizer's own accounting of the final publish:
+  /// how much actually changed, and how much replay the sync needed.
+  IncrementalFinalizer::PublishStats final_stats;
+};
+
+double percentile_us(std::vector<double> latencies_us, double p) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const std::size_t index = std::min(
+      latencies_us.size() - 1,
+      static_cast<std::size_t>(p * (latencies_us.size() - 1) + 0.5));
+  return latencies_us[index];
+}
+
+RebuildReport measure_rebuild(const apps::App& app, double scale,
+                              double mult) {
+  using clock_type = std::chrono::steady_clock;
+  const auto elapsed_us = [](clock_type::time_point t0) {
+    return std::chrono::duration<double, std::micro>(clock_type::now() - t0)
+        .count();
+  };
+
+  RebuildReport report;
+  report.name = app.name();
+  report.scale_mult = mult;
+
+  harness::RunConfig record;
+  record.mode = harness::Mode::kRecord;
+  record.app.scale = scale * mult;
+  const harness::RunResult run = run_app(app, record);
+  std::vector<TerminalId> stream;
+  if (!run.trace.threads.empty()) {
+    stream = run.trace.threads[0].grammar.unfold();
+  }
+  report.events = stream.size();
+  if (stream.size() < 64) return report;
+
+  // Synthetic fixed-gap timestamps: both paths carry the timing-model
+  // cost a timestamped online run pays.
+  std::vector<TimedEvent> log;
+  log.reserve(stream.size());
+  std::uint64_t clock = 0;
+  for (TerminalId event : stream) {
+    clock += 1000;
+    log.push_back(TimedEvent::make(event, clock));
+  }
+
+  // Publish points: OnlineOracle's default geometric cadence, then a
+  // short steady-state interval at the largest size — the final publish
+  // covers only the last 256 events. That last point is where the
+  // O(changed-rules) claim is visible (and what --strict gates): under a
+  // purely geometric cadence the interval itself is ~N/3 events, and
+  // replaying it dominates BOTH paths, bounding any speedup at about
+  // growth/(growth-1) regardless of how cheap the incremental sync is.
+  std::vector<std::size_t> points;
+  std::size_t next = 256;
+  while (next < log.size()) {
+    points.push_back(next);
+    next = static_cast<std::size_t>(static_cast<double>(next) * 1.5) + 1;
+  }
+  if (log.size() > 512 &&
+      (points.empty() || log.size() - 256 > points.back())) {
+    points.push_back(log.size() - 256);
+  }
+  points.push_back(log.size());
+  report.publishes = points.size();
+
+  // Ingest rate (plain appends) converts latency into staleness.
+  {
+    Grammar grammar;
+    const auto t0 = clock_type::now();
+    for (TerminalId event : stream) grammar.append(event);
+    const double us = elapsed_us(t0);
+    report.events_per_sec =
+        us > 0.0 ? static_cast<double>(stream.size()) / (us * 1e-6) : 0.0;
+  }
+
+  std::vector<double> inc_us;
+  std::vector<double> inc_struct_us;
+  std::vector<double> full_us;
+  std::vector<double> full_struct_us;
+  {
+    // Timed publishes: structural sync + timing rollup.
+    Grammar live;
+    live.enable_dirty_tracking();
+    IncrementalFinalizer finalizer;
+    std::vector<TimedEvent> seen;
+    seen.reserve(log.size());
+    std::size_t fed = 0;
+    for (std::size_t point : points) {
+      for (; fed < point; ++fed) {
+        live.append(log[fed].event);
+        seen.push_back(log[fed]);
+      }
+      const auto t0 = clock_type::now();
+      finalizer.publish(live, seen, /*timestamped=*/true);
+      inc_us.push_back(elapsed_us(t0));
+    }
+    report.final_stats = finalizer.stats();
+  }
+  {
+    // Structural publishes only (untimed log): the O(rules-changed)
+    // grammar sync + refinalize the serving path hot-swaps.
+    Grammar live;
+    live.enable_dirty_tracking();
+    IncrementalFinalizer finalizer;
+    std::vector<TimedEvent> seen;
+    seen.reserve(log.size());
+    std::size_t fed = 0;
+    for (std::size_t point : points) {
+      for (; fed < point; ++fed) {
+        live.append(log[fed].event);
+        seen.push_back(log[fed]);
+      }
+      const auto t0 = clock_type::now();
+      finalizer.publish(live, seen, /*timestamped=*/false);
+      inc_struct_us.push_back(elapsed_us(t0));
+    }
+  }
+  for (std::size_t point : points) {
+    // What OnlineOracle's full_rebuild path does per publish: replay the
+    // whole log prefix into a fresh grammar, finalize, replay timing.
+    // The intermediate mark splits the structural rebuild (append +
+    // finalize) from the timing replay.
+    std::vector<TimedEvent> prefix(log.begin(),
+                                   log.begin() + static_cast<long>(point));
+    const auto t0 = clock_type::now();
+    Grammar grammar;
+    for (const TimedEvent& event : prefix) grammar.append(event.event);
+    grammar.finalize();
+    full_struct_us.push_back(elapsed_us(t0));
+    const TimingModel timing = TimingModel::replay(grammar, prefix);
+    (void)timing;
+    full_us.push_back(elapsed_us(t0));
+  }
+
+  report.inc_p50_us = percentile_us(inc_us, 0.50);
+  report.inc_p95_us = percentile_us(inc_us, 0.95);
+  report.full_p50_us = percentile_us(full_us, 0.50);
+  report.full_p95_us = percentile_us(full_us, 0.95);
+  report.speedup_p50 = report.inc_p50_us > 0.0
+                           ? report.full_p50_us / report.inc_p50_us
+                           : 0.0;
+  report.speedup_last =
+      inc_us.back() > 0.0 ? full_us.back() / inc_us.back() : 0.0;
+  report.inc_struct_p50_us = percentile_us(inc_struct_us, 0.50);
+  report.inc_struct_p95_us = percentile_us(inc_struct_us, 0.95);
+  report.full_struct_p50_us = percentile_us(full_struct_us, 0.50);
+  report.full_struct_p95_us = percentile_us(full_struct_us, 0.95);
+  report.speedup_struct_p50 =
+      report.inc_struct_p50_us > 0.0
+          ? report.full_struct_p50_us / report.inc_struct_p50_us
+          : 0.0;
+  report.speedup_struct_last =
+      inc_struct_us.back() > 0.0
+          ? full_struct_us.back() / inc_struct_us.back()
+          : 0.0;
+  report.staleness_full_p95 =
+      report.full_p95_us * 1e-6 * report.events_per_sec;
+  report.staleness_inc_p95 =
+      report.inc_p95_us * 1e-6 * report.events_per_sec;
+  return report;
+}
+
+void write_rebuild(bench::JsonWriter& json, const RebuildReport& report) {
+  json.begin_object(report.name + "@" +
+                    support::strf("%.0fx", report.scale_mult));
+  json.field("events", report.events);
+  json.field("publishes", report.publishes);
+  json.field("incremental_p50_us", report.inc_p50_us);
+  json.field("incremental_p95_us", report.inc_p95_us);
+  json.field("full_p50_us", report.full_p50_us);
+  json.field("full_p95_us", report.full_p95_us);
+  json.field("speedup_p50", report.speedup_p50);
+  json.field("speedup_last", report.speedup_last);
+  json.field("incremental_structural_p50_us", report.inc_struct_p50_us);
+  json.field("incremental_structural_p95_us", report.inc_struct_p95_us);
+  json.field("full_structural_p50_us", report.full_struct_p50_us);
+  json.field("full_structural_p95_us", report.full_struct_p95_us);
+  json.field("speedup_structural_p50", report.speedup_struct_p50);
+  json.field("speedup_structural_last", report.speedup_struct_last);
+  json.field("events_per_sec", report.events_per_sec);
+  json.field("staleness_full_p95_events", report.staleness_full_p95);
+  json.field("staleness_incremental_p95_events", report.staleness_inc_p95);
+  json.field("final_dirty_rules",
+             static_cast<std::uint64_t>(report.final_stats.last_dirty_rules));
+  json.field("final_changed_rules",
+             static_cast<std::uint64_t>(
+                 report.final_stats.last_changed_rules));
+  json.field("final_closure_rules",
+             static_cast<std::uint64_t>(
+                 report.final_stats.last_closure_rules));
+  json.field("final_clean_prefix",
+             static_cast<std::uint64_t>(report.final_stats.last_clean_prefix));
+  json.field("final_subtracted",
+             static_cast<std::uint64_t>(report.final_stats.last_subtracted));
+  json.field("final_added",
+             static_cast<std::uint64_t>(report.final_stats.last_added));
+  json.field("timing_rebuilds",
+             static_cast<std::uint64_t>(report.final_stats.timing_rebuilds));
+  json.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +437,19 @@ int main(int argc, char** argv) {
     reports.push_back(measure(*app, /*irregular=*/true, scale));
   }
 
+  // snapshot_rebuild phase: every regular app at 1x, the longest stream
+  // again at 3x — the largest pinned size, where the strict gate applies.
+  std::vector<RebuildReport> rebuilds;
+  for (const apps::App* app : apps::all_apps()) {
+    rebuilds.push_back(measure_rebuild(*app, scale, 1.0));
+  }
+  std::size_t longest = 0;
+  for (std::size_t i = 1; i < rebuilds.size(); ++i) {
+    if (rebuilds[i].events > rebuilds[longest].events) longest = i;
+  }
+  const apps::App* gate_app = apps::all_apps()[longest];
+  rebuilds.push_back(measure_rebuild(*gate_app, scale, 3.0));
+
   support::Table table({"app", "vanilla (s)", "online (s)", "ratio",
                         "1st served", "withheld", "trips", "accuracy",
                         "rules"});
@@ -199,12 +475,45 @@ int main(int argc, char** argv) {
       "  withhold more and trip more — but the ratio stays ~1 because a\n"
       "  withheld oracle is a no-op (never-worse acceptance).\n");
 
+  support::Table rebuild_table(
+      {"app", "events", "publishes", "inc p50 (us)", "inc p95 (us)",
+       "full p50 (us)", "full p95 (us)", "timed@max", "struct@max",
+       "stale inc/full"});
+  for (const RebuildReport& report : rebuilds) {
+    rebuild_table.add_row(
+        {report.name + support::strf(" @%.0fx", report.scale_mult),
+         support::strf("%llu", static_cast<unsigned long long>(report.events)),
+         support::strf("%llu",
+                       static_cast<unsigned long long>(report.publishes)),
+         support::strf("%.1f", report.inc_p50_us),
+         support::strf("%.1f", report.inc_p95_us),
+         support::strf("%.1f", report.full_p50_us),
+         support::strf("%.1f", report.full_p95_us),
+         support::strf("%.1fx", report.speedup_last),
+         support::strf("%.1fx", report.speedup_struct_last),
+         support::strf("%.1f/%.1f", report.staleness_inc_p95,
+                       report.staleness_full_p95)});
+  }
+  std::printf(
+      "\nsnapshot_rebuild: publish latency through the incremental\n"
+      "finalizer vs full log replay, at the oracle's own publish cadence;\n"
+      "staleness = events arriving during a p95 publish at the measured\n"
+      "ingest rate. struct@max = structural publish (grammar sync +\n"
+      "refinalize vs Sequitur replay + finalize) at the largest snapshot —\n"
+      "the O(rules-changed) pipeline and the --strict gate. timed@max adds\n"
+      "the timing-model rollup, which bit-identity makes Theta(positions\n"
+      "whose context changed) when the stream regroups shared rules.\n");
+  rebuild_table.print();
+
   if (!out_path.empty()) {
     bench::JsonWriter json;
     json.field("schema", std::string("pythia-bench-online-v1"));
     json.field("scale", scale);
     json.begin_object("apps");
     for (const AppReport& report : reports) write_report(json, report);
+    json.end_object();
+    json.begin_object("snapshot_rebuild");
+    for (const RebuildReport& report : rebuilds) write_rebuild(json, report);
     json.end_object();
     if (!json.write_file(out_path)) {
       std::fprintf(stderr, "online: failed to write %s\n", out_path.c_str());
@@ -234,8 +543,29 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+    // Incremental-publish gate, on the largest pinned size (the 3x
+    // rerun's final publish). Self-skips when the recorded stream is too
+    // short for the asymptotic gap to dominate constant costs — small
+    // scales and 1-core CI noise would make the gate flaky, not wrong.
+    const RebuildReport& gate = rebuilds.back();
+    if (gate.events < 4096) {
+      std::printf(
+          "strict: snapshot_rebuild gate skipped (%llu events at 3x is "
+          "below the 4096-event floor; rerun with PYTHIA_FULL=1)\n",
+          static_cast<unsigned long long>(gate.events));
+    } else if (gate.speedup_struct_last < 5.0) {
+      std::fprintf(stderr,
+                   "STRICT FAIL: %s@3x incremental structural publish only "
+                   "%.1fx faster than full replay at the largest snapshot "
+                   "(gate: >= 5x; timed rollup measured %.1fx)\n",
+                   gate.name.c_str(), gate.speedup_struct_last,
+                   gate.speedup_last);
+      ok = false;
+    }
     if (!ok) return 1;
-    std::printf("strict gates passed: never-worse + regular apps serve\n");
+    std::printf(
+        "strict gates passed: never-worse + regular apps serve + "
+        "incremental structural publish >= 5x\n");
   }
   return 0;
 }

@@ -274,6 +274,25 @@ int main(int argc, char** argv) {
     for (const std::string& note : info.notes) {
       std::printf("  note: %s\n", note.c_str());
     }
+    // Online sessions leave a publish-telemetry sidecar (written
+    // atomically after every snapshot publish): how the oracle was
+    // building snapshots — incremental vs full replay — and what the
+    // last completed publish cost, as of the moment the process died.
+    std::vector<unsigned char> telemetry;
+    if (support::read_file(arg + "/online_telemetry", telemetry).ok() &&
+        !telemetry.empty()) {
+      std::printf("  online publish telemetry (last completed publish):\n");
+      std::string line;
+      for (unsigned char c : telemetry) {
+        if (c == '\n') {
+          if (!line.empty()) std::printf("    %s\n", line.c_str());
+          line.clear();
+        } else {
+          line += static_cast<char>(c);
+        }
+      }
+      if (!line.empty()) std::printf("    %s\n", line.c_str());
+    }
     std::printf("\n");
   } else {
     Result<Trace> result = Trace::try_load(arg);

@@ -1,6 +1,7 @@
 #include "core/compile.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -42,12 +43,62 @@ void append_first_terms(const std::uint32_t* terms, std::uint32_t terms_len,
   }
 }
 
-}  // namespace
+/// All intermediate tables of one compile. compile_thread uses a fresh
+/// one per call; DeltaCompiler keeps two (current + previous) so buffer
+/// capacity persists across publishes and the previous call's tables stay
+/// around for byte comparison.
+struct CompileScratch {
+  std::unordered_map<std::uint32_t, std::uint32_t> rule_index;
+  std::vector<CompiledNode> nodes;
+  std::vector<std::uint32_t> topo;
+  std::vector<int> topo_state;
+  std::vector<std::pair<std::uint32_t, const Node*>> topo_stack;
+  std::vector<std::uint64_t> rule_len;
+  std::vector<std::array<std::uint32_t, kCompiledMaxK>> rule_head_terms;
+  std::vector<std::uint32_t> rule_head_len;
+  std::vector<CompiledNodeTail> tails;
+  std::vector<std::uint32_t> expansions;
+  std::vector<std::uint32_t> flat_index;
+  std::vector<CompiledRule> rules;
+  std::vector<std::uint32_t> users;
+  std::vector<CompiledOccSpan> occ_spans;
+  std::vector<std::uint32_t> occ_nodes;
+  std::vector<CompiledTimingEntry> timing_entries;
+  std::vector<CompiledAnchorPred> anchor_pred;
+};
 
-std::vector<unsigned char> compile_thread(const Grammar& grammar,
-                                          const TimingModel* timing,
-                                          std::uint64_t grammar_digest,
-                                          const CompileOptions& options) {
+template <typename T>
+bool same_bytes(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// Byte equality of every table the anchor-prediction computation can
+/// observe: the interpreted predictor sees structure (nodes/tails),
+/// occurrence spans and counts, and canonical user lists — not the flat
+/// expansions and not timing. Equal tables imply an identical grammar as
+/// far as the (deterministic) predictor is concerned, so the previous
+/// anchor table is exact, not approximate.
+bool same_structure(const CompileScratch& a, const CompileScratch& b) {
+  return same_bytes(a.nodes, b.nodes) && same_bytes(a.tails, b.tails) &&
+         same_bytes(a.rules, b.rules) &&
+         same_bytes(a.occ_spans, b.occ_spans) &&
+         same_bytes(a.occ_nodes, b.occ_nodes) && same_bytes(a.users, b.users);
+}
+
+/// The single lowering pipeline behind compile_thread and DeltaCompiler.
+/// Every table is rebuilt with assign() (zero-filled, capacity reused) so
+/// a recycled scratch produces bytes identical to a fresh one. When
+/// `prev` holds a structurally identical compile, its anchor-prediction
+/// table is copied instead of recomputed (`*anchor_reused` = true).
+std::vector<unsigned char> compile_impl(const Grammar& grammar,
+                                        const TimingModel* timing,
+                                        std::uint64_t grammar_digest,
+                                        const CompileOptions& options,
+                                        CompileScratch& s,
+                                        const CompileScratch* prev,
+                                        bool* anchor_reused) {
   if (!grammar.finalized() || grammar.sequence_length() == 0) return {};
   const std::vector<const Rule*> live = grammar.rules();
   if (live.empty() || live.front()->id != 0) return {};
@@ -60,14 +111,16 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   // Dense rule indices in creation order (root == 0), matching the
   // PYTHIA02 grammar serialization's remap — a grammar reloaded from the
   // same file reproduces these indices exactly.
-  std::unordered_map<std::uint32_t, std::uint32_t> rule_index;
+  std::unordered_map<std::uint32_t, std::uint32_t>& rule_index = s.rule_index;
+  rule_index.clear();
   rule_index.reserve(live.size());
   for (std::size_t i = 0; i < live.size(); ++i) {
     rule_index[live[i]->id] = static_cast<std::uint32_t>(i);
   }
 
   // --- node table ---------------------------------------------------------
-  std::vector<CompiledNode> nodes(node_count);
+  std::vector<CompiledNode>& nodes = s.nodes;
+  nodes.assign(node_count, CompiledNode{});
   std::uint32_t max_terminal = 0;
   bool any_terminal = false;
   for (std::size_t i = 0; i < node_count; ++i) {
@@ -94,11 +147,14 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
 
   // --- topological order of rules by body reference (children first) -----
   const std::uint32_t rule_count = static_cast<std::uint32_t>(live.size());
-  std::vector<std::uint32_t> topo;
+  std::vector<std::uint32_t>& topo = s.topo;
+  topo.clear();
   topo.reserve(rule_count);
   {
-    std::vector<int> state(rule_count, 0);
-    std::vector<std::pair<std::uint32_t, const Node*>> stack;
+    std::vector<int>& state = s.topo_state;
+    state.assign(rule_count, 0);
+    std::vector<std::pair<std::uint32_t, const Node*>>& stack = s.topo_stack;
+    stack.clear();
     for (std::uint32_t r = 0; r < rule_count; ++r) {
       if (state[r] != 0) continue;
       state[r] = 1;
@@ -129,10 +185,14 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   }
 
   // --- per-rule expansion lengths and first-k terminals -------------------
-  std::vector<std::uint64_t> rule_len(rule_count, 0);
-  std::vector<std::array<std::uint32_t, kCompiledMaxK>> rule_head_terms(
-      rule_count);
-  std::vector<std::uint32_t> rule_head_len(rule_count, 0);
+  std::vector<std::uint64_t>& rule_len = s.rule_len;
+  rule_len.assign(rule_count, 0);
+  std::vector<std::array<std::uint32_t, kCompiledMaxK>>& rule_head_terms =
+      s.rule_head_terms;
+  rule_head_terms.assign(rule_count,
+                         std::array<std::uint32_t, kCompiledMaxK>{});
+  std::vector<std::uint32_t>& rule_head_len = s.rule_head_len;
+  rule_head_len.assign(rule_count, 0);
   for (const std::uint32_t r : topo) {
     std::uint64_t len = 0;
     std::uint32_t head_len = 0;
@@ -156,28 +216,31 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   }
 
   // --- per-node tails -----------------------------------------------------
-  std::vector<CompiledNodeTail> tails(node_count);
+  std::vector<CompiledNodeTail>& tails = s.tails;
+  tails.assign(node_count, CompiledNodeTail{});
   for (std::size_t i = 0; i < node_count; ++i) {
     const Node* node =
         grammar.node_by_stable_id(static_cast<std::uint32_t>(i));
     CompiledNodeTail tail{};
-    for (const Node* s = node->next;
-         s != nullptr && tail.len < kCompiledMaxK; s = s->next) {
-      if (s->sym.is_terminal()) {
-        const std::uint32_t term = s->sym.terminal_id();
-        append_first_terms(&term, 1, 1, s->exp, tail.terms, tail.len);
+    for (const Node* sib = node->next;
+         sib != nullptr && tail.len < kCompiledMaxK; sib = sib->next) {
+      if (sib->sym.is_terminal()) {
+        const std::uint32_t term = sib->sym.terminal_id();
+        append_first_terms(&term, 1, 1, sib->exp, tail.terms, tail.len);
       } else {
-        const std::uint32_t sub = rule_index.at(s->sym.rule_id());
+        const std::uint32_t sub = rule_index.at(sib->sym.rule_id());
         append_first_terms(rule_head_terms[sub].data(), rule_head_len[sub],
-                           rule_len[sub], s->exp, tail.terms, tail.len);
+                           rule_len[sub], sib->exp, tail.terms, tail.len);
       }
     }
     tails[i] = tail;
   }
 
   // --- flat expansion pool (children-first, so sub-rules flatten first) ---
-  std::vector<std::uint32_t> expansions;
-  std::vector<std::uint32_t> flat_index(rule_count, kCompiledInvalid);
+  std::vector<std::uint32_t>& expansions = s.expansions;
+  expansions.clear();
+  std::vector<std::uint32_t>& flat_index = s.flat_index;
+  flat_index.assign(rule_count, kCompiledInvalid);
   for (const std::uint32_t r : topo) {
     const std::uint64_t len = rule_len[r];
     if (len > options.max_flat_expansion ||
@@ -218,8 +281,10 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   if (expansions.size() > kMaxTableEntries) return {};
 
   // --- rule table + canonical user lists ----------------------------------
-  std::vector<CompiledRule> rules(rule_count);
-  std::vector<std::uint32_t> users;
+  std::vector<CompiledRule>& rules = s.rules;
+  rules.assign(rule_count, CompiledRule{});
+  std::vector<std::uint32_t>& users = s.users;
+  users.clear();
   for (std::uint32_t r = 0; r < rule_count; ++r) {
     CompiledRule out{};
     PYTHIA_ASSERT(live[r]->head != nullptr);
@@ -239,8 +304,9 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   }
 
   // --- occurrence spans (prefix-summed counting sort, stable-id order) ----
-  std::vector<CompiledOccSpan> occ_spans(terminal_count);
-  std::vector<std::uint32_t> occ_nodes;
+  std::vector<CompiledOccSpan>& occ_spans = s.occ_spans;
+  occ_spans.assign(terminal_count, CompiledOccSpan{});
+  std::vector<std::uint32_t>& occ_nodes = s.occ_nodes;
   for (const CompiledNode& node : nodes) {
     const Symbol sym = Symbol::from_raw(node.sym_raw);
     if (sym.is_terminal()) ++occ_spans[sym.terminal_id()].count;
@@ -251,7 +317,7 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
     offset += span.count;
     span.count = 0;  // reused as fill cursor
   }
-  occ_nodes.resize(offset);
+  occ_nodes.assign(offset, 0);
   for (std::uint32_t i = 0; i < node_count; ++i) {
     const Symbol sym = Symbol::from_raw(nodes[i].sym_raw);
     if (!sym.is_terminal()) continue;
@@ -263,7 +329,8 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   }
 
   // --- timing table (sorted by key; global follows load semantics) --------
-  std::vector<CompiledTimingEntry> timing_entries;
+  std::vector<CompiledTimingEntry>& timing_entries = s.timing_entries;
+  timing_entries.clear();
   double timing_global_sum = 0.0;
   std::uint64_t timing_global_count = 0;
   const bool has_timing = timing != nullptr && !timing->empty();
@@ -287,11 +354,19 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
   // --- anchor-prediction table --------------------------------------------
   // predict(k) right after anchoring on t is a pure function of the
   // grammar and the predictor caps: run the interpreted predictor once
-  // per occurring terminal at compile time and bake the answers in.
-  std::vector<CompiledAnchorPred> anchor_pred(
-      static_cast<std::size_t>(terminal_count) * kCompiledMaxK,
-      CompiledAnchorPred{kCompiledInvalid, 0, 0.0});
-  {
+  // per occurring terminal at compile time and bake the answers in — or,
+  // when the grammar tables are byte-identical to the previous compile's,
+  // reuse its answers (the timing-only-change fast path).
+  std::vector<CompiledAnchorPred>& anchor_pred = s.anchor_pred;
+  if (prev != nullptr && same_structure(s, *prev)) {
+    anchor_pred = prev->anchor_pred;
+    PYTHIA_ASSERT(anchor_pred.size() ==
+                  static_cast<std::size_t>(terminal_count) * kCompiledMaxK);
+    if (anchor_reused != nullptr) *anchor_reused = true;
+  } else {
+    anchor_pred.assign(static_cast<std::size_t>(terminal_count) *
+                           kCompiledMaxK,
+                       CompiledAnchorPred{kCompiledInvalid, 0, 0.0});
     Predictor::Options popts;
     popts.max_candidates = options.max_candidates;
     popts.max_anchor_paths = options.max_anchor_paths;
@@ -385,6 +460,82 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
                        header.tables[i].bytes);
   }
   std::memcpy(blob.data(), &header, sizeof header);
+  return blob;
+}
+
+}  // namespace
+
+std::vector<unsigned char> compile_thread(const Grammar& grammar,
+                                          const TimingModel* timing,
+                                          std::uint64_t grammar_digest,
+                                          const CompileOptions& options) {
+  CompileScratch scratch;
+  return compile_impl(grammar, timing, grammar_digest, options, scratch,
+                      nullptr, nullptr);
+}
+
+// --- DeltaCompiler ---------------------------------------------------------
+
+struct DeltaCompiler::Impl {
+  CompileOptions options;
+  CompileScratch scratch[2];  ///< double buffer: current + previous compile
+  int cur = 0;
+  bool prev_valid = false;
+  std::vector<unsigned char> blob;  ///< last blob, for whole-blob reuse
+  std::uint64_t digest = 0;
+  Stats stats;
+};
+
+DeltaCompiler::DeltaCompiler() : DeltaCompiler(CompileOptions{}) {}
+
+DeltaCompiler::DeltaCompiler(const CompileOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+DeltaCompiler::~DeltaCompiler() = default;
+DeltaCompiler::DeltaCompiler(DeltaCompiler&&) noexcept = default;
+DeltaCompiler& DeltaCompiler::operator=(DeltaCompiler&&) noexcept = default;
+
+const DeltaCompiler::Stats& DeltaCompiler::stats() const {
+  return impl_->stats;
+}
+
+std::vector<unsigned char> DeltaCompiler::compile(
+    const Grammar& grammar, const TimingModel* timing,
+    std::uint64_t grammar_digest) {
+  Impl& im = *impl_;
+  ++im.stats.compiles;
+  // The digest covers the grammar serialization bytes *and* the timing
+  // contexts (thread_section_digest) — equality means nothing the blob
+  // depends on has changed. Same trust level as the load-time digest
+  // cross-check.
+  if (!im.blob.empty() && grammar_digest == im.digest) {
+    ++im.stats.blob_reused;
+    return im.blob;
+  }
+  const int cur = im.prev_valid ? (im.cur ^ 1) : im.cur;
+  bool anchor_reused = false;
+  std::vector<unsigned char> blob = compile_impl(
+      grammar, timing, grammar_digest, im.options, im.scratch[cur],
+      im.prev_valid ? &im.scratch[cur ^ 1] : nullptr, &anchor_reused);
+  if (blob.empty()) {
+    // Non-compilable input leaves the scratch half-built: drop the caches
+    // so the next call starts from a clean slate.
+    im.prev_valid = false;
+    im.blob.clear();
+    im.digest = 0;
+    return blob;
+  }
+  im.cur = cur;
+  im.prev_valid = true;
+  if (anchor_reused) {
+    ++im.stats.anchor_reused;
+  } else {
+    ++im.stats.full;
+  }
+  im.digest = grammar_digest;
+  im.blob = blob;
   return blob;
 }
 

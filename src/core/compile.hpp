@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/grammar.hpp"
@@ -186,6 +187,57 @@ std::vector<unsigned char> compile_thread(const Grammar& grammar,
                                           const TimingModel* timing,
                                           std::uint64_t grammar_digest,
                                           const CompileOptions& options = {});
+
+/// Stateful repeat compiler for online snapshot publishing: produces blobs
+/// byte-identical to compile_thread() (same options), but reuses work from
+/// the previous call.
+///
+///   * Identical grammar digest — the cached blob is returned outright
+///     (nothing changed since the last publish).
+///   * Identical grammar *structure* with changed timing — the common
+///     timestamped steady-state, where every publish adds samples but the
+///     grammar settles. The grammar tables are byte-compared against the
+///     previous compile's and, when equal, the anchor-prediction table
+///     (the dominant compile cost: one interpreted-predictor run per
+///     occurring terminal) is reused instead of recomputed. Exact by
+///     construction: the anchor table is a pure function of the grammar
+///     tables and the fixed predictor caps, and equality is established by
+///     memcmp, not by hash.
+///   * Always: table scratch buffers persist across calls, so steady-state
+///     recompiles allocate nothing beyond the output blob itself.
+///
+/// Per-rule row reuse deliberately does NOT exist: stable node ids and
+/// dense rule indices shift on any rule birth/death (they are assigned
+/// root-first in slot order), so a "row for row" delta would need a full
+/// remap pass — the same cost as relowering, without the simplicity.
+class DeltaCompiler {
+ public:
+  DeltaCompiler();
+  explicit DeltaCompiler(const CompileOptions& options);
+  ~DeltaCompiler();
+  DeltaCompiler(DeltaCompiler&&) noexcept;
+  DeltaCompiler& operator=(DeltaCompiler&&) noexcept;
+  DeltaCompiler(const DeltaCompiler&) = delete;
+  DeltaCompiler& operator=(const DeltaCompiler&) = delete;
+
+  /// Same contract as compile_thread(): empty vector when the grammar is
+  /// not compilable (which also drops the internal caches).
+  std::vector<unsigned char> compile(const Grammar& grammar,
+                                     const TimingModel* timing,
+                                     std::uint64_t grammar_digest);
+
+  struct Stats {
+    std::uint64_t compiles = 0;
+    std::uint64_t blob_reused = 0;    ///< identical digest: cached blob
+    std::uint64_t anchor_reused = 0;  ///< timing-only change: tables reused
+    std::uint64_t full = 0;           ///< grammar changed: full relower
+  };
+  const Stats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Non-owning, validated view over a compiled blob. Parse once, then all
 /// accessors are bounds-safe by construction (parse rejects any blob

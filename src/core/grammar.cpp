@@ -85,9 +85,60 @@ Rule* Grammar::allocate_rule() {
   // naming, serialization order, and stable node ids) is identical whether
   // or not a free struct was available.
   rule->id = static_cast<std::uint32_t>(rules_.size());
+  // A recycled struct may carry the stamp of the rule that died in it; the
+  // fresh id means this is a new rule and must enter the log on its own.
+  rule->dirty_stamp = 0;
   rules_.push_back(rule);
   ++live_rule_count_;
+  stamp_dirty(rule);
   return rule;
+}
+
+Rule* Grammar::create_rule_with_id(std::uint32_t id) {
+  if (id >= rules_.size()) rules_.resize(id + 1, nullptr);
+  PYTHIA_ASSERT_MSG(rules_[id] == nullptr, "rule id slot occupied");
+  Rule* rule;
+  if (!free_rules_.empty()) {
+    rule = free_rules_.back();
+    free_rules_.pop_back();
+    rule->head = rule->tail = nullptr;
+    rule->length = 0;
+    rule->alive = true;
+    rule->occurrences = 0;
+  } else {
+    rule_pool_.emplace_back();
+    rule = &rule_pool_.back();
+  }
+  rule->id = id;
+  rule->dirty_stamp = 0;
+  rules_[id] = rule;
+  ++live_rule_count_;
+  return rule;
+}
+
+void Grammar::retire_rule(Rule* rule) {
+  PYTHIA_ASSERT(rule->users.empty() && rule->head == nullptr);
+  PYTHIA_ASSERT(rule->alive);
+  rule->alive = false;
+  rules_[rule->id] = nullptr;
+  free_rules_.push_back(rule);
+  --live_rule_count_;
+}
+
+void Grammar::stamp_dirty(Rule* rule) {
+  if (!dirty_tracking_ || rule->dirty_stamp == dirty_epoch_) return;
+  rule->dirty_stamp = dirty_epoch_;
+  dirty_log_.push_back(rule->id);
+}
+
+std::uint64_t Grammar::drain_dirty_since(std::uint64_t epoch,
+                                         std::vector<std::uint32_t>& out) {
+  PYTHIA_ASSERT_MSG(dirty_tracking_, "dirty tracking not enabled");
+  PYTHIA_ASSERT_MSG(epoch + 1 == dirty_epoch_,
+                    "drain_dirty_since: epoch gap (missed a drain?)");
+  out.insert(out.end(), dirty_log_.begin(), dirty_log_.end());
+  dirty_log_.clear();
+  return dirty_epoch_++;
 }
 
 void Grammar::register_user(Node* node) {
@@ -125,6 +176,7 @@ void Grammar::link_after(Rule* rule, Node* position, Node* node) {
   }
   ++rule->length;
   register_user(node);
+  stamp_dirty(rule);
 }
 
 void Grammar::unlink(Node* node) {
@@ -137,6 +189,7 @@ void Grammar::unlink(Node* node) {
   deregister_user(node);
   node->prev = node->next = nullptr;
   node->owner = nullptr;
+  stamp_dirty(rule);
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +231,7 @@ void Grammar::append_symbol(Rule* rule, Symbol sym, int depth) {
   // Case 1: same symbol as the current tail — bump the exponent.
   if (tail != nullptr && tail->sym == sym) {
     ++tail->exp;
+    stamp_dirty(rule);
     return;
   }
 
@@ -204,6 +258,7 @@ void Grammar::append_symbol(Rule* rule, Symbol sym, int depth) {
   // creates no new adjacency, so this cannot cascade and cannot invalidate
   // `left`/`right` (the existing site never overlaps the append point).
   tail->exp -= m;
+  stamp_dirty(rule);
   if (tail->exp == 0) {
     unindex_pair(tail->prev);
     unlink(tail);
@@ -399,6 +454,10 @@ void Grammar::inline_rule(Rule* rule) {
     owner->tail = last;
   }
   owner->length += rule->length - 1;
+  // The splice bypasses link_after/unlink: stamp the rewritten owner and
+  // the dying rule explicitly.
+  stamp_dirty(owner);
+  stamp_dirty(rule);
 
   // Retire the rule. The user node is destroyed manually: it is already
   // spliced out of the list.
@@ -420,6 +479,7 @@ void Grammar::inline_rule(Rule* rule) {
 
 void Grammar::destroy_rule(Rule* rule) {
   PYTHIA_ASSERT(rule->users.empty());
+  stamp_dirty(rule);
   Node* node = rule->head;
   while (node != nullptr) {
     Node* next = node->next;
@@ -540,6 +600,20 @@ std::uint64_t Grammar::count_occurrences(Rule* rule,
 void Grammar::finalize() {
   PYTHIA_ASSERT_MSG(!finalized_, "finalize() called twice");
   finalized_ = true;
+  finalize_impl();
+}
+
+void Grammar::refinalize() {
+  finalized_ = true;
+  finalize_impl();
+  // Shadow-sync body surgery bypasses the digram bookkeeping; rebuild the
+  // index wholesale so check_invariants()/remap_terminals() stay valid.
+  // Content equals the incrementally maintained index: unique couple ->
+  // left node.
+  rebuild_digram_index();
+}
+
+void Grammar::finalize_impl() {
   occurrence_nodes_.clear();
   occurrence_spans_.clear();
   stable_nodes_.clear();
@@ -629,6 +703,10 @@ void Grammar::remap_terminals(const std::vector<TerminalId>& old_to_new) {
   // key; rebuild both indexes (validate() cross-checks the digram index
   // even on finalized grammars).
   build_occurrence_index();
+  rebuild_digram_index();
+}
+
+void Grammar::rebuild_digram_index() {
   digrams_.clear();
   for (Rule* rule : rules_) {
     if (rule == nullptr || !rule->alive) continue;

@@ -58,6 +58,9 @@ struct Rule {
   /// Number of times this rule's body unfolds in the full trace; computed
   /// by finalize() (occ(root) == 1).
   std::uint64_t occurrences = 0;
+  /// Dirty-epoch stamp (enable_dirty_tracking): the epoch in which this
+  /// rule's body last changed, 0 = never. Dedupes the dirty log.
+  std::uint64_t dirty_stamp = 0;
 };
 
 /// Non-owning view of a run of occurrence nodes (the result of
@@ -147,6 +150,10 @@ class Grammar {
   const Rule* rule_by_id(std::uint32_t id) const;
   Rule* rule_by_id(std::uint32_t id);
 
+  /// Number of rule-id slots ever assigned (live rules + tombstones) —
+  /// the exclusive upper bound for rule_by_id().
+  std::size_t id_slot_count() const { return rules_.size(); }
+
   // --- Construction interface for deserialization and tests -------------
   // Builds a grammar directly from rule bodies. `bodies[i]` is the body of
   // rule i (rule 0 = root) as (symbol, exponent) pairs. Validates shape and
@@ -156,6 +163,24 @@ class Grammar {
     std::uint64_t exp;
   };
   static Grammar from_bodies(const std::vector<std::vector<BodyEntry>>& bodies);
+
+  // --- Dirty-rule epoch tracking (incremental finalize) -----------------
+  // Opt-in: when enabled, every mutation that changes a rule body (create,
+  // destroy, inline, digram splice, exponent change) stamps the touched
+  // rule into a drain log, deduplicated per epoch. Off by default so the
+  // steady-state append path stays allocation-free when unused
+  // (tests/core/alloc_steady_state_test.cpp).
+  void enable_dirty_tracking() { dirty_tracking_ = true; }
+  bool dirty_tracking_enabled() const { return dirty_tracking_; }
+
+  /// Appends the ids of every rule whose body changed since the epoch
+  /// returned by the previous drain (`epoch` must be exactly that value;
+  /// 0 for the first drain) and clears the log. Returns the new epoch.
+  /// Drained ids may refer to rules that have since died (tombstoned
+  /// slots) — consumers must tolerate both; ids are never reused, so an
+  /// id identifies one rule struct lifetime.
+  std::uint64_t drain_dirty_since(std::uint64_t epoch,
+                                  std::vector<std::uint32_t>& out);
 
   /// Allocator-pool telemetry (trace_inspect, benches): how much of the
   /// node/rule pools is live vs. parked on the free lists.
@@ -172,6 +197,10 @@ class Grammar {
   PoolStats pool_stats() const;
 
  private:
+  // The incremental finalizer keeps a shadow copy of a live grammar in
+  // sync via direct body surgery (core/incremental_finalize.cpp); it needs
+  // the pools, the rule table and the finalize internals.
+  friend class IncrementalFinalizer;
 
   Node* allocate_node(Symbol sym, std::uint64_t exp);
   void release_node(Node* node);
@@ -198,6 +227,24 @@ class Grammar {
   void inline_rule(Rule* rule);
   void destroy_rule(Rule* rule);
   void note_exp_decrease(Node* node);
+  void stamp_dirty(Rule* rule);
+
+  // --- Shadow-grammar surgery (IncrementalFinalizer) --------------------
+  /// Creates a live empty rule bound to a *specific* id (slot must be
+  /// empty; the table grows with nullptr tombstones as needed).
+  Rule* create_rule_with_id(std::uint32_t id);
+  /// Immediately retires a rule whose body and user list are already
+  /// empty: tombstones the slot, parks the struct for reuse.
+  void retire_rule(Rule* rule);
+  /// Re-runs the finalize() products (occurrence counts, stable node ids,
+  /// canonical user lists, occurrence index) over the current structure
+  /// and rebuilds the digram index. Unlike finalize() it is callable
+  /// repeatedly; used on shadow grammars kept in sync between publishes.
+  void refinalize();
+  /// Shared body of finalize()/refinalize().
+  void finalize_impl();
+  /// Rebuilds digrams_ from scratch (unique couple -> left node).
+  void rebuild_digram_index();
 
   std::uint64_t count_occurrences(Rule* rule,
                                   std::vector<std::uint64_t>& memo,
@@ -224,6 +271,12 @@ class Grammar {
   std::uint64_t appended_ = 0;
   std::uint64_t ops_since_append_ = 0;
   bool finalized_ = false;
+
+  // Dirty-rule epoch tracking (enable_dirty_tracking). dirty_epoch_ is
+  // the epoch the *next* drain returns; stamps dedupe against it.
+  bool dirty_tracking_ = false;
+  std::uint64_t dirty_epoch_ = 1;
+  std::vector<std::uint32_t> dirty_log_;
 
   // finalize() products: all terminal occurrence nodes in one flat array,
   // grouped by terminal id; spans_[t] = (offset, count) into it.

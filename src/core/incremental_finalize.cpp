@@ -1,0 +1,532 @@
+#include "core/incremental_finalize.hpp"
+
+#include <algorithm>
+
+#include "core/progress.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace pythia {
+
+namespace {
+
+/// Expanded length of every rule, indexed by rule id (0 for dead slots).
+/// Explicit stack — rule chains can nest deeper than the C stack
+/// tolerates (tests/core/deep_grammar_test.cpp).
+void compute_rule_lengths(const Grammar& grammar,
+                          std::vector<std::uint64_t>& out) {
+  const std::size_t slots = grammar.id_slot_count();
+  out.assign(slots, 0);
+  std::vector<int> state(slots, 0);  // 0 new, 1 open, 2 done
+  struct Frame {
+    const Rule* rule;
+    const Node* node;
+    std::uint64_t total;
+  };
+  std::vector<Frame> stack;
+  for (std::uint32_t start = 0; start < slots; ++start) {
+    const Rule* rule = grammar.rule_by_id(start);
+    if (rule == nullptr || state[start] == 2) continue;
+    state[start] = 1;
+    stack.push_back({rule, rule->head, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.node == nullptr) {
+        out[frame.rule->id] = frame.total;
+        state[frame.rule->id] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const Node* node = frame.node;
+      std::uint64_t unit = 1;
+      if (node->sym.is_rule()) {
+        const std::uint32_t ref = node->sym.rule_id();
+        PYTHIA_ASSERT_MSG(state[ref] != 1, "cyclic rule reference");
+        if (state[ref] == 0) {
+          state[ref] = 1;
+          const Rule* inner = grammar.rule_by_id(ref);
+          PYTHIA_ASSERT(inner != nullptr);
+          stack.push_back({inner, inner->head, 0});
+          continue;  // resume this frame once the referenced rule is done
+        }
+        unit = out[ref];
+      }
+      frame.total += unit * node->exp;
+      frame.node = node->next;
+    }
+  }
+}
+
+/// Builds the canonical progress path of trace position `pos` by direct
+/// descent from the root (rep = offset / unit at each level) — the path
+/// advance() would hold after `pos` steps from begin(), without the
+/// O(pos) simulation. `lengths` must be compute_rule_lengths() output
+/// for `grammar`.
+void seek(const Grammar& grammar, std::uint64_t pos,
+          const std::vector<std::uint64_t>& lengths,
+          std::vector<PathElement>& scratch, ProgressPath& out) {
+  scratch.clear();
+  const Rule* rule = grammar.root();
+  std::uint64_t off = pos;
+  while (true) {
+    const Node* node = rule->head;
+    std::uint64_t unit;
+    for (;;) {
+      PYTHIA_ASSERT_MSG(node != nullptr, "seek past the sequence end");
+      unit = node->sym.is_terminal() ? 1 : lengths[node->sym.rule_id()];
+      const std::uint64_t span = unit * node->exp;
+      if (off < span) break;
+      off -= span;
+      node = node->next;
+    }
+    scratch.push_back({node, off / unit});
+    off %= unit;
+    if (node->sym.is_terminal()) {
+      PYTHIA_ASSERT(off == 0);
+      break;
+    }
+    rule = grammar.rule_by_id(node->sym.rule_id());
+    PYTHIA_ASSERT(rule != nullptr);
+  }
+  // scratch is root-first; ProgressPath stores terminal-first.
+  std::reverse(scratch.begin(), scratch.end());
+  out.assign(scratch.data(), scratch.size());
+}
+
+/// True when the two rule bodies are the same (symbol, exponent)
+/// sequence. Used to detect "ABA" churn — see publish() step 1b.
+bool body_equal(const Rule* a, const Rule* b) {
+  const Node* x = a->head;
+  const Node* y = b->head;
+  while (x != nullptr && y != nullptr) {
+    if (x->sym != y->sym || x->exp != y->exp) return false;
+    x = x->next;
+    y = y->next;
+  }
+  return x == nullptr && y == nullptr;
+}
+
+}  // namespace
+
+std::size_t IncrementalFinalizer::ChainKeyHash::operator()(
+    const ChainKey& key) const {
+  std::uint64_t h = 0x7f4a7c159e3779b9ULL;
+  for (std::uint32_t i = 0; i < key.len; ++i) {
+    h = support::hash_combine(h,
+                              reinterpret_cast<std::uintptr_t>(key.nodes[i]));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void IncrementalFinalizer::publish(Grammar& live,
+                                   const std::vector<TimedEvent>& log,
+                                   bool timestamped) {
+  PYTHIA_ASSERT_MSG(live.dirty_tracking_enabled(),
+                    "publish() requires dirty tracking on the live grammar");
+  PYTHIA_ASSERT(!live.finalized());
+  PYTHIA_ASSERT_MSG(!(timing_active_ && !timestamped),
+                    "timestamped flag must be monotone");
+  const std::uint64_t n_new = live.sequence_length();
+  const std::uint64_t n_old = shadow_.sequence_length();
+  PYTHIA_ASSERT_MSG(log.size() == n_new, "log must cover the live grammar");
+
+  // 1. Drain the epoch log (always — the epoch chain must stay unbroken).
+  dirty_ids_.clear();
+  epoch_ = live.drain_dirty_since(epoch_, dirty_ids_);
+  stats_.last_dirty_rules = dirty_ids_.size();
+
+  if (!bootstrapped_) {
+    // First publish (or first after crash recovery restored the live
+    // grammar from a checkpoint): every live rule counts as dirty, so
+    // the generic path below performs one full sync + full timing
+    // bootstrap and is O(changed) from then on.
+    dirty_ids_.clear();
+    for (std::uint32_t id = 0; id < live.id_slot_count(); ++id) {
+      if (live.rule_by_id(id) != nullptr) dirty_ids_.push_back(id);
+    }
+    bootstrapped_ = true;
+    ++stats_.bootstraps;
+  }
+
+  // 1b. ABA refinement. Sequitur's carve-then-reinline churn restamps
+  // rules whose bodies end the epoch exactly where they started — on
+  // loopy streams that is the whole rule spine, every epoch. Ids are
+  // never reused, so a drained id alive on both sides with an identical
+  // (symbol, exponent) body provably needs no sync, and must not enter
+  // the closure: there it would drag its user spine in and collapse the
+  // clean prefix to nothing, degrading the timing patch to O(log). Ids
+  // born and dead within the epoch were never mirrored and drop too.
+  {
+    std::size_t kept = 0;
+    for (const std::uint32_t id : dirty_ids_) {
+      const Rule* live_rule = live.rule_by_id(id);
+      const Rule* shadow_rule =
+          id < shadow_.rules_.size() ? shadow_.rules_[id] : nullptr;
+      if (live_rule == nullptr && shadow_rule == nullptr) continue;
+      if (live_rule != nullptr && shadow_rule != nullptr &&
+          body_equal(shadow_rule, live_rule)) {
+        continue;
+      }
+      dirty_ids_[kept++] = id;
+    }
+    dirty_ids_.resize(kept);
+  }
+  stats_.last_changed_rules = dirty_ids_.size();
+
+  // 2. Unclean closure + 3. matched-clean root prefix.
+  compute_closure(live);
+  compute_rule_lengths(live, live_lengths_);
+  const std::uint64_t p = clean_prefix(live);
+  stats_.last_clean_prefix = p;
+
+  // 4. Subtract the stale positions' timing on the *old* shadow — unless
+  // rebuilding the chain map from scratch is cheaper. Patching costs
+  // ~2(N - P) chain walks (subtract the stale range on the old shadow,
+  // re-add it on the new one); when the clean prefix collapses — loopy
+  // streams regroup shared rules between publishes, which genuinely
+  // changes most positions' context chains — a single add pass over the
+  // new shadow does less work and lands on bit-identical sums (elapsed
+  // values are integer-valued doubles, so summation order is
+  // irrelevant below 2^53).
+  const std::uint64_t patch_from = std::max<std::uint64_t>(p, 1);
+  const bool rebuild_chains =
+      timing_active_ &&
+      (n_old - std::min(patch_from, n_old)) + (n_new - patch_from) >
+          n_new - 1;
+  if (timing_active_ && !rebuild_chains) {
+    subtract_range(log, patch_from, n_old);
+  } else {
+    stats_.last_subtracted = 0;
+  }
+
+  // 5. Sync + refinalize.
+  sync(live);
+  shadow_.refinalize();
+
+  // 6. Re-add on the new shadow; fold the global stat forward.
+  if (timestamped && !timing_active_) {
+    // Timing just became active (first timestamped publish, or stamps
+    // appeared mid-run): bootstrap the chain map with one full pass.
+    timing_active_ = true;
+    chains_.clear();
+    global_ = {};
+    add_range(log, 1, n_new);
+    for (std::uint64_t i = 1; i < n_new; ++i) {
+      global_.sum_ns +=
+          static_cast<double>(log[i].time_ns() - log[i - 1].time_ns());
+      ++global_.count;
+    }
+  } else if (timing_active_) {
+    if (rebuild_chains) {
+      chains_.clear();
+      add_range(log, 1, n_new);
+      ++stats_.timing_rebuilds;
+    } else {
+      add_range(log, patch_from, n_new);
+    }
+    for (std::uint64_t i = std::max<std::uint64_t>(n_old, 1); i < n_new;
+         ++i) {
+      global_.sum_ns +=
+          static_cast<double>(log[i].time_ns() - log[i - 1].time_ns());
+      ++global_.count;
+    }
+  } else {
+    stats_.last_added = 0;
+  }
+
+  emit_timing();
+  ++stats_.publishes;
+}
+
+void IncrementalFinalizer::compute_closure(const Grammar& live) {
+  in_closure_.assign(live.id_slot_count(), 0);
+  closure_ids_.clear();
+  for (std::uint32_t id : dirty_ids_) {
+    if (id < in_closure_.size() && !in_closure_[id]) {
+      in_closure_[id] = 1;
+      closure_ids_.push_back(id);
+    }
+  }
+  // Upward fixpoint through the live user graph: any rule whose subtree
+  // contains a changed rule is unclean. Dead rules have no users; the
+  // rules that used to reference them changed their own bodies and are
+  // already stamped.
+  for (std::size_t i = 0; i < closure_ids_.size(); ++i) {
+    const Rule* rule = live.rule_by_id(closure_ids_[i]);
+    if (rule == nullptr) continue;
+    for (const Node* user : rule->users) {
+      const std::uint32_t owner = user->owner->id;
+      if (!in_closure_[owner]) {
+        in_closure_[owner] = 1;
+        closure_ids_.push_back(owner);
+      }
+    }
+  }
+  stats_.last_closure_rules = closure_ids_.size();
+}
+
+std::uint64_t IncrementalFinalizer::clean_prefix(const Grammar& live) const {
+  // Lockstep walk of the old shadow root body and the live root body.
+  // A node pair matches when symbol and exponent agree and, for rule
+  // references, the rule is outside the unclean closure — then the whole
+  // subtree (and every progress chain inside it) is provably unchanged.
+  const Node* s = shadow_.root()->head;
+  const Node* l = live.root()->head;
+  std::uint64_t p = 0;
+  while (s != nullptr && l != nullptr) {
+    if (s->sym != l->sym || s->exp != l->exp) break;
+    if (l->sym.is_rule() && in_closure_[l->sym.rule_id()]) break;
+    const std::uint64_t unit =
+        l->sym.is_terminal() ? 1 : live_lengths_[l->sym.rule_id()];
+    p += unit * l->exp;
+    s = s->next;
+    l = l->next;
+  }
+  // Boundary extension — the steady-state case that makes the whole
+  // patch O(changed): appending events to a loopy stream usually just
+  // bumps the exponent of the last big root node ([I^340] -> [I^341]),
+  // and a strict (sym, exp) match would discard its entire span. Chain
+  // keys carry no repetition index, so every position inside the first
+  // min(old, new) repetitions keeps its exact chain — as long as the
+  // symbol agrees, the subtree is outside the closure, and the shadow
+  // node survives the sync in place (rewrite_body updates its exponent
+  // rather than recloning it, preserving pointer identity and stable id).
+  if (s != nullptr && l != nullptr && s->sym == l->sym &&
+      s->exp != l->exp &&
+      (l->sym.is_terminal() || !in_closure_[l->sym.rule_id()])) {
+    const std::uint64_t unit =
+        l->sym.is_terminal() ? 1 : live_lengths_[l->sym.rule_id()];
+    p += unit * std::min(s->exp, l->exp);
+  }
+  return p;
+}
+
+void IncrementalFinalizer::free_body(Rule* shadow_rule) {
+  Node* node = shadow_rule->head;
+  while (node != nullptr) {
+    Node* next = node->next;
+    if (node->sym.is_rule()) {
+      // Membership-only user bookkeeping (order is refinalize()'s job).
+      // Grammar::deregister_user would feed the live-append utility
+      // machinery, which never runs on a shadow — so do it by hand.
+      Rule* referenced = shadow_.rules_[node->sym.rule_id()];
+      auto it =
+          std::find(referenced->users.begin(), referenced->users.end(), node);
+      PYTHIA_ASSERT_MSG(it != referenced->users.end(),
+                        "shadow user bookkeeping out of sync");
+      *it = referenced->users.back();
+      referenced->users.pop_back();
+    }
+    node->prev = node->next = nullptr;
+    node->owner = nullptr;
+    shadow_.release_node(node);
+    node = next;
+  }
+  shadow_rule->head = shadow_rule->tail = nullptr;
+  shadow_rule->length = 0;
+}
+
+void IncrementalFinalizer::rewrite_body(Rule* shadow_rule,
+                                        const Rule* live_rule) {
+  // Keep the longest (symbol, exponent)-equal prefix. For the root this
+  // is load-bearing: surviving timing chains (positions < P) end in a
+  // matched root-body node, whose pointer identity must be preserved.
+  // For other dirty rules it only saves allocation churn — every chain
+  // through them was fully drained by the subtract pass.
+  Node* s = shadow_rule->head;
+  const Node* l = live_rule->head;
+  Node* kept_tail = nullptr;
+  while (s != nullptr && l != nullptr && s->sym == l->sym &&
+         s->exp == l->exp) {
+    kept_tail = s;
+    s = s->next;
+    l = l->next;
+  }
+  // Same symbol, different exponent: update in place instead of
+  // recloning. For the root this is load-bearing — clean_prefix()'s
+  // boundary extension counts positions inside this node, and their
+  // surviving timing chains key on this exact node pointer. (Same-symbol
+  // means same rule reference, so user bookkeeping needs no touch-up.)
+  if (s != nullptr && l != nullptr && s->sym == l->sym) {
+    s->exp = l->exp;
+    kept_tail = s;
+    s = s->next;
+    l = l->next;
+  }
+
+  // Drop the stale shadow suffix...
+  while (s != nullptr) {
+    Node* next = s->next;
+    if (s->sym.is_rule()) {
+      Rule* referenced = shadow_.rules_[s->sym.rule_id()];
+      auto it =
+          std::find(referenced->users.begin(), referenced->users.end(), s);
+      PYTHIA_ASSERT_MSG(it != referenced->users.end(),
+                        "shadow user bookkeeping out of sync");
+      *it = referenced->users.back();
+      referenced->users.pop_back();
+    }
+    s->prev = s->next = nullptr;
+    s->owner = nullptr;
+    shadow_.release_node(s);
+    s = next;
+  }
+  if (kept_tail == nullptr) shadow_rule->head = nullptr;
+
+  // ...and clone the live suffix in its place.
+  Node* tail = kept_tail;
+  for (; l != nullptr; l = l->next) {
+    Node* node = shadow_.allocate_node(l->sym, l->exp);
+    node->owner = shadow_rule;
+    node->prev = tail;
+    if (tail != nullptr) {
+      tail->next = node;
+    } else {
+      shadow_rule->head = node;
+    }
+    if (node->sym.is_rule()) {
+      shadow_.rules_[node->sym.rule_id()]->users.push_back(node);
+    }
+    tail = node;
+  }
+  if (tail != nullptr) tail->next = nullptr;
+  shadow_rule->tail = tail;
+  shadow_rule->length = live_rule->length;
+}
+
+void IncrementalFinalizer::sync(Grammar& live) {
+  // Pass A: materialize empty shadow rules for ids born since the last
+  // publish, so body clones in pass B can register membership on them.
+  for (std::uint32_t id : dirty_ids_) {
+    const Rule* live_rule = live.rule_by_id(id);
+    if (live_rule == nullptr) continue;
+    if (id >= shadow_.rules_.size() || shadow_.rules_[id] == nullptr) {
+      shadow_.create_rule_with_id(id);
+    }
+  }
+  // Pass B: rewrite every dirty-and-alive rule's body.
+  for (std::uint32_t id : dirty_ids_) {
+    const Rule* live_rule = live.rule_by_id(id);
+    if (live_rule == nullptr) continue;
+    rewrite_body(shadow_.rules_[id], live_rule);
+  }
+  // Pass C: rules dead in live. Free all their bodies first (two dead
+  // rules may reference each other), then retire the empty structs.
+  for (std::uint32_t id : dirty_ids_) {
+    if (live.rule_by_id(id) != nullptr) continue;
+    if (id >= shadow_.rules_.size() || shadow_.rules_[id] == nullptr) {
+      continue;  // born and died within the epoch — never mirrored
+    }
+    free_body(shadow_.rules_[id]);
+  }
+  for (std::uint32_t id : dirty_ids_) {
+    if (live.rule_by_id(id) != nullptr) continue;
+    if (id >= shadow_.rules_.size() || shadow_.rules_[id] == nullptr) {
+      continue;
+    }
+    Rule* shadow_rule = shadow_.rules_[id];
+    PYTHIA_ASSERT_MSG(shadow_rule->users.empty(),
+                      "dead rule still referenced after sync");
+    shadow_.retire_rule(shadow_rule);
+  }
+  shadow_.flush_pending_free();
+  shadow_.appended_ = live.sequence_length();
+}
+
+void IncrementalFinalizer::subtract_range(const std::vector<TimedEvent>& log,
+                                          std::uint64_t from,
+                                          std::uint64_t to) {
+  stats_.last_subtracted = to > from ? to - from : 0;
+  if (from >= to) return;
+  compute_rule_lengths(shadow_, shadow_lengths_);
+  std::vector<PathElement> scratch;
+  ProgressPath path;
+  seek(shadow_, from, shadow_lengths_, scratch, path);
+  for (std::uint64_t i = from; i < to; ++i) {
+    PYTHIA_ASSERT(!path.empty());
+    PYTHIA_ASSERT_MSG(path.terminal() == log[i].event,
+                      "event log diverges from shadow grammar");
+    const double elapsed =
+        static_cast<double>(log[i].time_ns() - log[i - 1].time_ns());
+    const std::size_t depth =
+        std::min(path.depth(), TimingModel::kMaxContextDepth);
+    for (std::size_t levels = 1; levels <= depth; ++levels) {
+      ChainKey key;
+      key.len = static_cast<std::uint32_t>(levels);
+      for (std::size_t j = 0; j < levels; ++j) {
+        key.nodes[j] = path.element(j).node;
+      }
+      auto it = chains_.find(key);
+      PYTHIA_ASSERT_MSG(it != chains_.end(),
+                        "subtracting an unknown timing chain");
+      it->second.sum_ns -= elapsed;
+      PYTHIA_ASSERT(it->second.count > 0);
+      --it->second.count;
+      if (it->second.count == 0) {
+        // Exact cancellation (integer-valued doubles): a fully drained
+        // chain must read 0. This is also what makes erasure safe before
+        // the sync frees/reuses the nodes the key points at.
+        PYTHIA_ASSERT_MSG(it->second.sum_ns == 0.0,
+                          "timing patch lost exactness");
+        chains_.erase(it);
+      }
+    }
+    if (i + 1 < to) {
+      const bool more = path.advance(shadow_);
+      PYTHIA_ASSERT(more);
+    }
+  }
+}
+
+void IncrementalFinalizer::add_range(const std::vector<TimedEvent>& log,
+                                     std::uint64_t from, std::uint64_t to) {
+  stats_.last_added = to > from ? to - from : 0;
+  if (from >= to) return;
+  std::vector<PathElement> scratch;
+  ProgressPath path;
+  // The synced shadow is structurally identical to the live grammar, so
+  // the live length memo indexes it correctly.
+  seek(shadow_, from, live_lengths_, scratch, path);
+  for (std::uint64_t i = from; i < to; ++i) {
+    PYTHIA_ASSERT(!path.empty());
+    PYTHIA_ASSERT_MSG(path.terminal() == log[i].event,
+                      "event log diverges from synced shadow");
+    const double elapsed =
+        static_cast<double>(log[i].time_ns() - log[i - 1].time_ns());
+    const std::size_t depth =
+        std::min(path.depth(), TimingModel::kMaxContextDepth);
+    for (std::size_t levels = 1; levels <= depth; ++levels) {
+      ChainKey key;
+      key.len = static_cast<std::uint32_t>(levels);
+      for (std::size_t j = 0; j < levels; ++j) {
+        key.nodes[j] = path.element(j).node;
+      }
+      TimingModel::DurationStat& stat = chains_[key];
+      stat.sum_ns += elapsed;
+      ++stat.count;
+    }
+    if (i + 1 < to) {
+      const bool more = path.advance(shadow_);
+      PYTHIA_ASSERT(more);
+    }
+  }
+}
+
+void IncrementalFinalizer::emit_timing() {
+  timing_ = TimingModel();
+  if (!timing_active_) return;
+  // Chains are keyed by node pointers internally; the emitted model keys
+  // by stable-id suffix hashes, merging on collision exactly as
+  // add_sample would (sums are exact integers, so merge order cannot
+  // change the result).
+  for (const auto& [key, stat] : chains_) {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (std::uint32_t i = 0; i < key.len; ++i) {
+      h = support::hash_combine(h, key.nodes[i]->stable_id);
+    }
+    timing_.accumulate_context(h, stat);
+  }
+  timing_.set_global(global_);
+}
+
+}  // namespace pythia

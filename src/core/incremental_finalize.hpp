@@ -1,0 +1,158 @@
+// Incremental finalize: O(rules-changed) snapshot publishes (ISSUE 10).
+//
+// OnlineOracle's original rebuild_snapshot replayed the *entire* event
+// log into a fresh grammar and re-replayed the timing model on every
+// publish — O(run length) work for what Sequitur maintains online for
+// free. The IncrementalFinalizer instead keeps a *shadow* copy of the
+// live grammar, finalized and servable between publishes, and patches it
+// forward at each publish using the live grammar's dirty-rule epoch log:
+//
+//   1. drain the dirty rule ids accumulated since the last publish, then
+//      refine away "ABA" ids whose bodies ended the epoch unchanged
+//      (carve-then-reinline churn restamps the whole rule spine on loopy
+//      streams; ids are never reused, so same-id body comparison against
+//      the shadow is sound);
+//   2. close the set upward through the live user graph (a rule whose
+//      subtree contains a changed rule is "unclean" — every trace
+//      position under it may have a different progress chain);
+//   3. walk the shadow-old and live root bodies in lockstep to find P,
+//      the expanded length of the maximal matched *clean* prefix: every
+//      position < P provably keeps its exact progress chain (same shadow
+//      node pointers, same repetition indices);
+//   4. subtract the timing contributions of positions [max(P,1), N_old)
+//      from the chain-keyed stats map by replaying the log range on the
+//      *old* shadow (exact: elapsed values are integer-valued doubles,
+//      so subtraction cancels bit-exactly below 2^53) — or, when the
+//      clean prefix collapses so far that patching would walk more
+//      positions than one full pass, rebuild the chain map in a single
+//      sweep of the new shadow instead (same sums, summation order is
+//      irrelevant for exact integers), bounding timing cost at one
+//      log sweep per publish;
+//   5. rewrite the dirty rules' shadow bodies in place (longest matched
+//      (symbol, exponent) prefix preserved — required for root, whose
+//      matched prefix nodes appear in surviving chains), then
+//      refinalize the shadow (stable ids, occurrence counts/index,
+//      canonical user lists, digram index — all O(grammar));
+//   6. re-add positions [max(P,1), N_new) on the new shadow and emit a
+//      fresh TimingModel keyed by stable-id suffix keys.
+//
+// The contract is *bit-identity*: after publish(), grammar() and
+// timing() are indistinguishable — serialization bytes, digests,
+// predictor behaviour, compiled PYCGRM01 blobs — from a from-scratch
+// replay of the same log prefix. The differential tests and the online
+// SIGKILL matrix enforce it (tests/core/incremental_finalize_test.cpp).
+//
+// Exactness precondition: per-publish timing patches cancel bit-exactly
+// while every partial sum of elapsed-ns values stays an integer below
+// 2^53 (~104 days of nanoseconds) — the same regime in which summing
+// doubles is associative at all. An internal assert (sum == 0 when a
+// chain's count drains to 0) is the canary.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/grammar.hpp"
+#include "core/timing.hpp"
+
+namespace pythia {
+
+class IncrementalFinalizer {
+ public:
+  struct PublishStats {
+    std::uint64_t publishes = 0;
+    std::uint64_t bootstraps = 0;  ///< full shadow syncs (first publish)
+    std::uint64_t last_dirty_rules = 0;    ///< drained ids, last publish
+    std::uint64_t last_changed_rules = 0;  ///< ...that actually changed
+    std::uint64_t last_closure_rules = 0;  ///< unclean closure size
+    std::uint64_t last_clean_prefix = 0;   ///< P (events kept verbatim)
+    std::uint64_t last_subtracted = 0;     ///< timing positions subtracted
+    std::uint64_t last_added = 0;          ///< timing positions re-added
+    /// Publishes that rebuilt the chain map in one pass instead of
+    /// patching: chosen whenever 2(N - P) walks would exceed a single
+    /// N-walk pass, which bounds the timing cost at one log sweep even
+    /// when the clean prefix collapses.
+    std::uint64_t timing_rebuilds = 0;
+  };
+
+  IncrementalFinalizer() = default;
+  IncrementalFinalizer(const IncrementalFinalizer&) = delete;
+  IncrementalFinalizer& operator=(const IncrementalFinalizer&) = delete;
+
+  /// Publishes a finalized snapshot of `live` at its full current length.
+  /// `log` must be the complete event log behind `live` (log.size() ==
+  /// live.sequence_length()), append-only across publishes. `timestamped`
+  /// is the caller's monotone "any nonzero stamp in the log yet" flag —
+  /// while false the emitted timing model stays empty, exactly like the
+  /// full-rebuild path. Dirty tracking must be enabled on `live` before
+  /// any event follows the previous publish (enable it once, up front).
+  void publish(Grammar& live, const std::vector<TimedEvent>& log,
+               bool timestamped);
+
+  /// The finalized shadow grammar / emitted timing model. Valid after the
+  /// first publish; mutated in place by the next one (consumers that must
+  /// survive a publish — predictors, compiled blobs — are rebuilt by the
+  /// caller right after each publish).
+  const Grammar& grammar() const { return shadow_; }
+  const TimingModel& timing() const { return timing_; }
+
+  const PublishStats& stats() const { return stats_; }
+
+  /// Rule ids whose finalized artifacts may differ from the previous
+  /// publish (the unclean closure): the delta-compile hint set, valid
+  /// against grammar() until the next publish.
+  const std::vector<std::uint32_t>& last_closure() const {
+    return closure_ids_;
+  }
+
+ private:
+  struct ChainKey {
+    const Node* nodes[TimingModel::kMaxContextDepth] = {};
+    std::uint32_t len = 0;
+    friend bool operator==(const ChainKey& a, const ChainKey& b) {
+      if (a.len != b.len) return false;
+      for (std::uint32_t i = 0; i < a.len; ++i) {
+        if (a.nodes[i] != b.nodes[i]) return false;
+      }
+      return true;
+    }
+  };
+  struct ChainKeyHash {
+    std::size_t operator()(const ChainKey& key) const;
+  };
+
+  void compute_closure(const Grammar& live);
+  std::uint64_t clean_prefix(const Grammar& live) const;
+  void sync(Grammar& live);
+  void rewrite_body(Rule* shadow_rule, const Rule* live_rule);
+  void free_body(Rule* shadow_rule);
+  void subtract_range(const std::vector<TimedEvent>& log, std::uint64_t from,
+                      std::uint64_t to);
+  void add_range(const std::vector<TimedEvent>& log, std::uint64_t from,
+                 std::uint64_t to);
+  void emit_timing();
+
+  Grammar shadow_;
+  TimingModel timing_;  ///< emitted per publish from chains_ + global_
+  PublishStats stats_;
+  bool bootstrapped_ = false;
+  bool timing_active_ = false;
+  std::uint64_t epoch_ = 0;
+
+  std::vector<std::uint32_t> dirty_ids_;
+  std::vector<std::uint32_t> closure_ids_;
+  std::vector<std::uint8_t> in_closure_;  ///< by live rule id
+  std::vector<std::uint64_t> live_lengths_;    ///< expanded length by id
+  std::vector<std::uint64_t> shadow_lengths_;  ///< ... of the old shadow
+
+  /// Chain-keyed duration stats: one entry per distinct ≤4-level prefix
+  /// of a progress path, keyed by shadow node pointers (identity-stable
+  /// for untouched rules across publishes). Sums are exact integer-valued
+  /// doubles, so per-position subtraction cancels bit-exactly.
+  std::unordered_map<ChainKey, TimingModel::DurationStat, ChainKeyHash>
+      chains_;
+  TimingModel::DurationStat global_;
+};
+
+}  // namespace pythia

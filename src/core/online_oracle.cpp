@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <cstdio>
 
 #include "support/assert.hpp"
 #include "support/hash.hpp"
+#include "support/io.hpp"
 
 namespace pythia {
 
@@ -167,33 +170,67 @@ void OnlineOracle::maybe_refresh(std::uint64_t prefix_len) {
 }
 
 void OnlineOracle::rebuild_snapshot(std::uint64_t prefix_len) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<TimedEvent>& log = event_log();
   PYTHIA_ASSERT(prefix_len <= log.size());
   const auto n = static_cast<std::size_t>(prefix_len);
 
-  auto snapshot = std::make_unique<Snapshot>();
-  for (std::size_t i = 0; i < n; ++i) {
-    snapshot->grammar.append(log[i].event);
-  }
-  snapshot->grammar.finalize();
-
   // A virtual-clock run that never advances journals all-zero stamps;
   // replaying those would only poison the timing model (same rule as
-  // recover_session).
-  bool timestamped = false;
-  for (std::size_t i = 0; i < n && !timestamped; ++i) {
-    timestamped = log[i].time_ns() != 0;
+  // recover_session). The scan is monotone and incremental across
+  // publishes — the old per-publish rescan was itself O(log) and would
+  // have capped the incremental speedup.
+  while (!timestamped_seen_ && timestamp_scan_ < n) {
+    timestamped_seen_ = log[timestamp_scan_].time_ns() != 0;
+    ++timestamp_scan_;
   }
-  if (timestamped) {
-    const std::vector<TimedEvent> prefix(log.begin(),
-                                         log.begin() +
-                                             static_cast<std::ptrdiff_t>(n));
-    snapshot->timing = TimingModel::replay(snapshot->grammar, prefix);
+  const bool timestamped = timestamped_seen_;
+
+  auto snapshot = std::make_unique<Snapshot>();
+  // The incremental finalizer syncs its shadow against the *live*
+  // grammar, so it only applies when the publish covers the full live
+  // length. Recovery's historical replays (the live grammar is already
+  // fully grown while stats_.events walks the log) fall back to full
+  // replay; the final replay publish at prefix == live length may
+  // bootstrap incrementally. Snapshot content is bit-identical either
+  // way, which is what keeps ramp_digest() in lockstep with a
+  // never-crashed twin.
+  const bool incremental = !options_.full_rebuild &&
+                           prefix_len == live_grammar().sequence_length();
+  if (incremental) {
+    Grammar& live =
+        session_ ? session_->mutable_grammar() : recorder_->mutable_grammar();
+    if (finalizer_ == nullptr) {
+      // Lazy: dirty stamps cost nothing until the first incremental
+      // publish, and the finalizer's first publish bootstraps with a
+      // full sweep regardless of what the stamps missed before now.
+      finalizer_ = std::make_unique<IncrementalFinalizer>();
+      live.enable_dirty_tracking();
+    }
+    finalizer_->publish(live, log, timestamped);
+    snapshot->grammar = &finalizer_->grammar();
+    snapshot->timing = &finalizer_->timing();
+    snapshot->incremental = true;
+  } else {
+    snapshot->owned_grammar = std::make_unique<Grammar>();
+    for (std::size_t i = 0; i < n; ++i) {
+      snapshot->owned_grammar->append(log[i].event);
+    }
+    snapshot->owned_grammar->finalize();
+    snapshot->owned_timing = std::make_unique<TimingModel>();
+    if (timestamped) {
+      const std::vector<TimedEvent> prefix(
+          log.begin(), log.begin() + static_cast<std::ptrdiff_t>(n));
+      *snapshot->owned_timing =
+          TimingModel::replay(*snapshot->owned_grammar, prefix);
+    }
+    snapshot->grammar = snapshot->owned_grammar.get();
+    snapshot->timing = snapshot->owned_timing.get();
   }
 
   snapshot->predictor = std::make_unique<Predictor>(
-      snapshot->grammar,
-      snapshot->timing.empty() ? nullptr : &snapshot->timing,
+      *snapshot->grammar,
+      snapshot->timing->empty() ? nullptr : snapshot->timing,
       options_.predictor);
 
   // Warm-up: replay the log tail (unscored) so the fresh predictor is
@@ -208,6 +245,59 @@ void OnlineOracle::rebuild_snapshot(std::uint64_t prefix_len) {
   snapshot->events = prefix_len;
   snapshot_ = std::move(snapshot);
   ++stats_.snapshots;
+
+  // Telemetry (not part of ramp_digest(): a recovered run reports its own
+  // publish counts, not the dead twin's, while the digest must match).
+  ++telemetry_.publishes;
+  telemetry_.last_incremental = incremental;
+  if (incremental) {
+    ++telemetry_.incremental;
+    telemetry_.last_dirty_rules = finalizer_->stats().last_dirty_rules;
+    telemetry_.last_closure_rules = finalizer_->stats().last_closure_rules;
+  } else {
+    ++telemetry_.full;
+    telemetry_.last_dirty_rules = 0;
+    telemetry_.last_closure_rules = 0;
+  }
+  telemetry_.last_publish_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  if (session_ != nullptr) write_telemetry_sidecar();
+}
+
+void OnlineOracle::write_telemetry_sidecar() {
+  // Advisory text file next to the journal; temp+rename so readers
+  // (trace_inspect) never see a torn write. It describes the last
+  // *completed* publish, so a crash mid-publish leaves the previous one.
+  const std::uint64_t bootstraps =
+      finalizer_ ? finalizer_->stats().bootstraps : 0;
+  char buf[512];
+  const int len = std::snprintf(
+      buf, sizeof buf,
+      "publishes=%llu\n"
+      "incremental=%llu\n"
+      "full=%llu\n"
+      "bootstraps=%llu\n"
+      "last_incremental=%d\n"
+      "last_publish_ns=%llu\n"
+      "last_dirty_rules=%llu\n"
+      "last_closure_rules=%llu\n"
+      "events=%llu\n"
+      "snapshot_rules=%llu\n",
+      static_cast<unsigned long long>(telemetry_.publishes),
+      static_cast<unsigned long long>(telemetry_.incremental),
+      static_cast<unsigned long long>(telemetry_.full),
+      static_cast<unsigned long long>(bootstraps),
+      telemetry_.last_incremental ? 1 : 0,
+      static_cast<unsigned long long>(telemetry_.last_publish_ns),
+      static_cast<unsigned long long>(telemetry_.last_dirty_rules),
+      static_cast<unsigned long long>(telemetry_.last_closure_rules),
+      static_cast<unsigned long long>(stats_.events),
+      static_cast<unsigned long long>(snapshot_rules()));
+  if (len <= 0) return;
+  (void)support::write_file_atomic(session_->dir() + "/online_telemetry", buf,
+                                   static_cast<std::size_t>(len));
 }
 
 void OnlineOracle::replay_history() {
@@ -255,8 +345,8 @@ std::uint64_t OnlineOracle::ramp_digest() const {
   h = hash_combine(h, next_snapshot_at_);
   if (snapshot_ != nullptr) {
     h = hash_combine(h, snapshot_->events);
-    h = hash_combine(h, snapshot_->grammar.rule_count());
-    h = hash_combine(h, snapshot_->grammar.sequence_length());
+    h = hash_combine(h, snapshot_->grammar->rule_count());
+    h = hash_combine(h, snapshot_->grammar->sequence_length());
     const Predictor& predictor = *snapshot_->predictor;
     h = hash_combine(h, static_cast<std::uint64_t>(predictor.health()));
     h = hash_combine(h, predictor.candidate_count());

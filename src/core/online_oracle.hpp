@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "core/incremental_finalize.hpp"
 #include "core/predictor.hpp"
 #include "core/recorder.hpp"
 #include "core/session.hpp"
@@ -82,6 +83,13 @@ class OnlineOracle {
     /// Sample the ramp every N events into history() (0 = off). Powers
     /// bench/online's mid-run accuracy-ramp curves.
     std::uint64_t history_every = 0;
+
+    /// Rebuild every snapshot by full log replay instead of the
+    /// incremental finalizer. The differential baseline: both paths are
+    /// bit-identical by contract (grammar digest, predictions, compiled
+    /// blob bytes, ramp_digest()), the incremental one is just
+    /// O(rules changed) per publish instead of O(log).
+    bool full_rebuild = false;
   };
 
   /// Ramp state. kLearning before the oracle ever served; kWithheld
@@ -97,6 +105,18 @@ class OnlineOracle {
     std::uint64_t withheld_events = 0;  ///< events observed while withheld
     std::uint64_t ramp_trips = 0;       ///< serving -> withheld transitions
     std::uint64_t first_served_event = 0;  ///< event index when serving began
+  };
+
+  /// Per-publish build telemetry (observability only — deliberately NOT
+  /// part of ramp_digest(): wall-clock latency is nondeterministic).
+  struct PublishTelemetry {
+    std::uint64_t publishes = 0;    ///< snapshot rebuilds, any path
+    std::uint64_t incremental = 0;  ///< ...through the incremental finalizer
+    std::uint64_t full = 0;         ///< ...through full log replay
+    std::uint64_t last_publish_ns = 0;  ///< wall-clock cost of the last one
+    std::uint64_t last_dirty_rules = 0;    ///< drained ids (incremental)
+    std::uint64_t last_closure_rules = 0;  ///< unclean closure (incremental)
+    bool last_incremental = false;
   };
 
   /// One history() sample (Options::history_every).
@@ -171,11 +191,26 @@ class OnlineOracle {
 
   /// Rules in the current snapshot (0 before the first one).
   std::size_t snapshot_rules() const {
-    return snapshot_ ? snapshot_->grammar.rule_count() : 0;
+    return snapshot_ ? snapshot_->grammar->rule_count() : 0;
   }
   std::uint64_t snapshot_events() const {
     return snapshot_ ? snapshot_->events : 0;
   }
+
+  const PublishTelemetry& publish_telemetry() const { return telemetry_; }
+
+  /// The current snapshot's finalized grammar/timing (nullptr before the
+  /// first publish). Used by the engine's delta-compile publish path and
+  /// the differential tests.
+  const Grammar* snapshot_grammar() const {
+    return snapshot_ ? snapshot_->grammar : nullptr;
+  }
+  const TimingModel* snapshot_timing() const {
+    return snapshot_ ? snapshot_->timing : nullptr;
+  }
+  /// Incremental-finalizer stats/hints (nullptr while every publish so
+  /// far used full replay).
+  const IncrementalFinalizer* finalizer() const { return finalizer_.get(); }
 
   /// Session access (session-backed variant; nullptr in memory).
   RecordSession* session() { return session_.get(); }
@@ -213,19 +248,33 @@ class OnlineOracle {
   /// Re-runs the pipeline over an already-learned log prefix (recovery).
   void replay_history();
 
+  void write_telemetry_sidecar();
+
   struct Snapshot {
-    Grammar grammar;
-    TimingModel timing;
+    /// Full rebuilds own their grammar/timing; incremental publishes
+    /// point into the finalizer-owned shadow (declared before snapshot_
+    /// so the referents outlive the predictor).
+    std::unique_ptr<Grammar> owned_grammar;
+    std::unique_ptr<TimingModel> owned_timing;
+    const Grammar* grammar = nullptr;
+    const TimingModel* timing = nullptr;
     std::unique_ptr<Predictor> predictor;  ///< refs grammar/timing above
     std::uint64_t events = 0;              ///< log prefix it covers
+    bool incremental = false;
   };
 
   Options options_;
   std::unique_ptr<Recorder> recorder_;       ///< in-memory variant
   std::unique_ptr<RecordSession> session_;   ///< crash-safe variant
   RegistrySync registry_sync_;
+  std::unique_ptr<IncrementalFinalizer> finalizer_;
   std::unique_ptr<Snapshot> snapshot_;
   std::uint64_t next_snapshot_at_ = 0;
+  PublishTelemetry telemetry_;
+  /// Monotone "any nonzero timestamp in log[0, timestamp_scan_)" scan
+  /// state — the per-publish rescan the old rebuild did was itself O(log).
+  bool timestamped_seen_ = false;
+  std::size_t timestamp_scan_ = 0;
 
   Ramp ramp_ = Ramp::kLearning;
   std::vector<std::uint8_t> window_;  ///< self-accuracy outcome ring

@@ -74,6 +74,8 @@ class Recorder {
 
   std::uint64_t event_count() const { return grammar_.sequence_length(); }
   const Grammar& grammar() const { return grammar_; }
+  /// Mutable access for the incremental finalizer (dirty-epoch drains).
+  Grammar& mutable_grammar() { return grammar_; }
 
   /// The raw (event, time) log — empty unless record_timestamps is on.
   const std::vector<TimedEvent>& log() const { return log_; }

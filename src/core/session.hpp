@@ -115,6 +115,8 @@ class RecordSession {
   const RecoveryInfo& recovery() const { return recovery_; }
   std::uint64_t event_count() const { return recorder_.event_count(); }
   const Grammar& grammar() const { return recorder_.grammar(); }
+  /// Mutable access for the incremental finalizer (dirty-epoch drains).
+  Grammar& mutable_grammar() { return recorder_.mutable_grammar(); }
   /// The timestamped event log (the session forces record_timestamps for
   /// the online oracle's snapshot source; empty if it was disabled).
   const std::vector<TimedEvent>& event_log() const { return recorder_.log(); }

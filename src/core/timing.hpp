@@ -86,6 +86,19 @@ class TimingModel {
     global_.count += stat.count;
   }
 
+  // Emission access (incremental finalize). Unlike load_context this
+  // *merges* on key collision — exactly what add_sample does when two
+  // distinct chains hash to the same suffix key — and leaves the global
+  // stat alone: the incremental path carries the global fold separately
+  // (it is a sum over trace order, not over contexts).
+  void accumulate_context(std::uint64_t key, DurationStat stat) {
+    DurationStat& slot = by_context_[key];
+    slot.sum_ns += stat.sum_ns;
+    slot.count += stat.count;
+  }
+  void set_global(DurationStat stat) { global_ = stat; }
+  DurationStat global_stat() const { return global_; }
+
  private:
   std::unordered_map<std::uint64_t, DurationStat> by_context_;
   DurationStat global_;

@@ -81,6 +81,31 @@ PredictSession::PredictSession(std::shared_ptr<const TraceSnapshot> snapshot,
   }
 }
 
+Status publish_compiled(PredictServer& server, DeltaCompiler& compiler,
+                        const Grammar& grammar, const TimingModel* timing,
+                        std::uint64_t grammar_digest, std::uint64_t version) {
+  std::vector<unsigned char> blob =
+      compiler.compile(grammar, timing, grammar_digest);
+  if (blob.empty()) {
+    return Status::invalid_state(
+        "publish_compiled: grammar is not compilable");
+  }
+  Trace trace;
+  trace.threads.emplace_back();
+  ThreadTrace& thread = trace.threads.back();
+  thread.compiled_blob = std::move(blob);
+  Result<CompiledView> view = CompiledView::parse(
+      thread.compiled_blob.data(), thread.compiled_blob.size());
+  if (!view.ok()) return view.status();
+  thread.compiled = view.take();
+  // Placeholder only: PredictSession always picks the compiled automaton
+  // when the view is valid, and TraceSnapshot::make requires finalized
+  // grammars for OK sections.
+  thread.grammar.finalize();
+  server.publish(TraceSnapshot::make(std::move(trace), version));
+  return Status();
+}
+
 Result<PredictSession> PredictServer::open(
     std::size_t section, const Predictor::Options& options) const {
   std::shared_ptr<const TraceSnapshot> snapshot = this->snapshot();

@@ -189,4 +189,21 @@ class PredictServer {
   std::atomic<std::uint64_t> publishes_{0};
 };
 
+/// Online republish path (oracle-as-a-service): compiles `grammar`
+/// (+ `timing`, may be nullptr) through `compiler` and atomically swaps
+/// the result onto `server` as a single-section, *compiled-only* snapshot
+/// — the thread section carries the blob and its parsed view over an
+/// empty placeholder grammar, so every session serves from the compiled
+/// automaton. With DeltaCompiler's reuse, a publish where only timing
+/// changed skips the anchor-prediction lowering entirely, and a publish
+/// where nothing changed reuses the previous blob outright; in-flight
+/// sessions keep their pinned snapshot either way.
+///
+/// Fails (without publishing) when the grammar is not compilable or the
+/// blob does not validate; the server keeps serving the old snapshot.
+Status publish_compiled(PredictServer& server, DeltaCompiler& compiler,
+                        const Grammar& grammar, const TimingModel* timing,
+                        std::uint64_t grammar_digest,
+                        std::uint64_t version = 0);
+
 }  // namespace pythia::engine

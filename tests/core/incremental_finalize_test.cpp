@@ -1,0 +1,524 @@
+// Incremental finalize + delta compile: bit-identity differentials.
+//
+// The contract under test is exact equality, not approximation: a
+// snapshot published through the incremental finalizer (dirty-rule drain,
+// shadow sync, timing patch) must be byte-for-byte the snapshot a full
+// log replay builds — same PYTHIA02 section digest, same predictions,
+// same PYCGRM01 blob bytes — at every publish cadence, across the app
+// catalog, under seeded-mutation fuzz, after rule-id tombstoning and
+// free-list reuse, and composed with remap_terminals. The OnlineOracle
+// differential extends this to the full ramp state machine via
+// ramp_digest(), and the DeltaCompiler/publish_compiled tests pin the
+// compile-layer reuse paths to compile_thread's output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/compile.hpp"
+#include "core/grammar.hpp"
+#include "core/incremental_finalize.hpp"
+#include "core/online_oracle.hpp"
+#include "core/predictor.hpp"
+#include "core/timing.hpp"
+#include "core/trace_io.hpp"
+#include "engine/snapshot.hpp"
+#include "harness/runner.hpp"
+#include "support/rng.hpp"
+
+namespace pythia {
+namespace {
+
+// --- stream generators ------------------------------------------------------
+
+/// Phase-structured stream: loops whose bodies mutate between phases, so
+/// rules are created, carved, inlined and destroyed as the grammar tracks
+/// the changing structure — the churn the dirty-rule log must capture.
+std::vector<TerminalId> mutating_stream(std::uint64_t seed, int alphabet,
+                                        std::size_t length) {
+  support::Rng rng(seed);
+  std::vector<TerminalId> out;
+  std::vector<TerminalId> body;
+  while (out.size() < length) {
+    // Mutate the loop body: occasionally rebuild it outright, otherwise
+    // perturb one position — the "seeded mutation" of the fuzz matrix.
+    if (body.empty() || rng.below(6) == 0) {
+      body.clear();
+      const std::uint64_t body_length = 1 + rng.below(6);
+      for (std::uint64_t i = 0; i < body_length; ++i) {
+        body.push_back(static_cast<TerminalId>(rng.below(alphabet)));
+      }
+    } else {
+      body[rng.below(body.size())] =
+          static_cast<TerminalId>(rng.below(alphabet));
+    }
+    const std::uint64_t reps = 1 + rng.below(12);
+    for (std::uint64_t r = 0; r < reps && out.size() < length; ++r) {
+      for (TerminalId t : body) out.push_back(t);
+    }
+  }
+  out.resize(length);
+  return out;
+}
+
+// --- the differential driver ------------------------------------------------
+
+/// Feeds a live grammar + log and publishes through an
+/// IncrementalFinalizer, exactly as OnlineOracle::rebuild_snapshot does.
+struct Driver {
+  Grammar live;
+  std::vector<TimedEvent> log;
+  IncrementalFinalizer finalizer;
+  bool timestamped;
+  std::uint64_t clock = 0;
+
+  explicit Driver(bool timed) : timestamped(timed) {
+    live.enable_dirty_tracking();
+  }
+
+  void feed(TerminalId event, support::Rng& rng) {
+    if (timestamped) clock += 1 + rng.below(997);
+    live.append(event);
+    log.push_back(TimedEvent::make(event, timestamped ? clock : 0));
+  }
+
+  void publish() { finalizer.publish(live, log, timestamped); }
+};
+
+/// The ground truth: full log replay, the pre-incremental publish path.
+struct FullBuild {
+  Grammar grammar;
+  TimingModel timing;
+
+  FullBuild(const std::vector<TimedEvent>& log, bool timestamped) {
+    for (const TimedEvent& e : log) grammar.append(e.event);
+    grammar.finalize();
+    if (timestamped) timing = TimingModel::replay(grammar, log);
+  }
+};
+
+void expect_same_timing_global(const TimingModel& a, const TimingModel& b) {
+  // Bitwise, not approximate: the incremental global fold accumulates the
+  // same integer-valued doubles in the same trace order.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.global_stat().sum_ns),
+            std::bit_cast<std::uint64_t>(b.global_stat().sum_ns));
+  EXPECT_EQ(a.global_stat().count, b.global_stat().count);
+}
+
+void expect_same_predictions(const Grammar& grammar_a,
+                             const TimingModel& timing_a,
+                             const Grammar& grammar_b,
+                             const TimingModel& timing_b,
+                             const std::vector<TimedEvent>& log) {
+  Predictor a(grammar_a, timing_a.empty() ? nullptr : &timing_a,
+              Predictor::Options::runtime_defaults());
+  Predictor b(grammar_b, timing_b.empty() ? nullptr : &timing_b,
+              Predictor::Options::runtime_defaults());
+  const std::size_t warm = std::min<std::size_t>(48, log.size());
+  for (std::size_t i = log.size() - warm; i < log.size(); ++i) {
+    a.observe(log[i].event);
+    b.observe(log[i].event);
+    for (std::size_t distance : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{8}}) {
+      const auto pa = a.predict(distance);
+      const auto pb = b.predict(distance);
+      ASSERT_EQ(pa.has_value(), pb.has_value()) << "at log index " << i;
+      if (pa.has_value()) {
+        EXPECT_EQ(pa->event, pb->event);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(pa->probability),
+                  std::bit_cast<std::uint64_t>(pb->probability));
+      }
+    }
+    const auto ta = a.predict_time_ns(1);
+    const auto tb = b.predict_time_ns(1);
+    ASSERT_EQ(ta.has_value(), tb.has_value());
+    if (ta.has_value()) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(*ta),
+                std::bit_cast<std::uint64_t>(*tb));
+    }
+  }
+}
+
+/// One publish-point check. `deep` additionally compares compiled blob
+/// bytes and warmed-predictor behaviour (expensive: per-terminal anchor
+/// lowering), so fuzz callers reserve it for the final publish.
+void expect_publish_identical(Driver& driver, bool deep) {
+  SCOPED_TRACE("publish at " + std::to_string(driver.log.size()));
+  driver.live.check_invariants();
+  driver.finalizer.grammar().check_invariants();
+
+  const FullBuild full(driver.log, driver.timestamped);
+  const std::uint64_t digest_full =
+      thread_section_digest(full.grammar, &full.timing);
+  const std::uint64_t digest_inc = thread_section_digest(
+      driver.finalizer.grammar(), &driver.finalizer.timing());
+  ASSERT_EQ(digest_inc, digest_full);
+  expect_same_timing_global(driver.finalizer.timing(), full.timing);
+
+  if (!deep) return;
+  const std::vector<unsigned char> blob_full =
+      compile_thread(full.grammar, &full.timing, digest_full);
+  const std::vector<unsigned char> blob_inc = compile_thread(
+      driver.finalizer.grammar(), &driver.finalizer.timing(), digest_inc);
+  ASSERT_EQ(blob_inc, blob_full);
+  expect_same_predictions(driver.finalizer.grammar(),
+                          driver.finalizer.timing(), full.grammar,
+                          full.timing, driver.log);
+}
+
+// --- random-stream differentials -------------------------------------------
+
+TEST(IncrementalFinalize, RandomStreamsMatchFullRebuildDeeply) {
+  for (const bool timestamped : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      SCOPED_TRACE("seed " + std::to_string(seed) +
+                   (timestamped ? " timed" : " untimed"));
+      support::Rng rng(seed * 0x9e3779b9ull + 7);
+      const std::vector<TerminalId> stream =
+          mutating_stream(seed * 131 + 3, 5, 600);
+      Driver driver(timestamped);
+      std::size_t next_publish = 24;
+      for (TerminalId event : stream) {
+        driver.feed(event, rng);
+        if (driver.log.size() >= next_publish) {
+          driver.publish();
+          expect_publish_identical(driver, /*deep=*/driver.log.size() > 400);
+          next_publish = driver.log.size() + 24 + rng.below(80);
+        }
+      }
+      driver.publish();
+      expect_publish_identical(driver, /*deep=*/true);
+      EXPECT_GE(driver.finalizer.stats().publishes, 2u);
+    }
+  }
+}
+
+TEST(IncrementalFinalize, MutationFuzzThousandSeeds) {
+  // >= 1000 seeds of mutating streams at randomized low publish cadence
+  // (low cadence = small dirty sets = the sharpest test of the patch
+  // ranges and the unclean closure). Digest equality at every publish;
+  // blob + prediction equality at the final one.
+  for (std::uint64_t seed = 0; seed < 1050; ++seed) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    support::Rng rng(seed ^ 0xfeedull);
+    const bool timestamped = (seed % 3) != 2;
+    const int alphabet = 2 + static_cast<int>(seed % 5);
+    const std::size_t length = 120 + (seed * 37) % 220;
+    const std::vector<TerminalId> stream =
+        mutating_stream(seed * 977 + 11, alphabet, length);
+    Driver driver(timestamped);
+    const std::size_t cadence = 16 + rng.below(48);
+    std::size_t next_publish = cadence;
+    for (TerminalId event : stream) {
+      driver.feed(event, rng);
+      if (driver.log.size() >= next_publish) {
+        driver.publish();
+        expect_publish_identical(driver, /*deep=*/false);
+        if (::testing::Test::HasFatalFailure()) return;
+        next_publish = driver.log.size() + cadence;
+      }
+    }
+    driver.publish();
+    expect_publish_identical(driver, /*deep=*/seed % 25 == 0);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(IncrementalFinalize, SurvivesRuleTombstonesAndFreeListReuse) {
+  // Alternating phases force rules to die (inline/destroy) and their
+  // structs to recycle through the free list while ids stay unique; the
+  // shadow must mirror births and deaths id-for-id.
+  support::Rng rng(0xdead5eed);
+  Driver driver(/*timed=*/true);
+  std::size_t publishes = 0;
+  for (int phase = 0; phase < 30; ++phase) {
+    const TerminalId a = static_cast<TerminalId>(phase % 4);
+    const TerminalId b = static_cast<TerminalId>((phase + 1) % 4);
+    for (int rep = 0; rep < 12; ++rep) {
+      driver.feed(a, rng);
+      driver.feed(b, rng);
+      driver.feed(static_cast<TerminalId>(phase % 3), rng);
+    }
+    driver.publish();
+    expect_publish_identical(driver, /*deep=*/phase % 7 == 6);
+    ++publishes;
+  }
+  ASSERT_GE(publishes, 10u);
+  // The scenario only proves what it claims if ids actually died: the
+  // live table must hold tombstoned slots beyond the live rules.
+  EXPECT_GT(driver.live.pool_stats().rule_ids,
+            driver.live.pool_stats().rules_live);
+  EXPECT_GT(driver.live.pool_stats().rules_free +
+                driver.finalizer.grammar().pool_stats().rules_free,
+            0u);
+}
+
+TEST(IncrementalFinalize, ComposesWithRemapTerminals) {
+  // Serialize both snapshots, reload (PYTHIA02 densifies rule ids),
+  // remap terminals with the same permutation, and require the results
+  // to stay byte-identical — the harness's canonical-renumbering path
+  // applied to an incrementally published snapshot.
+  support::Rng rng(0x5eed1234);
+  Driver driver(/*timed=*/true);
+  const std::vector<TerminalId> stream = mutating_stream(77, 6, 500);
+  std::size_t next_publish = 32;
+  for (TerminalId event : stream) {
+    driver.feed(event, rng);
+    if (driver.log.size() >= next_publish) {
+      driver.publish();
+      next_publish = driver.log.size() + 60;
+    }
+  }
+  driver.publish();
+  const FullBuild full(driver.log, /*timestamped=*/true);
+
+  EventRegistry registry;
+  for (int t = 0; t < 8; ++t) {
+    registry.intern("k" + std::to_string(t));
+  }
+  auto save_reload = [&](const Grammar& grammar,
+                         const TimingModel& timing) {
+    const std::string path =
+        ::testing::TempDir() + "/remap_" +
+        std::to_string(reinterpret_cast<std::uintptr_t>(&grammar)) +
+        ".pythia";
+    const Status saved =
+        save_trace_file(path, registry, {{&grammar, &timing}});
+    EXPECT_TRUE(saved.ok()) << saved.message();
+    Result<Trace> loaded = Trace::try_load(path);
+    EXPECT_TRUE(loaded.ok());
+    std::remove(path.c_str());
+    return loaded.take();
+  };
+
+  Trace inc = save_reload(driver.finalizer.grammar(),
+                          driver.finalizer.timing());
+  Trace ful = save_reload(full.grammar, full.timing);
+  ASSERT_EQ(inc.threads.size(), 1u);
+  ASSERT_EQ(ful.threads.size(), 1u);
+
+  // Reversal permutation over the 8 interned terminals.
+  std::vector<TerminalId> old_to_new(8);
+  for (std::size_t t = 0; t < old_to_new.size(); ++t) {
+    old_to_new[t] = static_cast<TerminalId>(old_to_new.size() - 1 - t);
+  }
+  inc.threads[0].grammar.remap_terminals(old_to_new);
+  ful.threads[0].grammar.remap_terminals(old_to_new);
+  inc.threads[0].grammar.check_invariants();
+
+  EXPECT_EQ(thread_section_digest(inc.threads[0]),
+            thread_section_digest(ful.threads[0]));
+  EXPECT_EQ(inc.threads[0].grammar.unfold(), ful.threads[0].grammar.unfold());
+  const std::vector<unsigned char> blob_inc = compile_thread(
+      inc.threads[0].grammar, &inc.threads[0].timing, 0x5eedull);
+  const std::vector<unsigned char> blob_ful = compile_thread(
+      ful.threads[0].grammar, &ful.threads[0].timing, 0x5eedull);
+  EXPECT_EQ(blob_inc, blob_ful);
+}
+
+// --- catalog-wide differential ---------------------------------------------
+
+class IncrementalCatalogDifferential
+    : public ::testing::TestWithParam<const apps::App*> {};
+
+TEST_P(IncrementalCatalogDifferential, PublishesMatchFullRebuild) {
+  const apps::App& app = *GetParam();
+  harness::RunConfig config;
+  config.mode = harness::Mode::kRecord;
+  config.app.set = apps::WorkingSet::kSmall;
+  config.app.scale = 0.15;
+  harness::RunResult result = harness::run_app(app, config);
+  ASSERT_FALSE(result.trace.threads.empty());
+  const std::vector<TerminalId> stream =
+      result.trace.threads[0].grammar.unfold();
+  ASSERT_FALSE(stream.empty());
+
+  support::Rng rng(0xca7a106 + app.name().size());
+  Driver driver(/*timed=*/true);
+  std::size_t next_publish = 16;
+  std::size_t publishes = 0;
+  for (TerminalId event : stream) {
+    driver.feed(event, rng);
+    if (driver.log.size() >= next_publish) {
+      driver.publish();
+      expect_publish_identical(driver, /*deep=*/publishes % 4 == 3);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++publishes;
+      next_publish = std::max<std::size_t>(
+          driver.log.size() + 1,
+          static_cast<std::size_t>(driver.log.size() * 1.4));
+    }
+  }
+  driver.publish();
+  expect_publish_identical(driver, /*deep=*/true);
+  if (stream.size() >= 32) {
+    EXPECT_GE(driver.finalizer.stats().publishes, 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, IncrementalCatalogDifferential,
+    ::testing::ValuesIn(apps::all_apps()),
+    [](const ::testing::TestParamInfo<const apps::App*>& info) {
+      return info.param->name();
+    });
+
+// --- OnlineOracle end-to-end differential ----------------------------------
+
+TEST(OnlineOracleIncremental, RampDigestMatchesFullRebuildEveryEvent) {
+  OnlineOracle::Options incremental_options;
+  incremental_options.min_snapshot_events = 24;
+  incremental_options.snapshot_growth = 1.3;
+  OnlineOracle::Options full_options = incremental_options;
+  full_options.full_rebuild = true;
+
+  for (std::uint64_t seed : {1ull, 9ull, 23ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    OnlineOracle incremental = OnlineOracle::in_memory(incremental_options);
+    OnlineOracle full = OnlineOracle::in_memory(full_options);
+    const std::vector<TerminalId> stream =
+        mutating_stream(seed * 271 + 5, 5, 900);
+    support::Rng rng(seed);
+    std::uint64_t clock = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      clock += 1 + rng.below(512);
+      incremental.observe(stream[i], clock);
+      full.observe(stream[i], clock);
+      ASSERT_EQ(incremental.ramp_digest(), full.ramp_digest())
+          << "diverged at event " << i;
+      if (i % 64 == 0) {
+        const auto pi = incremental.predict(1);
+        const auto pf = full.predict(1);
+        ASSERT_EQ(pi.has_value(), pf.has_value());
+        if (pi.has_value()) EXPECT_EQ(pi->event, pf->event);
+      }
+    }
+    // Both oracles published on the same cadence; only the build path
+    // differs — and it must actually have differed for this test to mean
+    // anything.
+    EXPECT_GT(incremental.publish_telemetry().incremental, 0u);
+    EXPECT_EQ(incremental.publish_telemetry().full, 0u);
+    EXPECT_EQ(full.publish_telemetry().incremental, 0u);
+    EXPECT_GT(full.publish_telemetry().full, 0u);
+    EXPECT_EQ(incremental.publish_telemetry().publishes,
+              full.publish_telemetry().publishes);
+  }
+}
+
+// --- delta compile ----------------------------------------------------------
+
+TEST(DeltaCompiler, BitIdenticalToCompileThreadAcrossReusePaths) {
+  DeltaCompiler compiler;
+  support::Rng rng(0xdc0de);
+
+  // Phase 1: grammar grows between compiles — full relowers.
+  std::vector<TimedEvent> log;
+  std::uint64_t clock = 0;
+  const std::vector<TerminalId> stream = mutating_stream(31, 5, 400);
+  std::size_t fed = 0;
+  auto feed = [&](std::size_t upto) {
+    for (; fed < upto; ++fed) {
+      clock += 1 + rng.below(300);
+      log.push_back(TimedEvent::make(stream[fed], clock));
+    }
+  };
+  auto check = [&](const Grammar& g, const TimingModel* t,
+                   std::uint64_t digest) {
+    const std::vector<unsigned char> delta = compiler.compile(g, t, digest);
+    const std::vector<unsigned char> fresh = compile_thread(g, t, digest);
+    ASSERT_EQ(delta, fresh);
+  };
+
+  for (std::size_t upto : {120u, 260u, 400u}) {
+    feed(upto);
+    FullBuild built(log, /*timestamped=*/true);
+    check(built.grammar, &built.timing,
+          thread_section_digest(built.grammar, &built.timing));
+  }
+  EXPECT_EQ(compiler.stats().full, 3u);
+
+  // Phase 2: identical grammar. The first check repeats the last digest
+  // (same log) — whole-blob reuse. The timing-only change then forces a
+  // recompile whose grammar tables are byte-identical to the cached
+  // scratch, so the anchor-prediction table is reused — and the blob
+  // must still match compile_thread exactly.
+  FullBuild base(log, /*timestamped=*/true);
+  check(base.grammar, &base.timing,
+        thread_section_digest(base.grammar, &base.timing));
+  EXPECT_GT(compiler.stats().blob_reused, 0u);
+  TimingModel shifted = TimingModel::replay(base.grammar, log);
+  shifted.accumulate_context(0x1234, {128.0, 2});
+  check(base.grammar, &shifted,
+        thread_section_digest(base.grammar, &shifted));
+  EXPECT_GT(compiler.stats().anchor_reused, 0u);
+  EXPECT_EQ(compiler.stats().full, 3u);
+
+  // Phase 3: nothing changed — whole-blob reuse.
+  const std::uint64_t digest = thread_section_digest(base.grammar, &shifted);
+  check(base.grammar, &shifted, digest);
+  EXPECT_GT(compiler.stats().blob_reused, 0u);
+}
+
+TEST(PublishCompiled, ServesDeltaCompiledSnapshotsAcrossRepublishes) {
+  engine::PredictServer server;
+  DeltaCompiler compiler;
+  support::Rng rng(0x9b1d);
+
+  std::vector<TimedEvent> log;
+  std::uint64_t clock = 0;
+  const std::vector<TerminalId> stream = mutating_stream(57, 4, 600);
+  std::size_t fed = 0;
+  std::uint64_t last_digest = 0;
+  for (std::size_t upto : {150u, 300u, 600u}) {
+    for (; fed < upto; ++fed) {
+      clock += 1 + rng.below(200);
+      log.push_back(TimedEvent::make(stream[fed], clock));
+    }
+    FullBuild built(log, /*timestamped=*/true);
+    last_digest = thread_section_digest(built.grammar, &built.timing);
+    const Status published = engine::publish_compiled(
+        server, compiler, built.grammar, &built.timing, last_digest, upto);
+    ASSERT_TRUE(published.ok()) << published.message();
+
+    Result<engine::PredictSession> opened = server.open(0);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    engine::PredictSession session = opened.take();
+    EXPECT_TRUE(session.using_compiled());
+    EXPECT_EQ(session.snapshot()->version(), upto);
+
+    // The served automaton must behave exactly like an interpreted
+    // predictor over the source grammar.
+    Predictor reference(built.grammar, &built.timing,
+                        Predictor::Options::runtime_defaults());
+    for (std::size_t i = log.size() - 64; i < log.size(); ++i) {
+      session.observe(log[i].event);
+      reference.observe(log[i].event);
+      const auto ps = session.predict(1);
+      const auto pr = reference.predict(1);
+      ASSERT_EQ(ps.has_value(), pr.has_value());
+      if (ps.has_value()) {
+        EXPECT_EQ(ps->event, pr->event);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ps->probability),
+                  std::bit_cast<std::uint64_t>(pr->probability));
+      }
+    }
+  }
+  EXPECT_EQ(server.publishes(), 3u);
+  EXPECT_EQ(compiler.stats().compiles, 3u);
+
+  // Republish with nothing changed: the cached blob serves.
+  FullBuild built(log, /*timestamped=*/true);
+  ASSERT_TRUE(engine::publish_compiled(server, compiler, built.grammar,
+                                       &built.timing, last_digest, 601)
+                  .ok());
+  EXPECT_EQ(compiler.stats().blob_reused, 1u);
+  EXPECT_TRUE(server.open(0).ok());
+}
+
+}  // namespace
+}  // namespace pythia
